@@ -1,0 +1,49 @@
+//! Three-way transposition comparison: the STM+HiSM mechanism vs the
+//! *vectorized* CRS baseline (the paper's comparison) vs a *fully scalar*
+//! CRS implementation (the "traditional scalar architecture" of the
+//! paper's introduction). Shows how much of the win comes from
+//! vectorization alone and how much from the format + functional unit.
+
+use stm_bench::output::{format_table, write_csv};
+use stm_bench::sets_from_env;
+use stm_core::kernels::{transpose_crs, transpose_crs_scalar, transpose_hism};
+use stm_core::StmConfig;
+use stm_hism::{build, HismImage};
+use stm_sparse::Csr;
+use stm_vpsim::VpConfig;
+
+fn main() {
+    let (sets, tag) = sets_from_env();
+    let vp = VpConfig::paper();
+    let mut rows = Vec::new();
+    for entry in &sets.by_locality {
+        let h = build::from_coo(&entry.coo, 64).expect("suite matrix");
+        let (_, hism) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
+        let csr = Csr::from_coo(&entry.coo);
+        let (_, vec_crs) = transpose_crs(&vp, &csr);
+        let (_, sc_crs) = transpose_crs_scalar(&vp, &csr);
+        rows.push(vec![
+            entry.name.clone(),
+            format!("{:.2}", hism.cycles_per_nnz()),
+            format!("{:.2}", vec_crs.cycles_per_nnz()),
+            format!("{:.2}", sc_crs.cycles_per_nnz()),
+            format!("{:.1}", vec_crs.cycles as f64 / hism.cycles.max(1) as f64),
+            format!("{:.1}", sc_crs.cycles as f64 / hism.cycles.max(1) as f64),
+        ]);
+    }
+    println!("Transposition baselines over the locality set (suite: {tag}, cycles/nnz)");
+    println!(
+        "{}",
+        format_table(
+            &["matrix", "hism+stm", "crs(vector)", "crs(scalar)", "vs vec", "vs scalar"],
+            &rows
+        )
+    );
+    write_csv(
+        "results/baselines.csv",
+        &["matrix", "hism_stm", "crs_vector", "crs_scalar", "speedup_vs_vector", "speedup_vs_scalar"],
+        &rows,
+    )
+    .expect("write results/baselines.csv");
+    eprintln!("wrote results/baselines.csv");
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Fig. 11**: transposition performance (cycles per
+//! non-zero for HiSM and CRS, plus the HiSM-vs-CRS speedup) over the ten
+//! matrices selected by *locality*. The paper's reading: the speedup
+//! "grows monotonically with the growth of the matrix locality"; its
+//! range on this set is 1.8–32.0 (average 16.5).
+
+use stm_bench::output::{figure_rows, format_table, write_csv, FIGURE_HEADERS};
+use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
+
+fn main() {
+    let (sets, tag) = sets_from_env();
+    let cfg = RunConfig::default();
+    let results = run_set(&cfg, &sets.by_locality);
+    let rows = figure_rows(&results);
+    println!("Fig. 11 — Performance w.r.t. matrix locality (suite: {tag})");
+    println!("{}", format_table(&FIGURE_HEADERS, &rows));
+    let s = SpeedupSummary::of(&results);
+    println!(
+        "speedup range {:.1} .. {:.1}, average {:.1}   (paper: 1.8 .. 32.0, avg 16.5)",
+        s.min, s.max, s.avg
+    );
+    write_csv("results/fig11.csv", &FIGURE_HEADERS, &rows).expect("write results/fig11.csv");
+    eprintln!("wrote results/fig11.csv");
+}

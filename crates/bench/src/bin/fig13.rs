@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 13**: transposition performance over the ten
+//! matrices selected by *matrix size* (number of non-zeros). The paper's
+//! reading: neither method's cycles/nnz shows a particular dependence on
+//! size; speedup range 3.4–28.2 (average 15.5).
+
+use stm_bench::output::{figure_rows, format_table, write_csv, FIGURE_HEADERS};
+use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
+
+fn main() {
+    let (sets, tag) = sets_from_env();
+    let cfg = RunConfig::default();
+    let results = run_set(&cfg, &sets.by_size);
+    let rows = figure_rows(&results);
+    println!("Fig. 13 — Performance w.r.t. matrix size (suite: {tag})");
+    println!("{}", format_table(&FIGURE_HEADERS, &rows));
+    let s = SpeedupSummary::of(&results);
+    println!(
+        "speedup range {:.1} .. {:.1}, average {:.1}   (paper: 3.4 .. 28.2, avg 15.5)",
+        s.min, s.max, s.avg
+    );
+    write_csv("results/fig13.csv", &FIGURE_HEADERS, &rows).expect("write results/fig13.csv");
+    eprintln!("wrote results/fig13.csv");
+}

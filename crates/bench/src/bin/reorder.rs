@@ -1,0 +1,71 @@
+//! Extension experiment: software reordering (reverse Cuthill–McKee) as
+//! the complement to the STM.
+//!
+//! The paper's introduction frames hardware like the STM against the
+//! software techniques most systems use instead. RCM is the classic one:
+//! it permutes a matrix to cluster non-zeros near the diagonal, raising
+//! exactly the *locality* metric the STM exploits. This experiment
+//! transposes each matrix of the locality set before and after RCM and
+//! reports how locality, HiSM cost, and the speedup move — hardware and
+//! software attacking the same quantity.
+
+use stm_bench::output::{format_table, write_csv};
+use stm_bench::sets_from_env;
+use stm_core::kernels::{transpose_crs, transpose_hism};
+use stm_core::StmConfig;
+use stm_hism::{build, HismImage};
+use stm_sparse::reorder::rcm_reorder;
+use stm_sparse::{Coo, Csr, MatrixMetrics};
+use stm_vpsim::VpConfig;
+
+fn measure(coo: &Coo) -> (f64, f64, f64) {
+    let vp = VpConfig::paper();
+    let h = build::from_coo(coo, 64).expect("matrix fits HiSM");
+    let (_, hr) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
+    let (_, cr) = transpose_crs(&vp, &Csr::from_coo(coo));
+    (
+        MatrixMetrics::compute(coo).locality,
+        hr.cycles_per_nnz(),
+        cr.cycles as f64 / hr.cycles.max(1) as f64,
+    )
+}
+
+fn main() {
+    let (sets, tag) = sets_from_env();
+    let mut rows = Vec::new();
+    for entry in &sets.by_locality {
+        if entry.coo.rows() != entry.coo.cols() {
+            continue; // RCM needs a square symmetrizable structure
+        }
+        let (loc0, hism0, sp0) = measure(&entry.coo);
+        let reordered = rcm_reorder(&entry.coo).expect("square matrix");
+        let (loc1, hism1, sp1) = measure(&reordered);
+        rows.push(vec![
+            entry.name.clone(),
+            format!("{loc0:.3}"),
+            format!("{loc1:.3}"),
+            format!("{hism0:.2}"),
+            format!("{hism1:.2}"),
+            format!("{sp0:.1}"),
+            format!("{sp1:.1}"),
+        ]);
+    }
+    println!("Extension — RCM reordering vs the STM (locality set, suite: {tag})");
+    println!(
+        "{}",
+        format_table(
+            &["matrix", "loc", "loc(rcm)", "hism c/nnz", "hism(rcm)", "speedup", "speedup(rcm)"],
+            &rows
+        )
+    );
+    println!("Reading: RCM raises locality on scattered matrices, cutting the");
+    println!("HiSM cost per non-zero — hardware and software attack the same");
+    println!("quantity, and compose.");
+    write_csv(
+        "results/reorder.csv",
+        &["matrix", "loc_before", "loc_after", "hism_before", "hism_after", "speedup_before", "speedup_after"],
+        &rows,
+    )
+    .expect("write results/reorder.csv");
+    eprintln!("wrote results/reorder.csv");
+}

@@ -1,0 +1,68 @@
+//! The paper's headline numbers: per-set and overall HiSM-vs-CRS speedup
+//! ranges over the 30 benchmark matrices, plus the HiSM storage-overhead
+//! check ("the number of high level s²-blocks amount typically to about
+//! 2-5% of the total matrix storage for s = 64").
+
+use stm_bench::output::{format_table, write_csv};
+use stm_bench::{run_set, sets_from_env, MatrixResult, RunConfig, SpeedupSummary};
+use stm_hism::{build, StorageStats};
+
+fn main() {
+    let (sets, tag) = sets_from_env();
+    let cfg = RunConfig::default();
+
+    let loc = run_set(&cfg, &sets.by_locality);
+    let anz = run_set(&cfg, &sets.by_anz);
+    let size = run_set(&cfg, &sets.by_size);
+    let all: Vec<MatrixResult> =
+        loc.iter().chain(&anz).chain(&size).cloned().collect();
+
+    let row = |name: &str, results: &[MatrixResult], paper: &str| -> Vec<String> {
+        let s = SpeedupSummary::of(results);
+        vec![
+            name.to_string(),
+            format!("{:.1}", s.min),
+            format!("{:.1}", s.avg),
+            format!("{:.1}", s.max),
+            paper.to_string(),
+        ]
+    };
+    let rows = vec![
+        row("locality set (Fig. 11)", &loc, "1.8 / 16.5 / 32.0"),
+        row("ANZ set      (Fig. 12)", &anz, "11.9 / 20.0 / 28.9"),
+        row("size set     (Fig. 13)", &size, "3.4 / 15.5 / 28.2"),
+        row("all 30 matrices", &all, "1.8 / 17.6 / 32.0"),
+    ];
+    println!("HiSM vs CRS transposition speedup (suite: {tag}, s=64 B=4 L=4 p=4)");
+    println!(
+        "{}",
+        format_table(&["set", "min", "avg", "max", "paper min/avg/max"], &rows)
+    );
+    write_csv(
+        "results/summary.csv",
+        &["set", "min", "avg", "max", "paper"],
+        &rows,
+    )
+    .expect("write results/summary.csv");
+
+    // Storage-overhead claim (Section IV-A).
+    let mut fracs: Vec<f64> = Vec::new();
+    for entry in sets.all() {
+        let h = build::from_coo(&entry.coo, 64).expect("suite matrix");
+        if h.levels() > 1 && h.nnz() > 0 {
+            fracs.push(StorageStats::compute(&h).upper_fraction());
+        }
+    }
+    if !fracs.is_empty() {
+        let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        let max = fracs.iter().copied().fold(0.0, f64::max);
+        println!(
+            "HiSM upper-level storage overhead over {} multi-level matrices: \
+             avg {:.1}%, max {:.1}%   (paper: \"typically about 2-5%\")",
+            fracs.len(),
+            100.0 * avg,
+            100.0 * max
+        );
+    }
+    eprintln!("wrote results/summary.csv");
+}

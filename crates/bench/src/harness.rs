@@ -1,0 +1,206 @@
+//! Running both transposition kernels over benchmark matrices and
+//! summarizing speedups.
+
+use stm_core::kernels::{transpose_crs, transpose_hism};
+use stm_core::{StmConfig, TransposeReport};
+use stm_dsab::SuiteEntry;
+use stm_hism::{build, HismImage};
+use stm_sparse::Csr;
+use stm_vpsim::VpConfig;
+
+/// Machine + experiment configuration for a harness run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Vector processor parameters.
+    pub vp: VpConfig,
+    /// STM parameters (the paper's performance runs use `B = p = 4`,
+    /// `L = 4`, `s = 64`).
+    pub stm: StmConfig,
+    /// Functionally verify every simulated result against the host
+    /// oracles (slower; on by default — a cycle count for a wrong
+    /// transpose is worthless).
+    pub verify: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { vp: VpConfig::paper(), stm: StmConfig::default(), verify: true }
+    }
+}
+
+/// Both kernels' results for one matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// Matrix name from the suite.
+    pub name: String,
+    /// D-SAB metrics of the matrix.
+    pub metrics: stm_sparse::MatrixMetrics,
+    /// HiSM + STM kernel report.
+    pub hism: TransposeReport,
+    /// CRS baseline report.
+    pub crs: TransposeReport,
+}
+
+impl MatrixResult {
+    /// The paper's headline quantity: CRS cycles / HiSM cycles.
+    pub fn speedup(&self) -> f64 {
+        self.crs.cycles as f64 / self.hism.cycles.max(1) as f64
+    }
+}
+
+/// Runs both kernels on one suite entry.
+///
+/// Panics (with the matrix name) if verification is enabled and either
+/// kernel's simulated output disagrees with its host-side oracle.
+pub fn run_matrix(cfg: &RunConfig, entry: &SuiteEntry) -> MatrixResult {
+    // --- HiSM + STM ---------------------------------------------------
+    let h = build::from_coo(&entry.coo, cfg.stm.s)
+        .expect("suite matrices fit the section-size constraints");
+    let image = HismImage::encode(&h);
+    let (out_img, hism_report) = transpose_hism(&cfg.vp, cfg.stm, &image);
+    if cfg.verify {
+        let got = build::to_coo(&out_img.decode());
+        let expect = entry.coo.transpose_canonical();
+        assert!(
+            got == expect,
+            "HiSM kernel produced a wrong transpose for {}",
+            entry.name
+        );
+    }
+
+    // --- CRS baseline ---------------------------------------------------
+    let csr = Csr::from_coo(&entry.coo);
+    let (out_csr, crs_report) = transpose_crs(&cfg.vp, &csr);
+    if cfg.verify {
+        assert!(
+            out_csr == csr.transpose_pissanetsky(),
+            "CRS kernel produced a wrong transpose for {}",
+            entry.name
+        );
+    }
+
+    MatrixResult {
+        name: entry.name.clone(),
+        metrics: entry.metrics,
+        hism: hism_report,
+        crs: crs_report,
+    }
+}
+
+/// Runs a whole experiment set, one worker thread per matrix (bounded by
+/// the machine's parallelism). Results keep the set's order.
+pub fn run_set(cfg: &RunConfig, set: &[SuiteEntry]) -> Vec<MatrixResult> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<MatrixResult>> = (0..set.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<MatrixResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(set.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= set.len() {
+                    break;
+                }
+                let r = run_matrix(cfg, &set[i]);
+                **slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// Min / arithmetic-mean / max speedup over a result set — the numbers
+/// the paper quotes per figure ("the speedup is in the range from 1.8 to
+/// 32.0 with an average of 16.5").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupSummary {
+    /// Smallest speedup in the set.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Largest speedup in the set.
+    pub max: f64,
+}
+
+impl SpeedupSummary {
+    /// Summarizes a result set. Returns zeros for an empty set.
+    pub fn of(results: &[MatrixResult]) -> Self {
+        if results.is_empty() {
+            return SpeedupSummary { min: 0.0, avg: 0.0, max: 0.0 };
+        }
+        let speedups: Vec<f64> = results.iter().map(MatrixResult::speedup).collect();
+        SpeedupSummary {
+            min: speedups.iter().copied().fold(f64::INFINITY, f64::min),
+            avg: speedups.iter().sum::<f64>() / speedups.len() as f64,
+            max: speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_sparse::{gen, MatrixMetrics};
+
+    fn entry(name: &str, coo: stm_sparse::Coo) -> SuiteEntry {
+        let metrics = MatrixMetrics::compute(&coo);
+        SuiteEntry { name: name.into(), coo, metrics }
+    }
+
+    #[test]
+    fn run_matrix_verifies_and_reports() {
+        let cfg = RunConfig::default();
+        let e = entry("uniform", gen::random::uniform(200, 200, 1500, 3));
+        let r = run_matrix(&cfg, &e);
+        assert_eq!(r.hism.nnz, e.coo.nnz());
+        assert_eq!(r.crs.nnz, e.coo.nnz());
+        assert!(r.hism.cycles > 0 && r.crs.cycles > 0);
+        assert!(r.speedup() > 0.0);
+    }
+
+    #[test]
+    fn run_set_preserves_order() {
+        let cfg = RunConfig::default();
+        let set = vec![
+            entry("a", gen::structured::tridiagonal(100)),
+            entry("b", gen::random::uniform(128, 128, 600, 1)),
+            entry("c", gen::blocks::block_dense(128, 16, 6, 0.8, 2)),
+        ];
+        let results = run_set(&cfg, &set);
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn hism_beats_crs_on_a_blocky_matrix() {
+        // The paper's core claim, smoke-tested on a high-locality matrix.
+        let cfg = RunConfig::default();
+        let e = entry("blocky", gen::blocks::block_dense(512, 64, 12, 0.9, 7));
+        let r = run_matrix(&cfg, &e);
+        assert!(
+            r.speedup() > 2.0,
+            "expected a clear HiSM win, got {:.2}x",
+            r.speedup()
+        );
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let cfg = RunConfig::default();
+        let set = vec![
+            entry("x", gen::structured::diagonal(300)),
+            entry("y", gen::blocks::block_dense(256, 32, 8, 0.9, 9)),
+        ];
+        let results = run_set(&cfg, &set);
+        let s = SpeedupSummary::of(&results);
+        assert!(s.min <= s.avg && s.avg <= s.max);
+        assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = SpeedupSummary::of(&[]);
+        assert_eq!((s.min, s.avg, s.max), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! The experiment harness: everything needed to regenerate the paper's
+//! evaluation (Figs. 10–13 and the headline speedup summary) plus the
+//! ablation studies.
+//!
+//! Figure binaries (run with `--release`; add `--quick` or set
+//! `STM_SUITE=quick` for a fast smoke suite):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig10` | buffer bandwidth utilization vs `B` for `L ∈ {1,2,4,8}` |
+//! | `fig11` | cycles/nnz + speedup over the locality-sorted set |
+//! | `fig12` | same over the ANZ-sorted set |
+//! | `fig13` | same over the size-sorted set |
+//! | `summary` | per-set and overall speedup min/avg/max |
+//! | `ablate` | chaining / entry-width / memory-startup / L×B ablations |
+//!
+//! Each binary prints an aligned table and writes a CSV under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig10;
+pub mod harness;
+pub mod output;
+
+pub use harness::{run_matrix, run_set, MatrixResult, RunConfig, SpeedupSummary};
+
+use stm_dsab::{experiment_sets, full_catalogue, quick_catalogue, ExperimentSets};
+
+/// Chooses the suite from the CLI args / environment: `--quick` or
+/// `STM_SUITE=quick` selects the reduced catalogue (6 matrices per set),
+/// anything else runs the full 132-matrix catalogue with the paper's 10
+/// matrices per set.
+pub fn sets_from_env() -> (ExperimentSets, &'static str) {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("STM_SUITE").map(|v| v == "quick").unwrap_or(false);
+    if quick {
+        (experiment_sets(&quick_catalogue(), 6), "quick")
+    } else {
+        (experiment_sets(&full_catalogue(), 10), "full")
+    }
+}

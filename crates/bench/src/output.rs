@@ -1,0 +1,110 @@
+//! Table rendering and CSV output for the figure binaries.
+
+use crate::harness::MatrixResult;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders an aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file (creating the parent directory), headers first.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()
+}
+
+/// The standard per-matrix row of Figs. 11–13: name, the three metrics,
+/// both kernels' cycles/nnz, and the speedup.
+pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
+    results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.metrics.nnz.to_string(),
+                format!("{:.3}", r.metrics.locality),
+                format!("{:.2}", r.metrics.avg_nnz_per_row),
+                format!("{:.2}", r.hism.cycles_per_nnz()),
+                format!("{:.2}", r.crs.cycles_per_nnz()),
+                format!("{:.2}", r.speedup()),
+            ]
+        })
+        .collect()
+}
+
+/// Header row matching [`figure_rows`].
+pub const FIGURE_HEADERS: [&str; 7] =
+    ["matrix", "nnz", "locality", "anz", "hism_cyc/nnz", "crs_cyc/nnz", "speedup"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].ends_with("2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("stm_bench_test_csv");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

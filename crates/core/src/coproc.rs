@@ -1,0 +1,292 @@
+//! The STM as a vector-processor functional unit: the `icm`, `v_stcr` and
+//! `v_ldcc` instructions of the paper's Fig. 7, wired into the simulator
+//! engine.
+//!
+//! * `icm` — initialize the `s x s` memory (reset all non-zero indicators);
+//! * `v_stcr vr1, vr2` — store the elements of `vr1` row-wise into the
+//!   `s x s` memory at the positions carried by `vr2`, through the I/O
+//!   buffer (one buffer transfer of ≤ `B` elements within `L` consecutive
+//!   rows per cycle, then a 3-stage pipeline into the memory);
+//! * `v_ldcc vr1, vr2` — load the next elements *column-wise* from the
+//!   `s x s` memory: values into `vr1` and the **transposed** positions
+//!   into `vr2`, again batched by `B`/`L` over columns with a 3-stage
+//!   drain pipeline.
+//!
+//! Because the memory "has to be filled before it can be read back", the
+//! first `v_ldcc` after a write phase stalls until the last `v_stcr`
+//! element has landed — the unit is not fully pipelined across phases,
+//! exactly as the paper states.
+
+use crate::report::StmStats;
+use crate::sxs::SxsMemory;
+use crate::unit::{StmConfig, PHASE_PIPELINE_CYCLES};
+use stm_hism::image::{pack_pos, unpack_pos};
+use stm_vpsim::{Engine, Fu, VReg};
+
+/// The engine-integrated STM unit.
+#[derive(Debug, Clone)]
+pub struct StmCoprocessor {
+    cfg: StmConfig,
+    mem: SxsMemory,
+    /// Cycle at which the current fill completes (fill-before-read barrier).
+    fill_done: u64,
+    /// Column-major snapshot for the ongoing read phase + read cursor.
+    drain: Option<Vec<(u8, u8, u32)>>,
+    cursor: usize,
+    /// Entries written in the current block session (for stats).
+    session_entries: u64,
+    stats: StmStats,
+}
+
+impl StmCoprocessor {
+    /// Builds the unit. `cfg.s` must match the engine's section size
+    /// (checked at each instruction).
+    pub fn new(cfg: StmConfig) -> Self {
+        cfg.validate().expect("invalid STM configuration");
+        StmCoprocessor {
+            mem: SxsMemory::new(cfg.s),
+            cfg,
+            fill_done: 0,
+            drain: None,
+            cursor: 0,
+            session_entries: 0,
+            stats: StmStats::default(),
+        }
+    }
+
+    /// Hardware parameters.
+    pub fn cfg(&self) -> &StmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated unit statistics.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// `icm`: initialize the `s x s` memory for the next block. Ends the
+    /// previous block session.
+    pub fn icm(&mut self, e: &mut Engine) {
+        self.mem.clear();
+        self.drain = None;
+        self.cursor = 0;
+        self.fill_done = 0;
+        self.stats.sessions += 1;
+        self.session_entries = 0;
+        // One cycle on the STM port to flash-clear the indicator plane.
+        e.run_stream("icm", Fu::Stm, 0, 1, 0, 1, None);
+    }
+
+    /// `v_stcr`: stores `payload` elements at the `pos` positions into the
+    /// `s x s` memory (write phase). Chained on both sources.
+    pub fn v_stcr(&mut self, e: &mut Engine, payload: &VReg, pos: &VReg) {
+        assert_eq!(payload.len(), pos.len(), "vector length mismatch");
+        assert_eq!(self.cfg.s, e.cfg().section_size, "STM/engine section size mismatch");
+        let rows: Vec<u8> = pos.data.iter().map(|&p| unpack_pos(p).0).collect();
+        for (k, &p) in pos.data.iter().enumerate() {
+            let (r, c) = unpack_pos(p);
+            self.mem.insert(r, c, payload.data[k]);
+        }
+        self.drain = None; // memory changed: invalidate any old snapshot
+        let groups = group_sizes(&rows, self.cfg.b, self.cfg.l);
+        let input = e.chained_ready2(payload, pos);
+        let done =
+            e.run_batched("v_stcr", Fu::Stm, 0, PHASE_PIPELINE_CYCLES, &groups, Some(&input));
+        self.fill_done = self.fill_done.max(done.last().copied().unwrap_or(0));
+        self.stats.write_batches += groups.len() as u64;
+        self.stats.entries += payload.len() as u64;
+        self.session_entries += payload.len() as u64;
+    }
+
+    /// Elements still pending for the read phase of the current block.
+    pub fn remaining(&mut self) -> usize {
+        self.snapshot_len() - self.cursor
+    }
+
+    fn snapshot_len(&mut self) -> usize {
+        if self.drain.is_none() {
+            self.drain = Some(self.mem.drain_column_major());
+        }
+        self.drain.as_ref().unwrap().len()
+    }
+
+    /// `v_ldcc`: loads up to `vl` elements column-wise from the `s x s`
+    /// memory. Returns `(values, positions)` where the positions are the
+    /// *transposed* coordinates (`new row = old column`, `new col = old
+    /// row`), in row-major order of the new coordinates — i.e. the output
+    /// blockarray of the transposed block.
+    pub fn v_ldcc(&mut self, e: &mut Engine, vl: usize) -> (VReg, VReg) {
+        assert_eq!(self.cfg.s, e.cfg().section_size, "STM/engine section size mismatch");
+        // Fill-before-read: stall issue until the last write landed.
+        e.stall_until(self.fill_done);
+        let total = self.snapshot_len();
+        let n = vl.min(total - self.cursor);
+        let slice = &self.drain.as_ref().unwrap()[self.cursor..self.cursor + n];
+        self.cursor += n;
+        // `drain_column_major` yields (old_col, old_row, payload); the old
+        // column is the line being read and the new row coordinate.
+        let cols: Vec<u8> = slice.iter().map(|&(c, _, _)| c).collect();
+        let payload: Vec<u32> = slice.iter().map(|&(_, _, p)| p).collect();
+        let pos: Vec<u32> = slice.iter().map(|&(c, r, _)| pack_pos(c, r)).collect();
+        let groups = group_sizes(&cols, self.cfg.b, self.cfg.l);
+        let done = e.run_batched("v_ldcc", Fu::Stm, 0, PHASE_PIPELINE_CYCLES, &groups, None);
+        self.stats.read_batches += groups.len() as u64;
+        (VReg { data: payload, ready: done.clone() }, VReg { data: pos, ready: done })
+    }
+}
+
+/// Splits a non-decreasing line sequence into buffer transfers: each group
+/// takes up to `b` in-order elements within an `l`-line window anchored at
+/// the group's first element (same greedy rule as
+/// [`crate::unit::count_batches`]).
+pub fn group_sizes(lines: &[u8], b: u64, l: usize) -> Vec<usize> {
+    let mut groups = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let first = lines[i] as usize;
+        let mut taken = 0usize;
+        while i < lines.len() && (taken as u64) < b && (lines[i] as usize) < first + l {
+            i += 1;
+            taken += 1;
+        }
+        groups.push(taken);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_vpsim::{Memory, VpConfig};
+
+    fn setup(b: u64, l: usize) -> (Engine, StmCoprocessor) {
+        let mut cfg = VpConfig::paper();
+        cfg.section_size = 8;
+        let e = Engine::new(cfg, Memory::new());
+        let stm = StmCoprocessor::new(StmConfig { s: 8, b, l });
+        (e, stm)
+    }
+
+    fn vreg(data: Vec<u32>) -> VReg {
+        VReg::ready_at(data, 0)
+    }
+
+    #[test]
+    fn group_sizes_match_count_batches() {
+        let lines = [0u8, 0, 1, 3, 3, 3, 3, 3, 7];
+        for (b, l) in [(1u64, 1usize), (4, 1), (4, 4), (2, 8), (8, 2)] {
+            let g = group_sizes(&lines, b, l);
+            assert_eq!(g.len() as u64, crate::unit::count_batches(&lines, b, l));
+            assert_eq!(g.iter().sum::<usize>(), lines.len());
+        }
+    }
+
+    #[test]
+    fn write_then_read_transposes() {
+        let (mut e, mut stm) = setup(4, 1);
+        stm.icm(&mut e);
+        let payload = vreg(vec![10, 11, 12]);
+        let pos = vreg(vec![pack_pos(0, 3), pack_pos(1, 0), pack_pos(1, 3)]);
+        stm.v_stcr(&mut e, &payload, &pos);
+        let (vals, tpos) = stm.v_ldcc(&mut e, 8);
+        assert_eq!(vals.data, vec![11, 10, 12]);
+        assert_eq!(
+            tpos.data,
+            vec![pack_pos(0, 1), pack_pos(3, 0), pack_pos(3, 1)]
+        );
+        assert_eq!(stm.remaining(), 0);
+    }
+
+    #[test]
+    fn read_stalls_until_fill_completes() {
+        let (mut e, mut stm) = setup(1, 1);
+        stm.icm(&mut e);
+        // 6 elements in 6 different rows at B=1: 6 transfers + 3 pipeline.
+        let payload = vreg((0..6).collect());
+        let pos = vreg((0..6u32).map(|r| pack_pos(r as u8, 0)).collect());
+        stm.v_stcr(&mut e, &payload, &pos);
+        let fill_done = stm.fill_done;
+        assert!(fill_done >= 6 + PHASE_PIPELINE_CYCLES);
+        let (vals, _) = stm.v_ldcc(&mut e, 8);
+        // First read element cannot complete before the fill finished.
+        assert!(vals.ready[0] >= fill_done, "{} < {fill_done}", vals.ready[0]);
+    }
+
+    #[test]
+    fn strip_mined_reads_resume_at_cursor() {
+        let (mut e, mut stm) = setup(4, 8);
+        stm.icm(&mut e);
+        let n = 8usize;
+        let payload = vreg((0..n as u32).collect());
+        let pos = vreg((0..n).map(|k| pack_pos(k as u8, (7 - k) as u8)).collect());
+        stm.v_stcr(&mut e, &payload, &pos);
+        let (a, _) = stm.v_ldcc(&mut e, 5);
+        let (bv, _) = stm.v_ldcc(&mut e, 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(bv.len(), 3);
+        // Column-major of the anti-diagonal = reversed payload order.
+        let all: Vec<u32> = a.data.iter().chain(&bv.data).copied().collect();
+        assert_eq!(all, vec![7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bandwidth_b_speeds_up_dense_rows() {
+        let run = |b: u64| {
+            let (mut e, mut stm) = setup(b, 1);
+            stm.icm(&mut e);
+            // One full row of 8 elements.
+            let payload = vreg((0..8).collect());
+            let pos = vreg((0..8u32).map(|c| pack_pos(0, c as u8)).collect());
+            stm.v_stcr(&mut e, &payload, &pos);
+            let (_, _) = stm.v_ldcc(&mut e, 8);
+            e.cycles()
+        };
+        assert!(run(4) < run(1));
+    }
+
+    #[test]
+    fn l_lines_speed_up_scattered_rows() {
+        let run = |l: usize| {
+            let (mut e, mut stm) = setup(4, l);
+            stm.icm(&mut e);
+            // One element in each of 8 consecutive rows, same column.
+            let payload = vreg((0..8).collect());
+            let pos = vreg((0..8u32).map(|r| pack_pos(r as u8, 3)).collect());
+            stm.v_stcr(&mut e, &payload, &pos);
+            let (_, _) = stm.v_ldcc(&mut e, 8);
+            e.cycles()
+        };
+        // Write phase: L=4 groups 8 rows into 2 transfers vs 8; the read
+        // phase (one dense column) is unaffected by L here.
+        assert!(run(4) < run(1));
+    }
+
+    #[test]
+    fn stats_accumulate_across_blocks() {
+        let (mut e, mut stm) = setup(4, 4);
+        for _ in 0..3 {
+            stm.icm(&mut e);
+            let payload = vreg(vec![1, 2]);
+            let pos = vreg(vec![pack_pos(0, 0), pack_pos(0, 1)]);
+            stm.v_stcr(&mut e, &payload, &pos);
+            stm.v_ldcc(&mut e, 8);
+        }
+        let st = stm.stats();
+        assert_eq!(st.sessions, 3);
+        assert_eq!(st.entries, 6);
+        assert_eq!(st.write_batches, 3); // rows [0,0]: one transfer per block
+        assert_eq!(st.read_batches, 3); // cols [0,1] fit one L=4 window
+    }
+
+    #[test]
+    fn icm_resets_state_between_blocks() {
+        let (mut e, mut stm) = setup(4, 4);
+        stm.icm(&mut e);
+        let payload = vreg(vec![9]);
+        let pos = vreg(vec![pack_pos(5, 5)]);
+        stm.v_stcr(&mut e, &payload, &pos);
+        stm.v_ldcc(&mut e, 8);
+        stm.icm(&mut e);
+        assert_eq!(stm.remaining(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The recursive HiSM transposition kernel (paper Fig. 6, vector code of
+//! Fig. 7) on the simulated vector processor.
+//!
+//! Per `s²`-block at every level (strip-mined into sections of at most
+//! `s` elements, `ssvl`-style):
+//!
+//! ```text
+//! icm                     # clear the s x s memory indicators
+//! Loop1: v_ldb  → v_stcr  # stream blockarray row-wise into the unit
+//! Loop2: v_ldcc → v_stb   # drain column-wise, store transposed in place
+//! ```
+//!
+//! For levels ≥ 1, the paper additionally permutes the *lengths vector*
+//! through the unit (Fig. 6 lines 11–18) and then recurses into every
+//! child blockarray (lines 19–23). One deviation from the pseudo-code's
+//! line order, documented in DESIGN.md §2.3: the lengths pass must run
+//! **before** the pointer pass, because it needs the pre-transposition
+//! positions to permute the lengths consistently with the pointers. Cost
+//! is identical; Fig. 6 elides this detail.
+//!
+//! The transposition is in place: "the same memory location and amount as
+//! the original is needed to store the transposed block and therefore no
+//! allocation of memory for the transposed is needed" (Section IV-A).
+
+use crate::coproc::StmCoprocessor;
+use crate::report::{Phase, TransposeReport};
+use crate::unit::StmConfig;
+use stm_hism::image::{HismImage, RootDesc, WORDS_PER_ENTRY};
+use stm_vpsim::{Engine, Memory, VpConfig};
+
+/// Scalar cycles charged per child-block recursion step: loading the
+/// pointer and length words (two likely-hit scalar loads) plus call
+/// overhead. A model constant in the spirit of `VpConfig::loop_overhead`.
+pub const CHILD_CALL_OVERHEAD: u64 = 8;
+
+/// Simulates the HiSM transposition of `image` on a vector processor
+/// `vp_cfg` extended with an STM configured by `stm_cfg`.
+///
+/// Returns the transposed image (same layout, blockarrays permuted in
+/// place, root descriptor with swapped logical shape) and the report.
+///
+/// Panics if `stm_cfg.s`, `vp_cfg.section_size` and the image's section
+/// size disagree — the STM is sized by the architecture's section size.
+pub fn transpose_hism(
+    vp_cfg: &VpConfig,
+    stm_cfg: StmConfig,
+    image: &HismImage,
+) -> (HismImage, TransposeReport) {
+    assert_eq!(vp_cfg.section_size, stm_cfg.s, "engine/STM section size mismatch");
+    assert_eq!(
+        image.root.s as usize, stm_cfg.s,
+        "image section size mismatch"
+    );
+    let mut mem = Memory::with_capacity(image.words.len());
+    mem.write_block(0, &image.words);
+    let mut e = Engine::new(vp_cfg.clone(), mem);
+    let mut stm = StmCoprocessor::new(stm_cfg);
+
+    transpose_block(
+        &mut e,
+        &mut stm,
+        image.root.addr,
+        image.root.len as usize,
+        image.root.levels - 1,
+    );
+
+    let cycles = e.cycles();
+    let report = TransposeReport {
+        cycles,
+        nnz: image_nnz(image),
+        engine: *e.stats(),
+        scalar: None,
+        stm: Some(*stm.stats()),
+        phases: vec![Phase { name: "hism-transpose", cycles }],
+        fu_busy: *e.fu_busy(),
+    };
+    let mem = e.into_mem();
+    let out = HismImage {
+        words: mem.read_block(0, image.words.len()),
+        root: RootDesc {
+            rows: image.root.cols,
+            cols: image.root.rows,
+            ..image.root
+        },
+        pointer_sites: image.pointer_sites.clone(),
+    };
+    (out, report)
+}
+
+/// Leaf entries of an image = the matrix nnz (walks the hierarchy).
+pub fn image_nnz(image: &HismImage) -> usize {
+    fn walk(image: &HismImage, addr: u32, len: usize, level: u32) -> usize {
+        if level == 0 {
+            return len;
+        }
+        let mut total = 0;
+        for k in 0..len {
+            let ptr = image.words[(addr + 2 * k as u32) as usize];
+            let clen = image.words[(addr + 2 * len as u32 + k as u32) as usize];
+            total += walk(image, ptr, clen as usize, level - 1);
+        }
+        total
+    }
+    walk(image, image.root.addr, image.root.len as usize, image.root.levels - 1)
+}
+
+/// `transpose_block(BSA, BSL, LVL)` of Fig. 6.
+fn transpose_block(e: &mut Engine, stm: &mut StmCoprocessor, addr: u32, len: usize, level: u32) {
+    if len == 0 {
+        return;
+    }
+    let s = stm.cfg().s;
+    let lens_base = addr + WORDS_PER_ENTRY * len as u32;
+
+    if level > 0 {
+        // Lengths pass (Fig. 6 lines 11-18, run first — see module docs):
+        // permute the lengths vector through the s x s memory using the
+        // pre-transposition positions from the blockarray.
+        stm.icm(e);
+        let mut off = 0usize;
+        while off < len {
+            let vl = s.min(len - off); // ssvl
+            let (_ptrs, pos) = e.v_ld_pair(addr + WORDS_PER_ENTRY * off as u32, vl);
+            let lens = e.v_ld(lens_base + off as u32, vl);
+            stm.v_stcr(e, &lens, &pos);
+            e.loop_overhead();
+            off += vl;
+        }
+        let mut off = 0usize;
+        while off < len {
+            let vl = s.min(len - off);
+            let (lens_t, _pos_t) = stm.v_ldcc(e, vl);
+            e.v_st(lens_base + off as u32, &lens_t);
+            e.loop_overhead();
+            off += vl;
+        }
+    }
+
+    // Element/pointer pass (Fig. 6 lines 2-9 = the Fig. 7 vector code).
+    stm.icm(e);
+    let mut off = 0usize;
+    while off < len {
+        let vl = s.min(len - off);
+        let (vals, pos) = e.v_ld_pair(addr + WORDS_PER_ENTRY * off as u32, vl);
+        stm.v_stcr(e, &vals, &pos);
+        e.loop_overhead();
+        off += vl;
+    }
+    let mut off = 0usize;
+    while off < len {
+        let vl = s.min(len - off);
+        let (vals_t, pos_t) = stm.v_ldcc(e, vl);
+        e.v_st_pair(addr + WORDS_PER_ENTRY * off as u32, &vals_t, &pos_t);
+        e.loop_overhead();
+        off += vl;
+    }
+
+    if level > 0 {
+        // Recurse into every child (Fig. 6 lines 19-23). The pointer and
+        // length words were just rewritten in transposed order, so the
+        // (pointer, length) pairing read here is consistent.
+        for k in 0..len {
+            let ptr = e.mem().read(addr + WORDS_PER_ENTRY * k as u32);
+            let clen = e.mem().read(lens_base + k as u32) as usize;
+            e.scalar_cycles(CHILD_CALL_OVERHEAD);
+            transpose_block(e, stm, ptr, clen, level - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_hism::{build, transpose as href, HismImage};
+    use stm_sparse::{gen, Coo};
+
+    fn run(coo: &Coo, s: usize) -> (HismImage, TransposeReport) {
+        let h = build::from_coo(coo, s).unwrap();
+        let img = HismImage::encode(&h);
+        let mut vp = VpConfig::paper();
+        vp.section_size = s;
+        let stm_cfg = StmConfig { s, b: 4, l: 4 };
+        transpose_hism(&vp, stm_cfg, &img)
+    }
+
+    #[test]
+    fn single_block_matrix_transposes_functionally() {
+        let coo = Coo::from_triplets(
+            8,
+            8,
+            vec![(0, 3, 1.0), (2, 0, 2.0), (2, 7, 3.0), (7, 7, 4.0)],
+        )
+        .unwrap();
+        let (out, report) = run(&coo, 8);
+        let got = build::to_coo(&out.decode());
+        assert_eq!(got, coo.transpose_canonical());
+        assert_eq!(report.nnz, 4);
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn two_level_matrix_transposes_functionally() {
+        let coo = gen::random::uniform(50, 50, 300, 17);
+        let (out, report) = run(&coo, 8);
+        let got = build::to_coo(&out.decode());
+        assert_eq!(got, coo.transpose_canonical());
+        assert_eq!(report.nnz, coo.nnz());
+        let stm = report.stm.unwrap();
+        assert!(stm.sessions > 0);
+        assert!(stm.entries >= coo.nnz() as u64);
+    }
+
+    #[test]
+    fn three_level_matrix_transposes_functionally() {
+        let coo = gen::random::uniform(200, 70, 400, 23);
+        let (out, _) = run(&coo, 4); // 4^3 = 64 < 200 → 4 levels
+        let got = build::to_coo(&out.decode());
+        assert_eq!(got, coo.transpose_canonical());
+    }
+
+    #[test]
+    fn matches_software_reference_block_for_block() {
+        let coo = gen::blocks::block_dense(64, 8, 5, 0.6, 31);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let img = HismImage::encode(&h);
+        let mut vp = VpConfig::paper();
+        vp.section_size = 8;
+        let (out, _) = transpose_hism(&vp, StmConfig { s: 8, b: 4, l: 4 }, &img);
+        let reference = href::transpose(&h);
+        let expected = HismImage::encode(&reference);
+        // Same layout and in-place property ⇒ identical word images.
+        assert_eq!(out.words, expected.words);
+        assert_eq!(out.root, expected.root);
+    }
+
+    #[test]
+    fn double_transposition_restores_the_image() {
+        let coo = gen::rmat::rmat(6, 150, gen::rmat::RmatProbs::default(), 3);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let img = HismImage::encode(&h);
+        let mut vp = VpConfig::paper();
+        vp.section_size = 8;
+        let cfg = StmConfig { s: 8, b: 4, l: 4 };
+        let (once, _) = transpose_hism(&vp, cfg, &img);
+        let (twice, _) = transpose_hism(&vp, cfg, &once);
+        assert_eq!(twice.words, img.words);
+    }
+
+    #[test]
+    fn empty_matrix_costs_almost_nothing() {
+        let (out, report) = run(&Coo::new(8, 8), 8);
+        assert_eq!(out.decode().nnz(), 0);
+        assert!(report.cycles < 10, "cycles = {}", report.cycles);
+    }
+
+    #[test]
+    fn higher_bandwidth_is_not_slower() {
+        let coo = gen::blocks::block_dense(64, 16, 8, 0.9, 1);
+        let h = build::from_coo(&coo, 16).unwrap();
+        let img = HismImage::encode(&h);
+        let mut vp = VpConfig::paper();
+        vp.section_size = 16;
+        let cyc = |b: u64| {
+            transpose_hism(&vp, StmConfig { s: 16, b, l: 4 }, &img).1.cycles
+        };
+        assert!(cyc(4) <= cyc(1));
+        assert!(cyc(8) <= cyc(4));
+    }
+
+    #[test]
+    fn rectangular_matrices_work() {
+        let coo = gen::random::uniform(30, 100, 250, 9);
+        let (out, _) = run(&coo, 8);
+        assert_eq!(out.decode().shape(), (100, 30));
+        assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
+    }
+
+    #[test]
+    fn paper_default_section_size_64() {
+        let coo = gen::structured::grid2d_5pt(20, 20);
+        let (out, report) = run(&coo, 64);
+        assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
+        // 400x400 at s=64 → 2 levels → lengths sessions exist.
+        assert!(report.stm.unwrap().sessions > 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! The two transposition kernels the paper evaluates, both executing on
+//! the simulated vector processor — functionally (memory really gets
+//! transposed) and timed (cycle counts come out):
+//!
+//! * [`hism_transpose`] — the recursive HiSM kernel of the paper's
+//!   Fig. 6/7, using the STM functional unit;
+//! * [`crs_transpose`] — the vectorized Pissanetsky baseline of Fig. 9,
+//!   with its scalar histogram phase ([`histogram`]) and vectorized
+//!   scan-add ([`scan`]);
+//! * [`crs_scalar`] — the fully scalar Pissanetsky baseline (the
+//!   "traditional scalar architecture" of the paper's introduction);
+//! * [`hism_spmv`] / [`crs_spmv`] — simulated sparse matrix–vector
+//!   multiplication over both formats (the extension experiment backing
+//!   the paper's reference \[5\]).
+
+pub mod crs_scalar;
+pub mod crs_spmv;
+pub mod crs_transpose;
+pub mod dense_transpose;
+pub mod histogram;
+pub mod hism_spmv;
+pub mod hism_transpose;
+pub mod scan;
+
+pub use crs_scalar::transpose_crs_scalar;
+pub use crs_spmv::spmv_crs;
+pub use dense_transpose::transpose_dense;
+pub use crs_transpose::transpose_crs;
+pub use hism_spmv::spmv_hism;
+pub use hism_transpose::transpose_hism;

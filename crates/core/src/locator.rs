@@ -1,0 +1,183 @@
+//! The non-zero locator (paper Fig. 4).
+//!
+//! "The function of this circuit is to extract from a string of input bits
+//! (the non-zero indicators) the position of the first B 1's." When more
+//! than `B` non-zeros are present, the located ones are cleared and the
+//! circuit is applied again; when fewer than `B` are present, the
+//! zero-counters overflow, signalling the control logic to fetch the next
+//! line.
+//!
+//! Two implementations are provided and cross-tested:
+//!
+//! * [`first_ones`] — the behavioural specification (scan for set bits);
+//! * [`GateLocator`] — a structural model of the circuit: a log-depth
+//!   prefix-population-count network over the indicator bits followed by a
+//!   rank-select stage, which is how the adder tree of Fig. 4 computes
+//!   "the position of the j-th one".
+
+/// Behavioural locator: positions of the first `b` set bits of
+/// `indicators`, in increasing order (fewer if the string runs out — the
+/// circuit's "overflow" condition).
+pub fn first_ones(indicators: &[bool], b: usize) -> Vec<usize> {
+    indicators
+        .iter()
+        .enumerate()
+        .filter(|(_, &bit)| bit)
+        .take(b)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Structural model of the Fig. 4 circuit.
+///
+/// Stage 1 computes, for every bit position, the running count of ones up
+/// to and including that position with a Kogge–Stone-style prefix network
+/// (`ceil(log2 n)` levels of adders — the "0-counter" tree). Stage 2
+/// selects, for each output port `j < B`, the position whose prefix count
+/// is exactly `j + 1` and whose own bit is set.
+#[derive(Debug, Clone)]
+pub struct GateLocator {
+    width: usize,
+}
+
+impl GateLocator {
+    /// A locator over indicator strings of `width` bits.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "locator width must be positive");
+        GateLocator { width }
+    }
+
+    /// The prefix-count network: element `i` of the result is the number
+    /// of ones in `bits[0..=i]`. Exposed for the depth test.
+    pub fn prefix_counts(&self, bits: &[bool]) -> Vec<u32> {
+        assert_eq!(bits.len(), self.width, "indicator width mismatch");
+        let mut counts: Vec<u32> = bits.iter().map(|&b| b as u32).collect();
+        // Kogge-Stone: after level k, counts[i] covers a window of 2^(k+1).
+        let mut stride = 1;
+        while stride < self.width {
+            let prev = counts.clone();
+            for i in stride..self.width {
+                counts[i] = prev[i] + prev[i - stride];
+            }
+            stride *= 2;
+        }
+        counts
+    }
+
+    /// Number of adder levels of the prefix network.
+    pub fn depth(&self) -> u32 {
+        self.width.next_power_of_two().trailing_zeros()
+    }
+
+    /// The full circuit: positions of the first `b` ones.
+    pub fn locate(&self, bits: &[bool], b: usize) -> Vec<usize> {
+        let counts = self.prefix_counts(bits);
+        let mut out = Vec::with_capacity(b);
+        for j in 0..b as u32 {
+            // Rank-select: the unique position with bit set and prefix
+            // count j+1 (a priority-encoder row in hardware).
+            if let Some(i) =
+                (0..self.width).find(|&i| bits[i] && counts[i] == j + 1)
+            {
+                out.push(i);
+            } else {
+                break; // zero-counter overflow: fewer than b ones left
+            }
+        }
+        out
+    }
+}
+
+/// Iterates the locator the way the control logic does: repeatedly extract
+/// up to `b` ones (clearing them) until the string is exhausted; returns
+/// the groups. The number of groups is the cycle count the locator
+/// contributes for one line.
+pub fn locate_all_groups(indicators: &[bool], b: usize) -> Vec<Vec<usize>> {
+    assert!(b > 0);
+    let mut bits = indicators.to_vec();
+    let mut groups = Vec::new();
+    loop {
+        let g = first_ones(&bits, b);
+        if g.is_empty() {
+            break;
+        }
+        for &i in &g {
+            bits[i] = false; // "the located non-zeros are set to zero"
+        }
+        groups.push(g);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(pattern: &[usize], width: usize) -> Vec<bool> {
+        let mut v = vec![false; width];
+        for &i in pattern {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn behavioural_finds_first_b() {
+        let v = bits(&[2, 5, 6, 40], 64);
+        assert_eq!(first_ones(&v, 3), vec![2, 5, 6]);
+        assert_eq!(first_ones(&v, 8), vec![2, 5, 6, 40]);
+        assert_eq!(first_ones(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn gate_model_matches_behavioural_exhaustively_at_width_8() {
+        let loc = GateLocator::new(8);
+        for mask in 0u32..256 {
+            let v: Vec<bool> = (0..8).map(|i| mask >> i & 1 == 1).collect();
+            for b in 1..=8 {
+                assert_eq!(loc.locate(&v, b), first_ones(&v, b), "mask={mask} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_model_matches_behavioural_at_width_64() {
+        let loc = GateLocator::new(64);
+        let v = bits(&[0, 1, 13, 31, 32, 63], 64);
+        for b in [1, 2, 4, 8] {
+            assert_eq!(loc.locate(&v, b), first_ones(&v, b));
+        }
+    }
+
+    #[test]
+    fn prefix_counts_are_inclusive_popcounts() {
+        let loc = GateLocator::new(8);
+        let v = bits(&[1, 2, 7], 8);
+        assert_eq!(loc.prefix_counts(&v), vec![0, 1, 2, 2, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        assert_eq!(GateLocator::new(64).depth(), 6);
+        assert_eq!(GateLocator::new(8).depth(), 3);
+        assert_eq!(GateLocator::new(1).depth(), 0);
+    }
+
+    #[test]
+    fn groups_partition_the_ones() {
+        let v = bits(&[0, 3, 4, 9, 10, 11, 12], 16);
+        let groups = locate_all_groups(&v, 4);
+        assert_eq!(groups, vec![vec![0, 3, 4, 9], vec![10, 11, 12]]);
+    }
+
+    #[test]
+    fn empty_string_yields_no_groups() {
+        assert!(locate_all_groups(&[false; 16], 4).is_empty());
+    }
+
+    #[test]
+    fn group_count_is_ceil_ones_over_b() {
+        let v = bits(&(0..13).collect::<Vec<_>>(), 32);
+        assert_eq!(locate_all_groups(&v, 4).len(), 4); // ceil(13/4)
+    }
+}

@@ -1,0 +1,143 @@
+//! The `s x s` in-processor memory: one 32-bit payload plane plus the
+//! non-zero indicator plane (paper Fig. 3).
+
+use crate::locator::first_ones;
+
+/// The STM's central storage. `payload` is a value word (level 0) or a
+/// pointer word (upper levels) — the unit never interprets it.
+#[derive(Debug, Clone)]
+pub struct SxsMemory {
+    s: usize,
+    payload: Vec<u32>,
+    nz: Vec<bool>,
+}
+
+impl SxsMemory {
+    /// A cleared `s x s` memory.
+    pub fn new(s: usize) -> Self {
+        assert!((2..=256).contains(&s), "section size out of range");
+        SxsMemory { s, payload: vec![0; s * s], nz: vec![false; s * s] }
+    }
+
+    /// Block dimension.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// The `icm` instruction: reset every non-zero indicator.
+    pub fn clear(&mut self) {
+        self.nz.fill(false);
+    }
+
+    /// Inserts one element (write phase). Overwrites silently — two
+    /// entries at one position inside a blockarray would be a malformed
+    /// input, caught by HiSM validation upstream.
+    pub fn insert(&mut self, row: u8, col: u8, payload: u32) {
+        let idx = self.index(row, col);
+        self.payload[idx] = payload;
+        self.nz[idx] = true;
+    }
+
+    /// Number of set indicators.
+    pub fn count(&self) -> usize {
+        self.nz.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether position `(row, col)` holds an element.
+    pub fn occupied(&self, row: u8, col: u8) -> bool {
+        self.nz[self.index(row, col)]
+    }
+
+    /// Reads column `col` top-to-bottom through the non-zero locator:
+    /// returns `(row, payload)` pairs in increasing row order.
+    pub fn read_column(&self, col: u8) -> Vec<(u8, u32)> {
+        let col_bits: Vec<bool> =
+            (0..self.s).map(|r| self.nz[r * self.s + col as usize]).collect();
+        first_ones(&col_bits, self.s)
+            .into_iter()
+            .map(|r| (r as u8, self.payload[r * self.s + col as usize]))
+            .collect()
+    }
+
+    /// Reads row `row` left-to-right through the non-zero locator.
+    pub fn read_row(&self, row: u8) -> Vec<(u8, u32)> {
+        let row_bits: Vec<bool> = (0..self.s)
+            .map(|c| self.nz[row as usize * self.s + c])
+            .collect();
+        first_ones(&row_bits, self.s)
+            .into_iter()
+            .map(|c| (c as u8, self.payload[row as usize * self.s + c]))
+            .collect()
+    }
+
+    /// Drains the memory column-major: the read phase's element sequence,
+    /// as `(col, row, payload)` triples in (col, row) order.
+    pub fn drain_column_major(&self) -> Vec<(u8, u8, u32)> {
+        let mut out = Vec::with_capacity(self.count());
+        for c in 0..self.s as u8 {
+            for (r, p) in self.read_column(c) {
+                out.push((c, r, p));
+            }
+        }
+        out
+    }
+
+    fn index(&self, row: u8, col: u8) -> usize {
+        let (r, c) = (row as usize, col as usize);
+        assert!(r < self.s && c < self.s, "position ({r},{c}) outside s={}", self.s);
+        r * self.s + c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut m = SxsMemory::new(8);
+        m.insert(1, 2, 100);
+        m.insert(5, 2, 200);
+        m.insert(1, 7, 300);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.read_column(2), vec![(1, 100), (5, 200)]);
+        assert_eq!(m.read_row(1), vec![(2, 100), (7, 300)]);
+        assert!(m.occupied(1, 2));
+        assert!(!m.occupied(0, 0));
+    }
+
+    #[test]
+    fn clear_resets_indicators() {
+        let mut m = SxsMemory::new(4);
+        m.insert(0, 0, 1);
+        m.clear();
+        assert_eq!(m.count(), 0);
+        assert!(m.read_column(0).is_empty());
+    }
+
+    #[test]
+    fn drain_is_column_major_transposed_order() {
+        let mut m = SxsMemory::new(4);
+        // Insert row-wise: (0,1), (0,3), (2,1).
+        m.insert(0, 1, 10);
+        m.insert(0, 3, 11);
+        m.insert(2, 1, 12);
+        // Column-major: col1 rows 0,2; col3 row 0.
+        assert_eq!(m.drain_column_major(), vec![(1, 0, 10), (1, 2, 12), (3, 0, 11)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_insert_panics() {
+        SxsMemory::new(4).insert(4, 0, 1);
+    }
+
+    #[test]
+    fn overwrite_is_silent() {
+        let mut m = SxsMemory::new(4);
+        m.insert(1, 1, 1);
+        m.insert(1, 1, 2);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.read_row(1), vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's selection procedure: sort by a criterion, then choose
+//! entries "with the equal steps (in logarithmic scale) between their
+//! corresponding parameters" (Section IV-B, including the footnote on why
+//! the scale is logarithmic).
+
+use stm_sparse::MatrixMetrics;
+
+/// The three D-SAB sorting criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Matrix size: number of non-zeros (Fig. 13's axis).
+    Size,
+    /// Locality (Fig. 11's axis).
+    Locality,
+    /// Average non-zeros per row (Fig. 12's axis).
+    AvgNnzPerRow,
+}
+
+impl Criterion {
+    /// Extracts the criterion value from a metrics record.
+    pub fn value(self, m: &MatrixMetrics) -> f64 {
+        match self {
+            Criterion::Size => m.nnz as f64,
+            Criterion::Locality => m.locality,
+            Criterion::AvgNnzPerRow => m.avg_nnz_per_row,
+        }
+    }
+}
+
+/// Picks `k` catalogue indices whose `values` are as close as possible to
+/// `k` log-spaced targets between the minimum and maximum value. Returns
+/// the indices ordered by increasing value (the order the figures plot).
+///
+/// Zero or negative values are clamped to the smallest positive value
+/// before taking logs (locality can be 0 for an empty matrix).
+pub fn log_spaced_picks(values: &[f64], k: usize) -> Vec<usize> {
+    assert!(k >= 1, "need at least one pick");
+    assert!(values.len() >= k, "catalogue smaller than requested picks");
+    let floor = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0);
+    let logs: Vec<f64> = values.iter().map(|&v| v.max(floor).ln()).collect();
+    let lo = logs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    let mut picked: Vec<usize> = Vec::with_capacity(k);
+    let mut used = vec![false; values.len()];
+    for step in 0..k {
+        let target = if k == 1 { lo } else { lo + (hi - lo) * step as f64 / (k - 1) as f64 };
+        let best = logs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .min_by(|(_, a), (_, b)| {
+                ((*a - target).abs()).partial_cmp(&((*b - target).abs())).unwrap()
+            })
+            .map(|(i, _)| i)
+            .expect("picks exhausted the catalogue");
+        used[best] = true;
+        picked.push(best);
+    }
+    picked.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_extremes_and_interior() {
+        let values: Vec<f64> = (0..20).map(|i| 2f64.powi(i)).collect();
+        let picks = log_spaced_picks(&values, 5);
+        assert_eq!(picks.len(), 5);
+        assert_eq!(picks[0], 0);
+        assert_eq!(picks[4], 19);
+        // Log-spaced over 2^0..2^19 in 5 steps ≈ indices 0,5,10,14,19.
+        for w in picks.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((4..=6).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn picks_are_distinct() {
+        let values = vec![1.0, 1.0, 1.0, 1.0, 10.0];
+        let picks = log_spaced_picks(&values, 4);
+        let mut sorted = picks.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn single_pick_takes_minimum() {
+        let values = vec![5.0, 2.0, 9.0];
+        assert_eq!(log_spaced_picks(&values, 1), vec![1]);
+    }
+
+    #[test]
+    fn handles_zero_values() {
+        let values = vec![0.0, 1.0, 100.0];
+        let picks = log_spaced_picks(&values, 3);
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "catalogue smaller")]
+    fn too_many_picks_panics() {
+        log_spaced_picks(&[1.0], 2);
+    }
+
+    #[test]
+    fn result_is_sorted_by_value() {
+        let values = vec![100.0, 1.0, 10.0, 1000.0, 3.0, 30.0];
+        let picks = log_spaced_picks(&values, 4);
+        for w in picks.windows(2) {
+            assert!(values[w[0]] <= values[w[1]]);
+        }
+    }
+
+    #[test]
+    fn criterion_extractors() {
+        let m = MatrixMetrics { nnz: 10, locality: 2.5, avg_nnz_per_row: 4.0 };
+        assert_eq!(Criterion::Size.value(&m), 10.0);
+        assert_eq!(Criterion::Locality.value(&m), 2.5);
+        assert_eq!(Criterion::AvgNnzPerRow.value(&m), 4.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Building HiSM matrices from COO and flattening them back.
+
+use crate::matrix::{BlockData, HismBlock, HismMatrix, LeafEntry, NodeEntry};
+use stm_sparse::{Coo, FormatError};
+
+/// Number of hierarchy levels for an `rows x cols` matrix at section size
+/// `s`: `q = max(⌈log_s rows⌉, ⌈log_s cols⌉)`, at least 1 (the paper pads
+/// the matrix with zeros to `s^q x s^q`).
+pub fn levels_for(rows: usize, cols: usize, s: usize) -> usize {
+    assert!(s >= 2);
+    let dim = rows.max(cols).max(1);
+    let mut q = 1usize;
+    let mut span = s;
+    while span < dim {
+        span *= s;
+        q += 1;
+    }
+    q
+}
+
+/// Builds a HiSM matrix from a COO matrix with section size `s`
+/// (2 ..= 256, since in-block positions are stored in 8 bits).
+///
+/// The input is canonicalized first (duplicates summed, zeros dropped).
+/// Children are emitted into the arena before their parents (post-order),
+/// so the root is always the last block — the same order the memory-image
+/// serializer uses.
+///
+/// ```
+/// use stm_sparse::Coo;
+/// let coo = Coo::from_triplets(100, 100, vec![(0, 0, 1.0), (99, 99, 2.0)]).unwrap();
+/// let h = stm_hism::build::from_coo(&coo, 64).unwrap();
+/// assert_eq!(h.levels(), 2);          // 100 > 64 → two levels
+/// assert_eq!(h.get(99, 99), Some(2.0));
+/// assert_eq!(stm_hism::build::to_coo(&h), coo);
+/// ```
+pub fn from_coo(coo: &Coo, s: usize) -> Result<HismMatrix, FormatError> {
+    if !(2..=256).contains(&s) {
+        return Err(FormatError::Parse(format!(
+            "section size {s} outside the supported 2..=256 range"
+        )));
+    }
+    let mut canon = coo.clone();
+    canon.canonicalize();
+    let (rows, cols) = canon.shape();
+    let levels = levels_for(rows, cols, s);
+    let mut blocks: Vec<HismBlock> = Vec::new();
+    let entries = canon.entries();
+    let root = build_block(entries, levels - 1, (0, 0), s, &mut blocks);
+    let nnz = canon.nnz();
+    let m = HismMatrix { s, rows, cols, levels, blocks, root, nnz };
+    debug_assert_eq!(m.validate(), Ok(()));
+    Ok(m)
+}
+
+/// Recursively builds the block at `level` covering the `s^(level+1)` -wide
+/// square at `origin`, from row-major-sorted triplets. Returns the arena
+/// index. An empty triplet slice still creates the (empty) block when it is
+/// the root, so that empty matrices are representable.
+fn build_block(
+    entries: &[(usize, usize, f32)],
+    level: usize,
+    origin: (usize, usize),
+    s: usize,
+    arena: &mut Vec<HismBlock>,
+) -> usize {
+    if level == 0 {
+        let mut leaf: Vec<LeafEntry> = entries
+            .iter()
+            .map(|&(r, c, v)| LeafEntry {
+                row: (r - origin.0) as u8,
+                col: (c - origin.1) as u8,
+                value: v,
+            })
+            .collect();
+        leaf.sort_by_key(|e| (e.row, e.col));
+        arena.push(HismBlock { level: 0, data: BlockData::Leaf(leaf) });
+        return arena.len() - 1;
+    }
+    let step = s.pow(level as u32);
+    // Group triplets by their in-block coordinate at this level: tag each
+    // with its key, sort by key (O(z log z)), and split into runs —
+    // avoids a per-entry linear scan over the occupied-block list.
+    let mut tagged: Vec<((u8, u8), (usize, usize, f32))> = entries
+        .iter()
+        .map(|&(r, c, v)| {
+            ((((r - origin.0) / step) as u8, ((c - origin.1) / step) as u8), (r, c, v))
+        })
+        .collect();
+    tagged.sort_by_key(|&(key, (r, c, _))| (key, r, c));
+    let mut node: Vec<NodeEntry> = Vec::new();
+    let mut i = 0usize;
+    while i < tagged.len() {
+        let key = tagged[i].0;
+        let mut j = i;
+        while j < tagged.len() && tagged[j].0 == key {
+            j += 1;
+        }
+        let bucket: Vec<(usize, usize, f32)> = tagged[i..j].iter().map(|&(_, e)| e).collect();
+        let (br, bc) = key;
+        let child_origin = (origin.0 + br as usize * step, origin.1 + bc as usize * step);
+        let child = build_block(&bucket, level - 1, child_origin, s, arena);
+        node.push(NodeEntry { row: br, col: bc, child });
+        i = j;
+    }
+    arena.push(HismBlock { level, data: BlockData::Node(node) });
+    arena.len() - 1
+}
+
+/// Flattens a HiSM matrix back to canonical COO.
+pub fn to_coo(h: &HismMatrix) -> Coo {
+    let mut coo = Coo::new(h.rows(), h.cols());
+    collect(h, h.root(), h.levels() - 1, (0, 0), &mut coo);
+    coo.canonicalize();
+    coo
+}
+
+fn collect(h: &HismMatrix, block: usize, level: usize, origin: (usize, usize), out: &mut Coo) {
+    let step = h.section_size().pow(level as u32);
+    match &h.blocks()[block].data {
+        BlockData::Leaf(entries) => {
+            for e in entries {
+                out.push(origin.0 + e.row as usize, origin.1 + e.col as usize, e.value);
+            }
+        }
+        BlockData::Node(entries) => {
+            for e in entries {
+                let child_origin =
+                    (origin.0 + e.row as usize * step, origin.1 + e.col as usize * step);
+                collect(h, e.child, level - 1, child_origin, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_sparse::gen;
+
+    #[test]
+    fn levels_formula_matches_paper() {
+        // s=64: up to 64 → 1 level; up to 4096 → 2; up to 262144 → 3.
+        assert_eq!(levels_for(64, 64, 64), 1);
+        assert_eq!(levels_for(65, 1, 64), 2);
+        assert_eq!(levels_for(4096, 4096, 64), 2);
+        assert_eq!(levels_for(4097, 1, 64), 3);
+        assert_eq!(levels_for(1, 1, 64), 1);
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let coo = Coo::from_triplets(
+            7,
+            13,
+            vec![(0, 12, 1.0), (6, 0, 2.0), (3, 3, 3.0)],
+        )
+        .unwrap();
+        let h = from_coo(&coo, 4).unwrap();
+        h.validate().unwrap();
+        let mut orig = coo;
+        orig.canonicalize();
+        assert_eq!(to_coo(&h), orig);
+    }
+
+    #[test]
+    fn round_trip_generator_families() {
+        for (i, coo) in [
+            gen::structured::tridiagonal(200),
+            gen::random::uniform(150, 150, 900, 5),
+            gen::blocks::block_dense(128, 16, 6, 0.8, 6),
+            gen::rmat::rmat(7, 500, gen::rmat::RmatProbs::default(), 7),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for s in [4usize, 8, 64] {
+                let h = from_coo(&coo, s).unwrap();
+                h.validate().unwrap();
+                let mut orig = coo.clone();
+                orig.canonicalize();
+                assert_eq!(to_coo(&h), orig, "family {i}, s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_representable() {
+        let h = from_coo(&Coo::new(100, 100), 8).unwrap();
+        assert_eq!(h.nnz(), 0);
+        assert_eq!(to_coo(&h).nnz(), 0);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn single_level_when_matrix_fits_one_block() {
+        let coo = Coo::from_triplets(5, 5, vec![(4, 4, 1.0)]).unwrap();
+        let h = from_coo(&coo, 8).unwrap();
+        assert_eq!(h.levels(), 1);
+        assert_eq!(h.blocks().len(), 1);
+    }
+
+    #[test]
+    fn rejects_oversized_section() {
+        assert!(from_coo(&Coo::new(2, 2), 512).is_err());
+        assert!(from_coo(&Coo::new(2, 2), 1).is_err());
+    }
+
+    #[test]
+    fn post_order_children_before_parents() {
+        let coo = gen::random::uniform(100, 100, 300, 1);
+        let h = from_coo(&coo, 8).unwrap();
+        for (i, b) in h.blocks().iter().enumerate() {
+            if let BlockData::Node(v) = &b.data {
+                for e in v {
+                    assert!(e.child < i, "child after parent");
+                }
+            }
+        }
+        assert_eq!(h.root(), h.blocks().len() - 1);
+    }
+
+    #[test]
+    fn three_level_hierarchy() {
+        // s=4, dim 70 → q=3 (4^2=16 < 70 <= 64? no: 4^3 = 64 < 70 → q=4).
+        assert_eq!(levels_for(70, 70, 4), 4);
+        let coo = Coo::from_triplets(70, 70, vec![(69, 69, 1.0), (0, 0, 2.0)]).unwrap();
+        let h = from_coo(&coo, 4).unwrap();
+        assert_eq!(h.levels(), 4);
+        assert_eq!(h.get(69, 69), Some(1.0));
+        let mut orig = coo;
+        orig.canonicalize();
+        assert_eq!(to_coo(&h), orig);
+    }
+}

@@ -1,0 +1,362 @@
+//! The flat memory image of a HiSM matrix — what the simulated vector
+//! processor actually operates on.
+//!
+//! Layout (32-bit words, addresses are word offsets from the image base):
+//!
+//! * A blockarray of length `n` occupies `2n` words: entry `k` is the pair
+//!   `[payload_k, pos_k]`, where `payload` is the value's bit pattern
+//!   (level 0) or the child blockarray's word address (levels ≥ 1), and
+//!   `pos = row << 8 | col` packs the 8-bit in-block coordinates.
+//! * For levels ≥ 1 the paper's *lengths vector* — `n` words, the k-th
+//!   holding the entry count of the k-th child — is stored immediately
+//!   after the blockarray (at `addr + 2n`).
+//! * Blocks are laid out in post-order (children before parents), so every
+//!   pointer refers backwards; the root blockarray is last and is described
+//!   by the external [`RootDesc`].
+//!
+//! The paper packs value + positions into 48 bits; we use two aligned
+//! 32-bit words per entry. The cycle model accounts for this via
+//! `VpConfig::words_per_entry` (see DESIGN.md, "Deliberate model
+//! interpretations").
+
+use crate::matrix::{BlockData, HismBlock, HismMatrix, LeafEntry, NodeEntry};
+use stm_sparse::Value;
+
+/// Words per blockarray entry in the image (`[payload, pos]`).
+pub const WORDS_PER_ENTRY: u32 = 2;
+
+/// Packs in-block coordinates into a position word (`row << 8 | col`).
+pub fn pack_pos(row: u8, col: u8) -> u32 {
+    (row as u32) << 8 | col as u32
+}
+
+/// Unpacks a position word into `(row, col)`.
+pub fn unpack_pos(pos: u32) -> (u8, u8) {
+    (((pos >> 8) & 0xff) as u8, (pos & 0xff) as u8)
+}
+
+/// Swaps the row/col fields of a position word — the STM's core data
+/// transformation.
+pub fn swap_pos(pos: u32) -> u32 {
+    let (r, c) = unpack_pos(pos);
+    pack_pos(c, r)
+}
+
+/// The root descriptor the paper keeps outside the image: "the matrix can
+/// be referred to in terms of the memory position of the start of the top
+/// level s²-blockarray and its length".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootDesc {
+    /// Word address of the root blockarray.
+    pub addr: u32,
+    /// Entry count of the root blockarray.
+    pub len: u32,
+    /// Number of hierarchy levels `q`.
+    pub levels: u32,
+    /// Logical rows (pre-padding).
+    pub rows: u32,
+    /// Logical columns (pre-padding).
+    pub cols: u32,
+    /// Section size `s`.
+    pub s: u32,
+}
+
+/// A serialized HiSM matrix: the word image plus its root descriptor and
+/// the relocation table (word indices that hold child addresses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HismImage {
+    /// The image words. Addresses in [`RootDesc`] and in pointer entries
+    /// are relative to index 0 of this vector (i.e. the image is linked
+    /// for base address 0).
+    pub words: Vec<u32>,
+    /// Root descriptor.
+    pub root: RootDesc,
+    /// Word indices that contain child addresses, for [`HismImage::relocate`].
+    pub pointer_sites: Vec<u32>,
+}
+
+impl HismImage {
+    /// Serializes a HiSM matrix (blocks are already in post-order in the
+    /// arena, so arena order is the layout order).
+    pub fn encode(h: &HismMatrix) -> HismImage {
+        let mut words: Vec<u32> = Vec::new();
+        let mut pointer_sites: Vec<u32> = Vec::new();
+        let mut addr_of: Vec<u32> = vec![u32::MAX; h.blocks().len()];
+        for (i, b) in h.blocks().iter().enumerate() {
+            let addr = words.len() as u32;
+            addr_of[i] = addr;
+            match &b.data {
+                BlockData::Leaf(entries) => {
+                    for e in entries {
+                        words.push(e.value.to_bits());
+                        words.push(pack_pos(e.row, e.col));
+                    }
+                }
+                BlockData::Node(entries) => {
+                    for e in entries {
+                        pointer_sites.push(words.len() as u32);
+                        words.push(addr_of[e.child]);
+                        words.push(pack_pos(e.row, e.col));
+                    }
+                    for e in entries {
+                        words.push(h.blocks()[e.child].len() as u32);
+                    }
+                }
+            }
+        }
+        let root = RootDesc {
+            addr: addr_of[h.root()],
+            len: h.root_block().len() as u32,
+            levels: h.levels() as u32,
+            rows: h.rows() as u32,
+            cols: h.cols() as u32,
+            s: h.section_size() as u32,
+        };
+        HismImage { words, root, pointer_sites }
+    }
+
+    /// Rebuilds the host structure from the image. Works on images whose
+    /// blockarrays were permuted in place (e.g. by the simulated STM), as
+    /// long as the `(pointer, length)` pairing is consistent.
+    ///
+    /// Panics on a corrupted image; use [`HismImage::try_decode`] when the
+    /// image comes from an untrusted source.
+    pub fn decode(&self) -> HismMatrix {
+        self.try_decode().expect("corrupted HiSM image")
+    }
+
+    /// Fallible decode: returns a description of the first corruption
+    /// found (out-of-bounds pointer or length, position outside the
+    /// block, runaway total size) instead of panicking.
+    pub fn try_decode(&self) -> Result<HismMatrix, String> {
+        if self.root.levels == 0 {
+            return Err("root descriptor declares zero levels".into());
+        }
+        if !(2..=256).contains(&(self.root.s as usize)) {
+            return Err(format!("section size {} out of range", self.root.s));
+        }
+        let mut blocks: Vec<HismBlock> = Vec::new();
+        // A valid image never holds more entries than words/2; use that
+        // as a runaway guard against cyclic pointer corruption.
+        let mut budget = self.words.len() as u64 / 2 + 1;
+        let root = self.decode_block(
+            self.root.addr,
+            self.root.len,
+            self.root.levels - 1,
+            &mut blocks,
+            &mut budget,
+        )?;
+        let nnz = blocks
+            .iter()
+            .map(|b| if b.level == 0 { b.len() } else { 0 })
+            .sum();
+        Ok(HismMatrix {
+            s: self.root.s as usize,
+            rows: self.root.rows as usize,
+            cols: self.root.cols as usize,
+            levels: self.root.levels as usize,
+            blocks,
+            root,
+            nnz,
+        })
+    }
+
+    fn word(&self, addr: usize) -> Result<u32, String> {
+        self.words
+            .get(addr)
+            .copied()
+            .ok_or_else(|| format!("image read past end at word {addr}"))
+    }
+
+    fn decode_block(
+        &self,
+        addr: u32,
+        len: u32,
+        level: u32,
+        arena: &mut Vec<HismBlock>,
+        budget: &mut u64,
+    ) -> Result<usize, String> {
+        let base = addr as usize;
+        if (len as u64) > *budget {
+            return Err("image hierarchy larger than the image itself (cycle?)".into());
+        }
+        *budget -= len as u64;
+        let s = self.root.s as u8;
+        let check_pos = |row: u8, col: u8| -> Result<(), String> {
+            if (s as usize) < 256 && (row >= s || col >= s) {
+                return Err(format!("position ({row},{col}) outside s={s} block"));
+            }
+            Ok(())
+        };
+        if level == 0 {
+            let mut leaf: Vec<LeafEntry> = Vec::with_capacity(len as usize);
+            for k in 0..len as usize {
+                let v = Value::from_bits(self.word(base + 2 * k)?);
+                let (row, col) = unpack_pos(self.word(base + 2 * k + 1)?);
+                check_pos(row, col)?;
+                leaf.push(LeafEntry { row, col, value: v });
+            }
+            leaf.sort_by_key(|e| (e.row, e.col));
+            arena.push(HismBlock { level: 0, data: BlockData::Leaf(leaf) });
+        } else {
+            let lens_base = base + 2 * len as usize;
+            let mut node: Vec<NodeEntry> = Vec::with_capacity(len as usize);
+            for k in 0..len as usize {
+                let child_addr = self.word(base + 2 * k)?;
+                let (row, col) = unpack_pos(self.word(base + 2 * k + 1)?);
+                check_pos(row, col)?;
+                let child_len = self.word(lens_base + k)?;
+                let child =
+                    self.decode_block(child_addr, child_len, level - 1, arena, budget)?;
+                node.push(NodeEntry { row, col, child });
+            }
+            node.sort_by_key(|e| (e.row, e.col));
+            arena.push(HismBlock { level: level as usize, data: BlockData::Node(node) });
+        }
+        Ok(arena.len() - 1)
+    }
+
+    /// Total image size in words.
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Adds `base` to every stored child address and to the root address,
+    /// producing an image linked for loading at word address `base`.
+    pub fn relocate(&mut self, base: u32) {
+        for &site in &self.pointer_sites {
+            self.words[site as usize] += base;
+        }
+        self.root.addr += base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use stm_sparse::{gen, Coo};
+
+    #[test]
+    fn pos_packing_round_trip() {
+        for (r, c) in [(0u8, 0u8), (255, 255), (7, 63), (63, 7)] {
+            assert_eq!(unpack_pos(pack_pos(r, c)), (r, c));
+        }
+        assert_eq!(swap_pos(pack_pos(3, 9)), pack_pos(9, 3));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let coo = gen::random::uniform(120, 90, 500, 11);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let img = HismImage::encode(&h);
+        let back = img.decode();
+        back.validate().unwrap();
+        assert_eq!(build::to_coo(&back), build::to_coo(&h));
+    }
+
+    #[test]
+    fn image_size_accounting() {
+        // 3 leaf entries in one block (s=8, 5x5 → 1 level): 6 words.
+        let coo =
+            Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
+        let h = build::from_coo(&coo, 8).unwrap();
+        let img = HismImage::encode(&h);
+        assert_eq!(img.len_words(), 6);
+        assert_eq!(img.root, RootDesc { addr: 0, len: 3, levels: 1, rows: 5, cols: 5, s: 8 });
+        assert!(img.pointer_sites.is_empty());
+    }
+
+    #[test]
+    fn two_level_image_has_lengths_vectors() {
+        // s=4, 8x8 → 2 levels; two leaves.
+        let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let img = HismImage::encode(&h);
+        // leaves: 2 + 2 words; root: 2 entries * 2 + 2 lengths = 6 words.
+        assert_eq!(img.len_words(), 10);
+        assert_eq!(img.pointer_sites.len(), 2);
+        // Lengths vector of the root holds 1, 1.
+        let root_base = img.root.addr as usize;
+        assert_eq!(&img.words[root_base + 4..root_base + 6], &[1, 1]);
+    }
+
+    #[test]
+    fn pointers_are_backwards() {
+        let coo = gen::rmat::rmat(7, 400, gen::rmat::RmatProbs::default(), 5);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let img = HismImage::encode(&h);
+        for &site in &img.pointer_sites {
+            assert!(img.words[site as usize] < site);
+        }
+    }
+
+    #[test]
+    fn relocation_shifts_pointers_and_root() {
+        let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let mut img = HismImage::encode(&h);
+        let before: Vec<u32> =
+            img.pointer_sites.iter().map(|&s| img.words[s as usize]).collect();
+        img.relocate(1000);
+        let after: Vec<u32> =
+            img.pointer_sites.iter().map(|&s| img.words[s as usize]).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b + 1000, *a);
+        }
+        assert_eq!(img.root.addr, 1000 + 4); // two 2-word leaves precede root
+    }
+
+    #[test]
+    fn try_decode_rejects_out_of_bounds_pointer() {
+        let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let mut img = HismImage::encode(&h);
+        let site = img.pointer_sites[0] as usize;
+        img.words[site] = 1_000_000; // dangling child pointer
+        assert!(img.try_decode().is_err());
+    }
+
+    #[test]
+    fn try_decode_rejects_runaway_length() {
+        let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let mut img = HismImage::encode(&h);
+        // Corrupt the root lengths vector with an absurd child length.
+        let root_base = img.root.addr as usize;
+        img.words[root_base + 2 * img.root.len as usize] = u32::MAX;
+        assert!(img.try_decode().is_err());
+    }
+
+    #[test]
+    fn try_decode_rejects_bad_position() {
+        let coo = Coo::from_triplets(4, 4, vec![(0, 0, 1.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let mut img = HismImage::encode(&h);
+        img.words[1] = pack_pos(200, 200); // outside an s=4 block
+        assert!(img.try_decode().is_err());
+    }
+
+    #[test]
+    fn try_decode_rejects_zero_levels() {
+        let coo = Coo::from_triplets(4, 4, vec![(0, 0, 1.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let mut img = HismImage::encode(&h);
+        img.root.levels = 0;
+        assert!(img.try_decode().is_err());
+    }
+
+    #[test]
+    fn decode_tolerates_permuted_blockarrays() {
+        // Swap two entries of a leaf blockarray (with their pos words):
+        // decode must still recover the same matrix.
+        let coo =
+            Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
+        let h = build::from_coo(&coo, 8).unwrap();
+        let mut img = HismImage::encode(&h);
+        img.words.swap(0, 2);
+        img.words.swap(1, 3);
+        let back = img.decode();
+        assert_eq!(build::to_coo(&back), build::to_coo(&h));
+    }
+}

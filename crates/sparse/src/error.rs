@@ -1,0 +1,70 @@
+//! Error types shared by the matrix formats.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating, or parsing matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// An entry's row or column index lies outside the matrix shape.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Two entries share the same `(row, col)` coordinate.
+    DuplicateEntry {
+        /// Row index of the duplicated coordinate.
+        row: usize,
+        /// Column index of the duplicated coordinate.
+        col: usize,
+    },
+    /// A CSR/CSC pointer array is malformed (wrong length, non-monotone, or
+    /// inconsistent with the index array length).
+    BadPointerArray(String),
+    /// Column indices within a row (or row indices within a column) are not
+    /// strictly increasing.
+    UnsortedIndices {
+        /// The row (CSR) or column (CSC) in which the disorder was found.
+        outer: usize,
+    },
+    /// A Matrix Market stream could not be parsed.
+    Parse(String),
+    /// Shapes of two operands do not match.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix"
+            ),
+            FormatError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            FormatError::BadPointerArray(msg) => write!(f, "bad pointer array: {msg}"),
+            FormatError::UnsortedIndices { outer } => {
+                write!(f, "indices not strictly increasing within line {outer}")
+            }
+            FormatError::Parse(msg) => write!(f, "parse error: {msg}"),
+            FormatError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

@@ -1,0 +1,127 @@
+//! Block-structured generators — the high-locality end of the suite
+//! (`qc324`-like matrices with "large dense blocks").
+
+use super::{finish, nz_value, rng};
+use crate::Coo;
+use rand::Rng;
+
+/// Scatters `n_blocks` dense-ish `block x block` tiles at random aligned
+/// positions of an `n x n` matrix; inside a tile each cell is kept with
+/// probability `fill`. High `fill` and large `block` give the
+/// high-locality matrices the STM thrives on.
+pub fn block_dense(n: usize, block: usize, n_blocks: usize, fill: f64, seed: u64) -> Coo {
+    assert!(block > 0 && block <= n, "block must fit in the matrix");
+    assert!((0.0..=1.0).contains(&fill));
+    let mut r = rng(seed);
+    let tiles = n / block;
+    assert!(tiles > 0);
+    let mut coo = Coo::new(n, n);
+    for _ in 0..n_blocks {
+        let bi = r.gen_range(0..tiles) * block;
+        let bj = r.gen_range(0..tiles) * block;
+        for i in 0..block {
+            for j in 0..block {
+                if r.gen_bool(fill) {
+                    coo.push(bi + i, bj + j, nz_value(&mut r));
+                }
+            }
+        }
+    }
+    finish(coo)
+}
+
+/// A block-banded matrix: dense `block x block` tiles along the diagonal
+/// band of half-width `half_bw` tiles, each cell kept with probability
+/// `fill` — multi-degree-of-freedom FEM structure.
+pub fn block_band(n: usize, block: usize, half_bw: usize, fill: f64, seed: u64) -> Coo {
+    assert!(block > 0 && block <= n);
+    assert!((0.0..=1.0).contains(&fill));
+    let mut r = rng(seed);
+    let tiles = n / block;
+    let mut coo = Coo::new(n, n);
+    for ti in 0..tiles {
+        let lo = ti.saturating_sub(half_bw);
+        let hi = (ti + half_bw).min(tiles - 1);
+        for tj in lo..=hi {
+            for i in 0..block {
+                for j in 0..block {
+                    if r.gen_bool(fill) {
+                        coo.push(ti * block + i, tj * block + j, nz_value(&mut r));
+                    }
+                }
+            }
+        }
+    }
+    finish(coo)
+}
+
+/// Kronecker product of a small dense pattern with itself `depth` times,
+/// starting from a seed pattern — produces fractal block structure
+/// (deterministic; no RNG).
+pub fn kronecker_fractal(depth: u32) -> Coo {
+    // Seed pattern: a 3x3 arrow.
+    let base: [(usize, usize); 5] = [(0, 0), (0, 2), (1, 1), (2, 0), (2, 2)];
+    let mut coords: Vec<(usize, usize)> = base.to_vec();
+    let mut dim = 3usize;
+    for _ in 1..depth.max(1) {
+        let mut next = Vec::with_capacity(coords.len() * base.len());
+        for &(r0, c0) in &coords {
+            for &(r1, c1) in &base {
+                next.push((r0 * 3 + r1, c0 * 3 + c1));
+            }
+        }
+        coords = next;
+        dim *= 3;
+    }
+    let mut coo = Coo::new(dim, dim);
+    for (k, &(r, c)) in coords.iter().enumerate() {
+        coo.push(r, c, 1.0 + (k % 7) as f32);
+    }
+    finish(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MatrixMetrics;
+
+    #[test]
+    fn block_dense_full_fill_tiles() {
+        let m = block_dense(64, 16, 1, 1.0, 0);
+        assert_eq!(m.nnz(), 16 * 16);
+    }
+
+    #[test]
+    fn block_dense_high_locality() {
+        let m = block_dense(1024, 32, 12, 1.0, 1);
+        let met = MatrixMetrics::compute(&m);
+        assert!(met.locality > 10.0, "locality = {}", met.locality);
+    }
+
+    #[test]
+    fn block_band_touches_only_band_tiles() {
+        let m = block_band(64, 8, 1, 1.0, 2);
+        for &(i, j, _) in m.iter() {
+            let (ti, tj) = (i / 8, j / 8);
+            assert!((ti as isize - tj as isize).unsigned_abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn kronecker_fractal_sizes() {
+        assert_eq!(kronecker_fractal(1).shape(), (3, 3));
+        assert_eq!(kronecker_fractal(1).nnz(), 5);
+        assert_eq!(kronecker_fractal(3).shape(), (27, 27));
+        assert_eq!(kronecker_fractal(3).nnz(), 125);
+    }
+
+    #[test]
+    fn kronecker_is_structurally_symmetric() {
+        let m = kronecker_fractal(2);
+        let coords: std::collections::HashSet<_> =
+            m.iter().map(|&(r, c, _)| (r, c)).collect();
+        for &(r, c) in &coords {
+            assert!(coords.contains(&(c, r)));
+        }
+    }
+}

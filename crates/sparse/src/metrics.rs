@@ -1,0 +1,150 @@
+//! The three D-SAB matrix metrics used to organize the evaluation.
+//!
+//! The paper (Section IV-B) sorts its 132 candidate matrices by three
+//! criteria and builds one 10-matrix experiment set per criterion:
+//!
+//! * **Matrix size** — the number of non-zeros (paper range 48 → 3 753 461).
+//! * **Locality** — partition the matrix into 32×32 blocks; for each
+//!   non-empty block divide its non-zero count by 32 ("to express the number
+//!   in terms of the dimension of the block"); average over the non-empty
+//!   blocks (paper range 0.07 → 12.85). High locality means dense blocks and
+//!   is the regime the STM is designed for.
+//! * **Average non-zeros per row** (ANZ) — nnz / rows (paper range 1 → 172).
+//!   High ANZ favours the row-oriented CRS algorithm.
+
+use crate::Coo;
+use std::collections::HashMap;
+
+/// Block dimension the locality metric is defined over (fixed to 32 by the
+/// D-SAB definition, independent of the machine's section size).
+pub const LOCALITY_BLOCK: usize = 32;
+
+/// The D-SAB metrics of one matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixMetrics {
+    /// Number of non-zero elements ("matrix size" criterion).
+    pub nnz: usize,
+    /// Average non-zeros per non-empty 32×32 block, divided by 32.
+    pub locality: f64,
+    /// Average non-zeros per row.
+    pub avg_nnz_per_row: f64,
+}
+
+impl MatrixMetrics {
+    /// Computes all three metrics for a COO matrix. Duplicate coordinates
+    /// are counted once (the matrix is canonicalized first).
+    pub fn compute(coo: &Coo) -> Self {
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        let nnz = canon.nnz();
+        let locality = locality(&canon);
+        let rows = canon.rows().max(1);
+        MatrixMetrics {
+            nnz,
+            locality,
+            avg_nnz_per_row: nnz as f64 / rows as f64,
+        }
+    }
+}
+
+/// The D-SAB locality metric: average over the non-empty 32×32 blocks of
+/// (non-zeros in block) / 32. Returns 0 for an empty matrix.
+pub fn locality(coo: &Coo) -> f64 {
+    locality_with_block(coo, LOCALITY_BLOCK)
+}
+
+/// Locality with a custom block dimension (used by the ablation benches to
+/// relate the metric to the machine's section size).
+pub fn locality_with_block(coo: &Coo, block: usize) -> f64 {
+    assert!(block > 0, "block dimension must be positive");
+    let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for &(r, c, _) in coo.iter() {
+        *counts.entry((r / block, c / block)).or_insert(0) += 1;
+    }
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let total: usize = counts.values().sum();
+    total as f64 / (counts.len() as f64 * block as f64)
+}
+
+/// Histogram of non-zeros per row — used by the suite report example.
+pub fn row_nnz_histogram(coo: &Coo) -> Vec<usize> {
+    let mut h = vec![0usize; coo.rows()];
+    for &(r, _, _) in coo.iter() {
+        h[r] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    #[test]
+    fn diagonal_matrix_metrics() {
+        // 64x64 identity: ANZ = 1; each 32x32 diagonal block holds 32
+        // non-zeros so locality = 32/32 = 1.
+        let mut coo = Coo::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, i, 1.0);
+        }
+        let m = MatrixMetrics::compute(&coo);
+        assert_eq!(m.nnz, 64);
+        assert!((m.avg_nnz_per_row - 1.0).abs() < 1e-12);
+        assert!((m.locality - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_dense_block_has_locality_32() {
+        // One fully dense 32x32 block: 1024 non-zeros / 32 = 32.
+        let mut coo = Coo::new(32, 32);
+        for r in 0..32 {
+            for c in 0..32 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        assert!((locality(&coo) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_entries_have_minimal_locality() {
+        // One entry per 32x32 block: locality = 1/32 ≈ 0.031, the floor.
+        let mut coo = Coo::new(320, 320);
+        for b in 0..10 {
+            coo.push(b * 32, b * 32 + 1, 1.0);
+        }
+        assert!((locality(&coo) - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_locality_zero() {
+        assert_eq!(locality(&Coo::new(10, 10)), 0.0);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let coo =
+            Coo::from_triplets(32, 32, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let m = MatrixMetrics::compute(&coo);
+        assert_eq!(m.nnz, 1);
+    }
+
+    #[test]
+    fn custom_block_dimension() {
+        let mut coo = Coo::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, i, 1.0);
+        }
+        // With 64-wide blocks, one block with 64 nnz: 64/64 = 1.
+        assert!((locality_with_block(&coo, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_histogram_counts() {
+        let coo = Coo::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)])
+            .unwrap();
+        assert_eq!(row_nnz_histogram(&coo), vec![2, 0, 1]);
+    }
+}

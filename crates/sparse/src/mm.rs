@@ -1,0 +1,241 @@
+//! Matrix Market coordinate-format I/O.
+//!
+//! The paper's benchmark matrices come from the Matrix Market collection
+//! [Boisvert et al.]. The synthetic D-SAB substitute in `stm-dsab` stands in
+//! for the files themselves, but this reader/writer lets real `.mtx` files
+//! be dropped into any experiment binary (`--mtx path`).
+//!
+//! Supported: `matrix coordinate (real|integer|pattern) (general|symmetric|
+//! skew-symmetric)`. Pattern entries get value 1.0; symmetric matrices are
+//! expanded to general form on read (mirroring off-diagonal entries), which
+//! is what the transposition experiments need.
+
+use crate::{Coo, FormatError, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Lower triangle stored; `A[i][j] == A[j][i]`.
+    Symmetric,
+    /// Lower triangle stored; `A[i][j] == -A[j][i]`, zero diagonal.
+    SkewSymmetric,
+}
+
+/// Field type declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Real floating point values.
+    Real,
+    /// Integer values (read as floats).
+    Integer,
+    /// Structure only; values default to 1.0.
+    Pattern,
+}
+
+fn parse_header(line: &str) -> Result<(Field, Symmetry), FormatError> {
+    let toks: Vec<String> =
+        line.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(FormatError::Parse(format!("bad MatrixMarket banner: {line:?}")));
+    }
+    if toks[2] != "coordinate" {
+        return Err(FormatError::Parse(format!(
+            "only coordinate format is supported, got {:?}",
+            toks[2]
+        )));
+    }
+    let field = match toks[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(FormatError::Parse(format!("unsupported field type {other:?}")))
+        }
+    };
+    let sym = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(FormatError::Parse(format!("unsupported symmetry {other:?}")))
+        }
+    };
+    Ok((field, sym))
+}
+
+/// Reads a Matrix Market coordinate stream into a COO matrix.
+///
+/// Symmetric and skew-symmetric inputs are expanded to general form.
+pub fn read_coo<R: Read>(reader: R) -> Result<Coo, FormatError> {
+    let mut lines = BufReader::new(reader).lines();
+    let banner = lines
+        .next()
+        .ok_or_else(|| FormatError::Parse("empty stream".into()))?
+        .map_err(|e| FormatError::Parse(e.to_string()))?;
+    let (field, sym) = parse_header(&banner)?;
+
+    // Skip comment lines, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| FormatError::Parse("missing size line".into()))?
+            .map_err(|e| FormatError::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| FormatError::Parse(e.to_string())))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(FormatError::Parse(format!("bad size line: {size_line:?}")));
+    }
+    let (rows, cols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::new(rows, cols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| FormatError::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        let need = if field == Field::Pattern { 2 } else { 3 };
+        if toks.len() < need {
+            return Err(FormatError::Parse(format!("short entry line: {t:?}")));
+        }
+        let r: usize =
+            toks[0].parse().map_err(|e: std::num::ParseIntError| FormatError::Parse(e.to_string()))?;
+        let c: usize =
+            toks[1].parse().map_err(|e: std::num::ParseIntError| FormatError::Parse(e.to_string()))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(FormatError::IndexOutOfBounds { row: r, col: c, rows, cols });
+        }
+        let v: Value = if field == Field::Pattern {
+            1.0
+        } else {
+            toks[2]
+                .parse::<f64>()
+                .map_err(|e| FormatError::Parse(e.to_string()))? as Value
+        };
+        let (r, c) = (r - 1, c - 1); // Matrix Market is 1-based.
+        coo.push(r, c, v);
+        match sym {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r != c => coo.push(c, r, v),
+            Symmetry::SkewSymmetric if r != c => coo.push(c, r, -v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(FormatError::Parse(format!(
+            "header declared {declared_nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo)
+}
+
+/// Writes a COO matrix as `matrix coordinate real general`.
+pub fn write_coo<W: Write>(writer: &mut W, coo: &Coo) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by hism-stm")?;
+    writeln!(writer, "{} {} {}", coo.rows(), coo.cols(), coo.nnz())?;
+    for &(r, c, v) in coo.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+                          % a comment\n\
+                          3 4 3\n\
+                          1 1 1.5\n\
+                          2 3 -2\n\
+                          3 4 7\n";
+
+    #[test]
+    fn reads_general_real() {
+        let coo = read_coo(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(coo.shape(), (3, 4));
+        assert_eq!(coo.entries(), &[(0, 0, 1.5), (1, 2, -2.0), (2, 3, 7.0)]);
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let coo = read_coo(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_coo(&mut buf, &coo).unwrap();
+        let back = read_coo(&buf[..]).unwrap();
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   2 2 2\n\
+                   1 1 1\n\
+                   2 1 5\n";
+        let mut coo = read_coo(src.as_bytes()).unwrap();
+        coo.canonicalize();
+        assert_eq!(coo.entries(), &[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
+    }
+
+    #[test]
+    fn expands_skew_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 1 3\n";
+        let mut coo = read_coo(src.as_bytes()).unwrap();
+        coo.canonicalize();
+        assert_eq!(coo.entries(), &[(0, 1, -3.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn pattern_entries_default_to_one() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 2 1\n\
+                   2 2\n";
+        let coo = read_coo(src.as_bytes()).unwrap();
+        assert_eq!(coo.entries(), &[(1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        assert!(read_coo("%%NotMatrixMarket\n1 1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        assert!(read_coo(
+            "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n";
+        assert!(matches!(read_coo(src.as_bytes()), Err(FormatError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_one_based_overflow() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n";
+        assert!(matches!(
+            read_coo(src.as_bytes()),
+            Err(FormatError::IndexOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! Machine configuration — every parameter the paper publishes, plus the
+//! documented model interpretations (DESIGN.md §2).
+
+use crate::scalar::cache::CacheConfig;
+
+/// Configuration of the simulated vector processor.
+///
+/// Defaults reproduce the paper's evaluation machine (Section IV-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpConfig {
+    /// Section size `s`: the maximum vector length (paper: 64).
+    pub section_size: usize,
+    /// Functional-unit parallelism `p`: elements processed per cycle by
+    /// arithmetic vector units (paper: 4). The STM's buffer bandwidth `B`
+    /// equals `p` in the performance experiments.
+    pub lanes: u64,
+    /// Vector memory startup latency in cycles (paper: 20).
+    pub mem_startup: u64,
+    /// Words per cycle for contiguous vector accesses (paper: 4).
+    pub mem_words_per_cycle: u64,
+    /// Words per cycle for indexed vector accesses (paper: 1).
+    pub mem_indexed_words_per_cycle: u64,
+    /// Independent vector memory ports. The paper's machine has a single
+    /// Vector Load/Store unit (1); more ports let independent memory
+    /// instructions overlap — an ablation knob for quantifying how much
+    /// of the CRS baseline's cost is port serialization.
+    pub mem_ports: usize,
+    /// Whether vector chaining (per-element forwarding between dependent
+    /// vector instructions) is enabled (paper: yes). Ablatable.
+    pub chaining: bool,
+    /// Pipeline depth of the vector ALU (cycles from operand to result for
+    /// one element). Not published; fixed at a typical 4.
+    pub alu_latency: u64,
+    /// Issue cost of one vector instruction in cycles (decode/dispatch).
+    pub issue_cycles: u64,
+    /// Scalar loop-control overhead charged per strip-mine iteration /
+    /// per row loop (`ssvl`, address updates, branch). Model constant,
+    /// see DESIGN.md §2.5.
+    pub loop_overhead: u64,
+    /// 32-bit data words charged against the memory port per HiSM
+    /// blockarray entry streamed by `v_ldb`/`v_stb`.
+    ///
+    /// Default 1: the entry's *value* (or pointer) word. The 16-bit
+    /// positional data travels on a dedicated narrow path and is not
+    /// charged against the 4-words/cycle budget — this is the only
+    /// reading consistent with the paper's own framing, where the memory
+    /// must be able to feed the STM's `B = p = 4` elements per cycle
+    /// (Fig. 10 studies utilization *of the unit*, presuming the port can
+    /// saturate it) and where the positional data is deliberately tiny
+    /// ("only … 8 bits for each row and column position"). Set to 2 to
+    /// charge the full aligned `[value, pos]` pair against the port
+    /// (ablation knob; halves the streaming rate).
+    pub words_per_entry: u64,
+    /// Issue width of the scalar core (paper: 4-way SimpleScalar baseline).
+    pub scalar_issue_width: u64,
+    /// Latency of a scalar ALU operation.
+    pub scalar_alu_latency: u64,
+    /// Scalar data-cache geometry and latencies.
+    pub scalar_cache: CacheConfig,
+    /// Scalar memory ports (loads/stores issued per cycle).
+    pub scalar_mem_ports: u64,
+    /// Extra cycles per taken scalar branch (0 = perfect prediction).
+    pub scalar_branch_penalty: u64,
+    /// Use the out-of-order scalar pipeline model (`scalar::ooo`) instead
+    /// of the conservative in-order model. SimpleScalar's baseline is
+    /// out of order; the in-order default makes the CRS baseline *no
+    /// faster* than the paper's machine (DESIGN.md §2.6). Ablation knob.
+    pub scalar_out_of_order: bool,
+}
+
+impl Default for VpConfig {
+    fn default() -> Self {
+        VpConfig {
+            section_size: 64,
+            lanes: 4,
+            mem_startup: 20,
+            mem_words_per_cycle: 4,
+            mem_indexed_words_per_cycle: 1,
+            mem_ports: 1,
+            chaining: true,
+            alu_latency: 4,
+            issue_cycles: 1,
+            loop_overhead: 2,
+            words_per_entry: 1,
+            scalar_issue_width: 4,
+            scalar_alu_latency: 1,
+            scalar_cache: CacheConfig::default(),
+            scalar_mem_ports: 2,
+            scalar_branch_penalty: 1,
+            scalar_out_of_order: false,
+        }
+    }
+}
+
+impl VpConfig {
+    /// The paper's evaluation machine.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Elements per cycle the contiguous memory port sustains for elements
+    /// of `words_per_elem` words (at least 1; the port cannot split an
+    /// element across cycles in this model).
+    pub fn contig_rate(&self, words_per_elem: u64) -> u64 {
+        (self.mem_words_per_cycle / words_per_elem).max(1)
+    }
+
+    /// Elements per cycle for indexed accesses.
+    pub fn indexed_rate(&self, words_per_elem: u64) -> u64 {
+        (self.mem_indexed_words_per_cycle / words_per_elem).max(1)
+    }
+
+    /// Basic sanity checks on a hand-edited configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.section_size < 2 || self.section_size > 256 {
+            return Err(format!("section_size {} out of 2..=256", self.section_size));
+        }
+        if self.lanes == 0 || self.mem_words_per_cycle == 0 {
+            return Err("lanes and memory bandwidth must be positive".into());
+        }
+        if self.mem_ports == 0 || self.mem_ports > 8 {
+            return Err("mem_ports must be in 1..=8".into());
+        }
+        if self.words_per_entry == 0 || self.words_per_entry > 2 {
+            return Err("words_per_entry must be 1 or 2".into());
+        }
+        if self.scalar_issue_width == 0 || self.scalar_mem_ports == 0 {
+            return Err("scalar widths must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = VpConfig::paper();
+        assert_eq!(c.section_size, 64);
+        assert_eq!(c.lanes, 4);
+        assert_eq!(c.mem_startup, 20);
+        assert_eq!(c.mem_words_per_cycle, 4);
+        assert_eq!(c.mem_indexed_words_per_cycle, 1);
+        assert!(c.chaining);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rates() {
+        let c = VpConfig::paper();
+        assert_eq!(c.contig_rate(1), 4);
+        assert_eq!(c.contig_rate(2), 2);
+        assert_eq!(c.indexed_rate(1), 1);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = VpConfig::paper();
+        c.section_size = 1000;
+        assert!(c.validate().is_err());
+        let mut c = VpConfig::paper();
+        c.words_per_entry = 3;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,936 @@
+//! The vector execution engine: functional semantics + per-element timing.
+//!
+//! Kernels are ordinary Rust functions that call the `v_*` methods below —
+//! the embedded equivalent of the paper's hand-coded vector assembly. Each
+//! call (1) performs the real data movement on [`Memory`] and (2) computes
+//! per-element completion times, respecting functional-unit occupancy and
+//! vector chaining. The engine's final cycle count is the time the last
+//! element of the last instruction completes.
+
+use crate::config::VpConfig;
+use crate::mem::Memory;
+use crate::stats::EngineStats;
+use crate::stream::stream_through;
+use crate::trace::{FuBusy, Trace, TraceEvent};
+
+/// Functional-unit ports of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fu {
+    /// The vector load/store unit (one port: contiguous and indexed
+    /// accesses serialize against each other, as on real VPs).
+    Mem,
+    /// The vector ALU.
+    Alu,
+    /// The Sparse matrix Transposition Mechanism (driven by `stm-core`).
+    Stm,
+}
+
+/// A vector register: element data plus per-element ready times.
+///
+/// The simulator does not model a named register file — kernels hold
+/// `VReg` values directly, which is timing-equivalent as long as the
+/// kernel respects the machine's register count (the paper's kernels use
+/// two vector registers at a time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VReg {
+    /// Element payloads (32-bit words).
+    pub data: Vec<u32>,
+    /// Cycle at which each element becomes readable (for chaining).
+    pub ready: Vec<u64>,
+}
+
+impl VReg {
+    /// A register whose elements are all available at cycle `at`.
+    pub fn ready_at(data: Vec<u32>, at: u64) -> Self {
+        let ready = vec![at; data.len()];
+        VReg { data, ready }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the register holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Cycle at which the whole register is available.
+    pub fn last_ready(&self) -> u64 {
+        self.ready.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A sub-register view (copy) of elements `range` — what `ssvl` +
+    /// register addressing give a strip-mined loop.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> VReg {
+        VReg { data: self.data[range.clone()].to_vec(), ready: self.ready[range].to_vec() }
+    }
+
+    fn assert_same_len(&self, other: &VReg) {
+        assert_eq!(self.len(), other.len(), "vector length mismatch");
+    }
+}
+
+/// The vector processor engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: VpConfig,
+    mem: Memory,
+    /// Next instruction-issue cycle.
+    clock: u64,
+    /// Per-memory-port busy-until cycles (the paper's machine has one).
+    mem_busy: Vec<u64>,
+    /// Busy-until cycles of the ALU and the STM.
+    busy: [u64; 2],
+    /// Latest completion observed so far.
+    horizon: u64,
+    stats: EngineStats,
+    busy_acct: FuBusy,
+    trace: Option<Trace>,
+}
+
+impl Engine {
+    /// Creates an engine over a memory with the given machine config.
+    pub fn new(cfg: VpConfig, mem: Memory) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let ports = cfg.mem_ports;
+        Engine {
+            cfg,
+            mem,
+            clock: 0,
+            mem_busy: vec![0; ports],
+            busy: [0; 2],
+            horizon: 0,
+            stats: EngineStats::default(),
+            busy_acct: FuBusy::default(),
+            trace: None,
+        }
+    }
+
+    /// Turns on instruction tracing, keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The instruction trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Per-functional-unit busy-cycle accounting.
+    pub fn fu_busy(&self) -> &FuBusy {
+        &self.busy_acct
+    }
+
+    /// Machine configuration.
+    pub fn cfg(&self) -> &VpConfig {
+        &self.cfg
+    }
+
+    /// Shared memory (read access).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Shared memory (write access, e.g. for the scalar core phases).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Consumes the engine, returning the memory (for result decoding).
+    pub fn into_mem(self) -> Memory {
+        self.mem
+    }
+
+    /// Total cycles elapsed: the later of the issue clock and the last
+    /// element completion.
+    pub fn cycles(&self) -> u64 {
+        self.horizon.max(self.clock)
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Charges scalar loop-control overhead on the issue timeline (it can
+    /// overlap in-flight vector work, like scalar code on a decoupled VP).
+    pub fn loop_overhead(&mut self) {
+        self.clock += self.cfg.loop_overhead;
+        self.stats.overhead_cycles += self.cfg.loop_overhead;
+    }
+
+    /// Charges an arbitrary number of scalar cycles on the issue timeline.
+    pub fn scalar_cycles(&mut self, cycles: u64) {
+        self.clock += cycles;
+        self.stats.overhead_cycles += cycles;
+    }
+
+    /// Serializes with a scalar-core phase of `cycles` length: everything
+    /// in flight completes, then the scalar phase runs to completion.
+    pub fn advance_serial(&mut self, cycles: u64) {
+        self.clock = self.cycles() + cycles;
+        self.horizon = self.horizon.max(self.clock);
+        self.stats.scalar_cycles += cycles;
+    }
+
+    /// Blocks instruction issue until cycle `t` (used by the STM's
+    /// fill-before-read barrier).
+    pub fn stall_until(&mut self, t: u64) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Issues an instruction on `fu`: waits for the issue slot and for a
+    /// unit port to be free; returns the start cycle and the port taken.
+    fn issue(&mut self, fu: Fu) -> (u64, usize) {
+        let (port, unit_free) = match fu {
+            Fu::Mem => {
+                let (port, &busy) = self
+                    .mem_busy
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &b)| b)
+                    .expect("at least one memory port");
+                (port, busy)
+            }
+            Fu::Alu => (0, self.busy[0]),
+            Fu::Stm => (0, self.busy[1]),
+        };
+        let t = self.clock.max(unit_free);
+        self.clock = t + self.cfg.issue_cycles;
+        self.stats.instructions += 1;
+        (t, port)
+    }
+
+    fn retire(&mut self, op: &'static str, fu: Fu, port: usize, issue: u64, completion: &[u64]) {
+        if let Some(&last) = completion.last() {
+            match fu {
+                Fu::Mem => self.mem_busy[port] = last + 1,
+                Fu::Alu => self.busy[0] = last + 1,
+                Fu::Stm => self.busy[1] = last + 1,
+            }
+            self.horizon = self.horizon.max(last + 1);
+            self.busy_acct.add(fu, last + 1 - issue.min(last));
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                op,
+                fu,
+                issue,
+                first_done: completion.first().copied().unwrap_or(issue),
+                last_done: completion.last().copied().unwrap_or(issue),
+                elements: completion.len(),
+            });
+        }
+    }
+
+    /// Per-element availability of a source operand under the chaining
+    /// setting (public for coprocessor crates such as the STM).
+    pub fn chained_ready(&self, reg: &VReg) -> Vec<u64> {
+        self.chain(reg)
+    }
+
+    /// Element-wise max of two operands' availability (two-source chain).
+    pub fn chained_ready2(&self, a: &VReg, b: &VReg) -> Vec<u64> {
+        self.chain2(a, b)
+    }
+
+    /// Runs a *batched* stream on `fu`: the unit accepts one whole group
+    /// per cycle (a group being, e.g., one STM buffer transfer), each group
+    /// no earlier than its elements' readiness; every element completes
+    /// `latency` cycles after its group is accepted. Returns per-element
+    /// completion times, flattened in group order.
+    pub fn run_batched(
+        &mut self,
+        op: &'static str,
+        fu: Fu,
+        startup: u64,
+        latency: u64,
+        group_sizes: &[usize],
+        input_ready: Option<&[u64]>,
+    ) -> Vec<u64> {
+        let n: usize = group_sizes.iter().sum();
+        if let Some(r) = input_ready {
+            assert_eq!(r.len(), n, "input_ready length mismatch");
+        }
+        let (issue, port) = self.issue(fu);
+        let mut done = Vec::with_capacity(n);
+        let mut t = issue + startup;
+        let mut k = 0usize;
+        for &g in group_sizes {
+            let group_ready = input_ready
+                .map(|r| r[k..k + g].iter().copied().max().unwrap_or(0))
+                .unwrap_or(0);
+            let accept = t.max(group_ready);
+            for _ in 0..g {
+                done.push(accept + latency);
+            }
+            k += g;
+            t = accept + 1;
+        }
+        self.retire(op, fu, port, issue, &done);
+        if fu == Fu::Stm {
+            self.stats.stm_ops += 1;
+        }
+        self.stats.elements += n as u64;
+        done
+    }
+
+    /// Per-element availability of a source operand under the chaining
+    /// setting: with chaining each element forwards individually; without,
+    /// the consumer sees every element at the producer's completion.
+    fn chain(&self, reg: &VReg) -> Vec<u64> {
+        if self.cfg.chaining {
+            reg.ready.clone()
+        } else {
+            vec![reg.last_ready(); reg.len()]
+        }
+    }
+
+    fn chain2(&self, a: &VReg, b: &VReg) -> Vec<u64> {
+        a.assert_same_len(b);
+        let (ra, rb) = (self.chain(a), self.chain(b));
+        ra.iter().zip(&rb).map(|(x, y)| *x.max(y)).collect()
+    }
+
+    /// Generic stream execution on a functional unit — also the hook the
+    /// STM coprocessor in `stm-core` uses to time its instructions.
+    /// `op` is the mnemonic recorded in the instruction trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stream(
+        &mut self,
+        op: &'static str,
+        fu: Fu,
+        startup: u64,
+        rate: u64,
+        latency: u64,
+        n: usize,
+        input_ready: Option<&[u64]>,
+    ) -> Vec<u64> {
+        let (issue, port) = self.issue(fu);
+        let done = stream_through(issue, startup, rate, latency, n, input_ready);
+        self.retire(op, fu, port, issue, &done);
+        if fu == Fu::Stm {
+            self.stats.stm_ops += 1;
+        }
+        self.stats.elements += n as u64;
+        done
+    }
+
+    // ------------------------------------------------------------------
+    // Vector memory instructions
+    // ------------------------------------------------------------------
+
+    /// `v_ld`: contiguous load of `n` one-word elements from `addr`.
+    pub fn v_ld(&mut self, addr: u32, n: usize) -> VReg {
+        let data = self.mem.read_block(addr, n);
+        let rate = self.cfg.contig_rate(1);
+        let startup = self.cfg.mem_startup;
+        let done = self.run_stream("v_ld", Fu::Mem, startup, rate, 0, n, None);
+        self.stats.mem_contig_ops += 1;
+        self.stats.mem_words += n as u64;
+        VReg { data, ready: done }
+    }
+
+    /// `v_st`: contiguous store of a register to `addr`. Returns the
+    /// completion time of the last element.
+    pub fn v_st(&mut self, addr: u32, src: &VReg) -> u64 {
+        self.mem.write_block(addr, &src.data);
+        let rate = self.cfg.contig_rate(1);
+        let startup = self.cfg.mem_startup;
+        let input = self.chain(src);
+        let done = self.run_stream("v_st", Fu::Mem, startup, rate, 0, src.len(), Some(&input));
+        self.stats.mem_contig_ops += 1;
+        self.stats.mem_words += src.len() as u64;
+        done.last().copied().unwrap_or(0)
+    }
+
+    /// `v_ld_strided`: loads `n` one-word elements starting at `addr`
+    /// with a constant word stride — the access a *dense* transpose uses
+    /// ("addressing a row-wise stored matrix with a stride equal to the
+    /// number of rows", paper Section II). Non-unit strides go at the
+    /// indexed rate (1 word/cycle), unit stride at the contiguous rate.
+    pub fn v_ld_strided(&mut self, addr: u32, stride: u32, n: usize) -> VReg {
+        let data: Vec<u32> =
+            (0..n as u32).map(|k| self.mem.read(addr.wrapping_add(k * stride))).collect();
+        let rate = if stride == 1 {
+            self.cfg.contig_rate(1)
+        } else {
+            self.cfg.indexed_rate(1)
+        };
+        let done = self.run_stream("v_ld_str", Fu::Mem, self.cfg.mem_startup, rate, 0, n, None);
+        if stride == 1 {
+            self.stats.mem_contig_ops += 1;
+        } else {
+            self.stats.mem_indexed_ops += 1;
+        }
+        self.stats.mem_words += n as u64;
+        VReg { data, ready: done }
+    }
+
+    /// `v_ldb`-style paired load: `n` two-word entries `[payload, pos]`
+    /// streamed contiguously from `addr` into two registers. The stream
+    /// rate honours `VpConfig::words_per_entry`.
+    pub fn v_ld_pair(&mut self, addr: u32, n: usize) -> (VReg, VReg) {
+        let raw = self.mem.read_block(addr, 2 * n);
+        let payload: Vec<u32> = raw.iter().step_by(2).copied().collect();
+        let pos: Vec<u32> = raw.iter().skip(1).step_by(2).copied().collect();
+        let rate = self.cfg.contig_rate(self.cfg.words_per_entry);
+        let startup = self.cfg.mem_startup;
+        let done = self.run_stream("v_ldb", Fu::Mem, startup, rate, 0, n, None);
+        self.stats.mem_contig_ops += 1;
+        self.stats.mem_words += 2 * n as u64;
+        (VReg { data: payload, ready: done.clone() }, VReg { data: pos, ready: done })
+    }
+
+    /// `v_stb`-style paired store: writes `[payload, pos]` entries back to
+    /// `addr` contiguously, chained on both source registers.
+    pub fn v_st_pair(&mut self, addr: u32, payload: &VReg, pos: &VReg) -> u64 {
+        payload.assert_same_len(pos);
+        let n = payload.len();
+        let mut raw = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            raw.push(payload.data[k]);
+            raw.push(pos.data[k]);
+        }
+        self.mem.write_block(addr, &raw);
+        let rate = self.cfg.contig_rate(self.cfg.words_per_entry);
+        let startup = self.cfg.mem_startup;
+        let input = self.chain2(payload, pos);
+        let done = self.run_stream("v_stb", Fu::Mem, startup, rate, 0, n, Some(&input));
+        self.stats.mem_contig_ops += 1;
+        self.stats.mem_words += 2 * n as u64;
+        done.last().copied().unwrap_or(0)
+    }
+
+    /// `v_ld_idx`: gather — element `i` loads from `base + idx[i]`.
+    pub fn v_ld_idx(&mut self, base: u32, idx: &VReg) -> VReg {
+        let data: Vec<u32> =
+            idx.data.iter().map(|&off| self.mem.read(base.wrapping_add(off))).collect();
+        let rate = self.cfg.indexed_rate(1);
+        let startup = self.cfg.mem_startup;
+        let input = self.chain(idx);
+        let done = self.run_stream("v_ld_idx", Fu::Mem, startup, rate, 0, idx.len(), Some(&input));
+        self.stats.mem_indexed_ops += 1;
+        self.stats.mem_words += idx.len() as u64;
+        VReg { data, ready: done }
+    }
+
+    /// `v_st_idx`: scatter — element `i` stores `vals[i]` to `base + idx[i]`.
+    ///
+    /// When two elements of `idx` collide, the later element wins, matching
+    /// left-to-right execution of the scalar loop being vectorized.
+    pub fn v_st_idx(&mut self, vals: &VReg, base: u32, idx: &VReg) -> u64 {
+        vals.assert_same_len(idx);
+        for k in 0..vals.len() {
+            self.mem.write(base.wrapping_add(idx.data[k]), vals.data[k]);
+        }
+        let rate = self.cfg.indexed_rate(1);
+        let startup = self.cfg.mem_startup;
+        let input = self.chain2(vals, idx);
+        let done =
+            self.run_stream("v_st_idx", Fu::Mem, startup, rate, 0, vals.len(), Some(&input));
+        self.stats.mem_indexed_ops += 1;
+        self.stats.mem_words += vals.len() as u64;
+        done.last().copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Vector ALU instructions
+    // ------------------------------------------------------------------
+
+    fn alu_unop(&mut self, op: &'static str, src: &VReg, f: impl Fn(u32) -> u32) -> VReg {
+        let data = src.data.iter().map(|&x| f(x)).collect();
+        let input = self.chain(src);
+        let done = self.run_stream(
+            op,
+            Fu::Alu,
+            self.cfg.alu_latency,
+            self.cfg.lanes,
+            0,
+            src.len(),
+            Some(&input),
+        );
+        self.stats.alu_ops += 1;
+        VReg { data, ready: done }
+    }
+
+    /// `v_setimm`: broadcast an immediate into an `n`-element register.
+    pub fn v_set_imm(&mut self, n: usize, value: u32) -> VReg {
+        let done =
+            self.run_stream("v_setimm", Fu::Alu, self.cfg.alu_latency, self.cfg.lanes, 0, n, None);
+        self.stats.alu_ops += 1;
+        VReg { data: vec![value; n], ready: done }
+    }
+
+    /// `v_iota`: element `i` gets `start + i * step` (index generation).
+    pub fn v_iota(&mut self, n: usize, start: u32, step: u32) -> VReg {
+        let done =
+            self.run_stream("v_iota", Fu::Alu, self.cfg.alu_latency, self.cfg.lanes, 0, n, None);
+        self.stats.alu_ops += 1;
+        let data = (0..n as u32).map(|i| start.wrapping_add(i.wrapping_mul(step))).collect();
+        VReg { data, ready: done }
+    }
+
+    /// `v_add_imm`: adds an immediate to every element (wrapping).
+    pub fn v_add_imm(&mut self, src: &VReg, imm: u32) -> VReg {
+        self.alu_unop("v_add_imm", src, |x| x.wrapping_add(imm))
+    }
+
+    /// `v_sll_imm`: logical left shift by an immediate.
+    pub fn v_sll_imm(&mut self, src: &VReg, sh: u32) -> VReg {
+        self.alu_unop("v_sll_imm", src, |x| x << sh)
+    }
+
+    /// `v_add`: element-wise addition of two registers (wrapping).
+    pub fn v_add(&mut self, a: &VReg, b: &VReg) -> VReg {
+        a.assert_same_len(b);
+        let data = a.data.iter().zip(&b.data).map(|(x, y)| x.wrapping_add(*y)).collect();
+        let input = self.chain2(a, b);
+        let done = self.run_stream(
+            "v_add",
+            Fu::Alu,
+            self.cfg.alu_latency,
+            self.cfg.lanes,
+            0,
+            a.len(),
+            Some(&input),
+        );
+        self.stats.alu_ops += 1;
+        VReg { data, ready: done }
+    }
+
+    /// `v_and_imm`: bitwise AND with an immediate (e.g. extracting the
+    /// 8-bit column field of a packed HiSM position word).
+    pub fn v_and_imm(&mut self, src: &VReg, mask: u32) -> VReg {
+        self.alu_unop("v_and_imm", src, |x| x & mask)
+    }
+
+    /// `v_srl_imm`: logical right shift by an immediate (e.g. extracting
+    /// the row field of a packed position word).
+    pub fn v_srl_imm(&mut self, src: &VReg, sh: u32) -> VReg {
+        self.alu_unop("v_srl_imm", src, |x| x >> sh)
+    }
+
+    /// `v_fmul`: element-wise IEEE-754 single-precision multiply (the
+    /// elements are f32 bit patterns).
+    pub fn v_fmul(&mut self, a: &VReg, b: &VReg) -> VReg {
+        a.assert_same_len(b);
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(&x, &y)| (f32::from_bits(x) * f32::from_bits(y)).to_bits())
+            .collect();
+        let input = self.chain2(a, b);
+        let done = self.run_stream(
+            "v_fmul",
+            Fu::Alu,
+            self.cfg.alu_latency,
+            self.cfg.lanes,
+            0,
+            a.len(),
+            Some(&input),
+        );
+        self.stats.alu_ops += 1;
+        VReg { data, ready: done }
+    }
+
+    /// `v_fadd`: element-wise single-precision add.
+    pub fn v_fadd(&mut self, a: &VReg, b: &VReg) -> VReg {
+        a.assert_same_len(b);
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(&x, &y)| (f32::from_bits(x) + f32::from_bits(y)).to_bits())
+            .collect();
+        let input = self.chain2(a, b);
+        let done = self.run_stream(
+            "v_fadd",
+            Fu::Alu,
+            self.cfg.alu_latency,
+            self.cfg.lanes,
+            0,
+            a.len(),
+            Some(&input),
+        );
+        self.stats.alu_ops += 1;
+        VReg { data, ready: done }
+    }
+
+    /// `v_sca_f32`: indexed scatter-*accumulate* — element `i` performs
+    /// `mem[base + idx[i]] +=f32 vals[i]`, left to right (so colliding
+    /// indices accumulate correctly, like the sequential loop being
+    /// vectorized). Each element is a read-modify-write: two words on the
+    /// 1-word-per-cycle indexed port, i.e. half the scatter rate.
+    pub fn v_scatter_add_f32(&mut self, vals: &VReg, base: u32, idx: &VReg) -> u64 {
+        vals.assert_same_len(idx);
+        for k in 0..vals.len() {
+            let addr = base.wrapping_add(idx.data[k]);
+            let acc = f32::from_bits(self.mem.read(addr)) + f32::from_bits(vals.data[k]);
+            self.mem.write(addr, acc.to_bits());
+        }
+        // Two indexed words per element; the model's minimum rate is one
+        // element per cycle, so charge the extra word as latency-per-pair
+        // by halving throughput: use groups of one element every 2 cycles.
+        let startup = self.cfg.mem_startup;
+        let input = self.chain2(vals, idx);
+        // rate 1 with an extra cycle per element: emulate via run_batched
+        // with explicit per-element groups at 1 accept/cycle costs 1; we
+        // charge 2 words by running a stream of 2*n "words".
+        let n = vals.len();
+        let word_ready: Vec<u64> = input.iter().flat_map(|&t| [t, t]).collect();
+        let done_words = self.run_stream(
+            "v_sca_f32",
+            Fu::Mem,
+            startup,
+            self.cfg.mem_indexed_words_per_cycle,
+            0,
+            2 * n,
+            Some(&word_ready),
+        );
+        self.stats.mem_indexed_ops += 1;
+        self.stats.mem_words += 2 * n as u64;
+        // run_stream counted 2n word-slots; the instruction processed n
+        // elements.
+        self.stats.elements -= n as u64;
+        done_words.last().copied().unwrap_or(0)
+    }
+
+    /// `v_cmp_eq_imm`: element-wise compare against an immediate,
+    /// producing a 0/1 mask register (the mask-vector primitive of the
+    /// paper's *rejected* vectorized histogram: "a mask vector M_i[j] is
+    /// generated, so that M_i[j] = 1 iff JA[j] = i").
+    pub fn v_cmp_eq_imm(&mut self, src: &VReg, imm: u32) -> VReg {
+        self.alu_unop("v_cmp_eq", src, |x| (x == imm) as u32)
+    }
+
+    /// `v_reduce_add`: sums a register into element 0 of a 1-element
+    /// result via the log-step slide/add network (charged as
+    /// `ceil(log2 n)` chained ALU passes, like the scan).
+    pub fn v_reduce_add(&mut self, src: &VReg) -> VReg {
+        let mut cur = src.clone();
+        let mut k = 1usize;
+        while k < cur.len() {
+            let shifted = self.v_slide_up(&cur, k, 0);
+            cur = self.v_add(&cur, &shifted);
+            k *= 2;
+        }
+        let total = cur.data.last().copied().unwrap_or(0);
+        let ready = cur.ready.last().copied().unwrap_or(0);
+        VReg { data: vec![total], ready: vec![ready] }
+    }
+
+    /// `v_slide_up`: shifts elements towards higher indices by `k`,
+    /// filling vacated slots with `fill` — the register-slide primitive
+    /// the log-step scan-add (Wang et al. \[11\]) is built from.
+    pub fn v_slide_up(&mut self, src: &VReg, k: usize, fill: u32) -> VReg {
+        let n = src.len();
+        let mut data = vec![fill; n];
+        if k < n {
+            data[k..n].copy_from_slice(&src.data[..n - k]);
+        }
+        let input = self.chain(src);
+        let done = self.run_stream(
+            "v_slide",
+            Fu::Alu,
+            self.cfg.alu_latency,
+            self.cfg.lanes,
+            0,
+            n,
+            Some(&input),
+        );
+        self.stats.alu_ops += 1;
+        VReg { data, ready: done }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(VpConfig::paper(), Memory::new())
+    }
+
+    #[test]
+    fn mem_model_contiguous_64_word_load_is_36_cycles() {
+        // The paper's worked example (Section IV-A).
+        let mut e = engine();
+        let r = e.v_ld(0, 64);
+        assert_eq!(r.last_ready() + 1, 36);
+    }
+
+    #[test]
+    fn mem_model_indexed_64_word_load_is_84_cycles() {
+        let mut e = engine();
+        let idx = VReg::ready_at((0..64).collect(), 0);
+        let r = e.v_ld_idx(0, &idx);
+        assert_eq!(r.last_ready() + 1, 84);
+    }
+
+    #[test]
+    fn load_reads_real_data() {
+        let mut mem = Memory::new();
+        mem.write_block(10, &[7, 8, 9]);
+        let mut e = Engine::new(VpConfig::paper(), mem);
+        let r = e.v_ld(10, 3);
+        assert_eq!(r.data, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn store_writes_real_data() {
+        let mut e = engine();
+        let r = VReg::ready_at(vec![1, 2, 3], 0);
+        e.v_st(100, &r);
+        assert_eq!(e.mem().read_block(100, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn strided_load_gathers_columns() {
+        let mut mem = Memory::new();
+        // 3x4 row-major matrix; column 1 = words 1, 5, 9.
+        mem.write_block(0, &[0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23]);
+        let mut e = Engine::new(VpConfig::paper(), mem);
+        let col = e.v_ld_strided(1, 4, 3);
+        assert_eq!(col.data, vec![1, 11, 21]);
+        // Non-unit stride runs at the 1-word/cycle indexed rate: 20+3.
+        assert_eq!(col.last_ready() + 1, 23);
+        let row = e.v_ld_strided(4, 1, 4);
+        assert_eq!(row.data, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn pair_load_deinterleaves() {
+        let mut mem = Memory::new();
+        mem.write_block(0, &[10, 11, 20, 21, 30, 31]);
+        let mut e = Engine::new(VpConfig::paper(), mem);
+        let (payload, pos) = e.v_ld_pair(0, 3);
+        assert_eq!(payload.data, vec![10, 20, 30]);
+        assert_eq!(pos.data, vec![11, 21, 31]);
+        // Default words_per_entry = 1: 4 entries/cycle → 20 + 1 = 21.
+        assert_eq!(payload.last_ready() + 1, 21);
+    }
+
+    #[test]
+    fn pair_load_rate_honours_words_per_entry() {
+        let mut cfg = VpConfig::paper();
+        cfg.words_per_entry = 2;
+        let mut mem = Memory::new();
+        mem.write_block(0, &[0; 12]);
+        let mut e = Engine::new(cfg, mem);
+        let (payload, _) = e.v_ld_pair(0, 6);
+        // 6 entries of 2 charged words at 2 entries/cycle: 20 + 3 = 23.
+        assert_eq!(payload.last_ready() + 1, 23);
+    }
+
+    #[test]
+    fn pair_store_interleaves() {
+        let mut e = engine();
+        let payload = VReg::ready_at(vec![1, 2], 0);
+        let pos = VReg::ready_at(vec![9, 8], 0);
+        e.v_st_pair(50, &payload, &pos);
+        assert_eq!(e.mem().read_block(50, 4), vec![1, 9, 2, 8]);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut mem = Memory::new();
+        mem.write_block(0, &[5, 6, 7, 8]);
+        let mut e = Engine::new(VpConfig::paper(), mem);
+        let idx = VReg::ready_at(vec![3, 1], 0);
+        let g = e.v_ld_idx(0, &idx);
+        assert_eq!(g.data, vec![8, 6]);
+        e.v_st_idx(&g, 100, &idx);
+        assert_eq!(e.mem().read(103), 8);
+        assert_eq!(e.mem().read(101), 6);
+    }
+
+    #[test]
+    fn scatter_collision_last_wins() {
+        let mut e = engine();
+        let idx = VReg::ready_at(vec![0, 0], 0);
+        let vals = VReg::ready_at(vec![1, 2], 0);
+        e.v_st_idx(&vals, 40, &idx);
+        assert_eq!(e.mem().read(40), 2);
+    }
+
+    #[test]
+    fn chaining_overlaps_load_and_alu() {
+        // Load chained into an ALU op (different FUs): with chaining the
+        // ALU consumes elements as they arrive; without, it waits for the
+        // whole register.
+        let run = |chaining: bool| {
+            let mut cfg = VpConfig::paper();
+            cfg.chaining = chaining;
+            let mut e = Engine::new(cfg, Memory::new());
+            let r = e.v_ld(0, 64);
+            e.v_add_imm(&r, 1);
+            e.cycles()
+        };
+        let chained = run(true);
+        let unchained = run(false);
+        assert!(chained < unchained, "{chained} !< {unchained}");
+        // Chained: ALU tracks the memory stream, last element at 35 → 36.
+        assert_eq!(chained, 36);
+        // Unchained: ALU starts at the load's completion (cycle 35) and
+        // pushes 64 elements at 4/cycle → 35 + 15 + 1 = 51.
+        assert_eq!(unchained, 51);
+    }
+
+    #[test]
+    fn mem_to_mem_chain_serializes_on_the_port() {
+        // v_ld chained into v_st still serializes: there is one memory
+        // port, so chaining cannot overlap two memory instructions.
+        let mut e = engine();
+        let r = e.v_ld(0, 64);
+        e.v_st(1000, &r);
+        assert_eq!(e.cycles(), 36 + 36);
+    }
+
+    #[test]
+    fn dual_ported_memory_overlaps_independent_loads() {
+        let mut cfg = VpConfig::paper();
+        cfg.mem_ports = 2;
+        let mut e = Engine::new(cfg, Memory::new());
+        let a = e.v_ld(0, 64);
+        let b = e.v_ld(1000, 64);
+        // Both streams run concurrently on separate ports.
+        assert!(b.last_ready() <= a.last_ready() + 2);
+        assert_eq!(e.cycles(), 37); // 36 + 1 issue-slot skew
+    }
+
+    #[test]
+    fn fu_occupancy_serializes_memory_ops() {
+        let mut e = engine();
+        let a = e.v_ld(0, 64);
+        let b = e.v_ld(1000, 64);
+        // Second load cannot start until the port frees.
+        assert!(b.ready[0] > a.last_ready());
+    }
+
+    #[test]
+    fn alu_ops_compute() {
+        let mut e = engine();
+        let a = e.v_iota(8, 5, 2);
+        assert_eq!(a.data, vec![5, 7, 9, 11, 13, 15, 17, 19]);
+        let b = e.v_add_imm(&a, 1);
+        assert_eq!(b.data[0], 6);
+        let c = e.v_add(&a, &b);
+        assert_eq!(c.data[7], 19 + 20);
+        let d = e.v_slide_up(&a, 2, 0);
+        assert_eq!(d.data, vec![0, 0, 5, 7, 9, 11, 13, 15]);
+        let s = e.v_sll_imm(&a, 1);
+        assert_eq!(s.data[0], 10);
+    }
+
+    #[test]
+    fn alu_and_mem_overlap() {
+        // Independent ALU work can proceed while the memory port streams.
+        let mut e = engine();
+        let _ld = e.v_ld(0, 64); // mem busy till ~35
+        let before = e.cycles();
+        let _a = e.v_set_imm(64, 1); // issues immediately on the ALU
+        // ALU op of 64 elems at 4/cycle + latency ≈ done before the load.
+        assert!(e.cycles() <= before.max(36));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        let r = e.v_ld(0, 16);
+        e.v_st(100, &r);
+        let idx = VReg::ready_at(vec![0, 1], 0);
+        e.v_ld_idx(0, &idx);
+        e.v_set_imm(4, 0);
+        let s = e.stats();
+        assert_eq!(s.mem_contig_ops, 2);
+        assert_eq!(s.mem_indexed_ops, 1);
+        assert_eq!(s.alu_ops, 1);
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.mem_words, 16 + 16 + 2);
+    }
+
+    #[test]
+    fn advance_serial_serializes() {
+        let mut e = engine();
+        e.v_ld(0, 64); // finishes at 36
+        e.advance_serial(100);
+        assert_eq!(e.cycles(), 136);
+        assert_eq!(e.stats().scalar_cycles, 100);
+    }
+
+    #[test]
+    fn stall_until_blocks_issue() {
+        let mut e = engine();
+        e.stall_until(500);
+        let r = e.v_ld(0, 4);
+        assert!(r.ready[0] >= 500 + 20);
+    }
+
+    #[test]
+    fn mask_and_reduce_ops() {
+        let mut e = engine();
+        let v = VReg::ready_at(vec![3, 7, 3, 1, 3], 0);
+        let m = e.v_cmp_eq_imm(&v, 3);
+        assert_eq!(m.data, vec![1, 0, 1, 0, 1]);
+        let r = e.v_reduce_add(&m);
+        assert_eq!(r.data, vec![3]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn f32_ops_compute() {
+        let mut e = engine();
+        let a = VReg::ready_at(vec![2.0f32.to_bits(), (-3.0f32).to_bits()], 0);
+        let b = VReg::ready_at(vec![4.0f32.to_bits(), 0.5f32.to_bits()], 0);
+        let m = e.v_fmul(&a, &b);
+        assert_eq!(f32::from_bits(m.data[0]), 8.0);
+        assert_eq!(f32::from_bits(m.data[1]), -1.5);
+        let s = e.v_fadd(&a, &b);
+        assert_eq!(f32::from_bits(s.data[0]), 6.0);
+    }
+
+    #[test]
+    fn position_unpack_ops() {
+        let mut e = engine();
+        let pos = VReg::ready_at(vec![(5u32 << 8) | 9, 63 << 8], 0);
+        let rows = e.v_srl_imm(&pos, 8);
+        let cols = e.v_and_imm(&pos, 0xff);
+        assert_eq!(rows.data, vec![5, 63]);
+        assert_eq!(cols.data, vec![9, 0]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_collisions() {
+        let mut e = engine();
+        e.mem_mut().write_f32(100, 1.0);
+        let vals = VReg::ready_at(vec![2.0f32.to_bits(), 3.0f32.to_bits()], 0);
+        let idx = VReg::ready_at(vec![0, 0], 0);
+        e.v_scatter_add_f32(&vals, 100, &idx);
+        assert_eq!(e.mem().read_f32(100), 6.0);
+    }
+
+    #[test]
+    fn scatter_add_costs_two_words_per_element() {
+        // 8 elements: 20 + 16 = 36 cycles vs a plain 8-element scatter's
+        // 20 + 8 = 28.
+        let mut e = engine();
+        let vals = VReg::ready_at(vec![1.0f32.to_bits(); 8], 0);
+        let idx = VReg::ready_at((0..8).collect(), 0);
+        let done = e.v_scatter_add_f32(&vals, 50, &idx);
+        assert_eq!(done + 1, 36);
+    }
+
+    #[test]
+    fn empty_vectors_are_free_of_elements() {
+        let mut e = engine();
+        let r = e.v_ld(0, 0);
+        assert!(r.is_empty());
+        e.v_st(10, &r);
+        // Only issue cost accrues.
+        assert!(e.cycles() <= 4);
+    }
+}

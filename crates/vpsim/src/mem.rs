@@ -1,0 +1,157 @@
+//! Simulated main memory: a flat, word-addressed 32-bit store, plus a bump
+//! allocator for laying out kernel data structures.
+
+/// Word-addressed 32-bit main memory. Grows on demand so tests never need
+//  to size it up front.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    words: Vec<u32>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Memory { words: Vec::new() }
+    }
+
+    /// A memory pre-sized to `capacity_words` zeroed words.
+    pub fn with_capacity(capacity_words: usize) -> Self {
+        Memory { words: vec![0; capacity_words] }
+    }
+
+    /// Current size in words (highest initialized address + 1).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no word has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn ensure(&mut self, addr: u32) {
+        if addr as usize >= self.words.len() {
+            self.words.resize(addr as usize + 1, 0);
+        }
+    }
+
+    /// Reads one word (unwritten addresses read as 0).
+    pub fn read(&self, addr: u32) -> u32 {
+        self.words.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes one word, growing the store if necessary.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        self.ensure(addr);
+        self.words[addr as usize] = value;
+    }
+
+    /// Reads `n` consecutive words starting at `addr`.
+    pub fn read_block(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n).map(|k| self.read(addr + k as u32)).collect()
+    }
+
+    /// Writes a block of consecutive words starting at `addr`.
+    pub fn write_block(&mut self, addr: u32, data: &[u32]) {
+        if data.is_empty() {
+            return;
+        }
+        self.ensure(addr + data.len() as u32 - 1);
+        self.words[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a word as `f32` (bit cast).
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read(addr))
+    }
+
+    /// Writes an `f32` word (bit cast).
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write(addr, value.to_bits());
+    }
+}
+
+/// Bump allocator over [`Memory`] addresses — the kernels use it to place
+/// their arrays like a program's loader/heap would.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    next: u32,
+}
+
+impl Allocator {
+    /// Starts allocating at `base` (word address).
+    pub fn new(base: u32) -> Self {
+        Allocator { next: base }
+    }
+
+    /// Reserves `words` consecutive words, returns their base address.
+    pub fn alloc(&mut self, words: usize) -> u32 {
+        let addr = self.next;
+        self.next = self
+            .next
+            .checked_add(words as u32)
+            .expect("simulated address space exhausted");
+        addr
+    }
+
+    /// Reserves with the start rounded up to `align` words.
+    pub fn alloc_aligned(&mut self, words: usize, align: u32) -> u32 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.next = (self.next + align - 1) & !(align - 1);
+        self.alloc(words)
+    }
+
+    /// Next free address (watermark).
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new();
+        m.write(100, 42);
+        assert_eq!(m.read(100), 42);
+        assert_eq!(m.read(99), 0);
+        assert_eq!(m.len(), 101);
+    }
+
+    #[test]
+    fn unwritten_reads_are_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(123456), 0);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut m = Memory::new();
+        m.write_block(10, &[1, 2, 3]);
+        assert_eq!(m.read_block(9, 5), vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let mut m = Memory::new();
+        m.write_f32(5, -3.25);
+        assert_eq!(m.read_f32(5), -3.25);
+    }
+
+    #[test]
+    fn allocator_bumps_and_aligns() {
+        let mut a = Allocator::new(10);
+        assert_eq!(a.alloc(3), 10);
+        assert_eq!(a.alloc_aligned(4, 8), 16);
+        assert_eq!(a.watermark(), 20);
+    }
+
+    #[test]
+    fn empty_block_write_is_noop() {
+        let mut m = Memory::new();
+        m.write_block(50, &[]);
+        assert!(m.is_empty());
+    }
+}

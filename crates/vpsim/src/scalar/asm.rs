@@ -1,0 +1,175 @@
+//! A tiny two-pass assembler for the scalar mini-ISA: forward labels are
+//! declared, used in branches, and bound later; `finish` patches targets.
+
+use super::isa::{Program, Reg, SInstr};
+
+/// A label handle returned by [`Asm::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Program builder.
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<SInstr>,
+    /// For each label: its bound instruction index, once known.
+    labels: Vec<Option<usize>>,
+    /// `(instruction index, label)` pairs to patch at finish.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a label (bind it later with [`Asm::bind`]).
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len());
+    }
+
+    /// `rd <- imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.code.push(SInstr::Li(rd, imm));
+        self
+    }
+
+    /// `rd <- rs + rt`
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.code.push(SInstr::Add(rd, rs, rt));
+        self
+    }
+
+    /// `rd <- rs + imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.code.push(SInstr::Addi(rd, rs, imm));
+        self
+    }
+
+    /// `rd <- rs - rt`
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.code.push(SInstr::Sub(rd, rs, rt));
+        self
+    }
+
+    /// `rd <- mem[rs + imm]`
+    pub fn ld(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.code.push(SInstr::Ld(rd, rs, imm));
+        self
+    }
+
+    /// `mem[rs + imm] <- rt`
+    pub fn st(&mut self, rs: Reg, imm: i64, rt: Reg) -> &mut Self {
+        self.code.push(SInstr::St(rs, rt, imm));
+        self
+    }
+
+    fn branch(&mut self, mk: impl Fn(usize) -> SInstr, l: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), l));
+        self.code.push(mk(usize::MAX));
+        self
+    }
+
+    /// Branch if `rs < rt`.
+    pub fn blt(&mut self, rs: Reg, rt: Reg, l: Label) -> &mut Self {
+        self.branch(|t| SInstr::Blt(rs, rt, t), l)
+    }
+
+    /// Branch if `rs >= rt`.
+    pub fn bge(&mut self, rs: Reg, rt: Reg, l: Label) -> &mut Self {
+        self.branch(|t| SInstr::Bge(rs, rt, t), l)
+    }
+
+    /// Branch if `rs != rt`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, l: Label) -> &mut Self {
+        self.branch(|t| SInstr::Bne(rs, rt, t), l)
+    }
+
+    /// Branch if `rs == rt`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, l: Label) -> &mut Self {
+        self.branch(|t| SInstr::Beq(rs, rt, t), l)
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.branch(SInstr::Jmp, l)
+    }
+
+    /// Stop.
+    pub fn halt(&mut self) -> &mut Self {
+        self.code.push(SInstr::Halt);
+        self
+    }
+
+    /// Resolves labels and returns the program. Panics on unbound labels.
+    pub fn finish(mut self) -> Program {
+        for (at, Label(l)) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[l].expect("branch to unbound label");
+            self.code[at] = match self.code[at] {
+                SInstr::Blt(a, b, _) => SInstr::Blt(a, b, target),
+                SInstr::Bge(a, b, _) => SInstr::Bge(a, b, target),
+                SInstr::Bne(a, b, _) => SInstr::Bne(a, b, target),
+                SInstr::Beq(a, b, _) => SInstr::Beq(a, b, target),
+                SInstr::Jmp(_) => SInstr::Jmp(target),
+                other => other,
+            };
+        }
+        Program { code: self.code }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut a = Asm::new();
+        let end = a.label();
+        a.li(1, 0);
+        a.jmp(end);
+        a.li(1, 99); // skipped
+        a.bind(end);
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.code[1], SInstr::Jmp(3));
+    }
+
+    #[test]
+    fn backward_label_loop() {
+        let mut a = Asm::new();
+        a.li(1, 0).li(2, 3);
+        let top = a.label();
+        a.bind(top);
+        a.addi(1, 1, 1);
+        a.bne(1, 2, top);
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.code[3], SInstr::Bne(1, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp(l);
+        a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

@@ -1,0 +1,164 @@
+//! A set-associative, write-allocate L1 data cache model with LRU
+//! replacement — the scalar core's view of the 20-cycle main memory.
+
+/// Geometry and latencies of the L1 data cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (default 32 KiB, SimpleScalar's default L1).
+    pub size_bytes: usize,
+    /// Line size in bytes (default 32).
+    pub line_bytes: usize,
+    /// Associativity (default 4).
+    pub assoc: usize,
+    /// Hit latency in cycles (default 2: address generation + access).
+    pub hit_latency: u64,
+    /// Miss penalty in cycles on top of the hit latency (default 20 —
+    /// the same main-memory startup the vector unit pays).
+    pub miss_penalty: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+            assoc: 4,
+            hit_latency: 2,
+            miss_penalty: 20,
+        }
+    }
+}
+
+impl CacheConfig {
+    fn num_sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.assoc).max(1)
+    }
+}
+
+/// The cache state: per-set tag arrays with LRU stamps.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[set][way] = (tag, last_use_stamp)`; `u64::MAX` tag = invalid.
+    sets: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// A cold cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes >= 4 && cfg.line_bytes.is_power_of_two());
+        assert!(cfg.assoc >= 1);
+        let sets = vec![vec![(u64::MAX, 0); cfg.assoc]; cfg.num_sets()];
+        Cache { cfg, sets, stamp: 0, hits: 0, misses: 0 }
+    }
+
+    /// Accesses the word at `word_addr` (read or write — write-allocate
+    /// makes them equivalent for this model) and returns the latency.
+    pub fn access(&mut self, word_addr: u32) -> u64 {
+        self.stamp += 1;
+        let byte_addr = word_addr as u64 * 4;
+        let line = byte_addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            w.1 = self.stamp;
+            self.hits += 1;
+            return self.cfg.hit_latency;
+        }
+        // Miss: evict LRU.
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|(_, stamp)| *stamp)
+            .expect("assoc >= 1");
+        *victim = (tag, self.stamp);
+        self.cfg.hit_latency + self.cfg.miss_penalty
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit latency of the configuration.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(CacheConfig::default());
+        let miss = c.access(100);
+        let hit = c.access(100);
+        assert_eq!(miss, 22);
+        assert_eq!(hit, 2);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn spatial_locality_within_a_line() {
+        let mut c = Cache::new(CacheConfig::default());
+        c.access(0); // miss, brings in words 0..8 (32-byte line)
+        assert_eq!(c.access(7), 2);
+        assert_ne!(c.access(8), 2); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Direct-mapped tiny cache: 2 lines total, assoc 1.
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            line_bytes: 32,
+            assoc: 1,
+            hit_latency: 1,
+            miss_penalty: 10,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0); // line 0 → set 0
+        c.access(8); // byte 32 → line 1 → set 1
+        assert_eq!(c.access(0), 1); // still resident
+        c.access(16); // byte 64 → line 2 → set 0 → evicts line 0
+        assert_eq!(c.access(0), 11); // miss again
+    }
+
+    #[test]
+    fn associativity_retains_conflicting_lines() {
+        let cfg = CacheConfig {
+            size_bytes: 128,
+            line_bytes: 32,
+            assoc: 2,
+            hit_latency: 1,
+            miss_penalty: 10,
+        };
+        let mut c = Cache::new(cfg); // 2 sets x 2 ways
+        c.access(0); // set 0
+        c.access(16); // set 0 (line 2 of 2 sets → 2 % 2 = 0)
+        assert_eq!(c.access(0), 1);
+        assert_eq!(c.access(16), 1);
+    }
+
+    #[test]
+    fn streaming_misses_once_per_line() {
+        let mut c = Cache::new(CacheConfig::default());
+        for w in 0..64u32 {
+            c.access(w);
+        }
+        // 64 words / 8 words-per-line = 8 misses.
+        assert_eq!(c.misses(), 8);
+        assert_eq!(c.hits(), 56);
+    }
+}

@@ -1,0 +1,295 @@
+//! The in-order 4-way scalar pipeline: functional interpretation of a
+//! [`Program`] over simulated [`Memory`], with cycle timing.
+//!
+//! Timing rules (per DESIGN.md §2.6):
+//! * up to `scalar_issue_width` instructions issue per cycle, in order;
+//! * an instruction stalls until its source registers are ready (RAW);
+//! * loads/stores additionally compete for `scalar_mem_ports` per cycle;
+//! * load results are ready after the L1 access latency (hit or miss);
+//! * ALU results are ready after `scalar_alu_latency`;
+//! * a taken branch costs `scalar_branch_penalty` extra cycles and ends
+//!   the issue group (no issue past a taken branch in the same cycle).
+
+use super::cache::Cache;
+use super::isa::{Program, SInstr, NUM_REGS};
+use crate::config::VpConfig;
+use crate::mem::Memory;
+
+/// Statistics of one scalar program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarRunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// L1 hits.
+    pub cache_hits: u64,
+    /// L1 misses.
+    pub cache_misses: u64,
+}
+
+/// Executes `program` to `Halt` (or the `max_instructions` safety cap),
+/// reading and writing `mem`. Returns the run statistics; register state
+/// is internal to the run.
+///
+/// Panics if the program runs past `max_instructions` without halting —
+/// that is a kernel bug, not an input condition.
+pub fn run_program(
+    cfg: &VpConfig,
+    mem: &mut Memory,
+    program: &Program,
+    max_instructions: u64,
+) -> ScalarRunStats {
+    let mut regs = [0i64; NUM_REGS];
+    let mut ready = [0u64; NUM_REGS];
+    let mut cache = Cache::new(cfg.scalar_cache);
+    let mut pc = 0usize;
+    let mut cycle = 0u64;
+    let mut slots = 0u64;
+    let mut mem_ports = 0u64;
+    let mut stats = ScalarRunStats::default();
+
+    fn advance_to(cycle: &mut u64, slots: &mut u64, ports: &mut u64, t: u64) {
+        if t > *cycle {
+            *cycle = t;
+            *slots = 0;
+            *ports = 0;
+        }
+    }
+
+    while pc < program.code.len() {
+        if stats.instructions >= max_instructions {
+            panic!("scalar program exceeded {max_instructions} instructions without halting");
+        }
+        let instr = program.code[pc];
+        // Source operands for the RAW stall.
+        let (src1, src2) = match instr {
+            SInstr::Li(..) | SInstr::Jmp(_) | SInstr::Halt => (None, None),
+            SInstr::Addi(_, rs, _) | SInstr::Ld(_, rs, _) => (Some(rs), None),
+            SInstr::Add(_, rs, rt) | SInstr::Sub(_, rs, rt) => (Some(rs), Some(rt)),
+            SInstr::St(rs, rt, _) => (Some(rs), Some(rt)),
+            SInstr::Blt(rs, rt, _)
+            | SInstr::Bge(rs, rt, _)
+            | SInstr::Bne(rs, rt, _)
+            | SInstr::Beq(rs, rt, _) => (Some(rs), Some(rt)),
+        };
+        let mut earliest = cycle;
+        if let Some(r) = src1 {
+            earliest = earliest.max(ready[r as usize]);
+        }
+        if let Some(r) = src2 {
+            earliest = earliest.max(ready[r as usize]);
+        }
+        advance_to(&mut cycle, &mut slots, &mut mem_ports, earliest);
+        if slots == cfg.scalar_issue_width {
+            { let t = cycle + 1; advance_to(&mut cycle, &mut slots, &mut mem_ports, t); }
+        }
+        let is_mem = matches!(instr, SInstr::Ld(..) | SInstr::St(..));
+        if is_mem && mem_ports == cfg.scalar_mem_ports {
+            { let t = cycle + 1; advance_to(&mut cycle, &mut slots, &mut mem_ports, t); }
+        }
+        let issue = cycle;
+        slots += 1;
+        if is_mem {
+            mem_ports += 1;
+        }
+        stats.instructions += 1;
+
+        let mut next_pc = pc + 1;
+        match instr {
+            SInstr::Li(rd, imm) => {
+                regs[rd as usize] = imm;
+                ready[rd as usize] = issue + cfg.scalar_alu_latency;
+            }
+            SInstr::Add(rd, rs, rt) => {
+                regs[rd as usize] = regs[rs as usize].wrapping_add(regs[rt as usize]);
+                ready[rd as usize] = issue + cfg.scalar_alu_latency;
+            }
+            SInstr::Addi(rd, rs, imm) => {
+                regs[rd as usize] = regs[rs as usize].wrapping_add(imm);
+                ready[rd as usize] = issue + cfg.scalar_alu_latency;
+            }
+            SInstr::Sub(rd, rs, rt) => {
+                regs[rd as usize] = regs[rs as usize].wrapping_sub(regs[rt as usize]);
+                ready[rd as usize] = issue + cfg.scalar_alu_latency;
+            }
+            SInstr::Ld(rd, rs, imm) => {
+                let addr = (regs[rs as usize] + imm) as u32;
+                regs[rd as usize] = mem.read(addr) as i64;
+                let lat = cache.access(addr);
+                ready[rd as usize] = issue + lat;
+                stats.loads += 1;
+            }
+            SInstr::St(rs, rt, imm) => {
+                let addr = (regs[rs as usize] + imm) as u32;
+                mem.write(addr, regs[rt as usize] as u32);
+                // Write-allocate: the access charges the port and warms
+                // the cache; the store itself retires without a consumer.
+                cache.access(addr);
+                stats.stores += 1;
+            }
+            SInstr::Blt(rs, rt, t) => {
+                if regs[rs as usize] < regs[rt as usize] {
+                    next_pc = t;
+                }
+            }
+            SInstr::Bge(rs, rt, t) => {
+                if regs[rs as usize] >= regs[rt as usize] {
+                    next_pc = t;
+                }
+            }
+            SInstr::Bne(rs, rt, t) => {
+                if regs[rs as usize] != regs[rt as usize] {
+                    next_pc = t;
+                }
+            }
+            SInstr::Beq(rs, rt, t) => {
+                if regs[rs as usize] == regs[rt as usize] {
+                    next_pc = t;
+                }
+            }
+            SInstr::Jmp(t) => next_pc = t,
+            SInstr::Halt => break,
+        }
+        // Taken control flow ends the issue group and pays the penalty.
+        let taken = next_pc != pc + 1;
+        if taken {
+            advance_to(
+                &mut cycle,
+                &mut slots,
+                &mut mem_ports,
+                issue + 1 + cfg.scalar_branch_penalty,
+            );
+        }
+        pc = next_pc;
+    }
+    stats.cycles = cycle + 1;
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::asm::Asm;
+
+    fn cfg() -> VpConfig {
+        VpConfig::paper()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut a = Asm::new();
+        a.li(1, 5).li(2, 7).add(3, 1, 2).st(0, 100, 3).halt();
+        let mut mem = Memory::new();
+        let st = run_program(&cfg(), &mut mem, &a.finish(), 1000);
+        assert_eq!(mem.read(100), 12);
+        assert_eq!(st.instructions, 5);
+        assert_eq!(st.stores, 1);
+    }
+
+    #[test]
+    fn loop_executes_correct_count() {
+        // for i in 0..10 { mem[200+i] = i }
+        let mut a = Asm::new();
+        a.li(1, 0).li(2, 10).li(3, 200);
+        let top = a.label();
+        a.bind(top);
+        a.add(4, 3, 1);
+        a.st(4, 0, 1);
+        a.addi(1, 1, 1);
+        a.blt(1, 2, top);
+        a.halt();
+        let mut mem = Memory::new();
+        let st = run_program(&cfg(), &mut mem, &a.finish(), 10_000);
+        for i in 0..10u32 {
+            assert_eq!(mem.read(200 + i), i);
+        }
+        assert_eq!(st.stores, 10);
+        assert!(st.cycles > 10, "loop cannot be free");
+    }
+
+    #[test]
+    fn load_dependence_stalls() {
+        // Dependent chain: ld r1; addi r2 <- r1. Cold miss: ~22 cycles.
+        let mut a = Asm::new();
+        a.li(1, 0).ld(2, 1, 50).addi(3, 2, 1).halt();
+        let mut mem = Memory::new();
+        mem.write(50, 9);
+        let st = run_program(&cfg(), &mut mem, &a.finish(), 100);
+        // The addi cannot issue before the cold-miss load returns.
+        assert!(st.cycles >= 22, "cycles = {}", st.cycles);
+        assert_eq!(st.cache_misses, 1);
+    }
+
+    #[test]
+    fn issue_width_limits_throughput() {
+        // 16 independent li's: 4-way → ≥ 4 cycles.
+        let mut a = Asm::new();
+        for i in 0..16u8 {
+            a.li(i % 30, i as i64);
+        }
+        a.halt();
+        let mut mem = Memory::new();
+        let st = run_program(&cfg(), &mut mem, &a.finish(), 100);
+        assert!(st.cycles >= 4, "cycles = {}", st.cycles);
+        assert!(st.cycles <= 8, "cycles = {}", st.cycles);
+    }
+
+    #[test]
+    fn histogram_like_loop_is_functional() {
+        // for k in 0..8: mem[300 + mem[100+k]] += 1
+        let mut mem = Memory::new();
+        mem.write_block(100, &[0, 1, 0, 2, 1, 0, 3, 0]);
+        let mut a = Asm::new();
+        a.li(1, 0).li(2, 8);
+        let top = a.label();
+        a.bind(top);
+        a.ld(3, 1, 100); // j = JA[k]
+        a.addi(4, 3, 300);
+        a.ld(5, 4, 0); // cnt = IAT[j]
+        a.addi(5, 5, 1);
+        a.st(4, 0, 5); // IAT[j] = cnt + 1
+        a.addi(1, 1, 1);
+        a.blt(1, 2, top);
+        a.halt();
+        let st = run_program(&cfg(), &mut mem, &a.finish(), 10_000);
+        assert_eq!(mem.read_block(300, 4), vec![4, 2, 1, 1]);
+        assert_eq!(st.loads, 16);
+        assert_eq!(st.stores, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_program_is_caught() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.jmp(top);
+        let mut mem = Memory::new();
+        run_program(&cfg(), &mut mem, &a.finish(), 100);
+    }
+
+    #[test]
+    fn branch_penalty_costs_cycles() {
+        let run_with = |penalty: u64| {
+            let mut c = cfg();
+            c.scalar_branch_penalty = penalty;
+            let mut a = Asm::new();
+            a.li(1, 0).li(2, 100);
+            let top = a.label();
+            a.bind(top);
+            a.addi(1, 1, 1);
+            a.blt(1, 2, top);
+            a.halt();
+            let mut mem = Memory::new();
+            run_program(&c, &mut mem, &a.finish(), 10_000).cycles
+        };
+        assert!(run_with(3) > run_with(0));
+    }
+}

@@ -1,0 +1,59 @@
+//! The scalar mini-ISA: a RISC subset sufficient for the paper's scalar
+//! loops (address arithmetic, word loads/stores, compare-and-branch).
+
+/// A scalar register name (32 registers; `r0` is general-purpose here,
+/// not hard-wired to zero).
+pub type Reg = u8;
+
+/// Number of scalar registers.
+pub const NUM_REGS: usize = 32;
+
+/// One scalar instruction. Word-granular memory addressing (the machine
+/// is a 32-bit-word memory); branch targets are instruction indices,
+/// resolved by the assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SInstr {
+    /// `rd <- imm`
+    Li(Reg, i64),
+    /// `rd <- rs + rt`
+    Add(Reg, Reg, Reg),
+    /// `rd <- rs + imm`
+    Addi(Reg, Reg, i64),
+    /// `rd <- rs - rt`
+    Sub(Reg, Reg, Reg),
+    /// `rd <- mem[rs + imm]` (word address)
+    Ld(Reg, Reg, i64),
+    /// `mem[rs + imm] <- rt` (word address)
+    St(Reg, Reg, i64),
+    /// branch to `target` if `rs < rt`
+    Blt(Reg, Reg, usize),
+    /// branch to `target` if `rs >= rt`
+    Bge(Reg, Reg, usize),
+    /// branch to `target` if `rs != rt`
+    Bne(Reg, Reg, usize),
+    /// branch to `target` if `rs == rt`
+    Beq(Reg, Reg, usize),
+    /// unconditional jump
+    Jmp(usize),
+    /// stop execution
+    Halt,
+}
+
+/// An assembled scalar program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The instruction stream (branch targets already resolved).
+    pub code: Vec<SInstr>,
+}
+
+impl Program {
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}

@@ -1,0 +1,55 @@
+//! Cycle and instruction accounting for the vector engine.
+
+/// Aggregate statistics of one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Vector instructions issued.
+    pub instructions: u64,
+    /// Contiguous memory instructions (loads + stores).
+    pub mem_contig_ops: u64,
+    /// Indexed memory instructions (gathers + scatters).
+    pub mem_indexed_ops: u64,
+    /// Vector ALU instructions.
+    pub alu_ops: u64,
+    /// Instructions routed to the STM functional unit.
+    pub stm_ops: u64,
+    /// 32-bit words moved to/from main memory by vector instructions.
+    pub mem_words: u64,
+    /// Elements processed across all vector instructions.
+    pub elements: u64,
+    /// Cycles charged as scalar loop/control overhead.
+    pub overhead_cycles: u64,
+    /// Cycles spent in scalar-core phases (added via `Engine::advance`).
+    pub scalar_cycles: u64,
+}
+
+impl EngineStats {
+    /// Merges another stats block into this one (used when a kernel runs
+    /// several engine phases).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.instructions += other.instructions;
+        self.mem_contig_ops += other.mem_contig_ops;
+        self.mem_indexed_ops += other.mem_indexed_ops;
+        self.alu_ops += other.alu_ops;
+        self.stm_ops += other.stm_ops;
+        self.mem_words += other.mem_words;
+        self.elements += other.elements;
+        self.overhead_cycles += other.overhead_cycles;
+        self.scalar_cycles += other.scalar_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EngineStats { instructions: 2, mem_words: 10, ..Default::default() };
+        let b = EngineStats { instructions: 3, alu_ops: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 5);
+        assert_eq!(a.mem_words, 10);
+        assert_eq!(a.alu_ops, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Instruction-level tracing: an optional per-instruction event log for
+//! debugging kernels and inspecting pipeline behaviour, plus per-FU busy
+//! accounting for utilization reports.
+
+use crate::engine::Fu;
+
+/// One traced vector instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Mnemonic (`"v_ld"`, `"v_stcr"`, …).
+    pub op: &'static str,
+    /// Functional unit the instruction ran on.
+    pub fu: Fu,
+    /// Cycle the unit started on the instruction.
+    pub issue: u64,
+    /// Completion cycle of the first element (`issue` for empty vectors).
+    pub first_done: u64,
+    /// Completion cycle of the last element (`issue` for empty vectors).
+    pub last_done: u64,
+    /// Element count.
+    pub elements: usize,
+}
+
+impl TraceEvent {
+    /// Duration from issue to last completion, inclusive.
+    pub fn span(&self) -> u64 {
+        self.last_done + 1 - self.issue.min(self.last_done)
+    }
+}
+
+/// A bounded trace buffer (drops the oldest events past the capacity so a
+/// long simulation cannot exhaust memory).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Trace { events: std::collections::VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as an aligned listing (for debugging output).
+    pub fn render(&self) -> String {
+        let mut out = String::from("      op        fu     issue     first      last  elems\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>8}  {:>8?}  {:>8}  {:>8}  {:>8}  {:>5}\n",
+                e.op, e.fu, e.issue, e.first_done, e.last_done, e.elements
+            ));
+        }
+        out
+    }
+}
+
+/// Per-functional-unit busy-cycle accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuBusy {
+    /// Busy cycles of the vector memory port.
+    pub mem: u64,
+    /// Busy cycles of the vector ALU.
+    pub alu: u64,
+    /// Busy cycles of the STM.
+    pub stm: u64,
+}
+
+impl FuBusy {
+    /// Adds `cycles` to the unit's account.
+    pub fn add(&mut self, fu: Fu, cycles: u64) {
+        match fu {
+            Fu::Mem => self.mem += cycles,
+            Fu::Alu => self.alu += cycles,
+            Fu::Stm => self.stm += cycles,
+        }
+    }
+
+    /// Utilization of a unit over a run of `total` cycles (0 when idle).
+    pub fn utilization(&self, fu: Fu, total: u64) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let busy = match fu {
+            Fu::Mem => self.mem,
+            Fu::Alu => self.alu,
+            Fu::Stm => self.stm,
+        };
+        busy as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: &'static str, issue: u64, last: u64) -> TraceEvent {
+        TraceEvent { op, fu: Fu::Mem, issue, first_done: issue, last_done: last, elements: 1 }
+    }
+
+    #[test]
+    fn trace_keeps_events_in_order() {
+        let mut t = Trace::new(10);
+        t.push(ev("a", 0, 5));
+        t.push(ev("b", 6, 9));
+        let ops: Vec<&str> = t.events().map(|e| e.op).collect();
+        assert_eq!(ops, vec!["a", "b"]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn trace_bounds_capacity() {
+        let mut t = Trace::new(2);
+        t.push(ev("a", 0, 0));
+        t.push(ev("b", 1, 1));
+        t.push(ev("c", 2, 2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events().next().unwrap().op, "b");
+    }
+
+    #[test]
+    fn render_contains_ops() {
+        let mut t = Trace::new(4);
+        t.push(ev("v_ld", 3, 38));
+        let s = t.render();
+        assert!(s.contains("v_ld"));
+        assert!(s.contains("38"));
+    }
+
+    #[test]
+    fn busy_accounting_and_utilization() {
+        let mut b = FuBusy::default();
+        b.add(Fu::Mem, 30);
+        b.add(Fu::Mem, 10);
+        b.add(Fu::Stm, 5);
+        assert_eq!(b.mem, 40);
+        assert!((b.utilization(Fu::Mem, 80) - 0.5).abs() < 1e-12);
+        assert_eq!(b.utilization(Fu::Alu, 80), 0.0);
+        assert_eq!(b.utilization(Fu::Mem, 0), 0.0);
+    }
+
+    #[test]
+    fn span_is_inclusive() {
+        assert_eq!(ev("x", 10, 19).span(), 10);
+    }
+}

@@ -1,0 +1,71 @@
+//! Prints the synthetic D-SAB experiment sets — the 30 matrices the
+//! evaluation runs on — with their metrics and the HiSM-vs-CRS storage
+//! comparison (Section II's 8-bit-position argument and Section IV-A's
+//! "upper levels are 2-5% of storage" claim).
+//!
+//! ```sh
+//! cargo run --release --example suite_report            # full suite
+//! cargo run --release --example suite_report -- --quick # smoke suite
+//! ```
+
+use hism_stm::dsab::{experiment_sets, full_catalogue, quick_catalogue};
+use hism_stm::hism::{build, StorageStats};
+use hism_stm::sparse::{viz, Csr};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (catalogue, per_set) =
+        if quick { (quick_catalogue(), 6) } else { (full_catalogue(), 10) };
+    println!(
+        "catalogue: {} matrices, selecting {} per criterion\n",
+        catalogue.len(),
+        per_set
+    );
+    let sets = experiment_sets(&catalogue, per_set);
+
+    for (title, set) in [
+        ("sorted by locality (Fig. 11 set)", &sets.by_locality),
+        ("sorted by avg nnz/row (Fig. 12 set)", &sets.by_anz),
+        ("sorted by size (Fig. 13 set)", &sets.by_size),
+    ] {
+        println!("== {title} ==");
+        println!(
+            "{:<22} {:>9} {:>9} {:>8} {:>11} {:>11} {:>7}",
+            "matrix", "nnz", "locality", "anz", "hism_bits", "crs_bits", "upper%"
+        );
+        for e in set {
+            let h = build::from_coo(&e.coo, 64).expect("suite matrix");
+            let st = StorageStats::compute(&h);
+            let crs_bits = Csr::from_coo(&e.coo).storage_bits();
+            println!(
+                "{:<22} {:>9} {:>9.3} {:>8.2} {:>11} {:>11} {:>6.1}%",
+                e.name,
+                e.metrics.nnz,
+                e.metrics.locality,
+                e.metrics.avg_nnz_per_row,
+                st.total_bits(),
+                crs_bits,
+                100.0 * st.upper_fraction()
+            );
+        }
+        println!();
+    }
+
+    // Spy plots of the locality extremes: the patterns the STM sees.
+    let lo = &sets.by_locality.first().expect("non-empty set");
+    let hi = &sets.by_locality.last().expect("non-empty set");
+    println!(
+        "lowest locality: {} ({:.3})
+{}",
+        lo.name,
+        lo.metrics.locality,
+        viz::spy(&lo.coo, 48, 16)
+    );
+    println!(
+        "highest locality: {} ({:.3})
+{}",
+        hi.name,
+        hi.metrics.locality,
+        viz::spy(&hi.coo, 48, 16)
+    );
+}

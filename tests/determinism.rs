@@ -1,0 +1,53 @@
+//! End-to-end determinism: the whole evaluation — suite generation,
+//! selection, both kernels' cycle counts — must be bit-identical across
+//! runs and regardless of harness threading, or the recorded
+//! EXPERIMENTS.md numbers would not be reproducible.
+
+use hism_stm::dsab::{experiment_sets, quick_catalogue};
+use stm_bench::{run_set, MatrixResult, RunConfig};
+
+fn fingerprint(results: &[MatrixResult]) -> Vec<(String, u64, u64)> {
+    results
+        .iter()
+        .map(|r| (r.name.clone(), r.hism.cycles, r.crs.cycles))
+        .collect()
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run_once = || {
+        let sets = experiment_sets(&quick_catalogue(), 5);
+        let cfg = RunConfig::default();
+        let mut fp = fingerprint(&run_set(&cfg, &sets.by_locality));
+        fp.extend(fingerprint(&run_set(&cfg, &sets.by_anz)));
+        fp
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn selection_is_deterministic() {
+    let names = |k: usize| -> Vec<String> {
+        experiment_sets(&quick_catalogue(), k)
+            .all()
+            .map(|e| e.name.clone())
+            .collect()
+    };
+    assert_eq!(names(6), names(6));
+    assert_eq!(names(4), names(4));
+}
+
+#[test]
+fn stm_stats_are_stable_between_runs() {
+    let sets = experiment_sets(&quick_catalogue(), 4);
+    let cfg = RunConfig::default();
+    let a = run_set(&cfg, &sets.by_size);
+    let b = run_set(&cfg, &sets.by_size);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.hism.stm, y.hism.stm, "{}", x.name);
+        assert_eq!(x.crs.phases.len(), y.crs.phases.len());
+        for (p, q) in x.crs.phases.iter().zip(&y.crs.phases) {
+            assert_eq!((p.name, p.cycles), (q.name, q.cycles), "{}", x.name);
+        }
+    }
+}

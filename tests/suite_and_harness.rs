@@ -1,0 +1,102 @@
+//! Integration of the D-SAB suite with the experiment harness: the quick
+//! suite must run end to end with verification on, and the headline
+//! claims must hold on it.
+
+use hism_stm::dsab::{experiment_sets, quick_catalogue, Criterion};
+use hism_stm::sparse::MatrixMetrics;
+use stm_bench::fig10::bu_sweep;
+use stm_bench::{run_set, RunConfig, SpeedupSummary};
+
+#[test]
+fn quick_suite_runs_verified_end_to_end() {
+    let sets = experiment_sets(&quick_catalogue(), 5);
+    let cfg = RunConfig::default(); // verify = true
+    for set in [&sets.by_locality, &sets.by_anz, &sets.by_size] {
+        let results = run_set(&cfg, set);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.hism.cycles > 0 && r.crs.cycles > 0, "{}", r.name);
+        }
+    }
+}
+
+#[test]
+fn hism_wins_on_the_whole_quick_suite() {
+    let sets = experiment_sets(&quick_catalogue(), 6);
+    let cfg = RunConfig::default();
+    let mut all = Vec::new();
+    for set in [&sets.by_locality, &sets.by_anz, &sets.by_size] {
+        all.extend(run_set(&cfg, set));
+    }
+    for r in &all {
+        assert!(r.speedup() > 1.0, "{} lost: {:.2}x", r.name, r.speedup());
+    }
+    let s = SpeedupSummary::of(&all);
+    assert!(s.avg > 5.0, "average speedup collapsed: {:.2}", s.avg);
+}
+
+#[test]
+fn crs_improves_with_anz_on_the_anz_set() {
+    // The Fig. 12 trend: CRS cycles/nnz at the low-ANZ end exceeds the
+    // high-ANZ end.
+    let sets = experiment_sets(&quick_catalogue(), 6);
+    let results = run_set(&RunConfig::default(), &sets.by_anz);
+    let first = results.first().unwrap().crs.cycles_per_nnz();
+    let last = results.last().unwrap().crs.cycles_per_nnz();
+    assert!(first > last, "CRS did not improve with ANZ: {first:.1} vs {last:.1}");
+}
+
+#[test]
+fn selection_respects_criteria() {
+    let cat = quick_catalogue();
+    let sets = experiment_sets(&cat, 6);
+    assert!(sets
+        .by_locality
+        .windows(2)
+        .all(|w| w[0].metrics.locality <= w[1].metrics.locality));
+    assert!(sets
+        .by_anz
+        .windows(2)
+        .all(|w| w[0].metrics.avg_nnz_per_row <= w[1].metrics.avg_nnz_per_row));
+    assert!(sets.by_size.windows(2).all(|w| w[0].metrics.nnz <= w[1].metrics.nnz));
+    // Entries carry metrics consistent with their matrices.
+    for e in sets.all() {
+        let recomputed = MatrixMetrics::compute(&e.coo);
+        assert_eq!(recomputed.nnz, e.metrics.nnz, "{}", e.name);
+    }
+}
+
+#[test]
+fn criterion_values_match_metrics() {
+    let m = MatrixMetrics { nnz: 42, locality: 1.5, avg_nnz_per_row: 3.0 };
+    assert_eq!(Criterion::Size.value(&m), 42.0);
+    assert_eq!(Criterion::Locality.value(&m), 1.5);
+    assert_eq!(Criterion::AvgNnzPerRow.value(&m), 3.0);
+}
+
+#[test]
+fn fig10_shape_holds_on_quick_suite() {
+    let sets = experiment_sets(&quick_catalogue(), 6);
+    let flat: Vec<_> = sets.by_locality.into_iter().collect();
+    let points = bu_sweep(&flat, 64, &[1, 4], &[1, 4]);
+    // Row-major over ls then bs: [(b1,l1),(b4,l1),(b1,l4),(b4,l4)].
+    let bu = |i: usize| points[i].bu;
+    assert!(bu(0) >= bu(1), "B=1 must beat B=4 at L=1");
+    assert!(bu(3) >= bu(1), "L=4 must beat L=1 at B=4");
+    for p in &points {
+        assert!(p.bu > 0.0 && p.bu <= 1.0);
+    }
+}
+
+#[test]
+fn phase_breakdown_accounts_for_all_cycles() {
+    let sets = experiment_sets(&quick_catalogue(), 5);
+    let results = run_set(&RunConfig::default(), &sets.by_size);
+    for r in &results {
+        let total: u64 = r.crs.phases.iter().map(|p| p.cycles).sum();
+        assert_eq!(total, r.crs.cycles, "{}: CRS phases must sum to total", r.name);
+        assert!(r.hism.stm.is_some(), "{}: HiSM report lacks STM stats", r.name);
+        let stm = r.hism.stm.unwrap();
+        assert!(stm.entries as usize >= r.hism.nnz, "{}", r.name);
+    }
+}
