@@ -13,7 +13,7 @@ use stm_bench::{run_set, sets_from_env, MatrixResult, RunConfig, SpeedupSummary}
 fn main() {
     // Under `cargo bench` extra args like `--bench` arrive; ignore them.
     let (sets, tag) = sets_from_env();
-    let cfg = RunConfig::default();
+    let cfg = RunConfig::from_env();
     println!("=== Regenerating the paper's evaluation (suite: {tag}) ===\n");
 
     // Fig. 10.
@@ -45,9 +45,24 @@ fn main() {
 
     // Figs. 11-13.
     let figures: [(&str, &str, &[stm_dsab::SuiteEntry], &str); 3] = [
-        ("Fig. 11 — locality set", "fig11", &sets.by_locality, "1.8 / 16.5 / 32.0"),
-        ("Fig. 12 — ANZ set", "fig12", &sets.by_anz, "11.9 / 20.0 / 28.9"),
-        ("Fig. 13 — size set", "fig13", &sets.by_size, "3.4 / 15.5 / 28.2"),
+        (
+            "Fig. 11 — locality set",
+            "fig11",
+            &sets.by_locality,
+            "1.8 / 16.5 / 32.0",
+        ),
+        (
+            "Fig. 12 — ANZ set",
+            "fig12",
+            &sets.by_anz,
+            "11.9 / 20.0 / 28.9",
+        ),
+        (
+            "Fig. 13 — size set",
+            "fig13",
+            &sets.by_size,
+            "3.4 / 15.5 / 28.2",
+        ),
     ];
     let mut all: Vec<MatrixResult> = Vec::new();
     for (title, file, set, paper) in figures {
@@ -60,8 +75,7 @@ fn main() {
             "  speedup {:.1} .. {:.1} avg {:.1}  (paper min/avg/max: {paper})",
             s.min, s.max, s.avg
         );
-        write_csv(format!("results/{file}.csv"), &FIGURE_HEADERS, &rows)
-            .expect("write figure csv");
+        write_csv(format!("results/{file}.csv"), &FIGURE_HEADERS, &rows).expect("write figure csv");
         all.extend(results);
     }
     let s = SpeedupSummary::of(&all);

@@ -18,28 +18,41 @@ struct Variant {
 }
 
 fn paper() -> RunConfig {
-    RunConfig::default()
+    RunConfig::from_env()
 }
 
 fn main() {
     let (sets, tag) = sets_from_env();
     let set = &sets.by_locality;
 
-    let mut variants: Vec<Variant> = vec![Variant { name: "paper (s=64 B=4 L=4, chained)", cfg: paper() }];
+    let mut variants: Vec<Variant> = vec![Variant {
+        name: "paper (s=64 B=4 L=4, chained)",
+        cfg: paper(),
+    }];
 
     let mut v = paper();
     v.vp.chaining = false;
-    variants.push(Variant { name: "chaining off", cfg: v });
+    variants.push(Variant {
+        name: "chaining off",
+        cfg: v,
+    });
 
     let mut v = paper();
     v.vp.words_per_entry = 2;
-    variants.push(Variant { name: "charge [value,pos] pair (2 words/entry)", cfg: v });
+    variants.push(Variant {
+        name: "charge [value,pos] pair (2 words/entry)",
+        cfg: v,
+    });
 
     for startup in [5u64, 50] {
         let mut v = paper();
         v.vp.mem_startup = startup;
         variants.push(Variant {
-            name: if startup == 5 { "memory startup 5" } else { "memory startup 50" },
+            name: if startup == 5 {
+                "memory startup 5"
+            } else {
+                "memory startup 50"
+            },
             cfg: v,
         });
     }
@@ -59,18 +72,31 @@ fn main() {
 
     let mut v = paper();
     v.vp.mem_ports = 2;
-    variants.push(Variant { name: "dual-ported memory", cfg: v });
+    variants.push(Variant {
+        name: "dual-ported memory",
+        cfg: v,
+    });
 
     let mut v = paper();
     v.vp.scalar_out_of_order = true;
-    variants.push(Variant { name: "out-of-order scalar core", cfg: v });
+    variants.push(Variant {
+        name: "out-of-order scalar core",
+        cfg: v,
+    });
 
     for s in [32usize, 128] {
         let mut v = paper();
-        v.vp = VpConfig { section_size: s, ..v.vp };
+        v.vp = VpConfig {
+            section_size: s,
+            ..v.vp
+        };
         v.stm = StmConfig { s, b: 4, l: 4 };
         variants.push(Variant {
-            name: if s == 32 { "section size 32" } else { "section size 128" },
+            name: if s == 32 {
+                "section size 32"
+            } else {
+                "section size 128"
+            },
             cfg: v,
         });
     }
@@ -78,10 +104,10 @@ fn main() {
     let mut rows = Vec::new();
     for variant in &variants {
         let results = run_set(&variant.cfg, set);
-        let hism_avg = results.iter().map(|r| r.hism.cycles_per_nnz()).sum::<f64>()
-            / results.len() as f64;
-        let crs_avg = results.iter().map(|r| r.crs.cycles_per_nnz()).sum::<f64>()
-            / results.len() as f64;
+        let hism_avg =
+            results.iter().map(|r| r.hism.cycles_per_nnz()).sum::<f64>() / results.len() as f64;
+        let crs_avg =
+            results.iter().map(|r| r.crs.cycles_per_nnz()).sum::<f64>() / results.len() as f64;
         let s = SpeedupSummary::of(&results);
         rows.push(vec![
             variant.name.to_string(),
@@ -94,11 +120,19 @@ fn main() {
     println!("Ablations over the locality set (suite: {tag})");
     println!(
         "{}",
-        format_table(&["variant", "hism_cyc/nnz", "crs_cyc/nnz", "avg speedup"], &rows)
+        format_table(
+            &["variant", "hism_cyc/nnz", "crs_cyc/nnz", "avg speedup"],
+            &rows
+        )
     );
     write_csv(
         "results/ablate.csv",
-        &["variant", "hism_cyc_per_nnz", "crs_cyc_per_nnz", "avg_speedup"],
+        &[
+            "variant",
+            "hism_cyc_per_nnz",
+            "crs_cyc_per_nnz",
+            "avg_speedup",
+        ],
         &rows,
     )
     .expect("write results/ablate.csv");

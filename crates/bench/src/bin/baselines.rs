@@ -5,43 +5,53 @@
 //! vectorization alone and how much from the format + functional unit.
 
 use stm_bench::output::{format_table, write_csv};
-use stm_bench::sets_from_env;
-use stm_core::kernels::{transpose_crs, transpose_crs_scalar, transpose_hism};
-use stm_core::StmConfig;
-use stm_hism::{build, HismImage};
-use stm_sparse::Csr;
-use stm_vpsim::VpConfig;
+use stm_bench::{run_batch, run_kernel, sets_from_env, RunConfig};
 
 fn main() {
     let (sets, tag) = sets_from_env();
-    let vp = VpConfig::paper();
-    let mut rows = Vec::new();
-    for entry in &sets.by_locality {
-        let h = build::from_coo(&entry.coo, 64).expect("suite matrix");
-        let (_, hism) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
-        let csr = Csr::from_coo(&entry.coo);
-        let (_, vec_crs) = transpose_crs(&vp, &csr);
-        let (_, sc_crs) = transpose_crs_scalar(&vp, &csr);
-        rows.push(vec![
-            entry.name.clone(),
-            format!("{:.2}", hism.cycles_per_nnz()),
-            format!("{:.2}", vec_crs.cycles_per_nnz()),
-            format!("{:.2}", sc_crs.cycles_per_nnz()),
-            format!("{:.1}", vec_crs.cycles as f64 / hism.cycles.max(1) as f64),
-            format!("{:.1}", sc_crs.cycles as f64 / hism.cycles.max(1) as f64),
-        ]);
-    }
+    let cfg = RunConfig::from_env();
+    let rows = run_batch(
+        cfg.worker_count(sets.by_locality.len()),
+        &sets.by_locality,
+        |_, entry| {
+            let hism = run_kernel(&cfg, "transpose_hism", entry).report;
+            let vec_crs = run_kernel(&cfg, "transpose_crs", entry).report;
+            let sc_crs = run_kernel(&cfg, "transpose_crs_scalar", entry).report;
+            vec![
+                entry.name.clone(),
+                format!("{:.2}", hism.cycles_per_nnz()),
+                format!("{:.2}", vec_crs.cycles_per_nnz()),
+                format!("{:.2}", sc_crs.cycles_per_nnz()),
+                format!("{:.1}", vec_crs.cycles as f64 / hism.cycles.max(1) as f64),
+                format!("{:.1}", sc_crs.cycles as f64 / hism.cycles.max(1) as f64),
+            ]
+        },
+    );
     println!("Transposition baselines over the locality set (suite: {tag}, cycles/nnz)");
     println!(
         "{}",
         format_table(
-            &["matrix", "hism+stm", "crs(vector)", "crs(scalar)", "vs vec", "vs scalar"],
+            &[
+                "matrix",
+                "hism+stm",
+                "crs(vector)",
+                "crs(scalar)",
+                "vs vec",
+                "vs scalar"
+            ],
             &rows
         )
     );
     write_csv(
         "results/baselines.csv",
-        &["matrix", "hism_stm", "crs_vector", "crs_scalar", "speedup_vs_vector", "speedup_vs_scalar"],
+        &[
+            "matrix",
+            "hism_stm",
+            "crs_vector",
+            "crs_scalar",
+            "speedup_vs_vector",
+            "speedup_vs_scalar",
+        ],
         &rows,
     )
     .expect("write results/baselines.csv");

@@ -11,11 +11,9 @@
 //! it beats both at every point.
 
 use stm_bench::output::{format_table, write_csv};
-use stm_core::kernels::{transpose_crs, transpose_crs_scalar, transpose_hism};
-use stm_core::StmConfig;
-use stm_hism::{build, HismImage};
-use stm_sparse::{Coo, Csr};
-use stm_vpsim::VpConfig;
+use stm_bench::{run_batch, run_kernel, RunConfig};
+use stm_dsab::SuiteEntry;
+use stm_sparse::{Coo, MatrixMetrics};
 
 /// A 256-row matrix with exactly `anz` non-zeros per row, columns spread
 /// deterministically over 4096.
@@ -34,26 +32,43 @@ fn fixed_anz_matrix(anz: usize) -> Coo {
 }
 
 fn main() {
-    let vp = VpConfig::paper();
+    let cfg = RunConfig::from_env();
     let anz_values = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let entries: Vec<SuiteEntry> = anz_values
+        .iter()
+        .map(|&anz| {
+            let coo = fixed_anz_matrix(anz);
+            let metrics = MatrixMetrics::compute(&coo);
+            SuiteEntry {
+                name: format!("anz{anz}"),
+                coo,
+                metrics,
+            }
+        })
+        .collect();
+    let measured = run_batch(cfg.worker_count(entries.len()), &entries, |i, entry| {
+        let vec_r = run_kernel(&cfg, "transpose_crs", entry).report;
+        let sc_r = run_kernel(&cfg, "transpose_crs_scalar", entry).report;
+        let hism_r = run_kernel(&cfg, "transpose_hism", entry).report;
+        (anz_values[i], hism_r, vec_r, sc_r)
+    });
     let mut rows_out = Vec::new();
     let mut crossover: Option<usize> = None;
-    for &anz in &anz_values {
-        let coo = fixed_anz_matrix(anz);
-        let csr = Csr::from_coo(&coo);
-        let (_, vec_r) = transpose_crs(&vp, &csr);
-        let (_, sc_r) = transpose_crs_scalar(&vp, &csr);
-        let h = build::from_coo(&coo, 64).expect("fits");
-        let (_, hism_r) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
+    for (anz, hism_r, vec_r, sc_r) in &measured {
         if crossover.is_none() && vec_r.cycles < sc_r.cycles {
-            crossover = Some(anz);
+            crossover = Some(*anz);
         }
         rows_out.push(vec![
             anz.to_string(),
             format!("{:.2}", hism_r.cycles_per_nnz()),
             format!("{:.2}", vec_r.cycles_per_nnz()),
             format!("{:.2}", sc_r.cycles_per_nnz()),
-            (if vec_r.cycles < sc_r.cycles { "vector" } else { "scalar" }).into(),
+            (if vec_r.cycles < sc_r.cycles {
+                "vector"
+            } else {
+                "scalar"
+            })
+            .into(),
         ]);
     }
     println!("Vector-vs-scalar CRS crossover (256 rows, ANZ swept; cycles/nnz)");

@@ -20,8 +20,9 @@ fn main() {
     let ls = [1usize, 2, 4, 8];
     let points = bu_sweep(&flat, 64, &bs, &ls);
 
-    let headers: Vec<String> =
-        std::iter::once("L \\ B".to_string()).chain(bs.iter().map(|b| format!("B={b}"))).collect();
+    let headers: Vec<String> = std::iter::once("L \\ B".to_string())
+        .chain(bs.iter().map(|b| format!("B={b}")))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut rows = Vec::new();
     for (li, &l) in ls.iter().enumerate() {

@@ -8,7 +8,7 @@ use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
     let (sets, tag) = sets_from_env();
-    let cfg = RunConfig::default();
+    let cfg = RunConfig::from_env();
     let results = run_set(&cfg, &sets.by_size);
     let rows = figure_rows(&results);
     println!("Fig. 13 — Performance w.r.t. matrix size (suite: {tag})");

@@ -20,24 +20,31 @@ fn main() {
     for &l in &ls {
         let mut row = vec![format!("L={l}")];
         for &b in &bs {
-            let cfg =
-                RunConfig { stm: StmConfig { s: 64, b, l }, ..RunConfig::default() };
+            let cfg = RunConfig {
+                stm: StmConfig { s: 64, b, l },
+                ..RunConfig::from_env()
+            };
             let results = run_set(&cfg, &sets.by_locality);
-            let avg = results.iter().map(|r| r.hism.cycles_per_nnz()).sum::<f64>()
-                / results.len() as f64;
+            let avg =
+                results.iter().map(|r| r.hism.cycles_per_nnz()).sum::<f64>() / results.len() as f64;
             row.push(format!("{avg:.3}"));
             csv.push(vec![l.to_string(), b.to_string(), format!("{avg:.4}")]);
         }
         rows.push(row);
     }
-    let headers: Vec<String> =
-        std::iter::once("L \\ B".into()).chain(bs.iter().map(|b| format!("B={b}"))).collect();
+    let headers: Vec<String> = std::iter::once("L \\ B".into())
+        .chain(bs.iter().map(|b| format!("B={b}")))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("End-to-end HiSM transposition cost (avg cycles/nnz, locality set, suite: {tag})");
     println!("{}", format_table(&header_refs, &rows));
     println!("Reading: gains saturate at B=4 (the port feeds 4 elements/cycle)");
     println!("and L=4, confirming Fig. 10's parameter choice at system level.");
-    write_csv("results/paramgrid.csv", &["L", "B", "hism_cyc_per_nnz"], &csv)
-        .expect("write results/paramgrid.csv");
+    write_csv(
+        "results/paramgrid.csv",
+        &["L", "B", "hism_cyc_per_nnz"],
+        &csv,
+    )
+    .expect("write results/paramgrid.csv");
     eprintln!("wrote results/paramgrid.csv");
 }

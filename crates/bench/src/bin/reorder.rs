@@ -10,37 +10,35 @@
 //! software attacking the same quantity.
 
 use stm_bench::output::{format_table, write_csv};
-use stm_bench::sets_from_env;
-use stm_core::kernels::{transpose_crs, transpose_hism};
-use stm_core::StmConfig;
-use stm_hism::{build, HismImage};
+use stm_bench::{run_batch, run_matrix, sets_from_env, RunConfig};
+use stm_dsab::SuiteEntry;
 use stm_sparse::reorder::rcm_reorder;
-use stm_sparse::{Coo, Csr, MatrixMetrics};
-use stm_vpsim::VpConfig;
+use stm_sparse::{Coo, MatrixMetrics};
 
-fn measure(coo: &Coo) -> (f64, f64, f64) {
-    let vp = VpConfig::paper();
-    let h = build::from_coo(coo, 64).expect("matrix fits HiSM");
-    let (_, hr) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
-    let (_, cr) = transpose_crs(&vp, &Csr::from_coo(coo));
-    (
-        MatrixMetrics::compute(coo).locality,
-        hr.cycles_per_nnz(),
-        cr.cycles as f64 / hr.cycles.max(1) as f64,
-    )
+fn measure(cfg: &RunConfig, name: &str, coo: &Coo) -> (f64, f64, f64) {
+    let metrics = MatrixMetrics::compute(coo);
+    let entry = SuiteEntry {
+        name: name.into(),
+        coo: coo.clone(),
+        metrics,
+    };
+    let r = run_matrix(cfg, &entry);
+    (metrics.locality, r.hism.cycles_per_nnz(), r.speedup())
 }
 
 fn main() {
     let (sets, tag) = sets_from_env();
-    let mut rows = Vec::new();
-    for entry in &sets.by_locality {
-        if entry.coo.rows() != entry.coo.cols() {
-            continue; // RCM needs a square symmetrizable structure
-        }
-        let (loc0, hism0, sp0) = measure(&entry.coo);
+    let cfg = RunConfig::from_env();
+    let square: Vec<&SuiteEntry> = sets
+        .by_locality
+        .iter()
+        .filter(|e| e.coo.rows() == e.coo.cols()) // RCM needs a square structure
+        .collect();
+    let rows = run_batch(cfg.worker_count(square.len()), &square, |_, entry| {
+        let (loc0, hism0, sp0) = measure(&cfg, &entry.name, &entry.coo);
         let reordered = rcm_reorder(&entry.coo).expect("square matrix");
-        let (loc1, hism1, sp1) = measure(&reordered);
-        rows.push(vec![
+        let (loc1, hism1, sp1) = measure(&cfg, &entry.name, &reordered);
+        vec![
             entry.name.clone(),
             format!("{loc0:.3}"),
             format!("{loc1:.3}"),
@@ -48,13 +46,21 @@ fn main() {
             format!("{hism1:.2}"),
             format!("{sp0:.1}"),
             format!("{sp1:.1}"),
-        ]);
-    }
+        ]
+    });
     println!("Extension — RCM reordering vs the STM (locality set, suite: {tag})");
     println!(
         "{}",
         format_table(
-            &["matrix", "loc", "loc(rcm)", "hism c/nnz", "hism(rcm)", "speedup", "speedup(rcm)"],
+            &[
+                "matrix",
+                "loc",
+                "loc(rcm)",
+                "hism c/nnz",
+                "hism(rcm)",
+                "speedup",
+                "speedup(rcm)"
+            ],
             &rows
         )
     );
@@ -63,7 +69,15 @@ fn main() {
     println!("quantity, and compose.");
     write_csv(
         "results/reorder.csv",
-        &["matrix", "loc_before", "loc_after", "hism_before", "hism_after", "speedup_before", "speedup_after"],
+        &[
+            "matrix",
+            "loc_before",
+            "loc_after",
+            "hism_before",
+            "hism_after",
+            "speedup_before",
+            "speedup_after",
+        ],
         &rows,
     )
     .expect("write results/reorder.csv");

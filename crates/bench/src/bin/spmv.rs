@@ -9,47 +9,51 @@
 //! pattern-dependent speedup in the low single digits.
 
 use stm_bench::output::{format_table, write_csv};
-use stm_bench::sets_from_env;
-use stm_core::kernels::{spmv_crs, spmv_hism};
-use stm_hism::{build, HismImage};
-use stm_sparse::Csr;
-use stm_vpsim::VpConfig;
+use stm_bench::{run_batch, run_kernel, sets_from_env, RunConfig};
 
 fn main() {
     let (sets, tag) = sets_from_env();
-    let vp = VpConfig::paper();
-    let mut rows = Vec::new();
-    let mut speedups = Vec::new();
-    for entry in &sets.by_locality {
-        let x: Vec<f32> = (0..entry.coo.cols()).map(|i| ((i % 9) as f32) - 4.0).collect();
-        let h = build::from_coo(&entry.coo, 64).expect("suite matrix");
-        let img = HismImage::encode(&h);
-        let (yh, hr) = spmv_hism(&vp, &img, &x);
-        let csr = Csr::from_coo(&entry.coo);
-        let (yc, cr) = spmv_crs(&vp, &csr, &x);
-        // Functional agreement between the two simulated kernels.
-        for (a, b) in yh.iter().zip(&yc) {
-            assert!(
-                (a - b).abs() <= 1e-2 * (1.0 + b.abs()),
-                "{}: SpMV kernels disagree ({a} vs {b})",
-                entry.name
-            );
-        }
-        let speedup = cr.cycles as f64 / hr.cycles.max(1) as f64;
-        speedups.push(speedup);
-        rows.push(vec![
-            entry.name.clone(),
-            format!("{:.3}", entry.metrics.locality),
-            format!("{:.2}", hr.cycles_per_nnz()),
-            format!("{:.2}", cr.cycles_per_nnz()),
-            format!("{speedup:.2}"),
-        ]);
-    }
+    let cfg = RunConfig::from_env();
+    let per_matrix = run_batch(
+        cfg.worker_count(sets.by_locality.len()),
+        &sets.by_locality,
+        |_, entry| {
+            let hism = run_kernel(&cfg, "spmv_hism", entry);
+            let crs = run_kernel(&cfg, "spmv_crs", entry);
+            // Functional agreement between the two simulated kernels (both
+            // already verified against the host oracle by the harness).
+            let yh = hism.output.as_vector().expect("spmv output");
+            let yc = crs.output.as_vector().expect("spmv output");
+            for (a, b) in yh.iter().zip(yc) {
+                assert!(
+                    (a - b).abs() <= 1e-2 * (1.0 + b.abs()),
+                    "{}: SpMV kernels disagree ({a} vs {b})",
+                    entry.name
+                );
+            }
+            let speedup = crs.report.cycles as f64 / hism.report.cycles.max(1) as f64;
+            let row = vec![
+                entry.name.clone(),
+                format!("{:.3}", entry.metrics.locality),
+                format!("{:.2}", hism.report.cycles_per_nnz()),
+                format!("{:.2}", crs.report.cycles_per_nnz()),
+                format!("{speedup:.2}"),
+            ];
+            (row, speedup)
+        },
+    );
+    let (rows, speedups): (Vec<_>, Vec<_>) = per_matrix.into_iter().unzip();
     println!("Extension — SpMV: HiSM vs CRS on the locality set (suite: {tag})");
     println!(
         "{}",
         format_table(
-            &["matrix", "locality", "hism_cyc/nnz", "crs_cyc/nnz", "speedup"],
+            &[
+                "matrix",
+                "locality",
+                "hism_cyc/nnz",
+                "crs_cyc/nnz",
+                "speedup"
+            ],
             &rows
         )
     );
@@ -60,7 +64,13 @@ fn main() {
     );
     write_csv(
         "results/spmv.csv",
-        &["matrix", "locality", "hism_cyc_per_nnz", "crs_cyc_per_nnz", "speedup"],
+        &[
+            "matrix",
+            "locality",
+            "hism_cyc_per_nnz",
+            "crs_cyc_per_nnz",
+            "speedup",
+        ],
         &rows,
     )
     .expect("write results/spmv.csv");

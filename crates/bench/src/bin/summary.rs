@@ -9,13 +9,12 @@ use stm_hism::{build, StorageStats};
 
 fn main() {
     let (sets, tag) = sets_from_env();
-    let cfg = RunConfig::default();
+    let cfg = RunConfig::from_env();
 
     let loc = run_set(&cfg, &sets.by_locality);
     let anz = run_set(&cfg, &sets.by_anz);
     let size = run_set(&cfg, &sets.by_size);
-    let all: Vec<MatrixResult> =
-        loc.iter().chain(&anz).chain(&size).cloned().collect();
+    let all: Vec<MatrixResult> = loc.iter().chain(&anz).chain(&size).cloned().collect();
 
     let row = |name: &str, results: &[MatrixResult], paper: &str| -> Vec<String> {
         let s = SpeedupSummary::of(results);

@@ -58,7 +58,11 @@ pub fn bu_sweep(entries: &[SuiteEntry], s: usize, bs: &[u64], ls: &[usize]) -> V
                     counted += 1;
                 }
             }
-            let bu = if counted == 0 { 0.0 } else { acc / counted as f64 };
+            let bu = if counted == 0 {
+                0.0
+            } else {
+                acc / counted as f64
+            };
             out.push(BuPoint { b, l, bu });
         }
     }
@@ -85,7 +89,11 @@ mod tests {
         assert!(bu_at[0] >= bu_at[1]);
         assert!(bu_at[1] >= bu_at[2]);
         assert!(bu_at[2] >= bu_at[3]);
-        assert!(bu_at[0] > 0.5, "B=1 utilization suspiciously low: {}", bu_at[0]);
+        assert!(
+            bu_at[0] > 0.5,
+            "B=1 utilization suspiciously low: {}",
+            bu_at[0]
+        );
         assert!(bu_at[0] < 1.0, "6-cycle penalty must keep BU below 100%");
     }
 

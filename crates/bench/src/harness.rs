@@ -1,12 +1,26 @@
-//! Running both transposition kernels over benchmark matrices and
-//! summarizing speedups.
+//! The batch experiment harness: kernels are selected *by name* through
+//! the `stm-core` registry and executed over whole suites by a pool of
+//! `std::thread::scope` workers.
+//!
+//! Layering:
+//!
+//! * [`run_batch`] — the generic batch runner: a fixed worker pool pulls
+//!   item indices from a shared counter and writes each result into its
+//!   own slot, so results always come back in input order no matter how
+//!   the workers interleave;
+//! * [`run_kernel`] — one registry kernel on one suite entry (each call
+//!   constructs its own engine and coprocessor, so concurrent calls share
+//!   nothing);
+//! * [`run_matrix`] / [`run_set`] — the paper's experiment shape: HiSM
+//!   and CRS transposition per matrix, batched over a set.
+//!
+//! The worker count comes from [`RunConfig::jobs`] (the bench binaries
+//! wire it to `--jobs N`); `None` uses the machine's parallelism.
 
-use stm_core::kernels::{transpose_crs, transpose_hism};
+use stm_core::kernels::registry::{self, ExecCtx, KernelReport};
 use stm_core::{StmConfig, TransposeReport};
 use stm_dsab::SuiteEntry;
-use stm_hism::{build, HismImage};
-use stm_sparse::Csr;
-use stm_vpsim::VpConfig;
+use stm_vpsim::{TimingKind, VpConfig};
 
 /// Machine + experiment configuration for a harness run.
 #[derive(Debug, Clone)]
@@ -20,11 +34,51 @@ pub struct RunConfig {
     /// oracles (slower; on by default — a cycle count for a wrong
     /// transpose is worthless).
     pub verify: bool,
+    /// Timing model charging the cycles (paper machine by default).
+    pub timing: TimingKind,
+    /// Worker threads for [`run_set`]; `None` = machine parallelism.
+    pub jobs: Option<usize>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { vp: VpConfig::paper(), stm: StmConfig::default(), verify: true }
+        RunConfig {
+            vp: VpConfig::paper(),
+            stm: StmConfig::default(),
+            verify: true,
+            timing: TimingKind::Paper,
+            jobs: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Default configuration with the worker count taken from the command
+    /// line / environment (see [`crate::jobs_from_env`]).
+    pub fn from_env() -> Self {
+        RunConfig {
+            jobs: crate::jobs_from_env(),
+            ..RunConfig::default()
+        }
+    }
+
+    /// The execution context kernels run under.
+    pub fn ctx(&self) -> ExecCtx {
+        ExecCtx {
+            vp: self.vp.clone(),
+            stm: self.stm,
+            timing: self.timing,
+        }
+    }
+
+    /// Worker threads to use for a batch of `items` work items.
+    pub fn worker_count(&self, items: usize) -> usize {
+        let jobs = self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        jobs.max(1).min(items.max(1))
     }
 }
 
@@ -48,66 +102,82 @@ impl MatrixResult {
     }
 }
 
-/// Runs both kernels on one suite entry.
+/// Runs the named registry kernel on one suite entry.
 ///
-/// Panics (with the matrix name) if verification is enabled and either
-/// kernel's simulated output disagrees with its host-side oracle.
+/// Panics (with the matrix and kernel names) on an unknown kernel, a
+/// failed prepare, or — when `cfg.verify` is set — a functional output
+/// that disagrees with the host oracle.
+pub fn run_kernel(cfg: &RunConfig, kernel: &str, entry: &SuiteEntry) -> KernelReport {
+    let ctx = cfg.ctx();
+    let mut k = registry::create(kernel).unwrap_or_else(|| panic!("unknown kernel {kernel:?}"));
+    k.prepare(&entry.coo, &ctx)
+        .unwrap_or_else(|e| panic!("{}: {kernel} prepare failed: {e}", entry.name));
+    let mut ctx = ctx;
+    let report = k.run(&mut ctx);
+    if cfg.verify {
+        k.verify(&entry.coo, &report.output)
+            .unwrap_or_else(|e| panic!("{}: {kernel} verification failed: {e}", entry.name));
+    }
+    report
+}
+
+/// Runs both transposition kernels on one suite entry.
 pub fn run_matrix(cfg: &RunConfig, entry: &SuiteEntry) -> MatrixResult {
-    // --- HiSM + STM ---------------------------------------------------
-    let h = build::from_coo(&entry.coo, cfg.stm.s)
-        .expect("suite matrices fit the section-size constraints");
-    let image = HismImage::encode(&h);
-    let (out_img, hism_report) = transpose_hism(&cfg.vp, cfg.stm, &image);
-    if cfg.verify {
-        let got = build::to_coo(&out_img.decode());
-        let expect = entry.coo.transpose_canonical();
-        assert!(
-            got == expect,
-            "HiSM kernel produced a wrong transpose for {}",
-            entry.name
-        );
-    }
-
-    // --- CRS baseline ---------------------------------------------------
-    let csr = Csr::from_coo(&entry.coo);
-    let (out_csr, crs_report) = transpose_crs(&cfg.vp, &csr);
-    if cfg.verify {
-        assert!(
-            out_csr == csr.transpose_pissanetsky(),
-            "CRS kernel produced a wrong transpose for {}",
-            entry.name
-        );
-    }
-
+    let hism = run_kernel(cfg, "transpose_hism", entry);
+    let crs = run_kernel(cfg, "transpose_crs", entry);
     MatrixResult {
         name: entry.name.clone(),
         metrics: entry.metrics,
-        hism: hism_report,
-        crs: crs_report,
+        hism: hism.report,
+        crs: crs.report,
     }
 }
 
-/// Runs a whole experiment set, one worker thread per matrix (bounded by
-/// the machine's parallelism). Results keep the set's order.
-pub fn run_set(cfg: &RunConfig, set: &[SuiteEntry]) -> Vec<MatrixResult> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut results: Vec<Option<MatrixResult>> = (0..set.len()).map(|_| None).collect();
+/// Maps `f` over `items` on a pool of `jobs` scoped worker threads.
+///
+/// Workers claim item indices from a shared atomic counter and write each
+/// result into the slot for its index, so the returned vector is in input
+/// order regardless of scheduling — `run_batch(1, ..)` and
+/// `run_batch(n, ..)` return identical vectors for a deterministic `f`.
+/// `f` receives `(index, &item)`. A panic in any worker propagates.
+pub fn run_batch<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<MatrixResult>>> =
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(set.len()) {
+        for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= set.len() {
+                if i >= items.len() {
                     break;
                 }
-                let r = run_matrix(cfg, &set[i]);
+                let r = f(i, &items[i]);
                 **slots[i].lock().unwrap() = Some(r);
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs a whole experiment set on the configured worker pool. Results
+/// keep the set's order (see [`run_batch`]).
+pub fn run_set(cfg: &RunConfig, set: &[SuiteEntry]) -> Vec<MatrixResult> {
+    run_batch(cfg.worker_count(set.len()), set, |_, entry| {
+        run_matrix(cfg, entry)
+    })
 }
 
 /// Min / arithmetic-mean / max speedup over a result set — the numbers
@@ -127,7 +197,11 @@ impl SpeedupSummary {
     /// Summarizes a result set. Returns zeros for an empty set.
     pub fn of(results: &[MatrixResult]) -> Self {
         if results.is_empty() {
-            return SpeedupSummary { min: 0.0, avg: 0.0, max: 0.0 };
+            return SpeedupSummary {
+                min: 0.0,
+                avg: 0.0,
+                max: 0.0,
+            };
         }
         let speedups: Vec<f64> = results.iter().map(MatrixResult::speedup).collect();
         SpeedupSummary {
@@ -145,7 +219,11 @@ mod tests {
 
     fn entry(name: &str, coo: stm_sparse::Coo) -> SuiteEntry {
         let metrics = MatrixMetrics::compute(&coo);
-        SuiteEntry { name: name.into(), coo, metrics }
+        SuiteEntry {
+            name: name.into(),
+            coo,
+            metrics,
+        }
     }
 
     #[test]
@@ -160,6 +238,26 @@ mod tests {
     }
 
     #[test]
+    fn run_kernel_covers_every_registry_name() {
+        let cfg = RunConfig::default();
+        let e = entry("small", gen::random::uniform(48, 48, 200, 5));
+        for &name in registry::names() {
+            let r = run_kernel(&cfg, name, &e);
+            assert!(r.report.cycles > 0, "{name} charged no cycles");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn run_kernel_rejects_unknown_names() {
+        run_kernel(
+            &RunConfig::default(),
+            "bogus",
+            &entry("m", stm_sparse::Coo::new(2, 2)),
+        );
+    }
+
+    #[test]
     fn run_set_preserves_order() {
         let cfg = RunConfig::default();
         let set = vec![
@@ -170,6 +268,62 @@ mod tests {
         let results = run_set(&cfg, &set);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn run_batch_is_order_preserving_and_jobs_invariant() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = run_batch(1, &items, |i, &x| i * 1000 + x * x);
+        for jobs in [2, 4, 16, 64] {
+            assert_eq!(run_batch(jobs, &items, |i, &x| i * 1000 + x * x), serial);
+        }
+        assert!(run_batch::<usize, usize, _>(4, &[], |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn explicit_jobs_counts_give_identical_sets() {
+        let set = vec![
+            entry("a", gen::structured::diagonal(150)),
+            entry("b", gen::random::uniform(96, 96, 400, 2)),
+            entry("c", gen::blocks::block_band(128, 16, 2, 0.7, 4)),
+            entry("d", gen::structured::grid2d_5pt(10, 10)),
+        ];
+        let serial = run_set(
+            &RunConfig {
+                jobs: Some(1),
+                ..RunConfig::default()
+            },
+            &set,
+        );
+        let parallel = run_set(
+            &RunConfig {
+                jobs: Some(4),
+                ..RunConfig::default()
+            },
+            &set,
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.hism.cycles, p.hism.cycles);
+            assert_eq!(s.crs.cycles, p.crs.cycles);
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_sanely() {
+        let cfg = RunConfig {
+            jobs: Some(8),
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.worker_count(3), 3);
+        assert_eq!(cfg.worker_count(100), 8);
+        assert_eq!(cfg.worker_count(0), 1);
+        let zero = RunConfig {
+            jobs: Some(0),
+            ..RunConfig::default()
+        };
+        assert_eq!(zero.worker_count(10), 1);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ablation studies.
 //!
 //! Figure binaries (run with `--release`; add `--quick` or set
-//! `STM_SUITE=quick` for a fast smoke suite):
+//! `STM_SUITE=quick` for a fast smoke suite, `--jobs N` or `STM_JOBS=N`
+//! to size the worker pool — results are identical for every job count):
 //!
 //! | binary | paper artifact |
 //! |---|---|
@@ -23,7 +24,9 @@ pub mod fig10;
 pub mod harness;
 pub mod output;
 
-pub use harness::{run_matrix, run_set, MatrixResult, RunConfig, SpeedupSummary};
+pub use harness::{
+    run_batch, run_kernel, run_matrix, run_set, MatrixResult, RunConfig, SpeedupSummary,
+};
 
 use stm_dsab::{experiment_sets, full_catalogue, quick_catalogue, ExperimentSets};
 
@@ -33,10 +36,28 @@ use stm_dsab::{experiment_sets, full_catalogue, quick_catalogue, ExperimentSets}
 /// matrices per set.
 pub fn sets_from_env() -> (ExperimentSets, &'static str) {
     let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("STM_SUITE").map(|v| v == "quick").unwrap_or(false);
+        || std::env::var("STM_SUITE")
+            .map(|v| v == "quick")
+            .unwrap_or(false);
     if quick {
         (experiment_sets(&quick_catalogue(), 6), "quick")
     } else {
         (experiment_sets(&full_catalogue(), 10), "full")
     }
+}
+
+/// Parses the worker-thread count from the CLI args / environment:
+/// `--jobs N`, `--jobs=N` or `STM_JOBS=N`. `None` (no flag) lets the
+/// harness use the machine's parallelism; `--jobs 1` forces serial runs.
+pub fn jobs_from_env() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args.next().and_then(|n| n.parse().ok());
+        }
+        if let Some(n) = a.strip_prefix("--jobs=") {
+            return n.parse().ok();
+        }
+    }
+    std::env::var("STM_JOBS").ok().and_then(|n| n.parse().ok())
 }

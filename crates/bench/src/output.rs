@@ -73,8 +73,15 @@ pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
 }
 
 /// Header row matching [`figure_rows`].
-pub const FIGURE_HEADERS: [&str; 7] =
-    ["matrix", "nnz", "locality", "anz", "hism_cyc/nnz", "crs_cyc/nnz", "speedup"];
+pub const FIGURE_HEADERS: [&str; 7] = [
+    "matrix",
+    "nnz",
+    "locality",
+    "anz",
+    "hism_cyc/nnz",
+    "crs_cyc/nnz",
+    "speedup",
+];
 
 #[cfg(test)]
 mod tests {

@@ -81,7 +81,11 @@ impl StmCoprocessor {
     /// `s x s` memory (write phase). Chained on both sources.
     pub fn v_stcr(&mut self, e: &mut Engine, payload: &VReg, pos: &VReg) {
         assert_eq!(payload.len(), pos.len(), "vector length mismatch");
-        assert_eq!(self.cfg.s, e.cfg().section_size, "STM/engine section size mismatch");
+        assert_eq!(
+            self.cfg.s,
+            e.cfg().section_size,
+            "STM/engine section size mismatch"
+        );
         let rows: Vec<u8> = pos.data.iter().map(|&p| unpack_pos(p).0).collect();
         for (k, &p) in pos.data.iter().enumerate() {
             let (r, c) = unpack_pos(p);
@@ -90,8 +94,14 @@ impl StmCoprocessor {
         self.drain = None; // memory changed: invalidate any old snapshot
         let groups = group_sizes(&rows, self.cfg.b, self.cfg.l);
         let input = e.chained_ready2(payload, pos);
-        let done =
-            e.run_batched("v_stcr", Fu::Stm, 0, PHASE_PIPELINE_CYCLES, &groups, Some(&input));
+        let done = e.run_batched(
+            "v_stcr",
+            Fu::Stm,
+            0,
+            PHASE_PIPELINE_CYCLES,
+            &groups,
+            Some(&input),
+        );
         self.fill_done = self.fill_done.max(done.last().copied().unwrap_or(0));
         self.stats.write_batches += groups.len() as u64;
         self.stats.entries += payload.len() as u64;
@@ -116,7 +126,11 @@ impl StmCoprocessor {
     /// row`), in row-major order of the new coordinates — i.e. the output
     /// blockarray of the transposed block.
     pub fn v_ldcc(&mut self, e: &mut Engine, vl: usize) -> (VReg, VReg) {
-        assert_eq!(self.cfg.s, e.cfg().section_size, "STM/engine section size mismatch");
+        assert_eq!(
+            self.cfg.s,
+            e.cfg().section_size,
+            "STM/engine section size mismatch"
+        );
         // Fill-before-read: stall issue until the last write landed.
         e.stall_until(self.fill_done);
         let total = self.snapshot_len();
@@ -131,7 +145,16 @@ impl StmCoprocessor {
         let groups = group_sizes(&cols, self.cfg.b, self.cfg.l);
         let done = e.run_batched("v_ldcc", Fu::Stm, 0, PHASE_PIPELINE_CYCLES, &groups, None);
         self.stats.read_batches += groups.len() as u64;
-        (VReg { data: payload, ready: done.clone() }, VReg { data: pos, ready: done })
+        (
+            VReg {
+                data: payload,
+                ready: done.clone(),
+            },
+            VReg {
+                data: pos,
+                ready: done,
+            },
+        )
     }
 }
 
@@ -209,7 +232,11 @@ mod tests {
         assert!(fill_done >= 6 + PHASE_PIPELINE_CYCLES);
         let (vals, _) = stm.v_ldcc(&mut e, 8);
         // First read element cannot complete before the fill finished.
-        assert!(vals.ready[0] >= fill_done, "{} < {fill_done}", vals.ready[0]);
+        assert!(
+            vals.ready[0] >= fill_done,
+            "{} < {fill_done}",
+            vals.ready[0]
+        );
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! The kernel execution layer: a uniform [`Kernel`] trait over every
+//! simulated kernel, an [`ExecCtx`] bundling the machine configuration
+//! (vector processor, STM, timing model), and a [`KernelReport`] carrying
+//! the timed result plus a digest of the functional output.
+//!
+//! Kernels are constructed by name through [`crate::kernels::registry`],
+//! so harnesses, benchmark binaries and tests select kernels with a
+//! string instead of importing each kernel function directly:
+//!
+//! ```
+//! use stm_core::kernels::registry;
+//! use stm_sparse::gen;
+//!
+//! let coo = gen::random::uniform(32, 32, 60, 1);
+//! let mut ctx = registry::ExecCtx::paper();
+//! let mut kernel = registry::create("transpose_hism").unwrap();
+//! kernel.prepare(&coo, &ctx).unwrap();
+//! let report = kernel.run(&mut ctx);
+//! kernel.verify(&coo, &report.output).unwrap();
+//! assert!(report.report.cycles > 0);
+//! ```
+
+use crate::report::TransposeReport;
+use crate::unit::StmConfig;
+use stm_hism::HismImage;
+use stm_sparse::{Coo, Csr, Dense, Value};
+use stm_vpsim::{TimingKind, VpConfig};
+
+/// The machine a kernel executes on: vector-processor parameters, STM
+/// coprocessor parameters and the timing model charging the cycles.
+///
+/// One `ExecCtx` is immutable machine state from the kernel's point of
+/// view; [`Kernel::run`] takes it mutably only so future kernels can
+/// thread shared resources (e.g. a persistent trace sink) through it.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    /// Vector-processor configuration.
+    pub vp: VpConfig,
+    /// STM coprocessor configuration (section size must match `vp`).
+    pub stm: StmConfig,
+    /// Timing model every engine in this context is created with.
+    pub timing: TimingKind,
+}
+
+impl ExecCtx {
+    /// The paper's evaluation machine: `s = 64`, `p = 4`, `B = 4`,
+    /// `L = 4`, paper timing model.
+    pub fn paper() -> Self {
+        ExecCtx {
+            vp: VpConfig::paper(),
+            stm: StmConfig::default(),
+            timing: TimingKind::Paper,
+        }
+    }
+
+    /// The paper machine under an explicit timing model.
+    pub fn with_timing(timing: TimingKind) -> Self {
+        ExecCtx {
+            timing,
+            ..Self::paper()
+        }
+    }
+
+    /// Checks the internal consistency of the context (section sizes
+    /// agree, STM parameters in range).
+    pub fn validate(&self) -> Result<(), String> {
+        self.stm.validate()?;
+        if self.vp.section_size != self.stm.s {
+            return Err(format!(
+                "section size mismatch: vp {} vs stm {}",
+                self.vp.section_size, self.stm.s
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The functional result of a kernel, in the kernel's natural format.
+#[derive(Debug, Clone)]
+pub enum KernelOutput {
+    /// A transposed HiSM image (from `transpose_hism`).
+    Hism(HismImage),
+    /// A transposed CSR matrix (from the CRS kernels).
+    Csr(Csr),
+    /// A transposed dense matrix (from `transpose_dense`).
+    Dense(Dense),
+    /// A result vector `y` (from the SpMV kernels).
+    Vector(Vec<Value>),
+}
+
+impl KernelOutput {
+    /// FNV-1a digest over a canonical byte serialization of the output.
+    ///
+    /// Two outputs digest equal iff they are bit-identical (same variant,
+    /// same shape, same value *bits* — so `-0.0` and `+0.0` differ), which
+    /// is exactly the property the cross-timing-model tests pin: the
+    /// functional result must not depend on the timing model.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        match self {
+            KernelOutput::Hism(img) => {
+                h.byte(0);
+                for w in [
+                    img.root.addr,
+                    img.root.len,
+                    img.root.levels,
+                    img.root.rows,
+                    img.root.cols,
+                    img.root.s,
+                ] {
+                    h.u32(w);
+                }
+                for &w in &img.words {
+                    h.u32(w);
+                }
+            }
+            KernelOutput::Csr(csr) => {
+                h.byte(1);
+                h.u64(csr.rows() as u64);
+                h.u64(csr.cols() as u64);
+                for &p in csr.row_ptr() {
+                    h.u64(p as u64);
+                }
+                for &c in csr.col_idx() {
+                    h.u64(c as u64);
+                }
+                for &v in csr.values() {
+                    h.u32(v.to_bits());
+                }
+            }
+            KernelOutput::Dense(d) => {
+                h.byte(2);
+                h.u64(d.rows() as u64);
+                h.u64(d.cols() as u64);
+                for r in 0..d.rows() {
+                    for c in 0..d.cols() {
+                        h.u32(d.get(r, c).to_bits());
+                    }
+                }
+            }
+            KernelOutput::Vector(y) => {
+                h.byte(3);
+                h.u64(y.len() as u64);
+                for &v in y {
+                    h.u32(v.to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// The result vector, if this is a [`KernelOutput::Vector`].
+    pub fn as_vector(&self) -> Option<&[Value]> {
+        match self {
+            KernelOutput::Vector(y) => Some(y),
+            _ => None,
+        }
+    }
+
+    /// The CSR matrix, if this is a [`KernelOutput::Csr`].
+    pub fn as_csr(&self) -> Option<&Csr> {
+        match self {
+            KernelOutput::Csr(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The HiSM image, if this is a [`KernelOutput::Hism`].
+    pub fn as_hism(&self) -> Option<&HismImage> {
+        match self {
+            KernelOutput::Hism(img) => Some(img),
+            _ => None,
+        }
+    }
+}
+
+/// The complete result of one [`Kernel::run`]: the timed report, the
+/// functional output and its digest.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Name of the kernel that produced this report.
+    pub kernel: &'static str,
+    /// Cycle/utilization report (same shape for every kernel).
+    pub report: TransposeReport,
+    /// [`KernelOutput::digest`] of `output`, precomputed.
+    pub output_digest: u64,
+    /// The functional result.
+    pub output: KernelOutput,
+}
+
+/// A simulated kernel with a uniform prepare → run → verify lifecycle.
+///
+/// * [`prepare`](Kernel::prepare) builds the kernel's input format from a
+///   COO matrix (HiSM image, CSR arrays, dense array, SpMV operand
+///   vector) and validates it against the context. Pure host-side work —
+///   no simulated cycles are charged.
+/// * [`run`](Kernel::run) executes the kernel on the simulated machine
+///   described by the context and returns the timed report. Panics if
+///   `prepare` has not succeeded first.
+/// * [`verify`](Kernel::verify) checks a functional output against the
+///   host-side oracle for the original matrix.
+pub trait Kernel {
+    /// The registry name of this kernel (e.g. `"transpose_hism"`).
+    fn name(&self) -> &'static str;
+
+    /// Converts `coo` into the kernel's input format and stores it.
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), String>;
+
+    /// Executes the prepared input on the context's machine.
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport;
+
+    /// Checks `out` against the host oracle for `coo`.
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String>;
+}
+
+/// The deterministic SpMV operand vector the harness and benchmark
+/// binaries use: `x[i] = (i mod 9) - 4`, small signed integers so f32
+/// rounding stays benign across summation orders.
+pub fn spmv_input(cols: usize) -> Vec<Value> {
+    (0..cols).map(|i| ((i % 9) as f32) - 4.0).collect()
+}
+
+/// 64-bit FNV-1a.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+    }
+
+    fn u32(&mut self, w: u32) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.byte(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn digest_distinguishes_variants_and_values() {
+        let a = KernelOutput::Vector(vec![1.0, 2.0]);
+        let b = KernelOutput::Vector(vec![1.0, 2.5]);
+        let c = KernelOutput::Vector(vec![1.0, 2.0]);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), c.digest());
+        // Bit-exactness: -0.0 and +0.0 compare equal but digest apart.
+        let z = KernelOutput::Vector(vec![0.0]);
+        let nz = KernelOutput::Vector(vec![-0.0]);
+        assert_ne!(z.digest(), nz.digest());
+    }
+
+    #[test]
+    fn paper_ctx_is_consistent() {
+        assert!(ExecCtx::paper().validate().is_ok());
+        let mut ctx = ExecCtx::paper();
+        ctx.stm.s = 32;
+        assert!(ctx.validate().is_err());
+    }
+
+    #[test]
+    fn spmv_input_is_deterministic_and_signed() {
+        let x = spmv_input(20);
+        assert_eq!(x.len(), 20);
+        assert_eq!(x[0], -4.0);
+        assert_eq!(x[4], 0.0);
+        assert_eq!(x[8], 4.0);
+        assert_eq!(x, spmv_input(20));
+    }
+}

@@ -13,14 +13,10 @@ use crate::kernels::crs_transpose::{decode_result, load_csr, CrsLayout};
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::Csr;
 use stm_vpsim::scalar::{run_scalar, Asm, Program};
-use stm_vpsim::{Allocator, Memory, VpConfig};
+use stm_vpsim::{Allocator, Memory, TimingKind, VpConfig};
 
 /// Builds the complete scalar transposition program over a [`CrsLayout`].
-pub fn scalar_transpose_program(
-    layout: &CrsLayout,
-    rows: usize,
-    cols: usize,
-) -> Program {
+pub fn scalar_transpose_program(layout: &CrsLayout, rows: usize, cols: usize) -> Program {
     let mut a = Asm::new();
     // Register map:
     //  r1 = loop counter, r2 = bound, r3 = scratch addr, r4..r19 = scratch.
@@ -121,7 +117,9 @@ pub fn scalar_transpose_program(
 
 /// Dynamic-instruction cap for the program (generous linear bound).
 pub fn scalar_transpose_max_instructions(rows: usize, cols: usize, nnz: usize) -> u64 {
-    64 + 8 * (cols as u64 + 2) + 10 * nnz as u64 + 9 * (cols as u64 + 1)
+    64 + 8 * (cols as u64 + 2)
+        + 10 * nnz as u64
+        + 9 * (cols as u64 + 1)
         + 8 * rows as u64
         + 16 * nnz as u64
 }
@@ -129,6 +127,18 @@ pub fn scalar_transpose_max_instructions(rows: usize, cols: usize, nnz: usize) -
 /// Runs the fully scalar transposition; returns the decoded transpose
 /// and the report (all cycles in the single `scalar` phase).
 pub fn transpose_crs_scalar(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
+    transpose_crs_scalar_timed(vp_cfg, csr, TimingKind::Paper)
+}
+
+/// [`transpose_crs_scalar`] under an explicit timing model. The whole
+/// kernel is one scalar-core phase, so the model maps its cycle total
+/// (identity under the paper model, zero under the ideal bound); the
+/// decoded result is identical either way.
+pub fn transpose_crs_scalar_timed(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    timing: TimingKind,
+) -> (Csr, TransposeReport) {
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64);
     let layout = load_csr(&mut mem, &mut alloc, csr);
@@ -140,13 +150,17 @@ pub fn transpose_crs_scalar(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeRepo
         &program,
         scalar_transpose_max_instructions(rows, cols, nnz),
     );
+    let cycles = timing.model().scalar_cycles(stats.cycles);
     let report = TransposeReport {
-        cycles: stats.cycles,
+        cycles,
         nnz,
         engine: Default::default(),
         scalar: Some(stats),
         stm: None,
-        phases: vec![Phase { name: "scalar-transpose", cycles: stats.cycles }],
+        phases: vec![Phase {
+            name: "scalar-transpose",
+            cycles,
+        }],
         fu_busy: Default::default(),
     };
     let result = decode_result(&mem, &layout, rows, cols, nnz);

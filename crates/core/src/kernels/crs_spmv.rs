@@ -14,11 +14,22 @@
 
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::{Csr, Value};
-use stm_vpsim::{Allocator, Engine, Memory, VpConfig};
+use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
 /// Simulates `y = A * x` for a CSR matrix. Returns the result vector and
 /// the cycle report.
 pub fn spmv_crs(vp_cfg: &VpConfig, csr: &Csr, x: &[Value]) -> (Vec<Value>, TransposeReport) {
+    spmv_crs_timed(vp_cfg, csr, x, TimingKind::Paper)
+}
+
+/// [`spmv_crs`] under an explicit timing model — the functional result is
+/// identical for every model; only the cycle accounting changes.
+pub fn spmv_crs_timed(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    x: &[Value],
+    timing: TimingKind,
+) -> (Vec<Value>, TransposeReport) {
     assert_eq!(x.len(), csr.cols(), "x length must match matrix columns");
     let s = vp_cfg.section_size;
     let mut mem = Memory::new();
@@ -28,13 +39,22 @@ pub fn spmv_crs(vp_cfg: &VpConfig, csr: &Csr, x: &[Value]) -> (Vec<Value>, Trans
     let an = alloc.alloc(csr.nnz());
     let xb = alloc.alloc(csr.cols().max(1));
     let yb = alloc.alloc(csr.rows().max(1));
-    mem.write_block(ia, &csr.row_ptr().iter().map(|&p| p as u32).collect::<Vec<_>>());
-    mem.write_block(ja, &csr.col_idx().iter().map(|&c| c as u32).collect::<Vec<_>>());
-    mem.write_block(an, &csr.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    mem.write_block(
+        ia,
+        &csr.row_ptr().iter().map(|&p| p as u32).collect::<Vec<_>>(),
+    );
+    mem.write_block(
+        ja,
+        &csr.col_idx().iter().map(|&c| c as u32).collect::<Vec<_>>(),
+    );
+    mem.write_block(
+        an,
+        &csr.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
     for (i, &v) in x.iter().enumerate() {
         mem.write_f32(xb + i as u32, v);
     }
-    let mut e = Engine::new(vp_cfg.clone(), mem);
+    let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
 
     for i in 0..csr.rows() {
         let iaa = e.mem().read(ia + i as u32) as usize;
@@ -72,11 +92,16 @@ pub fn spmv_crs(vp_cfg: &VpConfig, csr: &Csr, x: &[Value]) -> (Vec<Value>, Trans
         engine: *e.stats(),
         scalar: None,
         stm: None,
-        phases: vec![Phase { name: "crs-spmv", cycles }],
+        phases: vec![Phase {
+            name: "crs-spmv",
+            cycles,
+        }],
         fu_busy: *e.fu_busy(),
     };
     let mem = e.into_mem();
-    let y = (0..csr.rows()).map(|i| mem.read_f32(yb + i as u32)).collect();
+    let y = (0..csr.rows())
+        .map(|i| mem.read_f32(yb + i as u32))
+        .collect();
     (y, report)
 }
 

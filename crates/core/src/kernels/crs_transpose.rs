@@ -33,7 +33,7 @@ use crate::kernels::scan::scan_add_inplace;
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::Csr;
 use stm_vpsim::scalar::run_scalar;
-use stm_vpsim::{Allocator, Engine, Memory, VpConfig};
+use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
 /// Word addresses of the CRS arrays in simulated memory.
 #[derive(Debug, Clone, Copy)]
@@ -78,16 +78,28 @@ pub fn load_csr(mem: &mut Memory, alloc: &mut Allocator, csr: &Csr) -> CrsLayout
 /// After the scatter phase, `IAT[j]` holds the start of transposed row
 /// `j + 1` (Pissanetsky's cursors end at the next row's start), so the
 /// transposed row-pointer array is `[0] ++ IAT[0..cols]`.
-pub fn decode_result(mem: &Memory, layout: &CrsLayout, rows: usize, cols: usize, nnz: usize) -> Csr {
+pub fn decode_result(
+    mem: &Memory,
+    layout: &CrsLayout,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+) -> Csr {
     let mut row_ptr = Vec::with_capacity(cols + 1);
     row_ptr.push(0usize);
     for j in 0..cols {
         row_ptr.push(mem.read(layout.iat + j as u32) as usize);
     }
-    let col_idx: Vec<usize> =
-        mem.read_block(layout.jat, nnz).into_iter().map(|w| w as usize).collect();
-    let values: Vec<f32> =
-        mem.read_block(layout.ant, nnz).into_iter().map(f32::from_bits).collect();
+    let col_idx: Vec<usize> = mem
+        .read_block(layout.jat, nnz)
+        .into_iter()
+        .map(|w| w as usize)
+        .collect();
+    let values: Vec<f32> = mem
+        .read_block(layout.ant, nnz)
+        .into_iter()
+        .map(f32::from_bits)
+        .collect();
     Csr::from_parts(cols, rows, row_ptr, col_idx, values)
         .expect("simulated CRS transposition produced an invalid matrix")
 }
@@ -101,11 +113,21 @@ fn row_overhead(cfg: &VpConfig) -> u64 {
 /// Simulates the CRS transposition of `csr`. Returns the transposed
 /// matrix (decoded from simulated memory) and the cycle report.
 pub fn transpose_crs(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
+    transpose_crs_timed(vp_cfg, csr, TimingKind::Paper)
+}
+
+/// [`transpose_crs`] under an explicit timing model — the functional
+/// result is identical for every model; only the cycle accounting changes.
+pub fn transpose_crs_timed(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    timing: TimingKind,
+) -> (Csr, TransposeReport) {
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64); // leave a scratch page at 0
     let layout = load_csr(&mut mem, &mut alloc, csr);
     let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
-    let mut e = Engine::new(vp_cfg.clone(), mem);
+    let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
     let mut phases = Vec::new();
     let s = vp_cfg.section_size;
 
@@ -120,7 +142,10 @@ pub fn transpose_crs(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
         off += vl;
     }
     let t0 = e.cycles();
-    phases.push(Phase { name: "init", cycles: t0 });
+    phases.push(Phase {
+        name: "init",
+        cycles: t0,
+    });
 
     // Phase 1: scalar histogram on the 4-way core.
     let program = histogram_program(layout.ja, nnz, layout.iat);
@@ -132,12 +157,18 @@ pub fn transpose_crs(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
     );
     e.advance_serial(scalar_stats.cycles);
     let t1 = e.cycles();
-    phases.push(Phase { name: "histogram", cycles: t1 - t0 });
+    phases.push(Phase {
+        name: "histogram",
+        cycles: t1 - t0,
+    });
 
     // Phase 2: vectorized scan-add over IAT.
     scan_add_inplace(&mut e, layout.iat, cols + 1);
     let t2 = e.cycles();
-    phases.push(Phase { name: "scan-add", cycles: t2 - t1 });
+    phases.push(Phase {
+        name: "scan-add",
+        cycles: t2 - t1,
+    });
 
     // Phase 3: the vectorized scatter loop.
     for i in 0..rows {
@@ -160,7 +191,10 @@ pub fn transpose_crs(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
         }
     }
     let t3 = e.cycles();
-    phases.push(Phase { name: "scatter", cycles: t3 - t2 });
+    phases.push(Phase {
+        name: "scatter",
+        cycles: t3 - t2,
+    });
 
     let report = TransposeReport {
         cycles: t3,
@@ -195,12 +229,7 @@ mod tests {
 
     #[test]
     fn handles_empty_rows_and_columns() {
-        let coo = Coo::from_triplets(
-            10,
-            10,
-            vec![(0, 9, 1.0), (9, 0, 2.0), (5, 5, 3.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_triplets(10, 10, vec![(0, 9, 1.0), (9, 0, 2.0), (5, 5, 3.0)]).unwrap();
         let (got, _) = run(&coo);
         assert_eq!(got, Csr::from_coo(&coo).transpose_pissanetsky());
     }

@@ -8,7 +8,7 @@
 
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::{Coo, Dense};
-use stm_vpsim::{Allocator, Engine, Memory, VpConfig};
+use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
 /// Simulates the dense strided transpose of a matrix (stored row-major as
 /// a full `rows x cols` array). Returns the transposed dense matrix read
@@ -16,6 +16,16 @@ use stm_vpsim::{Allocator, Engine, Memory, VpConfig};
 /// non-zero count so `cycles_per_nnz` is comparable with the sparse
 /// kernels).
 pub fn transpose_dense(vp_cfg: &VpConfig, coo: &Coo) -> (Dense, TransposeReport) {
+    transpose_dense_timed(vp_cfg, coo, TimingKind::Paper)
+}
+
+/// [`transpose_dense`] under an explicit timing model — the functional
+/// result is identical for every model; only the cycle accounting changes.
+pub fn transpose_dense_timed(
+    vp_cfg: &VpConfig,
+    coo: &Coo,
+    timing: TimingKind,
+) -> (Dense, TransposeReport) {
     let (rows, cols) = (coo.rows(), coo.cols());
     let dense = Dense::from_coo(coo);
     let mut mem = Memory::new();
@@ -27,7 +37,7 @@ pub fn transpose_dense(vp_cfg: &VpConfig, coo: &Coo) -> (Dense, TransposeReport)
             mem.write_f32(src + (r * cols + c) as u32, dense.get(r, c));
         }
     }
-    let mut e = Engine::new(vp_cfg.clone(), mem);
+    let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
     let s = vp_cfg.section_size;
 
     // For each output row (= input column): strided gather of the column,
@@ -52,7 +62,10 @@ pub fn transpose_dense(vp_cfg: &VpConfig, coo: &Coo) -> (Dense, TransposeReport)
         engine: *e.stats(),
         scalar: None,
         stm: None,
-        phases: vec![Phase { name: "dense-transpose", cycles }],
+        phases: vec![Phase {
+            name: "dense-transpose",
+            cycles,
+        }],
         fu_busy: *e.fu_busy(),
     };
     let mem = e.into_mem();
@@ -99,8 +112,11 @@ mod tests {
         let coo = gen::random::uniform(256, 256, 650, 7);
         let (_, dense_r) = transpose_dense(&VpConfig::paper(), &coo);
         let h = build::from_coo(&coo, 64).unwrap();
-        let (_, hism_r) =
-            transpose_hism(&VpConfig::paper(), StmConfig::default(), &HismImage::encode(&h));
+        let (_, hism_r) = transpose_hism(
+            &VpConfig::paper(),
+            StmConfig::default(),
+            &HismImage::encode(&h),
+        );
         assert!(
             dense_r.cycles > 10 * hism_r.cycles,
             "dense {} vs hism {}",

@@ -24,7 +24,7 @@
 use crate::report::{Phase, TransposeReport};
 use stm_hism::image::{HismImage, WORDS_PER_ENTRY};
 use stm_sparse::Value;
-use stm_vpsim::{Engine, Memory, VpConfig};
+use stm_vpsim::{Engine, Memory, TimingKind, VpConfig};
 
 /// Simulates `y = A * x` for a HiSM image. Returns the result vector and
 /// a cycle report (reusing [`TransposeReport`]'s cycle/nnz accounting).
@@ -33,7 +33,22 @@ pub fn spmv_hism(
     image: &HismImage,
     x: &[Value],
 ) -> (Vec<Value>, TransposeReport) {
-    assert_eq!(x.len(), image.root.cols as usize, "x length must match matrix columns");
+    spmv_hism_timed(vp_cfg, image, x, TimingKind::Paper)
+}
+
+/// [`spmv_hism`] under an explicit timing model — the functional result is
+/// identical for every model; only the cycle accounting changes.
+pub fn spmv_hism_timed(
+    vp_cfg: &VpConfig,
+    image: &HismImage,
+    x: &[Value],
+    timing: TimingKind,
+) -> (Vec<Value>, TransposeReport) {
+    assert_eq!(
+        x.len(),
+        image.root.cols as usize,
+        "x length must match matrix columns"
+    );
     let s = image.root.s as usize;
     assert_eq!(vp_cfg.section_size, s, "engine/image section size mismatch");
 
@@ -46,7 +61,7 @@ pub fn spmv_hism(
     }
     let padded = (image.root.rows as usize).max(1);
     let y_base = x_base + x.len() as u32;
-    let mut e = Engine::new(vp_cfg.clone(), mem);
+    let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
 
     walk(
         &mut e,
@@ -67,11 +82,16 @@ pub fn spmv_hism(
         engine: *e.stats(),
         scalar: None,
         stm: None,
-        phases: vec![Phase { name: "hism-spmv", cycles }],
+        phases: vec![Phase {
+            name: "hism-spmv",
+            cycles,
+        }],
         fu_busy: *e.fu_busy(),
     };
     let mem = e.into_mem();
-    let y = (0..padded).map(|i| mem.read_f32(y_base + i as u32)).collect();
+    let y = (0..padded)
+        .map(|i| mem.read_f32(y_base + i as u32))
+        .collect();
     (y, report)
 }
 

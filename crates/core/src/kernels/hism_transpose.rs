@@ -26,7 +26,7 @@ use crate::coproc::StmCoprocessor;
 use crate::report::{Phase, TransposeReport};
 use crate::unit::StmConfig;
 use stm_hism::image::{HismImage, RootDesc, WORDS_PER_ENTRY};
-use stm_vpsim::{Engine, Memory, VpConfig};
+use stm_vpsim::{Engine, Memory, TimingKind, VpConfig};
 
 /// Scalar cycles charged per child-block recursion step: loading the
 /// pointer and length words (two likely-hit scalar loads) plus call
@@ -46,14 +46,28 @@ pub fn transpose_hism(
     stm_cfg: StmConfig,
     image: &HismImage,
 ) -> (HismImage, TransposeReport) {
-    assert_eq!(vp_cfg.section_size, stm_cfg.s, "engine/STM section size mismatch");
+    transpose_hism_timed(vp_cfg, stm_cfg, image, TimingKind::Paper)
+}
+
+/// [`transpose_hism`] under an explicit timing model — the functional
+/// result is identical for every model; only the cycle accounting changes.
+pub fn transpose_hism_timed(
+    vp_cfg: &VpConfig,
+    stm_cfg: StmConfig,
+    image: &HismImage,
+    timing: TimingKind,
+) -> (HismImage, TransposeReport) {
+    assert_eq!(
+        vp_cfg.section_size, stm_cfg.s,
+        "engine/STM section size mismatch"
+    );
     assert_eq!(
         image.root.s as usize, stm_cfg.s,
         "image section size mismatch"
     );
     let mut mem = Memory::with_capacity(image.words.len());
     mem.write_block(0, &image.words);
-    let mut e = Engine::new(vp_cfg.clone(), mem);
+    let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
     let mut stm = StmCoprocessor::new(stm_cfg);
 
     transpose_block(
@@ -71,7 +85,10 @@ pub fn transpose_hism(
         engine: *e.stats(),
         scalar: None,
         stm: Some(*stm.stats()),
-        phases: vec![Phase { name: "hism-transpose", cycles }],
+        phases: vec![Phase {
+            name: "hism-transpose",
+            cycles,
+        }],
         fu_busy: *e.fu_busy(),
     };
     let mem = e.into_mem();
@@ -101,7 +118,12 @@ pub fn image_nnz(image: &HismImage) -> usize {
         }
         total
     }
-    walk(image, image.root.addr, image.root.len as usize, image.root.levels - 1)
+    walk(
+        image,
+        image.root.addr,
+        image.root.len as usize,
+        image.root.levels - 1,
+    )
 }
 
 /// `transpose_block(BSA, BSL, LVL)` of Fig. 6.
@@ -261,7 +283,9 @@ mod tests {
         let mut vp = VpConfig::paper();
         vp.section_size = 16;
         let cyc = |b: u64| {
-            transpose_hism(&vp, StmConfig { s: 16, b, l: 4 }, &img).1.cycles
+            transpose_hism(&vp, StmConfig { s: 16, b, l: 4 }, &img)
+                .1
+                .cycles
         };
         assert!(cyc(4) <= cyc(1));
         assert!(cyc(8) <= cyc(4));

@@ -126,7 +126,9 @@ mod tests {
         use stm_vpsim::Engine;
         let nnz = 2000usize;
         let cols = 512usize;
-        let ja: Vec<u32> = (0..nnz as u32).map(|k| k.wrapping_mul(2654435761) % cols as u32).collect();
+        let ja: Vec<u32> = (0..nnz as u32)
+            .map(|k| k.wrapping_mul(2654435761) % cols as u32)
+            .collect();
 
         let mut mem = Memory::new();
         mem.write_block(0, &ja);
@@ -137,9 +139,13 @@ mod tests {
         let mut mem = Memory::new();
         mem.write_block(0, &ja);
         let p = histogram_program(0, nnz, 100_000);
-        let scalar_cycles =
-            run_program(&VpConfig::paper(), &mut mem, &p, histogram_max_instructions(nnz))
-                .cycles;
+        let scalar_cycles = run_program(
+            &VpConfig::paper(),
+            &mut mem,
+            &p,
+            histogram_max_instructions(nnz),
+        )
+        .cycles;
         assert!(
             vectorized_cycles > 5 * scalar_cycles,
             "vectorized {vectorized_cycles} vs scalar {scalar_cycles}"
@@ -181,8 +187,9 @@ mod tests {
         let run_width = |width: u32| {
             let nnz = 4000;
             let mut mem = Memory::new();
-            let ja: Vec<u32> =
-                (0..nnz as u32).map(|k| k.wrapping_mul(2654435761) % width).collect();
+            let ja: Vec<u32> = (0..nnz as u32)
+                .map(|k| k.wrapping_mul(2654435761) % width)
+                .collect();
             mem.write_block(0, &ja);
             let p = histogram_program(0, nnz, 10_000);
             run_program(

@@ -12,19 +12,24 @@
 //! * [`hism_spmv`] / [`crs_spmv`] — simulated sparse matrix–vector
 //!   multiplication over both formats (the extension experiment backing
 //!   the paper's reference \[5\]).
+//!
+//! Every kernel is also registered behind the [`crate::exec::Kernel`]
+//! trait in [`registry`], so harnesses select kernels by name instead of
+//! importing these functions directly.
 
 pub mod crs_scalar;
 pub mod crs_spmv;
 pub mod crs_transpose;
 pub mod dense_transpose;
-pub mod histogram;
 pub mod hism_spmv;
 pub mod hism_transpose;
+pub mod histogram;
+pub mod registry;
 pub mod scan;
 
-pub use crs_scalar::transpose_crs_scalar;
-pub use crs_spmv::spmv_crs;
-pub use dense_transpose::transpose_dense;
-pub use crs_transpose::transpose_crs;
-pub use hism_spmv::spmv_hism;
-pub use hism_transpose::transpose_hism;
+pub use crs_scalar::{transpose_crs_scalar, transpose_crs_scalar_timed};
+pub use crs_spmv::{spmv_crs, spmv_crs_timed};
+pub use crs_transpose::{transpose_crs, transpose_crs_timed};
+pub use dense_transpose::{transpose_dense, transpose_dense_timed};
+pub use hism_spmv::{spmv_hism, spmv_hism_timed};
+pub use hism_transpose::{transpose_hism, transpose_hism_timed};

@@ -1,0 +1,353 @@
+//! The kernel registry: every simulated kernel behind the
+//! [`Kernel`] trait, constructible by name.
+//!
+//! This is the only place that maps kernel names to implementations —
+//! benchmark binaries, the batch harness and tests all go through
+//! [`create`] instead of importing kernel functions directly, so adding a
+//! kernel means adding one adapter struct and one `match` arm here.
+
+pub use crate::exec::{spmv_input, ExecCtx, Kernel, KernelOutput, KernelReport};
+
+use crate::kernels::crs_scalar::transpose_crs_scalar_timed;
+use crate::kernels::crs_spmv::spmv_crs_timed;
+use crate::kernels::crs_transpose::transpose_crs_timed;
+use crate::kernels::dense_transpose::transpose_dense_timed;
+use crate::kernels::hism_spmv::spmv_hism_timed;
+use crate::kernels::hism_transpose::transpose_hism_timed;
+use crate::report::TransposeReport;
+use stm_hism::{build, HismImage};
+use stm_sparse::{Coo, Csr, Value};
+
+/// All registered kernel names, in canonical order.
+pub const NAMES: [&str; 6] = [
+    "transpose_hism",
+    "transpose_crs",
+    "transpose_crs_scalar",
+    "transpose_dense",
+    "spmv_hism",
+    "spmv_crs",
+];
+
+/// All registered kernel names, in canonical order.
+pub fn names() -> &'static [&'static str] {
+    &NAMES
+}
+
+/// Constructs the kernel registered under `name`, or `None` if the name
+/// is unknown. See [`NAMES`] for the registered set.
+pub fn create(name: &str) -> Option<Box<dyn Kernel>> {
+    match name {
+        "transpose_hism" => Some(Box::new(TransposeHism::default())),
+        "transpose_crs" => Some(Box::new(TransposeCrs::default())),
+        "transpose_crs_scalar" => Some(Box::new(TransposeCrsScalar::default())),
+        "transpose_dense" => Some(Box::new(TransposeDense::default())),
+        "spmv_hism" => Some(Box::new(SpmvHism::default())),
+        "spmv_crs" => Some(Box::new(SpmvCrs::default())),
+        _ => None,
+    }
+}
+
+/// Prepare + run + verify in one call — the common harness path.
+///
+/// Returns the report of the named kernel on `coo` under `ctx`, after
+/// checking the functional output against the host oracle.
+pub fn run_verified(name: &str, coo: &Coo, ctx: &ExecCtx) -> Result<KernelReport, String> {
+    let mut kernel = create(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
+    kernel.prepare(coo, ctx)?;
+    let mut ctx = ctx.clone();
+    let report = kernel.run(&mut ctx);
+    kernel.verify(coo, &report.output)?;
+    Ok(report)
+}
+
+fn wrap(kernel: &'static str, report: TransposeReport, output: KernelOutput) -> KernelReport {
+    KernelReport {
+        kernel,
+        report,
+        output_digest: output.digest(),
+        output,
+    }
+}
+
+fn spmv_verify(coo: &Coo, x: &[Value], out: &KernelOutput) -> Result<(), String> {
+    let y = out
+        .as_vector()
+        .ok_or("spmv kernels produce Vector outputs")?;
+    let expect = coo.spmv(x).map_err(|e| e.to_string())?;
+    if y.len() < expect.len() {
+        return Err(format!("y length {} < rows {}", y.len(), expect.len()));
+    }
+    for (i, (a, b)) in y.iter().zip(&expect).enumerate() {
+        if (a - b).abs() > 1e-3 * (1.0 + b.abs()) {
+            return Err(format!("y[{i}] = {a} differs from oracle {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// The recursive HiSM transposition (paper Fig. 6/7) through the STM.
+#[derive(Debug, Default)]
+struct TransposeHism {
+    image: Option<HismImage>,
+}
+
+impl Kernel for TransposeHism {
+    fn name(&self) -> &'static str {
+        "transpose_hism"
+    }
+
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), String> {
+        ctx.validate()?;
+        let h = build::from_coo(coo, ctx.stm.s).map_err(|e| e.to_string())?;
+        self.image = Some(HismImage::encode(&h));
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
+        let image = self
+            .image
+            .as_ref()
+            .expect("prepare must succeed before run");
+        let (out, report) = transpose_hism_timed(&ctx.vp, ctx.stm, image, ctx.timing);
+        wrap(self.name(), report, KernelOutput::Hism(out))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+        let img = out
+            .as_hism()
+            .ok_or("transpose_hism produces Hism outputs")?;
+        let got = build::to_coo(&img.decode());
+        if got == coo.transpose_canonical() {
+            Ok(())
+        } else {
+            Err("decoded HiSM transpose differs from host oracle".into())
+        }
+    }
+}
+
+/// The vectorized CRS baseline (Pissanetsky, paper Fig. 9).
+#[derive(Debug, Default)]
+struct TransposeCrs {
+    csr: Option<Csr>,
+}
+
+impl Kernel for TransposeCrs {
+    fn name(&self) -> &'static str {
+        "transpose_crs"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+        self.csr = Some(Csr::from_coo(coo));
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
+        let csr = self.csr.as_ref().expect("prepare must succeed before run");
+        let (out, report) = transpose_crs_timed(&ctx.vp, csr, ctx.timing);
+        wrap(self.name(), report, KernelOutput::Csr(out))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+        verify_csr_transpose(coo, out)
+    }
+}
+
+/// The fully scalar CRS baseline on the 4-way scalar core.
+#[derive(Debug, Default)]
+struct TransposeCrsScalar {
+    csr: Option<Csr>,
+}
+
+impl Kernel for TransposeCrsScalar {
+    fn name(&self) -> &'static str {
+        "transpose_crs_scalar"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+        self.csr = Some(Csr::from_coo(coo));
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
+        let csr = self.csr.as_ref().expect("prepare must succeed before run");
+        let (out, report) = transpose_crs_scalar_timed(&ctx.vp, csr, ctx.timing);
+        wrap(self.name(), report, KernelOutput::Csr(out))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+        verify_csr_transpose(coo, out)
+    }
+}
+
+fn verify_csr_transpose(coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    let got = out.as_csr().ok_or("CRS kernels produce Csr outputs")?;
+    if *got == Csr::from_coo(coo).transpose_pissanetsky() {
+        Ok(())
+    } else {
+        Err("CRS transpose differs from host oracle".into())
+    }
+}
+
+/// The trivial dense strided transpose of the paper's Section II.
+#[derive(Debug, Default)]
+struct TransposeDense {
+    coo: Option<Coo>,
+}
+
+impl Kernel for TransposeDense {
+    fn name(&self) -> &'static str {
+        "transpose_dense"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+        self.coo = Some(coo.clone());
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
+        let coo = self.coo.as_ref().expect("prepare must succeed before run");
+        let (out, report) = transpose_dense_timed(&ctx.vp, coo, ctx.timing);
+        wrap(self.name(), report, KernelOutput::Dense(out))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+        let got = match out {
+            KernelOutput::Dense(d) => d,
+            _ => return Err("transpose_dense produces Dense outputs".into()),
+        };
+        if got.to_coo() == coo.transpose_canonical() {
+            Ok(())
+        } else {
+            Err("dense transpose differs from host oracle".into())
+        }
+    }
+}
+
+/// Simulated SpMV over the HiSM format.
+#[derive(Debug, Default)]
+struct SpmvHism {
+    image: Option<HismImage>,
+    x: Vec<Value>,
+}
+
+impl Kernel for SpmvHism {
+    fn name(&self) -> &'static str {
+        "spmv_hism"
+    }
+
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), String> {
+        ctx.validate()?;
+        let h = build::from_coo(coo, ctx.stm.s).map_err(|e| e.to_string())?;
+        self.image = Some(HismImage::encode(&h));
+        self.x = spmv_input(coo.cols());
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
+        let image = self
+            .image
+            .as_ref()
+            .expect("prepare must succeed before run");
+        let (y, report) = spmv_hism_timed(&ctx.vp, image, &self.x, ctx.timing);
+        wrap(self.name(), report, KernelOutput::Vector(y))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+        spmv_verify(coo, &self.x, out)
+    }
+}
+
+/// Simulated SpMV over the CSR format (the conventional baseline).
+#[derive(Debug, Default)]
+struct SpmvCrs {
+    csr: Option<Csr>,
+    x: Vec<Value>,
+}
+
+impl Kernel for SpmvCrs {
+    fn name(&self) -> &'static str {
+        "spmv_crs"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+        self.csr = Some(Csr::from_coo(coo));
+        self.x = spmv_input(coo.cols());
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
+        let csr = self.csr.as_ref().expect("prepare must succeed before run");
+        let (y, report) = spmv_crs_timed(&ctx.vp, csr, &self.x, ctx.timing);
+        wrap(self.name(), report, KernelOutput::Vector(y))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+        spmv_verify(coo, &self.x, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_sparse::gen;
+
+    #[test]
+    fn every_registered_name_constructs_and_round_trips() {
+        let coo = gen::random::uniform(40, 50, 180, 11);
+        let ctx = ExecCtx::paper();
+        for &name in names() {
+            let report = run_verified(name, &coo, &ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(report.kernel, name);
+            assert!(report.report.cycles > 0, "{name} charged no cycles");
+            assert_eq!(report.output_digest, report.output.digest());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(create("transpose_quantum").is_none());
+        assert!(run_verified("nope", &Coo::new(2, 2), &ExecCtx::paper()).is_err());
+    }
+
+    #[test]
+    fn kernel_names_match_registry_keys() {
+        for &name in names() {
+            assert_eq!(create(name).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn run_before_prepare_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut ctx = ExecCtx::paper();
+            create("transpose_hism").unwrap().run(&mut ctx);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn prepare_rejects_inconsistent_context() {
+        let mut ctx = ExecCtx::paper();
+        ctx.stm.s = 32; // now != vp.section_size
+        let coo = gen::random::uniform(16, 16, 30, 5);
+        let mut k = create("transpose_hism").unwrap();
+        assert!(k.prepare(&coo, &ctx).is_err());
+    }
+
+    #[test]
+    fn ideal_timing_is_a_lower_bound_with_identical_output() {
+        use stm_vpsim::TimingKind;
+        let coo = gen::random::uniform(70, 70, 420, 3);
+        for &name in names() {
+            let paper = run_verified(name, &coo, &ExecCtx::paper()).unwrap();
+            let ideal = run_verified(name, &coo, &ExecCtx::with_timing(TimingKind::Ideal)).unwrap();
+            assert_eq!(paper.output_digest, ideal.output_digest, "{name}");
+            assert!(
+                ideal.report.cycles <= paper.report.cycles,
+                "{name}: ideal {} > paper {}",
+                ideal.report.cycles,
+                paper.report.cycles
+            );
+        }
+    }
+}

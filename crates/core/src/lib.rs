@@ -31,12 +31,16 @@
 //!   `icm`/`v_stcr`/`v_ldcc` instructions;
 //! * [`kernels`] — the recursive HiSM transposition (paper Fig. 6/7) and
 //!   the vectorized CRS baseline (paper Fig. 9), both functional + timed;
+//! * [`exec`] — the [`exec::Kernel`] trait, [`exec::ExecCtx`] machine
+//!   context and the by-name registry ([`kernels::registry`]) harnesses
+//!   construct kernels through;
 //! * [`report`] — cycle/utilization reporting shared by the harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coproc;
+pub mod exec;
 pub mod kernels;
 pub mod locator;
 pub mod micro;
@@ -45,5 +49,6 @@ pub mod sxs;
 pub mod unit;
 
 pub use coproc::StmCoprocessor;
+pub use exec::{ExecCtx, Kernel, KernelOutput, KernelReport};
 pub use report::{StmStats, TransposeReport};
 pub use unit::{StmConfig, StmUnit};

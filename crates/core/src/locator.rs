@@ -76,9 +76,7 @@ impl GateLocator {
         for j in 0..b as u32 {
             // Rank-select: the unique position with bit set and prefix
             // count j+1 (a priority-encoder row in hardware).
-            if let Some(i) =
-                (0..self.width).find(|&i| bits[i] && counts[i] == j + 1)
-            {
+            if let Some(i) = (0..self.width).find(|&i| bits[i] && counts[i] == j + 1) {
                 out.push(i);
             } else {
                 break; // zero-counter overflow: fewer than b ones left

@@ -45,14 +45,25 @@ impl MicroStm {
     /// Builds the model.
     pub fn new(cfg: StmConfig) -> Self {
         cfg.validate().expect("invalid STM configuration");
-        MicroStm { mem: SxsMemory::new(cfg.s), cfg, cycles: 0, write_transfers: 0, read_transfers: 0 }
+        MicroStm {
+            mem: SxsMemory::new(cfg.s),
+            cfg,
+            cycles: 0,
+            write_transfers: 0,
+            read_transfers: 0,
+        }
     }
 
     /// Transposes one blockarray, stepping the datapath cycle by cycle.
     /// Returns the transposed blockarray and the observed timing.
-    pub fn transpose_block(&mut self, entries: &[(u8, u8, u32)]) -> (Vec<(u8, u8, u32)>, BlockTiming) {
+    pub fn transpose_block(
+        &mut self,
+        entries: &[(u8, u8, u32)],
+    ) -> (Vec<(u8, u8, u32)>, BlockTiming) {
         assert!(
-            entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            entries
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
             "blockarray must be strictly row-major"
         );
         self.mem.clear();
@@ -145,23 +156,18 @@ mod tests {
     use crate::unit::{block_timing, StmUnit};
 
     fn entries(pattern: &[(u8, u8)]) -> Vec<(u8, u8, u32)> {
-        let mut v: Vec<(u8, u8, u32)> =
-            pattern.iter().enumerate().map(|(k, &(r, c))| (r, c, k as u32 + 1)).collect();
+        let mut v: Vec<(u8, u8, u32)> = pattern
+            .iter()
+            .enumerate()
+            .map(|(k, &(r, c))| (r, c, k as u32 + 1))
+            .collect();
         v.sort();
         v
     }
 
     #[test]
     fn micro_model_matches_analytic_batches() {
-        let block = entries(&[
-            (0, 1),
-            (0, 5),
-            (1, 1),
-            (2, 0),
-            (2, 7),
-            (5, 5),
-            (7, 0),
-        ]);
+        let block = entries(&[(0, 1), (0, 5), (1, 1), (2, 0), (2, 7), (5, 5), (7, 0)]);
         let positions: Vec<(u8, u8)> = block.iter().map(|&(r, c, _)| (r, c)).collect();
         for (b, l) in [(1u64, 1usize), (4, 1), (4, 4), (2, 2), (8, 8)] {
             let cfg = StmConfig { s: 8, b, l };

@@ -79,7 +79,12 @@ mod tests {
 
     #[test]
     fn bu_formula() {
-        let st = StmStats { sessions: 1, entries: 10, write_batches: 10, read_batches: 10 };
+        let st = StmStats {
+            sessions: 1,
+            entries: 10,
+            write_batches: 10,
+            read_batches: 10,
+        };
         // 20 / (1 * 26)
         assert!((st.buffer_utilization(1) - 20.0 / 26.0).abs() < 1e-12);
     }
@@ -91,9 +96,17 @@ mod tests {
 
     #[test]
     fn cycles_per_nnz_handles_empty() {
-        let r = TransposeReport { cycles: 100, nnz: 0, ..Default::default() };
+        let r = TransposeReport {
+            cycles: 100,
+            nnz: 0,
+            ..Default::default()
+        };
         assert_eq!(r.cycles_per_nnz(), 0.0);
-        let r = TransposeReport { cycles: 100, nnz: 50, ..Default::default() };
+        let r = TransposeReport {
+            cycles: 100,
+            nnz: 50,
+            ..Default::default()
+        };
         assert_eq!(r.cycles_per_nnz(), 2.0);
     }
 }

@@ -16,7 +16,11 @@ impl SxsMemory {
     /// A cleared `s x s` memory.
     pub fn new(s: usize) -> Self {
         assert!((2..=256).contains(&s), "section size out of range");
-        SxsMemory { s, payload: vec![0; s * s], nz: vec![false; s * s] }
+        SxsMemory {
+            s,
+            payload: vec![0; s * s],
+            nz: vec![false; s * s],
+        }
     }
 
     /// Block dimension.
@@ -51,8 +55,9 @@ impl SxsMemory {
     /// Reads column `col` top-to-bottom through the non-zero locator:
     /// returns `(row, payload)` pairs in increasing row order.
     pub fn read_column(&self, col: u8) -> Vec<(u8, u32)> {
-        let col_bits: Vec<bool> =
-            (0..self.s).map(|r| self.nz[r * self.s + col as usize]).collect();
+        let col_bits: Vec<bool> = (0..self.s)
+            .map(|r| self.nz[r * self.s + col as usize])
+            .collect();
         first_ones(&col_bits, self.s)
             .into_iter()
             .map(|r| (r as u8, self.payload[r * self.s + col as usize]))
@@ -84,7 +89,11 @@ impl SxsMemory {
 
     fn index(&self, row: u8, col: u8) -> usize {
         let (r, c) = (row as usize, col as usize);
-        assert!(r < self.s && c < self.s, "position ({r},{c}) outside s={}", self.s);
+        assert!(
+            r < self.s && c < self.s,
+            "position ({r},{c}) outside s={}",
+            self.s
+        );
         r * self.s + c
     }
 }
@@ -123,7 +132,10 @@ mod tests {
         m.insert(0, 3, 11);
         m.insert(2, 1, 12);
         // Column-major: col1 rows 0,2; col3 row 0.
-        assert_eq!(m.drain_column_major(), vec![(1, 0, 10), (1, 2, 12), (3, 0, 11)]);
+        assert_eq!(
+            m.drain_column_major(),
+            vec![(1, 0, 10), (1, 2, 12), (3, 0, 11)]
+        );
     }
 
     #[test]

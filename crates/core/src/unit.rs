@@ -60,7 +60,10 @@ impl StmConfig {
 /// (≤ `b`) whose lines fall inside the `l`-line window anchored at the
 /// first element of the transfer.
 pub fn count_batches(lines: &[u8], b: u64, l: usize) -> u64 {
-    debug_assert!(lines.windows(2).all(|w| w[0] <= w[1]), "lines must be sorted");
+    debug_assert!(
+        lines.windows(2).all(|w| w[0] <= w[1]),
+        "lines must be sorted"
+    );
     let mut batches = 0u64;
     let mut i = 0usize;
     while i < lines.len() {
@@ -126,7 +129,10 @@ impl StmUnit {
     /// Builds a unit.
     pub fn new(cfg: StmConfig) -> Self {
         cfg.validate().expect("invalid STM configuration");
-        StmUnit { mem: SxsMemory::new(cfg.s), cfg }
+        StmUnit {
+            mem: SxsMemory::new(cfg.s),
+            cfg,
+        }
     }
 
     /// Configuration.
@@ -140,9 +146,14 @@ impl StmUnit {
     /// coordinates — and the phase timing.
     ///
     /// Panics if entries are not row-major sorted (HiSM guarantees it).
-    pub fn transpose_block(&mut self, entries: &[(u8, u8, u32)]) -> (Vec<(u8, u8, u32)>, BlockTiming) {
+    pub fn transpose_block(
+        &mut self,
+        entries: &[(u8, u8, u32)],
+    ) -> (Vec<(u8, u8, u32)>, BlockTiming) {
         assert!(
-            entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            entries
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
             "blockarray must be strictly row-major"
         );
         self.mem.clear();
@@ -166,7 +177,10 @@ impl StmUnit {
 /// instead of `O(s²)`, for the Fig. 10 parameter sweeps over large
 /// matrices. Equivalent to [`StmUnit::transpose_block`]'s timing (tested).
 pub fn block_timing(positions: &[(u8, u8)], cfg: &StmConfig) -> BlockTiming {
-    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must be row-major");
+    debug_assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "positions must be row-major"
+    );
     let write_lines: Vec<u8> = positions.iter().map(|&(r, _)| r).collect();
     let mut transposed: Vec<(u8, u8)> = positions.iter().map(|&(r, c)| (c, r)).collect();
     transposed.sort_unstable();
@@ -262,7 +276,11 @@ mod tests {
     #[test]
     fn bu_is_near_one_at_b1_for_dense_rows() {
         // One full 64-row dense block: write = read = 4096 batches at B=1.
-        let t = BlockTiming { entries: 4096, write_batches: 4096, read_batches: 4096 };
+        let t = BlockTiming {
+            entries: 4096,
+            write_batches: 4096,
+            read_batches: 4096,
+        };
         let bu = buffer_utilization(&[t], 1);
         assert!(bu > 0.999, "bu = {bu}");
     }
@@ -270,7 +288,11 @@ mod tests {
     #[test]
     fn bu_penalty_dominates_tiny_blocks() {
         // 1-entry block at B=1: 2 / (1*(1+1+6)) = 0.25.
-        let t = BlockTiming { entries: 1, write_batches: 1, read_batches: 1 };
+        let t = BlockTiming {
+            entries: 1,
+            write_batches: 1,
+            read_batches: 1,
+        };
         assert!((buffer_utilization(&[t], 1) - 0.25).abs() < 1e-12);
     }
 

@@ -49,13 +49,19 @@ pub fn log_spaced_picks(values: &[f64], k: usize) -> Vec<usize> {
     let mut picked: Vec<usize> = Vec::with_capacity(k);
     let mut used = vec![false; values.len()];
     for step in 0..k {
-        let target = if k == 1 { lo } else { lo + (hi - lo) * step as f64 / (k - 1) as f64 };
+        let target = if k == 1 {
+            lo
+        } else {
+            lo + (hi - lo) * step as f64 / (k - 1) as f64
+        };
         let best = logs
             .iter()
             .enumerate()
             .filter(|(i, _)| !used[*i])
             .min_by(|(_, a), (_, b)| {
-                ((*a - target).abs()).partial_cmp(&((*b - target).abs())).unwrap()
+                ((*a - target).abs())
+                    .partial_cmp(&((*b - target).abs()))
+                    .unwrap()
             })
             .map(|(i, _)| i)
             .expect("picks exhausted the catalogue");
@@ -123,7 +129,11 @@ mod tests {
 
     #[test]
     fn criterion_extractors() {
-        let m = MatrixMetrics { nnz: 10, locality: 2.5, avg_nnz_per_row: 4.0 };
+        let m = MatrixMetrics {
+            nnz: 10,
+            locality: 2.5,
+            avg_nnz_per_row: 4.0,
+        };
         assert_eq!(Criterion::Size.value(&m), 10.0);
         assert_eq!(Criterion::Locality.value(&m), 2.5);
         assert_eq!(Criterion::AvgNnzPerRow.value(&m), 4.0);

@@ -15,7 +15,10 @@ pub struct MatrixSpec {
 
 impl MatrixSpec {
     fn new(name: impl Into<String>, builder: impl Fn() -> Coo + Send + Sync + 'static) -> Self {
-        MatrixSpec { name: name.into(), builder: Box::new(builder) }
+        MatrixSpec {
+            name: name.into(),
+            builder: Box::new(builder),
+        }
     }
 
     /// Builds the matrix (deterministic: same result every call).
@@ -26,7 +29,9 @@ impl MatrixSpec {
 
 impl std::fmt::Debug for MatrixSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MatrixSpec").field("name", &self.name).finish()
+        f.debug_struct("MatrixSpec")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -56,7 +61,10 @@ impl ExperimentSets {
     /// All 30 entries, locality set first (matching the paper's "whole
     /// collection of 30 matrices" summary).
     pub fn all(&self) -> impl Iterator<Item = &SuiteEntry> {
-        self.by_locality.iter().chain(&self.by_anz).chain(&self.by_size)
+        self.by_locality
+            .iter()
+            .chain(&self.by_anz)
+            .chain(&self.by_size)
     }
 }
 
@@ -73,11 +81,15 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
 
     // --- diagonal / mass matrices (ANZ = 1) -------------------------------
     for n in [48usize, 2048, 32768] {
-        v.push(MatrixSpec::new(format!("diag-{n}"), move || structured::diagonal(n)));
+        v.push(MatrixSpec::new(format!("diag-{n}"), move || {
+            structured::diagonal(n)
+        }));
     }
     // --- tridiagonal (1-D operators) --------------------------------------
     for n in [64usize, 256, 1024, 4096, 16384, 65536, 262144] {
-        v.push(MatrixSpec::new(format!("tridiag-{n}"), move || structured::tridiagonal(n)));
+        v.push(MatrixSpec::new(format!("tridiag-{n}"), move || {
+            structured::tridiagonal(n)
+        }));
     }
     // --- random bands ------------------------------------------------------
     for (n, hw, fill, seed) in [
@@ -98,13 +110,19 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
     }
     // --- 2-D / 3-D stencils (FEM/FD) ---------------------------------------
     for k in [16usize, 32, 64, 128, 256, 512] {
-        v.push(MatrixSpec::new(format!("grid2d-{k}"), move || structured::grid2d_5pt(k, k)));
+        v.push(MatrixSpec::new(format!("grid2d-{k}"), move || {
+            structured::grid2d_5pt(k, k)
+        }));
     }
     for k in [8usize, 16, 24, 32, 48, 64] {
-        v.push(MatrixSpec::new(format!("grid3d-{k}"), move || structured::grid3d_7pt(k, k, k)));
+        v.push(MatrixSpec::new(format!("grid3d-{k}"), move || {
+            structured::grid3d_7pt(k, k, k)
+        }));
     }
     for k in [24usize, 96, 192, 384] {
-        v.push(MatrixSpec::new(format!("grid9-{k}"), move || structured::grid2d_9pt(k, k)));
+        v.push(MatrixSpec::new(format!("grid9-{k}"), move || {
+            structured::grid2d_9pt(k, k)
+        }));
     }
     // --- uniform random (power networks; lowest locality) ------------------
     for (n, nnz, seed) in [
@@ -150,9 +168,10 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
         (65536, 5, 10, 404),
         (2048, 10, 4, 405),
     ] {
-        v.push(MatrixSpec::new(format!("jitter-{n}-{per_row}"), move || {
-            random::jittered_diagonal(n, per_row, spread, seed)
-        }));
+        v.push(MatrixSpec::new(
+            format!("jitter-{n}-{per_row}"),
+            move || random::jittered_diagonal(n, per_row, spread, seed),
+        ));
     }
     // --- R-MAT graphs --------------------------------------------------------
     for (scale, nnz, flat, seed) in [
@@ -167,11 +186,16 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
         (9, 8000, false, 509),
         (11, 60000, true, 510),
     ] {
-        let probs = if flat { rmat::RmatProbs::flat() } else { rmat::RmatProbs::default() };
+        let probs = if flat {
+            rmat::RmatProbs::flat()
+        } else {
+            rmat::RmatProbs::default()
+        };
         let tag = if flat { "flat" } else { "g500" };
-        v.push(MatrixSpec::new(format!("rmat{scale}-{tag}-{nnz}"), move || {
-            rmat::rmat(scale, nnz, probs, seed)
-        }));
+        v.push(MatrixSpec::new(
+            format!("rmat{scale}-{tag}-{nnz}"),
+            move || rmat::rmat(scale, nnz, probs, seed),
+        ));
     }
     // --- dense blocks (quantum chemistry; highest locality) -----------------
     for (n, block, count, fill, seed) in [
@@ -188,9 +212,10 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
         (320, 32, 16, 1.0, 611),
         (640, 64, 9, 0.95, 612),
     ] {
-        v.push(MatrixSpec::new(format!("blockdense-{n}-b{block}"), move || {
-            blocks::block_dense(n, block, count, fill, seed)
-        }));
+        v.push(MatrixSpec::new(
+            format!("blockdense-{n}-b{block}"),
+            move || blocks::block_dense(n, block, count, fill, seed),
+        ));
     }
     // --- block bands (multi-DOF FEM) ----------------------------------------
     for (n, block, hw, fill, seed) in [
@@ -203,13 +228,16 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
         (1024, 64, 1, 0.5, 707),
         (65536, 4, 2, 0.9, 708),
     ] {
-        v.push(MatrixSpec::new(format!("blockband-{n}-b{block}"), move || {
-            blocks::block_band(n, block, hw, fill, seed)
-        }));
+        v.push(MatrixSpec::new(
+            format!("blockband-{n}-b{block}"),
+            move || blocks::block_band(n, block, hw, fill, seed),
+        ));
     }
     // --- arrowheads (hub + diagonal; KKT-like) -------------------------------
     for n in [100usize, 1000, 10000, 100000] {
-        v.push(MatrixSpec::new(format!("arrow-{n}"), move || structured::arrowhead(n)));
+        v.push(MatrixSpec::new(format!("arrow-{n}"), move || {
+            structured::arrowhead(n)
+        }));
     }
     // --- Kronecker fractals ---------------------------------------------------
     for depth in [3u32, 4, 5, 6, 7, 8] {
@@ -233,29 +261,50 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
         }));
     }
     // --- anisotropic grids ----------------------------------------------------
-    for (nx, ny) in [(1024usize, 16usize), (16, 1024), (2048, 8), (400, 50), (64, 512)] {
+    for (nx, ny) in [
+        (1024usize, 16usize),
+        (16, 1024),
+        (2048, 8),
+        (400, 50),
+        (64, 512),
+    ] {
         v.push(MatrixSpec::new(format!("grid2d-{nx}x{ny}"), move || {
             structured::grid2d_5pt(nx, ny)
         }));
     }
     // --- extra uniform density sweep (fixed n, rising density) ---------------
-    for (nnz, seed) in
-        [(8192usize, 901u64), (32768, 902), (131072, 903), (524288, 904), (1048576, 905)]
-    {
+    for (nnz, seed) in [
+        (8192usize, 901u64),
+        (32768, 902),
+        (131072, 903),
+        (524288, 904),
+        (1048576, 905),
+    ] {
         v.push(MatrixSpec::new(format!("unif8k-{nnz}"), move || {
             random::uniform(8192, 8192, nnz, seed)
         }));
     }
     // --- extra power-law sweep -------------------------------------------------
-    for (avg, seed) in [(2.0f64, 911u64), (6.0, 912), (20.0, 913), (60.0, 914), (160.0, 915)] {
+    for (avg, seed) in [
+        (2.0f64, 911u64),
+        (6.0, 912),
+        (20.0, 913),
+        (60.0, 914),
+        (160.0, 915),
+    ] {
         v.push(MatrixSpec::new(format!("powlaw4k-a{avg}"), move || {
             random::power_law(4096, 4096, avg, 1.0, seed)
         }));
     }
     // --- extra block-dense fill sweep (locality ladder) ------------------------
-    for (fill, seed) in
-        [(0.1f64, 921u64), (0.2, 922), (0.35, 923), (0.55, 924), (0.75, 925), (1.0, 926)]
-    {
+    for (fill, seed) in [
+        (0.1f64, 921u64),
+        (0.2, 922),
+        (0.35, 923),
+        (0.55, 924),
+        (0.75, 925),
+        (1.0, 926),
+    ] {
         v.push(MatrixSpec::new(format!("blockfill-{fill}"), move || {
             blocks::block_dense(2048, 64, 24, fill, seed)
         }));
@@ -268,25 +317,42 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
         (48, 2, 4, 934),
         (150, 3, 10, 935),
     ] {
-        v.push(MatrixSpec::new(format!("jitter2-{n}-{per_row}"), move || {
-            random::jittered_diagonal(n, per_row, spread, seed)
-        }));
+        v.push(MatrixSpec::new(
+            format!("jitter2-{n}-{per_row}"),
+            move || random::jittered_diagonal(n, per_row, spread, seed),
+        ));
     }
     // --- tiny matrices (the low end of the size axis; the paper's set
     // --- starts at 48 non-zeros with bcsstm01) -----------------------------
-    v.push(MatrixSpec::new("tiny-uniform-24", || random::uniform(24, 24, 60, 941)));
-    v.push(MatrixSpec::new("tiny-grid2d-8", || structured::grid2d_5pt(8, 8)));
-    v.push(MatrixSpec::new("tiny-band-32", || structured::banded(32, 2, 0.8, 942)));
+    v.push(MatrixSpec::new("tiny-uniform-24", || {
+        random::uniform(24, 24, 60, 941)
+    }));
+    v.push(MatrixSpec::new("tiny-grid2d-8", || {
+        structured::grid2d_5pt(8, 8)
+    }));
+    v.push(MatrixSpec::new("tiny-band-32", || {
+        structured::banded(32, 2, 0.8, 942)
+    }));
     v.push(MatrixSpec::new("tiny-rmat-5", || {
         rmat::rmat(5, 90, rmat::RmatProbs::default(), 943)
     }));
-    v.push(MatrixSpec::new("tiny-block-64", || blocks::block_dense(64, 8, 3, 0.9, 944)));
+    v.push(MatrixSpec::new("tiny-block-64", || {
+        blocks::block_dense(64, 8, 3, 0.9, 944)
+    }));
     v.push(MatrixSpec::new("tiny-powlaw-64", || {
         random::power_law(64, 64, 5.0, 1.0, 945)
     }));
-    v.push(MatrixSpec::new("tiny-tridiag-20", || structured::tridiagonal(20)));
-    v.push(MatrixSpec::new("tiny-uniform-96", || random::uniform(96, 96, 400, 946)));
-    assert!(v.len() >= 132, "catalogue shrank below 132 entries: {}", v.len());
+    v.push(MatrixSpec::new("tiny-tridiag-20", || {
+        structured::tridiagonal(20)
+    }));
+    v.push(MatrixSpec::new("tiny-uniform-96", || {
+        random::uniform(96, 96, 400, 946)
+    }));
+    assert!(
+        v.len() >= 132,
+        "catalogue shrank below 132 entries: {}",
+        v.len()
+    );
     v
 }
 
@@ -295,21 +361,47 @@ pub fn full_catalogue() -> Vec<MatrixSpec> {
 pub fn quick_catalogue() -> Vec<MatrixSpec> {
     let mut v: Vec<MatrixSpec> = Vec::new();
     for n in [48usize, 300] {
-        v.push(MatrixSpec::new(format!("diag-{n}"), move || structured::diagonal(n)));
-        v.push(MatrixSpec::new(format!("tridiag-{n}"), move || structured::tridiagonal(n)));
+        v.push(MatrixSpec::new(format!("diag-{n}"), move || {
+            structured::diagonal(n)
+        }));
+        v.push(MatrixSpec::new(format!("tridiag-{n}"), move || {
+            structured::tridiagonal(n)
+        }));
     }
-    v.push(MatrixSpec::new("grid2d-12", || structured::grid2d_5pt(12, 12)));
-    v.push(MatrixSpec::new("grid3d-6", || structured::grid3d_7pt(6, 6, 6)));
-    v.push(MatrixSpec::new("uniform-256", || random::uniform(256, 256, 1200, 11)));
-    v.push(MatrixSpec::new("uniform-1024", || random::uniform(1024, 1024, 3000, 12)));
-    v.push(MatrixSpec::new("powlaw-400", || random::power_law(400, 400, 40.0, 0.7, 13)));
-    v.push(MatrixSpec::new("powlaw-800", || random::power_law(800, 800, 10.0, 1.2, 14)));
-    v.push(MatrixSpec::new("rmat-8", || rmat::rmat(8, 2500, rmat::RmatProbs::default(), 15)));
-    v.push(MatrixSpec::new("blockdense-256", || blocks::block_dense(256, 32, 12, 0.9, 16)));
-    v.push(MatrixSpec::new("blockdense-128", || blocks::block_dense(128, 16, 10, 0.5, 17)));
-    v.push(MatrixSpec::new("blockband-512", || blocks::block_band(512, 8, 1, 0.8, 18)));
+    v.push(MatrixSpec::new("grid2d-12", || {
+        structured::grid2d_5pt(12, 12)
+    }));
+    v.push(MatrixSpec::new("grid3d-6", || {
+        structured::grid3d_7pt(6, 6, 6)
+    }));
+    v.push(MatrixSpec::new("uniform-256", || {
+        random::uniform(256, 256, 1200, 11)
+    }));
+    v.push(MatrixSpec::new("uniform-1024", || {
+        random::uniform(1024, 1024, 3000, 12)
+    }));
+    v.push(MatrixSpec::new("powlaw-400", || {
+        random::power_law(400, 400, 40.0, 0.7, 13)
+    }));
+    v.push(MatrixSpec::new("powlaw-800", || {
+        random::power_law(800, 800, 10.0, 1.2, 14)
+    }));
+    v.push(MatrixSpec::new("rmat-8", || {
+        rmat::rmat(8, 2500, rmat::RmatProbs::default(), 15)
+    }));
+    v.push(MatrixSpec::new("blockdense-256", || {
+        blocks::block_dense(256, 32, 12, 0.9, 16)
+    }));
+    v.push(MatrixSpec::new("blockdense-128", || {
+        blocks::block_dense(128, 16, 10, 0.5, 17)
+    }));
+    v.push(MatrixSpec::new("blockband-512", || {
+        blocks::block_band(512, 8, 1, 0.8, 18)
+    }));
     v.push(MatrixSpec::new("kron-4", || blocks::kronecker_fractal(4)));
-    v.push(MatrixSpec::new("jitter-600", || random::jittered_diagonal(600, 5, 8, 19)));
+    v.push(MatrixSpec::new("jitter-600", || {
+        random::jittered_diagonal(600, 5, 8, 19)
+    }));
     v
 }
 
@@ -318,7 +410,11 @@ pub fn build_by_name(catalogue: &[MatrixSpec], name: &str) -> Option<SuiteEntry>
     catalogue.iter().find(|s| s.name == name).map(|s| {
         let coo = s.build();
         let metrics = MatrixMetrics::compute(&coo);
-        SuiteEntry { name: s.name.clone(), coo, metrics }
+        SuiteEntry {
+            name: s.name.clone(),
+            coo,
+            metrics,
+        }
     })
 }
 
@@ -402,7 +498,10 @@ mod tests {
             .by_anz
             .windows(2)
             .all(|w| w[0].metrics.avg_nnz_per_row <= w[1].metrics.avg_nnz_per_row));
-        assert!(sets.by_size.windows(2).all(|w| w[0].metrics.nnz <= w[1].metrics.nnz));
+        assert!(sets
+            .by_size
+            .windows(2)
+            .all(|w| w[0].metrics.nnz <= w[1].metrics.nnz));
         assert_eq!(sets.all().count(), 18);
     }
 

@@ -48,7 +48,15 @@ pub fn from_coo(coo: &Coo, s: usize) -> Result<HismMatrix, FormatError> {
     let entries = canon.entries();
     let root = build_block(entries, levels - 1, (0, 0), s, &mut blocks);
     let nnz = canon.nnz();
-    let m = HismMatrix { s, rows, cols, levels, blocks, root, nnz };
+    let m = HismMatrix {
+        s,
+        rows,
+        cols,
+        levels,
+        blocks,
+        root,
+        nnz,
+    };
     debug_assert_eq!(m.validate(), Ok(()));
     Ok(m)
 }
@@ -74,17 +82,25 @@ fn build_block(
             })
             .collect();
         leaf.sort_by_key(|e| (e.row, e.col));
-        arena.push(HismBlock { level: 0, data: BlockData::Leaf(leaf) });
+        arena.push(HismBlock {
+            level: 0,
+            data: BlockData::Leaf(leaf),
+        });
         return arena.len() - 1;
     }
     let step = s.pow(level as u32);
     // Group triplets by their in-block coordinate at this level: tag each
     // with its key, sort by key (O(z log z)), and split into runs —
     // avoids a per-entry linear scan over the occupied-block list.
-    let mut tagged: Vec<((u8, u8), (usize, usize, f32))> = entries
+    // Triplets tagged with their in-block coordinate key.
+    type Tagged = ((u8, u8), (usize, usize, f32));
+    let mut tagged: Vec<Tagged> = entries
         .iter()
         .map(|&(r, c, v)| {
-            ((((r - origin.0) / step) as u8, ((c - origin.1) / step) as u8), (r, c, v))
+            (
+                (((r - origin.0) / step) as u8, ((c - origin.1) / step) as u8),
+                (r, c, v),
+            )
         })
         .collect();
     tagged.sort_by_key(|&(key, (r, c, _))| (key, r, c));
@@ -100,10 +116,17 @@ fn build_block(
         let (br, bc) = key;
         let child_origin = (origin.0 + br as usize * step, origin.1 + bc as usize * step);
         let child = build_block(&bucket, level - 1, child_origin, s, arena);
-        node.push(NodeEntry { row: br, col: bc, child });
+        node.push(NodeEntry {
+            row: br,
+            col: bc,
+            child,
+        });
         i = j;
     }
-    arena.push(HismBlock { level, data: BlockData::Node(node) });
+    arena.push(HismBlock {
+        level,
+        data: BlockData::Node(node),
+    });
     arena.len() - 1
 }
 
@@ -120,13 +143,19 @@ fn collect(h: &HismMatrix, block: usize, level: usize, origin: (usize, usize), o
     match &h.blocks()[block].data {
         BlockData::Leaf(entries) => {
             for e in entries {
-                out.push(origin.0 + e.row as usize, origin.1 + e.col as usize, e.value);
+                out.push(
+                    origin.0 + e.row as usize,
+                    origin.1 + e.col as usize,
+                    e.value,
+                );
             }
         }
         BlockData::Node(entries) => {
             for e in entries {
-                let child_origin =
-                    (origin.0 + e.row as usize * step, origin.1 + e.col as usize * step);
+                let child_origin = (
+                    origin.0 + e.row as usize * step,
+                    origin.1 + e.col as usize * step,
+                );
                 collect(h, e.child, level - 1, child_origin, out);
             }
         }
@@ -150,12 +179,7 @@ mod tests {
 
     #[test]
     fn round_trip_small() {
-        let coo = Coo::from_triplets(
-            7,
-            13,
-            vec![(0, 12, 1.0), (6, 0, 2.0), (3, 3, 3.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_triplets(7, 13, vec![(0, 12, 1.0), (6, 0, 2.0), (3, 3, 3.0)]).unwrap();
         let h = from_coo(&coo, 4).unwrap();
         h.validate().unwrap();
         let mut orig = coo;

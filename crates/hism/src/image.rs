@@ -112,7 +112,11 @@ impl HismImage {
             cols: h.cols() as u32,
             s: h.section_size() as u32,
         };
-        HismImage { words, root, pointer_sites }
+        HismImage {
+            words,
+            root,
+            pointer_sites,
+        }
     }
 
     /// Rebuilds the host structure from the image. Works on images whose
@@ -197,7 +201,10 @@ impl HismImage {
                 leaf.push(LeafEntry { row, col, value: v });
             }
             leaf.sort_by_key(|e| (e.row, e.col));
-            arena.push(HismBlock { level: 0, data: BlockData::Leaf(leaf) });
+            arena.push(HismBlock {
+                level: 0,
+                data: BlockData::Leaf(leaf),
+            });
         } else {
             let lens_base = base + 2 * len as usize;
             let mut node: Vec<NodeEntry> = Vec::with_capacity(len as usize);
@@ -206,12 +213,14 @@ impl HismImage {
                 let (row, col) = unpack_pos(self.word(base + 2 * k + 1)?);
                 check_pos(row, col)?;
                 let child_len = self.word(lens_base + k)?;
-                let child =
-                    self.decode_block(child_addr, child_len, level - 1, arena, budget)?;
+                let child = self.decode_block(child_addr, child_len, level - 1, arena, budget)?;
                 node.push(NodeEntry { row, col, child });
             }
             node.sort_by_key(|e| (e.row, e.col));
-            arena.push(HismBlock { level: level as usize, data: BlockData::Node(node) });
+            arena.push(HismBlock {
+                level: level as usize,
+                data: BlockData::Node(node),
+            });
         }
         Ok(arena.len() - 1)
     }
@@ -258,12 +267,21 @@ mod tests {
     #[test]
     fn image_size_accounting() {
         // 3 leaf entries in one block (s=8, 5x5 → 1 level): 6 words.
-        let coo =
-            Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
+        let coo = Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
         let h = build::from_coo(&coo, 8).unwrap();
         let img = HismImage::encode(&h);
         assert_eq!(img.len_words(), 6);
-        assert_eq!(img.root, RootDesc { addr: 0, len: 3, levels: 1, rows: 5, cols: 5, s: 8 });
+        assert_eq!(
+            img.root,
+            RootDesc {
+                addr: 0,
+                len: 3,
+                levels: 1,
+                rows: 5,
+                cols: 5,
+                s: 8
+            }
+        );
         assert!(img.pointer_sites.is_empty());
     }
 
@@ -296,11 +314,17 @@ mod tests {
         let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
         let h = build::from_coo(&coo, 4).unwrap();
         let mut img = HismImage::encode(&h);
-        let before: Vec<u32> =
-            img.pointer_sites.iter().map(|&s| img.words[s as usize]).collect();
+        let before: Vec<u32> = img
+            .pointer_sites
+            .iter()
+            .map(|&s| img.words[s as usize])
+            .collect();
         img.relocate(1000);
-        let after: Vec<u32> =
-            img.pointer_sites.iter().map(|&s| img.words[s as usize]).collect();
+        let after: Vec<u32> = img
+            .pointer_sites
+            .iter()
+            .map(|&s| img.words[s as usize])
+            .collect();
         for (b, a) in before.iter().zip(&after) {
             assert_eq!(b + 1000, *a);
         }
@@ -350,8 +374,7 @@ mod tests {
     fn decode_tolerates_permuted_blockarrays() {
         // Swap two entries of a leaf blockarray (with their pos words):
         // decode must still recover the same matrix.
-        let coo =
-            Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
+        let coo = Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
         let h = build::from_coo(&coo, 8).unwrap();
         let mut img = HismImage::encode(&h);
         img.words.swap(0, 2);

@@ -19,7 +19,10 @@ pub struct TripletIter<'a> {
 
 impl<'a> TripletIter<'a> {
     pub(crate) fn new(h: &'a HismMatrix) -> Self {
-        TripletIter { h, stack: vec![(h.root(), 0, (0, 0))] }
+        TripletIter {
+            h,
+            stack: vec![(h.root(), 0, (0, 0))],
+        }
     }
 }
 
@@ -101,12 +104,7 @@ mod tests {
 
     #[test]
     fn single_block_is_row_major() {
-        let coo = Coo::from_triplets(
-            8,
-            8,
-            vec![(5, 1, 1.0), (0, 3, 2.0), (5, 0, 3.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_triplets(8, 8, vec![(5, 1, 1.0), (0, 3, 2.0), (5, 0, 3.0)]).unwrap();
         let h = build::from_coo(&coo, 8).unwrap();
         let got: Vec<_> = h.iter().collect();
         assert_eq!(got, vec![(0, 3, 2.0), (5, 0, 3.0), (5, 1, 1.0)]);

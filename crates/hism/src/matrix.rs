@@ -147,7 +147,11 @@ impl HismMatrix {
 
     /// Total entries over all blockarrays of a given level.
     pub fn entries_at(&self, level: usize) -> usize {
-        self.blocks.iter().filter(|b| b.level == level).map(HismBlock::len).sum()
+        self.blocks
+            .iter()
+            .filter(|b| b.level == level)
+            .map(HismBlock::len)
+            .sum()
     }
 
     /// Average leaf blockarray fill `nnz / (number of level-0 blocks)`.
@@ -298,7 +302,7 @@ mod tests {
     fn block_counts() {
         let h = small();
         assert_eq!(h.block_count_at(1), 1); // the root
-        // entries (0,0),(3,7) are in distinct 4x4 leaves; (5,1),(9,9) too.
+                                            // entries (0,0),(3,7) are in distinct 4x4 leaves; (5,1),(9,9) too.
         assert_eq!(h.block_count_at(0), 4);
         assert_eq!(h.entries_at(0), 4);
         assert_eq!(h.entries_at(1), 4);

@@ -46,7 +46,10 @@ pub fn scale(h: &HismMatrix, alpha: Value) -> HismMatrix {
 /// structure generally differs from either input's.
 pub fn add(a: &HismMatrix, b: &HismMatrix) -> Result<HismMatrix, FormatError> {
     if a.shape() != b.shape() {
-        return Err(FormatError::ShapeMismatch { expected: a.shape(), found: b.shape() });
+        return Err(FormatError::ShapeMismatch {
+            expected: a.shape(),
+            found: b.shape(),
+        });
     }
     if a.section_size() != b.section_size() {
         return Err(FormatError::Parse(format!(
@@ -78,7 +81,10 @@ pub fn from_csr(csr: &Csr, s: usize) -> Result<HismMatrix, FormatError> {
 /// zero. Useful for verifying iterative algorithms over the format.
 pub fn max_abs_diff(a: &HismMatrix, b: &HismMatrix) -> Result<Value, FormatError> {
     if a.shape() != b.shape() {
-        return Err(FormatError::ShapeMismatch { expected: a.shape(), found: b.shape() });
+        return Err(FormatError::ShapeMismatch {
+            expected: a.shape(),
+            found: b.shape(),
+        });
     }
     let mut ca = build::to_coo(a);
     for &(r, c, v) in build::to_coo(b).entries() {
@@ -136,7 +142,10 @@ fn collect(
         }
         BlockData::Node(entries) => {
             for e in entries {
-                let co = (origin.0 + e.row as usize * step, origin.1 + e.col as usize * step);
+                let co = (
+                    origin.0 + e.row as usize * step,
+                    origin.1 + e.col as usize * step,
+                );
                 // Prune blocks that cannot intersect the window.
                 if co.0 >= rows.end || co.1 >= cols.end {
                     continue;
@@ -165,8 +174,10 @@ mod tests {
         let s2 = scale(&h, 2.0);
         assert_eq!(s2.nnz(), h.nnz());
         assert_eq!(s2.blocks().len(), h.blocks().len());
-        for (&(r1, c1, v1), &(r2, c2, v2)) in
-            build::to_coo(&h).entries().iter().zip(build::to_coo(&s2).entries())
+        for (&(r1, c1, v1), &(r2, c2, v2)) in build::to_coo(&h)
+            .entries()
+            .iter()
+            .zip(build::to_coo(&s2).entries())
         {
             assert_eq!((r1, c1), (r2, c2));
             assert_eq!(v1 * 2.0, v2);

@@ -44,8 +44,10 @@ fn walk(
         }
         BlockData::Node(entries) => {
             for e in entries {
-                let child_origin =
-                    (origin.0 + e.row as usize * step, origin.1 + e.col as usize * step);
+                let child_origin = (
+                    origin.0 + e.row as usize * step,
+                    origin.1 + e.col as usize * step,
+                );
                 walk(h, e.child, level - 1, child_origin, x, y);
             }
         }

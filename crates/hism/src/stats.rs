@@ -38,7 +38,11 @@ impl StorageStats {
                 BlockData::Node(v) => upper_bits += NODE_ENTRY_BITS * v.len() as u64,
             }
         }
-        StorageStats { leaf_bits, upper_bits, levels: h.levels() }
+        StorageStats {
+            leaf_bits,
+            upper_bits,
+            levels: h.levels(),
+        }
     }
 
     /// Total bits.

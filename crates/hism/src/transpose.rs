@@ -19,7 +19,10 @@ pub fn transpose(h: &HismMatrix) -> HismMatrix {
     let blocks = h
         .blocks()
         .iter()
-        .map(|b| HismBlock { level: b.level, data: transpose_block_data(&b.data) })
+        .map(|b| HismBlock {
+            level: b.level,
+            data: transpose_block_data(&b.data),
+        })
         .collect();
     HismMatrix {
         s: h.section_size(),
@@ -63,7 +66,10 @@ pub fn coordinate_digits(i: usize, s: usize, levels: usize) -> Vec<usize> {
         digits.push(rest % s);
         rest /= s;
     }
-    assert_eq!(rest, 0, "coordinate {i} does not fit in {levels} levels of base {s}");
+    assert_eq!(
+        rest, 0,
+        "coordinate {i} does not fit in {levels} levels of base {s}"
+    );
     digits
 }
 

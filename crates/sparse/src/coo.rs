@@ -23,7 +23,11 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty `rows x cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a matrix from a triplet list, validating every index.
@@ -34,10 +38,19 @@ impl Coo {
     ) -> Result<Self, FormatError> {
         for &(r, c, _) in &entries {
             if r >= rows || c >= cols {
-                return Err(FormatError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                return Err(FormatError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
-        Ok(Coo { rows, cols, entries })
+        Ok(Coo {
+            rows,
+            cols,
+            entries,
+        })
     }
 
     /// Appends one entry. Panics in debug builds if the index is out of
@@ -112,7 +125,9 @@ impl Coo {
     /// Returns `true` if the triplet list is canonical (strictly increasing
     /// row-major coordinates, no explicit zeros).
     pub fn is_canonical(&self) -> bool {
-        self.entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
+        self.entries
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
             && self.entries.iter().all(|&(_, _, v)| v != 0.0)
     }
 
@@ -150,7 +165,10 @@ impl Coo {
         if require_canonical {
             for w in self.entries.windows(2) {
                 if (w[0].0, w[0].1) == (w[1].0, w[1].1) {
-                    return Err(FormatError::DuplicateEntry { row: w[1].0, col: w[1].1 });
+                    return Err(FormatError::DuplicateEntry {
+                        row: w[1].0,
+                        col: w[1].1,
+                    });
                 }
             }
         }
@@ -178,8 +196,12 @@ mod tests {
     use super::*;
 
     fn sample() -> Coo {
-        Coo::from_triplets(3, 4, vec![(0, 1, 1.0), (2, 3, 2.0), (1, 0, 3.0), (0, 0, 4.0)])
-            .unwrap()
+        Coo::from_triplets(
+            3,
+            4,
+            vec![(0, 1, 1.0), (2, 3, 2.0), (1, 0, 3.0), (0, 0, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -243,8 +265,7 @@ mod tests {
 
     #[test]
     fn validate_detects_duplicates() {
-        let m =
-            Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let m = Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
         assert!(m.validate(false).is_ok());
         assert!(matches!(
             m.validate(true),

@@ -36,7 +36,13 @@ impl Csc {
             row_idx.push(i);
             values.push(v);
         }
-        Csc { rows, cols, col_ptr, row_idx, values }
+        Csc {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -83,7 +89,13 @@ impl Csc {
     /// Reinterprets the CSC data of `A` as the CSR matrix of `Aᵀ` — a
     /// zero-cost transposition (the data is bit-identical).
     pub fn into_csr_of_transpose(self) -> Result<Csr, FormatError> {
-        Csr::from_parts(self.cols, self.rows, self.col_ptr, self.row_idx, self.values)
+        Csr::from_parts(
+            self.cols,
+            self.rows,
+            self.col_ptr,
+            self.row_idx,
+            self.values,
+        )
     }
 }
 
@@ -95,7 +107,13 @@ mod tests {
         Coo::from_triplets(
             3,
             4,
-            vec![(0, 1, 1.0), (1, 0, 2.0), (1, 3, 3.0), (2, 1, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 2.0),
+                (1, 3, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -33,7 +33,13 @@ impl Csr {
         col_idx: Vec<usize>,
         values: Vec<Value>,
     ) -> Result<Self, FormatError> {
-        let m = Csr { rows, cols, row_ptr, col_idx, values };
+        let m = Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
         m.validate()?;
         Ok(m)
     }
@@ -58,7 +64,13 @@ impl Csr {
             col_idx.push(cix);
             values.push(v);
         }
-        Csr { rows, cols, row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Converts to COO (canonical order).
@@ -324,15 +336,13 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_pointers() {
-        let err = Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0])
-            .unwrap_err();
+        let err = Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, FormatError::BadPointerArray(_)));
     }
 
     #[test]
     fn validate_rejects_unsorted_columns() {
-        let err =
-            Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        let err = Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, FormatError::UnsortedIndices { outer: 0 }));
     }
 

@@ -13,15 +13,15 @@ pub struct Dense {
 impl Dense {
     /// Creates a zero-filled `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Dense { rows, cols, data: vec![0.0; rows * cols] }
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
-    pub fn from_row_major(
-        rows: usize,
-        cols: usize,
-        data: Vec<Value>,
-    ) -> Result<Self, FormatError> {
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<Value>) -> Result<Self, FormatError> {
         if data.len() != rows * cols {
             return Err(FormatError::ShapeMismatch {
                 expected: (rows, cols),

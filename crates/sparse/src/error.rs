@@ -46,7 +46,12 @@ pub enum FormatError {
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormatError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            FormatError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {rows}x{cols} matrix"
             ),

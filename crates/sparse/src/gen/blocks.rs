@@ -3,7 +3,6 @@
 
 use super::{finish, nz_value, rng};
 use crate::Coo;
-use rand::Rng;
 
 /// Scatters `n_blocks` dense-ish `block x block` tiles at random aligned
 /// positions of an `n x n` matrix; inside a tile each cell is kept with
@@ -118,8 +117,7 @@ mod tests {
     #[test]
     fn kronecker_is_structurally_symmetric() {
         let m = kronecker_fractal(2);
-        let coords: std::collections::HashSet<_> =
-            m.iter().map(|&(r, c, _)| (r, c)).collect();
+        let coords: std::collections::HashSet<_> = m.iter().map(|&(r, c, _)| (r, c)).collect();
         for &(r, c) in &coords {
             assert!(coords.contains(&(c, r)));
         }

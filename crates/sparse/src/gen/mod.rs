@@ -16,16 +16,16 @@
 //! | [`blocks::block_band`] | multi-DOF FEM | dense blocklets on a band |
 //!
 //! Everything takes an explicit seed and is deterministic across runs and
-//! platforms (we only use `StdRng` and integer/uniform distributions).
+//! platforms (the first-party [`crate::rng::StdRng`] defines the stream, so
+//! no external crate can shift the catalogue between toolchains).
 
 pub mod blocks;
 pub mod random;
 pub mod rmat;
 pub mod structured;
 
+use crate::rng::StdRng;
 use crate::{Coo, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds the deterministic RNG every generator uses.
 pub(crate) fn rng(seed: u64) -> StdRng {

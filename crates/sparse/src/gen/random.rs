@@ -2,7 +2,6 @@
 
 use super::{finish, nz_value, rng};
 use crate::Coo;
-use rand::Rng;
 
 /// Uniformly random sparsity (`bcspwr10`-like): `nnz` coordinates drawn
 /// uniformly over the `rows x cols` grid. Duplicates are merged, so the

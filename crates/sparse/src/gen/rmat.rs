@@ -4,7 +4,6 @@
 
 use super::{finish, nz_value, rng};
 use crate::Coo;
-use rand::Rng;
 
 /// The four quadrant probabilities of the R-MAT recursion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,19 +21,32 @@ pub struct RmatProbs {
 impl Default for RmatProbs {
     /// The Graph500 parameters (a=0.57, b=c=0.19, d=0.05).
     fn default() -> Self {
-        RmatProbs { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatProbs {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 }
 
 impl RmatProbs {
     /// A flatter recursion (closer to uniform), for lower-locality variants.
     pub fn flat() -> Self {
-        RmatProbs { a: 0.3, b: 0.25, c: 0.25, d: 0.2 }
+        RmatProbs {
+            a: 0.3,
+            b: 0.25,
+            c: 0.25,
+            d: 0.2,
+        }
     }
 
     fn validate(&self) {
         let s = self.a + self.b + self.c + self.d;
-        assert!((s - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1, got {s}"
+        );
         assert!(
             self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
             "R-MAT probabilities must be non-negative"
@@ -54,7 +66,7 @@ pub fn rmat(scale: u32, nnz: usize, probs: RmatProbs, seed: u64) -> Coo {
         for _ in 0..scale {
             row <<= 1;
             col <<= 1;
-            let t: f64 = r.gen();
+            let t: f64 = r.gen_f64();
             if t < probs.a {
                 // top-left: nothing to add
             } else if t < probs.a + probs.b {
@@ -85,10 +97,7 @@ mod tests {
     #[test]
     fn skewed_probs_cluster_top_left() {
         let m = rmat(10, 5000, RmatProbs::default(), 2);
-        let in_top_left = m
-            .iter()
-            .filter(|&&(r, c, _)| r < 512 && c < 512)
-            .count();
+        let in_top_left = m.iter().filter(|&&(r, c, _)| r < 512 && c < 512).count();
         // a=0.57 at every level strongly biases to the top-left quadrant.
         assert!(in_top_left * 2 > m.nnz(), "{in_top_left} of {}", m.nnz());
     }
@@ -102,13 +111,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_probs_panic() {
-        rmat(4, 10, RmatProbs { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 0);
+        rmat(
+            4,
+            10,
+            RmatProbs {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            0,
+        );
     }
 
     #[test]
     fn rmat_locality_exceeds_uniform() {
         let rm = MatrixMetrics::compute(&rmat(11, 8000, RmatProbs::default(), 3));
         let un = MatrixMetrics::compute(&super::super::random::uniform(2048, 2048, 8000, 3));
-        assert!(rm.locality > un.locality, "{} vs {}", rm.locality, un.locality);
+        assert!(
+            rm.locality > un.locality,
+            "{} vs {}",
+            rm.locality,
+            un.locality
+        );
     }
 }

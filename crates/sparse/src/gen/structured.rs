@@ -2,7 +2,6 @@
 
 use super::{finish, nz_value, rng};
 use crate::Coo;
-use rand::Rng;
 
 /// Pure diagonal matrix (`bcsstm20`-like): exactly one non-zero per row,
 /// ANZ = 1, the worst case for a row-oriented format.
@@ -169,11 +168,16 @@ mod tests {
     fn banded_full_fill_is_dense_band() {
         let m = banded(10, 2, 1.0, 0);
         // rows 2..7 have 5 entries; edges clipped.
-        assert_eq!(m.nnz(), (0..10usize).map(|i| {
-            let lo = i.saturating_sub(2);
-            let hi = (i + 2).min(9);
-            hi - lo + 1
-        }).sum::<usize>());
+        assert_eq!(
+            m.nnz(),
+            (0..10usize)
+                .map(|i| {
+                    let lo = i.saturating_sub(2);
+                    let hi = (i + 2).min(9);
+                    hi - lo + 1
+                })
+                .sum::<usize>()
+        );
     }
 
     #[test]

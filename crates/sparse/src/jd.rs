@@ -56,7 +56,14 @@ impl Jd {
             }
             jd_ptr.push(col_idx.len());
         }
-        Jd { rows, cols, perm, jd_ptr, col_idx, values }
+        Jd {
+            rows,
+            cols,
+            perm,
+            jd_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -152,7 +159,9 @@ impl Jd {
         let mut seen = vec![false; self.rows];
         for &p in &self.perm {
             if p >= self.rows || seen[p] {
-                return Err(FormatError::BadPointerArray("perm not a permutation".into()));
+                return Err(FormatError::BadPointerArray(
+                    "perm not a permutation".into(),
+                ));
             }
             seen[p] = true;
         }

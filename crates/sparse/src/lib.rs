@@ -38,6 +38,7 @@ pub mod jd;
 pub mod metrics;
 pub mod mm;
 pub mod reorder;
+pub mod rng;
 pub mod viz;
 
 pub use coo::Coo;

@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn duplicates_counted_once() {
-        let coo =
-            Coo::from_triplets(32, 32, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let coo = Coo::from_triplets(32, 32, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
         let m = MatrixMetrics::compute(&coo);
         assert_eq!(m.nnz, 1);
     }
@@ -143,8 +142,7 @@ mod tests {
 
     #[test]
     fn row_histogram_counts() {
-        let coo = Coo::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)])
-            .unwrap();
+        let coo = Coo::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)]).unwrap();
         assert_eq!(row_nnz_histogram(&coo), vec![2, 0, 1]);
     }
 }

@@ -36,10 +36,14 @@ pub enum Field {
 }
 
 fn parse_header(line: &str) -> Result<(Field, Symmetry), FormatError> {
-    let toks: Vec<String> =
-        line.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let toks: Vec<String> = line
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
-        return Err(FormatError::Parse(format!("bad MatrixMarket banner: {line:?}")));
+        return Err(FormatError::Parse(format!(
+            "bad MatrixMarket banner: {line:?}"
+        )));
     }
     if toks[2] != "coordinate" {
         return Err(FormatError::Parse(format!(
@@ -52,7 +56,9 @@ fn parse_header(line: &str) -> Result<(Field, Symmetry), FormatError> {
         "integer" => Field::Integer,
         "pattern" => Field::Pattern,
         other => {
-            return Err(FormatError::Parse(format!("unsupported field type {other:?}")))
+            return Err(FormatError::Parse(format!(
+                "unsupported field type {other:?}"
+            )))
         }
     };
     let sym = match toks[4].as_str() {
@@ -60,7 +66,9 @@ fn parse_header(line: &str) -> Result<(Field, Symmetry), FormatError> {
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
         other => {
-            return Err(FormatError::Parse(format!("unsupported symmetry {other:?}")))
+            return Err(FormatError::Parse(format!(
+                "unsupported symmetry {other:?}"
+            )))
         }
     };
     Ok((field, sym))
@@ -91,7 +99,10 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, FormatError> {
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| FormatError::Parse(e.to_string())))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| FormatError::Parse(e.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(FormatError::Parse(format!("bad size line: {size_line:?}")));
@@ -111,12 +122,19 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, FormatError> {
         if toks.len() < need {
             return Err(FormatError::Parse(format!("short entry line: {t:?}")));
         }
-        let r: usize =
-            toks[0].parse().map_err(|e: std::num::ParseIntError| FormatError::Parse(e.to_string()))?;
-        let c: usize =
-            toks[1].parse().map_err(|e: std::num::ParseIntError| FormatError::Parse(e.to_string()))?;
+        let r: usize = toks[0]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| FormatError::Parse(e.to_string()))?;
+        let c: usize = toks[1]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| FormatError::Parse(e.to_string()))?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(FormatError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            return Err(FormatError::IndexOutOfBounds {
+                row: r,
+                col: c,
+                rows,
+                cols,
+            });
         }
         let v: Value = if field == Field::Pattern {
             1.0
@@ -218,16 +236,19 @@ mod tests {
 
     #[test]
     fn rejects_array_format() {
-        assert!(read_coo(
-            "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_coo("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n".as_bytes())
+                .is_err()
+        );
     }
 
     #[test]
     fn rejects_entry_count_mismatch() {
         let src = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n";
-        assert!(matches!(read_coo(src.as_bytes()), Err(FormatError::Parse(_))));
+        assert!(matches!(
+            read_coo(src.as_bytes()),
+            Err(FormatError::Parse(_))
+        ));
     }
 
     #[test]

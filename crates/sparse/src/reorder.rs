@@ -80,8 +80,7 @@ pub fn reverse_cuthill_mckee(coo: &Coo) -> Result<Vec<usize>, FormatError> {
         let mut queue = std::collections::VecDeque::from([start]);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut next: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut next: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             next.sort_by_key(|&u| degree[u]);
             for u in next {
                 visited[u] = true;
@@ -102,7 +101,10 @@ pub fn rcm_reorder(coo: &Coo) -> Result<Coo, FormatError> {
 /// The matrix bandwidth `max |i - j|` over the non-zeros (0 for empty
 /// matrices) — the quantity RCM minimizes heuristically.
 pub fn bandwidth(coo: &Coo) -> usize {
-    coo.iter().map(|&(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
+    coo.iter()
+        .map(|&(r, c, _)| r.abs_diff(c))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -177,12 +179,7 @@ mod tests {
     #[test]
     fn rcm_is_a_permutation_on_disconnected_graphs() {
         // Two components + isolated vertices.
-        let coo = Coo::from_triplets(
-            8,
-            8,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (5, 6, 1.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_triplets(8, 8, vec![(0, 1, 1.0), (1, 2, 1.0), (5, 6, 1.0)]).unwrap();
         let perm = reverse_cuthill_mckee(&coo).unwrap();
         let mut sorted = perm.clone();
         sorted.sort_unstable();

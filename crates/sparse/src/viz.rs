@@ -31,8 +31,8 @@ pub fn spy(coo: &Coo, width: usize, height: usize) -> String {
             if c == 0 {
                 out.push(' ');
             } else {
-                let idx = ((c as usize * RAMP.len()).div_ceil(max as usize + 1))
-                    .min(RAMP.len() - 1);
+                let idx =
+                    ((c as usize * RAMP.len()).div_ceil(max as usize + 1)).min(RAMP.len() - 1);
                 out.push(RAMP[idx]);
             }
         }
@@ -48,7 +48,11 @@ pub fn spy(coo: &Coo, width: usize, height: usize) -> String {
 /// binaries for quick cycle comparisons). Bars scale to `width` columns.
 pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
     assert!(width > 0);
-    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let max = items
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     let label_w = items.iter().map(|&(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for &(label, value) in items {
@@ -73,7 +77,7 @@ mod tests {
         let s = spy(&coo, 10, 10);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 12); // border + 10 rows + border
-        // Diagonal cells are filled, off-diagonal are blank.
+                                     // Diagonal cells are filled, off-diagonal are blank.
         for (k, line) in lines[1..11].iter().enumerate() {
             let chars: Vec<char> = line.chars().collect();
             assert_ne!(chars[1 + k], ' ', "diagonal cell {k} empty");
@@ -94,7 +98,10 @@ mod tests {
     fn spy_density_ramp_marks_dense_cells() {
         let coo = gen::blocks::block_dense(100, 50, 1, 1.0, 1);
         let s = spy(&coo, 10, 10);
-        assert!(s.contains('█'), "a fully dense tile must hit the ramp top:\n{s}");
+        assert!(
+            s.contains('█'),
+            "a fully dense tile must hit the ramp top:\n{s}"
+        );
     }
 
     #[test]

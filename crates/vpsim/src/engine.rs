@@ -10,7 +10,7 @@
 use crate::config::VpConfig;
 use crate::mem::Memory;
 use crate::stats::EngineStats;
-use crate::stream::stream_through;
+use crate::timing::{TimingKind, TimingModel};
 use crate::trace::{FuBusy, Trace, TraceEvent};
 
 /// Functional-unit ports of the machine.
@@ -23,6 +23,24 @@ pub enum Fu {
     Alu,
     /// The Sparse matrix Transposition Mechanism (driven by `stm-core`).
     Stm,
+}
+
+/// Cost class of a vector instruction — the single place per-op statistics
+/// are accounted (see [`Engine::account`]), instead of each `v_*` method
+/// bumping counters by hand.
+#[derive(Debug, Clone, Copy)]
+enum OpClass {
+    /// Contiguous memory stream moving `words` memory words.
+    MemContig { words: u64 },
+    /// Indexed (gather/scatter) memory stream moving `words` words.
+    MemIndexed { words: u64 },
+    /// Vector ALU operation.
+    Alu,
+    /// STM coprocessor operation.
+    Stm,
+    /// Untyped stream (external callers of [`Engine::run_stream`] on a
+    /// unit the engine does not classify): element count only.
+    Generic,
 }
 
 /// A vector register: element data plus per-element ready times.
@@ -64,7 +82,10 @@ impl VReg {
     /// A sub-register view (copy) of elements `range` — what `ssvl` +
     /// register addressing give a strip-mined loop.
     pub fn slice(&self, range: std::ops::Range<usize>) -> VReg {
-        VReg { data: self.data[range.clone()].to_vec(), ready: self.ready[range].to_vec() }
+        VReg {
+            data: self.data[range.clone()].to_vec(),
+            ready: self.ready[range].to_vec(),
+        }
     }
 
     fn assert_same_len(&self, other: &VReg) {
@@ -88,11 +109,20 @@ pub struct Engine {
     stats: EngineStats,
     busy_acct: FuBusy,
     trace: Option<Trace>,
+    /// The timing model completing every instruction (see [`crate::timing`]).
+    timing: &'static dyn TimingModel,
 }
 
 impl Engine {
-    /// Creates an engine over a memory with the given machine config.
+    /// Creates an engine over a memory with the given machine config and
+    /// the paper's timing model.
     pub fn new(cfg: VpConfig, mem: Memory) -> Self {
+        Self::with_timing(cfg, mem, TimingKind::default())
+    }
+
+    /// Creates an engine with an explicit timing model. Functional results
+    /// are identical across models; only completion times differ.
+    pub fn with_timing(cfg: VpConfig, mem: Memory, timing: TimingKind) -> Self {
         cfg.validate().expect("invalid machine configuration");
         let ports = cfg.mem_ports;
         Engine {
@@ -105,7 +135,13 @@ impl Engine {
             stats: EngineStats::default(),
             busy_acct: FuBusy::default(),
             trace: None,
+            timing: timing.model(),
         }
+    }
+
+    /// The timing model this engine runs under.
+    pub fn timing(&self) -> &'static dyn TimingModel {
+        self.timing
     }
 
     /// Turns on instruction tracing, keeping at most `capacity` events.
@@ -157,22 +193,25 @@ impl Engine {
     /// Charges scalar loop-control overhead on the issue timeline (it can
     /// overlap in-flight vector work, like scalar code on a decoupled VP).
     pub fn loop_overhead(&mut self) {
-        self.clock += self.cfg.loop_overhead;
-        self.stats.overhead_cycles += self.cfg.loop_overhead;
+        let c = self.timing.scalar_cycles(self.cfg.loop_overhead);
+        self.clock += c;
+        self.stats.overhead_cycles += c;
     }
 
     /// Charges an arbitrary number of scalar cycles on the issue timeline.
     pub fn scalar_cycles(&mut self, cycles: u64) {
-        self.clock += cycles;
-        self.stats.overhead_cycles += cycles;
+        let c = self.timing.scalar_cycles(cycles);
+        self.clock += c;
+        self.stats.overhead_cycles += c;
     }
 
     /// Serializes with a scalar-core phase of `cycles` length: everything
     /// in flight completes, then the scalar phase runs to completion.
     pub fn advance_serial(&mut self, cycles: u64) {
-        self.clock = self.cycles() + cycles;
+        let c = self.timing.scalar_cycles(cycles);
+        self.clock = self.cycles() + c;
         self.horizon = self.horizon.max(self.clock);
-        self.stats.scalar_cycles += cycles;
+        self.stats.scalar_cycles += c;
     }
 
     /// Blocks instruction issue until cycle `t` (used by the STM's
@@ -198,9 +237,27 @@ impl Engine {
             Fu::Stm => (0, self.busy[1]),
         };
         let t = self.clock.max(unit_free);
-        self.clock = t + self.cfg.issue_cycles;
+        self.clock = t + self.timing.issue_cycles(&self.cfg);
         self.stats.instructions += 1;
         (t, port)
+    }
+
+    /// The one place per-instruction statistics are charged.
+    fn account(&mut self, class: OpClass, elements: u64) {
+        self.stats.elements += elements;
+        match class {
+            OpClass::MemContig { words } => {
+                self.stats.mem_contig_ops += 1;
+                self.stats.mem_words += words;
+            }
+            OpClass::MemIndexed { words } => {
+                self.stats.mem_indexed_ops += 1;
+                self.stats.mem_words += words;
+            }
+            OpClass::Alu => self.stats.alu_ops += 1,
+            OpClass::Stm => self.stats.stm_ops += 1,
+            OpClass::Generic => {}
+        }
     }
 
     fn retire(&mut self, op: &'static str, fu: Fu, port: usize, issue: u64, completion: &[u64]) {
@@ -255,25 +312,16 @@ impl Engine {
             assert_eq!(r.len(), n, "input_ready length mismatch");
         }
         let (issue, port) = self.issue(fu);
-        let mut done = Vec::with_capacity(n);
-        let mut t = issue + startup;
-        let mut k = 0usize;
-        for &g in group_sizes {
-            let group_ready = input_ready
-                .map(|r| r[k..k + g].iter().copied().max().unwrap_or(0))
-                .unwrap_or(0);
-            let accept = t.max(group_ready);
-            for _ in 0..g {
-                done.push(accept + latency);
-            }
-            k += g;
-            t = accept + 1;
-        }
+        let done = self
+            .timing
+            .batched(issue, startup, latency, group_sizes, input_ready);
         self.retire(op, fu, port, issue, &done);
-        if fu == Fu::Stm {
-            self.stats.stm_ops += 1;
-        }
-        self.stats.elements += n as u64;
+        let class = if fu == Fu::Stm {
+            OpClass::Stm
+        } else {
+            OpClass::Generic
+        };
+        self.account(class, n as u64);
         done
     }
 
@@ -308,13 +356,48 @@ impl Engine {
         n: usize,
         input_ready: Option<&[u64]>,
     ) -> Vec<u64> {
+        let class = if fu == Fu::Stm {
+            OpClass::Stm
+        } else {
+            OpClass::Generic
+        };
+        self.exec_stream(
+            op,
+            fu,
+            class,
+            startup,
+            rate,
+            latency,
+            n,
+            n as u64,
+            input_ready,
+        )
+    }
+
+    /// The single stream funnel every `v_*` instruction goes through:
+    /// issue, model-supplied completion times, retirement, and cost
+    /// accounting. `elems` is the element count charged to statistics
+    /// (it differs from `n` when an instruction streams several memory
+    /// words per logical element, e.g. scatter-add).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_stream(
+        &mut self,
+        op: &'static str,
+        fu: Fu,
+        class: OpClass,
+        startup: u64,
+        rate: u64,
+        latency: u64,
+        n: usize,
+        elems: u64,
+        input_ready: Option<&[u64]>,
+    ) -> Vec<u64> {
         let (issue, port) = self.issue(fu);
-        let done = stream_through(issue, startup, rate, latency, n, input_ready);
+        let done = self
+            .timing
+            .stream(issue, startup, rate, latency, n, input_ready);
         self.retire(op, fu, port, issue, &done);
-        if fu == Fu::Stm {
-            self.stats.stm_ops += 1;
-        }
-        self.stats.elements += n as u64;
+        self.account(class, elems);
         done
     }
 
@@ -327,9 +410,8 @@ impl Engine {
         let data = self.mem.read_block(addr, n);
         let rate = self.cfg.contig_rate(1);
         let startup = self.cfg.mem_startup;
-        let done = self.run_stream("v_ld", Fu::Mem, startup, rate, 0, n, None);
-        self.stats.mem_contig_ops += 1;
-        self.stats.mem_words += n as u64;
+        let class = OpClass::MemContig { words: n as u64 };
+        let done = self.exec_stream("v_ld", Fu::Mem, class, startup, rate, 0, n, n as u64, None);
         VReg { data, ready: done }
     }
 
@@ -340,9 +422,19 @@ impl Engine {
         let rate = self.cfg.contig_rate(1);
         let startup = self.cfg.mem_startup;
         let input = self.chain(src);
-        let done = self.run_stream("v_st", Fu::Mem, startup, rate, 0, src.len(), Some(&input));
-        self.stats.mem_contig_ops += 1;
-        self.stats.mem_words += src.len() as u64;
+        let n = src.len();
+        let class = OpClass::MemContig { words: n as u64 };
+        let done = self.exec_stream(
+            "v_st",
+            Fu::Mem,
+            class,
+            startup,
+            rate,
+            0,
+            n,
+            n as u64,
+            Some(&input),
+        );
         done.last().copied().unwrap_or(0)
     }
 
@@ -352,20 +444,17 @@ impl Engine {
     /// number of rows", paper Section II). Non-unit strides go at the
     /// indexed rate (1 word/cycle), unit stride at the contiguous rate.
     pub fn v_ld_strided(&mut self, addr: u32, stride: u32, n: usize) -> VReg {
-        let data: Vec<u32> =
-            (0..n as u32).map(|k| self.mem.read(addr.wrapping_add(k * stride))).collect();
-        let rate = if stride == 1 {
-            self.cfg.contig_rate(1)
+        let data: Vec<u32> = (0..n as u32)
+            .map(|k| self.mem.read(addr.wrapping_add(k * stride)))
+            .collect();
+        let words = n as u64;
+        let (rate, class) = if stride == 1 {
+            (self.cfg.contig_rate(1), OpClass::MemContig { words })
         } else {
-            self.cfg.indexed_rate(1)
+            (self.cfg.indexed_rate(1), OpClass::MemIndexed { words })
         };
-        let done = self.run_stream("v_ld_str", Fu::Mem, self.cfg.mem_startup, rate, 0, n, None);
-        if stride == 1 {
-            self.stats.mem_contig_ops += 1;
-        } else {
-            self.stats.mem_indexed_ops += 1;
-        }
-        self.stats.mem_words += n as u64;
+        let startup = self.cfg.mem_startup;
+        let done = self.exec_stream("v_ld_str", Fu::Mem, class, startup, rate, 0, n, words, None);
         VReg { data, ready: done }
     }
 
@@ -378,10 +467,20 @@ impl Engine {
         let pos: Vec<u32> = raw.iter().skip(1).step_by(2).copied().collect();
         let rate = self.cfg.contig_rate(self.cfg.words_per_entry);
         let startup = self.cfg.mem_startup;
-        let done = self.run_stream("v_ldb", Fu::Mem, startup, rate, 0, n, None);
-        self.stats.mem_contig_ops += 1;
-        self.stats.mem_words += 2 * n as u64;
-        (VReg { data: payload, ready: done.clone() }, VReg { data: pos, ready: done })
+        let class = OpClass::MemContig {
+            words: 2 * n as u64,
+        };
+        let done = self.exec_stream("v_ldb", Fu::Mem, class, startup, rate, 0, n, n as u64, None);
+        (
+            VReg {
+                data: payload,
+                ready: done.clone(),
+            },
+            VReg {
+                data: pos,
+                ready: done,
+            },
+        )
     }
 
     /// `v_stb`-style paired store: writes `[payload, pos]` entries back to
@@ -398,22 +497,46 @@ impl Engine {
         let rate = self.cfg.contig_rate(self.cfg.words_per_entry);
         let startup = self.cfg.mem_startup;
         let input = self.chain2(payload, pos);
-        let done = self.run_stream("v_stb", Fu::Mem, startup, rate, 0, n, Some(&input));
-        self.stats.mem_contig_ops += 1;
-        self.stats.mem_words += 2 * n as u64;
+        let class = OpClass::MemContig {
+            words: 2 * n as u64,
+        };
+        let done = self.exec_stream(
+            "v_stb",
+            Fu::Mem,
+            class,
+            startup,
+            rate,
+            0,
+            n,
+            n as u64,
+            Some(&input),
+        );
         done.last().copied().unwrap_or(0)
     }
 
     /// `v_ld_idx`: gather — element `i` loads from `base + idx[i]`.
     pub fn v_ld_idx(&mut self, base: u32, idx: &VReg) -> VReg {
-        let data: Vec<u32> =
-            idx.data.iter().map(|&off| self.mem.read(base.wrapping_add(off))).collect();
+        let data: Vec<u32> = idx
+            .data
+            .iter()
+            .map(|&off| self.mem.read(base.wrapping_add(off)))
+            .collect();
         let rate = self.cfg.indexed_rate(1);
         let startup = self.cfg.mem_startup;
         let input = self.chain(idx);
-        let done = self.run_stream("v_ld_idx", Fu::Mem, startup, rate, 0, idx.len(), Some(&input));
-        self.stats.mem_indexed_ops += 1;
-        self.stats.mem_words += idx.len() as u64;
+        let n = idx.len();
+        let class = OpClass::MemIndexed { words: n as u64 };
+        let done = self.exec_stream(
+            "v_ld_idx",
+            Fu::Mem,
+            class,
+            startup,
+            rate,
+            0,
+            n,
+            n as u64,
+            Some(&input),
+        );
         VReg { data, ready: done }
     }
 
@@ -429,10 +552,19 @@ impl Engine {
         let rate = self.cfg.indexed_rate(1);
         let startup = self.cfg.mem_startup;
         let input = self.chain2(vals, idx);
-        let done =
-            self.run_stream("v_st_idx", Fu::Mem, startup, rate, 0, vals.len(), Some(&input));
-        self.stats.mem_indexed_ops += 1;
-        self.stats.mem_words += vals.len() as u64;
+        let n = vals.len();
+        let class = OpClass::MemIndexed { words: n as u64 };
+        let done = self.exec_stream(
+            "v_st_idx",
+            Fu::Mem,
+            class,
+            startup,
+            rate,
+            0,
+            n,
+            n as u64,
+            Some(&input),
+        );
         done.last().copied().unwrap_or(0)
     }
 
@@ -440,36 +572,45 @@ impl Engine {
     // Vector ALU instructions
     // ------------------------------------------------------------------
 
+    /// Shared timing/accounting path of every ALU instruction: `n`
+    /// elements at `lanes` per cycle after the ALU pipeline fill.
+    fn alu_stream(&mut self, op: &'static str, n: usize, input: Option<&[u64]>) -> Vec<u64> {
+        let (startup, rate) = (self.cfg.alu_latency, self.cfg.lanes);
+        self.exec_stream(
+            op,
+            Fu::Alu,
+            OpClass::Alu,
+            startup,
+            rate,
+            0,
+            n,
+            n as u64,
+            input,
+        )
+    }
+
     fn alu_unop(&mut self, op: &'static str, src: &VReg, f: impl Fn(u32) -> u32) -> VReg {
         let data = src.data.iter().map(|&x| f(x)).collect();
         let input = self.chain(src);
-        let done = self.run_stream(
-            op,
-            Fu::Alu,
-            self.cfg.alu_latency,
-            self.cfg.lanes,
-            0,
-            src.len(),
-            Some(&input),
-        );
-        self.stats.alu_ops += 1;
+        let done = self.alu_stream(op, src.len(), Some(&input));
         VReg { data, ready: done }
     }
 
     /// `v_setimm`: broadcast an immediate into an `n`-element register.
     pub fn v_set_imm(&mut self, n: usize, value: u32) -> VReg {
-        let done =
-            self.run_stream("v_setimm", Fu::Alu, self.cfg.alu_latency, self.cfg.lanes, 0, n, None);
-        self.stats.alu_ops += 1;
-        VReg { data: vec![value; n], ready: done }
+        let done = self.alu_stream("v_setimm", n, None);
+        VReg {
+            data: vec![value; n],
+            ready: done,
+        }
     }
 
     /// `v_iota`: element `i` gets `start + i * step` (index generation).
     pub fn v_iota(&mut self, n: usize, start: u32, step: u32) -> VReg {
-        let done =
-            self.run_stream("v_iota", Fu::Alu, self.cfg.alu_latency, self.cfg.lanes, 0, n, None);
-        self.stats.alu_ops += 1;
-        let data = (0..n as u32).map(|i| start.wrapping_add(i.wrapping_mul(step))).collect();
+        let done = self.alu_stream("v_iota", n, None);
+        let data = (0..n as u32)
+            .map(|i| start.wrapping_add(i.wrapping_mul(step)))
+            .collect();
         VReg { data, ready: done }
     }
 
@@ -486,18 +627,14 @@ impl Engine {
     /// `v_add`: element-wise addition of two registers (wrapping).
     pub fn v_add(&mut self, a: &VReg, b: &VReg) -> VReg {
         a.assert_same_len(b);
-        let data = a.data.iter().zip(&b.data).map(|(x, y)| x.wrapping_add(*y)).collect();
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(x, y)| x.wrapping_add(*y))
+            .collect();
         let input = self.chain2(a, b);
-        let done = self.run_stream(
-            "v_add",
-            Fu::Alu,
-            self.cfg.alu_latency,
-            self.cfg.lanes,
-            0,
-            a.len(),
-            Some(&input),
-        );
-        self.stats.alu_ops += 1;
+        let done = self.alu_stream("v_add", a.len(), Some(&input));
         VReg { data, ready: done }
     }
 
@@ -524,16 +661,7 @@ impl Engine {
             .map(|(&x, &y)| (f32::from_bits(x) * f32::from_bits(y)).to_bits())
             .collect();
         let input = self.chain2(a, b);
-        let done = self.run_stream(
-            "v_fmul",
-            Fu::Alu,
-            self.cfg.alu_latency,
-            self.cfg.lanes,
-            0,
-            a.len(),
-            Some(&input),
-        );
-        self.stats.alu_ops += 1;
+        let done = self.alu_stream("v_fmul", a.len(), Some(&input));
         VReg { data, ready: done }
     }
 
@@ -547,16 +675,7 @@ impl Engine {
             .map(|(&x, &y)| (f32::from_bits(x) + f32::from_bits(y)).to_bits())
             .collect();
         let input = self.chain2(a, b);
-        let done = self.run_stream(
-            "v_fadd",
-            Fu::Alu,
-            self.cfg.alu_latency,
-            self.cfg.lanes,
-            0,
-            a.len(),
-            Some(&input),
-        );
-        self.stats.alu_ops += 1;
+        let done = self.alu_stream("v_fadd", a.len(), Some(&input));
         VReg { data, ready: done }
     }
 
@@ -582,27 +701,27 @@ impl Engine {
         // charge 2 words by running a stream of 2*n "words".
         let n = vals.len();
         let word_ready: Vec<u64> = input.iter().flat_map(|&t| [t, t]).collect();
-        let done_words = self.run_stream(
+        let class = OpClass::MemIndexed {
+            words: 2 * n as u64,
+        };
+        let done_words = self.exec_stream(
             "v_sca_f32",
             Fu::Mem,
+            class,
             startup,
             self.cfg.mem_indexed_words_per_cycle,
             0,
-            2 * n,
+            2 * n,    // word-slots streamed
+            n as u64, // elements charged to statistics
             Some(&word_ready),
         );
-        self.stats.mem_indexed_ops += 1;
-        self.stats.mem_words += 2 * n as u64;
-        // run_stream counted 2n word-slots; the instruction processed n
-        // elements.
-        self.stats.elements -= n as u64;
         done_words.last().copied().unwrap_or(0)
     }
 
     /// `v_cmp_eq_imm`: element-wise compare against an immediate,
     /// producing a 0/1 mask register (the mask-vector primitive of the
-    /// paper's *rejected* vectorized histogram: "a mask vector M_i[j] is
-    /// generated, so that M_i[j] = 1 iff JA[j] = i").
+    /// paper's *rejected* vectorized histogram: "a mask vector `M_i[j]` is
+    /// generated, so that `M_i[j] = 1` iff `JA[j] = i`").
     pub fn v_cmp_eq_imm(&mut self, src: &VReg, imm: u32) -> VReg {
         self.alu_unop("v_cmp_eq", src, |x| (x == imm) as u32)
     }
@@ -620,7 +739,10 @@ impl Engine {
         }
         let total = cur.data.last().copied().unwrap_or(0);
         let ready = cur.ready.last().copied().unwrap_or(0);
-        VReg { data: vec![total], ready: vec![ready] }
+        VReg {
+            data: vec![total],
+            ready: vec![ready],
+        }
     }
 
     /// `v_slide_up`: shifts elements towards higher indices by `k`,
@@ -633,16 +755,7 @@ impl Engine {
             data[k..n].copy_from_slice(&src.data[..n - k]);
         }
         let input = self.chain(src);
-        let done = self.run_stream(
-            "v_slide",
-            Fu::Alu,
-            self.cfg.alu_latency,
-            self.cfg.lanes,
-            0,
-            n,
-            Some(&input),
-        );
-        self.stats.alu_ops += 1;
+        let done = self.alu_stream("v_slide", n, Some(&input));
         VReg { data, ready: done }
     }
 }
@@ -833,7 +946,7 @@ mod tests {
         let _ld = e.v_ld(0, 64); // mem busy till ~35
         let before = e.cycles();
         let _a = e.v_set_imm(64, 1); // issues immediately on the ALU
-        // ALU op of 64 elems at 4/cycle + latency ≈ done before the load.
+                                     // ALU op of 64 elems at 4/cycle + latency ≈ done before the load.
         assert!(e.cycles() <= before.max(36));
     }
 

@@ -20,7 +20,10 @@
 //! Everything is both *functional* (instructions really move data through
 //! [`mem::Memory`]) and *timed* (per-element ready times propagate through
 //! chains), so a kernel run on this simulator yields a checkable result
-//! *and* a cycle count.
+//! *and* a cycle count. Timing is supplied by a pluggable
+//! [`timing::TimingModel`] — the paper's occupancy/chaining machine by
+//! default, or the zero-latency [`timing::IdealTiming`] bound — while the
+//! functional result is identical under every model.
 //!
 //! The STM functional unit itself lives in `stm-core` and plugs into
 //! [`engine::Engine`] through the [`engine::Fu::Stm`] port.
@@ -34,10 +37,12 @@ pub mod mem;
 pub mod scalar;
 pub mod stats;
 pub mod stream;
+pub mod timing;
 pub mod trace;
 
 pub use config::VpConfig;
 pub use engine::{Engine, Fu, VReg};
 pub use mem::{Allocator, Memory};
 pub use stats::EngineStats;
+pub use timing::{IdealTiming, PaperTiming, TimingKind, TimingModel};
 pub use trace::{FuBusy, Trace, TraceEvent};

@@ -16,7 +16,9 @@ impl Memory {
 
     /// A memory pre-sized to `capacity_words` zeroed words.
     pub fn with_capacity(capacity_words: usize) -> Self {
-        Memory { words: vec![0; capacity_words] }
+        Memory {
+            words: vec![0; capacity_words],
+        }
     }
 
     /// Current size in words (highest initialized address + 1).

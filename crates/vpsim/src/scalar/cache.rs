@@ -52,7 +52,13 @@ impl Cache {
         assert!(cfg.line_bytes >= 4 && cfg.line_bytes.is_power_of_two());
         assert!(cfg.assoc >= 1);
         let sets = vec![vec![(u64::MAX, 0); cfg.assoc]; cfg.num_sets()];
-        Cache { cfg, sets, stamp: 0, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            sets,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Accesses the word at `word_addr` (read or write — write-allocate

@@ -86,11 +86,17 @@ pub fn run_program(
         }
         advance_to(&mut cycle, &mut slots, &mut mem_ports, earliest);
         if slots == cfg.scalar_issue_width {
-            { let t = cycle + 1; advance_to(&mut cycle, &mut slots, &mut mem_ports, t); }
+            {
+                let t = cycle + 1;
+                advance_to(&mut cycle, &mut slots, &mut mem_ports, t);
+            }
         }
         let is_mem = matches!(instr, SInstr::Ld(..) | SInstr::St(..));
         if is_mem && mem_ports == cfg.scalar_mem_ports {
-            { let t = cycle + 1; advance_to(&mut cycle, &mut slots, &mut mem_ports, t); }
+            {
+                let t = cycle + 1;
+                advance_to(&mut cycle, &mut slots, &mut mem_ports, t);
+            }
         }
         let issue = cycle;
         slots += 1;

@@ -29,9 +29,7 @@ pub fn run_functional(
             SInstr::Add(rd, rs, rt) => {
                 regs[rd as usize] = regs[rs as usize].wrapping_add(regs[rt as usize])
             }
-            SInstr::Addi(rd, rs, imm) => {
-                regs[rd as usize] = regs[rs as usize].wrapping_add(imm)
-            }
+            SInstr::Addi(rd, rs, imm) => regs[rd as usize] = regs[rs as usize].wrapping_add(imm),
             SInstr::Sub(rd, rs, rt) => {
                 regs[rd as usize] = regs[rs as usize].wrapping_sub(regs[rt as usize])
             }

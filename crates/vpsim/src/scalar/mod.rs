@@ -44,5 +44,5 @@ pub use asm::Asm;
 pub use cache::{Cache, CacheConfig};
 pub use cpu::{run_program, ScalarRunStats};
 pub use interp::run_functional;
-pub use ooo::run_program_ooo;
 pub use isa::{Program, Reg, SInstr};
+pub use ooo::run_program_ooo;

@@ -45,8 +45,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = EngineStats { instructions: 2, mem_words: 10, ..Default::default() };
-        let b = EngineStats { instructions: 3, alu_ops: 1, ..Default::default() };
+        let mut a = EngineStats {
+            instructions: 2,
+            mem_words: 10,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            instructions: 3,
+            alu_ops: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 5);
         assert_eq!(a.mem_words, 10);

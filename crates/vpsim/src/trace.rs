@@ -41,7 +41,11 @@ impl Trace {
     /// A trace keeping at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Trace { events: std::collections::VecDeque::new(), capacity, dropped: 0 }
+        Trace {
+            events: std::collections::VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records an event.
@@ -126,7 +130,14 @@ mod tests {
     use super::*;
 
     fn ev(op: &'static str, issue: u64, last: u64) -> TraceEvent {
-        TraceEvent { op, fu: Fu::Mem, issue, first_done: issue, last_done: last, elements: 1 }
+        TraceEvent {
+            op,
+            fu: Fu::Mem,
+            issue,
+            first_done: issue,
+            last_done: last,
+            elements: 1,
+        }
     }
 
     #[test]

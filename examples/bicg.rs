@@ -64,7 +64,13 @@ fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
 
 /// Unpreconditioned BiCG: solves `A x = b` using products with `A` and
 /// `Aᵀ`. Returns `(solution, iterations, relative residual)`.
-fn bicg(a: &HismMatrix, at: &HismMatrix, b: &[f32], tol: f32, max_iter: usize) -> (Vec<f32>, usize, f32) {
+fn bicg(
+    a: &HismMatrix,
+    at: &HismMatrix,
+    b: &[f32],
+    tol: f32,
+    max_iter: usize,
+) -> (Vec<f32>, usize, f32) {
     let n = b.len();
     let mut x = vec![0.0f32; n];
     let mut r = b.to_vec();

@@ -23,8 +23,7 @@ fn main() {
     let n = 4096usize;
     let mut adj = rmat(12, 40_000, RmatProbs::default(), 7);
     // Links are structural: weight 1.
-    let links: Vec<(usize, usize, f32)> =
-        adj.iter().map(|&(s, d, _)| (s, d, 1.0)).collect();
+    let links: Vec<(usize, usize, f32)> = adj.iter().map(|&(s, d, _)| (s, d, 1.0)).collect();
     adj = hism_stm::sparse::Coo::from_triplets(n, n, links).unwrap();
     adj.canonicalize();
     println!("web graph: {} pages, {} links", n, adj.nnz());
@@ -87,5 +86,8 @@ fn main() {
         println!("  page {page:>5}  rank {score:.6}");
     }
     let total: f32 = x.iter().sum();
-    assert!((total - 1.0).abs() < 1e-3, "rank mass must be conserved, got {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-3,
+        "rank mass must be conserved, got {total}"
+    );
 }

@@ -36,7 +36,11 @@ fn main() {
     // The transposition is functional: decode the simulated memory and
     // check it against the host-side oracle.
     let decoded = build::to_coo(&out.decode());
-    assert_eq!(decoded, coo.transpose_canonical(), "simulated transpose must be exact");
+    assert_eq!(
+        decoded,
+        coo.transpose_canonical(),
+        "simulated transpose must be exact"
+    );
     println!(
         "HiSM + STM : {:>9} cycles  ({:.2} cycles per non-zero, {} STM block sessions)",
         hism_report.cycles,

@@ -14,8 +14,11 @@ use hism_stm::sparse::{viz, Csr};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (catalogue, per_set) =
-        if quick { (quick_catalogue(), 6) } else { (full_catalogue(), 10) };
+    let (catalogue, per_set) = if quick {
+        (quick_catalogue(), 6)
+    } else {
+        (full_catalogue(), 10)
+    };
     println!(
         "catalogue: {} matrices, selecting {} per criterion\n",
         catalogue.len(),

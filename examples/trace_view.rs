@@ -64,7 +64,11 @@ fn main() {
 
     // Show the result is really the transpose.
     let words = e.mem().read_block(0, image.words.len());
-    let out = HismImage { words, root: image.root, pointer_sites: vec![] };
+    let out = HismImage {
+        words,
+        root: image.root,
+        pointer_sites: vec![],
+    };
     let decoded = out.decode();
     println!("\ntransposed entries (row, col, value):");
     for &(r, c, v) in hism_stm::hism::build::to_coo(&decoded).entries() {

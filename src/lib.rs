@@ -37,6 +37,16 @@
 //!
 //! // The paper's claim: the STM path is faster.
 //! assert!(hism_report.cycles < crs_report.cycles);
+//!
+//! // The same kernels are also selectable by name through the registry
+//! // (this is how the benchmark harness drives them).
+//! use hism_stm::stm::kernels::registry;
+//! let mut ctx = registry::ExecCtx::paper();
+//! let mut kernel = registry::create("transpose_hism").unwrap();
+//! kernel.prepare(&coo, &ctx).unwrap();
+//! let report = kernel.run(&mut ctx);
+//! kernel.verify(&coo, &report.output).unwrap();
+//! assert_eq!(report.report.cycles, hism_report.cycles);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,60 @@
+//! Shared helpers for the seeded property-test suites.
+//!
+//! The workspace builds offline with no external crates, so instead of a
+//! property-testing framework each property runs over a fixed number of
+//! deterministic random cases drawn from the first-party
+//! [`StdRng`](hism_stm::sparse::rng::StdRng). Failures print the property
+//! seed and case index, which is all that is needed to replay a case.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of the helpers.
+#![allow(dead_code)]
+
+use std::collections::BTreeSet;
+
+pub use hism_stm::sparse::rng::StdRng;
+use hism_stm::sparse::Coo;
+
+/// Per-property deterministic RNG: `seed` names the property and `case`
+/// the iteration, so adding cases to one property never shifts the random
+/// stream of another.
+pub fn case_rng(seed: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(case))
+}
+
+/// Arbitrary small sparse matrix: shape in `1..max_dim` on each side, up
+/// to `max_entries` triplets with duplicate coordinates allowed (they are
+/// merged by canonicalization), values in `[-100, 100] / 7` and never 0.
+pub fn arb_coo(r: &mut StdRng, max_dim: usize, max_entries: usize) -> Coo {
+    let rows = r.gen_range(1..max_dim);
+    let cols = r.gen_range(1..max_dim);
+    let n = r.gen_range(0..=max_entries);
+    let entries: Vec<(usize, usize, f32)> = (0..n)
+        .map(|_| {
+            let i = r.gen_range(0..rows);
+            let j = r.gen_range(0..cols);
+            let v = r.gen_range(0..200usize) as i32 - 100;
+            (i, j, if v == 0 { 1.0 } else { v as f32 / 7.0 })
+        })
+        .collect();
+    Coo::from_triplets(rows, cols, entries).unwrap()
+}
+
+/// Arbitrary set of unique positions inside an `s x s` block, row-major
+/// sorted, with at least `min` and at most `max` entries.
+pub fn arb_positions(r: &mut StdRng, s: usize, min: usize, max: usize) -> Vec<(u8, u8)> {
+    let n = r.gen_range(min..=max);
+    let mut set = BTreeSet::new();
+    for _ in 0..n {
+        set.insert((r.gen_range(0..s) as u8, r.gen_range(0..s) as u8));
+    }
+    while set.len() < min {
+        set.insert((r.gen_range(0..s) as u8, r.gen_range(0..s) as u8));
+    }
+    set.into_iter().collect()
+}
+
+/// Uniform choice from a fixed option list.
+pub fn pick<T: Copy>(r: &mut StdRng, options: &[T]) -> T {
+    options[r.gen_range(0..options.len())]
+}

@@ -26,6 +26,30 @@ fn whole_pipeline_is_deterministic() {
 }
 
 #[test]
+fn parallel_harness_matches_serial_exactly() {
+    // `--jobs 4` must produce exactly the same result set as a serial
+    // run: same matrices, same order, same cycle counts, same speedups.
+    let sets = experiment_sets(&quick_catalogue(), 5);
+    let serial_cfg = RunConfig {
+        jobs: Some(1),
+        ..RunConfig::default()
+    };
+    let parallel_cfg = RunConfig {
+        jobs: Some(4),
+        ..RunConfig::default()
+    };
+    for set in [&sets.by_locality, &sets.by_anz, &sets.by_size] {
+        let serial = run_set(&serial_cfg, set);
+        let parallel = run_set(&parallel_cfg, set);
+        assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.speedup().to_bits(), p.speedup().to_bits(), "{}", s.name);
+            assert_eq!(s.hism.stm, p.hism.stm, "{}", s.name);
+        }
+    }
+}
+
+#[test]
 fn selection_is_deterministic() {
     let names = |k: usize| -> Vec<String> {
         experiment_sets(&quick_catalogue(), k)

@@ -19,12 +19,18 @@ fn family_matrices() -> Vec<(&'static str, Coo)> {
         ("uniform", gen::random::uniform(180, 140, 900, 2)),
         ("powerlaw", gen::random::power_law(160, 160, 12.0, 1.1, 3)),
         ("jittered", gen::random::jittered_diagonal(220, 4, 9, 4)),
-        ("rmat", gen::rmat::rmat(8, 1200, gen::rmat::RmatProbs::default(), 5)),
+        (
+            "rmat",
+            gen::rmat::rmat(8, 1200, gen::rmat::RmatProbs::default(), 5),
+        ),
         ("blockdense", gen::blocks::block_dense(192, 32, 7, 0.8, 6)),
         ("blockband", gen::blocks::block_band(160, 16, 1, 0.75, 7)),
         ("kron", gen::blocks::kronecker_fractal(4)),
         ("empty", Coo::new(50, 70)),
-        ("single", Coo::from_triplets(100, 100, vec![(37, 93, 5.0)]).unwrap()),
+        (
+            "single",
+            Coo::from_triplets(100, 100, vec![(37, 93, 5.0)]).unwrap(),
+        ),
     ]
 }
 
@@ -40,7 +46,11 @@ fn all_transpose_paths_agree_across_families() {
         let h = build::from_coo(&coo, stm.s).unwrap();
         let image = HismImage::encode(&h);
         let (out, _) = transpose_hism(&vp, stm, &image);
-        assert_eq!(build::to_coo(&out.decode()), oracle, "sim HiSM vs oracle: {name}");
+        assert_eq!(
+            build::to_coo(&out.decode()),
+            oracle,
+            "sim HiSM vs oracle: {name}"
+        );
 
         // 2. Simulated CRS baseline.
         let csr = Csr::from_coo(&coo);
@@ -55,16 +65,27 @@ fn all_transpose_paths_agree_across_families() {
         assert_eq!(host, oracle, "host CRS vs oracle: {name}");
 
         // 4. HiSM software reference.
-        assert_eq!(build::to_coo(&hism_sw::transpose(&h)), oracle, "sw HiSM: {name}");
+        assert_eq!(
+            build::to_coo(&hism_sw::transpose(&h)),
+            oracle,
+            "sw HiSM: {name}"
+        );
 
         // 5. CSC reinterpretation.
-        let mut via_csc = Csc::from_coo(&coo).into_csr_of_transpose().unwrap().to_coo();
+        let mut via_csc = Csc::from_coo(&coo)
+            .into_csr_of_transpose()
+            .unwrap()
+            .to_coo();
         via_csc.canonicalize();
         assert_eq!(via_csc, oracle, "CSC vs oracle: {name}");
 
         // 6. Dense strided copy (small matrices only).
         if coo.rows() * coo.cols() <= 100_000 {
-            assert_eq!(Dense::from_coo(&coo).transpose().to_coo(), oracle, "dense: {name}");
+            assert_eq!(
+                Dense::from_coo(&coo).transpose().to_coo(),
+                oracle,
+                "dense: {name}"
+            );
         }
     }
 }

@@ -7,7 +7,7 @@ use hism_stm::hism::{build, HismImage, StorageStats};
 use hism_stm::sparse::{gen, Coo, Csr};
 use hism_stm::stm::kernels::{transpose_crs, transpose_hism};
 use hism_stm::stm::unit::{block_timing, buffer_utilization, StmConfig};
-use hism_stm::vpsim::{Engine, Memory, VpConfig, VReg};
+use hism_stm::vpsim::{Engine, Memory, VReg, VpConfig};
 use stm_bench::fig10::bu_sweep;
 use stm_bench::{run_set, RunConfig};
 
@@ -88,7 +88,10 @@ fn claim_fig10_shape() {
     }
     for b_i in 0..4 {
         for l_i in 1..4 {
-            assert!(bu(b_i, l_i) >= bu(b_i, l_i - 1) - 1e-12, "BU must grow with L");
+            assert!(
+                bu(b_i, l_i) >= bu(b_i, l_i - 1) - 1e-12,
+                "BU must grow with L"
+            );
         }
     }
     // Saturation: the L4→L8 gain is below the L1→L4 gain at B=4.
@@ -143,7 +146,12 @@ fn claim_figure2_structure() {
 fn claim_histogram_phase_share() {
     let run = |coo: Coo| {
         let (_, r) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo));
-        let hist = r.phases.iter().find(|p| p.name == "histogram").unwrap().cycles;
+        let hist = r
+            .phases
+            .iter()
+            .find(|p| p.name == "histogram")
+            .unwrap()
+            .cycles;
         hist as f64 / r.cycles as f64
     };
     let long_rows = run({
@@ -178,8 +186,11 @@ fn claim_hism_always_wins() {
 fn claim_speedup_grows_with_locality_at_the_low_end() {
     let mk = |coo: Coo| {
         let h = build::from_coo(&coo, 64).unwrap();
-        let (_, hr) =
-            transpose_hism(&VpConfig::paper(), StmConfig::default(), &HismImage::encode(&h));
+        let (_, hr) = transpose_hism(
+            &VpConfig::paper(),
+            StmConfig::default(),
+            &HismImage::encode(&h),
+        );
         let (_, cr) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo));
         cr.cycles as f64 / hr.cycles as f64
     };

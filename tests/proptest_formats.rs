@@ -1,95 +1,134 @@
-//! Property-based tests over the storage formats: round trips, transpose
+//! Property tests over the storage formats: round trips, transpose
 //! involutions, and cross-format agreement on arbitrary random matrices.
+//!
+//! Each property runs over seeded random cases (see `common`); a failing
+//! case is replayed exactly by its `(property seed, case)` pair.
 
+mod common;
+
+use common::{arb_coo, case_rng};
 use hism_stm::hism::{build, spmv, transpose as hism_sw, HismImage, StorageStats};
 use hism_stm::sparse::{mm, Coo, Csc, Csr, Dense};
-use proptest::prelude::*;
 
-/// Strategy: an arbitrary small sparse matrix (shape up to 90x90, up to
-/// 160 entries, possibly with duplicate coordinates before canonicalize).
-fn arb_coo() -> impl Strategy<Value = Coo> {
-    (1usize..90, 1usize..90).prop_flat_map(|(rows, cols)| {
-        let entry = (0..rows, 0..cols, -100i32..100)
-            .prop_map(|(r, c, v)| (r, c, if v == 0 { 1.0 } else { v as f32 / 7.0 }));
-        proptest::collection::vec(entry, 0..160).prop_map(move |entries| {
-            Coo::from_triplets(rows, cols, entries).unwrap()
-        })
-    })
+const CASES: u64 = 64;
+
+fn canon(coo: &Coo) -> Coo {
+    let mut c = coo.clone();
+    c.canonicalize();
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_round_trip(coo in arb_coo()) {
-        let mut canon = coo.clone();
-        canon.canonicalize();
+#[test]
+fn csr_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF1, case);
+        let coo = arb_coo(&mut r, 90, 160);
         let mut back = Csr::from_coo(&coo).to_coo();
         back.canonicalize();
-        prop_assert_eq!(back, canon);
+        assert_eq!(back, canon(&coo), "case {case}");
     }
+}
 
-    #[test]
-    fn csc_round_trip(coo in arb_coo()) {
-        let mut canon = coo.clone();
-        canon.canonicalize();
+#[test]
+fn csc_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF2, case);
+        let coo = arb_coo(&mut r, 90, 160);
         let mut back = Csc::from_coo(&coo).to_coo();
         back.canonicalize();
-        prop_assert_eq!(back, canon);
+        assert_eq!(back, canon(&coo), "case {case}");
     }
+}
 
-    #[test]
-    fn dense_round_trip(coo in arb_coo()) {
-        let mut canon = coo.clone();
-        canon.canonicalize();
-        prop_assert_eq!(Dense::from_coo(&coo).to_coo(), canon);
+#[test]
+fn dense_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF3, case);
+        let coo = arb_coo(&mut r, 90, 160);
+        assert_eq!(Dense::from_coo(&coo).to_coo(), canon(&coo), "case {case}");
     }
+}
 
-    #[test]
-    fn hism_round_trip_at_several_section_sizes(coo in arb_coo(), s in prop::sample::select(vec![2usize, 4, 8, 64])) {
-        let mut canon = coo.clone();
-        canon.canonicalize();
+#[test]
+fn hism_round_trip_at_several_section_sizes() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF4, case);
+        let coo = arb_coo(&mut r, 90, 160);
+        let s = common::pick(&mut r, &[2usize, 4, 8, 64]);
         let h = build::from_coo(&coo, s).unwrap();
         h.validate().unwrap();
-        prop_assert_eq!(build::to_coo(&h), canon);
+        assert_eq!(build::to_coo(&h), canon(&coo), "case {case} (s = {s})");
     }
+}
 
-    #[test]
-    fn hism_image_round_trip(coo in arb_coo()) {
+#[test]
+fn hism_image_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF5, case);
+        let coo = arb_coo(&mut r, 90, 160);
         let h = build::from_coo(&coo, 8).unwrap();
         let img = HismImage::encode(&h);
         let back = img.decode();
         back.validate().unwrap();
-        prop_assert_eq!(build::to_coo(&back), build::to_coo(&h));
+        assert_eq!(build::to_coo(&back), build::to_coo(&h), "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involution_everywhere(coo in arb_coo()) {
-        let canon = coo.transpose_canonical().transpose_canonical();
-        let mut orig = coo.clone();
-        orig.canonicalize();
-        prop_assert_eq!(canon, orig);
+#[test]
+fn transpose_is_involution_everywhere() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF6, case);
+        let coo = arb_coo(&mut r, 90, 160);
+        assert_eq!(
+            coo.transpose_canonical().transpose_canonical(),
+            canon(&coo),
+            "case {case}"
+        );
         let csr = Csr::from_coo(&coo);
-        prop_assert_eq!(csr.transpose_pissanetsky().transpose_pissanetsky(), csr);
+        assert_eq!(
+            csr.transpose_pissanetsky().transpose_pissanetsky(),
+            csr,
+            "case {case}"
+        );
         let h = build::from_coo(&coo, 8).unwrap();
-        prop_assert_eq!(hism_sw::transpose(&hism_sw::transpose(&h)), h);
+        assert_eq!(
+            hism_sw::transpose(&hism_sw::transpose(&h)),
+            h,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn all_transposes_agree(coo in arb_coo()) {
+#[test]
+fn all_transposes_agree() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF7, case);
+        let coo = arb_coo(&mut r, 90, 160);
         let oracle = coo.transpose_canonical();
         let mut a = Csr::from_coo(&coo).transpose_pissanetsky().to_coo();
         a.canonicalize();
-        prop_assert_eq!(&a, &oracle);
+        assert_eq!(&a, &oracle, "case {case}");
         let h = build::from_coo(&coo, 8).unwrap();
-        prop_assert_eq!(&build::to_coo(&hism_sw::transpose(&h)), &oracle);
-        let mut c = Csc::from_coo(&coo).into_csr_of_transpose().unwrap().to_coo();
+        assert_eq!(
+            &build::to_coo(&hism_sw::transpose(&h)),
+            &oracle,
+            "case {case}"
+        );
+        let mut c = Csc::from_coo(&coo)
+            .into_csr_of_transpose()
+            .unwrap()
+            .to_coo();
         c.canonicalize();
-        prop_assert_eq!(&c, &oracle);
+        assert_eq!(&c, &oracle, "case {case}");
     }
+}
 
-    #[test]
-    fn spmv_agrees_between_formats(coo in arb_coo(), seed in 0u64..1000) {
+#[test]
+fn spmv_agrees_between_formats() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF8, case);
+        let coo = arb_coo(&mut r, 90, 160);
+        let seed = r.gen_range(0..1000usize) as u64;
         let x: Vec<f32> = (0..coo.cols())
             .map(|i| ((i as u64 * 31 + seed) % 13) as f32 - 6.0)
             .collect();
@@ -98,57 +137,72 @@ proptest! {
         let h = build::from_coo(&coo, 8).unwrap();
         let y_hism = spmv::spmv(&h, &x).unwrap();
         for ((a, b), c) in y_coo.iter().zip(&y_csr).zip(&y_hism) {
-            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()));
-            prop_assert!((a - c).abs() <= 1e-3 * (1.0 + a.abs()));
+            assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "case {case}");
+            assert!((a - c).abs() <= 1e-3 * (1.0 + a.abs()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn matrix_market_round_trip(coo in arb_coo()) {
-        let mut canon = coo.clone();
-        canon.canonicalize();
+#[test]
+fn matrix_market_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xF9, case);
+        let coo = canon(&arb_coo(&mut r, 90, 160));
         let mut buf = Vec::new();
-        mm::write_coo(&mut buf, &canon).unwrap();
+        mm::write_coo(&mut buf, &coo).unwrap();
         let back = mm::read_coo(&buf[..]).unwrap();
-        prop_assert_eq!(back, canon);
+        assert_eq!(back, coo, "case {case}");
     }
+}
 
-    #[test]
-    fn storage_stats_are_consistent(coo in arb_coo()) {
+#[test]
+fn storage_stats_are_consistent() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xFA, case);
+        let coo = arb_coo(&mut r, 90, 160);
         let h = build::from_coo(&coo, 8).unwrap();
         let st = StorageStats::compute(&h);
-        prop_assert_eq!(st.leaf_bits, 48 * h.nnz() as u64);
-        prop_assert!(st.upper_fraction() >= 0.0 && st.upper_fraction() <= 1.0);
+        assert_eq!(st.leaf_bits, 48 * h.nnz() as u64, "case {case}");
+        assert!(
+            st.upper_fraction() >= 0.0 && st.upper_fraction() <= 1.0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn try_decode_never_panics_on_corruption(
-        coo in arb_coo(),
-        mutations in proptest::collection::vec((0usize..4096, any::<u32>()), 1..8),
-    ) {
+#[test]
+fn try_decode_never_panics_on_corruption() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xFB, case);
+        let coo = arb_coo(&mut r, 90, 160);
         // Arbitrary word corruption must yield Ok(decoded) or Err(_),
         // never a panic or a runaway walk.
         let h = build::from_coo(&coo, 8).unwrap();
         let mut img = HismImage::encode(&h);
         if img.words.is_empty() {
-            return Ok(());
+            continue;
         }
-        for (at, val) in mutations {
-            let n = img.words.len();
-            img.words[at % n] = val;
+        let mutations = r.gen_range(1..8usize);
+        for _ in 0..mutations {
+            let at = r.gen_range(0..img.words.len());
+            img.words[at] = r.next_u64() as u32;
         }
         let _ = img.try_decode(); // must not panic
     }
+}
 
-    #[test]
-    fn get_matches_dense(coo in arb_coo()) {
+#[test]
+fn get_matches_dense() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xFC, case);
+        let coo = arb_coo(&mut r, 90, 160);
         let h = build::from_coo(&coo, 8).unwrap();
         let d = Dense::from_coo(&coo);
         // Sample a diagonal-ish set of probes.
         for k in 0..coo.rows().min(coo.cols()) {
             let expect = d.get(k, k);
             let got = h.get(k, k).unwrap_or(0.0);
-            prop_assert!((expect - got).abs() < 1e-6);
+            assert!((expect - got).abs() < 1e-6, "case {case} at ({k}, {k})");
         }
     }
 }

@@ -1,115 +1,124 @@
-//! Property-based tests of the simulated kernels and the STM unit: for
+//! Property tests of the simulated kernels and the STM unit: for
 //! arbitrary matrices and arbitrary legal hardware geometries, the
 //! simulated transposition must be exact and its timing sane.
+//!
+//! Each property runs over seeded random cases (see `common`); a failing
+//! case is replayed exactly by its `(property seed, case)` pair.
 
+mod common;
+
+use common::{arb_coo, arb_positions, case_rng, pick, StdRng};
 use hism_stm::hism::{build, HismImage};
-use hism_stm::sparse::{Coo, Csr};
+use hism_stm::sparse::Csr;
 use hism_stm::stm::kernels::{transpose_crs, transpose_hism};
-use hism_stm::stm::unit::{block_timing, StmConfig, StmUnit};
+use hism_stm::stm::unit::{block_timing, buffer_utilization, StmConfig, StmUnit};
 use hism_stm::vpsim::VpConfig;
-use proptest::prelude::*;
-
-fn arb_coo() -> impl Strategy<Value = Coo> {
-    (1usize..70, 1usize..70).prop_flat_map(|(rows, cols)| {
-        let entry =
-            (0..rows, 0..cols, 1i32..100).prop_map(|(r, c, v)| (r, c, v as f32));
-        proptest::collection::vec(entry, 0..120)
-            .prop_map(move |e| Coo::from_triplets(rows, cols, e).unwrap())
-    })
-}
 
 /// Arbitrary STM geometry with a matching VP config.
-fn arb_geometry() -> impl Strategy<Value = (VpConfig, StmConfig)> {
-    (
-        prop::sample::select(vec![4usize, 8, 16, 64]),
-        prop::sample::select(vec![1u64, 2, 4, 8]),
-        prop::sample::select(vec![1usize, 2, 4, 8]),
-        any::<bool>(),
-    )
-        .prop_map(|(s, b, l, chaining)| {
-            let mut vp = VpConfig::paper();
-            vp.section_size = s;
-            vp.chaining = chaining;
-            (vp, StmConfig { s, b, l })
-        })
+fn arb_geometry(r: &mut StdRng) -> (VpConfig, StmConfig) {
+    let s = pick(r, &[4usize, 8, 16, 64]);
+    let b = pick(r, &[1u64, 2, 4, 8]);
+    let l = pick(r, &[1usize, 2, 4, 8]);
+    let mut vp = VpConfig::paper();
+    vp.section_size = s;
+    vp.chaining = r.gen_bool(0.5);
+    (vp, StmConfig { s, b, l })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Unique block positions numbered row-major with values `1..`.
+fn numbered_block(positions: &[(u8, u8)]) -> Vec<(u8, u8, u32)> {
+    positions
+        .iter()
+        .enumerate()
+        .map(|(k, &(r, c))| (r, c, k as u32 + 1))
+        .collect()
+}
 
-    #[test]
-    fn simulated_hism_transpose_is_exact_for_any_geometry(
-        coo in arb_coo(),
-        (vp, stm) in arb_geometry(),
-    ) {
+#[test]
+fn simulated_hism_transpose_is_exact_for_any_geometry() {
+    for case in 0..48 {
+        let mut r = case_rng(0xA1, case);
+        let coo = arb_coo(&mut r, 70, 120);
+        let (vp, stm) = arb_geometry(&mut r);
         let h = build::from_coo(&coo, stm.s).unwrap();
         let img = HismImage::encode(&h);
         let (out, report) = transpose_hism(&vp, stm, &img);
-        prop_assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
-        prop_assert_eq!(report.nnz, {
-            let mut c = coo.clone();
-            c.canonicalize();
-            c.nnz()
-        });
+        assert_eq!(
+            build::to_coo(&out.decode()),
+            coo.transpose_canonical(),
+            "case {case}"
+        );
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        assert_eq!(report.nnz, canon.nnz(), "case {case}");
     }
+}
 
-    #[test]
-    fn simulated_crs_transpose_is_exact(coo in arb_coo(), chaining in any::<bool>()) {
+#[test]
+fn simulated_crs_transpose_is_exact() {
+    for case in 0..48 {
+        let mut r = case_rng(0xA2, case);
+        let coo = arb_coo(&mut r, 70, 120);
         let mut vp = VpConfig::paper();
-        vp.chaining = chaining;
+        vp.chaining = r.gen_bool(0.5);
         let csr = Csr::from_coo(&coo);
         let (got, report) = transpose_crs(&vp, &csr);
-        prop_assert_eq!(&got, &csr.transpose_pissanetsky());
+        assert_eq!(&got, &csr.transpose_pissanetsky(), "case {case}");
         got.validate().unwrap();
-        prop_assert!(report.cycles > 0);
+        assert!(report.cycles > 0, "case {case}");
     }
+}
 
-    #[test]
-    fn stm_unit_transposes_any_block(
-        entries in proptest::collection::btree_set((0u8..16, 0u8..16), 0..80),
-        b in 1u64..9,
-        l in 1usize..9,
-    ) {
-        let block: Vec<(u8, u8, u32)> = entries
-            .iter()
-            .enumerate()
-            .map(|(k, &(r, c))| (r, c, k as u32 + 1))
-            .collect();
+#[test]
+fn stm_unit_transposes_any_block() {
+    for case in 0..48 {
+        let mut r = case_rng(0xA3, case);
+        let positions = arb_positions(&mut r, 16, 0, 80);
+        let b = r.gen_range(1..9u64);
+        let l = r.gen_range(1..9usize);
+        let block = numbered_block(&positions);
         let mut unit = StmUnit::new(StmConfig { s: 16, b, l });
         let (t, timing) = unit.transpose_block(&block);
         // Output is the coordinate swap, row-major sorted.
         let mut expect: Vec<(u8, u8, u32)> =
-            block.iter().map(|&(r, c, v)| (c, r, v)).collect();
+            block.iter().map(|&(row, col, v)| (col, row, v)).collect();
         expect.sort();
-        prop_assert_eq!(t, expect);
+        assert_eq!(t, expect, "case {case}");
         // Timing sanity: at least ceil(z/b) batches per phase, at most z.
         let z = block.len() as u64;
         let min_batches = z.div_ceil(b);
-        prop_assert!(timing.write_batches >= min_batches);
-        prop_assert!(timing.read_batches >= min_batches);
-        prop_assert!(timing.write_batches <= z.max(1) || z == 0);
+        assert!(timing.write_batches >= min_batches, "case {case}");
+        assert!(timing.read_batches >= min_batches, "case {case}");
+        assert!(timing.write_batches <= z.max(1) || z == 0, "case {case}");
         // Fast path agrees with the unit.
-        let positions: Vec<(u8, u8)> = block.iter().map(|&(r, c, _)| (r, c)).collect();
-        prop_assert_eq!(block_timing(&positions, &StmConfig { s: 16, b, l }), timing);
+        assert_eq!(
+            block_timing(&positions, &StmConfig { s: 16, b, l }),
+            timing,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn wider_buffers_and_more_lines_never_slow_a_block(
-        entries in proptest::collection::btree_set((0u8..32, 0u8..32), 1..120),
-    ) {
-        let positions: Vec<(u8, u8)> = entries.into_iter().collect();
-        let t = |b: u64, l: usize| {
-            block_timing(&positions, &StmConfig { s: 32, b, l }).total_cycles()
-        };
-        prop_assert!(t(2, 1) <= t(1, 1));
-        prop_assert!(t(4, 1) <= t(2, 1));
-        prop_assert!(t(4, 2) <= t(4, 1));
-        prop_assert!(t(4, 4) <= t(4, 2));
-        prop_assert!(t(8, 8) <= t(4, 4));
+#[test]
+fn wider_buffers_and_more_lines_never_slow_a_block() {
+    for case in 0..48 {
+        let mut r = case_rng(0xA4, case);
+        let positions = arb_positions(&mut r, 32, 1, 120);
+        let t =
+            |b: u64, l: usize| block_timing(&positions, &StmConfig { s: 32, b, l }).total_cycles();
+        assert!(t(2, 1) <= t(1, 1), "case {case}");
+        assert!(t(4, 1) <= t(2, 1), "case {case}");
+        assert!(t(4, 2) <= t(4, 1), "case {case}");
+        assert!(t(4, 4) <= t(4, 2), "case {case}");
+        assert!(t(8, 8) <= t(4, 4), "case {case}");
     }
+}
 
-    #[test]
-    fn chaining_never_hurts_the_kernels(coo in arb_coo()) {
+#[test]
+fn chaining_never_hurts_the_kernels() {
+    for case in 0..32 {
+        let mut r = case_rng(0xA5, case);
+        let coo = arb_coo(&mut r, 70, 120);
         let stm = StmConfig { s: 16, b: 4, l: 4 };
         let cyc = |chaining: bool| {
             let mut vp = VpConfig::paper();
@@ -122,12 +131,22 @@ proptest! {
         };
         let (h_on, c_on) = cyc(true);
         let (h_off, c_off) = cyc(false);
-        prop_assert!(h_on <= h_off, "HiSM chained {h_on} > unchained {h_off}");
-        prop_assert!(c_on <= c_off, "CRS chained {c_on} > unchained {c_off}");
+        assert!(
+            h_on <= h_off,
+            "case {case}: HiSM chained {h_on} > unchained {h_off}"
+        );
+        assert!(
+            c_on <= c_off,
+            "case {case}: CRS chained {c_on} > unchained {c_off}"
+        );
     }
+}
 
-    #[test]
-    fn faster_memory_never_slows_the_kernels(coo in arb_coo()) {
+#[test]
+fn faster_memory_never_slows_the_kernels() {
+    for case in 0..32 {
+        let mut r = case_rng(0xA6, case);
+        let coo = arb_coo(&mut r, 70, 120);
         let cyc = |startup: u64| {
             let mut vp = VpConfig::paper();
             vp.mem_startup = startup;
@@ -138,46 +157,48 @@ proptest! {
         };
         let (h_fast, c_fast) = cyc(5);
         let (h_slow, c_slow) = cyc(40);
-        prop_assert!(h_fast <= h_slow);
-        prop_assert!(c_fast <= c_slow);
+        assert!(h_fast <= h_slow, "case {case}");
+        assert!(c_fast <= c_slow, "case {case}");
     }
+}
 
-    #[test]
-    fn micro_model_agrees_with_analytic_model(
-        entries in proptest::collection::btree_set((0u8..16, 0u8..16), 0..100),
-        b in 1u64..9,
-        l in 1usize..9,
-    ) {
-        // The cycle-stepped hardware model and the closed-form batch
-        // model are independent implementations of the same unit.
-        let block: Vec<(u8, u8, u32)> = entries
+#[test]
+fn micro_model_agrees_with_analytic_model() {
+    // The cycle-stepped hardware model and the closed-form batch model
+    // are independent implementations of the same unit.
+    for case in 0..48 {
+        let mut r = case_rng(0xA7, case);
+        let positions = arb_positions(&mut r, 16, 0, 100);
+        let b = r.gen_range(1..9u64);
+        let l = r.gen_range(1..9usize);
+        let block: Vec<(u8, u8, u32)> = positions
             .iter()
             .enumerate()
-            .map(|(k, &(r, c))| (r, c, k as u32))
+            .map(|(k, &(row, col))| (row, col, k as u32))
             .collect();
-        let positions: Vec<(u8, u8)> = block.iter().map(|&(r, c, _)| (r, c)).collect();
         let cfg = StmConfig { s: 16, b, l };
         let mut micro = hism_stm::stm::micro::MicroStm::new(cfg);
         let (micro_out, micro_t) = micro.transpose_block(&block);
-        prop_assert_eq!(micro_t, block_timing(&positions, &cfg));
+        assert_eq!(micro_t, block_timing(&positions, &cfg), "case {case}");
         if !block.is_empty() {
-            prop_assert_eq!(micro.cycles(), micro_t.total_cycles());
+            assert_eq!(micro.cycles(), micro_t.total_cycles(), "case {case}");
         }
         let mut unit = StmUnit::new(cfg);
         let (unit_out, _) = unit.transpose_block(&block);
-        prop_assert_eq!(micro_out, unit_out);
+        assert_eq!(micro_out, unit_out, "case {case}");
     }
+}
 
-    #[test]
-    fn bu_is_always_a_valid_fraction(
-        entries in proptest::collection::btree_set((0u8..64, 0u8..64), 1..200),
-        b in 1u64..9,
-        l in 1usize..9,
-    ) {
-        let positions: Vec<(u8, u8)> = entries.into_iter().collect();
+#[test]
+fn bu_is_always_a_valid_fraction() {
+    for case in 0..48 {
+        let mut r = case_rng(0xA8, case);
+        let positions = arb_positions(&mut r, 64, 1, 200);
+        let b = r.gen_range(1..9u64);
+        let l = r.gen_range(1..9usize);
         let cfg = StmConfig { s: 64, b, l };
         let timing = block_timing(&positions, &cfg);
-        let bu = hism_stm::stm::unit::buffer_utilization(&[timing], b);
-        prop_assert!(bu > 0.0 && bu <= 1.0, "BU = {bu}");
+        let bu = buffer_utilization(&[timing], b);
+        assert!(bu > 0.0 && bu <= 1.0, "case {case}: BU = {bu}");
     }
 }

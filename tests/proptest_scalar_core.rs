@@ -2,10 +2,15 @@
 //! timing-free functional interpreter are independent implementations of
 //! the same ISA, so on arbitrary programs they must leave identical
 //! memory, and the timing must obey basic sanity laws.
+//!
+//! Each property runs over seeded random cases (see `common`); a failing
+//! case is replayed exactly by its `(property seed, case)` pair.
 
+mod common;
+
+use common::{case_rng, StdRng};
 use hism_stm::vpsim::scalar::{run_functional, run_program, run_program_ooo, Asm, Program};
 use hism_stm::vpsim::{Memory, VpConfig};
-use proptest::prelude::*;
 
 /// A randomly generated straight-line instruction (registers 1..8,
 /// memory confined to words 0..64 via `base = r15` fixed at 0).
@@ -19,16 +24,27 @@ enum Op {
     St(u8, u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let reg = 1u8..8;
-    prop_oneof![
-        (reg.clone(), any::<i8>()).prop_map(|(r, v)| Op::Li(r, v)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::Add(a, b, c)),
-        (reg.clone(), reg.clone(), any::<i8>()).prop_map(|(a, b, v)| Op::Addi(a, b, v)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Op::Sub(a, b, c)),
-        (reg.clone(), 0u8..64).prop_map(|(r, a)| Op::Ld(r, a)),
-        (reg, 0u8..64).prop_map(|(r, a)| Op::St(r, a)),
-    ]
+fn arb_op(r: &mut StdRng) -> Op {
+    fn reg(r: &mut StdRng) -> u8 {
+        r.gen_range(1..8usize) as u8
+    }
+    match r.gen_range(0..6usize) {
+        0 => Op::Li(reg(r), r.next_u64() as i8),
+        1 => Op::Add(reg(r), reg(r), reg(r)),
+        2 => Op::Addi(reg(r), reg(r), r.next_u64() as i8),
+        3 => Op::Sub(reg(r), reg(r), reg(r)),
+        4 => Op::Ld(reg(r), r.gen_range(0..64usize) as u8),
+        _ => Op::St(reg(r), r.gen_range(0..64usize) as u8),
+    }
+}
+
+fn arb_ops(r: &mut StdRng, min: usize, max: usize) -> Vec<Op> {
+    let n = r.gen_range(min..max);
+    (0..n).map(|_| arb_op(r)).collect()
+}
+
+fn seed_mem(r: &mut StdRng) -> Vec<u32> {
+    (0..64).map(|_| r.next_u64() as u32).collect()
 }
 
 fn assemble(ops: &[Op]) -> Program {
@@ -48,49 +64,56 @@ fn assemble(ops: &[Op]) -> Program {
     a.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pipeline_and_functional_interpreter_agree(
-        ops in proptest::collection::vec(arb_op(), 0..120),
-        seed_mem in proptest::collection::vec(any::<u32>(), 64),
-    ) {
-        let program = assemble(&ops);
+#[test]
+fn pipeline_and_functional_interpreter_agree() {
+    for case in 0..128 {
+        let mut r = case_rng(0x51, case);
+        let program = assemble(&arb_ops(&mut r, 0, 120));
+        let mem = seed_mem(&mut r);
         let cap = 10_000;
         let mut m1 = Memory::new();
-        m1.write_block(0, &seed_mem);
+        m1.write_block(0, &mem);
         let mut m2 = m1.clone();
         run_functional(&mut m1, &program, cap);
         run_program(&VpConfig::paper(), &mut m2, &program, cap);
         for addr in 0..64u32 {
-            prop_assert_eq!(m1.read(addr), m2.read(addr), "memory diverged at {}", addr);
+            assert_eq!(
+                m1.read(addr),
+                m2.read(addr),
+                "case {case}: memory diverged at {addr}"
+            );
         }
     }
+}
 
-    #[test]
-    fn ooo_model_agrees_functionally(
-        ops in proptest::collection::vec(arb_op(), 0..120),
-        seed_mem in proptest::collection::vec(any::<u32>(), 64),
-    ) {
-        let program = assemble(&ops);
+#[test]
+fn ooo_model_agrees_functionally() {
+    for case in 0..128 {
+        let mut r = case_rng(0x52, case);
+        let program = assemble(&arb_ops(&mut r, 0, 120));
+        let mem = seed_mem(&mut r);
         let mut m1 = Memory::new();
-        m1.write_block(0, &seed_mem);
+        m1.write_block(0, &mem);
         let mut m2 = m1.clone();
         run_functional(&mut m1, &program, 10_000);
         let st = run_program_ooo(&VpConfig::paper(), &mut m2, &program, 10_000);
         for addr in 0..64u32 {
-            prop_assert_eq!(m1.read(addr), m2.read(addr), "memory diverged at {}", addr);
+            assert_eq!(
+                m1.read(addr),
+                m2.read(addr),
+                "case {case}: memory diverged at {addr}"
+            );
         }
         // OoO retirement can't beat the issue-width bound either.
-        prop_assert!(st.cycles >= st.instructions.div_ceil(4));
+        assert!(st.cycles >= st.instructions.div_ceil(4), "case {case}");
     }
+}
 
-    #[test]
-    fn ooo_never_slower_than_in_order_on_straight_line(
-        ops in proptest::collection::vec(arb_op(), 1..100),
-    ) {
-        let program = assemble(&ops);
+#[test]
+fn ooo_never_slower_than_in_order_on_straight_line() {
+    for case in 0..64 {
+        let mut r = case_rng(0x53, case);
+        let program = assemble(&arb_ops(&mut r, 1, 100));
         let run = |ooo: bool| {
             let mut cfg = VpConfig::paper();
             cfg.scalar_out_of_order = ooo;
@@ -99,51 +122,60 @@ proptest! {
         };
         // On straight-line code with ample ports the window model's only
         // divergence source (branch refill interplay) is absent.
-        prop_assert!(run(true) <= run(false) + 2);
+        assert!(run(true) <= run(false) + 2, "case {case}");
     }
+}
 
-    #[test]
-    fn timing_is_deterministic(ops in proptest::collection::vec(arb_op(), 0..60)) {
-        let program = assemble(&ops);
+#[test]
+fn timing_is_deterministic() {
+    for case in 0..64 {
+        let mut r = case_rng(0x54, case);
+        let program = assemble(&arb_ops(&mut r, 0, 60));
         let run = || {
             let mut mem = Memory::new();
             run_program(&VpConfig::paper(), &mut mem, &program, 10_000)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    #[test]
-    fn wider_issue_is_never_slower(ops in proptest::collection::vec(arb_op(), 1..100)) {
-        let program = assemble(&ops);
+#[test]
+fn wider_issue_is_never_slower() {
+    for case in 0..64 {
+        let mut r = case_rng(0x55, case);
+        let program = assemble(&arb_ops(&mut r, 1, 100));
         let cycles_at = |width: u64| {
             let mut cfg = VpConfig::paper();
             cfg.scalar_issue_width = width;
             let mut mem = Memory::new();
             run_program(&cfg, &mut mem, &program, 10_000).cycles
         };
-        prop_assert!(cycles_at(4) <= cycles_at(1));
-        prop_assert!(cycles_at(8) <= cycles_at(4));
+        assert!(cycles_at(4) <= cycles_at(1), "case {case}");
+        assert!(cycles_at(8) <= cycles_at(4), "case {case}");
     }
+}
 
-    #[test]
-    fn instruction_count_matches_program_length(
-        ops in proptest::collection::vec(arb_op(), 0..80),
-    ) {
+#[test]
+fn instruction_count_matches_program_length() {
+    for case in 0..64 {
+        let mut r = case_rng(0x56, case);
+        let ops = arb_ops(&mut r, 0, 80);
         // Straight-line code: dynamic count = static count (li + ops + halt).
         let program = assemble(&ops);
         let mut mem = Memory::new();
         let st = run_program(&VpConfig::paper(), &mut mem, &program, 10_000);
-        prop_assert_eq!(st.instructions as usize, ops.len() + 2);
+        assert_eq!(st.instructions as usize, ops.len() + 2, "case {case}");
     }
+}
 
-    #[test]
-    fn cycles_lower_bounded_by_issue_width(
-        ops in proptest::collection::vec(arb_op(), 1..100),
-    ) {
-        let program = assemble(&ops);
+#[test]
+fn cycles_lower_bounded_by_issue_width() {
+    for case in 0..64 {
+        let mut r = case_rng(0x57, case);
+        let program = assemble(&arb_ops(&mut r, 1, 100));
         let mut mem = Memory::new();
         let st = run_program(&VpConfig::paper(), &mut mem, &program, 10_000);
         // 4-wide issue cannot retire more than 4 instructions per cycle.
-        prop_assert!(st.cycles >= st.instructions.div_ceil(4));
+        assert!(st.cycles >= st.instructions.div_ceil(4), "case {case}");
     }
 }

@@ -43,7 +43,10 @@ fn crs_improves_with_anz_on_the_anz_set() {
     let results = run_set(&RunConfig::default(), &sets.by_anz);
     let first = results.first().unwrap().crs.cycles_per_nnz();
     let last = results.last().unwrap().crs.cycles_per_nnz();
-    assert!(first > last, "CRS did not improve with ANZ: {first:.1} vs {last:.1}");
+    assert!(
+        first > last,
+        "CRS did not improve with ANZ: {first:.1} vs {last:.1}"
+    );
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn selection_respects_criteria() {
         .by_anz
         .windows(2)
         .all(|w| w[0].metrics.avg_nnz_per_row <= w[1].metrics.avg_nnz_per_row));
-    assert!(sets.by_size.windows(2).all(|w| w[0].metrics.nnz <= w[1].metrics.nnz));
+    assert!(sets
+        .by_size
+        .windows(2)
+        .all(|w| w[0].metrics.nnz <= w[1].metrics.nnz));
     // Entries carry metrics consistent with their matrices.
     for e in sets.all() {
         let recomputed = MatrixMetrics::compute(&e.coo);
@@ -68,7 +74,11 @@ fn selection_respects_criteria() {
 
 #[test]
 fn criterion_values_match_metrics() {
-    let m = MatrixMetrics { nnz: 42, locality: 1.5, avg_nnz_per_row: 3.0 };
+    let m = MatrixMetrics {
+        nnz: 42,
+        locality: 1.5,
+        avg_nnz_per_row: 3.0,
+    };
     assert_eq!(Criterion::Size.value(&m), 42.0);
     assert_eq!(Criterion::Locality.value(&m), 1.5);
     assert_eq!(Criterion::AvgNnzPerRow.value(&m), 3.0);
@@ -94,8 +104,16 @@ fn phase_breakdown_accounts_for_all_cycles() {
     let results = run_set(&RunConfig::default(), &sets.by_size);
     for r in &results {
         let total: u64 = r.crs.phases.iter().map(|p| p.cycles).sum();
-        assert_eq!(total, r.crs.cycles, "{}: CRS phases must sum to total", r.name);
-        assert!(r.hism.stm.is_some(), "{}: HiSM report lacks STM stats", r.name);
+        assert_eq!(
+            total, r.crs.cycles,
+            "{}: CRS phases must sum to total",
+            r.name
+        );
+        assert!(
+            r.hism.stm.is_some(),
+            "{}: HiSM report lacks STM stats",
+            r.name
+        );
         let stm = r.hism.stm.unwrap();
         assert!(stm.entries as usize >= r.hism.nnz, "{}", r.name);
     }
