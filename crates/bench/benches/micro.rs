@@ -120,7 +120,7 @@ fn bench_simulator_throughput() {
         kernel.prepare(&coo, &ctx).unwrap();
         bench(&format!("simulator/{name}"), || {
             let mut ctx = registry::ExecCtx::paper();
-            black_box(kernel.run(&mut ctx));
+            black_box(kernel.run(&mut ctx).unwrap());
         });
     }
 }

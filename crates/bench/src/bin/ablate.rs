@@ -104,10 +104,13 @@ fn main() {
     let mut rows = Vec::new();
     for variant in &variants {
         let results = run_set(&variant.cfg, set);
-        let hism_avg =
-            results.iter().map(|r| r.hism.cycles_per_nnz()).sum::<f64>() / results.len() as f64;
-        let crs_avg =
-            results.iter().map(|r| r.crs.cycles_per_nnz()).sum::<f64>() / results.len() as f64;
+        let expect = |r: &Option<stm_core::TransposeReport>| {
+            r.as_ref()
+                .expect("ablation suite is trusted")
+                .cycles_per_nnz()
+        };
+        let hism_avg = results.iter().map(|r| expect(&r.hism)).sum::<f64>() / results.len() as f64;
+        let crs_avg = results.iter().map(|r| expect(&r.crs)).sum::<f64>() / results.len() as f64;
         let s = SpeedupSummary::of(&results);
         rows.push(vec![
             variant.name.to_string(),

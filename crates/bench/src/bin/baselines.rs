@@ -14,9 +14,16 @@ fn main() {
         cfg.worker_count(sets.by_locality.len()),
         &sets.by_locality,
         |_, entry| {
-            let hism = run_kernel(&cfg, "transpose_hism", entry).report;
-            let vec_crs = run_kernel(&cfg, "transpose_crs", entry).report;
-            let sc_crs = run_kernel(&cfg, "transpose_crs_scalar", entry).report;
+            // The generated suite is trusted input — a failure here is a
+            // harness bug, so abort loudly.
+            let run = |kernel| {
+                run_kernel(&cfg, kernel, entry)
+                    .unwrap_or_else(|e| panic!("{}: {e}", entry.name))
+                    .report
+            };
+            let hism = run("transpose_hism");
+            let vec_crs = run("transpose_crs");
+            let sc_crs = run("transpose_crs_scalar");
             vec![
                 entry.name.clone(),
                 format!("{:.2}", hism.cycles_per_nnz()),

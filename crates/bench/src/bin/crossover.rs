@@ -47,9 +47,14 @@ fn main() {
         })
         .collect();
     let measured = run_batch(cfg.worker_count(entries.len()), &entries, |i, entry| {
-        let vec_r = run_kernel(&cfg, "transpose_crs", entry).report;
-        let sc_r = run_kernel(&cfg, "transpose_crs_scalar", entry).report;
-        let hism_r = run_kernel(&cfg, "transpose_hism", entry).report;
+        let run = |kernel| {
+            run_kernel(&cfg, kernel, entry)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name))
+                .report
+        };
+        let vec_r = run("transpose_crs");
+        let sc_r = run("transpose_crs_scalar");
+        let hism_r = run("transpose_hism");
         (anz_values[i], hism_r, vec_r, sc_r)
     });
     let mut rows_out = Vec::new();

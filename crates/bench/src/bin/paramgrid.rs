@@ -25,8 +25,16 @@ fn main() {
                 ..RunConfig::from_env()
             };
             let results = run_set(&cfg, &sets.by_locality);
-            let avg =
-                results.iter().map(|r| r.hism.cycles_per_nnz()).sum::<f64>() / results.len() as f64;
+            let avg = results
+                .iter()
+                .map(|r| {
+                    r.hism
+                        .as_ref()
+                        .expect("grid suite is trusted")
+                        .cycles_per_nnz()
+                })
+                .sum::<f64>()
+                / results.len() as f64;
             row.push(format!("{avg:.3}"));
             csv.push(vec![l.to_string(), b.to_string(), format!("{avg:.4}")]);
         }

@@ -23,7 +23,12 @@ fn measure(cfg: &RunConfig, name: &str, coo: &Coo) -> (f64, f64, f64) {
         metrics,
     };
     let r = run_matrix(cfg, &entry);
-    (metrics.locality, r.hism.cycles_per_nnz(), r.speedup())
+    let hism = r
+        .hism
+        .as_ref()
+        .unwrap_or_else(|| panic!("{name}: {}", r.status.failure().expect("failed")));
+    let speedup = r.speedup().expect("both kernels succeeded");
+    (metrics.locality, hism.cycles_per_nnz(), speedup)
 }
 
 fn main() {

@@ -18,8 +18,11 @@ fn main() {
         cfg.worker_count(sets.by_locality.len()),
         &sets.by_locality,
         |_, entry| {
-            let hism = run_kernel(&cfg, "spmv_hism", entry);
-            let crs = run_kernel(&cfg, "spmv_crs", entry);
+            let run = |kernel| {
+                run_kernel(&cfg, kernel, entry).unwrap_or_else(|e| panic!("{}: {e}", entry.name))
+            };
+            let hism = run("spmv_hism");
+            let crs = run("spmv_crs");
             // Functional agreement between the two simulated kernels (both
             // already verified against the host oracle by the harness).
             let yh = hism.output.as_vector().expect("spmv output");

@@ -16,10 +16,18 @@
 //!
 //! The worker count comes from [`RunConfig::jobs`] (the bench binaries
 //! wire it to `--jobs N`); `None` uses the machine's parallelism.
+//!
+//! Failures are *data*, not crashes: every kernel stage runs under
+//! `catch_unwind`, typed [`KernelFailure`]s (and any panic, as a
+//! last-resort backstop) land in the per-matrix [`RunStatus`], and a bad
+//! matrix never takes down the rest of the batch. Set
+//! [`RunConfig::strict`] to turn the first failure into a panic for
+//! CI-style fail-fast runs.
 
-use stm_core::kernels::registry::{self, ExecCtx, KernelReport};
+use stm_core::kernels::registry::{self, ExecCtx, KernelError, KernelFailure, KernelReport, Stage};
 use stm_core::{StmConfig, TransposeReport};
 use stm_dsab::SuiteEntry;
+use stm_hism::FaultClass;
 use stm_vpsim::{TimingKind, VpConfig};
 
 /// Machine + experiment configuration for a harness run.
@@ -38,6 +46,17 @@ pub struct RunConfig {
     pub timing: TimingKind,
     /// Worker threads for [`run_set`]; `None` = machine parallelism.
     pub jobs: Option<usize>,
+    /// Extra attempts after a failure before the matrix is reported as
+    /// [`RunStatus::Failed`]. Kernels are deterministic, so this only
+    /// papers over transient *host* trouble; deliberately injected
+    /// faults are never retried.
+    pub retries: usize,
+    /// Panic on the first failed matrix instead of recording it —
+    /// fail-fast for CI (`--strict` in the binaries).
+    pub strict: bool,
+    /// Corrupt one matrix of the set before running it (fault-injection
+    /// experiments; see [`FaultSpec`]).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for RunConfig {
@@ -48,16 +67,21 @@ impl Default for RunConfig {
             verify: true,
             timing: TimingKind::Paper,
             jobs: None,
+            retries: 1,
+            strict: false,
+            fault: None,
         }
     }
 }
 
 impl RunConfig {
-    /// Default configuration with the worker count taken from the command
-    /// line / environment (see [`crate::jobs_from_env`]).
+    /// Default configuration with the worker count and strictness taken
+    /// from the command line / environment (see [`crate::jobs_from_env`]
+    /// and [`crate::strict_from_env`]).
     pub fn from_env() -> Self {
         RunConfig {
             jobs: crate::jobs_from_env(),
+            strict: crate::strict_from_env(),
             ..RunConfig::default()
         }
     }
@@ -82,6 +106,44 @@ impl RunConfig {
     }
 }
 
+/// One deliberate corruption applied during [`run_set`]: the matrix at
+/// `index` has `class` injected (seeded by `seed`) into every kernel
+/// that supports it, after `prepare` and before `run`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Set position of the matrix to corrupt.
+    pub index: usize,
+    /// Fault class to inject (see [`FaultClass`]).
+    pub class: FaultClass,
+    /// Seed choosing the exact corruption site.
+    pub seed: u64,
+}
+
+/// Outcome of one matrix in a batch.
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// Every kernel ran and verified.
+    Ok,
+    /// A kernel failed; the failure names the kernel, stage and typed
+    /// error. Reports of kernels that did succeed are still present.
+    Failed(KernelFailure),
+}
+
+impl RunStatus {
+    /// `true` for [`RunStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&KernelFailure> {
+        match self {
+            RunStatus::Ok => None,
+            RunStatus::Failed(f) => Some(f),
+        }
+    }
+}
+
 /// Both kernels' results for one matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixResult {
@@ -89,48 +151,151 @@ pub struct MatrixResult {
     pub name: String,
     /// D-SAB metrics of the matrix.
     pub metrics: stm_sparse::MatrixMetrics,
-    /// HiSM + STM kernel report.
-    pub hism: TransposeReport,
-    /// CRS baseline report.
-    pub crs: TransposeReport,
+    /// HiSM + STM kernel report (`None` if that kernel failed).
+    pub hism: Option<TransposeReport>,
+    /// CRS baseline report (`None` if that kernel failed).
+    pub crs: Option<TransposeReport>,
+    /// Whether the matrix completed cleanly.
+    pub status: RunStatus,
 }
 
 impl MatrixResult {
-    /// The paper's headline quantity: CRS cycles / HiSM cycles.
-    pub fn speedup(&self) -> f64 {
-        self.crs.cycles as f64 / self.hism.cycles.max(1) as f64
+    /// The paper's headline quantity: CRS cycles / HiSM cycles. `None`
+    /// when either kernel failed.
+    pub fn speedup(&self) -> Option<f64> {
+        let (h, c) = (self.hism.as_ref()?, self.crs.as_ref()?);
+        Some(c.cycles as f64 / h.cycles.max(1) as f64)
     }
 }
 
-/// Runs the named registry kernel on one suite entry.
-///
-/// Panics (with the matrix and kernel names) on an unknown kernel, a
-/// failed prepare, or — when `cfg.verify` is set — a functional output
-/// that disagrees with the host oracle.
-pub fn run_kernel(cfg: &RunConfig, kernel: &str, entry: &SuiteEntry) -> KernelReport {
-    let ctx = cfg.ctx();
-    let mut k = registry::create(kernel).unwrap_or_else(|| panic!("unknown kernel {kernel:?}"));
-    k.prepare(&entry.coo, &ctx)
-        .unwrap_or_else(|e| panic!("{}: {kernel} prepare failed: {e}", entry.name));
-    let mut ctx = ctx;
-    let report = k.run(&mut ctx);
-    if cfg.verify {
-        k.verify(&entry.coo, &report.output)
-            .unwrap_or_else(|e| panic!("{}: {kernel} verification failed: {e}", entry.name));
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
-    report
+}
+
+/// Runs `f` as one lifecycle stage: a typed error or a panic both become
+/// a [`KernelFailure`] attributed to `stage`.
+pub(crate) fn isolate<T>(
+    kernel: &str,
+    stage: Stage,
+    f: impl FnOnce() -> Result<T, KernelError>,
+) -> Result<T, KernelFailure> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(error)) => Err(KernelFailure {
+            kernel: kernel.to_string(),
+            stage,
+            error,
+        }),
+        Err(payload) => Err(KernelFailure {
+            kernel: kernel.to_string(),
+            stage,
+            error: KernelError::Panicked(panic_message(payload)),
+        }),
+    }
+}
+
+fn attempt(
+    cfg: &RunConfig,
+    kernel: &str,
+    entry: &SuiteEntry,
+    fault: Option<&FaultSpec>,
+) -> Result<KernelReport, KernelFailure> {
+    let ctx = cfg.ctx();
+    let mut k = registry::create(kernel).ok_or_else(|| KernelFailure {
+        kernel: kernel.to_string(),
+        stage: Stage::Prepare,
+        error: KernelError::Unknown(kernel.to_string()),
+    })?;
+    isolate(kernel, Stage::Prepare, || k.prepare(&entry.coo, &ctx))?;
+    if let Some(f) = fault {
+        // A kernel that cannot host this fault class runs clean — the
+        // spec corrupts "every kernel that supports it".
+        match k.inject_fault(f.class, f.seed) {
+            Ok(_) | Err(KernelError::FaultUnsupported { .. }) => {}
+            Err(error) => {
+                return Err(KernelFailure {
+                    kernel: kernel.to_string(),
+                    stage: Stage::Prepare,
+                    error,
+                })
+            }
+        }
+    }
+    let mut ctx = ctx;
+    let report = isolate(kernel, Stage::Run, || k.run(&mut ctx))?;
+    if cfg.verify {
+        isolate(kernel, Stage::Verify, || {
+            k.verify(&entry.coo, &report.output)
+        })?;
+    }
+    Ok(report)
+}
+
+fn run_kernel_inner(
+    cfg: &RunConfig,
+    kernel: &str,
+    entry: &SuiteEntry,
+    fault: Option<&FaultSpec>,
+) -> Result<KernelReport, KernelFailure> {
+    // Deliberate corruption is deterministic — retrying it just fails
+    // identically, so injected runs get exactly one attempt.
+    let attempts = if fault.is_some() { 1 } else { 1 + cfg.retries };
+    let mut last = None;
+    for _ in 0..attempts {
+        match attempt(cfg, kernel, entry, fault) {
+            Ok(r) => return Ok(r),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Runs the named registry kernel on one suite entry: prepare, run and
+/// (when `cfg.verify` is set) functional verification against the host
+/// oracle, each stage isolated by `catch_unwind` and retried up to
+/// `cfg.retries` extra times.
+pub fn run_kernel(
+    cfg: &RunConfig,
+    kernel: &str,
+    entry: &SuiteEntry,
+) -> Result<KernelReport, KernelFailure> {
+    run_kernel_inner(cfg, kernel, entry, None)
+}
+
+fn run_matrix_inner(
+    cfg: &RunConfig,
+    entry: &SuiteEntry,
+    fault: Option<&FaultSpec>,
+) -> MatrixResult {
+    let hism = run_kernel_inner(cfg, "transpose_hism", entry, fault);
+    let crs = run_kernel_inner(cfg, "transpose_crs", entry, fault);
+    let status = match (&hism, &crs) {
+        (Err(f), _) | (_, Err(f)) => RunStatus::Failed(f.clone()),
+        _ => RunStatus::Ok,
+    };
+    if cfg.strict {
+        if let Some(f) = status.failure() {
+            panic!("strict mode: {}: {f}", entry.name);
+        }
+    }
+    MatrixResult {
+        name: entry.name.clone(),
+        metrics: entry.metrics,
+        hism: hism.ok().map(|r| r.report),
+        crs: crs.ok().map(|r| r.report),
+        status,
+    }
 }
 
 /// Runs both transposition kernels on one suite entry.
 pub fn run_matrix(cfg: &RunConfig, entry: &SuiteEntry) -> MatrixResult {
-    let hism = run_kernel(cfg, "transpose_hism", entry);
-    let crs = run_kernel(cfg, "transpose_crs", entry);
-    MatrixResult {
-        name: entry.name.clone(),
-        metrics: entry.metrics,
-        hism: hism.report,
-        crs: crs.report,
-    }
+    run_matrix_inner(cfg, entry, None)
 }
 
 /// Maps `f` over `items` on a pool of `jobs` scoped worker threads.
@@ -173,16 +338,18 @@ where
 }
 
 /// Runs a whole experiment set on the configured worker pool. Results
-/// keep the set's order (see [`run_batch`]).
+/// keep the set's order (see [`run_batch`]); a [`RunConfig::fault`] spec
+/// is applied to the matrix at its index.
 pub fn run_set(cfg: &RunConfig, set: &[SuiteEntry]) -> Vec<MatrixResult> {
-    run_batch(cfg.worker_count(set.len()), set, |_, entry| {
-        run_matrix(cfg, entry)
+    run_batch(cfg.worker_count(set.len()), set, |i, entry| {
+        let fault = cfg.fault.as_ref().filter(|f| f.index == i);
+        run_matrix_inner(cfg, entry, fault)
     })
 }
 
 /// Min / arithmetic-mean / max speedup over a result set — the numbers
 /// the paper quotes per figure ("the speedup is in the range from 1.8 to
-/// 32.0 with an average of 16.5").
+/// 32.0 with an average of 16.5"). Failed matrices are excluded.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedupSummary {
     /// Smallest speedup in the set.
@@ -194,16 +361,17 @@ pub struct SpeedupSummary {
 }
 
 impl SpeedupSummary {
-    /// Summarizes a result set. Returns zeros for an empty set.
+    /// Summarizes a result set. Returns zeros for an empty set (or one
+    /// where every matrix failed).
     pub fn of(results: &[MatrixResult]) -> Self {
-        if results.is_empty() {
+        let speedups: Vec<f64> = results.iter().filter_map(MatrixResult::speedup).collect();
+        if speedups.is_empty() {
             return SpeedupSummary {
                 min: 0.0,
                 avg: 0.0,
                 max: 0.0,
             };
         }
-        let speedups: Vec<f64> = results.iter().map(MatrixResult::speedup).collect();
         SpeedupSummary {
             min: speedups.iter().copied().fold(f64::INFINITY, f64::min),
             avg: speedups.iter().sum::<f64>() / speedups.len() as f64,
@@ -231,10 +399,12 @@ mod tests {
         let cfg = RunConfig::default();
         let e = entry("uniform", gen::random::uniform(200, 200, 1500, 3));
         let r = run_matrix(&cfg, &e);
-        assert_eq!(r.hism.nnz, e.coo.nnz());
-        assert_eq!(r.crs.nnz, e.coo.nnz());
-        assert!(r.hism.cycles > 0 && r.crs.cycles > 0);
-        assert!(r.speedup() > 0.0);
+        assert!(r.status.is_ok());
+        let (hism, crs) = (r.hism.as_ref().unwrap(), r.crs.as_ref().unwrap());
+        assert_eq!(hism.nnz, e.coo.nnz());
+        assert_eq!(crs.nnz, e.coo.nnz());
+        assert!(hism.cycles > 0 && crs.cycles > 0);
+        assert!(r.speedup().unwrap() > 0.0);
     }
 
     #[test]
@@ -242,19 +412,31 @@ mod tests {
         let cfg = RunConfig::default();
         let e = entry("small", gen::random::uniform(48, 48, 200, 5));
         for &name in registry::names() {
-            let r = run_kernel(&cfg, name, &e);
+            let r = run_kernel(&cfg, name, &e).unwrap();
             assert!(r.report.cycles > 0, "{name} charged no cycles");
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown kernel")]
-    fn run_kernel_rejects_unknown_names() {
-        run_kernel(
+    fn run_kernel_reports_unknown_names_as_failures() {
+        let f = run_kernel(
             &RunConfig::default(),
             "bogus",
             &entry("m", stm_sparse::Coo::new(2, 2)),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(f.error, KernelError::Unknown("bogus".into()));
+        assert_eq!(f.stage, Stage::Prepare);
+    }
+
+    #[test]
+    fn isolate_turns_panics_into_typed_failures() {
+        let f = isolate::<()>("t", Stage::Run, || panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(f.stage, Stage::Run);
+        match f.error {
+            KernelError::Panicked(msg) => assert!(msg.contains("boom 7"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
     }
 
     #[test]
@@ -268,6 +450,7 @@ mod tests {
         let results = run_set(&cfg, &set);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(results.iter().all(|r| r.status.is_ok()));
     }
 
     #[test]
@@ -305,9 +488,71 @@ mod tests {
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.name, p.name);
-            assert_eq!(s.hism.cycles, p.hism.cycles);
-            assert_eq!(s.crs.cycles, p.crs.cycles);
+            assert_eq!(
+                s.hism.as_ref().unwrap().cycles,
+                p.hism.as_ref().unwrap().cycles
+            );
+            assert_eq!(
+                s.crs.as_ref().unwrap().cycles,
+                p.crs.as_ref().unwrap().cycles
+            );
         }
+    }
+
+    #[test]
+    fn a_fault_spec_fails_exactly_its_matrix() {
+        let set = vec![
+            entry("a", gen::structured::tridiagonal(80)),
+            entry("b", gen::random::uniform(96, 96, 400, 2)),
+            entry("c", gen::blocks::block_dense(128, 16, 5, 0.8, 4)),
+        ];
+        let clean = run_set(&RunConfig::default(), &set);
+        let cfg = RunConfig {
+            fault: Some(FaultSpec {
+                index: 1,
+                class: FaultClass::PointerRetarget,
+                seed: 42,
+            }),
+            jobs: Some(3),
+            ..RunConfig::default()
+        };
+        let faulted = run_set(&cfg, &set);
+        assert_eq!(faulted.len(), 3);
+        assert!(faulted[0].status.is_ok());
+        assert!(faulted[2].status.is_ok());
+        let failure = faulted[1].status.failure().expect("matrix 1 must fail");
+        assert!(
+            !matches!(failure.error, KernelError::Panicked(_)),
+            "fault must surface as a typed error, got {failure}"
+        );
+        // The untouched matrices are bit-identical to the clean run.
+        for i in [0usize, 2] {
+            assert_eq!(
+                clean[i].hism.as_ref().unwrap().cycles,
+                faulted[i].hism.as_ref().unwrap().cycles
+            );
+            assert_eq!(
+                clean[i].crs.as_ref().unwrap().cycles,
+                faulted[i].crs.as_ref().unwrap().cycles
+            );
+        }
+    }
+
+    #[test]
+    fn strict_mode_panics_on_failure() {
+        let set = vec![entry("a", gen::structured::tridiagonal(64))];
+        let cfg = RunConfig {
+            strict: true,
+            fault: Some(FaultSpec {
+                index: 0,
+                class: FaultClass::Truncate,
+                seed: 7,
+            }),
+            jobs: Some(1),
+            ..RunConfig::default()
+        };
+        let r = std::panic::catch_unwind(|| run_set(&cfg, &set));
+        assert!(r.is_err(), "strict mode must fail fast");
     }
 
     #[test]
@@ -332,10 +577,10 @@ mod tests {
         let cfg = RunConfig::default();
         let e = entry("blocky", gen::blocks::block_dense(512, 64, 12, 0.9, 7));
         let r = run_matrix(&cfg, &e);
+        let speedup = r.speedup().unwrap();
         assert!(
-            r.speedup() > 2.0,
-            "expected a clear HiSM win, got {:.2}x",
-            r.speedup()
+            speedup > 2.0,
+            "expected a clear HiSM win, got {speedup:.2}x"
         );
     }
 
@@ -356,5 +601,26 @@ mod tests {
     fn empty_summary_is_zero() {
         let s = SpeedupSummary::of(&[]);
         assert_eq!((s.min, s.avg, s.max), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn failed_rows_are_excluded_from_the_summary() {
+        let set = vec![
+            entry("x", gen::structured::diagonal(128)),
+            entry("y", gen::blocks::block_dense(128, 16, 5, 0.9, 9)),
+        ];
+        let cfg = RunConfig {
+            fault: Some(FaultSpec {
+                index: 0,
+                class: FaultClass::LengthCorruption,
+                seed: 3,
+            }),
+            ..RunConfig::default()
+        };
+        let results = run_set(&cfg, &set);
+        assert!(!results[0].status.is_ok());
+        let s = SpeedupSummary::of(&results);
+        assert_eq!(s.min, s.max, "one surviving row");
+        assert!(s.min > 0.0);
     }
 }

@@ -25,7 +25,8 @@ pub mod harness;
 pub mod output;
 
 pub use harness::{
-    run_batch, run_kernel, run_matrix, run_set, MatrixResult, RunConfig, SpeedupSummary,
+    run_batch, run_kernel, run_matrix, run_set, FaultSpec, MatrixResult, RunConfig, RunStatus,
+    SpeedupSummary,
 };
 
 use stm_dsab::{experiment_sets, full_catalogue, quick_catalogue, ExperimentSets};
@@ -60,4 +61,14 @@ pub fn jobs_from_env() -> Option<usize> {
         }
     }
     std::env::var("STM_JOBS").ok().and_then(|n| n.parse().ok())
+}
+
+/// `true` when `--strict` is on the command line or `STM_STRICT=1` is in
+/// the environment: the harness then panics on the first failed matrix
+/// (nonzero exit) instead of recording it as a `Failed` row.
+pub fn strict_from_env() -> bool {
+    std::env::args().any(|a| a == "--strict")
+        || std::env::var("STM_STRICT")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }

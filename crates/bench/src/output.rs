@@ -54,8 +54,14 @@ pub fn write_csv(
 }
 
 /// The standard per-matrix row of Figs. 11–13: name, the three metrics,
-/// both kernels' cycles/nnz, and the speedup.
+/// both kernels' cycles/nnz, the speedup, and the run status. A failed
+/// kernel renders `-` in its numeric cells and `failed[stage]` in the
+/// status cell (no commas, so the CSV stays one cell per column).
 pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
+    let per_nnz = |r: Option<&stm_core::TransposeReport>| match r {
+        Some(r) => format!("{:.2}", r.cycles_per_nnz()),
+        None => "-".to_string(),
+    };
     results
         .iter()
         .map(|r| {
@@ -64,16 +70,23 @@ pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
                 r.metrics.nnz.to_string(),
                 format!("{:.3}", r.metrics.locality),
                 format!("{:.2}", r.metrics.avg_nnz_per_row),
-                format!("{:.2}", r.hism.cycles_per_nnz()),
-                format!("{:.2}", r.crs.cycles_per_nnz()),
-                format!("{:.2}", r.speedup()),
+                per_nnz(r.hism.as_ref()),
+                per_nnz(r.crs.as_ref()),
+                match r.speedup() {
+                    Some(s) => format!("{s:.2}"),
+                    None => "-".to_string(),
+                },
+                match r.status.failure() {
+                    None => "ok".to_string(),
+                    Some(f) => format!("failed[{}]", f.stage),
+                },
             ]
         })
         .collect()
 }
 
 /// Header row matching [`figure_rows`].
-pub const FIGURE_HEADERS: [&str; 7] = [
+pub const FIGURE_HEADERS: [&str; 8] = [
     "matrix",
     "nnz",
     "locality",
@@ -81,6 +94,7 @@ pub const FIGURE_HEADERS: [&str; 7] = [
     "hism_cyc/nnz",
     "crs_cyc/nnz",
     "speedup",
+    "status",
 ];
 
 #[cfg(test)]

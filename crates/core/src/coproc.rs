@@ -79,7 +79,11 @@ impl StmCoprocessor {
 
     /// `v_stcr`: stores `payload` elements at the `pos` positions into the
     /// `s x s` memory (write phase). Chained on both sources.
-    pub fn v_stcr(&mut self, e: &mut Engine, payload: &VReg, pos: &VReg) {
+    ///
+    /// Positions come straight from an untrusted memory image, so
+    /// coordinates outside the `s x s` block are a typed error (the
+    /// hardware would raise a position fault), not a panic.
+    pub fn v_stcr(&mut self, e: &mut Engine, payload: &VReg, pos: &VReg) -> Result<(), String> {
         assert_eq!(payload.len(), pos.len(), "vector length mismatch");
         assert_eq!(
             self.cfg.s,
@@ -89,6 +93,12 @@ impl StmCoprocessor {
         let rows: Vec<u8> = pos.data.iter().map(|&p| unpack_pos(p).0).collect();
         for (k, &p) in pos.data.iter().enumerate() {
             let (r, c) = unpack_pos(p);
+            if self.cfg.s < 256 && ((r as usize) >= self.cfg.s || (c as usize) >= self.cfg.s) {
+                return Err(format!(
+                    "v_stcr position ({r},{c}) outside the {s0}x{s0} block",
+                    s0 = self.cfg.s
+                ));
+            }
             self.mem.insert(r, c, payload.data[k]);
         }
         self.drain = None; // memory changed: invalidate any old snapshot
@@ -106,6 +116,7 @@ impl StmCoprocessor {
         self.stats.write_batches += groups.len() as u64;
         self.stats.entries += payload.len() as u64;
         self.session_entries += payload.len() as u64;
+        Ok(())
     }
 
     /// Elements still pending for the read phase of the current block.
@@ -210,7 +221,7 @@ mod tests {
         stm.icm(&mut e);
         let payload = vreg(vec![10, 11, 12]);
         let pos = vreg(vec![pack_pos(0, 3), pack_pos(1, 0), pack_pos(1, 3)]);
-        stm.v_stcr(&mut e, &payload, &pos);
+        stm.v_stcr(&mut e, &payload, &pos).unwrap();
         let (vals, tpos) = stm.v_ldcc(&mut e, 8);
         assert_eq!(vals.data, vec![11, 10, 12]);
         assert_eq!(
@@ -227,7 +238,7 @@ mod tests {
         // 6 elements in 6 different rows at B=1: 6 transfers + 3 pipeline.
         let payload = vreg((0..6).collect());
         let pos = vreg((0..6u32).map(|r| pack_pos(r as u8, 0)).collect());
-        stm.v_stcr(&mut e, &payload, &pos);
+        stm.v_stcr(&mut e, &payload, &pos).unwrap();
         let fill_done = stm.fill_done;
         assert!(fill_done >= 6 + PHASE_PIPELINE_CYCLES);
         let (vals, _) = stm.v_ldcc(&mut e, 8);
@@ -246,7 +257,7 @@ mod tests {
         let n = 8usize;
         let payload = vreg((0..n as u32).collect());
         let pos = vreg((0..n).map(|k| pack_pos(k as u8, (7 - k) as u8)).collect());
-        stm.v_stcr(&mut e, &payload, &pos);
+        stm.v_stcr(&mut e, &payload, &pos).unwrap();
         let (a, _) = stm.v_ldcc(&mut e, 5);
         let (bv, _) = stm.v_ldcc(&mut e, 5);
         assert_eq!(a.len(), 5);
@@ -264,7 +275,7 @@ mod tests {
             // One full row of 8 elements.
             let payload = vreg((0..8).collect());
             let pos = vreg((0..8u32).map(|c| pack_pos(0, c as u8)).collect());
-            stm.v_stcr(&mut e, &payload, &pos);
+            stm.v_stcr(&mut e, &payload, &pos).unwrap();
             let (_, _) = stm.v_ldcc(&mut e, 8);
             e.cycles()
         };
@@ -279,7 +290,7 @@ mod tests {
             // One element in each of 8 consecutive rows, same column.
             let payload = vreg((0..8).collect());
             let pos = vreg((0..8u32).map(|r| pack_pos(r as u8, 3)).collect());
-            stm.v_stcr(&mut e, &payload, &pos);
+            stm.v_stcr(&mut e, &payload, &pos).unwrap();
             let (_, _) = stm.v_ldcc(&mut e, 8);
             e.cycles()
         };
@@ -295,7 +306,7 @@ mod tests {
             stm.icm(&mut e);
             let payload = vreg(vec![1, 2]);
             let pos = vreg(vec![pack_pos(0, 0), pack_pos(0, 1)]);
-            stm.v_stcr(&mut e, &payload, &pos);
+            stm.v_stcr(&mut e, &payload, &pos).unwrap();
             stm.v_ldcc(&mut e, 8);
         }
         let st = stm.stats();
@@ -306,12 +317,22 @@ mod tests {
     }
 
     #[test]
+    fn out_of_block_positions_are_a_typed_error() {
+        let (mut e, mut stm) = setup(4, 4);
+        stm.icm(&mut e);
+        let payload = vreg(vec![1]);
+        let pos = vreg(vec![pack_pos(9, 0)]); // s = 8: row 9 is outside
+        let err = stm.v_stcr(&mut e, &payload, &pos).unwrap_err();
+        assert!(err.contains("(9,0)"), "{err}");
+    }
+
+    #[test]
     fn icm_resets_state_between_blocks() {
         let (mut e, mut stm) = setup(4, 4);
         stm.icm(&mut e);
         let payload = vreg(vec![9]);
         let pos = vreg(vec![pack_pos(5, 5)]);
-        stm.v_stcr(&mut e, &payload, &pos);
+        stm.v_stcr(&mut e, &payload, &pos).unwrap();
         stm.v_ldcc(&mut e, 8);
         stm.icm(&mut e);
         assert_eq!(stm.remaining(), 0);

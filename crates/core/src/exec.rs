@@ -15,16 +15,23 @@
 //! let mut ctx = registry::ExecCtx::paper();
 //! let mut kernel = registry::create("transpose_hism").unwrap();
 //! kernel.prepare(&coo, &ctx).unwrap();
-//! let report = kernel.run(&mut ctx);
+//! let report = kernel.run(&mut ctx).unwrap();
 //! kernel.verify(&coo, &report.output).unwrap();
 //! assert!(report.report.cycles > 0);
 //! ```
+//!
+//! Every stage returns `Result<_, `[`KernelError`]`>`: kernels treat their
+//! inputs (HiSM images, CRS arrays, simulated memory contents) as
+//! untrusted, so a corrupted input surfaces as a typed error — never a
+//! panic, never a silently wrong answer (DESIGN.md, "Error taxonomy &
+//! fault injection").
 
 use crate::report::TransposeReport;
 use crate::unit::StmConfig;
-use stm_hism::HismImage;
-use stm_sparse::{Coo, Csr, Dense, Value};
-use stm_vpsim::{TimingKind, VpConfig};
+use std::fmt;
+use stm_hism::{FaultClass, FaultRecord, HismImage, ImageError};
+use stm_sparse::{Coo, Csr, Dense, FormatError, Value};
+use stm_vpsim::{MemFault, TimingKind, VpConfig};
 
 /// The machine a kernel executes on: vector-processor parameters, STM
 /// coprocessor parameters and the timing model charging the cycles.
@@ -80,6 +87,126 @@ impl Default for ExecCtx {
         Self::paper()
     }
 }
+
+/// The lifecycle stage a kernel failure occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Host-side input construction ([`Kernel::prepare`]).
+    Prepare,
+    /// Simulated execution ([`Kernel::run`]).
+    Run,
+    /// Oracle comparison ([`Kernel::verify`]).
+    Verify,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Prepare => "prepare",
+            Stage::Run => "run",
+            Stage::Verify => "verify",
+        })
+    }
+}
+
+/// Everything that can go wrong in a kernel lifecycle stage.
+///
+/// Carried through [`KernelFailure`] into the bench harness, where failed
+/// matrices become `Failed { stage, error }` rows instead of crashing the
+/// batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// No kernel registered under this name.
+    Unknown(String),
+    /// [`Kernel::run`] was called before a successful
+    /// [`Kernel::prepare`].
+    NotPrepared,
+    /// The execution context or kernel configuration is inconsistent.
+    Config(String),
+    /// The input matrix failed structural validation.
+    Format(FormatError),
+    /// A HiSM memory image failed to decode.
+    Image(ImageError),
+    /// The simulated machine accessed memory out of bounds.
+    MemFault(MemFault),
+    /// Simulated data structures are internally inconsistent (corrupt
+    /// pointers, non-monotone CRS row pointers, runaway lengths, …).
+    Corrupt(String),
+    /// The functional output disagrees with the host oracle.
+    Mismatch(String),
+    /// The kernel cannot host the requested fault class.
+    FaultUnsupported {
+        /// Kernel that rejected the fault.
+        kernel: &'static str,
+        /// The rejected class.
+        class: FaultClass,
+    },
+    /// A stage panicked; the harness caught it and preserved the message.
+    Panicked(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Unknown(name) => write!(f, "unknown kernel {name:?}"),
+            KernelError::NotPrepared => write!(f, "run called before a successful prepare"),
+            KernelError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            KernelError::Format(e) => write!(f, "input format error: {e}"),
+            KernelError::Image(e) => write!(f, "HiSM image error: {e}"),
+            KernelError::MemFault(e) => write!(f, "simulated memory fault: {e}"),
+            KernelError::Corrupt(msg) => write!(f, "corrupt simulated data: {msg}"),
+            KernelError::Mismatch(msg) => write!(f, "output mismatch: {msg}"),
+            KernelError::FaultUnsupported { kernel, class } => {
+                write!(f, "kernel {kernel} cannot host fault class {class}")
+            }
+            KernelError::Panicked(msg) => write!(f, "kernel panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<FormatError> for KernelError {
+    fn from(e: FormatError) -> Self {
+        KernelError::Format(e)
+    }
+}
+
+impl From<ImageError> for KernelError {
+    fn from(e: ImageError) -> Self {
+        KernelError::Image(e)
+    }
+}
+
+impl From<MemFault> for KernelError {
+    fn from(e: MemFault) -> Self {
+        KernelError::MemFault(e)
+    }
+}
+
+/// A [`KernelError`] attributed to a kernel and lifecycle [`Stage`] — the
+/// unit of failure the batch harness records per matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelFailure {
+    /// Registry name of the failing kernel.
+    pub kernel: String,
+    /// The stage that failed.
+    pub stage: Stage,
+    /// What went wrong.
+    pub error: KernelError,
+}
+
+impl fmt::Display for KernelFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} failed in {}: {}",
+            self.kernel, self.stage, self.error
+        )
+    }
+}
+
+impl std::error::Error for KernelFailure {}
 
 /// The functional result of a kernel, in the kernel's natural format.
 #[derive(Debug, Clone)]
@@ -201,22 +328,37 @@ pub struct KernelReport {
 ///   vector) and validates it against the context. Pure host-side work —
 ///   no simulated cycles are charged.
 /// * [`run`](Kernel::run) executes the kernel on the simulated machine
-///   described by the context and returns the timed report. Panics if
-///   `prepare` has not succeeded first.
+///   described by the context and returns the timed report, or a typed
+///   error ([`KernelError::NotPrepared`] without a successful `prepare`,
+///   [`KernelError::MemFault`]/[`KernelError::Corrupt`]/… when the
+///   prepared input turns out to be corrupted).
 /// * [`verify`](Kernel::verify) checks a functional output against the
 ///   host-side oracle for the original matrix.
+/// * [`inject_fault`](Kernel::inject_fault) corrupts the *prepared* input
+///   in place for robustness testing; kernels that cannot host a class
+///   return [`KernelError::FaultUnsupported`].
 pub trait Kernel {
     /// The registry name of this kernel (e.g. `"transpose_hism"`).
     fn name(&self) -> &'static str;
 
     /// Converts `coo` into the kernel's input format and stores it.
-    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), String>;
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), KernelError>;
 
     /// Executes the prepared input on the context's machine.
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport;
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError>;
 
     /// Checks `out` against the host oracle for `coo`.
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String>;
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError>;
+
+    /// Applies one deterministic fault of `class` to the prepared input
+    /// (call after [`Kernel::prepare`], before [`Kernel::run`]). The
+    /// default implementation hosts nothing.
+    fn inject_fault(&mut self, class: FaultClass, _seed: u64) -> Result<FaultRecord, KernelError> {
+        Err(KernelError::FaultUnsupported {
+            kernel: self.name(),
+            class,
+        })
+    }
 }
 
 /// The deterministic SpMV operand vector the harness and benchmark

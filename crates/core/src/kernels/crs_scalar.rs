@@ -9,6 +9,7 @@
 //! init, column histogram, scan-add, scatter — as one program for the
 //! scalar mini-ISA and executes it on the timed pipeline.
 
+use crate::exec::KernelError;
 use crate::kernels::crs_transpose::{decode_result, load_csr, CrsLayout};
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::Csr;
@@ -126,7 +127,10 @@ pub fn scalar_transpose_max_instructions(rows: usize, cols: usize, nnz: usize) -
 
 /// Runs the fully scalar transposition; returns the decoded transpose
 /// and the report (all cycles in the single `scalar` phase).
-pub fn transpose_crs_scalar(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
+pub fn transpose_crs_scalar(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+) -> Result<(Csr, TransposeReport), KernelError> {
     transpose_crs_scalar_timed(vp_cfg, csr, TimingKind::Paper)
 }
 
@@ -138,18 +142,22 @@ pub fn transpose_crs_scalar_timed(
     vp_cfg: &VpConfig,
     csr: &Csr,
     timing: TimingKind,
-) -> (Csr, TransposeReport) {
+) -> Result<(Csr, TransposeReport), KernelError> {
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64);
     let layout = load_csr(&mut mem, &mut alloc, csr);
+    // The interpreter is already bounded by its instruction cap; the guard
+    // additionally keeps corrupt indices from growing memory silently.
+    mem.guard(alloc.watermark(), vp_cfg.oob);
     let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
     let program = scalar_transpose_program(&layout, rows, cols);
-    let stats = run_scalar(
-        vp_cfg,
-        &mut mem,
-        &program,
-        scalar_transpose_max_instructions(rows, cols, nnz),
-    );
+    let cap = scalar_transpose_max_instructions(rows, cols, nnz);
+    let stats = run_scalar(vp_cfg, &mut mem, &program, cap);
+    if stats.capped {
+        return Err(KernelError::Corrupt(format!(
+            "scalar transpose exceeded its {cap}-instruction budget — corrupt row pointers"
+        )));
+    }
     let cycles = timing.model().scalar_cycles(stats.cycles);
     let report = TransposeReport {
         cycles,
@@ -163,8 +171,11 @@ pub fn transpose_crs_scalar_timed(
         }],
         fu_busy: Default::default(),
     };
-    let result = decode_result(&mem, &layout, rows, cols, nnz);
-    (result, report)
+    if let Some(f) = mem.fault() {
+        return Err(f.into());
+    }
+    let result = decode_result(&mem, &layout, rows, cols, nnz)?;
+    Ok((result, report))
 }
 
 #[cfg(test)]
@@ -174,7 +185,7 @@ mod tests {
     use stm_sparse::{gen, Coo};
 
     fn run(coo: &Coo) -> (Csr, TransposeReport) {
-        transpose_crs_scalar(&VpConfig::paper(), &Csr::from_coo(coo))
+        transpose_crs_scalar(&VpConfig::paper(), &Csr::from_coo(coo)).unwrap()
     }
 
     #[test]
@@ -200,8 +211,8 @@ mod tests {
     fn agrees_with_vectorized_kernel() {
         let coo = gen::blocks::block_band(96, 8, 1, 0.8, 3);
         let csr = Csr::from_coo(&coo);
-        let (scalar_t, _) = transpose_crs_scalar(&VpConfig::paper(), &csr);
-        let (vector_t, _) = transpose_crs(&VpConfig::paper(), &csr);
+        let (scalar_t, _) = transpose_crs_scalar(&VpConfig::paper(), &csr).unwrap();
+        let (vector_t, _) = transpose_crs(&VpConfig::paper(), &csr).unwrap();
         assert_eq!(scalar_t, vector_t);
     }
 
@@ -216,8 +227,8 @@ mod tests {
             }
         }
         let csr = Csr::from_coo(&coo);
-        let (_, scalar_rep) = transpose_crs_scalar(&VpConfig::paper(), &csr);
-        let (_, vector_rep) = transpose_crs(&VpConfig::paper(), &csr);
+        let (_, scalar_rep) = transpose_crs_scalar(&VpConfig::paper(), &csr).unwrap();
+        let (_, vector_rep) = transpose_crs(&VpConfig::paper(), &csr).unwrap();
         assert!(
             vector_rep.cycles < scalar_rep.cycles,
             "vector {} !< scalar {}",
@@ -231,7 +242,7 @@ mod tests {
         let coo = gen::rmat::rmat(6, 300, gen::rmat::RmatProbs::default(), 4);
         let csr = Csr::from_coo(&coo);
         let (t, _) = run(&coo);
-        let (tt, _) = transpose_crs_scalar(&VpConfig::paper(), &t);
+        let (tt, _) = transpose_crs_scalar(&VpConfig::paper(), &t).unwrap();
         assert_eq!(tt, csr);
     }
 }

@@ -12,13 +12,18 @@
 //! scalar accumulate + store y[i]
 //! ```
 
+use crate::exec::KernelError;
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::{Csr, Value};
 use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
 /// Simulates `y = A * x` for a CSR matrix. Returns the result vector and
 /// the cycle report.
-pub fn spmv_crs(vp_cfg: &VpConfig, csr: &Csr, x: &[Value]) -> (Vec<Value>, TransposeReport) {
+pub fn spmv_crs(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    x: &[Value],
+) -> Result<(Vec<Value>, TransposeReport), KernelError> {
     spmv_crs_timed(vp_cfg, csr, x, TimingKind::Paper)
 }
 
@@ -29,8 +34,14 @@ pub fn spmv_crs_timed(
     csr: &Csr,
     x: &[Value],
     timing: TimingKind,
-) -> (Vec<Value>, TransposeReport) {
-    assert_eq!(x.len(), csr.cols(), "x length must match matrix columns");
+) -> Result<(Vec<Value>, TransposeReport), KernelError> {
+    if x.len() != csr.cols() {
+        return Err(KernelError::Config(format!(
+            "x length {} != matrix columns {}",
+            x.len(),
+            csr.cols()
+        )));
+    }
     let s = vp_cfg.section_size;
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64);
@@ -54,11 +65,22 @@ pub fn spmv_crs_timed(
     for (i, &v) in x.iter().enumerate() {
         mem.write_f32(xb + i as u32, v);
     }
+    // Corrupt column indices would gather past the allocation; the guard
+    // records that as a fault instead of silently growing memory.
+    mem.guard(alloc.watermark(), vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
 
     for i in 0..csr.rows() {
         let iaa = e.mem().read(ia + i as u32) as usize;
         let iab = e.mem().read(ia + i as u32 + 1) as usize;
+        // IA comes from untrusted input: reject runaway row intervals.
+        if iaa > iab || iab > csr.nnz() {
+            return Err(KernelError::Corrupt(format!(
+                "row pointer IA[{i}..={}] = {iaa}..{iab} outside 0..={}",
+                i + 1,
+                csr.nnz()
+            )));
+        }
         // Scalar: interval loads + accumulator init + final store.
         e.scalar_cycles(vp_cfg.loop_overhead + 2 * vp_cfg.scalar_cache.hit_latency);
         let mut acc = 0f32;
@@ -85,11 +107,14 @@ pub fn spmv_crs_timed(
         e.mem_mut().write_f32(yb + i as u32, acc);
     }
 
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
     let cycles = e.cycles();
     let report = TransposeReport {
         cycles,
         nnz: csr.nnz(),
-        engine: *e.stats(),
+        engine: e.stats_snapshot(),
         scalar: None,
         stm: None,
         phases: vec![Phase {
@@ -102,7 +127,7 @@ pub fn spmv_crs_timed(
     let y = (0..csr.rows())
         .map(|i| mem.read_f32(yb + i as u32))
         .collect();
-    (y, report)
+    Ok((y, report))
 }
 
 #[cfg(test)]
@@ -113,7 +138,7 @@ mod tests {
     fn run(coo: &Coo) -> (Vec<f32>, Vec<f32>) {
         let csr = Csr::from_coo(coo);
         let x: Vec<f32> = (0..coo.cols()).map(|i| ((i % 5) as f32) - 2.0).collect();
-        let (y, _) = spmv_crs(&VpConfig::paper(), &csr, &x);
+        let (y, _) = spmv_crs(&VpConfig::paper(), &csr, &x).unwrap();
         (y, csr.spmv(&x).unwrap())
     }
 
@@ -148,8 +173,8 @@ mod tests {
         let small = gen::random::uniform(64, 64, 200, 1);
         let large = gen::random::uniform(64, 64, 2000, 1);
         let x = vec![1.0f32; 64];
-        let (_, r1) = spmv_crs(&VpConfig::paper(), &Csr::from_coo(&small), &x);
-        let (_, r2) = spmv_crs(&VpConfig::paper(), &Csr::from_coo(&large), &x);
+        let (_, r1) = spmv_crs(&VpConfig::paper(), &Csr::from_coo(&small), &x).unwrap();
+        let (_, r2) = spmv_crs(&VpConfig::paper(), &Csr::from_coo(&large), &x).unwrap();
         assert!(r2.cycles > r1.cycles);
     }
 }

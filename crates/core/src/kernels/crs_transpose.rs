@@ -28,6 +28,7 @@
 //! output arrays (`JAT`, `ANT`, `IAT`) — the paper points this contrast
 //! out in Section IV-A.
 
+use crate::exec::KernelError;
 use crate::kernels::histogram::{histogram_max_instructions, histogram_program};
 use crate::kernels::scan::scan_add_inplace;
 use crate::report::{Phase, TransposeReport};
@@ -84,7 +85,7 @@ pub fn decode_result(
     rows: usize,
     cols: usize,
     nnz: usize,
-) -> Csr {
+) -> Result<Csr, KernelError> {
     let mut row_ptr = Vec::with_capacity(cols + 1);
     row_ptr.push(0usize);
     for j in 0..cols {
@@ -101,7 +102,7 @@ pub fn decode_result(
         .map(f32::from_bits)
         .collect();
     Csr::from_parts(cols, rows, row_ptr, col_idx, values)
-        .expect("simulated CRS transposition produced an invalid matrix")
+        .map_err(|e| KernelError::Corrupt(format!("simulated CRS transposition invalid: {e}")))
 }
 
 /// Scalar overhead charged per row of the scatter loop: loading `IA(i)`
@@ -112,7 +113,7 @@ fn row_overhead(cfg: &VpConfig) -> u64 {
 
 /// Simulates the CRS transposition of `csr`. Returns the transposed
 /// matrix (decoded from simulated memory) and the cycle report.
-pub fn transpose_crs(vp_cfg: &VpConfig, csr: &Csr) -> (Csr, TransposeReport) {
+pub fn transpose_crs(vp_cfg: &VpConfig, csr: &Csr) -> Result<(Csr, TransposeReport), KernelError> {
     transpose_crs_timed(vp_cfg, csr, TimingKind::Paper)
 }
 
@@ -122,10 +123,13 @@ pub fn transpose_crs_timed(
     vp_cfg: &VpConfig,
     csr: &Csr,
     timing: TimingKind,
-) -> (Csr, TransposeReport) {
+) -> Result<(Csr, TransposeReport), KernelError> {
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64); // leave a scratch page at 0
     let layout = load_csr(&mut mem, &mut alloc, csr);
+    // Corrupt column indices would scatter outside the allocation; the
+    // guard records that as a fault instead of silently growing memory.
+    mem.guard(alloc.watermark(), vp_cfg.oob);
     let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
     let mut phases = Vec::new();
@@ -155,6 +159,11 @@ pub fn transpose_crs_timed(
         &program,
         histogram_max_instructions(nnz),
     );
+    if scalar_stats.capped {
+        return Err(KernelError::Corrupt(
+            "histogram program exceeded its instruction budget".into(),
+        ));
+    }
     e.advance_serial(scalar_stats.cycles);
     let t1 = e.cycles();
     phases.push(Phase {
@@ -174,6 +183,14 @@ pub fn transpose_crs_timed(
     for i in 0..rows {
         let iaa = e.mem().read(layout.ia + i as u32) as usize;
         let iab = e.mem().read(layout.ia + i as u32 + 1) as usize;
+        // IA comes from untrusted input: a non-monotone or oversized row
+        // pointer would make this loop run away past the arrays.
+        if iaa > iab || iab > nnz {
+            return Err(KernelError::Corrupt(format!(
+                "row pointer IA[{i}..={}] = {iaa}..{iab} outside 0..={nnz}",
+                i + 1
+            )));
+        }
         e.scalar_cycles(row_overhead(vp_cfg));
         let mut jp = iaa;
         while jp < iab {
@@ -196,17 +213,20 @@ pub fn transpose_crs_timed(
         cycles: t3 - t2,
     });
 
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
     let report = TransposeReport {
         cycles: t3,
         nnz,
-        engine: *e.stats(),
+        engine: e.stats_snapshot(),
         scalar: Some(scalar_stats),
         stm: None,
         phases,
         fu_busy: *e.fu_busy(),
     };
-    let result = decode_result(e.mem(), &layout, rows, cols, nnz);
-    (result, report)
+    let result = decode_result(e.mem(), &layout, rows, cols, nnz)?;
+    Ok((result, report))
 }
 
 #[cfg(test)]
@@ -215,7 +235,7 @@ mod tests {
     use stm_sparse::{gen, Coo};
 
     fn run(coo: &Coo) -> (Csr, TransposeReport) {
-        transpose_crs(&VpConfig::paper(), &Csr::from_coo(coo))
+        transpose_crs(&VpConfig::paper(), &Csr::from_coo(coo)).unwrap()
     }
 
     #[test]
@@ -291,8 +311,8 @@ mod tests {
     fn double_transpose_round_trips() {
         let coo = gen::rmat::rmat(7, 600, gen::rmat::RmatProbs::default(), 8);
         let csr = Csr::from_coo(&coo);
-        let (t, _) = transpose_crs(&VpConfig::paper(), &csr);
-        let (tt, _) = transpose_crs(&VpConfig::paper(), &t);
+        let (t, _) = transpose_crs(&VpConfig::paper(), &csr).unwrap();
+        let (tt, _) = transpose_crs(&VpConfig::paper(), &t).unwrap();
         assert_eq!(tt, csr);
     }
 }

@@ -6,6 +6,7 @@
 //! exactly why sparse formats, and then sparse transposition hardware,
 //! exist.
 
+use crate::exec::KernelError;
 use crate::report::{Phase, TransposeReport};
 use stm_sparse::{Coo, Dense};
 use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
@@ -15,7 +16,10 @@ use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 /// back from simulated memory, and the report (`nnz` is the matrix's
 /// non-zero count so `cycles_per_nnz` is comparable with the sparse
 /// kernels).
-pub fn transpose_dense(vp_cfg: &VpConfig, coo: &Coo) -> (Dense, TransposeReport) {
+pub fn transpose_dense(
+    vp_cfg: &VpConfig,
+    coo: &Coo,
+) -> Result<(Dense, TransposeReport), KernelError> {
     transpose_dense_timed(vp_cfg, coo, TimingKind::Paper)
 }
 
@@ -25,7 +29,10 @@ pub fn transpose_dense_timed(
     vp_cfg: &VpConfig,
     coo: &Coo,
     timing: TimingKind,
-) -> (Dense, TransposeReport) {
+) -> Result<(Dense, TransposeReport), KernelError> {
+    // `Dense::from_coo` indexes by entry coordinates; validate first so a
+    // corrupted COO is a typed error rather than a panic.
+    coo.validate(false)?;
     let (rows, cols) = (coo.rows(), coo.cols());
     let dense = Dense::from_coo(coo);
     let mut mem = Memory::new();
@@ -37,6 +44,7 @@ pub fn transpose_dense_timed(
             mem.write_f32(src + (r * cols + c) as u32, dense.get(r, c));
         }
     }
+    mem.guard(alloc.watermark(), vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
     let s = vp_cfg.section_size;
 
@@ -53,13 +61,16 @@ pub fn transpose_dense_timed(
         }
     }
 
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
     let cycles = e.cycles();
     let mut canon = coo.clone();
     canon.canonicalize();
     let report = TransposeReport {
         cycles,
         nnz: canon.nnz(),
-        engine: *e.stats(),
+        engine: e.stats_snapshot(),
         scalar: None,
         stm: None,
         phases: vec![Phase {
@@ -75,7 +86,7 @@ pub fn transpose_dense_timed(
             out.set(c, r, mem.read_f32(dst + (c * rows + r) as u32));
         }
     }
-    (out, report)
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -89,7 +100,7 @@ mod tests {
     #[test]
     fn dense_transpose_is_functionally_exact() {
         let coo = gen::random::uniform(20, 30, 100, 3);
-        let (t, report) = transpose_dense(&VpConfig::paper(), &coo);
+        let (t, report) = transpose_dense(&VpConfig::paper(), &coo).unwrap();
         assert_eq!(t.to_coo(), coo.transpose_canonical());
         assert!(report.cycles > 0);
     }
@@ -99,8 +110,8 @@ mod tests {
         // Same nnz, 4x the area → roughly 4x the cycles.
         let small = gen::random::uniform(64, 64, 500, 1);
         let large = gen::random::uniform(128, 128, 500, 1);
-        let (_, rs) = transpose_dense(&VpConfig::paper(), &small);
-        let (_, rl) = transpose_dense(&VpConfig::paper(), &large);
+        let (_, rs) = transpose_dense(&VpConfig::paper(), &small).unwrap();
+        let (_, rl) = transpose_dense(&VpConfig::paper(), &large).unwrap();
         let ratio = rl.cycles as f64 / rs.cycles as f64;
         assert!(ratio > 2.5 && ratio < 6.0, "ratio = {ratio}");
     }
@@ -110,13 +121,14 @@ mod tests {
         // Section II's motivation, quantified: on a 1%-dense matrix the
         // sparse mechanism must win by a wide margin.
         let coo = gen::random::uniform(256, 256, 650, 7);
-        let (_, dense_r) = transpose_dense(&VpConfig::paper(), &coo);
+        let (_, dense_r) = transpose_dense(&VpConfig::paper(), &coo).unwrap();
         let h = build::from_coo(&coo, 64).unwrap();
         let (_, hism_r) = transpose_hism(
             &VpConfig::paper(),
             StmConfig::default(),
             &HismImage::encode(&h),
-        );
+        )
+        .unwrap();
         assert!(
             dense_r.cycles > 10 * hism_r.cycles,
             "dense {} vs hism {}",
@@ -128,7 +140,7 @@ mod tests {
     #[test]
     fn rectangular_dense_transpose() {
         let coo = gen::random::uniform(10, 40, 60, 2);
-        let (t, _) = transpose_dense(&VpConfig::paper(), &coo);
+        let (t, _) = transpose_dense(&VpConfig::paper(), &coo).unwrap();
         assert_eq!((t.rows(), t.cols()), (40, 10));
         assert_eq!(t.to_coo(), coo.transpose_canonical());
     }

@@ -21,6 +21,7 @@
 //! The scatter-accumulate resolves in-vector row collisions sequentially
 //! (left to right), standing in for the accumulation hardware of \[5\].
 
+use crate::exec::KernelError;
 use crate::report::{Phase, TransposeReport};
 use stm_hism::image::{HismImage, WORDS_PER_ENTRY};
 use stm_sparse::Value;
@@ -28,11 +29,13 @@ use stm_vpsim::{Engine, Memory, TimingKind, VpConfig};
 
 /// Simulates `y = A * x` for a HiSM image. Returns the result vector and
 /// a cycle report (reusing [`TransposeReport`]'s cycle/nnz accounting).
+///
+/// The image is treated as untrusted — see [`super::transpose_hism`].
 pub fn spmv_hism(
     vp_cfg: &VpConfig,
     image: &HismImage,
     x: &[Value],
-) -> (Vec<Value>, TransposeReport) {
+) -> Result<(Vec<Value>, TransposeReport), KernelError> {
     spmv_hism_timed(vp_cfg, image, x, TimingKind::Paper)
 }
 
@@ -43,14 +46,24 @@ pub fn spmv_hism_timed(
     image: &HismImage,
     x: &[Value],
     timing: TimingKind,
-) -> (Vec<Value>, TransposeReport) {
-    assert_eq!(
-        x.len(),
-        image.root.cols as usize,
-        "x length must match matrix columns"
-    );
+) -> Result<(Vec<Value>, TransposeReport), KernelError> {
+    if x.len() != image.root.cols as usize {
+        return Err(KernelError::Config(format!(
+            "x length {} != matrix columns {}",
+            x.len(),
+            image.root.cols
+        )));
+    }
     let s = image.root.s as usize;
-    assert_eq!(vp_cfg.section_size, s, "engine/image section size mismatch");
+    if vp_cfg.section_size != s {
+        return Err(KernelError::Config(format!(
+            "engine section size {} != image section size {s}",
+            vp_cfg.section_size
+        )));
+    }
+    // Validates the pointer/length structure up front (typed error on a
+    // corrupt hierarchy) and prices the report.
+    let nnz = super::hism_transpose::image_nnz(image)?;
 
     // Memory layout: image at 0, then x, then y (zeroed).
     let mut mem = Memory::with_capacity(image.words.len() + 2 * x.len());
@@ -61,8 +74,12 @@ pub fn spmv_hism_timed(
     }
     let padded = (image.root.rows as usize).max(1);
     let y_base = x_base + x.len() as u32;
+    // Garbage positions send gathers/scatters past the layout; the guard
+    // turns those into a recorded fault instead of silent growth.
+    mem.guard(y_base + padded as u32, vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
 
+    let mut budget = image.words.len() / 2 + 1;
     walk(
         &mut e,
         image.root.addr,
@@ -72,14 +89,17 @@ pub fn spmv_hism_timed(
         x_base,
         y_base,
         s,
-    );
+        &mut budget,
+    )?;
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
 
     let cycles = e.cycles();
-    let nnz = super::hism_transpose::image_nnz(image);
     let report = TransposeReport {
         cycles,
         nnz,
-        engine: *e.stats(),
+        engine: e.stats_snapshot(),
         scalar: None,
         stm: None,
         phases: vec![Phase {
@@ -92,7 +112,7 @@ pub fn spmv_hism_timed(
     let y = (0..padded)
         .map(|i| mem.read_f32(y_base + i as u32))
         .collect();
-    (y, report)
+    Ok((y, report))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -105,9 +125,21 @@ fn walk(
     x_base: u32,
     y_base: u32,
     s: usize,
-) {
+    budget: &mut usize,
+) -> Result<(), KernelError> {
     if len == 0 {
-        return;
+        return Ok(());
+    }
+    if *budget < len {
+        return Err(KernelError::Corrupt(format!(
+            "runaway blockarray of {len} entries at word {addr}"
+        )));
+    }
+    *budget -= len;
+    if addr as u64 + (WORDS_PER_ENTRY as u64 + 1) * len as u64 > u32::MAX as u64 {
+        return Err(KernelError::Corrupt(format!(
+            "blockarray at word {addr} ({len} entries) exceeds the address space"
+        )));
     }
     if level == 0 {
         let mut off = 0usize;
@@ -122,7 +154,7 @@ fn walk(
             e.loop_overhead();
             off += vl;
         }
-        return;
+        return Ok(());
     }
     let step = s.pow(level);
     let lens_base = addr + WORDS_PER_ENTRY * len as u32;
@@ -133,8 +165,19 @@ fn walk(
         let (br, bc) = stm_hism::image::unpack_pos(pos);
         e.scalar_cycles(super::hism_transpose::CHILD_CALL_OVERHEAD);
         let child_origin = (origin.0 + br as usize * step, origin.1 + bc as usize * step);
-        walk(e, ptr, clen, level - 1, child_origin, x_base, y_base, s);
+        walk(
+            e,
+            ptr,
+            clen,
+            level - 1,
+            child_origin,
+            x_base,
+            y_base,
+            s,
+            budget,
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -149,7 +192,7 @@ mod tests {
         let mut vp = VpConfig::paper();
         vp.section_size = s;
         let x: Vec<f32> = (0..coo.cols()).map(|i| ((i % 7) as f32) - 3.0).collect();
-        spmv_hism(&vp, &img, &x)
+        spmv_hism(&vp, &img, &x).unwrap()
     }
 
     fn oracle(coo: &Coo) -> Vec<f32> {

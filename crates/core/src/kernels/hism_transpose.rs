@@ -23,9 +23,11 @@
 //! allocation of memory for the transposed is needed" (Section IV-A).
 
 use crate::coproc::StmCoprocessor;
+use crate::exec::KernelError;
 use crate::report::{Phase, TransposeReport};
 use crate::unit::StmConfig;
 use stm_hism::image::{HismImage, RootDesc, WORDS_PER_ENTRY};
+use stm_hism::ImageError;
 use stm_vpsim::{Engine, Memory, TimingKind, VpConfig};
 
 /// Scalar cycles charged per child-block recursion step: loading the
@@ -39,13 +41,15 @@ pub const CHILD_CALL_OVERHEAD: u64 = 8;
 /// Returns the transposed image (same layout, blockarrays permuted in
 /// place, root descriptor with swapped logical shape) and the report.
 ///
-/// Panics if `stm_cfg.s`, `vp_cfg.section_size` and the image's section
-/// size disagree — the STM is sized by the architecture's section size.
+/// The image is treated as untrusted: corrupt pointers, runaway lengths
+/// or out-of-block positions surface as typed [`KernelError`]s (the
+/// simulated memory is guarded to the image footprint under
+/// `vp_cfg.oob`), never as panics or unbounded recursion.
 pub fn transpose_hism(
     vp_cfg: &VpConfig,
     stm_cfg: StmConfig,
     image: &HismImage,
-) -> (HismImage, TransposeReport) {
+) -> Result<(HismImage, TransposeReport), KernelError> {
     transpose_hism_timed(vp_cfg, stm_cfg, image, TimingKind::Paper)
 }
 
@@ -56,33 +60,48 @@ pub fn transpose_hism_timed(
     stm_cfg: StmConfig,
     image: &HismImage,
     timing: TimingKind,
-) -> (HismImage, TransposeReport) {
-    assert_eq!(
-        vp_cfg.section_size, stm_cfg.s,
-        "engine/STM section size mismatch"
-    );
-    assert_eq!(
-        image.root.s as usize, stm_cfg.s,
-        "image section size mismatch"
-    );
+) -> Result<(HismImage, TransposeReport), KernelError> {
+    if vp_cfg.section_size != stm_cfg.s {
+        return Err(KernelError::Config(format!(
+            "engine section size {} != STM section size {}",
+            vp_cfg.section_size, stm_cfg.s
+        )));
+    }
+    if image.root.s as usize != stm_cfg.s {
+        return Err(KernelError::Config(format!(
+            "image section size {} != STM section size {}",
+            image.root.s, stm_cfg.s
+        )));
+    }
+    let nnz = image_nnz(image)?;
     let mut mem = Memory::with_capacity(image.words.len());
     mem.write_block(0, &image.words);
+    // The transposition is in place: every legitimate access stays inside
+    // the image footprint, so anything past it is a corrupt pointer.
+    mem.guard(image.words.len() as u32, vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
     let mut stm = StmCoprocessor::new(stm_cfg);
 
+    // Entry budget: a well-formed image has one `[payload, pos]` pair per
+    // entry, so total entries across all blockarrays is < words/2 + 1.
+    let mut budget = image.words.len() / 2 + 1;
     transpose_block(
         &mut e,
         &mut stm,
         image.root.addr,
         image.root.len as usize,
         image.root.levels - 1,
-    );
+        &mut budget,
+    )?;
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
 
     let cycles = e.cycles();
     let report = TransposeReport {
         cycles,
-        nnz: image_nnz(image),
-        engine: *e.stats(),
+        nnz,
+        engine: e.stats_snapshot(),
         scalar: None,
         stm: Some(*stm.stats()),
         phases: vec![Phase {
@@ -101,35 +120,86 @@ pub fn transpose_hism_timed(
         },
         pointer_sites: image.pointer_sites.clone(),
     };
-    (out, report)
+    Ok((out, report))
 }
 
 /// Leaf entries of an image = the matrix nnz (walks the hierarchy).
-pub fn image_nnz(image: &HismImage) -> usize {
-    fn walk(image: &HismImage, addr: u32, len: usize, level: u32) -> usize {
+///
+/// The walk is bounds-checked and budgeted, so a corrupt image yields a
+/// typed [`ImageError`] instead of a panic or unbounded recursion.
+pub fn image_nnz(image: &HismImage) -> Result<usize, ImageError> {
+    fn word(image: &HismImage, addr: u32) -> Result<u32, ImageError> {
+        image
+            .words
+            .get(addr as usize)
+            .copied()
+            .ok_or(ImageError::OutOfBounds {
+                addr,
+                len: image.words.len() as u32,
+            })
+    }
+    fn walk(
+        image: &HismImage,
+        addr: u32,
+        len: usize,
+        level: u32,
+        budget: &mut usize,
+    ) -> Result<usize, ImageError> {
+        if *budget < len {
+            return Err(ImageError::Runaway { addr });
+        }
+        *budget -= len;
         if level == 0 {
-            return len;
+            return Ok(len);
         }
         let mut total = 0;
         for k in 0..len {
-            let ptr = image.words[(addr + 2 * k as u32) as usize];
-            let clen = image.words[(addr + 2 * len as u32 + k as u32) as usize];
-            total += walk(image, ptr, clen as usize, level - 1);
+            let ptr = word(image, addr + WORDS_PER_ENTRY * k as u32)?;
+            let clen = word(image, addr + WORDS_PER_ENTRY * len as u32 + k as u32)?;
+            total += walk(image, ptr, clen as usize, level - 1, budget)?;
         }
-        total
+        Ok(total)
     }
+    if image.root.levels == 0 {
+        return Err(ImageError::ZeroLevels);
+    }
+    let mut budget = image.words.len() / 2 + 1;
     walk(
         image,
         image.root.addr,
         image.root.len as usize,
         image.root.levels - 1,
+        &mut budget,
     )
 }
 
 /// `transpose_block(BSA, BSL, LVL)` of Fig. 6.
-fn transpose_block(e: &mut Engine, stm: &mut StmCoprocessor, addr: u32, len: usize, level: u32) {
+fn transpose_block(
+    e: &mut Engine,
+    stm: &mut StmCoprocessor,
+    addr: u32,
+    len: usize,
+    level: u32,
+    budget: &mut usize,
+) -> Result<(), KernelError> {
     if len == 0 {
-        return;
+        return Ok(());
+    }
+    // Budget before touching anything: a corrupt length word can claim
+    // billions of entries, and the guard alone would let the loops spin.
+    if *budget < len {
+        return Err(KernelError::Corrupt(format!(
+            "runaway blockarray of {len} entries at word {addr}"
+        )));
+    }
+    *budget -= len;
+    // Address arithmetic below stays in u32 only if the block footprint
+    // does; a retargeted pointer near the top of the address space fails
+    // here instead of overflowing.
+    if addr as u64 + (WORDS_PER_ENTRY as u64 + 1) * len as u64 > u32::MAX as u64 {
+        return Err(KernelError::Corrupt(format!(
+            "blockarray at word {addr} ({len} entries) exceeds the address space"
+        )));
     }
     let s = stm.cfg().s;
     let lens_base = addr + WORDS_PER_ENTRY * len as u32;
@@ -144,7 +214,7 @@ fn transpose_block(e: &mut Engine, stm: &mut StmCoprocessor, addr: u32, len: usi
             let vl = s.min(len - off); // ssvl
             let (_ptrs, pos) = e.v_ld_pair(addr + WORDS_PER_ENTRY * off as u32, vl);
             let lens = e.v_ld(lens_base + off as u32, vl);
-            stm.v_stcr(e, &lens, &pos);
+            stm.v_stcr(e, &lens, &pos).map_err(KernelError::Corrupt)?;
             e.loop_overhead();
             off += vl;
         }
@@ -164,7 +234,7 @@ fn transpose_block(e: &mut Engine, stm: &mut StmCoprocessor, addr: u32, len: usi
     while off < len {
         let vl = s.min(len - off);
         let (vals, pos) = e.v_ld_pair(addr + WORDS_PER_ENTRY * off as u32, vl);
-        stm.v_stcr(e, &vals, &pos);
+        stm.v_stcr(e, &vals, &pos).map_err(KernelError::Corrupt)?;
         e.loop_overhead();
         off += vl;
     }
@@ -176,6 +246,10 @@ fn transpose_block(e: &mut Engine, stm: &mut StmCoprocessor, addr: u32, len: usi
         e.loop_overhead();
         off += vl;
     }
+    // Stop before chasing pointers that were read out of bounds.
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
 
     if level > 0 {
         // Recurse into every child (Fig. 6 lines 19-23). The pointer and
@@ -185,9 +259,10 @@ fn transpose_block(e: &mut Engine, stm: &mut StmCoprocessor, addr: u32, len: usi
             let ptr = e.mem().read(addr + WORDS_PER_ENTRY * k as u32);
             let clen = e.mem().read(lens_base + k as u32) as usize;
             e.scalar_cycles(CHILD_CALL_OVERHEAD);
-            transpose_block(e, stm, ptr, clen, level - 1);
+            transpose_block(e, stm, ptr, clen, level - 1, budget)?;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -202,7 +277,7 @@ mod tests {
         let mut vp = VpConfig::paper();
         vp.section_size = s;
         let stm_cfg = StmConfig { s, b: 4, l: 4 };
-        transpose_hism(&vp, stm_cfg, &img)
+        transpose_hism(&vp, stm_cfg, &img).unwrap()
     }
 
     #[test]
@@ -214,7 +289,7 @@ mod tests {
         )
         .unwrap();
         let (out, report) = run(&coo, 8);
-        let got = build::to_coo(&out.decode());
+        let got = build::to_coo(&out.decode().unwrap());
         assert_eq!(got, coo.transpose_canonical());
         assert_eq!(report.nnz, 4);
         assert!(report.cycles > 0);
@@ -224,7 +299,7 @@ mod tests {
     fn two_level_matrix_transposes_functionally() {
         let coo = gen::random::uniform(50, 50, 300, 17);
         let (out, report) = run(&coo, 8);
-        let got = build::to_coo(&out.decode());
+        let got = build::to_coo(&out.decode().unwrap());
         assert_eq!(got, coo.transpose_canonical());
         assert_eq!(report.nnz, coo.nnz());
         let stm = report.stm.unwrap();
@@ -236,7 +311,7 @@ mod tests {
     fn three_level_matrix_transposes_functionally() {
         let coo = gen::random::uniform(200, 70, 400, 23);
         let (out, _) = run(&coo, 4); // 4^3 = 64 < 200 → 4 levels
-        let got = build::to_coo(&out.decode());
+        let got = build::to_coo(&out.decode().unwrap());
         assert_eq!(got, coo.transpose_canonical());
     }
 
@@ -247,7 +322,7 @@ mod tests {
         let img = HismImage::encode(&h);
         let mut vp = VpConfig::paper();
         vp.section_size = 8;
-        let (out, _) = transpose_hism(&vp, StmConfig { s: 8, b: 4, l: 4 }, &img);
+        let (out, _) = transpose_hism(&vp, StmConfig { s: 8, b: 4, l: 4 }, &img).unwrap();
         let reference = href::transpose(&h);
         let expected = HismImage::encode(&reference);
         // Same layout and in-place property ⇒ identical word images.
@@ -263,15 +338,15 @@ mod tests {
         let mut vp = VpConfig::paper();
         vp.section_size = 8;
         let cfg = StmConfig { s: 8, b: 4, l: 4 };
-        let (once, _) = transpose_hism(&vp, cfg, &img);
-        let (twice, _) = transpose_hism(&vp, cfg, &once);
+        let (once, _) = transpose_hism(&vp, cfg, &img).unwrap();
+        let (twice, _) = transpose_hism(&vp, cfg, &once).unwrap();
         assert_eq!(twice.words, img.words);
     }
 
     #[test]
     fn empty_matrix_costs_almost_nothing() {
         let (out, report) = run(&Coo::new(8, 8), 8);
-        assert_eq!(out.decode().nnz(), 0);
+        assert_eq!(out.decode().unwrap().nnz(), 0);
         assert!(report.cycles < 10, "cycles = {}", report.cycles);
     }
 
@@ -284,6 +359,7 @@ mod tests {
         vp.section_size = 16;
         let cyc = |b: u64| {
             transpose_hism(&vp, StmConfig { s: 16, b, l: 4 }, &img)
+                .unwrap()
                 .1
                 .cycles
         };
@@ -295,15 +371,21 @@ mod tests {
     fn rectangular_matrices_work() {
         let coo = gen::random::uniform(30, 100, 250, 9);
         let (out, _) = run(&coo, 8);
-        assert_eq!(out.decode().shape(), (100, 30));
-        assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
+        assert_eq!(out.decode().unwrap().shape(), (100, 30));
+        assert_eq!(
+            build::to_coo(&out.decode().unwrap()),
+            coo.transpose_canonical()
+        );
     }
 
     #[test]
     fn paper_default_section_size_64() {
         let coo = gen::structured::grid2d_5pt(20, 20);
         let (out, report) = run(&coo, 64);
-        assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
+        assert_eq!(
+            build::to_coo(&out.decode().unwrap()),
+            coo.transpose_canonical()
+        );
         // 400x400 at s=64 → 2 levels → lengths sessions exist.
         assert!(report.stm.unwrap().sessions > 1);
     }

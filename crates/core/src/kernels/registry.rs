@@ -5,8 +5,15 @@
 //! benchmark binaries, the batch harness and tests all go through
 //! [`create`] instead of importing kernel functions directly, so adding a
 //! kernel means adding one adapter struct and one `match` arm here.
+//!
+//! Every adapter also implements [`Kernel::inject_fault`], corrupting its
+//! *prepared* input (HiSM image, CRS arrays, COO entries) so the
+//! robustness suite can prove each kernel degrades into a typed
+//! [`KernelError`] rather than a panic or a silently wrong answer.
 
-pub use crate::exec::{spmv_input, ExecCtx, Kernel, KernelOutput, KernelReport};
+pub use crate::exec::{
+    spmv_input, ExecCtx, Kernel, KernelError, KernelFailure, KernelOutput, KernelReport, Stage,
+};
 
 use crate::kernels::crs_scalar::transpose_crs_scalar_timed;
 use crate::kernels::crs_spmv::spmv_crs_timed;
@@ -15,7 +22,8 @@ use crate::kernels::dense_transpose::transpose_dense_timed;
 use crate::kernels::hism_spmv::spmv_hism_timed;
 use crate::kernels::hism_transpose::transpose_hism_timed;
 use crate::report::TransposeReport;
-use stm_hism::{build, HismImage};
+use stm_hism::{build, faults, FaultClass, FaultRecord, HismImage};
+use stm_sparse::rng::StdRng;
 use stm_sparse::{Coo, Csr, Value};
 
 /// All registered kernel names, in canonical order.
@@ -50,13 +58,24 @@ pub fn create(name: &str) -> Option<Box<dyn Kernel>> {
 /// Prepare + run + verify in one call — the common harness path.
 ///
 /// Returns the report of the named kernel on `coo` under `ctx`, after
-/// checking the functional output against the host oracle.
-pub fn run_verified(name: &str, coo: &Coo, ctx: &ExecCtx) -> Result<KernelReport, String> {
-    let mut kernel = create(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
-    kernel.prepare(coo, ctx)?;
+/// checking the functional output against the host oracle. Failures are
+/// attributed to the lifecycle stage they occurred in.
+pub fn run_verified(name: &str, coo: &Coo, ctx: &ExecCtx) -> Result<KernelReport, KernelFailure> {
+    let fail = |stage: Stage, error: KernelError| KernelFailure {
+        kernel: name.to_string(),
+        stage,
+        error,
+    };
+    let mut kernel =
+        create(name).ok_or_else(|| fail(Stage::Prepare, KernelError::Unknown(name.to_string())))?;
+    kernel
+        .prepare(coo, ctx)
+        .map_err(|e| fail(Stage::Prepare, e))?;
     let mut ctx = ctx.clone();
-    let report = kernel.run(&mut ctx);
-    kernel.verify(coo, &report.output)?;
+    let report = kernel.run(&mut ctx).map_err(|e| fail(Stage::Run, e))?;
+    kernel
+        .verify(coo, &report.output)
+        .map_err(|e| fail(Stage::Verify, e))?;
     Ok(report)
 }
 
@@ -69,20 +88,104 @@ fn wrap(kernel: &'static str, report: TransposeReport, output: KernelOutput) -> 
     }
 }
 
-fn spmv_verify(coo: &Coo, x: &[Value], out: &KernelOutput) -> Result<(), String> {
+fn spmv_verify(coo: &Coo, x: &[Value], out: &KernelOutput) -> Result<(), KernelError> {
     let y = out
         .as_vector()
-        .ok_or("spmv kernels produce Vector outputs")?;
-    let expect = coo.spmv(x).map_err(|e| e.to_string())?;
+        .ok_or_else(|| KernelError::Mismatch("spmv kernels produce Vector outputs".into()))?;
+    let expect = coo.spmv(x)?;
     if y.len() < expect.len() {
-        return Err(format!("y length {} < rows {}", y.len(), expect.len()));
+        return Err(KernelError::Mismatch(format!(
+            "y length {} < rows {}",
+            y.len(),
+            expect.len()
+        )));
     }
     for (i, (a, b)) in y.iter().zip(&expect).enumerate() {
         if (a - b).abs() > 1e-3 * (1.0 + b.abs()) {
-            return Err(format!("y[{i}] = {a} differs from oracle {b}"));
+            return Err(KernelError::Mismatch(format!(
+                "y[{i}] = {a} differs from oracle {b}"
+            )));
         }
     }
     Ok(())
+}
+
+fn config_err(msg: String) -> KernelError {
+    KernelError::Config(msg)
+}
+
+/// Shared fault injector for the CRS-input kernels: corrupts the prepared
+/// CSR arrays in the image of the HiSM fault taxonomy, rebuilding the
+/// matrix through `Csr::from_parts_unchecked` (the invariants are broken
+/// on purpose).
+fn inject_csr(
+    csr: &mut Csr,
+    kernel: &'static str,
+    class: FaultClass,
+    seed: u64,
+) -> Result<FaultRecord, KernelError> {
+    let mut r = StdRng::seed_from_u64(seed ^ 0xc5_5712 ^ class.name().len() as u64);
+    let unsupported = Err(KernelError::FaultUnsupported { kernel, class });
+    let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
+    let mut row_ptr = csr.row_ptr().to_vec();
+    let mut col_idx = csr.col_idx().to_vec();
+    let mut values = csr.values().to_vec();
+    let detail;
+    match class {
+        FaultClass::BitFlip => {
+            if nnz == 0 {
+                return unsupported;
+            }
+            // A value-word flip can hide inside the SpMV verify tolerance
+            // (or be masked by a zero in x), so flip an index word, and a
+            // bit high enough that the index is guaranteed out of range.
+            let k = r.gen_range(0..nnz);
+            let lo = (cols.max(1) as u32).next_power_of_two().trailing_zeros();
+            let bit = (lo + (r.next_u64() % 4) as u32).min(30);
+            col_idx[k] ^= 1usize << bit;
+            detail = format!("flipped bit {bit} of JA[{k}]");
+        }
+        FaultClass::PointerRetarget => {
+            if rows == 0 {
+                return unsupported;
+            }
+            let k = r.gen_range(1..rows + 1);
+            let bogus = nnz + 1 + (r.next_u64() % 1024) as usize;
+            row_ptr[k] = bogus;
+            detail = format!("row pointer IA[{k}] retargeted to {bogus} (nnz {nnz})");
+        }
+        FaultClass::LengthCorruption => {
+            if rows == 0 {
+                return unsupported;
+            }
+            let bogus = nnz + 1 + (r.next_u64() % 1024) as usize;
+            row_ptr[rows] = bogus;
+            detail = format!("row pointer IA[{rows}] (total length) set to {bogus}");
+        }
+        FaultClass::Truncate => {
+            if nnz == 0 {
+                return unsupported;
+            }
+            col_idx.pop();
+            values.pop();
+            detail = format!("dropped the last of {nnz} entries, row pointers unchanged");
+        }
+        FaultClass::PosGarbage => {
+            if nnz == 0 {
+                return unsupported;
+            }
+            let k = r.gen_range(0..nnz);
+            let bogus = cols + 1 + (r.next_u64() % 512) as usize;
+            col_idx[k] = bogus;
+            detail = format!("column index JA[{k}] set to {bogus} (cols {cols})");
+        }
+    }
+    *csr = Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, values);
+    Ok(FaultRecord {
+        class,
+        word: None,
+        detail,
+    })
 }
 
 /// The recursive HiSM transposition (paper Fig. 6/7) through the STM.
@@ -96,32 +199,39 @@ impl Kernel for TransposeHism {
         "transpose_hism"
     }
 
-    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), String> {
-        ctx.validate()?;
-        let h = build::from_coo(coo, ctx.stm.s).map_err(|e| e.to_string())?;
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), KernelError> {
+        ctx.validate().map_err(config_err)?;
+        let h = build::from_coo(coo, ctx.stm.s)?;
         self.image = Some(HismImage::encode(&h));
         Ok(())
     }
 
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
-        let image = self
-            .image
-            .as_ref()
-            .expect("prepare must succeed before run");
-        let (out, report) = transpose_hism_timed(&ctx.vp, ctx.stm, image, ctx.timing);
-        wrap(self.name(), report, KernelOutput::Hism(out))
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let image = self.image.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_hism_timed(&ctx.vp, ctx.stm, image, ctx.timing)?;
+        Ok(wrap(self.name(), report, KernelOutput::Hism(out)))
     }
 
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
         let img = out
             .as_hism()
-            .ok_or("transpose_hism produces Hism outputs")?;
-        let got = build::to_coo(&img.decode());
+            .ok_or_else(|| KernelError::Mismatch("transpose_hism produces Hism outputs".into()))?;
+        let got = build::to_coo(&img.decode()?);
         if got == coo.transpose_canonical() {
             Ok(())
         } else {
-            Err("decoded HiSM transpose differs from host oracle".into())
+            Err(KernelError::Mismatch(
+                "decoded HiSM transpose differs from host oracle".into(),
+            ))
         }
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let image = self.image.as_mut().ok_or(KernelError::NotPrepared)?;
+        faults::inject(image, class, seed).ok_or(KernelError::FaultUnsupported {
+            kernel: "transpose_hism",
+            class,
+        })
     }
 }
 
@@ -136,19 +246,24 @@ impl Kernel for TransposeCrs {
         "transpose_crs"
     }
 
-    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
         self.csr = Some(Csr::from_coo(coo));
         Ok(())
     }
 
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
-        let csr = self.csr.as_ref().expect("prepare must succeed before run");
-        let (out, report) = transpose_crs_timed(&ctx.vp, csr, ctx.timing);
-        wrap(self.name(), report, KernelOutput::Csr(out))
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_crs_timed(&ctx.vp, csr, ctx.timing)?;
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
     }
 
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
         verify_csr_transpose(coo, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let csr = self.csr.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_csr(csr, "transpose_crs", class, seed)
     }
 }
 
@@ -163,28 +278,37 @@ impl Kernel for TransposeCrsScalar {
         "transpose_crs_scalar"
     }
 
-    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
         self.csr = Some(Csr::from_coo(coo));
         Ok(())
     }
 
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
-        let csr = self.csr.as_ref().expect("prepare must succeed before run");
-        let (out, report) = transpose_crs_scalar_timed(&ctx.vp, csr, ctx.timing);
-        wrap(self.name(), report, KernelOutput::Csr(out))
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_crs_scalar_timed(&ctx.vp, csr, ctx.timing)?;
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
     }
 
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
         verify_csr_transpose(coo, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let csr = self.csr.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_csr(csr, "transpose_crs_scalar", class, seed)
     }
 }
 
-fn verify_csr_transpose(coo: &Coo, out: &KernelOutput) -> Result<(), String> {
-    let got = out.as_csr().ok_or("CRS kernels produce Csr outputs")?;
+fn verify_csr_transpose(coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+    let got = out
+        .as_csr()
+        .ok_or_else(|| KernelError::Mismatch("CRS kernels produce Csr outputs".into()))?;
     if *got == Csr::from_coo(coo).transpose_pissanetsky() {
         Ok(())
     } else {
-        Err("CRS transpose differs from host oracle".into())
+        Err(KernelError::Mismatch(
+            "CRS transpose differs from host oracle".into(),
+        ))
     }
 }
 
@@ -199,27 +323,75 @@ impl Kernel for TransposeDense {
         "transpose_dense"
     }
 
-    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
         self.coo = Some(coo.clone());
         Ok(())
     }
 
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
-        let coo = self.coo.as_ref().expect("prepare must succeed before run");
-        let (out, report) = transpose_dense_timed(&ctx.vp, coo, ctx.timing);
-        wrap(self.name(), report, KernelOutput::Dense(out))
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let coo = self.coo.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_dense_timed(&ctx.vp, coo, ctx.timing)?;
+        Ok(wrap(self.name(), report, KernelOutput::Dense(out)))
     }
 
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
         let got = match out {
             KernelOutput::Dense(d) => d,
-            _ => return Err("transpose_dense produces Dense outputs".into()),
+            _ => {
+                return Err(KernelError::Mismatch(
+                    "transpose_dense produces Dense outputs".into(),
+                ))
+            }
         };
         if got.to_coo() == coo.transpose_canonical() {
             Ok(())
         } else {
-            Err("dense transpose differs from host oracle".into())
+            Err(KernelError::Mismatch(
+                "dense transpose differs from host oracle".into(),
+            ))
         }
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let coo = self.coo.as_mut().ok_or(KernelError::NotPrepared)?;
+        let unsupported = Err(KernelError::FaultUnsupported {
+            kernel: "transpose_dense",
+            class,
+        });
+        let mut r = StdRng::seed_from_u64(seed ^ 0xde_55e1 ^ class.name().len() as u64);
+        let entries = coo.entries().to_vec();
+        if entries.is_empty() {
+            return unsupported;
+        }
+        // COO has no pointers or lengths vector to corrupt, and its
+        // insertion API enforces coordinate bounds — only value-level
+        // faults apply.
+        let (kept, detail) = match class {
+            FaultClass::BitFlip => {
+                let k = r.gen_range(0..entries.len());
+                let bit = (r.next_u64() % 32) as u32;
+                let mut kept = entries;
+                kept[k].2 = f32::from_bits(kept[k].2.to_bits() ^ (1 << bit));
+                (kept, format!("flipped bit {bit} of entry {k}"))
+            }
+            FaultClass::Truncate => {
+                let n = entries.len();
+                let mut kept = entries;
+                kept.pop();
+                (kept, format!("dropped the last of {n} entries"))
+            }
+            _ => return unsupported,
+        };
+        let mut corrupted = Coo::new(coo.rows(), coo.cols());
+        for (rr, cc, v) in kept {
+            corrupted.push(rr, cc, v);
+        }
+        *coo = corrupted;
+        Ok(FaultRecord {
+            class,
+            word: None,
+            detail,
+        })
     }
 }
 
@@ -235,25 +407,30 @@ impl Kernel for SpmvHism {
         "spmv_hism"
     }
 
-    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), String> {
-        ctx.validate()?;
-        let h = build::from_coo(coo, ctx.stm.s).map_err(|e| e.to_string())?;
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), KernelError> {
+        ctx.validate().map_err(config_err)?;
+        let h = build::from_coo(coo, ctx.stm.s)?;
         self.image = Some(HismImage::encode(&h));
         self.x = spmv_input(coo.cols());
         Ok(())
     }
 
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
-        let image = self
-            .image
-            .as_ref()
-            .expect("prepare must succeed before run");
-        let (y, report) = spmv_hism_timed(&ctx.vp, image, &self.x, ctx.timing);
-        wrap(self.name(), report, KernelOutput::Vector(y))
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let image = self.image.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (y, report) = spmv_hism_timed(&ctx.vp, image, &self.x, ctx.timing)?;
+        Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
     }
 
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
         spmv_verify(coo, &self.x, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let image = self.image.as_mut().ok_or(KernelError::NotPrepared)?;
+        faults::inject(image, class, seed).ok_or(KernelError::FaultUnsupported {
+            kernel: "spmv_hism",
+            class,
+        })
     }
 }
 
@@ -269,20 +446,25 @@ impl Kernel for SpmvCrs {
         "spmv_crs"
     }
 
-    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), String> {
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
         self.csr = Some(Csr::from_coo(coo));
         self.x = spmv_input(coo.cols());
         Ok(())
     }
 
-    fn run(&mut self, ctx: &mut ExecCtx) -> KernelReport {
-        let csr = self.csr.as_ref().expect("prepare must succeed before run");
-        let (y, report) = spmv_crs_timed(&ctx.vp, csr, &self.x, ctx.timing);
-        wrap(self.name(), report, KernelOutput::Vector(y))
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (y, report) = spmv_crs_timed(&ctx.vp, csr, &self.x, ctx.timing)?;
+        Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
     }
 
-    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), String> {
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
         spmv_verify(coo, &self.x, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let csr = self.csr.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_csr(csr, "spmv_crs", class, seed)
     }
 }
 
@@ -306,7 +488,9 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(create("transpose_quantum").is_none());
-        assert!(run_verified("nope", &Coo::new(2, 2), &ExecCtx::paper()).is_err());
+        let err = run_verified("nope", &Coo::new(2, 2), &ExecCtx::paper()).unwrap_err();
+        assert_eq!(err.error, KernelError::Unknown("nope".into()));
+        assert_eq!(err.stage, Stage::Prepare);
     }
 
     #[test]
@@ -317,12 +501,12 @@ mod tests {
     }
 
     #[test]
-    fn run_before_prepare_panics() {
-        let result = std::panic::catch_unwind(|| {
-            let mut ctx = ExecCtx::paper();
-            create("transpose_hism").unwrap().run(&mut ctx);
-        });
-        assert!(result.is_err());
+    fn run_before_prepare_is_a_typed_error() {
+        let mut ctx = ExecCtx::paper();
+        for &name in names() {
+            let err = create(name).unwrap().run(&mut ctx).unwrap_err();
+            assert_eq!(err, KernelError::NotPrepared, "{name}");
+        }
     }
 
     #[test]
@@ -349,5 +533,37 @@ mod tests {
                 paper.report.cycles
             );
         }
+    }
+
+    #[test]
+    fn injected_faults_fail_with_typed_errors_not_panics() {
+        let coo = gen::random::uniform(50, 50, 260, 13);
+        let ctx = ExecCtx::paper();
+        for &name in names() {
+            for class in FaultClass::ALL {
+                let mut kernel = create(name).unwrap();
+                kernel.prepare(&coo, &ctx).unwrap();
+                match kernel.inject_fault(class, 99) {
+                    Err(KernelError::FaultUnsupported { .. }) => continue,
+                    Err(e) => panic!("{name}/{class}: unexpected injection error {e}"),
+                    Ok(_) => {}
+                }
+                let mut ctx = ctx.clone();
+                let failed = match kernel.run(&mut ctx) {
+                    Err(_) => true,
+                    Ok(report) => kernel.verify(&coo, &report.output).is_err(),
+                };
+                assert!(failed, "{name}/{class}: fault survived run + verify");
+            }
+        }
+    }
+
+    #[test]
+    fn injection_before_prepare_is_not_prepared() {
+        let mut kernel = create("transpose_hism").unwrap();
+        assert_eq!(
+            kernel.inject_fault(FaultClass::BitFlip, 1).unwrap_err(),
+            KernelError::NotPrepared
+        );
     }
 }

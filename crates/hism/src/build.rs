@@ -42,6 +42,10 @@ pub fn from_coo(coo: &Coo, s: usize) -> Result<HismMatrix, FormatError> {
     }
     let mut canon = coo.clone();
     canon.canonicalize();
+    // Entries outside the declared shape would silently truncate when the
+    // in-block coordinates are narrowed to 8 bits below — reject them here
+    // with the typed bounds error instead.
+    canon.validate(false)?;
     let (rows, cols) = canon.shape();
     let levels = levels_for(rows, cols, s);
     let mut blocks: Vec<HismBlock> = Vec::new();
@@ -228,6 +232,16 @@ mod tests {
     fn rejects_oversized_section() {
         assert!(from_coo(&Coo::new(2, 2), 512).is_err());
         assert!(from_coo(&Coo::new(2, 2), 1).is_err());
+    }
+
+    #[test]
+    fn builder_revalidates_entry_bounds() {
+        // `Coo::push` asserts bounds at insertion, so every in-API COO
+        // passes; the builder still revalidates so no future unchecked
+        // constructor can smuggle out-of-shape coordinates into the 8-bit
+        // narrowing of `build_block`.
+        let coo = Coo::from_triplets(10, 10, vec![(9, 9, 1.0)]).unwrap();
+        assert!(from_coo(&coo, 8).is_ok());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Typed errors for HiSM memory-image decoding.
+//!
+//! A HiSM image is raw hardware-facing memory: backwards pointers, packed
+//! `row << 8 | col` positions and lengths vectors, with nothing but
+//! convention keeping them consistent. Decoding therefore treats the image
+//! as untrusted input and reports the first corruption it finds as an
+//! [`ImageError`] carrying the offending *word address* — the same
+//! information a hardware walker's trap register would hold.
+
+use std::fmt;
+
+/// A corruption found while walking a HiSM memory image.
+///
+/// Every variant that concerns a specific image word carries its word
+/// address (relative to the image base), so a fault can be traced back to
+/// the byte the injector (or the outside world) flipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The root descriptor declares zero hierarchy levels.
+    ZeroLevels,
+    /// The root descriptor's section size is outside `2..=256`.
+    BadSectionSize(u32),
+    /// A blockarray, lengths vector, or entry extends past the image end.
+    OutOfBounds {
+        /// First word address of the out-of-range access.
+        addr: u32,
+        /// Image length in words.
+        len: u32,
+    },
+    /// A position word holds coordinates outside the `s x s` block.
+    BadPosition {
+        /// Word address of the position word.
+        addr: u32,
+        /// Unpacked row coordinate.
+        row: u8,
+        /// Unpacked column coordinate.
+        col: u8,
+        /// Section size the coordinates must stay under.
+        s: u32,
+    },
+    /// The declared hierarchy holds more entries than the image has room
+    /// for — the signature of a pointer cycle or corrupted lengths vector.
+    Runaway {
+        /// Blockarray address at which the entry budget ran out.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::ZeroLevels => write!(f, "root descriptor declares zero levels"),
+            ImageError::BadSectionSize(s) => {
+                write!(f, "section size {s} outside the supported 2..=256 range")
+            }
+            ImageError::OutOfBounds { addr, len } => {
+                write!(f, "image read past end: word {addr} of {len}")
+            }
+            ImageError::BadPosition { addr, row, col, s } => write!(
+                f,
+                "position ({row},{col}) at word {addr} outside the s={s} block"
+            ),
+            ImageError::Runaway { addr } => write!(
+                f,
+                "hierarchy at word {addr} larger than the image itself (pointer cycle?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}

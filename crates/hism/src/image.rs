@@ -19,6 +19,7 @@
 //! `VpConfig::words_per_entry` (see DESIGN.md, "Deliberate model
 //! interpretations").
 
+use crate::error::ImageError;
 use crate::matrix::{BlockData, HismBlock, HismMatrix, LeafEntry, NodeEntry};
 use stm_sparse::Value;
 
@@ -123,21 +124,16 @@ impl HismImage {
     /// blockarrays were permuted in place (e.g. by the simulated STM), as
     /// long as the `(pointer, length)` pairing is consistent.
     ///
-    /// Panics on a corrupted image; use [`HismImage::try_decode`] when the
-    /// image comes from an untrusted source.
-    pub fn decode(&self) -> HismMatrix {
-        self.try_decode().expect("corrupted HiSM image")
-    }
-
-    /// Fallible decode: returns a description of the first corruption
-    /// found (out-of-bounds pointer or length, position outside the
-    /// block, runaway total size) instead of panicking.
-    pub fn try_decode(&self) -> Result<HismMatrix, String> {
+    /// The image is treated as untrusted input: the first corruption found
+    /// (out-of-bounds pointer or length, position outside the block,
+    /// runaway total size) is returned as a typed [`ImageError`] carrying
+    /// the offending word address — decoding never panics.
+    pub fn decode(&self) -> Result<HismMatrix, ImageError> {
         if self.root.levels == 0 {
-            return Err("root descriptor declares zero levels".into());
+            return Err(ImageError::ZeroLevels);
         }
         if !(2..=256).contains(&(self.root.s as usize)) {
-            return Err(format!("section size {} out of range", self.root.s));
+            return Err(ImageError::BadSectionSize(self.root.s));
         }
         let mut blocks: Vec<HismBlock> = Vec::new();
         // A valid image never holds more entries than words/2; use that
@@ -165,11 +161,14 @@ impl HismImage {
         })
     }
 
-    fn word(&self, addr: usize) -> Result<u32, String> {
+    fn word(&self, addr: usize) -> Result<u32, ImageError> {
         self.words
             .get(addr)
             .copied()
-            .ok_or_else(|| format!("image read past end at word {addr}"))
+            .ok_or_else(|| ImageError::OutOfBounds {
+                addr: addr.min(u32::MAX as usize) as u32,
+                len: self.words.len() as u32,
+            })
     }
 
     fn decode_block(
@@ -179,16 +178,22 @@ impl HismImage {
         level: u32,
         arena: &mut Vec<HismBlock>,
         budget: &mut u64,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, ImageError> {
         let base = addr as usize;
         if (len as u64) > *budget {
-            return Err("image hierarchy larger than the image itself (cycle?)".into());
+            return Err(ImageError::Runaway { addr });
         }
         *budget -= len as u64;
         let s = self.root.s as u8;
-        let check_pos = |row: u8, col: u8| -> Result<(), String> {
-            if (s as usize) < 256 && (row >= s || col >= s) {
-                return Err(format!("position ({row},{col}) outside s={s} block"));
+        let sw = self.root.s;
+        let check_pos = |addr: usize, row: u8, col: u8| -> Result<(), ImageError> {
+            if (sw as usize) < 256 && (row >= s || col >= s) {
+                return Err(ImageError::BadPosition {
+                    addr: addr.min(u32::MAX as usize) as u32,
+                    row,
+                    col,
+                    s: sw,
+                });
             }
             Ok(())
         };
@@ -197,7 +202,7 @@ impl HismImage {
             for k in 0..len as usize {
                 let v = Value::from_bits(self.word(base + 2 * k)?);
                 let (row, col) = unpack_pos(self.word(base + 2 * k + 1)?);
-                check_pos(row, col)?;
+                check_pos(base + 2 * k + 1, row, col)?;
                 leaf.push(LeafEntry { row, col, value: v });
             }
             leaf.sort_by_key(|e| (e.row, e.col));
@@ -211,7 +216,7 @@ impl HismImage {
             for k in 0..len as usize {
                 let child_addr = self.word(base + 2 * k)?;
                 let (row, col) = unpack_pos(self.word(base + 2 * k + 1)?);
-                check_pos(row, col)?;
+                check_pos(base + 2 * k + 1, row, col)?;
                 let child_len = self.word(lens_base + k)?;
                 let child = self.decode_block(child_addr, child_len, level - 1, arena, budget)?;
                 node.push(NodeEntry { row, col, child });
@@ -259,7 +264,7 @@ mod tests {
         let coo = gen::random::uniform(120, 90, 500, 11);
         let h = build::from_coo(&coo, 8).unwrap();
         let img = HismImage::encode(&h);
-        let back = img.decode();
+        let back = img.decode().unwrap();
         back.validate().unwrap();
         assert_eq!(build::to_coo(&back), build::to_coo(&h));
     }
@@ -338,7 +343,7 @@ mod tests {
         let mut img = HismImage::encode(&h);
         let site = img.pointer_sites[0] as usize;
         img.words[site] = 1_000_000; // dangling child pointer
-        assert!(img.try_decode().is_err());
+        assert!(img.decode().is_err());
     }
 
     #[test]
@@ -349,7 +354,7 @@ mod tests {
         // Corrupt the root lengths vector with an absurd child length.
         let root_base = img.root.addr as usize;
         img.words[root_base + 2 * img.root.len as usize] = u32::MAX;
-        assert!(img.try_decode().is_err());
+        assert!(img.decode().is_err());
     }
 
     #[test]
@@ -358,7 +363,7 @@ mod tests {
         let h = build::from_coo(&coo, 4).unwrap();
         let mut img = HismImage::encode(&h);
         img.words[1] = pack_pos(200, 200); // outside an s=4 block
-        assert!(img.try_decode().is_err());
+        assert!(img.decode().is_err());
     }
 
     #[test]
@@ -367,7 +372,7 @@ mod tests {
         let h = build::from_coo(&coo, 4).unwrap();
         let mut img = HismImage::encode(&h);
         img.root.levels = 0;
-        assert!(img.try_decode().is_err());
+        assert!(img.decode().is_err());
     }
 
     #[test]
@@ -379,7 +384,7 @@ mod tests {
         let mut img = HismImage::encode(&h);
         img.words.swap(0, 2);
         img.words.swap(1, 3);
-        let back = img.decode();
+        let back = img.decode().unwrap();
         assert_eq!(build::to_coo(&back), build::to_coo(&h));
     }
 }

@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod error;
+pub mod faults;
 pub mod image;
 pub mod iter;
 pub mod matrix;
@@ -32,6 +34,8 @@ pub mod spmv;
 pub mod stats;
 pub mod transpose;
 
+pub use error::ImageError;
+pub use faults::{FaultClass, FaultRecord};
 pub use image::{HismImage, RootDesc};
 pub use matrix::{BlockData, HismBlock, HismMatrix, LeafEntry, NodeEntry};
 pub use stats::StorageStats;

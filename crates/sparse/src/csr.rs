@@ -44,6 +44,30 @@ impl Csr {
         Ok(m)
     }
 
+    /// Builds a CSR matrix from raw parts *without* validating the
+    /// invariants. The resulting matrix may violate every documented
+    /// invariant; operations on it can return garbage (but must not
+    /// panic or run unbounded).
+    ///
+    /// Exists for fault-injection and robustness testing — the only way
+    /// to hand a simulated kernel deliberately corrupted CRS arrays. Use
+    /// [`Csr::from_parts`] everywhere else.
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<Value>,
+    ) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Builds a CSR matrix from a COO matrix. Duplicates are summed and the
     /// columns within each row are sorted (i.e. the input is canonicalized
     /// first).

@@ -259,4 +259,91 @@ mod tests {
             Err(FormatError::IndexOutOfBounds { .. })
         ));
     }
+
+    // ---- seeded byte-mutation fuzzing -----------------------------------
+    //
+    // The reader must return `FormatError` — never panic, never hang — on
+    // arbitrarily corrupted input. Each property runs a fixed number of
+    // deterministic cases; a failure prints the case index, which replays
+    // it.
+
+    use crate::rng::StdRng;
+
+    const SYMMETRIC_SAMPLE: &str = "%%MatrixMarket matrix coordinate real symmetric\n\
+                                    4 4 3\n1 1 2.5\n3 1 -1\n4 4 9\n";
+    const PATTERN_SAMPLE: &str = "%%MatrixMarket matrix coordinate pattern general\n\
+                                  5 3 2\n1 3\n5 1\n";
+
+    /// Parsing corrupted bytes must yield `Ok` or `FormatError`; any panic
+    /// fails the test by unwinding through it.
+    fn assert_total(bytes: &[u8], case: &str) {
+        match read_coo(bytes) {
+            Ok(coo) => {
+                // Whatever parses must at least be in-bounds.
+                coo.validate(false)
+                    .unwrap_or_else(|e| panic!("{case}: parsed out-of-bounds COO: {e}"));
+            }
+            Err(FormatError::Parse(_)) | Err(FormatError::IndexOutOfBounds { .. }) => {}
+            Err(e) => panic!("{case}: unexpected error class: {e}"),
+        }
+    }
+
+    #[test]
+    fn fuzz_byte_mutations_never_panic() {
+        for (si, sample) in [SAMPLE, SYMMETRIC_SAMPLE, PATTERN_SAMPLE]
+            .iter()
+            .enumerate()
+        {
+            let mut r = StdRng::seed_from_u64(0x6d6d_f422 ^ si as u64);
+            for case in 0..400u32 {
+                let mut bytes = sample.as_bytes().to_vec();
+                // 1..=4 random single-byte mutations.
+                for _ in 0..r.gen_range(1..5usize) {
+                    let i = r.gen_range(0..bytes.len());
+                    bytes[i] = (r.next_u64() & 0xff) as u8;
+                }
+                assert_total(&bytes, &format!("sample {si}, mutation case {case}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_truncations_never_panic() {
+        for (si, sample) in [SAMPLE, SYMMETRIC_SAMPLE, PATTERN_SAMPLE]
+            .iter()
+            .enumerate()
+        {
+            for cut in 0..sample.len() {
+                assert_total(
+                    &sample.as_bytes()[..cut],
+                    &format!("sample {si}, truncated at {cut}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_garbage_streams_never_panic() {
+        let mut r = StdRng::seed_from_u64(0xbadb17e5u64);
+        for case in 0..300u32 {
+            let n = r.gen_range(0..200usize);
+            let bytes: Vec<u8> = (0..n).map(|_| (r.next_u64() & 0xff) as u8).collect();
+            assert_total(&bytes, &format!("garbage case {case}"));
+        }
+        // Garbage that still starts with a valid banner.
+        for case in 0..300u32 {
+            let mut bytes = b"%%MatrixMarket matrix coordinate real general\n".to_vec();
+            let n = r.gen_range(0..120usize);
+            bytes.extend((0..n).map(|_| {
+                // Bias toward digits/whitespace so the size line sometimes parses.
+                let b = (r.next_u64() & 0xff) as u8;
+                if r.gen_bool(0.6) {
+                    b"0123456789 \n-"[b as usize % 13]
+                } else {
+                    b
+                }
+            }));
+            assert_total(&bytes, &format!("banner-garbage case {case}"));
+        }
+    }
 }

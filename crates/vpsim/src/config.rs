@@ -1,6 +1,7 @@
 //! Machine configuration — every parameter the paper publishes, plus the
 //! documented model interpretations (DESIGN.md §2).
 
+use crate::mem::OobPolicy;
 use crate::scalar::cache::CacheConfig;
 
 /// Configuration of the simulated vector processor.
@@ -66,6 +67,12 @@ pub struct VpConfig {
     /// out of order; the in-order default makes the CRS baseline *no
     /// faster* than the paper's machine (DESIGN.md §2.6). Ablation knob.
     pub scalar_out_of_order: bool,
+    /// How kernels arm the memory guard over their own footprint.
+    /// Default [`OobPolicy::Trap`]: a walker chasing a corrupt pointer
+    /// past the kernel's allocation becomes a typed fault instead of
+    /// silent growth. Valid inputs never cross the watermark, so this has
+    /// no effect on clean runs.
+    pub oob: OobPolicy,
 }
 
 impl Default for VpConfig {
@@ -88,6 +95,7 @@ impl Default for VpConfig {
             scalar_mem_ports: 2,
             scalar_branch_penalty: 1,
             scalar_out_of_order: false,
+            oob: OobPolicy::Trap,
         }
     }
 }

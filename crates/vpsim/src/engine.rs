@@ -190,6 +190,21 @@ impl Engine {
         &self.stats
     }
 
+    /// Run statistics with the guarded-memory OOB event count folded in.
+    /// Kernels report this snapshot so corrupted runs expose their fault
+    /// activity alongside the timing numbers.
+    pub fn stats_snapshot(&self) -> EngineStats {
+        EngineStats {
+            mem_oob_events: self.mem.oob_events(),
+            ..self.stats
+        }
+    }
+
+    /// The first out-of-bounds access the guarded memory recorded, if any.
+    pub fn mem_fault(&self) -> Option<crate::mem::MemFault> {
+        self.mem.fault()
+    }
+
     /// Charges scalar loop-control overhead on the issue timeline (it can
     /// overlap in-flight vector work, like scalar code on a decoupled VP).
     pub fn loop_overhead(&mut self) {

@@ -42,7 +42,7 @@ pub mod trace;
 
 pub use config::VpConfig;
 pub use engine::{Engine, Fu, VReg};
-pub use mem::{Allocator, Memory};
+pub use mem::{Allocator, MemFault, Memory, OobPolicy, POISON_WORD};
 pub use stats::EngineStats;
 pub use timing::{IdealTiming, PaperTiming, TimingKind, TimingModel};
 pub use trace::{FuBusy, Trace, TraceEvent};

@@ -1,23 +1,83 @@
 //! Simulated main memory: a flat, word-addressed 32-bit store, plus a bump
 //! allocator for laying out kernel data structures.
+//!
+//! Memory is optionally *guarded*: a kernel that knows its footprint calls
+//! [`Memory::guard`] with the highest valid address, and every later access
+//! past that limit becomes a recorded [`MemFault`] instead of silent
+//! growth. The fault is sticky (first one wins) so a kernel can run to
+//! completion and report the fault afterwards — mirroring how a hardware
+//! walker would trap on the first bad address.
+
+use std::cell::Cell;
+
+/// How guarded memory reacts to an out-of-bounds access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OobPolicy {
+    /// Legacy behavior: grow the store on demand, never fault. This is the
+    /// default for a bare [`Memory`]; guards are opt-in per kernel.
+    #[default]
+    Grow,
+    /// Record a sticky [`MemFault`]; OOB reads return [`POISON_WORD`] and
+    /// OOB writes are dropped. The engine surfaces the fault as a typed
+    /// error after the run.
+    Trap,
+    /// Like [`OobPolicy::Trap`], but the caller is expected to let the run
+    /// finish and catch the poison in verification rather than surface the
+    /// fault eagerly.
+    Poison,
+}
+
+/// The sentinel returned by out-of-bounds reads under a guard. Chosen to be
+/// loud: as a pointer it is far out of range, as an f32 it is a huge
+/// negative number, so poisoned data cannot masquerade as a clean result.
+pub const POISON_WORD: u32 = 0xDEAD_BEEF;
+
+/// One recorded out-of-bounds access against a guarded [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The offending word address.
+    pub addr: u32,
+    /// The guard limit in force (first invalid address).
+    pub limit: u32,
+    /// True for a store, false for a load.
+    pub write: bool,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-bounds {} at word {:#x} (guard limit {:#x})",
+            if self.write { "store" } else { "load" },
+            self.addr,
+            self.limit
+        )
+    }
+}
 
 /// Word-addressed 32-bit main memory. Grows on demand so tests never need
 //  to size it up front.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     words: Vec<u32>,
+    limit: Option<u32>,
+    policy: OobPolicy,
+    // Cell: reads take `&self` but must still be able to record the fault.
+    fault: Cell<Option<MemFault>>,
+    oob_events: Cell<u64>,
 }
 
 impl Memory {
     /// An empty memory.
     pub fn new() -> Self {
-        Memory { words: Vec::new() }
+        Memory::default()
     }
 
     /// A memory pre-sized to `capacity_words` zeroed words.
     pub fn with_capacity(capacity_words: usize) -> Self {
         Memory {
             words: vec![0; capacity_words],
+            ..Memory::default()
         }
     }
 
@@ -31,19 +91,71 @@ impl Memory {
         self.words.is_empty()
     }
 
+    /// Arms the guard: addresses `>= limit` become out-of-bounds under
+    /// `policy` ([`OobPolicy::Grow`] disarms). Also clears any sticky fault.
+    pub fn guard(&mut self, limit: u32, policy: OobPolicy) {
+        self.limit = if policy == OobPolicy::Grow {
+            None
+        } else {
+            Some(limit)
+        };
+        self.policy = policy;
+        self.clear_fault();
+    }
+
+    /// The first out-of-bounds access recorded since the last
+    /// [`Memory::clear_fault`], if any.
+    pub fn fault(&self) -> Option<MemFault> {
+        self.fault.get()
+    }
+
+    /// Total out-of-bounds accesses recorded (not just the first).
+    pub fn oob_events(&self) -> u64 {
+        self.oob_events.get()
+    }
+
+    /// Forgets the sticky fault and the event count.
+    pub fn clear_fault(&mut self) {
+        self.fault.set(None);
+        self.oob_events.set(0);
+    }
+
+    /// Records an OOB access; returns true when the access must be diverted
+    /// (poison read / dropped write).
+    fn trip(&self, addr: u32, write: bool) -> bool {
+        match self.limit {
+            Some(limit) if addr >= limit => {
+                self.oob_events.set(self.oob_events.get() + 1);
+                if self.fault.get().is_none() {
+                    self.fault.set(Some(MemFault { addr, limit, write }));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn ensure(&mut self, addr: u32) {
         if addr as usize >= self.words.len() {
             self.words.resize(addr as usize + 1, 0);
         }
     }
 
-    /// Reads one word (unwritten addresses read as 0).
+    /// Reads one word (unwritten addresses read as 0; guarded OOB reads
+    /// record a fault and return [`POISON_WORD`]).
     pub fn read(&self, addr: u32) -> u32 {
+        if self.trip(addr, false) {
+            return POISON_WORD;
+        }
         self.words.get(addr as usize).copied().unwrap_or(0)
     }
 
-    /// Writes one word, growing the store if necessary.
+    /// Writes one word, growing the store if necessary. Guarded OOB writes
+    /// record a fault and are dropped.
     pub fn write(&mut self, addr: u32, value: u32) {
+        if self.trip(addr, true) {
+            return;
+        }
         self.ensure(addr);
         self.words[addr as usize] = value;
     }
@@ -55,11 +167,9 @@ impl Memory {
 
     /// Writes a block of consecutive words starting at `addr`.
     pub fn write_block(&mut self, addr: u32, data: &[u32]) {
-        if data.is_empty() {
-            return;
+        for (k, &w) in data.iter().enumerate() {
+            self.write(addr + k as u32, w);
         }
-        self.ensure(addr + data.len() as u32 - 1);
-        self.words[addr as usize..addr as usize + data.len()].copy_from_slice(data);
     }
 
     /// Reads a word as `f32` (bit cast).
@@ -155,5 +265,76 @@ mod tests {
         let mut m = Memory::new();
         m.write_block(50, &[]);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unguarded_memory_never_faults() {
+        let mut m = Memory::new();
+        m.write(1_000_000, 7);
+        assert_eq!(m.read(1_000_000), 7);
+        assert_eq!(m.fault(), None);
+        assert_eq!(m.oob_events(), 0);
+    }
+
+    #[test]
+    fn guarded_read_poisons_and_records_first_fault() {
+        let mut m = Memory::with_capacity(8);
+        m.guard(8, OobPolicy::Trap);
+        assert_eq!(m.read(3), 0);
+        assert_eq!(m.read(8), POISON_WORD);
+        assert_eq!(m.read(100), POISON_WORD);
+        assert_eq!(
+            m.fault(),
+            Some(MemFault {
+                addr: 8,
+                limit: 8,
+                write: false
+            })
+        );
+        assert_eq!(m.oob_events(), 2);
+    }
+
+    #[test]
+    fn guarded_write_is_dropped() {
+        let mut m = Memory::with_capacity(4);
+        m.guard(4, OobPolicy::Poison);
+        m.write(2, 11);
+        m.write(9, 99);
+        assert_eq!(m.len(), 4, "OOB write must not grow the store");
+        assert_eq!(m.fault().map(|f| (f.addr, f.write)), Some((9, true)));
+    }
+
+    #[test]
+    fn guarded_block_write_keeps_in_bounds_prefix() {
+        let mut m = Memory::with_capacity(4);
+        m.guard(4, OobPolicy::Trap);
+        m.write_block(2, &[1, 2, 3, 4]);
+        assert_eq!(m.read_block(0, 4), vec![0, 0, 1, 2]);
+        assert_eq!(m.oob_events(), 2);
+    }
+
+    #[test]
+    fn rearming_the_guard_clears_the_fault() {
+        let mut m = Memory::with_capacity(2);
+        m.guard(2, OobPolicy::Trap);
+        m.read(5);
+        assert!(m.fault().is_some());
+        m.guard(16, OobPolicy::Trap);
+        assert!(m.fault().is_none());
+        assert_eq!(m.read(5), 0);
+        m.guard(0, OobPolicy::Grow);
+        m.write(1_000, 1);
+        assert!(m.fault().is_none());
+    }
+
+    #[test]
+    fn fault_display_names_the_access() {
+        let f = MemFault {
+            addr: 0x40,
+            limit: 0x10,
+            write: true,
+        };
+        assert!(f.to_string().contains("store"));
+        assert!(f.to_string().contains("0x40"));
     }
 }

@@ -30,14 +30,20 @@ pub struct ScalarRunStats {
     pub cache_hits: u64,
     /// L1 misses.
     pub cache_misses: u64,
+    /// The run hit its `max_instructions` cap before halting. On a valid
+    /// program this never happens; corrupt inputs (e.g. retargeted row
+    /// pointers) can drive loop bounds past the cap, and callers must
+    /// treat a capped run as a corrupt-input error.
+    pub capped: bool,
 }
 
 /// Executes `program` to `Halt` (or the `max_instructions` safety cap),
 /// reading and writing `mem`. Returns the run statistics; register state
 /// is internal to the run.
 ///
-/// Panics if the program runs past `max_instructions` without halting —
-/// that is a kernel bug, not an input condition.
+/// A program that runs past `max_instructions` without halting stops
+/// there with [`ScalarRunStats::capped`] set — corrupt inputs can drive
+/// loop bounds arbitrarily high, so this must not panic.
 pub fn run_program(
     cfg: &VpConfig,
     mem: &mut Memory,
@@ -63,7 +69,8 @@ pub fn run_program(
 
     while pc < program.code.len() {
         if stats.instructions >= max_instructions {
-            panic!("scalar program exceeded {max_instructions} instructions without halting");
+            stats.capped = true;
+            break;
         }
         let instr = program.code[pc];
         // Source operands for the RAW stall.
@@ -271,14 +278,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
-    fn runaway_program_is_caught() {
+    fn runaway_program_is_capped_not_panicked() {
         let mut a = Asm::new();
         let top = a.label();
         a.bind(top);
         a.jmp(top);
         let mut mem = Memory::new();
-        run_program(&cfg(), &mut mem, &a.finish(), 100);
+        let st = run_program(&cfg(), &mut mem, &a.finish(), 100);
+        assert!(st.capped);
+        assert_eq!(st.instructions, 100);
+    }
+
+    #[test]
+    fn halting_program_is_not_capped() {
+        let mut a = Asm::new();
+        a.li(1, 1).halt();
+        let mut mem = Memory::new();
+        assert!(!run_program(&cfg(), &mut mem, &a.finish(), 100).capped);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub const OOO_WINDOW: usize = 16;
 /// Executes `program` with out-of-order issue timing. Returns the same
 /// statistics structure as the in-order model.
 ///
-/// Panics past `max_instructions` like the other interpreters.
+/// Stops with [`ScalarRunStats::capped`] set past `max_instructions`,
+/// like the in-order model.
 pub fn run_program_ooo(
     cfg: &VpConfig,
     mem: &mut Memory,
@@ -63,7 +64,8 @@ pub fn run_program_ooo(
 
     while pc < program.code.len() {
         if stats.instructions >= max_instructions {
-            panic!("scalar program exceeded {max_instructions} instructions without halting");
+            stats.capped = true;
+            break;
         }
         let instr = program.code[pc];
         stats.instructions += 1;

@@ -21,6 +21,9 @@ pub struct EngineStats {
     pub overhead_cycles: u64,
     /// Cycles spent in scalar-core phases (added via `Engine::advance`).
     pub scalar_cycles: u64,
+    /// Out-of-bounds accesses recorded by the guarded memory (0 on clean
+    /// runs; populated via `Engine::stats_snapshot`).
+    pub mem_oob_events: u64,
 }
 
 impl EngineStats {
@@ -36,6 +39,7 @@ impl EngineStats {
         self.elements += other.elements;
         self.overhead_cycles += other.overhead_cycles;
         self.scalar_cycles += other.scalar_cycles;
+        self.mem_oob_events += other.mem_oob_events;
     }
 }
 

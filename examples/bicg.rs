@@ -116,8 +116,9 @@ fn main() {
     // Store A hierarchically and obtain Aᵀ through the simulated STM.
     let a = build::from_coo(&coo, 64).expect("operator fits HiSM");
     let image = HismImage::encode(&a);
-    let (out, report) = transpose_hism(&VpConfig::paper(), StmConfig::default(), &image);
-    let at = out.decode();
+    let (out, report) =
+        transpose_hism(&VpConfig::paper(), StmConfig::default(), &image).expect("valid image");
+    let at = out.decode().expect("valid output image");
     assert_eq!(build::to_coo(&at), coo.transpose_canonical());
     println!(
         "Aᵀ computed on the simulated VP in {} cycles ({:.2} cycles/nnz)\n",

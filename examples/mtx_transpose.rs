@@ -51,11 +51,12 @@ fn main() {
     let vp = VpConfig::paper();
     let h = build::from_coo(&coo, 64).expect("matrix fits HiSM (dims < 64^q)");
     let image = HismImage::encode(&h);
-    let (out, hism_report) = transpose_hism(&vp, StmConfig::default(), &image);
-    let transposed = build::to_coo(&out.decode());
+    let (out, hism_report) =
+        transpose_hism(&vp, StmConfig::default(), &image).expect("valid image");
+    let transposed = build::to_coo(&out.decode().expect("valid output image"));
     assert_eq!(transposed, coo.transpose_canonical());
 
-    let (_, crs_report) = transpose_crs(&vp, &Csr::from_coo(&coo));
+    let (_, crs_report) = transpose_crs(&vp, &Csr::from_coo(&coo)).expect("valid CSR");
     println!(
         "HiSM+STM: {} cycles ({:.2}/nnz)   CRS: {} cycles ({:.2}/nnz)   speedup {:.1}x",
         hism_report.cycles,

@@ -38,11 +38,11 @@ fn main() {
     let vp = VpConfig::paper();
     let h = build::from_coo(&adj, 64).expect("graph fits HiSM");
     let image = HismImage::encode(&h);
-    let (out, report) = transpose_hism(&vp, StmConfig::default(), &image);
-    let at = out.decode(); // Aᵀ: rows are in-links
+    let (out, report) = transpose_hism(&vp, StmConfig::default(), &image).expect("valid image");
+    let at = out.decode().expect("valid output image"); // Aᵀ: rows are in-links
     assert_eq!(build::to_coo(&at), adj.transpose_canonical());
 
-    let (_, crs_report) = transpose_crs(&vp, &Csr::from_coo(&adj));
+    let (_, crs_report) = transpose_crs(&vp, &Csr::from_coo(&adj)).expect("valid CSR");
     println!(
         "transpose on the VP: HiSM+STM {} cycles vs CRS {} cycles ({:.1}x)\n",
         report.cycles,

@@ -31,11 +31,11 @@ fn main() {
     // --- HiSM + STM ----------------------------------------------------
     let h = build::from_coo(&coo, stm.s).expect("matrix fits HiSM");
     let image = HismImage::encode(&h);
-    let (out, hism_report) = transpose_hism(&vp, stm, &image);
+    let (out, hism_report) = transpose_hism(&vp, stm, &image).expect("valid image");
 
     // The transposition is functional: decode the simulated memory and
     // check it against the host-side oracle.
-    let decoded = build::to_coo(&out.decode());
+    let decoded = build::to_coo(&out.decode().expect("valid output image"));
     assert_eq!(
         decoded,
         coo.transpose_canonical(),
@@ -50,7 +50,7 @@ fn main() {
 
     // --- CRS baseline ----------------------------------------------------
     let csr = Csr::from_coo(&coo);
-    let (out_csr, crs_report) = transpose_crs(&vp, &csr);
+    let (out_csr, crs_report) = transpose_crs(&vp, &csr).expect("valid CSR");
     assert_eq!(out_csr, csr.transpose_pissanetsky());
     println!(
         "CRS        : {:>9} cycles  ({:.2} cycles per non-zero)",

@@ -45,7 +45,7 @@ fn main() {
     let len = image.root.len as usize;
     stm.icm(&mut e); //                      icm
     let (vals, pos) = e.v_ld_pair(0, len); //  v_ldb  vr1, vr2
-    stm.v_stcr(&mut e, &vals, &pos); //        v_stcr vr1, vr2
+    stm.v_stcr(&mut e, &vals, &pos).unwrap(); // v_stcr vr1, vr2
     let (vals_t, pos_t) = stm.v_ldcc(&mut e, len); // v_ldcc vr1, vr2
     e.v_st_pair(0, &vals_t, &pos_t); //        v_stb  vr1, vr2
 
@@ -69,7 +69,7 @@ fn main() {
         root: image.root,
         pointer_sites: vec![],
     };
-    let decoded = out.decode();
+    let decoded = out.decode().expect("valid output image");
     println!("\ntransposed entries (row, col, value):");
     for &(r, c, v) in hism_stm::hism::build::to_coo(&decoded).entries() {
         println!("  ({r}, {c})  {v}");

@@ -25,14 +25,17 @@
 //!     (0, 7, 1.0), (3, 3, 2.0), (42, 90, 3.0), (99, 0, 4.0),
 //! ]).unwrap();
 //!
-//! // HiSM + STM on the paper's machine (s = 64, B = L = p = 4).
+//! // HiSM + STM on the paper's machine (s = 64, B = L = p = 4). The
+//! // kernels treat their input as untrusted, so they return a Result
+//! // with a typed error instead of panicking on corrupt images.
 //! let h = build::from_coo(&coo, 64).unwrap();
 //! let (out, hism_report) = transpose_hism(
-//!     &VpConfig::paper(), StmConfig::default(), &HismImage::encode(&h));
-//! assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
+//!     &VpConfig::paper(), StmConfig::default(), &HismImage::encode(&h)).unwrap();
+//! assert_eq!(build::to_coo(&out.decode().unwrap()), coo.transpose_canonical());
 //!
 //! // The vectorized CRS baseline on the same machine.
-//! let (t, crs_report) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo));
+//! let (t, crs_report) =
+//!     transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo)).unwrap();
 //! assert_eq!(t, Csr::from_coo(&coo).transpose_pissanetsky());
 //!
 //! // The paper's claim: the STM path is faster.
@@ -44,7 +47,7 @@
 //! let mut ctx = registry::ExecCtx::paper();
 //! let mut kernel = registry::create("transpose_hism").unwrap();
 //! kernel.prepare(&coo, &ctx).unwrap();
-//! let report = kernel.run(&mut ctx);
+//! let report = kernel.run(&mut ctx).unwrap();
 //! kernel.verify(&coo, &report.output).unwrap();
 //! assert_eq!(report.report.cycles, hism_report.cycles);
 //! ```

@@ -9,7 +9,14 @@ use stm_bench::{run_set, MatrixResult, RunConfig};
 fn fingerprint(results: &[MatrixResult]) -> Vec<(String, u64, u64)> {
     results
         .iter()
-        .map(|r| (r.name.clone(), r.hism.cycles, r.crs.cycles))
+        .map(|r| {
+            assert!(r.status.is_ok(), "{} failed", r.name);
+            (
+                r.name.clone(),
+                r.hism.as_ref().unwrap().cycles,
+                r.crs.as_ref().unwrap().cycles,
+            )
+        })
         .collect()
 }
 
@@ -43,8 +50,18 @@ fn parallel_harness_matches_serial_exactly() {
         let parallel = run_set(&parallel_cfg, set);
         assert_eq!(fingerprint(&serial), fingerprint(&parallel));
         for (s, p) in serial.iter().zip(&parallel) {
-            assert_eq!(s.speedup().to_bits(), p.speedup().to_bits(), "{}", s.name);
-            assert_eq!(s.hism.stm, p.hism.stm, "{}", s.name);
+            assert_eq!(
+                s.speedup().unwrap().to_bits(),
+                p.speedup().unwrap().to_bits(),
+                "{}",
+                s.name
+            );
+            assert_eq!(
+                s.hism.as_ref().unwrap().stm,
+                p.hism.as_ref().unwrap().stm,
+                "{}",
+                s.name
+            );
         }
     }
 }
@@ -68,9 +85,11 @@ fn stm_stats_are_stable_between_runs() {
     let a = run_set(&cfg, &sets.by_size);
     let b = run_set(&cfg, &sets.by_size);
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.hism.stm, y.hism.stm, "{}", x.name);
-        assert_eq!(x.crs.phases.len(), y.crs.phases.len());
-        for (p, q) in x.crs.phases.iter().zip(&y.crs.phases) {
+        let (xh, yh) = (x.hism.as_ref().unwrap(), y.hism.as_ref().unwrap());
+        let (xc, yc) = (x.crs.as_ref().unwrap(), y.crs.as_ref().unwrap());
+        assert_eq!(xh.stm, yh.stm, "{}", x.name);
+        assert_eq!(xc.phases.len(), yc.phases.len());
+        for (p, q) in xc.phases.iter().zip(&yc.phases) {
             assert_eq!((p.name, p.cycles), (q.name, q.cycles), "{}", x.name);
         }
     }

@@ -45,16 +45,16 @@ fn all_transpose_paths_agree_across_families() {
         // 1. Simulated HiSM + STM.
         let h = build::from_coo(&coo, stm.s).unwrap();
         let image = HismImage::encode(&h);
-        let (out, _) = transpose_hism(&vp, stm, &image);
+        let (out, _) = transpose_hism(&vp, stm, &image).unwrap();
         assert_eq!(
-            build::to_coo(&out.decode()),
+            build::to_coo(&out.decode().unwrap()),
             oracle,
             "sim HiSM vs oracle: {name}"
         );
 
         // 2. Simulated CRS baseline.
         let csr = Csr::from_coo(&coo);
-        let (t_csr, _) = transpose_crs(&vp, &csr);
+        let (t_csr, _) = transpose_crs(&vp, &csr).unwrap();
         let mut from_crs = t_csr.to_coo();
         from_crs.canonicalize();
         assert_eq!(from_crs, oracle, "sim CRS vs oracle: {name}");
@@ -97,13 +97,13 @@ fn simulated_double_transpose_is_identity() {
     for (name, coo) in family_matrices() {
         let h = build::from_coo(&coo, stm.s).unwrap();
         let image = HismImage::encode(&h);
-        let (once, _) = transpose_hism(&vp, stm, &image);
-        let (twice, _) = transpose_hism(&vp, stm, &once);
+        let (once, _) = transpose_hism(&vp, stm, &image).unwrap();
+        let (twice, _) = transpose_hism(&vp, stm, &once).unwrap();
         assert_eq!(twice.words, image.words, "double transpose image: {name}");
 
         let csr = Csr::from_coo(&coo);
-        let (t, _) = transpose_crs(&vp, &csr);
-        let (tt, _) = transpose_crs(&vp, &t);
+        let (t, _) = transpose_crs(&vp, &csr).unwrap();
+        let (tt, _) = transpose_crs(&vp, &t).unwrap();
         assert_eq!(tt, csr, "double transpose CRS: {name}");
     }
 }
@@ -118,8 +118,8 @@ fn hism_wins_on_every_family_matrix() {
             continue;
         }
         let h = build::from_coo(&coo, stm.s).unwrap();
-        let (_, hr) = transpose_hism(&vp, stm, &HismImage::encode(&h));
-        let (_, cr) = transpose_crs(&vp, &Csr::from_coo(&coo));
+        let (_, hr) = transpose_hism(&vp, stm, &HismImage::encode(&h)).unwrap();
+        let (_, cr) = transpose_crs(&vp, &Csr::from_coo(&coo)).unwrap();
         assert!(
             cr.cycles > hr.cycles,
             "{name}: CRS {} cycles vs HiSM {} cycles",
@@ -136,7 +136,7 @@ fn in_place_property_image_length_is_preserved() {
     for (name, coo) in family_matrices() {
         let h = build::from_coo(&coo, 64).unwrap();
         let image = HismImage::encode(&h);
-        let (out, _) = transpose_hism(&vp, StmConfig::default(), &image);
+        let (out, _) = transpose_hism(&vp, StmConfig::default(), &image).unwrap();
         assert_eq!(out.words.len(), image.words.len(), "image grew: {name}");
     }
 }
@@ -146,9 +146,9 @@ fn rectangular_shapes_swap() {
     let vp = VpConfig::paper();
     let coo = gen::random::uniform(50, 300, 700, 8);
     let h = build::from_coo(&coo, 64).unwrap();
-    let (out, _) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
-    assert_eq!(out.decode().shape(), (300, 50));
-    let (t, _) = transpose_crs(&vp, &Csr::from_coo(&coo));
+    let (out, _) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h)).unwrap();
+    assert_eq!(out.decode().unwrap().shape(), (300, 50));
+    let (t, _) = transpose_crs(&vp, &Csr::from_coo(&coo)).unwrap();
     assert_eq!(t.shape(), (300, 50));
 }
 
@@ -170,8 +170,9 @@ fn values_survive_bit_exactly() {
     let h = build::from_coo(&coo, 8).unwrap();
     let mut vp8 = vp;
     vp8.section_size = 8;
-    let (out, _) = transpose_hism(&vp8, StmConfig { s: 8, b: 4, l: 4 }, &HismImage::encode(&h));
-    let decoded = out.decode();
+    let (out, _) =
+        transpose_hism(&vp8, StmConfig { s: 8, b: 4, l: 4 }, &HismImage::encode(&h)).unwrap();
+    let decoded = out.decode().unwrap();
     for (r, c, v) in tricky {
         let got = decoded.get(c, r).expect("entry present");
         assert_eq!(got.to_bits(), v.to_bits(), "bits changed at ({r},{c})");

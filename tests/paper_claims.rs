@@ -54,8 +54,11 @@ fn claim_blockwise_transposition_is_global_transposition() {
     let coo = gen::rmat::rmat(9, 3000, gen::rmat::RmatProbs::default(), 11);
     let h = build::from_coo(&coo, 64).unwrap();
     let img = HismImage::encode(&h);
-    let (out, _) = transpose_hism(&VpConfig::paper(), StmConfig::default(), &img);
-    assert_eq!(build::to_coo(&out.decode()), coo.transpose_canonical());
+    let (out, _) = transpose_hism(&VpConfig::paper(), StmConfig::default(), &img).unwrap();
+    assert_eq!(
+        build::to_coo(&out.decode().unwrap()),
+        coo.transpose_canonical()
+    );
     assert_eq!(out.words.len(), img.words.len(), "in-place property");
 }
 
@@ -145,7 +148,7 @@ fn claim_figure2_structure() {
 #[test]
 fn claim_histogram_phase_share() {
     let run = |coo: Coo| {
-        let (_, r) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo));
+        let (_, r) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo)).unwrap();
         let hist = r
             .phases
             .iter()
@@ -174,7 +177,8 @@ fn claim_hism_always_wins() {
     let cfg = RunConfig::default();
     for set in [&sets.by_locality, &sets.by_anz, &sets.by_size] {
         for r in run_set(&cfg, set) {
-            assert!(r.speedup() > 1.0, "{} lost at {:.2}x", r.name, r.speedup());
+            let speedup = r.speedup().expect("suite matrices must not fail");
+            assert!(speedup > 1.0, "{} lost at {speedup:.2}x", r.name);
         }
     }
 }
@@ -190,8 +194,9 @@ fn claim_speedup_grows_with_locality_at_the_low_end() {
             &VpConfig::paper(),
             StmConfig::default(),
             &HismImage::encode(&h),
-        );
-        let (_, cr) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo));
+        )
+        .unwrap();
+        let (_, cr) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo)).unwrap();
         cr.cycles as f64 / hr.cycles as f64
     };
     // Uniform matrices at a fixed ANZ of ~2 (so the CRS side is held
@@ -209,7 +214,7 @@ fn claim_speedup_grows_with_locality_at_the_low_end() {
 #[test]
 fn claim_crs_improves_with_anz() {
     let run = |coo: Coo| {
-        let (_, r) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo));
+        let (_, r) = transpose_crs(&VpConfig::paper(), &Csr::from_coo(&coo)).unwrap();
         r.cycles_per_nnz()
     };
     let anz1 = run(gen::structured::diagonal(1500));
@@ -250,12 +255,12 @@ fn claim_crs_needs_fresh_output_arrays() {
     // inputs; HiSM's memory is exactly the image.
     let coo = gen::random::uniform(200, 200, 1000, 5);
     let csr = Csr::from_coo(&coo);
-    let (_, report) = transpose_crs(&VpConfig::paper(), &csr);
+    let (_, report) = transpose_crs(&VpConfig::paper(), &csr).unwrap();
     // Scatter stores went to arrays disjoint from the inputs — observable
     // as indexed stores in the engine stats.
     assert!(report.engine.mem_indexed_ops > 0);
     let h = build::from_coo(&coo, 64).unwrap();
     let img = HismImage::encode(&h);
-    let (out, _) = transpose_hism(&VpConfig::paper(), StmConfig::default(), &img);
+    let (out, _) = transpose_hism(&VpConfig::paper(), StmConfig::default(), &img).unwrap();
     assert_eq!(out.words.len(), img.words.len());
 }

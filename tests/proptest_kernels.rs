@@ -42,9 +42,9 @@ fn simulated_hism_transpose_is_exact_for_any_geometry() {
         let (vp, stm) = arb_geometry(&mut r);
         let h = build::from_coo(&coo, stm.s).unwrap();
         let img = HismImage::encode(&h);
-        let (out, report) = transpose_hism(&vp, stm, &img);
+        let (out, report) = transpose_hism(&vp, stm, &img).unwrap();
         assert_eq!(
-            build::to_coo(&out.decode()),
+            build::to_coo(&out.decode().unwrap()),
             coo.transpose_canonical(),
             "case {case}"
         );
@@ -62,7 +62,7 @@ fn simulated_crs_transpose_is_exact() {
         let mut vp = VpConfig::paper();
         vp.chaining = r.gen_bool(0.5);
         let csr = Csr::from_coo(&coo);
-        let (got, report) = transpose_crs(&vp, &csr);
+        let (got, report) = transpose_crs(&vp, &csr).unwrap();
         assert_eq!(&got, &csr.transpose_pissanetsky(), "case {case}");
         got.validate().unwrap();
         assert!(report.cycles > 0, "case {case}");
@@ -125,8 +125,8 @@ fn chaining_never_hurts_the_kernels() {
             vp.section_size = 16;
             vp.chaining = chaining;
             let h = build::from_coo(&coo, 16).unwrap();
-            let (_, hr) = transpose_hism(&vp, stm, &HismImage::encode(&h));
-            let (_, cr) = transpose_crs(&vp, &Csr::from_coo(&coo));
+            let (_, hr) = transpose_hism(&vp, stm, &HismImage::encode(&h)).unwrap();
+            let (_, cr) = transpose_crs(&vp, &Csr::from_coo(&coo)).unwrap();
             (hr.cycles, cr.cycles)
         };
         let (h_on, c_on) = cyc(true);
@@ -151,8 +151,9 @@ fn faster_memory_never_slows_the_kernels() {
             let mut vp = VpConfig::paper();
             vp.mem_startup = startup;
             let h = build::from_coo(&coo, 64).unwrap();
-            let (_, hr) = transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h));
-            let (_, cr) = transpose_crs(&vp, &Csr::from_coo(&coo));
+            let (_, hr) =
+                transpose_hism(&vp, StmConfig::default(), &HismImage::encode(&h)).unwrap();
+            let (_, cr) = transpose_crs(&vp, &Csr::from_coo(&coo)).unwrap();
             (hr.cycles, cr.cycles)
         };
         let (h_fast, c_fast) = cyc(5);

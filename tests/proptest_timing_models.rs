@@ -32,7 +32,9 @@ fn functional_output_is_identical_under_every_timing_model() {
                 let mut k = registry::create(name).unwrap();
                 k.prepare(&coo, &ctx).unwrap();
                 let mut ctx = ctx;
-                let report = k.run(&mut ctx);
+                let report = k
+                    .run(&mut ctx)
+                    .unwrap_or_else(|e| panic!("case {case} {name} ({timing:?}): {e}"));
                 k.verify(&coo, &report.output)
                     .unwrap_or_else(|e| panic!("case {case} {name} ({timing:?}): {e}"));
                 report

@@ -15,7 +15,9 @@ fn quick_suite_runs_verified_end_to_end() {
         let results = run_set(&cfg, set);
         assert_eq!(results.len(), 5);
         for r in &results {
-            assert!(r.hism.cycles > 0 && r.crs.cycles > 0, "{}", r.name);
+            assert!(r.status.is_ok(), "{} failed", r.name);
+            let (h, c) = (r.hism.as_ref().unwrap(), r.crs.as_ref().unwrap());
+            assert!(h.cycles > 0 && c.cycles > 0, "{}", r.name);
         }
     }
 }
@@ -29,7 +31,8 @@ fn hism_wins_on_the_whole_quick_suite() {
         all.extend(run_set(&cfg, set));
     }
     for r in &all {
-        assert!(r.speedup() > 1.0, "{} lost: {:.2}x", r.name, r.speedup());
+        let speedup = r.speedup().expect("suite matrices must not fail");
+        assert!(speedup > 1.0, "{} lost: {speedup:.2}x", r.name);
     }
     let s = SpeedupSummary::of(&all);
     assert!(s.avg > 5.0, "average speedup collapsed: {:.2}", s.avg);
@@ -41,8 +44,9 @@ fn crs_improves_with_anz_on_the_anz_set() {
     // high-ANZ end.
     let sets = experiment_sets(&quick_catalogue(), 6);
     let results = run_set(&RunConfig::default(), &sets.by_anz);
-    let first = results.first().unwrap().crs.cycles_per_nnz();
-    let last = results.last().unwrap().crs.cycles_per_nnz();
+    let per_nnz = |r: &stm_bench::MatrixResult| r.crs.as_ref().unwrap().cycles_per_nnz();
+    let first = per_nnz(results.first().unwrap());
+    let last = per_nnz(results.last().unwrap());
     assert!(
         first > last,
         "CRS did not improve with ANZ: {first:.1} vs {last:.1}"
@@ -103,18 +107,19 @@ fn phase_breakdown_accounts_for_all_cycles() {
     let sets = experiment_sets(&quick_catalogue(), 5);
     let results = run_set(&RunConfig::default(), &sets.by_size);
     for r in &results {
-        let total: u64 = r.crs.phases.iter().map(|p| p.cycles).sum();
+        let (hism, crs) = (r.hism.as_ref().unwrap(), r.crs.as_ref().unwrap());
+        let total: u64 = crs.phases.iter().map(|p| p.cycles).sum();
         assert_eq!(
-            total, r.crs.cycles,
+            total, crs.cycles,
             "{}: CRS phases must sum to total",
             r.name
         );
         assert!(
-            r.hism.stm.is_some(),
+            hism.stm.is_some(),
             "{}: HiSM report lacks STM stats",
             r.name
         );
-        let stm = r.hism.stm.unwrap();
-        assert!(stm.entries as usize >= r.hism.nnz, "{}", r.name);
+        let stm = hism.stm.unwrap();
+        assert!(stm.entries as usize >= hism.nnz, "{}", r.name);
     }
 }
