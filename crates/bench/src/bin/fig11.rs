@@ -4,7 +4,7 @@
 //! "grows monotonically with the growth of the matrix locality"; its
 //! range on this set is 1.8–32.0 (average 16.5).
 
-use stm_bench::output::{figure_rows, format_table, write_csv, FIGURE_HEADERS};
+use stm_bench::output::{figure_rows, format_table, print_trace_rollup, write_csv, FIGURE_HEADERS};
 use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
@@ -19,6 +19,7 @@ fn main() {
         "speedup range {:.1} .. {:.1}, average {:.1}   (paper: 1.8 .. 32.0, avg 16.5)",
         s.min, s.max, s.avg
     );
+    print_trace_rollup(&results);
     write_csv("results/fig11.csv", &FIGURE_HEADERS, &rows).expect("write results/fig11.csv");
     eprintln!("wrote results/fig11.csv");
 }

@@ -3,7 +3,7 @@
 //! check ("the number of high level s²-blocks amount typically to about
 //! 2-5% of the total matrix storage for s = 64").
 
-use stm_bench::output::{format_table, write_csv};
+use stm_bench::output::{format_table, print_trace_rollup, write_csv};
 use stm_bench::{run_set, sets_from_env, MatrixResult, RunConfig, SpeedupSummary};
 use stm_hism::{build, StorageStats};
 
@@ -37,6 +37,7 @@ fn main() {
         "{}",
         format_table(&["set", "min", "avg", "max", "paper min/avg/max"], &rows)
     );
+    print_trace_rollup(&all);
     write_csv(
         "results/summary.csv",
         &["set", "min", "avg", "max", "paper"],

@@ -24,10 +24,12 @@
 //! [`RunConfig::strict`] to turn the first failure into a panic for
 //! CI-style fail-fast runs.
 
+use crate::trace::{export_trace, TraceRollup};
 use stm_core::kernels::registry::{self, ExecCtx, KernelError, KernelFailure, KernelReport, Stage};
 use stm_core::{StmConfig, TransposeReport};
 use stm_dsab::SuiteEntry;
 use stm_hism::FaultClass;
+use stm_obs::{Recorder, TraceData};
 use stm_vpsim::{TimingKind, VpConfig};
 
 /// Machine + experiment configuration for a harness run.
@@ -57,6 +59,10 @@ pub struct RunConfig {
     /// Corrupt one matrix of the set before running it (fault-injection
     /// experiments; see [`FaultSpec`]).
     pub fault: Option<FaultSpec>,
+    /// Directory to write structured event traces into (`--trace DIR` /
+    /// `STM_TRACE` in the binaries). `None` keeps tracing compiled out —
+    /// kernels run with a no-op recorder and no files are written.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -70,6 +76,7 @@ impl Default for RunConfig {
             retries: 1,
             strict: false,
             fault: None,
+            trace: None,
         }
     }
 }
@@ -82,16 +89,20 @@ impl RunConfig {
         RunConfig {
             jobs: crate::jobs_from_env(),
             strict: crate::strict_from_env(),
+            trace: crate::trace_dir_from_env(),
             ..RunConfig::default()
         }
     }
 
-    /// The execution context kernels run under.
+    /// The execution context kernels run under. The recorder starts
+    /// disabled; [`run_kernel`] installs a fresh enabled one per attempt
+    /// when [`RunConfig::trace`] is set.
     pub fn ctx(&self) -> ExecCtx {
         ExecCtx {
             vp: self.vp.clone(),
             stm: self.stm,
             timing: self.timing,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -157,6 +168,10 @@ pub struct MatrixResult {
     pub crs: Option<TransposeReport>,
     /// Whether the matrix completed cleanly.
     pub status: RunStatus,
+    /// Per-kernel trace roll-ups — empty unless [`RunConfig::trace`] was
+    /// set. Each entry summarizes only the *final* attempt of its kernel
+    /// (abandoned retries are never aggregated).
+    pub traces: Vec<TraceRollup>,
 }
 
 impl MatrixResult {
@@ -205,8 +220,10 @@ fn attempt(
     kernel: &str,
     entry: &SuiteEntry,
     fault: Option<&FaultSpec>,
+    rec: &Recorder,
 ) -> Result<KernelReport, KernelFailure> {
-    let ctx = cfg.ctx();
+    let mut ctx = cfg.ctx();
+    ctx.obs = rec.clone();
     let mut k = registry::create(kernel).ok_or_else(|| KernelFailure {
         kernel: kernel.to_string(),
         stage: Stage::Prepare,
@@ -227,14 +244,22 @@ fn attempt(
             }
         }
     }
-    let mut ctx = ctx;
     let report = isolate(kernel, Stage::Run, || k.run(&mut ctx))?;
     if cfg.verify {
         isolate(kernel, Stage::Verify, || {
             k.verify(&entry.coo, &report.output)
         })?;
     }
+    stm_core::obs::record_lifecycle(&ctx.obs, &report, k.prepared_bytes());
     Ok(report)
+}
+
+/// One kernel's harness outcome: the (possibly failed) report, the number
+/// of attempts made, and the *final* attempt's trace when tracing was on.
+struct KernelRun {
+    result: Result<KernelReport, KernelFailure>,
+    attempts: u64,
+    trace: Option<TraceData>,
 }
 
 fn run_kernel_inner(
@@ -242,18 +267,39 @@ fn run_kernel_inner(
     kernel: &str,
     entry: &SuiteEntry,
     fault: Option<&FaultSpec>,
-) -> Result<KernelReport, KernelFailure> {
+) -> KernelRun {
     // Deliberate corruption is deterministic — retrying it just fails
     // identically, so injected runs get exactly one attempt.
-    let attempts = if fault.is_some() { 1 } else { 1 + cfg.retries };
+    let max_attempts = if fault.is_some() { 1 } else { 1 + cfg.retries };
     let mut last = None;
-    for _ in 0..attempts {
-        match attempt(cfg, kernel, entry, fault) {
-            Ok(r) => return Ok(r),
-            Err(e) => last = Some(e),
+    for n in 1..=max_attempts {
+        // A fresh recorder per attempt: an abandoned attempt's events and
+        // counters must never leak into the trace (or the roll-ups) of
+        // the attempt that actually produced the reported numbers.
+        let rec = if cfg.trace.is_some() {
+            Recorder::enabled_default()
+        } else {
+            Recorder::disabled()
+        };
+        let result = attempt(cfg, kernel, entry, fault, &rec);
+        let trace = cfg.trace.is_some().then(|| rec.snapshot());
+        match result {
+            Ok(r) => {
+                return KernelRun {
+                    result: Ok(r),
+                    attempts: n as u64,
+                    trace,
+                }
+            }
+            Err(e) => last = Some((e, trace)),
         }
     }
-    Err(last.expect("at least one attempt"))
+    let (error, trace) = last.expect("at least one attempt");
+    KernelRun {
+        result: Err(error),
+        attempts: max_attempts as u64,
+        trace,
+    }
 }
 
 /// Runs the named registry kernel on one suite entry: prepare, run and
@@ -265,7 +311,7 @@ pub fn run_kernel(
     kernel: &str,
     entry: &SuiteEntry,
 ) -> Result<KernelReport, KernelFailure> {
-    run_kernel_inner(cfg, kernel, entry, None)
+    run_kernel_inner(cfg, kernel, entry, None).result
 }
 
 fn run_matrix_inner(
@@ -275,7 +321,7 @@ fn run_matrix_inner(
 ) -> MatrixResult {
     let hism = run_kernel_inner(cfg, "transpose_hism", entry, fault);
     let crs = run_kernel_inner(cfg, "transpose_crs", entry, fault);
-    let status = match (&hism, &crs) {
+    let status = match (&hism.result, &crs.result) {
         (Err(f), _) | (_, Err(f)) => RunStatus::Failed(f.clone()),
         _ => RunStatus::Ok,
     };
@@ -284,12 +330,23 @@ fn run_matrix_inner(
             panic!("strict mode: {}: {f}", entry.name);
         }
     }
+    let mut traces = Vec::new();
+    if let Some(dir) = &cfg.trace {
+        for (kernel, run) in [("transpose_hism", &hism), ("transpose_crs", &crs)] {
+            if let Some(data) = &run.trace {
+                export_trace(dir, &entry.name, kernel, data)
+                    .unwrap_or_else(|e| panic!("writing trace under {}: {e}", dir.display()));
+                traces.push(TraceRollup::of(&entry.name, kernel, data, run.attempts));
+            }
+        }
+    }
     MatrixResult {
         name: entry.name.clone(),
         metrics: entry.metrics,
-        hism: hism.ok().map(|r| r.report),
-        crs: crs.ok().map(|r| r.report),
+        hism: hism.result.ok().map(|r| r.report),
+        crs: crs.result.ok().map(|r| r.report),
         status,
+        traces,
     }
 }
 
@@ -601,6 +658,76 @@ mod tests {
     fn empty_summary_is_zero() {
         let s = SpeedupSummary::of(&[]);
         assert_eq!((s.min, s.avg, s.max), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn retry_budget_is_spent_only_on_failures_and_faults_get_one_attempt() {
+        let cfg = RunConfig {
+            retries: 2,
+            jobs: Some(1),
+            ..RunConfig::default()
+        };
+        let e = entry("m", gen::random::uniform(32, 32, 100, 1));
+        // Unknown kernel: every attempt fails, so all 1 + retries run.
+        let run = run_kernel_inner(&cfg, "bogus", &e, None);
+        assert!(run.result.is_err());
+        assert_eq!(run.attempts, 3);
+        // A clean kernel succeeds on the first attempt.
+        let ok = run_kernel_inner(&cfg, "transpose_hism", &e, None);
+        assert!(ok.result.is_ok());
+        assert_eq!(ok.attempts, 1);
+        // Deterministic injected faults are never retried.
+        let fault = FaultSpec {
+            index: 0,
+            class: FaultClass::PointerRetarget,
+            seed: 9,
+        };
+        let faulted = run_kernel_inner(&cfg, "transpose_crs", &e, Some(&fault));
+        assert!(faulted.result.is_err());
+        assert_eq!(faulted.attempts, 1);
+    }
+
+    #[test]
+    fn traced_runs_roll_up_only_the_final_attempt() {
+        let dir = std::env::temp_dir().join("stm_harness_trace_retry_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = RunConfig {
+            trace: Some(dir.clone()),
+            retries: 3,
+            jobs: Some(1),
+            ..RunConfig::default()
+        };
+        let e = entry("m one", gen::random::uniform(64, 64, 300, 2));
+        let run = run_kernel_inner(&cfg, "transpose_hism", &e, None);
+        let report = run.result.expect("clean run");
+        let data = run.trace.expect("tracing was on");
+        // Exactly one lifecycle per trace: a retried (or aggregated)
+        // recording would carry one run-span per attempt and the cycle
+        // counter would overshoot the report.
+        let runs = data
+            .events
+            .iter()
+            .filter(|ev| ev.name == "run" && matches!(ev.kind, stm_obs::EventKind::Begin { .. }))
+            .count();
+        assert_eq!(runs, 1);
+        assert_eq!(data.counter("stage.run.cycles"), report.report.cycles);
+
+        // And the set-level export carries the same invariant.
+        let results = run_set(&cfg, &[e]);
+        assert_eq!(results[0].traces.len(), 2);
+        for roll in &results[0].traces {
+            assert_eq!(roll.attempts, 1, "{}", roll.kernel);
+            assert_eq!(roll.dropped, 0, "{}", roll.kernel);
+            let path = dir.join(format!(
+                "{}.jsonl",
+                crate::trace::trace_stem(&results[0].name, roll.kernel)
+            ));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let summary = stm_obs::jsonl::validate_jsonl(&text)
+                .unwrap_or_else(|errs| panic!("{path:?}: {errs:?}"));
+            assert_eq!(summary.run_spans, 1, "{}", roll.kernel);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

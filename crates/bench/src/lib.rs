@@ -23,11 +23,13 @@
 pub mod fig10;
 pub mod harness;
 pub mod output;
+pub mod trace;
 
 pub use harness::{
     run_batch, run_kernel, run_matrix, run_set, FaultSpec, MatrixResult, RunConfig, RunStatus,
     SpeedupSummary,
 };
+pub use trace::TraceRollup;
 
 use stm_dsab::{experiment_sets, full_catalogue, quick_catalogue, ExperimentSets};
 
@@ -61,6 +63,26 @@ pub fn jobs_from_env() -> Option<usize> {
         }
     }
     std::env::var("STM_JOBS").ok().and_then(|n| n.parse().ok())
+}
+
+/// Parses the trace output directory from the CLI args / environment:
+/// `--trace DIR`, `--trace=DIR` or `STM_TRACE=DIR`. When set, the harness
+/// records a structured event trace for every kernel run and writes
+/// per-matrix `.jsonl` / `.csv` / `.trace.json` files under the directory
+/// (see [`trace`]). `None` (no flag) leaves tracing compiled out.
+pub fn trace_dir_from_env() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(d) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(d));
+        }
+    }
+    std::env::var("STM_TRACE")
+        .ok()
+        .map(std::path::PathBuf::from)
 }
 
 /// `true` when `--strict` is on the command line or `STM_STRICT=1` is in

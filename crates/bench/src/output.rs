@@ -85,6 +85,19 @@ pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Prints the per-kernel trace roll-up table after a figure's main table
+/// — a no-op when the run was not traced (`results` carry no roll-ups).
+pub fn print_trace_rollup(results: &[MatrixResult]) {
+    let rows: Vec<crate::trace::TraceRollup> =
+        results.iter().flat_map(|r| r.traces.clone()).collect();
+    if rows.is_empty() {
+        return;
+    }
+    println!();
+    println!("trace roll-up (final attempts only):");
+    print!("{}", crate::trace::format_trace_rollup(&rows));
+}
+
 /// Header row matching [`figure_rows`].
 pub const FIGURE_HEADERS: [&str; 8] = [
     "matrix",

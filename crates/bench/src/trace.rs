@@ -1,0 +1,156 @@
+//! Trace export for the batch harness: when [`crate::RunConfig::trace`]
+//! names a directory, every kernel run records a structured event trace
+//! (see `stm-obs`) and the harness writes three files per matrix/kernel
+//! pair —
+//!
+//! * `<matrix>.<kernel>.jsonl` — one JSON object per line (meta, events,
+//!   counters, histograms), the format `tracecheck` validates;
+//! * `<matrix>.<kernel>.csv` — the same events as a flat table;
+//! * `<matrix>.<kernel>.trace.json` — Chrome `trace_event` JSON, loadable
+//!   in `about:tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Only the *final* attempt of a retried run is exported and rolled up —
+//! cycles spent in abandoned attempts would otherwise inflate the
+//! aggregates (see [`TraceRollup`]).
+
+use crate::output::format_table;
+use std::path::Path;
+use stm_obs::TraceData;
+
+/// Per-kernel trace roll-up row for the figure binaries' metrics table.
+#[derive(Debug, Clone)]
+pub struct TraceRollup {
+    /// Matrix name from the suite.
+    pub matrix: String,
+    /// Registry kernel name.
+    pub kernel: &'static str,
+    /// Events captured in the final attempt's trace.
+    pub events: u64,
+    /// Events the ring buffer had to drop (0 = complete trace).
+    pub dropped: u64,
+    /// The `stage.run.cycles` counter (the engine's reported total).
+    pub run_cycles: u64,
+    /// Bytes touched across the prepare/run/verify stages.
+    pub bytes: u64,
+    /// Attempts the harness made (only the last one is traced).
+    pub attempts: u64,
+}
+
+impl TraceRollup {
+    /// Summarizes one kernel's final-attempt trace.
+    pub fn of(matrix: &str, kernel: &'static str, data: &TraceData, attempts: u64) -> Self {
+        TraceRollup {
+            matrix: matrix.to_string(),
+            kernel,
+            events: data.events.len() as u64,
+            dropped: data.dropped,
+            run_cycles: data.counter("stage.run.cycles"),
+            bytes: data.counter("stage.prepare.bytes")
+                + data.counter("stage.run.bytes")
+                + data.counter("stage.verify.bytes"),
+            attempts,
+        }
+    }
+}
+
+/// File-name stem for one matrix/kernel trace: non-portable characters in
+/// the matrix name are replaced so suite names can't escape the directory.
+pub fn trace_stem(matrix: &str, kernel: &str) -> String {
+    let clean: String = matrix
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!("{clean}.{kernel}")
+}
+
+/// Writes the three export formats for one trace under `dir` (creating
+/// it), returning the stem the files share.
+pub fn export_trace(
+    dir: &Path,
+    matrix: &str,
+    kernel: &str,
+    data: &TraceData,
+) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let stem = trace_stem(matrix, kernel);
+    std::fs::write(dir.join(format!("{stem}.jsonl")), data.to_jsonl())?;
+    std::fs::write(dir.join(format!("{stem}.csv")), data.to_csv())?;
+    std::fs::write(
+        dir.join(format!("{stem}.trace.json")),
+        data.to_chrome_trace(),
+    )?;
+    Ok(stem)
+}
+
+/// Renders the per-run trace roll-up as an aligned table (the figure
+/// binaries print this after their main table when `--trace` is active).
+pub fn format_trace_rollup(rows: &[TraceRollup]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.kernel.to_string(),
+                r.events.to_string(),
+                r.dropped.to_string(),
+                r.run_cycles.to_string(),
+                r.bytes.to_string(),
+                r.attempts.to_string(),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "matrix",
+            "kernel",
+            "events",
+            "dropped",
+            "run_cycles",
+            "bytes",
+            "attempts",
+        ],
+        &table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stems_are_filesystem_safe() {
+        assert_eq!(trace_stem("a/b c", "k"), "a-b-c.k");
+        assert_eq!(
+            trace_stem("dw8192", "transpose_hism"),
+            "dw8192.transpose_hism"
+        );
+    }
+
+    #[test]
+    fn export_writes_all_three_formats() {
+        let rec = stm_obs::Recorder::enabled_default();
+        let s = rec.begin(stm_obs::Lane::Stage, stm_obs::Category::Stage, "run", 0);
+        rec.end(stm_obs::Lane::Stage, stm_obs::Category::Stage, "run", 5, s);
+        rec.add("stage.run.cycles", 5);
+        let data = rec.snapshot();
+        let dir = std::env::temp_dir().join("stm_bench_trace_export_test");
+        let stem = export_trace(&dir, "m one", "k", &data).unwrap();
+        for ext in ["jsonl", "csv", "trace.json"] {
+            let p = dir.join(format!("{stem}.{ext}"));
+            assert!(p.is_file(), "{p:?} missing");
+            assert!(std::fs::read_to_string(&p).unwrap().len() > 10);
+        }
+        let roll = TraceRollup::of("m one", "k", &data, 1);
+        assert_eq!(roll.events, 2);
+        assert_eq!(roll.run_cycles, 5);
+        let rendered = format_trace_rollup(&[roll]);
+        assert!(rendered.contains("run_cycles"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

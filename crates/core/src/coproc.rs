@@ -21,7 +21,20 @@ use crate::report::StmStats;
 use crate::sxs::SxsMemory;
 use crate::unit::{StmConfig, PHASE_PIPELINE_CYCLES};
 use stm_hism::image::{pack_pos, unpack_pos};
+use stm_obs::{Category, Lane};
 use stm_vpsim::{Engine, Fu, VReg};
+
+/// Trace bookkeeping for one block session (`icm` .. last drain):
+/// the open span plus per-session transfer counts feeding the
+/// buffer-utilization sample emitted when the session closes.
+#[derive(Debug, Clone)]
+struct SessionSpan {
+    span: u32,
+    start: u64,
+    last_done: u64,
+    write_batches: u64,
+    read_batches: u64,
+}
 
 /// The engine-integrated STM unit.
 #[derive(Debug, Clone)]
@@ -35,6 +48,8 @@ pub struct StmCoprocessor {
     cursor: usize,
     /// Entries written in the current block session (for stats).
     session_entries: u64,
+    /// Open trace span for the current block session, when recording.
+    session_span: Option<SessionSpan>,
     stats: StmStats,
 }
 
@@ -50,6 +65,7 @@ impl StmCoprocessor {
             drain: None,
             cursor: 0,
             session_entries: 0,
+            session_span: None,
             stats: StmStats::default(),
         }
     }
@@ -67,6 +83,7 @@ impl StmCoprocessor {
     /// `icm`: initialize the `s x s` memory for the next block. Ends the
     /// previous block session.
     pub fn icm(&mut self, e: &mut Engine) {
+        self.close_session(e);
         self.mem.clear();
         self.drain = None;
         self.cursor = 0;
@@ -75,6 +92,43 @@ impl StmCoprocessor {
         self.session_entries = 0;
         // One cycle on the STM port to flash-clear the indicator plane.
         e.run_stream("icm", Fu::Stm, 0, 1, 0, 1, None);
+        if e.recorder().is_enabled() {
+            let start = e.cycles();
+            let span = e
+                .recorder()
+                .begin(Lane::StmBlock, Category::Stm, "stm.block", start);
+            self.session_span = Some(SessionSpan {
+                span,
+                start,
+                last_done: start,
+                write_batches: 0,
+                read_batches: 0,
+            });
+        }
+    }
+
+    /// Closes the current block-session trace span, if one is open:
+    /// emits its `End` plus a per-session buffer-utilization sample
+    /// (entries moved per buffer slot offered, mirroring
+    /// [`StmStats::buffer_utilization`] for a single block). Kernels
+    /// call this after the last drain; `icm` calls it implicitly when a
+    /// new block starts. A no-op when not recording.
+    pub fn close_session(&mut self, e: &Engine) {
+        let Some(s) = self.session_span.take() else {
+            return;
+        };
+        let rec = e.recorder();
+        let end = s.start.max(s.last_done);
+        let transfers = s.write_batches + s.read_batches + 2 * PHASE_PIPELINE_CYCLES;
+        let moved = 2 * self.session_entries;
+        let bu = if transfers == 0 {
+            0.0
+        } else {
+            moved as f64 / (self.cfg.b * transfers) as f64
+        };
+        rec.sample(Lane::StmBlock, "stm.buffer_utilization", end, bu);
+        rec.end(Lane::StmBlock, Category::Stm, "stm.block", end, s.span);
+        rec.observe("stm.session_entries", self.session_entries);
     }
 
     /// `v_stcr`: stores `payload` elements at the `pos` positions into the
@@ -116,6 +170,10 @@ impl StmCoprocessor {
         self.stats.write_batches += groups.len() as u64;
         self.stats.entries += payload.len() as u64;
         self.session_entries += payload.len() as u64;
+        if let Some(s) = &mut self.session_span {
+            s.write_batches += groups.len() as u64;
+            s.last_done = s.last_done.max(done.last().copied().unwrap_or(0));
+        }
         Ok(())
     }
 
@@ -156,6 +214,10 @@ impl StmCoprocessor {
         let groups = group_sizes(&cols, self.cfg.b, self.cfg.l);
         let done = e.run_batched("v_ldcc", Fu::Stm, 0, PHASE_PIPELINE_CYCLES, &groups, None);
         self.stats.read_batches += groups.len() as u64;
+        if let Some(s) = &mut self.session_span {
+            s.read_batches += groups.len() as u64;
+            s.last_done = s.last_done.max(done.last().copied().unwrap_or(0));
+        }
         (
             VReg {
                 data: payload,

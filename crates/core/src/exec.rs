@@ -30,6 +30,7 @@ use crate::report::TransposeReport;
 use crate::unit::StmConfig;
 use std::fmt;
 use stm_hism::{FaultClass, FaultRecord, HismImage, ImageError};
+use stm_obs::Recorder;
 use stm_sparse::{Coo, Csr, Dense, FormatError, Value};
 use stm_vpsim::{MemFault, TimingKind, VpConfig};
 
@@ -47,6 +48,10 @@ pub struct ExecCtx {
     pub stm: StmConfig,
     /// Timing model every engine in this context is created with.
     pub timing: TimingKind,
+    /// Observability sink threaded through every engine this context
+    /// creates. Disabled (a no-op) by default; clones share the same
+    /// underlying recording, so the trace survives context clones.
+    pub obs: Recorder,
 }
 
 impl ExecCtx {
@@ -57,6 +62,7 @@ impl ExecCtx {
             vp: VpConfig::paper(),
             stm: StmConfig::default(),
             timing: TimingKind::Paper,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -305,6 +311,19 @@ impl KernelOutput {
             _ => None,
         }
     }
+
+    /// Approximate size of the output payload in bytes (what the verify
+    /// stage reads), used for the per-stage byte counters in traces.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            KernelOutput::Hism(img) => 4 * (img.words.len() as u64 + 6),
+            KernelOutput::Csr(csr) => {
+                4 * (csr.row_ptr().len() + csr.col_idx().len() + csr.values().len()) as u64
+            }
+            KernelOutput::Dense(d) => 4 * (d.rows() * d.cols()) as u64,
+            KernelOutput::Vector(y) => 4 * y.len() as u64,
+        }
+    }
 }
 
 /// The complete result of one [`Kernel::run`]: the timed report, the
@@ -358,6 +377,14 @@ pub trait Kernel {
             kernel: self.name(),
             class,
         })
+    }
+
+    /// Approximate size in bytes of the prepared input (what `prepare`
+    /// built), used for the per-stage byte counters in traces. 0 until a
+    /// successful [`Kernel::prepare`], and 0 for kernels that don't
+    /// override it.
+    fn prepared_bytes(&self) -> u64 {
+        0
     }
 }
 

@@ -11,7 +11,9 @@
 
 use crate::exec::KernelError;
 use crate::kernels::crs_transpose::{decode_result, load_csr, CrsLayout};
+use crate::obs::{record_oob, record_phases};
 use crate::report::{Phase, TransposeReport};
+use stm_obs::{Category, Lane, Recorder};
 use stm_sparse::Csr;
 use stm_vpsim::scalar::{run_scalar, Asm, Program};
 use stm_vpsim::{Allocator, Memory, TimingKind, VpConfig};
@@ -143,6 +145,19 @@ pub fn transpose_crs_scalar_timed(
     csr: &Csr,
     timing: TimingKind,
 ) -> Result<(Csr, TransposeReport), KernelError> {
+    transpose_crs_scalar_obs(vp_cfg, csr, timing, &Recorder::disabled())
+}
+
+/// [`transpose_crs_scalar_timed`] with a structured-event [`Recorder`].
+/// The whole kernel is one scalar-core interpreter run, so the trace is a
+/// single `Complete` span on the scalar lane plus the phase roll-up; a
+/// disabled recorder makes this identical to the timed variant.
+pub fn transpose_crs_scalar_obs(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    timing: TimingKind,
+    rec: &Recorder,
+) -> Result<(Csr, TransposeReport), KernelError> {
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64);
     let layout = load_csr(&mut mem, &mut alloc, csr);
@@ -153,12 +168,24 @@ pub fn transpose_crs_scalar_timed(
     let program = scalar_transpose_program(&layout, rows, cols);
     let cap = scalar_transpose_max_instructions(rows, cols, nnz);
     let stats = run_scalar(vp_cfg, &mut mem, &program, cap);
+    let cycles = timing.model().scalar_cycles(stats.cycles);
+    if rec.is_enabled() {
+        rec.complete(
+            Lane::Scalar,
+            Category::Scalar,
+            "scalar.interpret",
+            0,
+            cycles,
+            stats.instructions,
+        );
+        rec.observe("scalar.instructions", stats.instructions);
+    }
+    record_oob(rec, mem.oob_events(), cycles);
     if stats.capped {
         return Err(KernelError::Corrupt(format!(
             "scalar transpose exceeded its {cap}-instruction budget — corrupt row pointers"
         )));
     }
-    let cycles = timing.model().scalar_cycles(stats.cycles);
     let report = TransposeReport {
         cycles,
         nnz,
@@ -171,6 +198,7 @@ pub fn transpose_crs_scalar_timed(
         }],
         fu_busy: Default::default(),
     };
+    record_phases(rec, &report.phases);
     if let Some(f) = mem.fault() {
         return Err(f.into());
     }

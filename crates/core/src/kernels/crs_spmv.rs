@@ -13,7 +13,9 @@
 //! ```
 
 use crate::exec::KernelError;
+use crate::obs::{record_oob, record_phases};
 use crate::report::{Phase, TransposeReport};
+use stm_obs::Recorder;
 use stm_sparse::{Csr, Value};
 use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
@@ -34,6 +36,18 @@ pub fn spmv_crs_timed(
     csr: &Csr,
     x: &[Value],
     timing: TimingKind,
+) -> Result<(Vec<Value>, TransposeReport), KernelError> {
+    spmv_crs_obs(vp_cfg, csr, x, timing, &Recorder::disabled())
+}
+
+/// [`spmv_crs_timed`] with a structured-event [`Recorder`]. A disabled
+/// recorder makes this identical to [`spmv_crs_timed`].
+pub fn spmv_crs_obs(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    x: &[Value],
+    timing: TimingKind,
+    rec: &Recorder,
 ) -> Result<(Vec<Value>, TransposeReport), KernelError> {
     if x.len() != csr.cols() {
         return Err(KernelError::Config(format!(
@@ -69,7 +83,50 @@ pub fn spmv_crs_timed(
     // records that as a fault instead of silently growing memory.
     mem.guard(alloc.watermark(), vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
+    e.set_recorder(rec.clone());
 
+    let ran = run_rows(&mut e, vp_cfg, csr, s, ia, ja, an, xb, yb);
+    record_oob(rec, e.stats_snapshot().mem_oob_events, e.cycles());
+    ran?;
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
+    let cycles = e.cycles();
+    let report = TransposeReport {
+        cycles,
+        nnz: csr.nnz(),
+        engine: e.stats_snapshot(),
+        scalar: None,
+        stm: None,
+        phases: vec![Phase {
+            name: "crs-spmv",
+            cycles,
+        }],
+        fu_busy: *e.fu_busy(),
+    };
+    record_phases(rec, &report.phases);
+    let mem = e.into_mem();
+    let y = (0..csr.rows())
+        .map(|i| mem.read_f32(yb + i as u32))
+        .collect();
+    Ok((y, report))
+}
+
+/// The per-row gather/multiply/reduce loop, factored out so the caller can
+/// record out-of-bounds counts on every exit path (including the typed
+/// row-pointer rejection).
+#[allow(clippy::too_many_arguments)]
+fn run_rows(
+    e: &mut Engine,
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    s: usize,
+    ia: u32,
+    ja: u32,
+    an: u32,
+    xb: u32,
+    yb: u32,
+) -> Result<(), KernelError> {
     for i in 0..csr.rows() {
         let iaa = e.mem().read(ia + i as u32) as usize;
         let iab = e.mem().read(ia + i as u32 + 1) as usize;
@@ -106,28 +163,7 @@ pub fn spmv_crs_timed(
         }
         e.mem_mut().write_f32(yb + i as u32, acc);
     }
-
-    if let Some(f) = e.mem_fault() {
-        return Err(f.into());
-    }
-    let cycles = e.cycles();
-    let report = TransposeReport {
-        cycles,
-        nnz: csr.nnz(),
-        engine: e.stats_snapshot(),
-        scalar: None,
-        stm: None,
-        phases: vec![Phase {
-            name: "crs-spmv",
-            cycles,
-        }],
-        fu_busy: *e.fu_busy(),
-    };
-    let mem = e.into_mem();
-    let y = (0..csr.rows())
-        .map(|i| mem.read_f32(yb + i as u32))
-        .collect();
-    Ok((y, report))
+    Ok(())
 }
 
 #[cfg(test)]

@@ -31,9 +31,11 @@
 use crate::exec::KernelError;
 use crate::kernels::histogram::{histogram_max_instructions, histogram_program};
 use crate::kernels::scan::scan_add_inplace;
+use crate::obs::{record_oob, record_phases};
 use crate::report::{Phase, TransposeReport};
+use stm_obs::Recorder;
 use stm_sparse::Csr;
-use stm_vpsim::scalar::run_scalar;
+use stm_vpsim::scalar::{run_scalar, ScalarRunStats};
 use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
 /// Word addresses of the CRS arrays in simulated memory.
@@ -124,6 +126,19 @@ pub fn transpose_crs_timed(
     csr: &Csr,
     timing: TimingKind,
 ) -> Result<(Csr, TransposeReport), KernelError> {
+    transpose_crs_obs(vp_cfg, csr, timing, &Recorder::disabled())
+}
+
+/// [`transpose_crs_timed`] with a structured-event [`Recorder`]: vector
+/// instructions, the serial histogram phase, phase spans and memory-fault
+/// instants land in `rec`. A disabled recorder makes this identical to
+/// [`transpose_crs_timed`].
+pub fn transpose_crs_obs(
+    vp_cfg: &VpConfig,
+    csr: &Csr,
+    timing: TimingKind,
+    rec: &Recorder,
+) -> Result<(Csr, TransposeReport), KernelError> {
     let mut mem = Memory::new();
     let mut alloc = Allocator::new(64); // leave a scratch page at 0
     let layout = load_csr(&mut mem, &mut alloc, csr);
@@ -132,6 +147,41 @@ pub fn transpose_crs_timed(
     mem.guard(alloc.watermark(), vp_cfg.oob);
     let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
+    e.set_recorder(rec.clone());
+
+    let phased = run_phases(&mut e, vp_cfg, &layout, rows, cols, nnz);
+    // Fault accounting happens on every exit path so traces of corrupted
+    // runs still carry their `mem.oob` instants and counter.
+    record_oob(rec, e.stats_snapshot().mem_oob_events, e.cycles());
+    let (phases, scalar_stats) = phased?;
+    if let Some(f) = e.mem_fault() {
+        return Err(f.into());
+    }
+    let report = TransposeReport {
+        cycles: e.cycles(),
+        nnz,
+        engine: e.stats_snapshot(),
+        scalar: Some(scalar_stats),
+        stm: None,
+        phases,
+        fu_busy: *e.fu_busy(),
+    };
+    record_phases(rec, &report.phases);
+    let result = decode_result(e.mem(), &layout, rows, cols, nnz)?;
+    Ok((result, report))
+}
+
+/// The four phases of the vectorized Pissanetsky transposition, charged
+/// to `e`. Split out so the caller owns the engine on error paths (for
+/// fault accounting).
+fn run_phases(
+    e: &mut Engine,
+    vp_cfg: &VpConfig,
+    layout: &CrsLayout,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+) -> Result<(Vec<Phase>, ScalarRunStats), KernelError> {
     let mut phases = Vec::new();
     let s = vp_cfg.section_size;
 
@@ -172,7 +222,7 @@ pub fn transpose_crs_timed(
     });
 
     // Phase 2: vectorized scan-add over IAT.
-    scan_add_inplace(&mut e, layout.iat, cols + 1);
+    scan_add_inplace(e, layout.iat, cols + 1);
     let t2 = e.cycles();
     phases.push(Phase {
         name: "scan-add",
@@ -212,21 +262,7 @@ pub fn transpose_crs_timed(
         name: "scatter",
         cycles: t3 - t2,
     });
-
-    if let Some(f) = e.mem_fault() {
-        return Err(f.into());
-    }
-    let report = TransposeReport {
-        cycles: t3,
-        nnz,
-        engine: e.stats_snapshot(),
-        scalar: Some(scalar_stats),
-        stm: None,
-        phases,
-        fu_busy: *e.fu_busy(),
-    };
-    let result = decode_result(e.mem(), &layout, rows, cols, nnz)?;
-    Ok((result, report))
+    Ok((phases, scalar_stats))
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //! exist.
 
 use crate::exec::KernelError;
+use crate::obs::{record_oob, record_phases};
 use crate::report::{Phase, TransposeReport};
+use stm_obs::Recorder;
 use stm_sparse::{Coo, Dense};
 use stm_vpsim::{Allocator, Engine, Memory, TimingKind, VpConfig};
 
@@ -30,6 +32,17 @@ pub fn transpose_dense_timed(
     coo: &Coo,
     timing: TimingKind,
 ) -> Result<(Dense, TransposeReport), KernelError> {
+    transpose_dense_obs(vp_cfg, coo, timing, &Recorder::disabled())
+}
+
+/// [`transpose_dense_timed`] with a structured-event [`Recorder`]. A
+/// disabled recorder makes this identical to [`transpose_dense_timed`].
+pub fn transpose_dense_obs(
+    vp_cfg: &VpConfig,
+    coo: &Coo,
+    timing: TimingKind,
+    rec: &Recorder,
+) -> Result<(Dense, TransposeReport), KernelError> {
     // `Dense::from_coo` indexes by entry coordinates; validate first so a
     // corrupted COO is a typed error rather than a panic.
     coo.validate(false)?;
@@ -46,6 +59,7 @@ pub fn transpose_dense_timed(
     }
     mem.guard(alloc.watermark(), vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
+    e.set_recorder(rec.clone());
     let s = vp_cfg.section_size;
 
     // For each output row (= input column): strided gather of the column,
@@ -61,6 +75,7 @@ pub fn transpose_dense_timed(
         }
     }
 
+    record_oob(rec, e.stats_snapshot().mem_oob_events, e.cycles());
     if let Some(f) = e.mem_fault() {
         return Err(f.into());
     }
@@ -79,6 +94,7 @@ pub fn transpose_dense_timed(
         }],
         fu_busy: *e.fu_busy(),
     };
+    record_phases(rec, &report.phases);
     let mem = e.into_mem();
     let mut out = Dense::zeros(cols, rows);
     for c in 0..cols {

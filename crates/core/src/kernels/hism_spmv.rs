@@ -22,8 +22,10 @@
 //! (left to right), standing in for the accumulation hardware of \[5\].
 
 use crate::exec::KernelError;
+use crate::obs::{record_oob, record_phases};
 use crate::report::{Phase, TransposeReport};
 use stm_hism::image::{HismImage, WORDS_PER_ENTRY};
+use stm_obs::Recorder;
 use stm_sparse::Value;
 use stm_vpsim::{Engine, Memory, TimingKind, VpConfig};
 
@@ -46,6 +48,18 @@ pub fn spmv_hism_timed(
     image: &HismImage,
     x: &[Value],
     timing: TimingKind,
+) -> Result<(Vec<Value>, TransposeReport), KernelError> {
+    spmv_hism_obs(vp_cfg, image, x, timing, &Recorder::disabled())
+}
+
+/// [`spmv_hism_timed`] with a structured-event [`Recorder`]. A disabled
+/// recorder makes this identical to [`spmv_hism_timed`].
+pub fn spmv_hism_obs(
+    vp_cfg: &VpConfig,
+    image: &HismImage,
+    x: &[Value],
+    timing: TimingKind,
+    rec: &Recorder,
 ) -> Result<(Vec<Value>, TransposeReport), KernelError> {
     if x.len() != image.root.cols as usize {
         return Err(KernelError::Config(format!(
@@ -78,9 +92,10 @@ pub fn spmv_hism_timed(
     // turns those into a recorded fault instead of silent growth.
     mem.guard(y_base + padded as u32, vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
+    e.set_recorder(rec.clone());
 
     let mut budget = image.words.len() / 2 + 1;
-    walk(
+    let walked = walk(
         &mut e,
         image.root.addr,
         image.root.len as usize,
@@ -90,7 +105,9 @@ pub fn spmv_hism_timed(
         y_base,
         s,
         &mut budget,
-    )?;
+    );
+    record_oob(rec, e.stats_snapshot().mem_oob_events, e.cycles());
+    walked?;
     if let Some(f) = e.mem_fault() {
         return Err(f.into());
     }
@@ -108,6 +125,7 @@ pub fn spmv_hism_timed(
         }],
         fu_busy: *e.fu_busy(),
     };
+    record_phases(rec, &report.phases);
     let mem = e.into_mem();
     let y = (0..padded)
         .map(|i| mem.read_f32(y_base + i as u32))

@@ -24,10 +24,12 @@
 
 use crate::coproc::StmCoprocessor;
 use crate::exec::KernelError;
+use crate::obs::{record_oob, record_phases};
 use crate::report::{Phase, TransposeReport};
 use crate::unit::StmConfig;
 use stm_hism::image::{HismImage, RootDesc, WORDS_PER_ENTRY};
 use stm_hism::ImageError;
+use stm_obs::Recorder;
 use stm_vpsim::{Engine, Memory, TimingKind, VpConfig};
 
 /// Scalar cycles charged per child-block recursion step: loading the
@@ -61,6 +63,20 @@ pub fn transpose_hism_timed(
     image: &HismImage,
     timing: TimingKind,
 ) -> Result<(HismImage, TransposeReport), KernelError> {
+    transpose_hism_obs(vp_cfg, stm_cfg, image, timing, &Recorder::disabled())
+}
+
+/// [`transpose_hism_timed`] with a structured-event [`Recorder`]: every
+/// vector instruction, STM block session (with buffer-utilization
+/// samples), phase span and memory-fault instant lands in `rec`. A
+/// disabled recorder makes this identical to [`transpose_hism_timed`].
+pub fn transpose_hism_obs(
+    vp_cfg: &VpConfig,
+    stm_cfg: StmConfig,
+    image: &HismImage,
+    timing: TimingKind,
+    rec: &Recorder,
+) -> Result<(HismImage, TransposeReport), KernelError> {
     if vp_cfg.section_size != stm_cfg.s {
         return Err(KernelError::Config(format!(
             "engine section size {} != STM section size {}",
@@ -80,19 +96,25 @@ pub fn transpose_hism_timed(
     // the image footprint, so anything past it is a corrupt pointer.
     mem.guard(image.words.len() as u32, vp_cfg.oob);
     let mut e = Engine::with_timing(vp_cfg.clone(), mem, timing);
+    e.set_recorder(rec.clone());
     let mut stm = StmCoprocessor::new(stm_cfg);
 
     // Entry budget: a well-formed image has one `[payload, pos]` pair per
     // entry, so total entries across all blockarrays is < words/2 + 1.
     let mut budget = image.words.len() / 2 + 1;
-    transpose_block(
+    let walked = transpose_block(
         &mut e,
         &mut stm,
         image.root.addr,
         image.root.len as usize,
         image.root.levels - 1,
         &mut budget,
-    )?;
+    );
+    // Fault accounting happens on every exit path so traces of corrupted
+    // runs still carry their `mem.oob` instants and counter.
+    stm.close_session(&e);
+    record_oob(rec, e.stats_snapshot().mem_oob_events, e.cycles());
+    walked?;
     if let Some(f) = e.mem_fault() {
         return Err(f.into());
     }
@@ -110,6 +132,7 @@ pub fn transpose_hism_timed(
         }],
         fu_busy: *e.fu_busy(),
     };
+    record_phases(rec, &report.phases);
     let mem = e.into_mem();
     let out = HismImage {
         words: mem.read_block(0, image.words.len()),

@@ -15,12 +15,13 @@ pub use crate::exec::{
     spmv_input, ExecCtx, Kernel, KernelError, KernelFailure, KernelOutput, KernelReport, Stage,
 };
 
-use crate::kernels::crs_scalar::transpose_crs_scalar_timed;
-use crate::kernels::crs_spmv::spmv_crs_timed;
-use crate::kernels::crs_transpose::transpose_crs_timed;
-use crate::kernels::dense_transpose::transpose_dense_timed;
-use crate::kernels::hism_spmv::spmv_hism_timed;
-use crate::kernels::hism_transpose::transpose_hism_timed;
+use crate::kernels::crs_scalar::transpose_crs_scalar_obs;
+use crate::kernels::crs_spmv::spmv_crs_obs;
+use crate::kernels::crs_transpose::transpose_crs_obs;
+use crate::kernels::dense_transpose::transpose_dense_obs;
+use crate::kernels::hism_spmv::spmv_hism_obs;
+use crate::kernels::hism_transpose::transpose_hism_obs;
+use crate::obs::record_lifecycle;
 use crate::report::TransposeReport;
 use stm_hism::{build, faults, FaultClass, FaultRecord, HismImage};
 use stm_sparse::rng::StdRng;
@@ -76,6 +77,7 @@ pub fn run_verified(name: &str, coo: &Coo, ctx: &ExecCtx) -> Result<KernelReport
     kernel
         .verify(coo, &report.output)
         .map_err(|e| fail(Stage::Verify, e))?;
+    record_lifecycle(&ctx.obs, &report, kernel.prepared_bytes());
     Ok(report)
 }
 
@@ -112,6 +114,12 @@ fn spmv_verify(coo: &Coo, x: &[Value], out: &KernelOutput) -> Result<(), KernelE
 
 fn config_err(msg: String) -> KernelError {
     KernelError::Config(msg)
+}
+
+/// Approximate byte size of prepared CSR arrays (row pointers + column
+/// indices + values, one 32-bit word each).
+fn csr_bytes(csr: &Csr) -> u64 {
+    4 * (csr.row_ptr().len() + csr.col_idx().len() + csr.values().len()) as u64
 }
 
 /// Shared fault injector for the CRS-input kernels: corrupts the prepared
@@ -208,8 +216,14 @@ impl Kernel for TransposeHism {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let image = self.image.as_ref().ok_or(KernelError::NotPrepared)?;
-        let (out, report) = transpose_hism_timed(&ctx.vp, ctx.stm, image, ctx.timing)?;
+        let (out, report) = transpose_hism_obs(&ctx.vp, ctx.stm, image, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Hism(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.image
+            .as_ref()
+            .map_or(0, |img| 4 * (img.words.len() as u64 + 6))
     }
 
     fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
@@ -253,8 +267,12 @@ impl Kernel for TransposeCrs {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
-        let (out, report) = transpose_crs_timed(&ctx.vp, csr, ctx.timing)?;
+        let (out, report) = transpose_crs_obs(&ctx.vp, csr, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.csr.as_ref().map_or(0, csr_bytes)
     }
 
     fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
@@ -285,8 +303,12 @@ impl Kernel for TransposeCrsScalar {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
-        let (out, report) = transpose_crs_scalar_timed(&ctx.vp, csr, ctx.timing)?;
+        let (out, report) = transpose_crs_scalar_obs(&ctx.vp, csr, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.csr.as_ref().map_or(0, csr_bytes)
     }
 
     fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
@@ -330,8 +352,15 @@ impl Kernel for TransposeDense {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let coo = self.coo.as_ref().ok_or(KernelError::NotPrepared)?;
-        let (out, report) = transpose_dense_timed(&ctx.vp, coo, ctx.timing)?;
+        let (out, report) = transpose_dense_obs(&ctx.vp, coo, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Dense(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        // The kernel materialises the full dense array in simulated memory.
+        self.coo
+            .as_ref()
+            .map_or(0, |coo| 4 * (coo.rows() * coo.cols()) as u64)
     }
 
     fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
@@ -417,8 +446,14 @@ impl Kernel for SpmvHism {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let image = self.image.as_ref().ok_or(KernelError::NotPrepared)?;
-        let (y, report) = spmv_hism_timed(&ctx.vp, image, &self.x, ctx.timing)?;
+        let (y, report) = spmv_hism_obs(&ctx.vp, image, &self.x, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.image
+            .as_ref()
+            .map_or(0, |img| 4 * (img.words.len() + 6 + self.x.len()) as u64)
     }
 
     fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
@@ -454,8 +489,14 @@ impl Kernel for SpmvCrs {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
-        let (y, report) = spmv_crs_timed(&ctx.vp, csr, &self.x, ctx.timing)?;
+        let (y, report) = spmv_crs_obs(&ctx.vp, csr, &self.x, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.csr
+            .as_ref()
+            .map_or(0, |csr| csr_bytes(csr) + 4 * self.x.len() as u64)
     }
 
     fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {

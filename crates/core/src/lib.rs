@@ -44,6 +44,7 @@ pub mod exec;
 pub mod kernels;
 pub mod locator;
 pub mod micro;
+pub mod obs;
 pub mod report;
 pub mod sxs;
 pub mod unit;

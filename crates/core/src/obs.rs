@@ -1,0 +1,111 @@
+//! Kernel-side observability helpers: stage/phase span emission and
+//! fault accounting on top of the shared [`Recorder`].
+//!
+//! Conventions (checked by `tests/trace_invariants.rs` and the
+//! `tracecheck` bin):
+//!
+//! * Stage spans live on [`Lane::Stage`]: `prepare` and `verify` are
+//!   zero-duration host-side spans, `run` covers `0 .. report.cycles` —
+//!   so the sum of stage-span durations equals the engine's reported
+//!   total.
+//! * Phase spans live on [`Lane::Phase`] as `Complete` events laid
+//!   end-to-end from cycle 0; their durations partition the run span.
+//! * Each out-of-bounds memory event is one `Instant` named `mem.oob`
+//!   on [`Lane::Fault`], and the `mem.oob_events` counter carries the
+//!   exact count (the ring may drop instants, the counter never lies).
+
+use crate::exec::KernelReport;
+use crate::report::Phase;
+use stm_obs::{Category, Lane, Recorder};
+
+/// Record the kernel's phases as end-to-end `Complete` spans on the
+/// phase lane (cumulative timestamps starting at cycle 0).
+pub fn record_phases(rec: &Recorder, phases: &[Phase]) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let mut ts = 0u64;
+    for p in phases {
+        rec.complete(Lane::Phase, Category::Phase, p.name, ts, p.cycles, 0);
+        rec.observe("phase.cycles", p.cycles);
+        ts += p.cycles;
+    }
+}
+
+/// Record `events` out-of-bounds memory faults observed by the end of
+/// the run (`ts`): one instant each plus the exact counter.
+pub fn record_oob(rec: &Recorder, events: u64, ts: u64) {
+    if !rec.is_enabled() || events == 0 {
+        return;
+    }
+    for _ in 0..events {
+        rec.instant(Lane::Fault, Category::Fault, "mem.oob", ts);
+    }
+    rec.add("mem.oob_events", events);
+}
+
+/// Record the prepare → run → verify stage spans and per-stage byte
+/// counters for a successfully verified kernel run.
+pub fn record_lifecycle(rec: &Recorder, report: &KernelReport, prepared_bytes: u64) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let cycles = report.report.cycles;
+    let p = rec.begin(Lane::Stage, Category::Stage, "prepare", 0);
+    rec.end(Lane::Stage, Category::Stage, "prepare", 0, p);
+    let r = rec.begin(Lane::Stage, Category::Stage, "run", 0);
+    rec.end(Lane::Stage, Category::Stage, "run", cycles, r);
+    let v = rec.begin(Lane::Stage, Category::Stage, "verify", cycles);
+    rec.end(Lane::Stage, Category::Stage, "verify", cycles, v);
+
+    rec.add("stage.prepare.bytes", prepared_bytes);
+    rec.add("stage.run.bytes", 4 * report.report.engine.mem_words);
+    rec.add("stage.verify.bytes", report.output.approx_bytes());
+    rec.add("stage.run.cycles", cycles);
+    rec.add("engine.instructions", report.report.engine.instructions);
+    rec.add("engine.elements", report.report.engine.elements);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_obs::check::validate;
+
+    #[test]
+    fn phases_lay_end_to_end() {
+        let rec = Recorder::enabled(64);
+        record_phases(
+            &rec,
+            &[
+                Phase {
+                    name: "a",
+                    cycles: 10,
+                },
+                Phase {
+                    name: "b",
+                    cycles: 5,
+                },
+            ],
+        );
+        let snap = rec.snapshot();
+        assert!(validate(&snap).is_ok());
+        assert_eq!(snap.events[0].ts, 0);
+        assert_eq!(snap.events[1].ts, 10);
+    }
+
+    #[test]
+    fn oob_instants_match_counter() {
+        let rec = Recorder::enabled(64);
+        record_oob(&rec, 3, 100);
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.counter("mem.oob_events"), 3);
+    }
+
+    #[test]
+    fn zero_oob_records_nothing() {
+        let rec = Recorder::enabled(64);
+        record_oob(&rec, 0, 100);
+        assert!(rec.snapshot().events.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Validate exported JSONL traces: structural invariants (per-lane
+//! timestamp monotonicity, proper LIFO span nesting, every span closed)
+//! plus kernel accounting (one `run` stage span, phase cycles partition
+//! it, fault instants match the `mem.oob_events` counter).
+//!
+//! Usage: `tracecheck <file.jsonl | dir> ...` — directories are scanned
+//! (non-recursively) for `*.jsonl`. Exits 0 when every file validates,
+//! 1 otherwise.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use stm_obs::jsonl::validate_jsonl;
+
+fn collect(path: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    } else {
+        files.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: tracecheck <file.jsonl | dir> ...");
+        return ExitCode::FAILURE;
+    }
+    let mut files = Vec::new();
+    for arg in &args {
+        if let Err(e) = collect(Path::new(arg), &mut files) {
+            eprintln!("tracecheck: {arg}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if files.is_empty() {
+        eprintln!("tracecheck: no .jsonl files found");
+        return ExitCode::FAILURE;
+    }
+    let mut bad = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tracecheck: {}: {e}", file.display());
+                bad += 1;
+                continue;
+            }
+        };
+        match validate_jsonl(&text) {
+            Ok(s) => println!(
+                "{}: ok ({} events, {} dropped, {} counters)",
+                file.display(),
+                s.events,
+                s.dropped,
+                s.counters.len()
+            ),
+            Err(errors) => {
+                bad += 1;
+                eprintln!("{}: INVALID ({} problem(s))", file.display(), errors.len());
+                for e in errors.iter().take(20) {
+                    eprintln!("  {e}");
+                }
+                if errors.len() > 20 {
+                    eprintln!("  ... and {} more", errors.len() - 20);
+                }
+            }
+        }
+    }
+    if bad == 0 {
+        println!("tracecheck: {} file(s) ok", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tracecheck: {bad} of {} file(s) invalid", files.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,162 @@
+//! Trace invariant checker: structural properties every well-formed
+//! recording must satisfy, used by the test suite and the `tracecheck`
+//! bin.
+//!
+//! Invariants:
+//!
+//! 1. **Per-lane monotonicity** — timestamps on one lane never decrease.
+//! 2. **Span nesting** — on each lane, `Begin`/`End` pairs form a proper
+//!    LIFO: each `End` closes the innermost open span and carries its id.
+//! 3. **Closure** — no span is left open at the end of the recording.
+//! 4. **Causality** — an `End` never precedes its `Begin` in time.
+//!
+//! When the ring dropped events (`dropped > 0`), the oldest `Begin`s may
+//! be gone, so only monotonicity (which survives arbitrary prefix loss)
+//! is checked.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, Lane};
+use crate::recorder::TraceData;
+
+/// Validate the structural invariants of a recording.
+///
+/// Returns `Ok(())` or the full list of violations (never panics).
+pub fn validate(data: &TraceData) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let mut last_ts: BTreeMap<Lane, u64> = BTreeMap::new();
+    // Per-lane stack of open spans: (span id, name, begin ts).
+    let mut open: BTreeMap<Lane, Vec<(u32, &'static str, u64)>> = BTreeMap::new();
+    let lossy = data.dropped > 0;
+
+    for (i, e) in data.events.iter().enumerate() {
+        if let Some(&prev) = last_ts.get(&e.lane) {
+            if e.ts < prev {
+                errors.push(format!(
+                    "event {i} ({} {:?}): timestamp {} goes backwards on lane {} (prev {})",
+                    e.name,
+                    e.kind.as_str(),
+                    e.ts,
+                    e.lane.label(),
+                    prev
+                ));
+            }
+        }
+        last_ts.insert(e.lane, e.ts);
+
+        if lossy {
+            continue;
+        }
+        match e.kind {
+            EventKind::Begin { span } => {
+                open.entry(e.lane).or_default().push((span, e.name, e.ts));
+            }
+            EventKind::End { span } => match open.entry(e.lane).or_default().pop() {
+                None => errors.push(format!(
+                    "event {i} ({}): End span {span} on lane {} with no open span",
+                    e.name,
+                    e.lane.label()
+                )),
+                Some((opened, name, begin_ts)) => {
+                    if opened != span {
+                        errors.push(format!(
+                            "event {i} ({}): End span {span} on lane {} does not match \
+                             innermost open span {opened} ({name}) — improper nesting",
+                            e.name,
+                            e.lane.label()
+                        ));
+                    }
+                    if e.ts < begin_ts {
+                        errors.push(format!(
+                            "event {i} ({}): span {span} ends at {} before it began at {begin_ts}",
+                            e.name, e.ts
+                        ));
+                    }
+                }
+            },
+            EventKind::Complete { .. } | EventKind::Instant | EventKind::Sample { .. } => {}
+        }
+    }
+
+    if !lossy {
+        for (lane, stack) in &open {
+            for (span, name, ts) in stack {
+                errors.push(format!(
+                    "span {span} ({name}, begun at {ts}) on lane {} never closed",
+                    lane.label()
+                ));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn well_formed_trace_validates() {
+        let r = Recorder::enabled(64);
+        let a = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        let b = r.begin(Lane::Stage, Category::Stage, "phase", 2);
+        r.complete(Lane::Alu, Category::Alu, "v_fadd", 1, 4, 64);
+        r.end(Lane::Stage, Category::Stage, "phase", 5, b);
+        r.end(Lane::Stage, Category::Stage, "run", 9, a);
+        assert!(validate(&r.snapshot()).is_ok());
+    }
+
+    #[test]
+    fn backwards_timestamp_is_caught() {
+        let r = Recorder::enabled(64);
+        r.complete(Lane::Alu, Category::Alu, "a", 10, 1, 0);
+        r.complete(Lane::Alu, Category::Alu, "b", 5, 1, 0);
+        let errs = validate(&r.snapshot()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("goes backwards")));
+    }
+
+    #[test]
+    fn other_lane_is_independent() {
+        let r = Recorder::enabled(64);
+        r.complete(Lane::Alu, Category::Alu, "a", 10, 1, 0);
+        r.complete(Lane::Mem(0), Category::Mem, "b", 5, 1, 0);
+        assert!(validate(&r.snapshot()).is_ok());
+    }
+
+    #[test]
+    fn unclosed_span_is_caught() {
+        let r = Recorder::enabled(64);
+        r.begin(Lane::Stage, Category::Stage, "run", 0);
+        let errs = validate(&r.snapshot()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("never closed")));
+    }
+
+    #[test]
+    fn crossed_spans_are_caught() {
+        let r = Recorder::enabled(64);
+        let a = r.begin(Lane::Stage, Category::Stage, "a", 0);
+        let _b = r.begin(Lane::Stage, Category::Stage, "b", 1);
+        // Close the OUTER span first: improper nesting.
+        r.end(Lane::Stage, Category::Stage, "a", 2, a);
+        let errs = validate(&r.snapshot()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("improper nesting")));
+    }
+
+    #[test]
+    fn lossy_trace_only_checks_monotonicity() {
+        let r = Recorder::enabled(1);
+        let a = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        r.end(Lane::Stage, Category::Stage, "run", 5, a);
+        // Ring of 1: the Begin was dropped; only End remains.
+        let snap = r.snapshot();
+        assert_eq!(snap.dropped, 1);
+        assert!(validate(&snap).is_ok());
+    }
+}

@@ -1,0 +1,317 @@
+//! Validation of exported JSON-lines traces (the logic behind the
+//! `tracecheck` bin): re-parses the text with the first-party JSON
+//! parser and re-checks the structural invariants of [`crate::check`],
+//! plus kernel-level accounting when the trace contains stage spans.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Summary of a validated JSONL trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonlSummary {
+    /// Number of event lines.
+    pub events: usize,
+    /// Events dropped by the ring (from the meta line).
+    pub dropped: u64,
+    /// Counters found in the trace, in file order.
+    pub counters: Vec<(String, u64)>,
+    /// Number of kernel-run stage spans found.
+    pub run_spans: usize,
+}
+
+fn req_u64(v: &Json, key: &str, line: usize, errors: &mut Vec<String>) -> u64 {
+    match v.get(key).and_then(Json::as_u64) {
+        Some(n) => n,
+        None => {
+            errors.push(format!("line {line}: missing integer field {key:?}"));
+            0
+        }
+    }
+}
+
+fn req_str<'a>(v: &'a Json, key: &str, line: usize, errors: &mut Vec<String>) -> &'a str {
+    match v.get(key).and_then(Json::as_str) {
+        Some(s) => s,
+        None => {
+            errors.push(format!("line {line}: missing string field {key:?}"));
+            ""
+        }
+    }
+}
+
+/// Validate a JSONL trace document.
+///
+/// Structural checks: a leading `meta` line whose event count matches,
+/// well-formed typed lines, per-lane timestamp monotonicity, and (when
+/// nothing was dropped) proper LIFO span nesting with every span closed.
+/// If the trace carries kernel stage spans, additionally checks that
+/// exactly one `run` span exists, that phase durations partition it, and
+/// that `mem.oob_events` matches the number of fault instants.
+pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut summary = JsonlSummary::default();
+
+    let mut lines = text.lines().enumerate();
+    let meta = match lines.next() {
+        None => return Err(vec!["empty trace".to_string()]),
+        Some((_, first)) => match Json::parse(first) {
+            Err(e) => return Err(vec![format!("line 1: {e}")]),
+            Ok(v) => {
+                if v.get("type").and_then(Json::as_str) != Some("meta") {
+                    errors.push("line 1: first line must be a meta record".to_string());
+                }
+                v
+            }
+        },
+    };
+    let declared_events = req_u64(&meta, "events", 1, &mut errors);
+    summary.dropped = req_u64(&meta, "dropped", 1, &mut errors);
+    let lossy = summary.dropped > 0;
+
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut open: BTreeMap<u64, Vec<(u64, String, u64)>> = BTreeMap::new();
+    // Stage-span accounting: name -> (begin ts, end ts) for closed spans.
+    let mut stage_spans: Vec<(String, u64, u64)> = Vec::new();
+    let mut stage_stack: Vec<(u64, String, u64)> = Vec::new();
+    let mut phase_cycles: u64 = 0;
+    let mut saw_phase = false;
+    let mut fault_instants: u64 = 0;
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("line {lineno}: {e}"));
+                continue;
+            }
+        };
+        match v.get("type").and_then(Json::as_str) {
+            Some("event") => {
+                summary.events += 1;
+                let ts = req_u64(&v, "ts", lineno, &mut errors);
+                let tid = req_u64(&v, "tid", lineno, &mut errors);
+                let lane = req_str(&v, "lane", lineno, &mut errors).to_string();
+                let name = req_str(&v, "name", lineno, &mut errors).to_string();
+                let kind = req_str(&v, "kind", lineno, &mut errors).to_string();
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        errors.push(format!(
+                            "line {lineno}: timestamp {ts} goes backwards on lane {lane} (prev {prev})"
+                        ));
+                    }
+                }
+                last_ts.insert(tid, ts);
+                match kind.as_str() {
+                    "begin" => {
+                        let span = req_u64(&v, "span", lineno, &mut errors);
+                        if !lossy {
+                            open.entry(tid).or_default().push((span, name.clone(), ts));
+                        }
+                        if lane == "stage" {
+                            stage_stack.push((span, name, ts));
+                        }
+                    }
+                    "end" => {
+                        let span = req_u64(&v, "span", lineno, &mut errors);
+                        if !lossy {
+                            match open.entry(tid).or_default().pop() {
+                                None => errors.push(format!(
+                                    "line {lineno}: End span {span} on lane {lane} with no open span"
+                                )),
+                                Some((opened, oname, bts)) => {
+                                    if opened != span {
+                                        errors.push(format!(
+                                            "line {lineno}: End span {span} does not match innermost \
+                                             open span {opened} ({oname}) on lane {lane}"
+                                        ));
+                                    }
+                                    if ts < bts {
+                                        errors.push(format!(
+                                            "line {lineno}: span {span} ends at {ts} before begin {bts}"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        if lane == "stage" {
+                            if let Some((_, sname, bts)) = stage_stack.pop() {
+                                stage_spans.push((sname, bts, ts));
+                            }
+                        }
+                    }
+                    "complete" => {
+                        let dur = req_u64(&v, "dur", lineno, &mut errors);
+                        if lane == "phase" {
+                            phase_cycles += dur;
+                            saw_phase = true;
+                        }
+                    }
+                    "instant" => {
+                        if lane == "fault" {
+                            fault_instants += 1;
+                        }
+                    }
+                    "sample" => {
+                        if v.get("value").and_then(Json::as_f64).is_none() {
+                            errors.push(format!("line {lineno}: sample without numeric value"));
+                        }
+                    }
+                    other => errors.push(format!("line {lineno}: unknown event kind {other:?}")),
+                }
+            }
+            Some("counter") => {
+                let name = req_str(&v, "name", lineno, &mut errors).to_string();
+                let value = req_u64(&v, "value", lineno, &mut errors);
+                summary.counters.push((name, value));
+            }
+            Some("histogram") => {
+                req_str(&v, "name", lineno, &mut errors);
+                req_u64(&v, "count", lineno, &mut errors);
+            }
+            Some("meta") => errors.push(format!("line {lineno}: duplicate meta record")),
+            other => errors.push(format!("line {lineno}: unknown record type {other:?}")),
+        }
+    }
+
+    if summary.events as u64 != declared_events {
+        errors.push(format!(
+            "meta declares {declared_events} events but {} found",
+            summary.events
+        ));
+    }
+    if !lossy {
+        for (tid, stack) in &open {
+            for (span, name, ts) in stack {
+                errors.push(format!(
+                    "span {span} ({name}, begun at {ts}) on tid {tid} never closed"
+                ));
+            }
+        }
+    }
+
+    // Kernel-level accounting, when the trace has stage spans.
+    let runs: Vec<&(String, u64, u64)> =
+        stage_spans.iter().filter(|(n, _, _)| n == "run").collect();
+    summary.run_spans = runs.len();
+    if !stage_spans.is_empty() && !lossy {
+        if runs.len() != 1 {
+            errors.push(format!(
+                "expected exactly one run stage span, found {}",
+                runs.len()
+            ));
+        }
+        if let [(_, begin, end)] = runs.as_slice() {
+            let run_dur = end - begin;
+            if saw_phase && phase_cycles != run_dur {
+                errors.push(format!(
+                    "phase cycles {phase_cycles} do not sum to run span duration {run_dur}"
+                ));
+            }
+        }
+        let declared = summary
+            .counters
+            .iter()
+            .find(|(n, _)| n == "mem.oob_events")
+            .map(|(_, v)| *v);
+        if let Some(declared) = declared {
+            if declared != fault_instants {
+                errors.push(format!(
+                    "counter mem.oob_events = {declared} but {fault_instants} fault instants recorded"
+                ));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Lane};
+    use crate::export::to_jsonl;
+    use crate::recorder::Recorder;
+
+    fn kernel_like_trace() -> String {
+        let r = Recorder::enabled(64);
+        let p = r.begin(Lane::Stage, Category::Stage, "prepare", 0);
+        r.end(Lane::Stage, Category::Stage, "prepare", 0, p);
+        let run = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        r.complete(Lane::Phase, Category::Phase, "histogram", 0, 40, 0);
+        r.complete(Lane::Phase, Category::Phase, "scatter", 40, 60, 0);
+        r.instant(Lane::Fault, Category::Fault, "mem.oob", 50);
+        r.end(Lane::Stage, Category::Stage, "run", 100, run);
+        let v = r.begin(Lane::Stage, Category::Stage, "verify", 100);
+        r.end(Lane::Stage, Category::Stage, "verify", 100, v);
+        r.add("mem.oob_events", 1);
+        to_jsonl(&r.snapshot())
+    }
+
+    #[test]
+    fn well_formed_kernel_trace_passes() {
+        let s = validate_jsonl(&kernel_like_trace()).unwrap();
+        assert_eq!(s.run_spans, 1);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.counters, vec![("mem.oob_events".to_string(), 1)]);
+    }
+
+    #[test]
+    fn phase_mismatch_is_caught() {
+        let r = Recorder::enabled(64);
+        let run = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        r.complete(Lane::Phase, Category::Phase, "only", 0, 30, 0);
+        r.end(Lane::Stage, Category::Stage, "run", 100, run);
+        let errs = validate_jsonl(&to_jsonl(&r.snapshot())).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("do not sum")), "{errs:?}");
+    }
+
+    #[test]
+    fn oob_counter_mismatch_is_caught() {
+        let r = Recorder::enabled(64);
+        let run = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        r.end(Lane::Stage, Category::Stage, "run", 0, run);
+        r.add("mem.oob_events", 2);
+        let errs = validate_jsonl(&to_jsonl(&r.snapshot())).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("fault instants")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn event_count_mismatch_is_caught() {
+        let mut text = kernel_like_trace();
+        // Drop the last event-free line won't change counts; instead drop an event line.
+        let victim = text
+            .lines()
+            .position(|l| l.contains("\"type\":\"event\""))
+            .unwrap();
+        let lines: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, l)| l)
+            .collect();
+        text = lines.join("\n");
+        let errs = validate_jsonl(&text).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("declares")), "{errs:?}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("{\"type\":\"event\"}").is_err());
+        let errs =
+            validate_jsonl("{\"type\":\"meta\",\"events\":0,\"dropped\":0}\nnot json").unwrap_err();
+        assert!(!errs.is_empty());
+    }
+}

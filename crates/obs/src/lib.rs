@@ -1,0 +1,49 @@
+//! # stm-obs — cycle-level observability for the HiSM/STM simulator
+//!
+//! A first-party, zero-dependency tracing and metrics layer:
+//!
+//! * [`event`] — the event model: [`Lane`]s (logical timelines),
+//!   [`Category`]s, and cycle-stamped [`TraceEvent`]s;
+//! * [`recorder`] — the cloneable [`Recorder`] handle over a shared
+//!   ring buffer plus counters/histograms; disabled recorders are
+//!   true no-ops;
+//! * [`metrics`] — deterministic named counters and log2 histograms;
+//! * [`export`] — byte-deterministic JSONL, CSV, and Chrome
+//!   `trace_event` exporters (open in `about:tracing` / Perfetto);
+//! * [`check`] — structural invariant validation over a recording
+//!   (per-lane monotonicity, LIFO span nesting, closure);
+//! * [`jsonl`] — re-validation of exported JSONL text (the logic
+//!   behind the `tracecheck` bin);
+//! * [`json`] — a minimal JSON parser used to re-read exports.
+//!
+//! # Example
+//!
+//! ```
+//! use stm_obs::{Category, Lane, Recorder};
+//!
+//! let rec = Recorder::enabled(1024);
+//! let run = rec.begin(Lane::Stage, Category::Stage, "run", 0);
+//! rec.complete(Lane::Mem(0), Category::Mem, "v_ld", 0, 36, 64);
+//! rec.end(Lane::Stage, Category::Stage, "run", 36, run);
+//! rec.add("mem.words", 64);
+//!
+//! let snap = rec.snapshot();
+//! assert!(stm_obs::check::validate(&snap).is_ok());
+//! let jsonl = stm_obs::export::to_jsonl(&snap);
+//! assert!(stm_obs::jsonl::validate_jsonl(&jsonl).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod jsonl;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{Category, EventKind, Lane, TraceEvent};
+pub use metrics::{Histogram, Metrics};
+pub use recorder::{Recorder, TraceData, DEFAULT_CAPACITY};

@@ -1,0 +1,162 @@
+//! Counters and histograms, kept outside the event ring so that ring
+//! overflow (oldest events dropped) never corrupts aggregate metrics.
+
+use std::collections::BTreeMap;
+
+/// A log2-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` counts observations `v` with `floor(log2(v)) == i - 1`
+/// (bucket 0 counts `v == 0`). Cheap, allocation-free after creation,
+/// and deterministic — good enough to see instruction-length and span
+/// shape distributions without pulling in a dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let b = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[b] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// Named counters and histograms with deterministic (sorted) iteration.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Add `delta` to the counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Record `value` into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of counter `name`, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1024 -> 11.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]
+        );
+    }
+
+    #[test]
+    fn counters_iterate_sorted() {
+        let mut m = Metrics::default();
+        m.add("z", 1);
+        m.add("a", 2);
+        m.add("z", 3);
+        let got: Vec<_> = m.counters().collect();
+        assert_eq!(got, vec![("a", 2), ("z", 4)]);
+        assert_eq!(m.counter("z"), 4);
+        assert_eq!(m.counter("missing"), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The [`Recorder`]: a cloneable handle to a shared ring-buffered event
+//! sink plus counters/histograms. A disabled recorder is a true no-op —
+//! every method is a branch on a `None` and returns immediately, so
+//! instrumented code pays (almost) nothing when tracing is off.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Category, EventKind, Lane, TraceEvent};
+use crate::metrics::{Histogram, Metrics};
+
+/// Default event-ring capacity used by [`Recorder::enabled_default`].
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+#[derive(Debug)]
+struct Inner {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    next_span: u32,
+    metrics: Metrics,
+}
+
+impl Inner {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+/// A cloneable recording handle. Clones share the same underlying ring
+/// and metrics, so a recorder survives context clones (e.g. a kernel
+/// harness cloning its execution context per attempt) and every layer
+/// writes into one trace.
+///
+/// The disabled recorder ([`Recorder::disabled`], also the `Default`)
+/// carries no allocation and ignores every call.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Recorder {
+    /// A no-op recorder: records nothing, allocates nothing.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder with an event ring of `capacity` (oldest events
+    /// are dropped past that, counted in [`TraceData::dropped`]).
+    pub fn enabled(capacity: usize) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                events: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                dropped: 0,
+                next_span: 1,
+                metrics: Metrics::default(),
+            }))),
+        }
+    }
+
+    /// A live recorder with the default ring capacity.
+    pub fn enabled_default() -> Self {
+        Self::enabled(DEFAULT_CAPACITY)
+    }
+
+    /// Whether this recorder actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span on `lane` at cycle `ts`. Returns the span id to pass
+    /// to [`Recorder::end`] (0 when disabled).
+    pub fn begin(&self, lane: Lane, cat: Category, name: &'static str, ts: u64) -> u32 {
+        let Some(inner) = &self.inner else { return 0 };
+        let mut g = inner.lock().unwrap();
+        let span = g.next_span;
+        g.next_span += 1;
+        g.push(TraceEvent {
+            ts,
+            lane,
+            cat,
+            name,
+            kind: EventKind::Begin { span },
+        });
+        span
+    }
+
+    /// Close span `span` (from [`Recorder::begin`]) on `lane` at `ts`.
+    pub fn end(&self, lane: Lane, cat: Category, name: &'static str, ts: u64, span: u32) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().unwrap().push(TraceEvent {
+            ts,
+            lane,
+            cat,
+            name,
+            kind: EventKind::End { span },
+        });
+    }
+
+    /// Record a self-contained span `ts .. ts + dur` on `lane`.
+    pub fn complete(
+        &self,
+        lane: Lane,
+        cat: Category,
+        name: &'static str,
+        ts: u64,
+        dur: u64,
+        elements: u64,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().unwrap().push(TraceEvent {
+            ts,
+            lane,
+            cat,
+            name,
+            kind: EventKind::Complete { dur, elements },
+        });
+    }
+
+    /// Record a zero-duration marker on `lane` at `ts`.
+    pub fn instant(&self, lane: Lane, cat: Category, name: &'static str, ts: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().unwrap().push(TraceEvent {
+            ts,
+            lane,
+            cat,
+            name,
+            kind: EventKind::Instant,
+        });
+    }
+
+    /// Record a sampled value on `lane` at `ts`.
+    pub fn sample(&self, lane: Lane, name: &'static str, ts: u64, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().unwrap().push(TraceEvent {
+            ts,
+            lane,
+            cat: Category::Sample,
+            name,
+            kind: EventKind::Sample { value },
+        });
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().unwrap().metrics.add(name, delta);
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().unwrap().metrics.observe(name, value);
+    }
+
+    /// Snapshot the recording so far (events in arrival order, counters
+    /// and histograms in name order). Empty when disabled.
+    pub fn snapshot(&self) -> TraceData {
+        let Some(inner) = &self.inner else {
+            return TraceData::default();
+        };
+        let g = inner.lock().unwrap();
+        TraceData {
+            events: g.events.iter().cloned().collect(),
+            dropped: g.dropped,
+            counters: g
+                .metrics
+                .counters()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: g
+                .metrics
+                .histograms()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable snapshot of a recording.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Events in arrival order (the ring may have dropped the oldest).
+    pub events: Vec<TraceEvent>,
+    /// How many events were dropped due to ring overflow.
+    pub dropped: u64,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TraceData {
+    /// Value of counter `name`, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// JSON-lines export (see [`crate::export::to_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        crate::export::to_jsonl(self)
+    }
+
+    /// CSV export (see [`crate::export::to_csv`]).
+    pub fn to_csv(&self) -> String {
+        crate::export::to_csv(self)
+    }
+
+    /// Chrome `trace_event` export (see [`crate::export::to_chrome_trace`]).
+    pub fn to_chrome_trace(&self) -> String {
+        crate::export::to_chrome_trace(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let s = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        assert_eq!(s, 0);
+        r.end(Lane::Stage, Category::Stage, "run", 10, s);
+        r.complete(Lane::Alu, Category::Alu, "v_fadd", 0, 4, 64);
+        r.add("x", 1);
+        r.observe("h", 7);
+        let snap = r.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let r = Recorder::enabled(8);
+        let r2 = r.clone();
+        r.complete(Lane::Alu, Category::Alu, "a", 0, 1, 0);
+        r2.complete(Lane::Alu, Category::Alu, "b", 1, 1, 0);
+        r2.add("n", 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.counter("n"), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let r = Recorder::enabled(2);
+        for i in 0..5u64 {
+            r.instant(Lane::Fault, Category::Fault, "f", i);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.events[0].ts, 3);
+        assert_eq!(snap.events[1].ts, 4);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let r = Recorder::enabled(16);
+        let a = r.begin(Lane::Stage, Category::Stage, "outer", 0);
+        let b = r.begin(Lane::Stage, Category::Stage, "inner", 1);
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -12,6 +12,7 @@ use crate::mem::Memory;
 use crate::stats::EngineStats;
 use crate::timing::{TimingKind, TimingModel};
 use crate::trace::{FuBusy, Trace, TraceEvent};
+use stm_obs::{Category, Lane, Recorder};
 
 /// Functional-unit ports of the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +110,9 @@ pub struct Engine {
     stats: EngineStats,
     busy_acct: FuBusy,
     trace: Option<Trace>,
+    /// Structured observability sink (no-op unless a live recorder is
+    /// installed via [`Engine::set_recorder`]).
+    obs: Recorder,
     /// The timing model completing every instruction (see [`crate::timing`]).
     timing: &'static dyn TimingModel,
 }
@@ -135,6 +139,7 @@ impl Engine {
             stats: EngineStats::default(),
             busy_acct: FuBusy::default(),
             trace: None,
+            obs: Recorder::disabled(),
             timing: timing.model(),
         }
     }
@@ -152,6 +157,19 @@ impl Engine {
     /// The instruction trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Installs a structured-event recorder: every retired instruction
+    /// becomes a `Complete` span on its functional-unit lane, serial
+    /// phases land on the scalar lane. A disabled recorder (the default)
+    /// records nothing.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
+    }
+
+    /// The installed observability recorder (shared handle).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Per-functional-unit busy-cycle accounting.
@@ -224,9 +242,14 @@ impl Engine {
     /// in flight completes, then the scalar phase runs to completion.
     pub fn advance_serial(&mut self, cycles: u64) {
         let c = self.timing.scalar_cycles(cycles);
-        self.clock = self.cycles() + c;
+        let start = self.cycles();
+        self.clock = start + c;
         self.horizon = self.horizon.max(self.clock);
         self.stats.scalar_cycles += c;
+        if self.obs.is_enabled() {
+            self.obs
+                .complete(Lane::Scalar, Category::Scalar, "serial", start, c, 0);
+        }
     }
 
     /// Blocks instruction issue until cycle `t` (used by the STM's
@@ -294,6 +317,18 @@ impl Engine {
                 last_done: completion.last().copied().unwrap_or(issue),
                 elements: completion.len(),
             });
+        }
+        if self.obs.is_enabled() {
+            let (lane, cat) = match fu {
+                Fu::Mem => (Lane::Mem(port as u8), Category::Mem),
+                Fu::Alu => (Lane::Alu, Category::Alu),
+                Fu::Stm => (Lane::Stm, Category::Stm),
+            };
+            let last = completion.last().copied().unwrap_or(issue);
+            let dur = (last + 1).saturating_sub(issue);
+            self.obs
+                .complete(lane, cat, op, issue, dur, completion.len() as u64);
+            self.obs.observe("instr.cycles", dur);
         }
     }
 
@@ -1050,6 +1085,39 @@ mod tests {
         let idx = VReg::ready_at((0..8).collect(), 0);
         let done = e.v_scatter_add_f32(&vals, 50, &idx);
         assert_eq!(done + 1, 36);
+    }
+
+    #[test]
+    fn recorder_captures_instruction_spans() {
+        let mut e = engine();
+        let rec = Recorder::enabled(256);
+        e.set_recorder(rec.clone());
+        let r = e.v_ld(0, 64);
+        e.v_add_imm(&r, 1);
+        e.advance_serial(10);
+        let snap = rec.snapshot();
+        assert!(stm_obs::check::validate(&snap).is_ok());
+        let names: Vec<&str> = snap.events.iter().map(|ev| ev.name).collect();
+        assert_eq!(names, vec!["v_ld", "v_add_imm", "serial"]);
+        assert_eq!(snap.events[0].lane, Lane::Mem(0));
+        assert_eq!(snap.events[1].lane, Lane::Alu);
+        assert_eq!(snap.events[2].lane, Lane::Scalar);
+        // The load span covers the paper's 36-cycle worked example.
+        match snap.events[0].kind {
+            stm_obs::EventKind::Complete { dur, elements } => {
+                assert_eq!(dur, 36);
+                assert_eq!(elements, 64);
+            }
+            ref other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recorder_off_by_default_records_nothing() {
+        let mut e = engine();
+        assert!(!e.recorder().is_enabled());
+        e.v_ld(0, 8);
+        assert!(e.recorder().snapshot().events.is_empty());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * [`vpsim`] — the cycle-timing vector processor simulator;
 //! * [`stm`] — the Sparse matrix Transposition Mechanism (functional unit)
 //!   and the HiSM / CRS transposition kernels;
-//! * [`dsab`] — the synthetic D-SAB benchmark suite.
+//! * [`dsab`] — the synthetic D-SAB benchmark suite;
+//! * [`obs`] — cycle-level structured tracing and metrics (spans,
+//!   counters, Chrome-trace export; see DESIGN.md §9).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 //!
@@ -56,6 +58,7 @@
 
 pub use stm_dsab as dsab;
 pub use stm_hism as hism;
+pub use stm_obs as obs;
 pub use stm_sparse as sparse;
 pub use stm_vpsim as vpsim;
 

@@ -58,3 +58,105 @@ pub fn arb_positions(r: &mut StdRng, s: usize, min: usize, max: usize) -> Vec<(u
 pub fn pick<T: Copy>(r: &mut StdRng, options: &[T]) -> T {
     options[r.gen_range(0..options.len())]
 }
+
+/// `true` when the property holds on `coo` — a panic inside the property
+/// counts as a failure, so shrinking works for `unwrap`-style properties
+/// too.
+fn holds(ok: &dyn Fn(&Coo) -> bool, coo: &Coo) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ok(coo))).unwrap_or(false)
+}
+
+/// The shrink candidates of one matrix, most aggressive first: trim the
+/// shape to the entries' bounding box, halve the shape (dropping entries
+/// that fall outside), halve the entry list, and — once the list is small
+/// — drop entries one at a time.
+fn shrink_candidates(coo: &Coo) -> Vec<Coo> {
+    let (rows, cols) = (coo.rows(), coo.cols());
+    let entries = coo.entries().to_vec();
+    let rebuild = |rows: usize, cols: usize, kept: Vec<(usize, usize, f32)>| {
+        Coo::from_triplets(rows.max(1), cols.max(1), kept).ok()
+    };
+    let mut out = Vec::new();
+    // Bounding box: the smallest shape still holding every entry.
+    let max_r = entries.iter().map(|e| e.0 + 1).max().unwrap_or(1);
+    let max_c = entries.iter().map(|e| e.1 + 1).max().unwrap_or(1);
+    if max_r < rows || max_c < cols {
+        out.extend(rebuild(max_r, max_c, entries.clone()));
+    }
+    if rows > 1 {
+        let half = rows.div_ceil(2);
+        let kept = entries.iter().copied().filter(|e| e.0 < half).collect();
+        out.extend(rebuild(half, cols, kept));
+    }
+    if cols > 1 {
+        let half = cols.div_ceil(2);
+        let kept = entries.iter().copied().filter(|e| e.1 < half).collect();
+        out.extend(rebuild(rows, half, kept));
+    }
+    let n = entries.len();
+    if n > 1 {
+        out.extend(rebuild(rows, cols, entries[..n / 2].to_vec()));
+        out.extend(rebuild(rows, cols, entries[n / 2..].to_vec()));
+    }
+    if (1..=12).contains(&n) {
+        for k in 0..n {
+            let mut kept = entries.clone();
+            kept.remove(k);
+            out.extend(rebuild(rows, cols, kept));
+        }
+    }
+    out
+}
+
+/// Greedy shrinking minimizer: starting from a matrix on which the
+/// property fails, repeatedly replaces it with the first shrink candidate
+/// that *still* fails, until no candidate does. Deterministic (no RNG), so
+/// replaying a seed/case pair always minimizes to the same matrix.
+pub fn shrink_coo(coo: &Coo, ok: &dyn Fn(&Coo) -> bool) -> Coo {
+    let mut cur = coo.clone();
+    'outer: loop {
+        for cand in shrink_candidates(&cur) {
+            let smaller =
+                cand.nnz() < cur.nnz() || cand.rows() < cur.rows() || cand.cols() < cur.cols();
+            if smaller && !holds(ok, &cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// One-line rendering of a matrix small enough to paste into a unit test.
+pub fn describe_coo(coo: &Coo) -> String {
+    let entries = coo.entries();
+    let listing = if entries.len() <= 24 {
+        format!("{entries:?}")
+    } else {
+        format!("{:?} …(+{} more)", &entries[..24], entries.len() - 24)
+    };
+    format!(
+        "{}x{} with {} raw entries: {listing}",
+        coo.rows(),
+        coo.cols(),
+        entries.len()
+    )
+}
+
+/// Checks a property over one generated case; on failure, shrinks the
+/// matrix to a minimal counterexample and panics with the replay seed and
+/// the minimal matrix. Properties may signal failure by returning `false`
+/// *or* by panicking.
+pub fn check_coo_property(name: &str, seed: u64, case: u64, coo: &Coo, ok: impl Fn(&Coo) -> bool) {
+    let ok: &dyn Fn(&Coo) -> bool = &ok;
+    if holds(ok, coo) {
+        return;
+    }
+    let min = shrink_coo(coo, ok);
+    panic!(
+        "property '{name}' failed (replay: seed {seed:#x}, case {case})\n  \
+         original: {}\n  minimal counterexample: {}",
+        describe_coo(coo),
+        describe_coo(&min)
+    );
+}

@@ -23,9 +23,13 @@ fn csr_round_trip() {
     for case in 0..CASES {
         let mut r = case_rng(0xF1, case);
         let coo = arb_coo(&mut r, 90, 160);
-        let mut back = Csr::from_coo(&coo).to_coo();
-        back.canonicalize();
-        assert_eq!(back, canon(&coo), "case {case}");
+        // A failing case is shrunk to a minimal counterexample before the
+        // panic (see `common::check_coo_property`).
+        common::check_coo_property("csr_round_trip", 0xF1, case, &coo, |m| {
+            let mut back = Csr::from_coo(m).to_coo();
+            back.canonicalize();
+            back == canon(m)
+        });
     }
 }
 
@@ -55,9 +59,11 @@ fn hism_round_trip_at_several_section_sizes() {
         let mut r = case_rng(0xF4, case);
         let coo = arb_coo(&mut r, 90, 160);
         let s = common::pick(&mut r, &[2usize, 4, 8, 64]);
-        let h = build::from_coo(&coo, s).unwrap();
-        h.validate().unwrap();
-        assert_eq!(build::to_coo(&h), canon(&coo), "case {case} (s = {s})");
+        common::check_coo_property("hism_round_trip", 0xF4, case, &coo, |m| {
+            let h = build::from_coo(m, s).unwrap();
+            h.validate().unwrap();
+            build::to_coo(&h) == canon(m)
+        });
     }
 }
 
@@ -104,22 +110,16 @@ fn all_transposes_agree() {
     for case in 0..CASES {
         let mut r = case_rng(0xF7, case);
         let coo = arb_coo(&mut r, 90, 160);
-        let oracle = coo.transpose_canonical();
-        let mut a = Csr::from_coo(&coo).transpose_pissanetsky().to_coo();
-        a.canonicalize();
-        assert_eq!(&a, &oracle, "case {case}");
-        let h = build::from_coo(&coo, 8).unwrap();
-        assert_eq!(
-            &build::to_coo(&hism_sw::transpose(&h)),
-            &oracle,
-            "case {case}"
-        );
-        let mut c = Csc::from_coo(&coo)
-            .into_csr_of_transpose()
-            .unwrap()
-            .to_coo();
-        c.canonicalize();
-        assert_eq!(&c, &oracle, "case {case}");
+        common::check_coo_property("all_transposes_agree", 0xF7, case, &coo, |m| {
+            let oracle = m.transpose_canonical();
+            let mut a = Csr::from_coo(m).transpose_pissanetsky().to_coo();
+            a.canonicalize();
+            let h = build::from_coo(m, 8).unwrap();
+            let b = build::to_coo(&hism_sw::transpose(&h));
+            let mut c = Csc::from_coo(m).into_csr_of_transpose().unwrap().to_coo();
+            c.canonicalize();
+            a == oracle && b == oracle && c == oracle
+        });
     }
 }
 
@@ -189,6 +189,47 @@ fn try_decode_never_panics_on_corruption() {
         }
         let _ = img.decode(); // must not panic
     }
+}
+
+#[test]
+fn shrinker_minimizes_a_planted_failure() {
+    // A synthetic property that fails exactly when a marker value is
+    // present: the minimizer must strip everything else away and trim the
+    // shape down to the marker's bounding box.
+    for case in 0..8 {
+        let mut r = case_rng(0xFD, case);
+        let mut coo = arb_coo(&mut r, 60, 80);
+        let (pi, pj) = (
+            r.gen_range(0..coo.rows().max(1)),
+            r.gen_range(0..coo.cols().max(1)),
+        );
+        coo.push(pi, pj, 42.5);
+        let ok = |m: &Coo| !m.entries().iter().any(|e| e.2 == 42.5);
+        assert!(!ok(&coo));
+        let min = common::shrink_coo(&coo, &ok);
+        assert_eq!(
+            min.entries().len(),
+            1,
+            "case {case}: {}",
+            common::describe_coo(&min)
+        );
+        assert_eq!(min.entries()[0].2, 42.5, "case {case}");
+        // Bounding-box trim: the shape is exactly what the entry needs.
+        assert_eq!((min.rows(), min.cols()), (pi + 1, pj + 1), "case {case}");
+    }
+}
+
+#[test]
+fn shrinker_handles_panicking_properties() {
+    // Properties that fail by panicking (unwrap-style) shrink too.
+    let coo = Coo::from_triplets(16, 16, vec![(3, 4, 1.0), (9, 2, 2.0)]).unwrap();
+    let ok = |m: &Coo| {
+        assert!(m.entries().iter().all(|e| e.0 != 9), "planted panic");
+        true
+    };
+    let min = common::shrink_coo(&coo, &ok);
+    assert_eq!(min.entries().len(), 1);
+    assert_eq!(min.entries()[0].0, 9);
 }
 
 #[test]

@@ -40,17 +40,17 @@ fn simulated_hism_transpose_is_exact_for_any_geometry() {
         let mut r = case_rng(0xA1, case);
         let coo = arb_coo(&mut r, 70, 120);
         let (vp, stm) = arb_geometry(&mut r);
-        let h = build::from_coo(&coo, stm.s).unwrap();
-        let img = HismImage::encode(&h);
-        let (out, report) = transpose_hism(&vp, stm, &img).unwrap();
-        assert_eq!(
-            build::to_coo(&out.decode().unwrap()),
-            coo.transpose_canonical(),
-            "case {case}"
-        );
-        let mut canon = coo.clone();
-        canon.canonicalize();
-        assert_eq!(report.nnz, canon.nnz(), "case {case}");
+        // A failing case is shrunk to a minimal counterexample before the
+        // panic (see `common::check_coo_property`).
+        common::check_coo_property("hism_transpose_exact", 0xA1, case, &coo, |m| {
+            let h = build::from_coo(m, stm.s).unwrap();
+            let img = HismImage::encode(&h);
+            let (out, report) = transpose_hism(&vp, stm, &img).unwrap();
+            let mut canon = m.clone();
+            canon.canonicalize();
+            build::to_coo(&out.decode().unwrap()) == m.transpose_canonical()
+                && report.nnz == canon.nnz()
+        });
     }
 }
 
@@ -61,11 +61,12 @@ fn simulated_crs_transpose_is_exact() {
         let coo = arb_coo(&mut r, 70, 120);
         let mut vp = VpConfig::paper();
         vp.chaining = r.gen_bool(0.5);
-        let csr = Csr::from_coo(&coo);
-        let (got, report) = transpose_crs(&vp, &csr).unwrap();
-        assert_eq!(&got, &csr.transpose_pissanetsky(), "case {case}");
-        got.validate().unwrap();
-        assert!(report.cycles > 0, "case {case}");
+        common::check_coo_property("crs_transpose_exact", 0xA2, case, &coo, |m| {
+            let csr = Csr::from_coo(m);
+            let (got, report) = transpose_crs(&vp, &csr).unwrap();
+            got.validate().unwrap();
+            got == csr.transpose_pissanetsky() && report.cycles > 0
+        });
     }
 }
 
