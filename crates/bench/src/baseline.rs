@@ -1,0 +1,403 @@
+//! Machine-readable performance baselines and regression diffing — the
+//! logic behind `--bench-json` and the `benchdiff` bin.
+//!
+//! A baseline file (schema `stm-bench-baseline/v1`) records, for one
+//! figure run, every matrix's per-kernel cycle count plus per-unit busy
+//! utilization:
+//!
+//! ```json
+//! {"schema":"stm-bench-baseline/v1","figure":"fig11","suite":"quick","timing":"paper","matrices":[
+//! {"name":"m","nnz":123,"kernels":{"transpose_crs":{"cycles":456,"util":{"alu":0.1}}}}
+//! ]}
+//! ```
+//!
+//! The kernels are deterministic, so two runs of the same suite produce
+//! byte-identical baselines; CI regenerates the file and diffs it against
+//! the committed copy with [`diff`], failing on any relative cycle drift
+//! beyond the tolerance (in *either* direction — an unexplained speedup
+//! invalidates a baseline just like a slowdown).
+
+use crate::harness::MatrixResult;
+use stm_obs::json::Json;
+
+/// Schema tag written to and required from every baseline file.
+pub const SCHEMA: &str = "stm-bench-baseline/v1";
+
+/// One kernel's baseline numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBaseline {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Per-unit busy fraction (`busy / cycles`), in display order.
+    pub util: Vec<(String, f64)>,
+}
+
+/// One matrix's baseline row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineMatrix {
+    /// Matrix name from the suite.
+    pub name: String,
+    /// Non-zeros of the matrix.
+    pub nnz: u64,
+    /// Kernel name → numbers, sorted by kernel name.
+    pub kernels: Vec<(String, KernelBaseline)>,
+}
+
+/// A whole baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Figure the run regenerated (e.g. `fig11`).
+    pub figure: String,
+    /// Suite tag (`quick` / `full`).
+    pub suite: String,
+    /// Timing model name (`paper` / `ideal`).
+    pub timing: String,
+    /// Per-matrix rows in suite order.
+    pub matrices: Vec<BaselineMatrix>,
+}
+
+fn kernel_baseline(report: &stm_core::TransposeReport) -> KernelBaseline {
+    let cycles = report.cycles.max(1);
+    KernelBaseline {
+        cycles: report.cycles,
+        util: report
+            .stalls
+            .units()
+            .into_iter()
+            .map(|(unit, c)| (unit, c.busy as f64 / cycles as f64))
+            .collect(),
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a figure run. Failed kernels are omitted
+    /// from their matrix's row (the diff will then flag the asymmetry).
+    pub fn from_results(
+        figure: &str,
+        suite: &str,
+        timing: &str,
+        results: &[MatrixResult],
+    ) -> Baseline {
+        let matrices = results
+            .iter()
+            .map(|r| {
+                let mut kernels = Vec::new();
+                if let Some(rep) = &r.crs {
+                    kernels.push(("transpose_crs".to_string(), kernel_baseline(rep)));
+                }
+                if let Some(rep) = &r.hism {
+                    kernels.push(("transpose_hism".to_string(), kernel_baseline(rep)));
+                }
+                kernels.sort_by(|a, b| a.0.cmp(&b.0));
+                BaselineMatrix {
+                    name: r.name.clone(),
+                    nnz: r.metrics.nnz as u64,
+                    kernels,
+                }
+            })
+            .collect();
+        Baseline {
+            figure: figure.to_string(),
+            suite: suite.to_string(),
+            timing: timing.to_string(),
+            matrices,
+        }
+    }
+
+    /// Serializes deterministically: fixed field order, one matrix per
+    /// line, floats at fixed 6-digit precision.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"figure\":\"{}\",\"suite\":\"{}\",\"timing\":\"{}\",\"matrices\":[\n",
+            self.figure, self.suite, self.timing
+        );
+        let rows: Vec<String> = self
+            .matrices
+            .iter()
+            .map(|m| {
+                let kernels: Vec<String> = m
+                    .kernels
+                    .iter()
+                    .map(|(name, k)| {
+                        let util: Vec<String> = k
+                            .util
+                            .iter()
+                            .map(|(u, f)| format!("\"{u}\":{f:.6}"))
+                            .collect();
+                        format!(
+                            "\"{name}\":{{\"cycles\":{},\"util\":{{{}}}}}",
+                            k.cycles,
+                            util.join(",")
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"name\":\"{}\",\"nnz\":{},\"kernels\":{{{}}}}}",
+                    m.name,
+                    m.nnz,
+                    kernels.join(",")
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parses a baseline file, rejecting unknown schemas.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = Json::parse(text)?;
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported baseline schema {schema:?} (want {SCHEMA:?})"
+            ));
+        }
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let mut matrices = Vec::new();
+        for (i, m) in v
+            .get("matrices")
+            .and_then(Json::as_array)
+            .ok_or("missing matrices array")?
+            .iter()
+            .enumerate()
+        {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("matrix {i}: missing name"))?
+                .to_string();
+            let nnz = m
+                .get("nnz")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("matrix {name}: missing nnz"))?;
+            let kernels_obj = match m.get("kernels") {
+                Some(Json::Obj(fields)) => fields,
+                _ => return Err(format!("matrix {name}: missing kernels object")),
+            };
+            let mut kernels = Vec::new();
+            for (kname, k) in kernels_obj {
+                let cycles = k
+                    .get("cycles")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("matrix {name}: kernel {kname}: missing cycles"))?;
+                let util = match k.get("util") {
+                    Some(Json::Obj(fields)) => fields
+                        .iter()
+                        .filter_map(|(u, f)| f.as_f64().map(|f| (u.clone(), f)))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                kernels.push((kname.clone(), KernelBaseline { cycles, util }));
+            }
+            kernels.sort_by(|a, b| a.0.cmp(&b.0));
+            matrices.push(BaselineMatrix { name, nnz, kernels });
+        }
+        Ok(Baseline {
+            figure: field("figure")?,
+            suite: field("suite")?,
+            timing: field("timing")?,
+            matrices,
+        })
+    }
+
+    /// Multiplies every cycle count by `factor` (rounding) — used by
+    /// `benchdiff --write-scaled` to manufacture a deliberate regression
+    /// for CI self-tests.
+    pub fn scale_cycles(&mut self, factor: f64) {
+        for m in &mut self.matrices {
+            for (_, k) in &mut m.kernels {
+                k.cycles = (k.cycles as f64 * factor).round() as u64;
+            }
+        }
+    }
+}
+
+/// The outcome of comparing two baselines.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Human-readable per-comparison lines.
+    pub lines: Vec<String>,
+    /// Comparisons whose drift exceeded the tolerance (or that could not
+    /// be made at all). 0 means the baselines agree.
+    pub regressions: usize,
+}
+
+impl DiffReport {
+    fn fail(&mut self, line: String) {
+        self.regressions += 1;
+        self.lines.push(line);
+    }
+}
+
+/// Compares `new` against `base`: every matrix/kernel pair present in
+/// either file must exist in both, and relative cycle drift beyond
+/// `tolerance` (e.g. `0.02` = 2%) in either direction counts as a
+/// regression.
+pub fn diff(base: &Baseline, new: &Baseline, tolerance: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (field, b, n) in [
+        ("figure", &base.figure, &new.figure),
+        ("suite", &base.suite, &new.suite),
+        ("timing", &base.timing, &new.timing),
+    ] {
+        if b != n {
+            report.fail(format!("MISMATCH {field}: base {b:?} vs new {n:?}"));
+        }
+    }
+    for bm in &base.matrices {
+        let Some(nm) = new.matrices.iter().find(|m| m.name == bm.name) else {
+            report.fail(format!("MISSING matrix {} absent from new run", bm.name));
+            continue;
+        };
+        if bm.nnz != nm.nnz {
+            report.fail(format!(
+                "MISMATCH {}: nnz {} vs {} — different matrix generation",
+                bm.name, bm.nnz, nm.nnz
+            ));
+        }
+        for (kname, bk) in &bm.kernels {
+            let Some((_, nk)) = nm.kernels.iter().find(|(n, _)| n == kname) else {
+                report.fail(format!("MISSING {}/{kname} absent from new run", bm.name));
+                continue;
+            };
+            let basis = bk.cycles.max(1) as f64;
+            let drift = (nk.cycles as f64 - bk.cycles as f64) / basis;
+            if drift.abs() > tolerance {
+                report.fail(format!(
+                    "REGRESSION {}/{kname}: {} -> {} cycles ({:+.2}% > ±{:.2}%)",
+                    bm.name,
+                    bk.cycles,
+                    nk.cycles,
+                    100.0 * drift,
+                    100.0 * tolerance
+                ));
+            } else {
+                report.lines.push(format!(
+                    "ok {}/{kname}: {} -> {} cycles ({:+.2}%)",
+                    bm.name,
+                    bk.cycles,
+                    nk.cycles,
+                    100.0 * drift
+                ));
+            }
+        }
+    }
+    for nm in &new.matrices {
+        if !base.matrices.iter().any(|m| m.name == nm.name) {
+            report.fail(format!("EXTRA matrix {} absent from baseline", nm.name));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_set, RunConfig};
+    use stm_sparse::{gen, MatrixMetrics};
+
+    fn tiny_baseline() -> Baseline {
+        let coo = gen::random::uniform(64, 64, 300, 2);
+        let metrics = MatrixMetrics::compute(&coo);
+        let set = vec![stm_dsab::SuiteEntry {
+            name: "tiny".into(),
+            coo,
+            metrics,
+        }];
+        let results = run_set(
+            &RunConfig {
+                jobs: Some(1),
+                ..RunConfig::default()
+            },
+            &set,
+        );
+        Baseline::from_results("fig11", "quick", "paper", &results)
+    }
+
+    #[test]
+    fn json_round_trips_and_is_deterministic() {
+        let b = tiny_baseline();
+        let text = b.to_json();
+        assert_eq!(
+            text,
+            tiny_baseline().to_json(),
+            "non-deterministic baseline"
+        );
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.figure, "fig11");
+        assert_eq!(parsed.matrices.len(), 1);
+        assert_eq!(
+            parsed.matrices[0]
+                .kernels
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["transpose_crs", "transpose_hism"]
+        );
+        // Cycle counts survive the round trip exactly.
+        for (bm, pm) in b.matrices.iter().zip(&parsed.matrices) {
+            for ((_, bk), (_, pk)) in bm.kernels.iter().zip(&pm.kernels) {
+                assert_eq!(bk.cycles, pk.cycles);
+                assert!(!bk.util.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_baselines_diff_clean() {
+        let b = tiny_baseline();
+        let r = diff(&b, &b, 0.02);
+        assert_eq!(r.regressions, 0, "{:?}", r.lines);
+        assert!(r.lines.iter().all(|l| l.starts_with("ok ")));
+    }
+
+    #[test]
+    fn scaled_cycles_trip_the_tolerance() {
+        let b = tiny_baseline();
+        let mut inflated = b.clone();
+        inflated.scale_cycles(1.05);
+        let r = diff(&b, &inflated, 0.02);
+        assert!(r.regressions > 0);
+        assert!(
+            r.lines.iter().any(|l| l.starts_with("REGRESSION")),
+            "{:?}",
+            r.lines
+        );
+        // 5% drift sits inside a 10% tolerance.
+        assert_eq!(diff(&b, &inflated, 0.10).regressions, 0);
+        // Speedups beyond tolerance fail too — stale baselines are a bug.
+        let mut deflated = b.clone();
+        deflated.scale_cycles(0.9);
+        assert!(diff(&b, &deflated, 0.02).regressions > 0);
+    }
+
+    #[test]
+    fn structural_mismatches_are_regressions() {
+        let b = tiny_baseline();
+        let mut renamed = b.clone();
+        renamed.matrices[0].name = "other".into();
+        let r = diff(&b, &renamed, 0.02);
+        assert!(r.regressions >= 2, "missing + extra: {:?}", r.lines);
+        let mut missing_kernel = b.clone();
+        missing_kernel.matrices[0].kernels.pop();
+        assert!(diff(&b, &missing_kernel, 0.02).regressions > 0);
+        let mut wrong_suite = b.clone();
+        wrong_suite.suite = "full".into();
+        assert!(diff(&b, &wrong_suite, 0.02).regressions > 0);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+        let wrong = "{\"schema\":\"stm-bench-baseline/v0\",\"matrices\":[]}";
+        let err = Baseline::parse(wrong).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+}

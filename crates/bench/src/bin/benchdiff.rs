@@ -1,0 +1,109 @@
+//! Compare two `stm-bench-baseline/v1` files (as written by a figure
+//! binary's `--bench-json FILE`) and fail on cycle drift.
+//!
+//! ```text
+//! benchdiff <base.json> <new.json> [--tolerance T]
+//! benchdiff --write-scaled FACTOR <in.json> <out.json>
+//! ```
+//!
+//! The default tolerance is 0.02 (2% relative drift, either direction).
+//! `--write-scaled` multiplies every cycle count by FACTOR and writes a
+//! new baseline — CI uses it to manufacture a deliberate regression and
+//! prove the gate actually fails. Exits 0 when the baselines agree
+//! within tolerance, 1 on any regression/mismatch, 2 on usage or I/O
+//! errors.
+
+use std::process::ExitCode;
+
+use stm_bench::baseline::{diff, Baseline};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: benchdiff <base.json> <new.json> [--tolerance T]");
+    eprintln!("       benchdiff --write-scaled FACTOR <in.json> <out.json>");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Baseline, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("benchdiff: {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    Baseline::parse(&text).map_err(|e| {
+        eprintln!("benchdiff: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--write-scaled") {
+        let [_, factor, input, output] = args.as_slice() else {
+            return usage();
+        };
+        let Ok(factor) = factor.parse::<f64>() else {
+            eprintln!("benchdiff: bad scale factor {factor:?}");
+            return ExitCode::from(2);
+        };
+        let mut base = match load(input) {
+            Ok(b) => b,
+            Err(code) => return code,
+        };
+        base.scale_cycles(factor);
+        if let Err(e) = std::fs::write(output, base.to_json()) {
+            eprintln!("benchdiff: {output}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("benchdiff: wrote {output} with cycles scaled by {factor}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut tolerance = 0.02f64;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let Some(t) = it.next().and_then(|t| t.parse().ok()) else {
+                return usage();
+            };
+            tolerance = t;
+        } else if let Some(t) = a.strip_prefix("--tolerance=") {
+            let Ok(t) = t.parse() else {
+                return usage();
+            };
+            tolerance = t;
+        } else if a.starts_with("--") {
+            return usage();
+        } else {
+            files.push(a);
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        return usage();
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+
+    let report = diff(&base, &new, tolerance);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.regressions == 0 {
+        println!(
+            "benchdiff: {} vs {}: within ±{:.2}% on every kernel",
+            base_path,
+            new_path,
+            100.0 * tolerance
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "benchdiff: {} regression(s)/mismatch(es) beyond ±{:.2}%",
+            report.regressions,
+            100.0 * tolerance
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -4,8 +4,9 @@
 //! "grows monotonically with the growth of the matrix locality"; its
 //! range on this set is 1.8–32.0 (average 16.5).
 
+use stm_bench::baseline::Baseline;
 use stm_bench::output::{figure_rows, format_table, print_trace_rollup, write_csv, FIGURE_HEADERS};
-use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
+use stm_bench::{bench_json_from_env, run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
     let (sets, tag) = sets_from_env();
@@ -22,4 +23,10 @@ fn main() {
     print_trace_rollup(&results);
     write_csv("results/fig11.csv", &FIGURE_HEADERS, &rows).expect("write results/fig11.csv");
     eprintln!("wrote results/fig11.csv");
+    if let Some(path) = bench_json_from_env() {
+        let baseline = Baseline::from_results("fig11", tag, cfg.timing.name(), &results);
+        std::fs::write(&path, baseline.to_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
 }

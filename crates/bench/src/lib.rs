@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod fig10;
 pub mod harness;
 pub mod output;
@@ -81,6 +82,26 @@ pub fn trace_dir_from_env() -> Option<std::path::PathBuf> {
         }
     }
     std::env::var("STM_TRACE")
+        .ok()
+        .map(std::path::PathBuf::from)
+}
+
+/// Parses the baseline output path from the CLI args / environment:
+/// `--bench-json FILE`, `--bench-json=FILE` or `STM_BENCH_JSON=FILE`.
+/// When set, the figure binaries additionally write a machine-readable
+/// performance baseline (see [`baseline`]) that `benchdiff` can compare
+/// against a committed copy.
+pub fn bench_json_from_env() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(f) = a.strip_prefix("--bench-json=") {
+            return Some(std::path::PathBuf::from(f));
+        }
+    }
+    std::env::var("STM_BENCH_JSON")
         .ok()
         .map(std::path::PathBuf::from)
 }

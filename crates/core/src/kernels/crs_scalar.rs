@@ -197,6 +197,9 @@ pub fn transpose_crs_scalar_obs(
             cycles,
         }],
         fu_busy: Default::default(),
+        // No vector engine ran: every port spent the whole run behind
+        // the scalar core, keeping the conservation invariant uniform.
+        stalls: stm_vpsim::StallBreakdown::scalar_only(vp_cfg.mem_ports, cycles),
     };
     record_phases(rec, &report.phases);
     if let Some(f) = mem.fault() {

@@ -165,6 +165,7 @@ pub fn transpose_crs_obs(
         stm: None,
         phases,
         fu_busy: *e.fu_busy(),
+        stalls: e.stall_breakdown(),
     };
     record_phases(rec, &report.phases);
     let result = decode_result(e.mem(), &layout, rows, cols, nnz)?;

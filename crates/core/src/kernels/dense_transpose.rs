@@ -93,6 +93,7 @@ pub fn transpose_dense_obs(
             cycles,
         }],
         fu_busy: *e.fu_busy(),
+        stalls: e.stall_breakdown(),
     };
     record_phases(rec, &report.phases);
     let mem = e.into_mem();

@@ -124,6 +124,7 @@ pub fn spmv_hism_obs(
             cycles,
         }],
         fu_busy: *e.fu_busy(),
+        stalls: e.stall_breakdown(),
     };
     record_phases(rec, &report.phases);
     let mem = e.into_mem();

@@ -131,6 +131,7 @@ pub fn transpose_hism_obs(
             cycles,
         }],
         fu_busy: *e.fu_busy(),
+        stalls: e.stall_breakdown(),
     };
     record_phases(rec, &report.phases);
     let mem = e.into_mem();

@@ -64,6 +64,29 @@ pub fn record_lifecycle(rec: &Recorder, report: &KernelReport, prepared_bytes: u
     rec.add("stage.run.cycles", cycles);
     rec.add("engine.instructions", report.report.engine.instructions);
     rec.add("engine.elements", report.report.engine.elements);
+    record_stalls(rec, &report.report.stalls);
+}
+
+/// Record the per-port stall-cause breakdown as `stall.<unit>.<bucket>`
+/// counters. Zero buckets are recorded too, so downstream consumers
+/// (the `stmprof` profiler) can rebuild complete, conservation-checkable
+/// rows from counters alone.
+pub fn record_stalls(rec: &Recorder, stalls: &stm_vpsim::StallBreakdown) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for (unit, c) in stalls.units() {
+        for (bucket, value) in [
+            ("busy", c.busy),
+            ("chain_wait", c.chain_wait),
+            ("port_wait", c.port_wait),
+            ("stm_wait", c.stm_wait),
+            ("scalar_wait", c.scalar_wait),
+            ("idle", c.idle),
+        ] {
+            rec.add(&format!("stall.{unit}.{bucket}"), value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Result reporting shared by the kernels and the experiment harness.
 
 use stm_vpsim::scalar::ScalarRunStats;
-use stm_vpsim::stats::EngineStats;
+use stm_vpsim::stats::{EngineStats, StallBreakdown};
 use stm_vpsim::trace::FuBusy;
 
 /// Accumulated STM-unit statistics over a kernel run.
@@ -59,6 +59,10 @@ pub struct TransposeReport {
     pub phases: Vec<Phase>,
     /// Busy cycles per functional unit (for utilization analysis).
     pub fu_busy: FuBusy,
+    /// Per-port stall-cause breakdown: each port's cycles split into
+    /// busy / chain wait / port wait / STM wait / scalar wait / idle,
+    /// every row summing to `cycles` (see `StallBreakdown`).
+    pub stalls: StallBreakdown,
 }
 
 impl TransposeReport {

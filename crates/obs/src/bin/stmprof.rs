@@ -1,0 +1,159 @@
+//! Profile exported JSONL traces: per-kernel phase attribution, per-FU
+//! stall tables, and folded-stack (flamegraph) export.
+//!
+//! Usage:
+//!
+//! ```text
+//! stmprof <file.jsonl | dir> ... [--top N] [--csv FILE] [--folded FILE]
+//! ```
+//!
+//! Directories are scanned (non-recursively) for `*.jsonl` files as
+//! written by the bench harness's `--trace DIR` (one file per
+//! matrix/kernel pair, named `<matrix>.<kernel>.jsonl`). The human table
+//! goes to stdout; `--csv` and `--folded` additionally write the
+//! machine-readable report and the merged folded stacks. Exits 0 on
+//! success, 1 when any profile violates cycle conservation (the per-FU
+//! buckets must sum to the engine total) or an input cannot be read,
+//! 2 on usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use stm_obs::profile::{KernelProfile, ProfileSet};
+
+fn collect(path: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    } else {
+        files.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+struct Args {
+    inputs: Vec<String>,
+    top: usize,
+    csv: Option<PathBuf>,
+    folded: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        inputs: Vec::new(),
+        top: 10,
+        csv: None,
+        folded: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<Option<String>, String> {
+            if a == name {
+                return it
+                    .next()
+                    .cloned()
+                    .map(Some)
+                    .ok_or_else(|| format!("{name} needs a value"));
+            }
+            Ok(a.strip_prefix(&format!("{name}=")).map(str::to_string))
+        };
+        if let Some(v) = flag("--top")? {
+            args.top = v.parse().map_err(|_| format!("bad --top value {v:?}"))?;
+        } else if let Some(v) = flag("--csv")? {
+            args.csv = Some(PathBuf::from(v));
+        } else if let Some(v) = flag("--folded")? {
+            args.folded = Some(PathBuf::from(v));
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?}"));
+        } else {
+            args.inputs.push(a.clone());
+        }
+    }
+    if args.inputs.is_empty() {
+        return Err("no inputs".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stmprof: {e}");
+            eprintln!(
+                "usage: stmprof <file.jsonl | dir> ... [--top N] [--csv FILE] [--folded FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let mut files = Vec::new();
+    for input in &args.inputs {
+        if let Err(e) = collect(Path::new(input), &mut files) {
+            eprintln!("stmprof: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if files.is_empty() {
+        eprintln!("stmprof: no .jsonl files found");
+        return ExitCode::FAILURE;
+    }
+
+    let mut set = ProfileSet::default();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stmprof: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // Kernel identity: the trace file stem (`<matrix>.<kernel>`).
+        let kernel = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_suffix(".jsonl"))
+            .unwrap_or("trace");
+        match KernelProfile::from_jsonl(kernel, &text) {
+            Ok(p) => set.kernels.push(p),
+            Err(e) => {
+                eprintln!("stmprof: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    print!("{}", set.render_table(args.top));
+    let mut ok = true;
+    if let Err(e) = set.check_conservation() {
+        eprintln!("stmprof: CONSERVATION VIOLATION: {e}");
+        ok = false;
+    } else {
+        println!(
+            "stmprof: {} profile(s), cycle conservation holds on every unit",
+            set.kernels.len()
+        );
+    }
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, set.to_csv()) {
+            eprintln!("stmprof: writing {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    if let Some(path) = &args.folded {
+        if let Err(e) = std::fs::write(path, set.folded()) {
+            eprintln!("stmprof: writing {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,8 +4,10 @@
 //! it, fault instants match the `mem.oob_events` counter).
 //!
 //! Usage: `tracecheck <file.jsonl | dir> ...` — directories are scanned
-//! (non-recursively) for `*.jsonl`. Exits 0 when every file validates,
-//! 1 otherwise.
+//! (non-recursively) for `*.jsonl`. Exits 0 when every file validates
+//! losslessly, 1 when any file is invalid, and 3 when every file is
+//! structurally valid but at least one trace is truncated (the ring
+//! buffer dropped events, so span-level checks were degraded).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut bad = 0usize;
+    let mut truncated = 0usize;
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -55,13 +58,25 @@ fn main() -> ExitCode {
             }
         };
         match validate_jsonl(&text) {
-            Ok(s) => println!(
-                "{}: ok ({} events, {} dropped, {} counters)",
-                file.display(),
-                s.events,
-                s.dropped,
-                s.counters.len()
-            ),
+            Ok(s) => {
+                println!(
+                    "{}: ok ({} events, {} dropped, {} counters)",
+                    file.display(),
+                    s.events,
+                    s.dropped,
+                    s.counters.len()
+                );
+                if s.dropped > 0 {
+                    truncated += 1;
+                    eprintln!(
+                        "tracecheck: WARNING: {}: trace truncated — the ring buffer \
+                         dropped {} event(s); span nesting and kernel accounting were \
+                         not fully checked (counters remain exact)",
+                        file.display(),
+                        s.dropped
+                    );
+                }
+            }
             Err(errors) => {
                 bad += 1;
                 eprintln!("{}: INVALID ({} problem(s))", file.display(), errors.len());
@@ -74,11 +89,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if bad == 0 {
-        println!("tracecheck: {} file(s) ok", files.len());
-        ExitCode::SUCCESS
-    } else {
+    if bad > 0 {
         eprintln!("tracecheck: {bad} of {} file(s) invalid", files.len());
         ExitCode::FAILURE
+    } else if truncated > 0 {
+        eprintln!(
+            "tracecheck: WARNING: {truncated} of {} file(s) truncated (valid but lossy)",
+            files.len()
+        );
+        ExitCode::from(3)
+    } else {
+        println!("tracecheck: {} file(s) ok", files.len());
+        ExitCode::SUCCESS
     }
 }

@@ -86,13 +86,15 @@ pub fn to_jsonl(data: &TraceData) -> String {
             .map(|(i, c)| format!("[{i},{c}]"))
             .collect();
         out.push_str(&format!(
-            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[{}]}}\n",
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"buckets\":[{}]}}\n",
             esc(name),
             h.count(),
             h.sum(),
             h.min(),
             h.max(),
             num(h.mean()),
+            h.percentile(50),
+            h.percentile(95),
             buckets.join(",")
         ));
     }
@@ -230,6 +232,9 @@ mod tests {
         assert!(text.starts_with("{\"type\":\"meta\""));
         assert!(text.contains("\"kind\":\"begin\""));
         assert!(text.contains("\"type\":\"histogram\""));
+        // Histogram lines carry the percentile summary (one value, 64,
+        // so every percentile is exactly 64).
+        assert!(text.contains("\"p50\":64,\"p95\":64"), "{text}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   `trace_event` exporters (open in `about:tracing` / Perfetto);
 //! * [`check`] — structural invariant validation over a recording
 //!   (per-lane monotonicity, LIFO span nesting, closure);
+//! * [`profile`] — deterministic per-kernel profiles (phase attribution,
+//!   per-FU stall tables, folded-stack export) from a recording or a
+//!   JSONL export; the logic behind the `stmprof` bin;
 //! * [`jsonl`] — re-validation of exported JSONL text (the logic
 //!   behind the `tracecheck` bin);
 //! * [`json`] — a minimal JSON parser used to re-read exports.
@@ -42,6 +45,7 @@ pub mod export;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 
 pub use event::{Category, EventKind, Lane, TraceEvent};

@@ -79,6 +79,38 @@ impl Histogram {
         }
     }
 
+    /// Bucket-upper-bound estimate of the `p`-th percentile (`p` in
+    /// `0..=100`; values above 100 clamp to 100): the upper bound of the
+    /// log2 bucket holding the observation of rank `ceil(p/100 * count)`.
+    /// Exact for `p = 100` (returns [`Histogram::max`]); 0 when empty.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.min(100);
+        // rank in 1..=count, computed without floating point.
+        let rank = (p * self.count).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket 0 holds only zeros; bucket i (i >= 1) holds
+                // values in [2^(i-1), 2^i - 1]. Clamp the upper bound
+                // to the observed max so p100 is exact and estimates
+                // never exceed any real observation.
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -146,6 +178,62 @@ mod tests {
             h.nonzero_buckets(),
             vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]
         );
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        for p in [0, 50, 95, 100] {
+            assert_eq!(h.percentile(p), 0);
+        }
+    }
+
+    #[test]
+    fn percentile_of_single_value_is_that_value() {
+        let mut h = Histogram::default();
+        h.observe(37);
+        for p in [0, 1, 50, 95, 100, 200] {
+            assert_eq!(h.percentile(p), 37, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_uses_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        // 100 observations: 50 of value 3 (bucket 2), 50 of 1000 (bucket 10).
+        for _ in 0..50 {
+            h.observe(3);
+        }
+        for _ in 0..50 {
+            h.observe(1000);
+        }
+        assert_eq!(h.percentile(50), 3); // bucket 2 upper bound = 3
+        assert_eq!(h.percentile(95), 1000); // bucket 10 upper bound 1023, clamped to max
+        assert_eq!(h.percentile(100), h.max());
+        assert_eq!(h.percentile(0), 3); // rank clamps to 1
+    }
+
+    #[test]
+    fn percentile_of_saturated_top_bucket() {
+        // A value in bucket 64 (top bit set) must not overflow the
+        // upper-bound shift; the estimate clamps to the observed max.
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.percentile(50), u64::MAX);
+        assert_eq!(h.percentile(100), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_never_exceeds_max() {
+        let mut h = Histogram::default();
+        for v in [0, 5, 9, 130, 70000] {
+            h.observe(v);
+        }
+        for p in 0..=100 {
+            assert!(h.percentile(p) <= h.max());
+        }
+        assert_eq!(h.percentile(100), 70000);
     }
 
     #[test]

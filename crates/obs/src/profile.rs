@@ -1,0 +1,619 @@
+//! A dependency-free profiler over recorded span/counter streams.
+//!
+//! Consumes either a live [`TraceData`] snapshot or a re-parsed JSONL
+//! export (the two views of the same recording are guaranteed to produce
+//! identical profiles) and produces deterministic per-kernel reports:
+//!
+//! * per-phase self cycles with their share of the run span;
+//! * the top-N hottest phases ([`KernelProfile::hot_phases`]);
+//! * a per-functional-unit stall table rebuilt from the
+//!   `stall.<unit>.<bucket>` counters the kernels emit — six disjoint
+//!   buckets (`busy`, `chain_wait`, `port_wait`, `stm_wait`,
+//!   `scalar_wait`, `idle`) that must sum to the engine's cycle total
+//!   ([`KernelProfile::check_conservation`]);
+//! * a folded-stack text export ([`KernelProfile::folded_stacks`]) in
+//!   the `frame;frame;frame count` format flamegraph tools consume,
+//!   lexicographically sorted so identical recordings export identical
+//!   bytes.
+//!
+//! Stall buckets live in *counters*, which the ring buffer never drops,
+//! so the unit table and its conservation check stay exact even when the
+//! event ring overflowed; only phase spans (events) degrade on a
+//! truncated trace.
+
+use crate::json::Json;
+use crate::recorder::TraceData;
+
+/// The six stall-cause buckets, in canonical order.
+pub const STALL_BUCKETS: [&str; 6] = [
+    "busy",
+    "chain_wait",
+    "port_wait",
+    "stm_wait",
+    "scalar_wait",
+    "idle",
+];
+
+/// One functional unit's cycles split by cause, rebuilt from the
+/// `stall.<unit>.<bucket>` counters of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitStalls {
+    /// Unit name (`mem0`, `mem1`, ..., `alu`, `stm`).
+    pub unit: String,
+    /// Cycles doing useful, unconstrained work.
+    pub busy: u64,
+    /// Extra occupancy waiting for chained operands.
+    pub chain_wait: u64,
+    /// Cycles stalled behind another instruction's port/FU reservation.
+    pub port_wait: u64,
+    /// Cycles stalled waiting for the STM unit.
+    pub stm_wait: u64,
+    /// Cycles behind serialized scalar work / loop overhead.
+    pub scalar_wait: u64,
+    /// Cycles with nothing to do.
+    pub idle: u64,
+}
+
+impl UnitStalls {
+    /// Sum of all six buckets; equals the engine total on a conserving
+    /// trace.
+    pub fn total(&self) -> u64 {
+        self.busy + self.chain_wait + self.port_wait + self.stm_wait + self.scalar_wait + self.idle
+    }
+
+    /// The bucket values in [`STALL_BUCKETS`] order.
+    pub fn buckets(&self) -> [u64; 6] {
+        [
+            self.busy,
+            self.chain_wait,
+            self.port_wait,
+            self.stm_wait,
+            self.scalar_wait,
+            self.idle,
+        ]
+    }
+
+    fn set(&mut self, bucket: &str, value: u64) -> bool {
+        match bucket {
+            "busy" => self.busy = value,
+            "chain_wait" => self.chain_wait = value,
+            "port_wait" => self.port_wait = value,
+            "stm_wait" => self.stm_wait = value,
+            "scalar_wait" => self.scalar_wait = value,
+            "idle" => self.idle = value,
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// Display rank: memory ports first (by index), then `alu`, `stm`, then
+/// anything else by name — matching the simulator's breakdown order.
+fn unit_rank(unit: &str) -> (u8, u64, String) {
+    if let Some(idx) = unit.strip_prefix("mem") {
+        if let Ok(n) = idx.parse::<u64>() {
+            return (0, n, String::new());
+        }
+    }
+    match unit {
+        "alu" => (1, 0, String::new()),
+        "stm" => (2, 0, String::new()),
+        other => (3, 0, other.to_string()),
+    }
+}
+
+/// Deterministic profile of one kernel run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel identity (registry name, or `<matrix>.<kernel>` file stem).
+    pub kernel: String,
+    /// Engine cycle total (`stage.run.cycles` counter).
+    pub cycles: u64,
+    /// Phases in execution order as `(name, self cycles)`.
+    pub phases: Vec<(String, u64)>,
+    /// Per-unit stall rows in display order (mem ports, alu, stm).
+    pub units: Vec<UnitStalls>,
+    /// Events the ring dropped — phase rows may be incomplete when > 0.
+    pub dropped: u64,
+    /// Engine instructions issued (`engine.instructions` counter).
+    pub instructions: u64,
+    /// Elements processed (`engine.elements` counter).
+    pub elements: u64,
+}
+
+fn build(
+    kernel: &str,
+    dropped: u64,
+    phases: Vec<(String, u64)>,
+    counters: &[(String, u64)],
+) -> KernelProfile {
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let mut units: Vec<UnitStalls> = Vec::new();
+    for (name, value) in counters {
+        let Some(rest) = name.strip_prefix("stall.") else {
+            continue;
+        };
+        let Some((unit, bucket)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let row = match units.iter_mut().find(|u| u.unit == unit) {
+            Some(row) => row,
+            None => {
+                units.push(UnitStalls {
+                    unit: unit.to_string(),
+                    ..UnitStalls::default()
+                });
+                units.last_mut().expect("just pushed")
+            }
+        };
+        row.set(bucket, *value);
+    }
+    units.sort_by_key(|u| unit_rank(&u.unit));
+    KernelProfile {
+        kernel: kernel.to_string(),
+        cycles: counter("stage.run.cycles"),
+        phases,
+        units,
+        dropped,
+        instructions: counter("engine.instructions"),
+        elements: counter("engine.elements"),
+    }
+}
+
+impl KernelProfile {
+    /// Profile a live recording.
+    pub fn from_trace(kernel: &str, data: &TraceData) -> KernelProfile {
+        let phases = data
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                crate::event::EventKind::Complete { dur, .. }
+                    if e.lane == crate::event::Lane::Phase =>
+                {
+                    Some((e.name.to_string(), dur))
+                }
+                _ => None,
+            })
+            .collect();
+        build(kernel, data.dropped, phases, &data.counters)
+    }
+
+    /// Profile a JSONL export (the `tracecheck` input format). Produces
+    /// exactly the same profile as [`KernelProfile::from_trace`] on the
+    /// snapshot the export came from.
+    pub fn from_jsonl(kernel: &str, text: &str) -> Result<KernelProfile, String> {
+        let mut dropped = 0u64;
+        let mut phases: Vec<(String, u64)> = Vec::new();
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            match v.get("type").and_then(Json::as_str) {
+                Some("meta") => {
+                    dropped = v.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+                }
+                Some("event") => {
+                    if v.get("lane").and_then(Json::as_str) == Some("phase")
+                        && v.get("kind").and_then(Json::as_str) == Some("complete")
+                    {
+                        let name = v
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| format!("line {}: phase without name", idx + 1))?;
+                        let dur = v
+                            .get("dur")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("line {}: phase without dur", idx + 1))?;
+                        phases.push((name.to_string(), dur));
+                    }
+                }
+                Some("counter") => {
+                    let name = v
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {}: counter without name", idx + 1))?;
+                    let value = v
+                        .get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {}: counter without value", idx + 1))?;
+                    counters.push((name.to_string(), value));
+                }
+                Some("histogram") => {}
+                other => return Err(format!("line {}: unknown record type {other:?}", idx + 1)),
+            }
+        }
+        Ok(build(kernel, dropped, phases, &counters))
+    }
+
+    /// The `n` hottest phases: descending self cycles, name-ordered
+    /// within ties (deterministic).
+    pub fn hot_phases(&self, n: usize) -> Vec<(String, u64)> {
+        let mut hot = self.phases.clone();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hot.truncate(n);
+        hot
+    }
+
+    /// Folded-stack lines (`frame;frame count`), lexicographically
+    /// sorted, zero-count frames omitted. Two stack families:
+    /// `<kernel>;run;<phase>` for phase self-cycles and
+    /// `<kernel>;fu;<unit>;<cause>` for the stall taxonomy.
+    pub fn folded_stacks(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (name, cycles) in &self.phases {
+            if *cycles > 0 {
+                lines.push(format!("{};run;{name} {cycles}", self.kernel));
+            }
+        }
+        for u in &self.units {
+            for (bucket, value) in STALL_BUCKETS.iter().zip(u.buckets()) {
+                if value > 0 {
+                    lines.push(format!("{};fu;{};{bucket} {value}", self.kernel, u.unit));
+                }
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Checks cycle conservation: every unit's six buckets must sum to
+    /// the engine total, and (on a lossless trace) phase self-cycles
+    /// must partition the run span.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for u in &self.units {
+            if u.total() != self.cycles {
+                return Err(format!(
+                    "{}: unit {} buckets sum to {} but the engine ran {} cycles",
+                    self.kernel,
+                    u.unit,
+                    u.total(),
+                    self.cycles
+                ));
+            }
+        }
+        if self.dropped == 0 && !self.phases.is_empty() {
+            let sum: u64 = self.phases.iter().map(|(_, c)| c).sum();
+            if sum != self.cycles {
+                return Err(format!(
+                    "{}: phase cycles {} do not partition the {}-cycle run",
+                    self.kernel, sum, self.cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn align(headers: &[&str], rows: &[Vec<String>], indent: &str) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt = |cells: &[String]| -> String {
+        let joined = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        format!("{indent}{joined}\n")
+    };
+    let mut out = fmt(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        out.push_str(&fmt(row));
+    }
+    out
+}
+
+/// A set of kernel profiles rendered together (one traced figure run).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSet {
+    /// The profiles, in input order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl ProfileSet {
+    /// Renders the human-readable report: per kernel, the top-`top`
+    /// phases with their run share and the per-unit stall table with a
+    /// busy-utilization column.
+    pub fn render_table(&self, top: usize) -> String {
+        let mut out = String::new();
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{}: {} cycles, {} instructions, {} elements",
+                k.kernel, k.cycles, k.instructions, k.elements
+            ));
+            if k.dropped > 0 {
+                out.push_str(&format!(
+                    "  [TRUNCATED: {} events dropped — phase rows incomplete]",
+                    k.dropped
+                ));
+            }
+            out.push('\n');
+            let hot = k.hot_phases(top);
+            if !hot.is_empty() {
+                let rows: Vec<Vec<String>> = hot
+                    .iter()
+                    .map(|(name, cycles)| {
+                        vec![
+                            name.clone(),
+                            cycles.to_string(),
+                            format!("{:.2}", pct(*cycles, k.cycles)),
+                        ]
+                    })
+                    .collect();
+                out.push_str(&align(&["phase", "cycles", "run%"], &rows, "  "));
+            }
+            if !k.units.is_empty() {
+                let rows: Vec<Vec<String>> = k
+                    .units
+                    .iter()
+                    .map(|u| {
+                        let mut row = vec![u.unit.clone()];
+                        row.extend(u.buckets().iter().map(u64::to_string));
+                        row.push(format!("{:.2}", pct(u.busy, k.cycles)));
+                        row
+                    })
+                    .collect();
+                out.push_str(&align(
+                    &[
+                        "unit",
+                        "busy",
+                        "chain_wait",
+                        "port_wait",
+                        "stm_wait",
+                        "scalar_wait",
+                        "idle",
+                        "busy%",
+                    ],
+                    &rows,
+                    "  ",
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable CSV: one `total` row, one `phase` row per phase
+    /// and one `unit` row per functional unit, per kernel.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "kernel,kind,name,cycles,busy,chain_wait,port_wait,stm_wait,scalar_wait,idle\n",
+        );
+        for k in &self.kernels {
+            out.push_str(&format!("{},total,run,{},,,,,,\n", k.kernel, k.cycles));
+            for (name, cycles) in &k.phases {
+                out.push_str(&format!("{},phase,{name},{cycles},,,,,,\n", k.kernel));
+            }
+            for u in &k.units {
+                let b = u.buckets();
+                out.push_str(&format!(
+                    "{},unit,{},{},{},{},{},{},{},{}\n",
+                    k.kernel,
+                    u.unit,
+                    u.total(),
+                    b[0],
+                    b[1],
+                    b[2],
+                    b[3],
+                    b[4],
+                    b[5]
+                ));
+            }
+        }
+        out
+    }
+
+    /// All kernels' folded stacks merged and lexicographically sorted —
+    /// byte-identical for identical recordings regardless of input
+    /// order.
+    pub fn folded(&self) -> String {
+        let mut lines: Vec<String> = self
+            .kernels
+            .iter()
+            .flat_map(|k| {
+                k.folded_stacks()
+                    .lines()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Conservation over every kernel; the first violation is returned.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for k in &self.kernels {
+            k.check_conservation()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Lane};
+    use crate::export::to_jsonl;
+    use crate::recorder::Recorder;
+
+    /// A recording shaped like a kernel lifecycle: stage + phase spans
+    /// plus a conserving stall-counter set for two units.
+    fn kernel_like(cycles: u64) -> TraceData {
+        let r = Recorder::enabled(256);
+        let run = r.begin(Lane::Stage, Category::Stage, "run", 0);
+        r.complete(Lane::Phase, Category::Phase, "histogram", 0, 40, 0);
+        r.complete(Lane::Phase, Category::Phase, "scatter", 40, cycles - 40, 0);
+        r.end(Lane::Stage, Category::Stage, "run", cycles, run);
+        r.add("stage.run.cycles", cycles);
+        r.add("engine.instructions", 12);
+        r.add("engine.elements", 640);
+        for (unit, busy) in [("mem0", 60u64), ("alu", 30)] {
+            r.add(&format!("stall.{unit}.busy"), busy);
+            r.add(&format!("stall.{unit}.chain_wait"), 5);
+            r.add(&format!("stall.{unit}.port_wait"), 0);
+            r.add(&format!("stall.{unit}.stm_wait"), 10);
+            r.add(&format!("stall.{unit}.scalar_wait"), 0);
+            r.add(&format!("stall.{unit}.idle"), cycles - busy - 15);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn trace_and_jsonl_views_agree() {
+        let data = kernel_like(100);
+        let live = KernelProfile::from_trace("k", &data);
+        let parsed = KernelProfile::from_jsonl("k", &to_jsonl(&data)).unwrap();
+        assert_eq!(live, parsed);
+        assert_eq!(live.cycles, 100);
+        assert_eq!(live.instructions, 12);
+        assert_eq!(live.elements, 640);
+        assert_eq!(
+            live.phases,
+            vec![("histogram".to_string(), 40), ("scatter".to_string(), 60)]
+        );
+        assert!(live.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn units_come_back_in_display_order() {
+        let r = Recorder::enabled(64);
+        r.add("stage.run.cycles", 10);
+        for unit in ["stm", "alu", "mem1", "mem0"] {
+            r.add(&format!("stall.{unit}.busy"), 10);
+            for b in &STALL_BUCKETS[1..] {
+                r.add(&format!("stall.{unit}.{b}"), 0);
+            }
+        }
+        let p = KernelProfile::from_trace("k", &r.snapshot());
+        let order: Vec<&str> = p.units.iter().map(|u| u.unit.as_str()).collect();
+        assert_eq!(order, vec!["mem0", "mem1", "alu", "stm"]);
+        assert!(p.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn conservation_violation_names_the_unit() {
+        let r = Recorder::enabled(64);
+        r.add("stage.run.cycles", 100);
+        r.add("stall.mem0.busy", 30); // other buckets absent => 0
+        let p = KernelProfile::from_trace("k", &r.snapshot());
+        let err = p.check_conservation().unwrap_err();
+        assert!(err.contains("mem0"), "{err}");
+        assert!(err.contains("100"), "{err}");
+    }
+
+    #[test]
+    fn phase_mismatch_is_caught_on_lossless_traces_only() {
+        let r = Recorder::enabled(64);
+        r.complete(Lane::Phase, Category::Phase, "only", 0, 30, 0);
+        r.add("stage.run.cycles", 100);
+        let mut p = KernelProfile::from_trace("k", &r.snapshot());
+        assert!(p.check_conservation().unwrap_err().contains("partition"));
+        // The same profile on a truncated trace skips the phase check:
+        // the ring may have dropped phase events, counters stay exact.
+        p.dropped = 3;
+        assert!(p.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn hot_phases_order_and_truncate() {
+        let p = KernelProfile {
+            phases: vec![
+                ("a".to_string(), 10),
+                ("b".to_string(), 30),
+                ("c".to_string(), 30),
+                ("d".to_string(), 5),
+            ],
+            ..KernelProfile::default()
+        };
+        assert_eq!(
+            p.hot_phases(3),
+            vec![
+                ("b".to_string(), 30),
+                ("c".to_string(), 30),
+                ("a".to_string(), 10)
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_stacks_are_sorted_and_deterministic() {
+        let data = kernel_like(100);
+        let p = KernelProfile::from_trace("k", &data);
+        let folded = p.folded_stacks();
+        assert_eq!(
+            folded,
+            KernelProfile::from_trace("k", &data).folded_stacks()
+        );
+        let lines: Vec<&str> = folded.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert!(lines.contains(&"k;run;histogram 40"));
+        assert!(lines.contains(&"k;fu;mem0;busy 60"));
+        // Zero buckets are omitted.
+        assert!(!folded.contains("port_wait"));
+        assert!(folded.ends_with('\n'));
+    }
+
+    #[test]
+    fn set_renders_table_csv_and_merged_folded() {
+        let set = ProfileSet {
+            kernels: vec![
+                KernelProfile::from_trace("m.b", &kernel_like(100)),
+                KernelProfile::from_trace("m.a", &kernel_like(100)),
+            ],
+        };
+        assert!(set.check_conservation().is_ok());
+        let table = set.render_table(10);
+        assert!(table.contains("m.a: 100 cycles"));
+        assert!(table.contains("busy%"));
+        let csv = set.to_csv();
+        assert!(csv.starts_with("kernel,kind,name,cycles"));
+        assert!(csv.contains("m.a,unit,mem0,100,60,5,0,10,0,25"));
+        assert!(csv.contains("m.b,phase,scatter,60"));
+        // Merged folded output is globally sorted: m.a lines precede m.b
+        // even though m.b was profiled first.
+        let folded = set.folded();
+        let first_a = folded.find("m.a;").unwrap();
+        let first_b = folded.find("m.b;").unwrap();
+        assert!(first_a < first_b);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let p = KernelProfile::from_trace("k", &Recorder::enabled(16).snapshot());
+        assert_eq!(p.cycles, 0);
+        assert!(p.phases.is_empty() && p.units.is_empty());
+        assert!(p.check_conservation().is_ok());
+        assert_eq!(p.folded_stacks(), "");
+    }
+}

@@ -9,10 +9,89 @@
 
 use crate::config::VpConfig;
 use crate::mem::Memory;
-use crate::stats::EngineStats;
+use crate::stats::{EngineStats, StallBreakdown, StallCauses};
 use crate::timing::{TimingKind, TimingModel};
 use crate::trace::{FuBusy, Trace, TraceEvent};
 use stm_obs::{Category, Lane, Recorder};
+
+/// Why the in-order front end was not issuing during an interval (the
+/// engine-wide stall timeline consumed by per-port gap attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    /// Waiting for a busy functional-unit port to free.
+    Port,
+    /// Blocked on an STM barrier (`Engine::stall_until`).
+    Stm,
+    /// Executing scalar/control code (loop overhead, serial phases).
+    Scalar,
+}
+
+/// Per-port stall accounting state: the running bucket totals plus the
+/// gap-attribution cursor into the engine-wide stall timeline.
+#[derive(Debug, Clone, Copy, Default)]
+struct PortAcct {
+    busy: u64,
+    chain_wait: u64,
+    port_wait: u64,
+    stm_wait: u64,
+    scalar_wait: u64,
+    /// End of this port's latest occupancy interval.
+    last_end: u64,
+    /// First stall interval that may still overlap a future gap.
+    cursor: usize,
+}
+
+impl PortAcct {
+    /// Attributes the idle gap `[self.last_end, gap_end)` to the stall
+    /// intervals overlapping it. Intervals are sorted and disjoint (the
+    /// issue clock is monotone), so a cursor walks them once per port;
+    /// it never advances past an interval that could extend into a
+    /// later gap. Gap time no interval covers is left for the `idle`
+    /// bucket (computed as the remainder in [`Engine::stall_breakdown`]).
+    fn attribute_gap(&mut self, intervals: &[(u64, u64, StallKind)], gap_end: u64) {
+        let gap_start = self.last_end;
+        while self.cursor < intervals.len() && intervals[self.cursor].1 <= gap_start {
+            self.cursor += 1;
+        }
+        let mut i = self.cursor;
+        while i < intervals.len() && intervals[i].0 < gap_end {
+            let (s, e, kind) = intervals[i];
+            let lo = s.max(gap_start);
+            let hi = e.min(gap_end);
+            if hi > lo {
+                let d = hi - lo;
+                match kind {
+                    StallKind::Port => self.port_wait += d,
+                    StallKind::Stm => self.stm_wait += d,
+                    StallKind::Scalar => self.scalar_wait += d,
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Folds the account into a [`StallCauses`] row over a run of
+    /// `total` cycles, attributing the tail gap `[last_end, total)` and
+    /// leaving the uncovered remainder as `idle`.
+    fn causes(&self, intervals: &[(u64, u64, StallKind)], total: u64) -> StallCauses {
+        let mut acct = *self;
+        acct.attribute_gap(intervals, total);
+        let attributed =
+            acct.busy + acct.chain_wait + acct.port_wait + acct.stm_wait + acct.scalar_wait;
+        debug_assert!(
+            attributed <= total,
+            "stall accounting over-attributed: {attributed} > {total}"
+        );
+        StallCauses {
+            busy: acct.busy,
+            chain_wait: acct.chain_wait,
+            port_wait: acct.port_wait,
+            stm_wait: acct.stm_wait,
+            scalar_wait: acct.scalar_wait,
+            idle: total.saturating_sub(attributed),
+        }
+    }
+}
 
 /// Functional-unit ports of the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +188,13 @@ pub struct Engine {
     horizon: u64,
     stats: EngineStats,
     busy_acct: FuBusy,
+    /// Front-end stall timeline: sorted disjoint intervals during which
+    /// the issue clock was held back, tagged with the cause.
+    stall_intervals: Vec<(u64, u64, StallKind)>,
+    /// Per-memory-port stall accounts (parallel to `mem_busy`).
+    mem_acct: Vec<PortAcct>,
+    /// Stall accounts of the ALU and STM ports.
+    fu_acct: [PortAcct; 2],
     trace: Option<Trace>,
     /// Structured observability sink (no-op unless a live recorder is
     /// installed via [`Engine::set_recorder`]).
@@ -138,6 +224,9 @@ impl Engine {
             horizon: 0,
             stats: EngineStats::default(),
             busy_acct: FuBusy::default(),
+            stall_intervals: Vec::new(),
+            mem_acct: vec![PortAcct::default(); ports],
+            fu_acct: [PortAcct::default(); 2],
             trace: None,
             obs: Recorder::disabled(),
             timing: timing.model(),
@@ -175,6 +264,25 @@ impl Engine {
     /// Per-functional-unit busy-cycle accounting.
     pub fn fu_busy(&self) -> &FuBusy {
         &self.busy_acct
+    }
+
+    /// Per-port stall-cause breakdown of the run so far: every port's
+    /// cycles split into busy / chaining wait / port-conflict wait /
+    /// STM-barrier wait / scalar wait / idle, each row summing exactly
+    /// to [`Engine::cycles`]. Purely observational — calling it never
+    /// perturbs timing.
+    pub fn stall_breakdown(&self) -> StallBreakdown {
+        let total = self.cycles();
+        StallBreakdown {
+            mem: self
+                .mem_acct
+                .iter()
+                .map(|a| a.causes(&self.stall_intervals, total))
+                .collect(),
+            alu: self.fu_acct[0].causes(&self.stall_intervals, total),
+            stm: self.fu_acct[1].causes(&self.stall_intervals, total),
+            cycles: total,
+        }
     }
 
     /// Machine configuration.
@@ -223,10 +331,25 @@ impl Engine {
         self.mem.fault()
     }
 
+    /// Appends `[start, end)` tagged `kind` to the front-end stall
+    /// timeline. The issue clock is monotone and every interval ends at
+    /// (or before) the post-advance clock, so the timeline stays sorted
+    /// and disjoint by construction.
+    fn note_stall(&mut self, start: u64, end: u64, kind: StallKind) {
+        if end > start {
+            debug_assert!(self
+                .stall_intervals
+                .last()
+                .is_none_or(|&(_, e, _)| e <= start));
+            self.stall_intervals.push((start, end, kind));
+        }
+    }
+
     /// Charges scalar loop-control overhead on the issue timeline (it can
     /// overlap in-flight vector work, like scalar code on a decoupled VP).
     pub fn loop_overhead(&mut self) {
         let c = self.timing.scalar_cycles(self.cfg.loop_overhead);
+        self.note_stall(self.clock, self.clock + c, StallKind::Scalar);
         self.clock += c;
         self.stats.overhead_cycles += c;
     }
@@ -234,15 +357,20 @@ impl Engine {
     /// Charges an arbitrary number of scalar cycles on the issue timeline.
     pub fn scalar_cycles(&mut self, cycles: u64) {
         let c = self.timing.scalar_cycles(cycles);
+        self.note_stall(self.clock, self.clock + c, StallKind::Scalar);
         self.clock += c;
         self.stats.overhead_cycles += c;
     }
 
     /// Serializes with a scalar-core phase of `cycles` length: everything
     /// in flight completes, then the scalar phase runs to completion.
+    /// (The drain up to `start` is in-flight vector work — ports are
+    /// either occupied or idle there — so only the scalar phase itself
+    /// lands on the stall timeline.)
     pub fn advance_serial(&mut self, cycles: u64) {
         let c = self.timing.scalar_cycles(cycles);
         let start = self.cycles();
+        self.note_stall(start, start + c, StallKind::Scalar);
         self.clock = start + c;
         self.horizon = self.horizon.max(self.clock);
         self.stats.scalar_cycles += c;
@@ -255,6 +383,7 @@ impl Engine {
     /// Blocks instruction issue until cycle `t` (used by the STM's
     /// fill-before-read barrier).
     pub fn stall_until(&mut self, t: u64) {
+        self.note_stall(self.clock, t, StallKind::Stm);
         self.clock = self.clock.max(t);
     }
 
@@ -275,6 +404,10 @@ impl Engine {
             Fu::Stm => (0, self.busy[1]),
         };
         let t = self.clock.max(unit_free);
+        // The front end waited for the chosen port itself to free; on
+        // every *other* port this interval shows up as port-conflict
+        // wait (the chosen port's own gap here is empty).
+        self.note_stall(self.clock, t, StallKind::Port);
         self.clock = t + self.timing.issue_cycles(&self.cfg);
         self.stats.instructions += 1;
         (t, port)
@@ -298,15 +431,45 @@ impl Engine {
         }
     }
 
-    fn retire(&mut self, op: &'static str, fu: Fu, port: usize, issue: u64, completion: &[u64]) {
+    /// Retires an instruction: updates port occupancy, the horizon, and
+    /// both busy accountings. `unconstrained_last` is the completion of
+    /// the same instruction re-timed without operand constraints (`None`
+    /// when the instruction had no chained inputs); the difference
+    /// between actual and unconstrained occupancy is charged as
+    /// chaining wait.
+    fn retire(
+        &mut self,
+        op: &'static str,
+        fu: Fu,
+        port: usize,
+        issue: u64,
+        completion: &[u64],
+        unconstrained_last: Option<u64>,
+    ) {
         if let Some(&last) = completion.last() {
+            let acct = match fu {
+                Fu::Mem => &mut self.mem_acct[port],
+                Fu::Alu => &mut self.fu_acct[0],
+                Fu::Stm => &mut self.fu_acct[1],
+            };
+            // Attribute the idle gap since this port's previous retire
+            // *before* moving its occupancy edge.
+            acct.attribute_gap(&self.stall_intervals, issue);
+            let occupancy = last + 1 - issue.min(last);
+            let pure = unconstrained_last
+                .map(|ml| ml + 1 - issue.min(ml))
+                .unwrap_or(occupancy)
+                .min(occupancy);
+            acct.busy += pure;
+            acct.chain_wait += occupancy - pure;
+            acct.last_end = last + 1;
             match fu {
                 Fu::Mem => self.mem_busy[port] = last + 1,
                 Fu::Alu => self.busy[0] = last + 1,
                 Fu::Stm => self.busy[1] = last + 1,
             }
             self.horizon = self.horizon.max(last + 1);
-            self.busy_acct.add(fu, last + 1 - issue.min(last));
+            self.busy_acct.add(fu, occupancy);
         }
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent {
@@ -365,7 +528,14 @@ impl Engine {
         let done = self
             .timing
             .batched(issue, startup, latency, group_sizes, input_ready);
-        self.retire(op, fu, port, issue, &done);
+        let pure_last = input_ready.map(|_| {
+            self.timing
+                .batched(issue, startup, latency, group_sizes, None)
+                .last()
+                .copied()
+                .unwrap_or(issue)
+        });
+        self.retire(op, fu, port, issue, &done, pure_last);
         let class = if fu == Fu::Stm {
             OpClass::Stm
         } else {
@@ -446,7 +616,14 @@ impl Engine {
         let done = self
             .timing
             .stream(issue, startup, rate, latency, n, input_ready);
-        self.retire(op, fu, port, issue, &done);
+        let pure_last = input_ready.map(|_| {
+            self.timing
+                .stream(issue, startup, rate, latency, n, None)
+                .last()
+                .copied()
+                .unwrap_or(issue)
+        });
+        self.retire(op, fu, port, issue, &done, pure_last);
         self.account(class, elems);
         done
     }
@@ -1128,5 +1305,131 @@ mod tests {
         e.v_st(10, &r);
         // Only issue cost accrues.
         assert!(e.cycles() <= 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Stall-cause accounting
+    // ------------------------------------------------------------------
+
+    /// Asserts the breakdown conserves cycles and agrees with the coarse
+    /// FuBusy occupancy accounting.
+    fn check_breakdown(e: &Engine) -> crate::stats::StallBreakdown {
+        let bd = e.stall_breakdown();
+        assert_eq!(bd.cycles, e.cycles());
+        bd.check_conservation().unwrap();
+        let mem_occ: u64 = bd.mem.iter().map(|c| c.occupancy()).sum();
+        assert_eq!(mem_occ, e.fu_busy().mem, "mem occupancy != FuBusy");
+        assert_eq!(bd.alu.occupancy(), e.fu_busy().alu, "alu");
+        assert_eq!(bd.stm.occupancy(), e.fu_busy().stm, "stm");
+        bd
+    }
+
+    #[test]
+    fn stall_breakdown_conserves_on_a_mixed_run() {
+        let mut e = engine();
+        let r = e.v_ld(0, 64);
+        e.v_add_imm(&r, 1);
+        e.loop_overhead();
+        let s = e.v_ld(100, 32);
+        e.v_st(200, &s);
+        e.scalar_cycles(17);
+        e.advance_serial(40);
+        check_breakdown(&e);
+    }
+
+    #[test]
+    fn unchained_consumer_accrues_chain_wait() {
+        let mut cfg = VpConfig::paper();
+        cfg.chaining = false;
+        let mut e = Engine::new(cfg, Memory::new());
+        let r = e.v_ld(0, 64);
+        e.v_add_imm(&r, 1);
+        let bd = check_breakdown(&e);
+        assert!(bd.alu.chain_wait > 0, "{:?}", bd.alu);
+        // Chained, the same sequence carries far less ALU wait.
+        let mut e2 = engine();
+        let r2 = e2.v_ld(0, 64);
+        e2.v_add_imm(&r2, 1);
+        let bd2 = check_breakdown(&e2);
+        assert!(bd2.alu.chain_wait < bd.alu.chain_wait);
+    }
+
+    #[test]
+    fn stm_barrier_wait_lands_in_stm_wait() {
+        let mut e = engine();
+        e.stall_until(500);
+        e.v_ld(0, 4);
+        let bd = check_breakdown(&e);
+        assert_eq!(bd.mem[0].stm_wait, 500);
+    }
+
+    #[test]
+    fn front_end_port_conflict_charges_other_units() {
+        // Two serialized loads keep the single memory port busy; an ALU
+        // op issued afterwards spent that conflict window waiting.
+        let mut e = engine();
+        let a = e.v_ld(0, 64);
+        e.v_ld(1000, 64);
+        e.v_add_imm(&a, 1);
+        let bd = check_breakdown(&e);
+        assert!(bd.alu.port_wait > 0, "{:?}", bd.alu);
+    }
+
+    #[test]
+    fn scalar_phases_land_in_scalar_wait() {
+        let mut e = engine();
+        e.advance_serial(100);
+        e.v_ld(0, 4);
+        let bd = check_breakdown(&e);
+        assert_eq!(bd.mem[0].scalar_wait, 100);
+        assert_eq!(bd.alu.scalar_wait, 100);
+    }
+
+    #[test]
+    fn dual_port_breakdown_covers_every_port() {
+        let mut cfg = VpConfig::paper();
+        cfg.mem_ports = 2;
+        let mut e = Engine::new(cfg, Memory::new());
+        e.v_ld(0, 64);
+        e.v_ld(1000, 64);
+        let bd = check_breakdown(&e);
+        assert_eq!(bd.mem.len(), 2);
+        assert!(bd.mem[0].busy > 0 && bd.mem[1].busy > 0);
+    }
+
+    #[test]
+    fn breakdown_is_purely_observational() {
+        let run = |observe: bool| {
+            let mut e = engine();
+            let r = e.v_ld(0, 64);
+            if observe {
+                let _ = e.stall_breakdown();
+            }
+            e.v_add_imm(&r, 1);
+            e.advance_serial(10);
+            if observe {
+                let _ = e.stall_breakdown();
+            }
+            e.cycles()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fully_chained_stream_is_pure_busy_on_mem() {
+        // A single unchained load: occupancy is all busy, no chain wait.
+        let mut e = engine();
+        e.v_ld(0, 64);
+        let bd = check_breakdown(&e);
+        assert_eq!(bd.mem[0].busy, 36);
+        assert_eq!(bd.mem[0].chain_wait, 0);
+    }
+
+    #[test]
+    fn breakdown_on_an_idle_engine_is_all_idle() {
+        let e = engine();
+        let bd = check_breakdown(&e);
+        assert_eq!(bd.cycles, 0);
+        assert_eq!(bd.mem[0].total(), 0);
     }
 }

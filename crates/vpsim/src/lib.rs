@@ -43,6 +43,6 @@ pub mod trace;
 pub use config::VpConfig;
 pub use engine::{Engine, Fu, VReg};
 pub use mem::{Allocator, MemFault, Memory, OobPolicy, POISON_WORD};
-pub use stats::EngineStats;
+pub use stats::{EngineStats, StallBreakdown, StallCauses};
 pub use timing::{IdealTiming, PaperTiming, TimingKind, TimingModel};
 pub use trace::{FuBusy, Trace, TraceEvent};
