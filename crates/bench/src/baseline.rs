@@ -266,7 +266,24 @@ pub fn diff(base: &Baseline, new: &Baseline, tolerance: f64) -> DiffReport {
                 report.fail(format!("MISSING {}/{kname} absent from new run", bm.name));
                 continue;
             };
-            let basis = bk.cycles.max(1) as f64;
+            // A zero-cycle side has no meaningful relative drift: equal
+            // zeros agree, anything else is reported as a dedicated
+            // failure instead of dividing by zero into a garbage
+            // percentage.
+            if bk.cycles == 0 || nk.cycles == 0 {
+                if bk.cycles == nk.cycles {
+                    report
+                        .lines
+                        .push(format!("ok {}/{kname}: 0 -> 0 cycles", bm.name));
+                } else {
+                    report.fail(format!(
+                        "ZERO-CYCLE {}/{kname}: {} -> {} cycles (relative drift undefined)",
+                        bm.name, bk.cycles, nk.cycles
+                    ));
+                }
+                continue;
+            }
+            let basis = bk.cycles as f64;
             let drift = (nk.cycles as f64 - bk.cycles as f64) / basis;
             if drift.abs() > tolerance {
                 report.fail(format!(
@@ -289,8 +306,17 @@ pub fn diff(base: &Baseline, new: &Baseline, tolerance: f64) -> DiffReport {
         }
     }
     for nm in &new.matrices {
-        if !base.matrices.iter().any(|m| m.name == nm.name) {
+        let Some(bm) = base.matrices.iter().find(|m| m.name == nm.name) else {
             report.fail(format!("EXTRA matrix {} absent from baseline", nm.name));
+            continue;
+        };
+        // Kernels present only in the new run were previously skipped
+        // silently; an unexplained new row invalidates a baseline just
+        // like a missing one.
+        for (kname, _) in &nm.kernels {
+            if !bm.kernels.iter().any(|(n, _)| n == kname) {
+                report.fail(format!("ADDED {}/{kname} absent from baseline", nm.name));
+            }
         }
     }
     report
@@ -390,6 +416,62 @@ mod tests {
         let mut wrong_suite = b.clone();
         wrong_suite.suite = "full".into();
         assert!(diff(&b, &wrong_suite, 0.02).regressions > 0);
+    }
+
+    #[test]
+    fn zero_cycle_entries_never_divide_by_zero() {
+        let b = tiny_baseline();
+        // Matching zero-cycle rows agree without a drift percentage.
+        let mut base_zero = b.clone();
+        base_zero.matrices[0].kernels[0].1.cycles = 0;
+        let r = diff(&base_zero, &base_zero, 0.02);
+        assert_eq!(r.regressions, 0, "{:?}", r.lines);
+        assert!(
+            r.lines.iter().any(|l| l.contains("0 -> 0 cycles")),
+            "{:?}",
+            r.lines
+        );
+        // Zero on one side only is a dedicated failure, not an absurd
+        // percentage (and never a division by zero / inf / NaN).
+        let r = diff(&base_zero, &b, 0.02);
+        assert!(r.regressions > 0);
+        assert!(
+            r.lines
+                .iter()
+                .any(|l| l.starts_with("ZERO-CYCLE") && !l.contains('%')),
+            "{:?}",
+            r.lines
+        );
+        let mut new_zero = b.clone();
+        new_zero.matrices[0].kernels[1].1.cycles = 0;
+        let r = diff(&b, &new_zero, 0.02);
+        assert!(r.lines.iter().any(|l| l.starts_with("ZERO-CYCLE")));
+        assert!(r.regressions > 0);
+    }
+
+    #[test]
+    fn kernels_only_in_the_new_run_are_reported_as_added() {
+        let b = tiny_baseline();
+        let mut grown = b.clone();
+        grown.matrices[0].kernels.push((
+            "transpose_ref".to_string(),
+            KernelBaseline {
+                cycles: 123,
+                util: Vec::new(),
+            },
+        ));
+        let r = diff(&b, &grown, 0.02);
+        assert_eq!(r.regressions, 1, "{:?}", r.lines);
+        assert!(
+            r.lines
+                .iter()
+                .any(|l| l.starts_with("ADDED") && l.contains("transpose_ref")),
+            "{:?}",
+            r.lines
+        );
+        // And the mirror case still reports MISSING.
+        let r = diff(&grown, &b, 0.02);
+        assert!(r.lines.iter().any(|l| l.starts_with("MISSING")));
     }
 
     #[test]

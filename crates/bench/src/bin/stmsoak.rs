@@ -1,0 +1,186 @@
+//! Resilient chaos-soak driver: runs a suite through the soak pipeline
+//! (bounded queue, deadlines, circuit-breaker fallback, checkpoint/
+//! resume) and prints the per-entry table, breaker activity, `resil.*`
+//! counters and the deterministic report digest.
+//!
+//! Flags (all also accept `--flag=value`):
+//!
+//! * `--quick` / `STM_SUITE=quick` — reduced suite (6 matrices);
+//! * `--jobs N` / `STM_JOBS` — worker pool size;
+//! * `--trace DIR` / `STM_TRACE` — export the pipeline's `resil` trace;
+//! * `--checkpoint FILE` — resume from `FILE` if present, checkpoint
+//!   every commit (atomic rewrite);
+//! * `--fault-rate PCT` — chaos injection probability per item;
+//! * `--seed N` — chaos seed (default `0xC0FFEE`);
+//! * `--deadline CYCLES` — per-run cycle budget (typed abort);
+//! * `--queue-depth N` — bounded window / breaker decision lag
+//!   (default 8);
+//! * `--breaker-threshold N` / `--breaker-cooldown N` — breaker tuning;
+//! * `--max-attempts N` / `--retry-delay-ms N` — retry tuning;
+//! * `--stop-after N` — commit N items then stop cleanly (simulated
+//!   kill; resume with the same `--checkpoint`).
+//!
+//! Exit codes: 0 = pipeline completed and every failure was contained
+//! as `degraded`/`failed` rows; 1 = a containment invariant broke;
+//! 2 = configuration/checkpoint/IO error.
+//!
+//! The `digest: 0x…` line is byte-stable across `--jobs` values and
+//! kill/resume boundaries — CI compares it between an uninterrupted run
+//! and a `--stop-after` + resume pair.
+
+use stm_bench::output::format_table;
+use stm_bench::resilient::{self, ChaosSpec, EntryStatus, Outcome, SlotRecord, SoakConfig};
+use stm_bench::RunConfig;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    arg_value(flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("stmsoak: bad value {v:?} for {flag}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn slot_cell(s: &SlotRecord) -> String {
+    match s.outcome {
+        Outcome::Success => s.cycles.to_string(),
+        _ => match &s.fallback {
+            Some(f) if f.ok => format!("{}:{}", f.kernel, f.cycles),
+            _ => "-".to_string(),
+        },
+    }
+}
+
+fn main() {
+    let (sets, suite) = stm_bench::sets_from_env();
+    let set = sets.by_locality;
+    let mut cfg = SoakConfig {
+        run: RunConfig::from_env(),
+        ..SoakConfig::default()
+    };
+    cfg.trace = cfg.run.trace.take();
+    cfg.deadline = parsed("--deadline");
+    if let Some(w) = parsed("--queue-depth") {
+        cfg.queue_depth = w;
+    }
+    if let Some(t) = parsed("--breaker-threshold") {
+        cfg.breaker.threshold = t;
+    }
+    if let Some(c) = parsed("--breaker-cooldown") {
+        cfg.breaker.cooldown = c;
+    }
+    if let Some(n) = parsed("--max-attempts") {
+        cfg.retry.max_attempts = n;
+    }
+    if let Some(d) = parsed("--retry-delay-ms") {
+        cfg.retry.base_delay_ms = d;
+    }
+    if let Some(rate) = parsed::<u32>("--fault-rate") {
+        cfg.chaos = Some(ChaosSpec {
+            rate_pct: rate,
+            seed: parsed("--seed").unwrap_or(0xC0FFEE),
+        });
+    }
+    cfg.checkpoint = arg_value("--checkpoint").map(Into::into);
+    cfg.stop_after = parsed("--stop-after");
+
+    let report = match resilient::run_soak(&cfg, &set) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stmsoak: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                slot_cell(&e.slots[0]),
+                slot_cell(&e.slots[1]),
+                e.slots.iter().map(|s| s.attempts).sum::<u64>().to_string(),
+                e.status.name().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["matrix", "hism_cyc", "crs_cyc", "attempts", "status"],
+            &rows
+        )
+    );
+    for (seq, kernel, from, to) in &report.transitions {
+        println!("breaker[{kernel}] @{seq}: {} -> {}", from.name(), to.name());
+    }
+    let c = |name: &str| report.trace.counter(name);
+    println!(
+        "status: suite={suite} n={} ok={} degraded={} failed={} chaos_hits={} deadline_exceeded={}",
+        report.entries.len(),
+        report.count(EntryStatus::Ok),
+        report.count(EntryStatus::Degraded),
+        report.count(EntryStatus::Failed),
+        c("resil.chaos.injected"),
+        c("resil.deadline.exceeded"),
+    );
+    println!(
+        "breaker: trips={} probes={} recoveries={}",
+        c("resil.breaker.trips"),
+        c("resil.breaker.probes"),
+        c("resil.breaker.recoveries"),
+    );
+    println!(
+        "retries: extra_attempts={} fallback_runs={} rescues={}",
+        c("resil.retry.attempts"),
+        c("resil.fallback.runs"),
+        c("resil.fallback.rescues"),
+    );
+    if report.resumed > 0 {
+        println!("resumed: {} entries from checkpoint", report.resumed);
+    }
+    if report.halted {
+        println!("halted: stopped after {} commits", report.entries.len());
+    }
+    println!("digest: 0x{:016x}", report.digest);
+
+    // Containment invariants: a failed primary never leaks an `ok` row,
+    // and (unless deliberately halted) the whole suite committed.
+    let mut bad = 0usize;
+    for e in &report.entries {
+        let slot_failed = e
+            .slots
+            .iter()
+            .any(|s| s.outcome != Outcome::Success || s.fallback.is_some());
+        if slot_failed && e.status == EntryStatus::Ok {
+            eprintln!("[{}] {}: failure leaked into an ok row", e.index, e.name);
+            bad += 1;
+        }
+    }
+    if !report.halted && report.entries.len() != set.len() {
+        eprintln!(
+            "committed {} of {} entries without a stop-after halt",
+            report.entries.len(),
+            set.len()
+        );
+        bad += 1;
+    }
+    if bad > 0 {
+        eprintln!("stmsoak FAILED: {bad} containment problem(s)");
+        std::process::exit(1);
+    }
+}

@@ -135,6 +135,20 @@ pub struct FaultSpec {
 pub enum RunStatus {
     /// Every kernel ran and verified.
     Ok,
+    /// A primary kernel failed (or was skipped by an open circuit
+    /// breaker) but its registry fallback completed and verified in its
+    /// place — the resilient soak pipeline's graceful-degradation
+    /// outcome. The plain batch harness never produces this variant.
+    Degraded {
+        /// The failing (or skipped) primary kernel.
+        kernel: String,
+        /// The fallback that produced the verified result
+        /// (see `registry::fallback_for`).
+        fallback: &'static str,
+        /// The primary's failure — `None` when an open breaker skipped
+        /// the primary without running it.
+        failure: Option<KernelFailure>,
+    },
     /// A kernel failed; the failure names the kernel, stage and typed
     /// error. Reports of kernels that did succeed are still present.
     Failed(KernelFailure),
@@ -146,10 +160,17 @@ impl RunStatus {
         matches!(self, RunStatus::Ok)
     }
 
-    /// The failure, if any.
+    /// `true` for [`RunStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunStatus::Degraded { .. })
+    }
+
+    /// The failure, if any. For a degraded matrix this is the primary's
+    /// failure (absent when an open breaker skipped the primary).
     pub fn failure(&self) -> Option<&KernelFailure> {
         match self {
             RunStatus::Ok => None,
+            RunStatus::Degraded { failure, .. } => failure.as_ref(),
             RunStatus::Failed(f) => Some(f),
         }
     }
@@ -183,18 +204,11 @@ impl MatrixResult {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
 /// Runs `f` as one lifecycle stage: a typed error or a panic both become
-/// a [`KernelFailure`] attributed to `stage`.
+/// a [`KernelFailure`] attributed to `stage`. Panic payloads are
+/// classified by [`KernelError::from_panic`], so a deadline abort from
+/// the engine's cycle-budget watchdog surfaces as the typed
+/// [`KernelError::DeadlineExceeded`] rather than an opaque panic string.
 pub(crate) fn isolate<T>(
     kernel: &str,
     stage: Stage,
@@ -210,12 +224,12 @@ pub(crate) fn isolate<T>(
         Err(payload) => Err(KernelFailure {
             kernel: kernel.to_string(),
             stage,
-            error: KernelError::Panicked(panic_message(payload)),
+            error: KernelError::from_panic(payload),
         }),
     }
 }
 
-fn attempt(
+pub(crate) fn attempt(
     cfg: &RunConfig,
     kernel: &str,
     entry: &SuiteEntry,
@@ -494,6 +508,50 @@ mod tests {
             KernelError::Panicked(msg) => assert!(msg.contains("boom 7"), "{msg}"),
             other => panic!("expected Panicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cycle_budget_surfaces_as_a_typed_deadline_failure() {
+        let mut cfg = RunConfig {
+            jobs: Some(1),
+            ..RunConfig::default()
+        };
+        // Tight enough that any real matrix blows it on the first issue.
+        cfg.vp.cycle_budget = Some(1);
+        let e = entry("t", gen::structured::tridiagonal(96));
+        let f = run_kernel(&cfg, "transpose_hism", &e).unwrap_err();
+        assert_eq!(f.stage, Stage::Run);
+        match f.error {
+            KernelError::DeadlineExceeded(d) => {
+                assert_eq!(d.budget, 1);
+                assert!(d.cycles > 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_status_reports_the_primary_failure() {
+        let failure = KernelFailure {
+            kernel: "transpose_hism".into(),
+            stage: Stage::Run,
+            error: KernelError::Corrupt("injected".into()),
+        };
+        let s = RunStatus::Degraded {
+            kernel: "transpose_hism".into(),
+            fallback: "transpose_ref",
+            failure: Some(failure),
+        };
+        assert!(!s.is_ok());
+        assert!(s.is_degraded());
+        assert_eq!(s.failure().unwrap().kernel, "transpose_hism");
+        let skipped = RunStatus::Degraded {
+            kernel: "transpose_crs".into(),
+            fallback: "transpose_crs_scalar",
+            failure: None,
+        };
+        assert!(skipped.is_degraded());
+        assert!(skipped.failure().is_none());
     }
 
     #[test]

@@ -24,12 +24,14 @@ pub mod baseline;
 pub mod fig10;
 pub mod harness;
 pub mod output;
+pub mod resilient;
 pub mod trace;
 
 pub use harness::{
     run_batch, run_kernel, run_matrix, run_set, FaultSpec, MatrixResult, RunConfig, RunStatus,
     SpeedupSummary,
 };
+pub use resilient::{run_soak, ChaosSpec, SoakConfig, SoakReport};
 pub use trace::TraceRollup;
 
 use stm_dsab::{experiment_sets, full_catalogue, quick_catalogue, ExperimentSets};

@@ -1,6 +1,6 @@
 //! Table rendering and CSV output for the figure binaries.
 
-use crate::harness::MatrixResult;
+use crate::harness::{MatrixResult, RunStatus};
 use std::io::Write;
 use std::path::Path;
 
@@ -56,7 +56,9 @@ pub fn write_csv(
 /// The standard per-matrix row of Figs. 11–13: name, the three metrics,
 /// both kernels' cycles/nnz, the speedup, and the run status. A failed
 /// kernel renders `-` in its numeric cells and `failed[stage]` in the
-/// status cell (no commas, so the CSV stays one cell per column).
+/// status cell; a matrix the soak pipeline degraded renders
+/// `degraded[primary->fallback]` (no commas anywhere, so the CSV stays
+/// one cell per column).
 pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
     let per_nnz = |r: Option<&stm_core::TransposeReport>| match r {
         Some(r) => format!("{:.2}", r.cycles_per_nnz()),
@@ -76,9 +78,12 @@ pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
                     Some(s) => format!("{s:.2}"),
                     None => "-".to_string(),
                 },
-                match r.status.failure() {
-                    None => "ok".to_string(),
-                    Some(f) => format!("failed[{}]", f.stage),
+                match &r.status {
+                    RunStatus::Ok => "ok".to_string(),
+                    RunStatus::Degraded {
+                        kernel, fallback, ..
+                    } => format!("degraded[{kernel}->{fallback}]"),
+                    RunStatus::Failed(f) => format!("failed[{}]", f.stage),
                 },
             ]
         })

@@ -1,0 +1,350 @@
+//! Per-kernel circuit breaker with a deterministic decision stream.
+//!
+//! The soak pipeline runs items concurrently but *commits* their results
+//! strictly in input order, and the breaker is only ever driven from
+//! that commit path. Decisions are issued with a fixed lag: the decision
+//! for item `i + W` (where `W` is the bounded queue's capacity) is
+//! computed when item `i` commits, and the first `W` decisions are
+//! issued up front from the initial state. The resulting call sequence —
+//! `decide(0..W)`, then `commit(0), decide(W), commit(1), decide(W+1),
+//! ...` — is a pure function of the input order, so the decision stream
+//! (and therefore every run status and the final report digest) is
+//! identical for any worker count.
+//!
+//! State machine:
+//!
+//! ```text
+//!             ≥ threshold consecutive failures
+//!   Closed ────────────────────────────────────▶ Open
+//!     ▲                                           │ cooldown decisions
+//!     │ probe success                             ▼ elapse (all Skip)
+//!     └─────────────────────────────────────── HalfOpen
+//!                 probe failure ──▶ back to Open (cooldown restarts)
+//! ```
+//!
+//! In `HalfOpen` exactly one item gets a [`Decision::Probe`]; everything
+//! else is skipped until the probe's outcome commits. Outcomes of items
+//! whose decision was issued *before* a trip (the decision lag window)
+//! commit while the breaker is already `Open`; they are ignored rather
+//! than double-counted.
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive primary-kernel failures that trip the breaker open.
+    pub threshold: u32,
+    /// Number of decisions the breaker stays `Open` (skipping the
+    /// primary) before letting a single probe through.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: 4,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: primaries run normally.
+    Closed,
+    /// Tripped: primaries are skipped, fallbacks run directly.
+    Open,
+    /// Cooldown elapsed: one probe is in flight to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (used in trace event names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What the pipeline should do with an item's primary kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the primary normally (breaker closed).
+    Run,
+    /// Skip the primary and go straight to the fallback (breaker open).
+    Skip,
+    /// Run the primary once as a half-open recovery probe.
+    Probe,
+}
+
+impl Decision {
+    /// Stable lowercase name (checkpoint serialization).
+    pub fn name(self) -> &'static str {
+        match self {
+            Decision::Run => "run",
+            Decision::Skip => "skip",
+            Decision::Probe => "probe",
+        }
+    }
+
+    /// Parses [`Decision::name`] output.
+    pub fn from_name(name: &str) -> Option<Decision> {
+        match name {
+            "run" => Some(Decision::Run),
+            "skip" => Some(Decision::Skip),
+            "probe" => Some(Decision::Probe),
+            _ => None,
+        }
+    }
+}
+
+/// What an item's primary slot actually did, fed back at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The primary ran and verified.
+    Success,
+    /// The primary ran and failed (all attempts exhausted).
+    Failure,
+    /// The primary never ran (decision was [`Decision::Skip`]).
+    Skipped,
+}
+
+impl Outcome {
+    /// Stable lowercase name (checkpoint serialization).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Success => "success",
+            Outcome::Failure => "failure",
+            Outcome::Skipped => "skipped",
+        }
+    }
+
+    /// Parses [`Outcome::name`] output.
+    pub fn from_name(name: &str) -> Option<Outcome> {
+        match name {
+            "success" => Some(Outcome::Success),
+            "failure" => Some(Outcome::Failure),
+            "skipped" => Some(Outcome::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// A recorded state transition: `(sequence, from, to)`. The sequence
+/// number is the commit index at which the transition happened (the
+/// initial-decision prefix uses sequence 0).
+pub type Transition = (u64, BreakerState, BreakerState);
+
+/// The circuit breaker itself. Pure and deterministic: state depends
+/// only on the sequence of [`Breaker::decide`] / [`Breaker::commit`]
+/// calls, never on wall-clock time.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive: u32,
+    cooldown_left: u32,
+    transitions: Vec<Transition>,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive: 0,
+            cooldown_left: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every state transition so far, in order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions recorded since the caller last drained them.
+    pub fn drain_transitions(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    fn set_state(&mut self, to: BreakerState, seq: u64) {
+        if self.state != to {
+            self.transitions.push((seq, self.state, to));
+            self.state = to;
+        }
+    }
+
+    /// Issues the dispatch decision for the next item, in input order.
+    /// `seq` is the commit index at which this decision is issued (used
+    /// only to stamp transitions).
+    pub fn decide(&mut self, seq: u64) -> Decision {
+        match self.state {
+            BreakerState::Closed => Decision::Run,
+            BreakerState::Open => {
+                if self.cooldown_left > 0 {
+                    self.cooldown_left -= 1;
+                    Decision::Skip
+                } else {
+                    self.set_state(BreakerState::HalfOpen, seq);
+                    Decision::Probe
+                }
+            }
+            // Probe in flight: hold everything else back until its
+            // outcome commits.
+            BreakerState::HalfOpen => Decision::Skip,
+        }
+    }
+
+    /// Folds a committed item's `(decision, outcome)` pair back into the
+    /// breaker, in input order. `seq` is the item's commit index.
+    pub fn commit(&mut self, decision: Decision, outcome: Outcome, seq: u64) {
+        match (decision, outcome) {
+            (Decision::Probe, Outcome::Success) => {
+                self.consecutive = 0;
+                self.set_state(BreakerState::Closed, seq);
+            }
+            (Decision::Probe, Outcome::Failure) => {
+                self.cooldown_left = self.cfg.cooldown;
+                self.set_state(BreakerState::Open, seq);
+            }
+            (Decision::Run, Outcome::Failure) => {
+                // Only count failures while Closed; a failure committing
+                // after a trip belongs to the decision-lag window and
+                // the breaker has already reacted to that streak.
+                if self.state == BreakerState::Closed {
+                    self.consecutive += 1;
+                    if self.consecutive >= self.cfg.threshold {
+                        self.cooldown_left = self.cfg.cooldown;
+                        self.set_state(BreakerState::Open, seq);
+                    }
+                }
+            }
+            (Decision::Run, Outcome::Success) => {
+                if self.state == BreakerState::Closed {
+                    self.consecutive = 0;
+                }
+            }
+            // Skipped items just drain through the window.
+            (_, Outcome::Skipped) | (Decision::Skip, _) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(threshold: u32, cooldown: u32) -> Breaker {
+        Breaker::new(BreakerConfig {
+            threshold,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut br = b(3, 2);
+        for i in 0..3u64 {
+            assert_eq!(br.decide(i), Decision::Run);
+            br.commit(Decision::Run, Outcome::Failure, i);
+        }
+        assert_eq!(br.state(), BreakerState::Open);
+        // Cooldown decisions are skips; then a probe.
+        assert_eq!(br.decide(3), Decision::Skip);
+        assert_eq!(br.decide(4), Decision::Skip);
+        assert_eq!(br.decide(5), Decision::Probe);
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut br = b(3, 1);
+        br.commit(Decision::Run, Outcome::Failure, 0);
+        br.commit(Decision::Run, Outcome::Failure, 1);
+        br.commit(Decision::Run, Outcome::Success, 2);
+        br.commit(Decision::Run, Outcome::Failure, 3);
+        br.commit(Decision::Run, Outcome::Failure, 4);
+        assert_eq!(br.state(), BreakerState::Closed);
+        br.commit(Decision::Run, Outcome::Failure, 5);
+        assert_eq!(br.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let mut br = b(1, 0);
+        br.commit(Decision::Run, Outcome::Failure, 0);
+        assert_eq!(br.state(), BreakerState::Open);
+        // Zero cooldown: the very next decision probes.
+        assert_eq!(br.decide(1), Decision::Probe);
+        br.commit(Decision::Probe, Outcome::Failure, 1);
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.decide(2), Decision::Probe);
+        br.commit(Decision::Probe, Outcome::Success, 2);
+        assert_eq!(br.state(), BreakerState::Closed);
+        assert_eq!(br.decide(3), Decision::Run);
+    }
+
+    #[test]
+    fn while_half_open_everything_else_skips() {
+        let mut br = b(1, 0);
+        br.commit(Decision::Run, Outcome::Failure, 0);
+        assert_eq!(br.decide(1), Decision::Probe);
+        assert_eq!(br.decide(2), Decision::Skip);
+        assert_eq!(br.decide(3), Decision::Skip);
+        // Lag-window skips drain without disturbing the probe.
+        br.commit(Decision::Skip, Outcome::Skipped, 2);
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn lagging_failures_do_not_double_trip() {
+        let mut br = b(2, 10);
+        br.commit(Decision::Run, Outcome::Failure, 0);
+        br.commit(Decision::Run, Outcome::Failure, 1);
+        assert_eq!(br.state(), BreakerState::Open);
+        let trips_before = br.transitions().len();
+        // In-flight items decided before the trip keep committing.
+        br.commit(Decision::Run, Outcome::Failure, 2);
+        br.commit(Decision::Run, Outcome::Success, 3);
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.transitions().len(), trips_before);
+    }
+
+    #[test]
+    fn transitions_are_recorded_with_sequence_numbers() {
+        let mut br = b(1, 0);
+        br.commit(Decision::Run, Outcome::Failure, 7);
+        assert_eq!(br.decide(8), Decision::Probe);
+        br.commit(Decision::Probe, Outcome::Success, 8);
+        assert_eq!(
+            br.transitions(),
+            &[
+                (7, BreakerState::Closed, BreakerState::Open),
+                (8, BreakerState::Open, BreakerState::HalfOpen),
+                (8, BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn decision_and_outcome_names_round_trip() {
+        for d in [Decision::Run, Decision::Skip, Decision::Probe] {
+            assert_eq!(Decision::from_name(d.name()), Some(d));
+        }
+        for o in [Outcome::Success, Outcome::Failure, Outcome::Skipped] {
+            assert_eq!(Outcome::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Decision::from_name("bogus"), None);
+        assert_eq!(Outcome::from_name("bogus"), None);
+    }
+}

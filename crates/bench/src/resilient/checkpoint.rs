@@ -1,0 +1,439 @@
+//! Checkpoint/resume for the soak pipeline.
+//!
+//! ## Schema: `stm-soak-checkpoint/v1`
+//!
+//! A checkpoint file is JSON lines with **byte-deterministic** layout —
+//! fixed field order, no floats, one record per line:
+//!
+//! ```text
+//! {"schema":"stm-soak-checkpoint/v1","fingerprint":<u64>}
+//! {"index":0,"name":"...","status":"ok|degraded|failed","slots":[...]}
+//! {"index":1, ...}
+//! ```
+//!
+//! Each slot (one per primary kernel, fixed order) carries the breaker
+//! decision, the primary outcome, attempt count, cycles, and — flattened
+//! to keep the parser simple — the failure stage/error rendering and the
+//! fallback's result. Absent string fields serialize as `""`.
+//!
+//! Because the pipeline commits results strictly in input order, the
+//! entries of a checkpoint always form the contiguous prefix `0..k` of
+//! the suite; resume replays those `k` outcomes through the breaker
+//! logic (rebuilding its exact state and pending-decision window) and
+//! continues from item `k`. The `fingerprint` field binds a checkpoint
+//! to the soak configuration that produced it — resuming under a
+//! different suite, chaos spec, deadline, breaker or retry tuning is
+//! refused rather than silently mixing incompatible runs.
+//!
+//! The **report digest** is FNV-1a over every entry's canonical line
+//! (newline-terminated), so an interrupted-and-resumed soak reproducing
+//! the uninterrupted digest proves the resumed half re-derived byte-for-
+//! byte identical results.
+//!
+//! Writes are atomic (`<path>.tmp` + rename), so a kill mid-write leaves
+//! the previous complete checkpoint in place.
+
+use super::breaker::{Decision, Outcome};
+use std::io::Write;
+use std::path::Path;
+use stm_obs::json::Json;
+
+/// Schema tag of the checkpoint header line.
+pub const SCHEMA: &str = "stm-soak-checkpoint/v1";
+
+/// Terminal status of one committed suite entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Every primary kernel ran and verified.
+    Ok,
+    /// At least one primary failed or was skipped, and every such slot
+    /// was rescued by its verified fallback.
+    Degraded,
+    /// At least one slot failed beyond rescue.
+    Failed,
+}
+
+impl EntryStatus {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryStatus::Ok => "ok",
+            EntryStatus::Degraded => "degraded",
+            EntryStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses [`EntryStatus::name`] output.
+    pub fn from_name(name: &str) -> Option<EntryStatus> {
+        match name {
+            "ok" => Some(EntryStatus::Ok),
+            "degraded" => Some(EntryStatus::Degraded),
+            "failed" => Some(EntryStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// Result of the fallback kernel in one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackRecord {
+    /// The fallback kernel that ran.
+    pub kernel: String,
+    /// Whether it completed and verified.
+    pub ok: bool,
+    /// Its cycle count when it succeeded (0 otherwise).
+    pub cycles: u64,
+    /// Its failure rendering when it did not.
+    pub error: Option<String>,
+}
+
+/// One primary-kernel slot of a committed entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotRecord {
+    /// The primary kernel name.
+    pub kernel: String,
+    /// The breaker's dispatch decision for this slot.
+    pub decision: Decision,
+    /// What the primary actually did.
+    pub outcome: Outcome,
+    /// Attempts the primary consumed (0 when skipped).
+    pub attempts: u64,
+    /// The primary's cycle count when it succeeded (0 otherwise).
+    pub cycles: u64,
+    /// Failure stage rendering (`"prepare"`/`"run"`/`"verify"`) when the
+    /// primary failed.
+    pub stage: Option<String>,
+    /// Failure error rendering when the primary failed.
+    pub error: Option<String>,
+    /// The fallback's result, when one was attempted.
+    pub fallback: Option<FallbackRecord>,
+}
+
+/// One committed suite entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryRecord {
+    /// Position in the suite (entries always form the prefix `0..k`).
+    pub index: u64,
+    /// Matrix name.
+    pub name: String,
+    /// Terminal status.
+    pub status: EntryStatus,
+    /// Per-primary-kernel slots, in registry order.
+    pub slots: Vec<SlotRecord>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt(s: &Option<String>) -> String {
+    esc(s.as_deref().unwrap_or(""))
+}
+
+impl EntryRecord {
+    /// The canonical (byte-deterministic) serialization of this entry —
+    /// the unit both the checkpoint file and the report digest are built
+    /// from.
+    pub fn canonical_line(&self) -> String {
+        let slots: Vec<String> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let (fb_kernel, fb_outcome, fb_cycles, fb_error) = match &s.fallback {
+                    None => (String::new(), "", 0, String::new()),
+                    Some(f) => (
+                        esc(&f.kernel),
+                        if f.ok { "ok" } else { "failed" },
+                        f.cycles,
+                        opt(&f.error),
+                    ),
+                };
+                format!(
+                    "{{\"kernel\":\"{}\",\"decision\":\"{}\",\"outcome\":\"{}\",\"attempts\":{},\"cycles\":{},\"stage\":\"{}\",\"error\":\"{}\",\"fallback\":\"{}\",\"fallback_outcome\":\"{}\",\"fallback_cycles\":{},\"fallback_error\":\"{}\"}}",
+                    esc(&s.kernel),
+                    s.decision.name(),
+                    s.outcome.name(),
+                    s.attempts,
+                    s.cycles,
+                    opt(&s.stage),
+                    opt(&s.error),
+                    fb_kernel,
+                    fb_outcome,
+                    fb_cycles,
+                    fb_error,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"index\":{},\"name\":\"{}\",\"status\":\"{}\",\"slots\":[{}]}}",
+            self.index,
+            esc(&self.name),
+            self.status.name(),
+            slots.join(",")
+        )
+    }
+
+    fn parse(json: &Json) -> Result<EntryRecord, String> {
+        let str_field = |j: &Json, k: &str| -> Result<String, String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let u64_field = |j: &Json, k: &str| -> Result<u64, String> {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field {k:?}"))
+        };
+        let non_empty = |s: String| if s.is_empty() { None } else { Some(s) };
+        let mut slots = Vec::new();
+        for s in json
+            .get("slots")
+            .and_then(Json::as_array)
+            .ok_or("missing slots array")?
+        {
+            let decision = str_field(s, "decision")?;
+            let decision = Decision::from_name(&decision)
+                .ok_or_else(|| format!("bad decision {decision:?}"))?;
+            let outcome = str_field(s, "outcome")?;
+            let outcome =
+                Outcome::from_name(&outcome).ok_or_else(|| format!("bad outcome {outcome:?}"))?;
+            let fb_kernel = str_field(s, "fallback")?;
+            let fallback = if fb_kernel.is_empty() {
+                None
+            } else {
+                let fb_outcome = str_field(s, "fallback_outcome")?;
+                Some(FallbackRecord {
+                    kernel: fb_kernel,
+                    ok: match fb_outcome.as_str() {
+                        "ok" => true,
+                        "failed" => false,
+                        other => return Err(format!("bad fallback_outcome {other:?}")),
+                    },
+                    cycles: u64_field(s, "fallback_cycles")?,
+                    error: non_empty(str_field(s, "fallback_error")?),
+                })
+            };
+            slots.push(SlotRecord {
+                kernel: str_field(s, "kernel")?,
+                decision,
+                outcome,
+                attempts: u64_field(s, "attempts")?,
+                cycles: u64_field(s, "cycles")?,
+                stage: non_empty(str_field(s, "stage")?),
+                error: non_empty(str_field(s, "error")?),
+                fallback,
+            });
+        }
+        let status = str_field(json, "status")?;
+        Ok(EntryRecord {
+            index: u64_field(json, "index")?,
+            name: str_field(json, "name")?,
+            status: EntryStatus::from_name(&status)
+                .ok_or_else(|| format!("bad status {status:?}"))?,
+            slots,
+        })
+    }
+}
+
+/// FNV-1a over every entry's canonical line (newline-terminated), in
+/// order — the soak report digest.
+pub fn digest(entries: &[EntryRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in entries {
+        for b in e.canonical_line().bytes().chain(std::iter::once(b'\n')) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A loaded checkpoint: the configuration fingerprint it was written
+/// under and the committed prefix of entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Fingerprint of the soak configuration that wrote the file.
+    pub fingerprint: u64,
+    /// Committed entries — validated to be the contiguous prefix `0..k`.
+    pub entries: Vec<EntryRecord>,
+}
+
+/// Atomically writes a checkpoint (`<path>.tmp` then rename).
+pub fn save(path: &Path, fingerprint: u64, entries: &[EntryRecord]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        // Hex string, not a JSON number: the re-reader parses numbers
+        // through f64, which cannot hold all 64 fingerprint bits.
+        writeln!(
+            f,
+            "{{\"schema\":\"{SCHEMA}\",\"fingerprint\":\"0x{fingerprint:016x}\"}}"
+        )?;
+        for e in entries {
+            writeln!(f, "{}", e.canonical_line())?;
+        }
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and validates a checkpoint file.
+pub fn load(path: &Path) -> Result<Checkpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty checkpoint file")?;
+    let header = Json::parse(header).map_err(|e| format!("bad header: {e}"))?;
+    let schema = header.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| s.strip_prefix("0x"))
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("header missing fingerprint")?;
+    let mut entries = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("entry {i}: {e}"))?;
+        let entry = EntryRecord::parse(&json).map_err(|e| format!("entry {i}: {e}"))?;
+        if entry.index != i as u64 {
+            return Err(format!(
+                "entry {i} has index {} — checkpoint is not a contiguous prefix",
+                entry.index
+            ));
+        }
+        entries.push(entry);
+    }
+    Ok(Checkpoint {
+        fingerprint,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<EntryRecord> {
+        vec![
+            EntryRecord {
+                index: 0,
+                name: "tri64".into(),
+                status: EntryStatus::Ok,
+                slots: vec![SlotRecord {
+                    kernel: "transpose_hism".into(),
+                    decision: Decision::Run,
+                    outcome: Outcome::Success,
+                    attempts: 1,
+                    cycles: 1234,
+                    stage: None,
+                    error: None,
+                    fallback: None,
+                }],
+            },
+            EntryRecord {
+                index: 1,
+                name: "weird \"name\"".into(),
+                status: EntryStatus::Degraded,
+                slots: vec![SlotRecord {
+                    kernel: "transpose_hism".into(),
+                    decision: Decision::Probe,
+                    outcome: Outcome::Failure,
+                    attempts: 2,
+                    cycles: 0,
+                    stage: Some("run".into()),
+                    error: Some("corrupt: bad\nimage".into()),
+                    fallback: Some(FallbackRecord {
+                        kernel: "transpose_ref".into(),
+                        ok: true,
+                        cycles: 999,
+                        error: None,
+                    }),
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let dir = std::env::temp_dir().join("stm-ckpt-roundtrip");
+        let path = dir.join("soak.ckpt");
+        let entries = sample_entries();
+        save(&path, 77, &entries).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.fingerprint, 77);
+        assert_eq!(loaded.entries, entries);
+        // Re-saving the loaded entries reproduces the file byte for byte.
+        let first = std::fs::read(&path).unwrap();
+        save(&path, 77, &loaded.entries).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let entries = sample_entries();
+        let d = digest(&entries);
+        assert_eq!(d, digest(&entries));
+        let mut reordered = entries.clone();
+        reordered.swap(0, 1);
+        assert_ne!(d, digest(&reordered));
+        let mut tweaked = entries.clone();
+        tweaked[0].slots[0].cycles += 1;
+        assert_ne!(d, digest(&tweaked));
+        assert_ne!(digest(&entries[..1]), d);
+    }
+
+    #[test]
+    fn load_rejects_bad_schema_and_gaps() {
+        let dir = std::env::temp_dir().join("stm-ckpt-reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad_schema = dir.join("schema.ckpt");
+        std::fs::write(&bad_schema, "{\"schema\":\"nope/v0\",\"fingerprint\":1}\n").unwrap();
+        assert!(load(&bad_schema)
+            .unwrap_err()
+            .contains("unsupported schema"));
+
+        let gap = dir.join("gap.ckpt");
+        let mut entries = sample_entries();
+        entries[1].index = 5;
+        let text = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"fingerprint\":\"0x0000000000000001\"}}\n{}\n{}\n",
+            entries[0].canonical_line(),
+            entries[1].canonical_line()
+        );
+        std::fs::write(&gap, text).unwrap();
+        assert!(load(&gap).unwrap_err().contains("contiguous"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_names_round_trip() {
+        for s in [EntryStatus::Ok, EntryStatus::Degraded, EntryStatus::Failed] {
+            assert_eq!(EntryStatus::from_name(s.name()), Some(s));
+        }
+        assert_eq!(EntryStatus::from_name("meh"), None);
+    }
+}

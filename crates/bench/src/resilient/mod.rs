@@ -1,0 +1,757 @@
+//! The resilient soak pipeline: bounded work queue with backpressure,
+//! per-run deadlines, circuit-breaker fallback, retry with backoff, and
+//! checkpoint/resume.
+//!
+//! [`run_soak`] pushes a suite through the registry's primary transpose
+//! kernels (`transpose_hism`, `transpose_crs`) the way a long soak run
+//! would: items are dispatched to `jobs` workers through a bounded
+//! window of `queue_depth` in-flight items, every run is guarded by the
+//! engine's cycle-budget watchdog ([`SoakConfig::deadline`]), failures
+//! retry with deterministic exponential backoff, a per-kernel circuit
+//! breaker sheds load onto the registry fallbacks
+//! (`registry::fallback_for`) when a kernel fails repeatedly, and every
+//! committed result is checkpointed so an interrupted soak resumes
+//! without recomputing.
+//!
+//! ## Determinism
+//!
+//! The pipeline's observable results — every [`EntryRecord`], the
+//! breaker decision stream, and therefore the final report
+//! [`SoakReport::digest`] — are a pure function of the configuration and
+//! the suite, independent of the worker count and of kill/resume
+//! boundaries. The two mechanisms that make this true:
+//!
+//! * **in-order commit**: workers execute concurrently but results fold
+//!   into breakers, records, counters and the checkpoint strictly in
+//!   input order;
+//! * **decision lag**: the breaker decision for item `i + W` (`W` =
+//!   `queue_depth`) is computed when item `i` commits, and the first `W`
+//!   decisions come from the initial state — so no decision can depend
+//!   on which worker finished first (see [`breaker`]).
+//!
+//! Chaos faults, retry counts and backoff delays are all seeded; nothing
+//! reads the wall clock.
+
+pub mod backoff;
+pub mod breaker;
+pub mod checkpoint;
+
+pub use backoff::RetryPolicy;
+pub use breaker::{Breaker, BreakerConfig, BreakerState, Decision, Outcome, Transition};
+pub use checkpoint::{
+    digest, Checkpoint, EntryRecord, EntryStatus, FallbackRecord, SlotRecord, SCHEMA,
+};
+
+use crate::harness::{attempt, FaultSpec, MatrixResult, RunConfig, RunStatus};
+use crate::trace::export_trace;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use stm_core::kernels::registry::{self, KernelError, KernelFailure, KernelReport, Stage};
+use stm_dsab::SuiteEntry;
+use stm_hism::FaultClass;
+use stm_obs::{Category, Lane, Recorder, TraceData};
+use stm_sparse::rng::StdRng;
+
+/// The primary kernels the soak pipeline exercises per matrix — the
+/// paper's experiment shape. Each has a registry fallback
+/// ([`registry::fallback_for`]) for graceful degradation.
+pub const PRIMARY_KERNELS: [&str; 2] = ["transpose_hism", "transpose_crs"];
+
+/// Chaos-soak fault injection: each suite item independently draws
+/// against `rate_pct` from a stream seeded by `(seed, index)`; a hit
+/// corrupts the *primary* kernels of that item (fallbacks run trusted)
+/// with a uniformly chosen [`FaultClass`]. Purely seed-determined, so a
+/// resumed run re-derives the same hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Injection probability per item, in percent (`0..=100`).
+    pub rate_pct: u32,
+    /// Seed of the per-item draw stream.
+    pub seed: u64,
+}
+
+/// Configuration of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// The underlying harness configuration (machine, timing, verify,
+    /// `jobs`). `run.fault`, `run.retries`, `run.strict` and `run.trace`
+    /// are ignored — chaos, retry and tracing are governed by the soak
+    /// fields below.
+    pub run: RunConfig,
+    /// Per-run cycle budget enforced by the engine's watchdog
+    /// ([`stm_vpsim::VpConfig::cycle_budget`]); a run that exceeds it
+    /// aborts with the typed [`KernelError::DeadlineExceeded`].
+    pub deadline: Option<u64>,
+    /// Bounded-queue capacity `W`: at most `W` items are dispatched but
+    /// uncommitted at any moment (backpressure), and `W` is also the
+    /// breaker decision lag (see module docs). Must be ≥ 1.
+    pub queue_depth: usize,
+    /// Circuit-breaker tuning (shared by every per-kernel breaker).
+    pub breaker: BreakerConfig,
+    /// Retry/backoff tuning.
+    pub retry: RetryPolicy,
+    /// Chaos-soak fault injection; `None` soaks clean.
+    pub chaos: Option<ChaosSpec>,
+    /// Checkpoint file: loaded (resume) when present, rewritten
+    /// atomically after every commit.
+    pub checkpoint: Option<PathBuf>,
+    /// Directory for the pipeline's `resil`-lane trace export.
+    pub trace: Option<PathBuf>,
+    /// Stop (cleanly, checkpoint intact) once this many items have
+    /// committed — the test/CI hook that simulates a mid-stream kill.
+    pub stop_after: Option<usize>,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            run: RunConfig::default(),
+            deadline: None,
+            queue_depth: 8,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            chaos: None,
+            checkpoint: None,
+            trace: None,
+            stop_after: None,
+        }
+    }
+}
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SoakConfig {
+    /// Fingerprint binding a checkpoint to everything that shapes the
+    /// result stream: the suite, machine/timing configuration, deadline,
+    /// queue depth, breaker, retry and chaos tuning. Deliberately
+    /// excludes `run.jobs` — a checkpoint may be resumed with a
+    /// different worker count.
+    pub fn fingerprint(&self, set: &[SuiteEntry]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = fnv1a(h, b"soak/v1");
+        for e in set {
+            h = fnv1a(h, e.name.as_bytes());
+            h = fnv1a(h, b"|");
+        }
+        let cfg = format!(
+            "vp={:?}|stm={:?}|timing={}|verify={}|deadline={:?}|W={}|breaker={:?}|retry={:?}|chaos={:?}",
+            self.run.vp,
+            self.run.stm,
+            self.run.timing.name(),
+            self.run.verify,
+            self.deadline,
+            self.queue_depth,
+            self.breaker,
+            self.retry,
+            self.chaos,
+        );
+        fnv1a(h, cfg.as_bytes())
+    }
+
+    /// The harness configuration actually used per attempt: the soak
+    /// deadline becomes the engine cycle budget, and the harness's own
+    /// fault/retry/trace features are disabled (the pipeline owns them).
+    fn effective_run(&self) -> RunConfig {
+        let mut run = self.run.clone();
+        run.vp.cycle_budget = self.deadline;
+        run.fault = None;
+        run.retries = 0;
+        run.strict = false;
+        run.trace = None;
+        run
+    }
+}
+
+/// The per-item chaos draw: `None` for a clean item, or the fault spec
+/// to inject into the item's primary kernels. Pure in `(spec, index)`.
+pub fn chaos_fault(chaos: Option<&ChaosSpec>, index: usize) -> Option<FaultSpec> {
+    let spec = chaos?;
+    if spec.rate_pct == 0 {
+        return None;
+    }
+    let mut rng =
+        StdRng::seed_from_u64(spec.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    if rng.gen_range(0..100usize) >= spec.rate_pct as usize {
+        return None;
+    }
+    let class = FaultClass::ALL[rng.gen_range(0..FaultClass::ALL.len())];
+    Some(FaultSpec {
+        index,
+        class,
+        seed: rng.next_u64(),
+    })
+}
+
+/// Completed soak run.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// One record per committed item, in input order — the canonical
+    /// result stream ([`EntryRecord::canonical_line`] is what the digest
+    /// and the checkpoint serialize).
+    pub entries: Vec<EntryRecord>,
+    /// FNV-1a digest over the canonical entry stream
+    /// ([`checkpoint::digest`]). Identical across worker counts and
+    /// kill/resume boundaries.
+    pub digest: u64,
+    /// How many leading entries were restored from a checkpoint rather
+    /// than recomputed.
+    pub resumed: usize,
+    /// `true` when [`SoakConfig::stop_after`] ended the run before the
+    /// suite was exhausted.
+    pub halted: bool,
+    /// Full harness results for the entries *executed in this process*
+    /// (restored entries carry only their [`EntryRecord`]), keyed by
+    /// suite index. Degradations surface here as
+    /// [`RunStatus::Degraded`].
+    pub live: Vec<(usize, MatrixResult)>,
+    /// Every breaker state transition, as
+    /// `(commit sequence, kernel, from, to)`.
+    pub transitions: Vec<(u64, &'static str, BreakerState, BreakerState)>,
+    /// The pipeline's `resil`-lane trace (queue-depth samples, breaker
+    /// transitions, retry/degradation instants, `resil.*` counters).
+    pub trace: TraceData,
+}
+
+impl SoakReport {
+    /// Count of entries with the given status.
+    pub fn count(&self, status: EntryStatus) -> usize {
+        self.entries.iter().filter(|e| e.status == status).count()
+    }
+}
+
+/// One executed primary-kernel slot (plus its fallback, when taken).
+struct SlotExec {
+    kernel: &'static str,
+    decision: Decision,
+    /// `None` when the breaker skipped the primary.
+    primary: Option<Result<KernelReport, KernelFailure>>,
+    attempts: u64,
+    fallback: Option<(&'static str, Result<KernelReport, KernelFailure>)>,
+}
+
+impl SlotExec {
+    fn outcome(&self) -> Outcome {
+        match &self.primary {
+            None => Outcome::Skipped,
+            Some(Ok(_)) => Outcome::Success,
+            Some(Err(_)) => Outcome::Failure,
+        }
+    }
+
+    fn record(&self) -> SlotRecord {
+        let (cycles, stage, error) = match &self.primary {
+            Some(Ok(r)) => (r.report.cycles, None, None),
+            Some(Err(f)) => (0, Some(f.stage.to_string()), Some(f.error.to_string())),
+            None => (0, None, None),
+        };
+        SlotRecord {
+            kernel: self.kernel.to_string(),
+            decision: self.decision,
+            outcome: self.outcome(),
+            attempts: self.attempts,
+            cycles,
+            stage,
+            error,
+            fallback: self.fallback.as_ref().map(|(k, r)| match r {
+                Ok(rep) => FallbackRecord {
+                    kernel: (*k).to_string(),
+                    ok: true,
+                    cycles: rep.report.cycles,
+                    error: None,
+                },
+                Err(f) => FallbackRecord {
+                    kernel: (*k).to_string(),
+                    ok: false,
+                    cycles: 0,
+                    error: Some(f.error.to_string()),
+                },
+            }),
+        }
+    }
+
+    /// The verified report for this slot, from whichever kernel
+    /// produced one.
+    fn verified(&self) -> Option<&KernelReport> {
+        match &self.primary {
+            Some(Ok(r)) => Some(r),
+            _ => match &self.fallback {
+                Some((_, Ok(r))) => Some(r),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Terminal [`EntryStatus`] of a committed entry's slots.
+fn entry_status(slots: &[SlotRecord]) -> EntryStatus {
+    let mut degraded = false;
+    for s in slots {
+        let rescued = s.fallback.as_ref().is_some_and(|f| f.ok);
+        match s.outcome {
+            Outcome::Success => {}
+            Outcome::Failure | Outcome::Skipped => {
+                if rescued {
+                    degraded = true;
+                } else {
+                    return EntryStatus::Failed;
+                }
+            }
+        }
+    }
+    if degraded {
+        EntryStatus::Degraded
+    } else {
+        EntryStatus::Ok
+    }
+}
+
+/// [`RunStatus`] of a live (executed-in-process) entry, with full typed
+/// failures. Precedence: any unrescued slot ⇒ `Failed`, else any
+/// rescued slot ⇒ `Degraded`, else `Ok`.
+fn live_status(slots: &[SlotExec]) -> RunStatus {
+    for s in slots {
+        if s.verified().is_none() {
+            let failure = match (&s.primary, &s.fallback) {
+                (Some(Err(f)), _) => f.clone(),
+                (_, Some((_, Err(f)))) => f.clone(),
+                // Skipped primary with no registered fallback — not
+                // reachable for PRIMARY_KERNELS, but keep it typed.
+                _ => KernelFailure {
+                    kernel: s.kernel.to_string(),
+                    stage: Stage::Run,
+                    error: KernelError::Corrupt(
+                        "breaker open and no fallback registered".to_string(),
+                    ),
+                },
+            };
+            return RunStatus::Failed(failure);
+        }
+    }
+    for s in slots {
+        if let Some((fb, Ok(_))) = &s.fallback {
+            if !matches!(&s.primary, Some(Ok(_))) {
+                return RunStatus::Degraded {
+                    kernel: s.kernel.to_string(),
+                    fallback: fb,
+                    failure: match &s.primary {
+                        Some(Err(f)) => Some(f.clone()),
+                        _ => None,
+                    },
+                };
+            }
+        }
+    }
+    RunStatus::Ok
+}
+
+/// Static trace-event name for a breaker transition (event names are
+/// `&'static str` throughout the obs layer).
+fn transition_event_name(kernel: &str, to: BreakerState) -> &'static str {
+    match (kernel, to) {
+        ("transpose_hism", BreakerState::Closed) => "breaker.transpose_hism.closed",
+        ("transpose_hism", BreakerState::Open) => "breaker.transpose_hism.open",
+        ("transpose_hism", BreakerState::HalfOpen) => "breaker.transpose_hism.half_open",
+        ("transpose_crs", BreakerState::Closed) => "breaker.transpose_crs.closed",
+        ("transpose_crs", BreakerState::Open) => "breaker.transpose_crs.open",
+        ("transpose_crs", BreakerState::HalfOpen) => "breaker.transpose_crs.half_open",
+        (_, to) => match to {
+            BreakerState::Closed => "breaker.closed",
+            BreakerState::Open => "breaker.open",
+            BreakerState::HalfOpen => "breaker.half_open",
+        },
+    }
+}
+
+/// Everything the committer mutates, under one mutex.
+struct Shared {
+    /// Next item index to dispatch.
+    next: usize,
+    /// Items committed so far (entries `0..committed` are final).
+    committed: usize,
+    /// Dispatched but not yet folded back (queue-depth sample value).
+    in_flight: usize,
+    /// `stop_after` tripped: stop dispatching, drop uncommitted work.
+    halted: bool,
+    /// Per-item breaker decisions, one slot per primary kernel;
+    /// `decisions[i]` exists before item `i` can be dispatched.
+    decisions: Vec<Vec<Decision>>,
+    /// Out-of-order results parked until their turn to commit.
+    pending: BTreeMap<usize, Vec<SlotExec>>,
+    breakers: Vec<Breaker>,
+    entries: Vec<EntryRecord>,
+    live: Vec<(usize, MatrixResult)>,
+    transitions: Vec<(u64, &'static str, BreakerState, BreakerState)>,
+    /// First checkpoint-write error, if any (fails the run at the end).
+    io_error: Option<String>,
+}
+
+impl Shared {
+    /// Issues the breaker decisions for item `i`, in input order.
+    fn issue_decisions(&mut self, i: usize, seq: u64) {
+        debug_assert_eq!(self.decisions.len(), i);
+        let d = self.breakers.iter_mut().map(|b| b.decide(seq)).collect();
+        self.decisions.push(d);
+    }
+
+    fn drain_transitions(&mut self, rec: &Recorder) {
+        for (k, breaker) in self.breakers.iter_mut().enumerate() {
+            let kernel = PRIMARY_KERNELS[k];
+            for (seq, from, to) in breaker.drain_transitions() {
+                rec.instant(
+                    Lane::Resil,
+                    Category::Resil,
+                    transition_event_name(kernel, to),
+                    seq,
+                );
+                rec.add(
+                    match to {
+                        BreakerState::Open => "resil.breaker.trips",
+                        BreakerState::HalfOpen => "resil.breaker.probes",
+                        BreakerState::Closed => "resil.breaker.recoveries",
+                    },
+                    1,
+                );
+                self.transitions.push((seq, kernel, from, to));
+            }
+        }
+    }
+
+    /// Folds one committed entry into breakers, counters and records —
+    /// identical for live and replayed (restored) entries, which is what
+    /// keeps counters and transition streams equal across resume
+    /// boundaries.
+    fn fold_commit(
+        &mut self,
+        rec: &Recorder,
+        entry: &EntryRecord,
+        chaos_hit: bool,
+        n: usize,
+        w: usize,
+    ) {
+        let i = self.committed;
+        let seq = i as u64;
+        if chaos_hit {
+            rec.add("resil.chaos.injected", 1);
+        }
+        for (k, slot) in entry.slots.iter().enumerate() {
+            self.breakers[k].commit(slot.decision, slot.outcome, seq);
+            if slot.attempts > 1 {
+                rec.instant(Lane::Resil, Category::Resil, "resil.retry", seq);
+                rec.add("resil.retry.attempts", slot.attempts - 1);
+            }
+            if let Some(fb) = &slot.fallback {
+                rec.add("resil.fallback.runs", 1);
+                if fb.ok {
+                    rec.add("resil.fallback.rescues", 1);
+                }
+            }
+            if slot
+                .error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("deadline:"))
+            {
+                rec.add("resil.deadline.exceeded", 1);
+            }
+        }
+        rec.add("resil.items", 1);
+        rec.add(
+            match entry.status {
+                EntryStatus::Ok => "resil.ok",
+                EntryStatus::Degraded => "resil.degraded",
+                EntryStatus::Failed => "resil.failed",
+            },
+            1,
+        );
+        if entry.status == EntryStatus::Degraded {
+            rec.instant(Lane::Resil, Category::Resil, "resil.degraded", seq);
+        }
+        self.committed += 1;
+        if self.decisions.len() < n && self.decisions.len() < self.committed + w {
+            self.issue_decisions(self.decisions.len(), seq);
+        }
+        self.drain_transitions(rec);
+    }
+}
+
+/// Runs one primary-kernel slot: the breaker-decided primary attempt
+/// loop (with backoff), then the registry fallback when the primary did
+/// not produce a verified result. Fallbacks run trusted — no chaos
+/// injection — but under the same deadline.
+fn run_slot(
+    run: &RunConfig,
+    retry: &RetryPolicy,
+    entry: &SuiteEntry,
+    index: usize,
+    kernel: &'static str,
+    decision: Decision,
+    fault: Option<&FaultSpec>,
+) -> SlotExec {
+    let mut attempts = 0u64;
+    let primary = match decision {
+        Decision::Skip => None,
+        Decision::Run | Decision::Probe => {
+            let injected = fault.is_some();
+            // Injected corruption is deterministic: one attempt, like
+            // the plain harness.
+            let max_attempts = if injected {
+                1
+            } else {
+                u64::from(retry.max_attempts.max(1))
+            };
+            let mut out = None;
+            while out.is_none() {
+                attempts += 1;
+                match attempt(run, kernel, entry, fault, &Recorder::disabled()) {
+                    Ok(r) => out = Some(Ok(r)),
+                    Err(f) => {
+                        if attempts >= max_attempts || !retry.should_retry(&f.error, injected) {
+                            out = Some(Err(f));
+                        } else {
+                            let key = fnv1a(index as u64, kernel.as_bytes());
+                            let delay = retry.delay_ms(key, (attempts + 1) as u32);
+                            if delay > 0 {
+                                std::thread::sleep(std::time::Duration::from_millis(delay));
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    };
+    let fallback = if matches!(primary, Some(Ok(_))) {
+        None
+    } else {
+        registry::fallback_for(kernel)
+            .map(|fb| (fb, attempt(run, fb, entry, None, &Recorder::disabled())))
+    };
+    SlotExec {
+        kernel,
+        decision,
+        primary,
+        attempts,
+        fallback,
+    }
+}
+
+/// Runs the soak pipeline over `set`. See the module docs for the
+/// architecture; returns an error for checkpoint problems (unreadable,
+/// wrong fingerprint, inconsistent with the configured breaker stream)
+/// or checkpoint-write failures — kernel failures are *data* in the
+/// report, never an `Err`.
+pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, String> {
+    let n = set.len();
+    let w = cfg.queue_depth.max(1);
+    let fingerprint = cfg.fingerprint(set);
+    let run = cfg.effective_run();
+    let rec = Recorder::enabled_default();
+
+    let mut shared = Shared {
+        next: 0,
+        committed: 0,
+        in_flight: 0,
+        halted: false,
+        decisions: Vec::with_capacity(n),
+        pending: BTreeMap::new(),
+        breakers: PRIMARY_KERNELS
+            .iter()
+            .map(|_| Breaker::new(cfg.breaker))
+            .collect(),
+        entries: Vec::with_capacity(n),
+        live: Vec::new(),
+        transitions: Vec::new(),
+        io_error: None,
+    };
+
+    // Initial decision window from the breakers' initial state.
+    for i in 0..n.min(w) {
+        shared.issue_decisions(i, 0);
+    }
+    shared.drain_transitions(&rec);
+
+    // Resume: replay the checkpointed prefix through the exact commit
+    // path (breaker folds, decision issuance, counters, transitions),
+    // verifying that the recorded decisions match the replayed stream.
+    let mut resumed = 0;
+    if let Some(path) = &cfg.checkpoint {
+        if path.exists() {
+            let ckpt = checkpoint::load(path)?;
+            if ckpt.fingerprint != fingerprint {
+                return Err(format!(
+                    "checkpoint {path:?} was written by a different soak configuration \
+                     (fingerprint 0x{:016x}, want 0x{fingerprint:016x})",
+                    ckpt.fingerprint
+                ));
+            }
+            if ckpt.entries.len() > n {
+                return Err(format!(
+                    "checkpoint {path:?} has {} entries but the suite has {n}",
+                    ckpt.entries.len()
+                ));
+            }
+            for entry in &ckpt.entries {
+                let i = shared.committed;
+                for (k, slot) in entry.slots.iter().enumerate() {
+                    let replayed = shared.decisions[i][k];
+                    if replayed != slot.decision {
+                        return Err(format!(
+                            "checkpoint {path:?} entry {i} slot {k}: recorded decision {} \
+                             but replay derives {} — stale or foreign checkpoint",
+                            slot.decision.name(),
+                            replayed.name()
+                        ));
+                    }
+                }
+                let chaos_hit = chaos_fault(cfg.chaos.as_ref(), i).is_some();
+                shared.fold_commit(&rec, entry, chaos_hit, n, w);
+                shared.entries.push(entry.clone());
+            }
+            resumed = shared.committed;
+            shared.next = resumed;
+        }
+    }
+
+    let stop_at = cfg.stop_after.unwrap_or(usize::MAX).min(n);
+    if shared.committed >= stop_at {
+        shared.halted = shared.committed < n;
+    }
+
+    let sync = (Mutex::new(shared), Condvar::new());
+    let workers = run.worker_count(n.saturating_sub(resumed));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let (lock, cvar) = &sync;
+                loop {
+                    // Claim the next item, blocking while the bounded
+                    // window is full (backpressure).
+                    let claimed = {
+                        let mut g = lock.lock().unwrap();
+                        loop {
+                            if g.halted || g.next >= n {
+                                break None;
+                            }
+                            if g.next - g.committed < w {
+                                let i = g.next;
+                                g.next += 1;
+                                g.in_flight += 1;
+                                break Some((i, g.decisions[i].clone()));
+                            }
+                            g = cvar.wait(g).unwrap();
+                        }
+                    };
+                    let Some((i, decisions)) = claimed else {
+                        return;
+                    };
+
+                    let fault = chaos_fault(cfg.chaos.as_ref(), i);
+                    let slots: Vec<SlotExec> = PRIMARY_KERNELS
+                        .iter()
+                        .zip(&decisions)
+                        .map(|(kernel, &decision)| {
+                            run_slot(
+                                &run,
+                                &cfg.retry,
+                                &set[i],
+                                i,
+                                kernel,
+                                decision,
+                                fault.as_ref(),
+                            )
+                        })
+                        .collect();
+
+                    let mut g = lock.lock().unwrap();
+                    g.in_flight -= 1;
+                    g.pending.insert(i, slots);
+                    // Commit everything that is now contiguous, in input
+                    // order, under the lock — the single place results
+                    // become observable.
+                    while !g.halted {
+                        let next_commit = g.committed;
+                        let Some(slots) = g.pending.remove(&next_commit) else {
+                            break;
+                        };
+                        let seq = next_commit as u64;
+                        let records: Vec<SlotRecord> = slots.iter().map(SlotExec::record).collect();
+                        let entry = EntryRecord {
+                            index: seq,
+                            name: set[next_commit].name.clone(),
+                            status: entry_status(&records),
+                            slots: records,
+                        };
+                        rec.sample(
+                            Lane::Resil,
+                            "resil.queue.depth",
+                            seq,
+                            (g.in_flight + g.pending.len()) as f64,
+                        );
+                        rec.observe("resil.queue.depth", (g.in_flight + g.pending.len()) as u64);
+                        let chaos_hit = chaos_fault(cfg.chaos.as_ref(), next_commit).is_some();
+                        g.fold_commit(&rec, &entry, chaos_hit, n, w);
+                        let hism = slots[0].verified().map(|r| r.report.clone());
+                        let crs = slots[1].verified().map(|r| r.report.clone());
+                        g.live.push((
+                            next_commit,
+                            MatrixResult {
+                                name: entry.name.clone(),
+                                metrics: set[next_commit].metrics,
+                                hism,
+                                crs,
+                                status: live_status(&slots),
+                                traces: Vec::new(),
+                            },
+                        ));
+                        g.entries.push(entry);
+                        if let Some(path) = &cfg.checkpoint {
+                            if let Err(e) = checkpoint::save(path, fingerprint, &g.entries) {
+                                if g.io_error.is_none() {
+                                    g.io_error = Some(format!("checkpoint write {path:?}: {e}"));
+                                }
+                                g.halted = true;
+                            }
+                        }
+                        if g.committed >= stop_at && g.committed < n {
+                            g.halted = true;
+                        }
+                    }
+                    cvar.notify_all();
+                }
+            });
+        }
+    });
+
+    let shared = sync.0.into_inner().unwrap();
+    if let Some(e) = shared.io_error {
+        return Err(e);
+    }
+    let digest = checkpoint::digest(&shared.entries);
+    let report = SoakReport {
+        digest,
+        resumed,
+        halted: shared.halted,
+        live: shared.live,
+        transitions: shared.transitions,
+        entries: shared.entries,
+        trace: rec.snapshot(),
+    };
+    if let Some(dir) = &cfg.trace {
+        export_soak_trace(dir, &report).map_err(|e| format!("trace export {dir:?}: {e}"))?;
+    }
+    Ok(report)
+}
+
+/// Exports the soak report's `resil` trace into `dir` (stem
+/// `soak.resil`) via the standard trace exporter; returns the exporter's
+/// summary line. Used by the `stmsoak` bin and the soak tests.
+pub fn export_soak_trace(dir: &std::path::Path, report: &SoakReport) -> std::io::Result<String> {
+    export_trace(dir, "soak", "resil", &report.trace)
+}

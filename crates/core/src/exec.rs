@@ -147,8 +147,33 @@ pub enum KernelError {
         /// The rejected class.
         class: FaultClass,
     },
+    /// The simulated run exceeded its configured cycle budget
+    /// ([`VpConfig::cycle_budget`]) and the engine aborted it — the soak
+    /// pipeline's deadline watchdog. Unlike [`KernelError::Panicked`]
+    /// this is an *expected*, typed abort.
+    DeadlineExceeded(stm_vpsim::DeadlineExceeded),
     /// A stage panicked; the harness caught it and preserved the message.
     Panicked(String),
+}
+
+impl KernelError {
+    /// Classifies a caught panic payload: the engine's typed
+    /// [`stm_vpsim::DeadlineExceeded`] abort becomes
+    /// [`KernelError::DeadlineExceeded`]; anything else is preserved as
+    /// [`KernelError::Panicked`] with its message.
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> KernelError {
+        if let Some(d) = payload.downcast_ref::<stm_vpsim::DeadlineExceeded>() {
+            return KernelError::DeadlineExceeded(*d);
+        }
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        KernelError::Panicked(msg)
+    }
 }
 
 impl fmt::Display for KernelError {
@@ -165,6 +190,7 @@ impl fmt::Display for KernelError {
             KernelError::FaultUnsupported { kernel, class } => {
                 write!(f, "kernel {kernel} cannot host fault class {class}")
             }
+            KernelError::DeadlineExceeded(d) => write!(f, "deadline: {d}"),
             KernelError::Panicked(msg) => write!(f, "kernel panicked: {msg}"),
         }
     }

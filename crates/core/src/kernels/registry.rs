@@ -21,25 +21,39 @@ use crate::kernels::crs_transpose::transpose_crs_obs;
 use crate::kernels::dense_transpose::transpose_dense_obs;
 use crate::kernels::hism_spmv::spmv_hism_obs;
 use crate::kernels::hism_transpose::transpose_hism_obs;
-use crate::obs::record_lifecycle;
-use crate::report::TransposeReport;
+use crate::obs::{record_lifecycle, record_phases};
+use crate::report::{Phase, TransposeReport};
 use stm_hism::{build, faults, FaultClass, FaultRecord, HismImage};
 use stm_sparse::rng::StdRng;
 use stm_sparse::{Coo, Csr, Value};
 
 /// All registered kernel names, in canonical order.
-pub const NAMES: [&str; 6] = [
+pub const NAMES: [&str; 7] = [
     "transpose_hism",
     "transpose_crs",
     "transpose_crs_scalar",
     "transpose_dense",
     "spmv_hism",
     "spmv_crs",
+    "transpose_ref",
 ];
 
 /// All registered kernel names, in canonical order.
 pub fn names() -> &'static [&'static str] {
     &NAMES
+}
+
+/// The graceful-degradation map used by the resilient soak pipeline: the
+/// registry kernel to run instead of `name` once its circuit breaker has
+/// tripped (or its run has failed). The HiSM+STM transpose degrades to
+/// the trusted software reference, the vectorized CRS baseline to its
+/// fully scalar sibling; kernels without an entry have no fallback.
+pub fn fallback_for(name: &str) -> Option<&'static str> {
+    match name {
+        "transpose_hism" => Some("transpose_ref"),
+        "transpose_crs" => Some("transpose_crs_scalar"),
+        _ => None,
+    }
 }
 
 /// Constructs the kernel registered under `name`, or `None` if the name
@@ -52,6 +66,7 @@ pub fn create(name: &str) -> Option<Box<dyn Kernel>> {
         "transpose_dense" => Some(Box::new(TransposeDense::default())),
         "spmv_hism" => Some(Box::new(SpmvHism::default())),
         "spmv_crs" => Some(Box::new(SpmvCrs::default())),
+        "transpose_ref" => Some(Box::new(TransposeRef::default())),
         _ => None,
     }
 }
@@ -334,6 +349,88 @@ fn verify_csr_transpose(coo: &Coo, out: &KernelOutput) -> Result<(), KernelError
     }
 }
 
+/// The trusted software reference transpose — the degradation target the
+/// resilient soak pipeline falls back to when `transpose_hism`'s circuit
+/// breaker trips (see [`fallback_for`]).
+///
+/// The transposition runs entirely on the host (the same Pissanetsky
+/// oracle the verifiers use); simulated cycles are charged as one scalar
+/// phase with a nominal linear cost, so reports stay comparable and the
+/// stall-conservation invariants hold. Because no simulated engine runs,
+/// the deadline watchdog can never fire here and no fault class is
+/// hosted — a fallback that could itself wedge or be corrupted would be
+/// worthless.
+#[derive(Debug, Default)]
+struct TransposeRef {
+    csr: Option<Csr>,
+}
+
+impl Kernel for TransposeRef {
+    fn name(&self) -> &'static str {
+        "transpose_ref"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
+        self.csr = Some(Csr::from_coo(coo));
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
+        let out = csr.transpose_pissanetsky();
+        let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
+        // Nominal host cost: two passes over the entries plus one over
+        // each dimension — mapped through the timing model so the ideal
+        // bound stays below the paper machine.
+        let nominal = 8 + 2 * nnz as u64 + rows as u64 + cols as u64;
+        let cycles = ctx.timing.model().scalar_cycles(nominal);
+        let report = TransposeReport {
+            cycles,
+            nnz,
+            engine: Default::default(),
+            scalar: None,
+            stm: None,
+            phases: vec![Phase {
+                name: "host-reference",
+                cycles,
+            }],
+            fu_busy: Default::default(),
+            stalls: stm_vpsim::StallBreakdown::scalar_only(ctx.vp.mem_ports, cycles),
+        };
+        if ctx.obs.is_enabled() {
+            ctx.obs.complete(
+                stm_obs::Lane::Scalar,
+                stm_obs::Category::Scalar,
+                "host.reference",
+                0,
+                cycles,
+                nnz as u64,
+            );
+        }
+        record_phases(&ctx.obs, &report.phases);
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.csr.as_ref().map_or(0, csr_bytes)
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+        verify_csr_transpose(coo, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, _seed: u64) -> Result<FaultRecord, KernelError> {
+        if self.csr.is_none() {
+            return Err(KernelError::NotPrepared);
+        }
+        // The trusted fallback deliberately hosts no faults.
+        Err(KernelError::FaultUnsupported {
+            kernel: "transpose_ref",
+            class,
+        })
+    }
+}
+
 /// The trivial dense strided transpose of the paper's Section II.
 #[derive(Debug, Default)]
 struct TransposeDense {
@@ -523,6 +620,40 @@ mod tests {
             assert_eq!(report.kernel, name);
             assert!(report.report.cycles > 0, "{name} charged no cycles");
             assert_eq!(report.output_digest, report.output.digest());
+        }
+    }
+
+    #[test]
+    fn fallbacks_are_registered_and_verify_against_the_same_oracle() {
+        let coo = gen::random::uniform(60, 45, 300, 21);
+        let ctx = ExecCtx::paper();
+        for &name in names() {
+            let Some(fb) = fallback_for(name) else {
+                continue;
+            };
+            assert!(NAMES.contains(&fb), "fallback {fb} is not registered");
+            assert!(
+                fallback_for(fb).is_none(),
+                "fallback {fb} must itself be terminal"
+            );
+            // The fallback must succeed on any input its primary accepts.
+            run_verified(fb, &coo, &ctx).unwrap_or_else(|e| panic!("{fb}: {e}"));
+        }
+        assert_eq!(fallback_for("transpose_hism"), Some("transpose_ref"));
+        assert_eq!(fallback_for("transpose_crs"), Some("transpose_crs_scalar"));
+        assert_eq!(fallback_for("transpose_ref"), None);
+    }
+
+    #[test]
+    fn reference_transpose_hosts_no_faults() {
+        let coo = gen::random::uniform(30, 30, 120, 3);
+        for class in FaultClass::ALL {
+            let mut k = create("transpose_ref").unwrap();
+            k.prepare(&coo, &ExecCtx::paper()).unwrap();
+            assert!(matches!(
+                k.inject_fault(class, 1),
+                Err(KernelError::FaultUnsupported { .. })
+            ));
         }
     }
 

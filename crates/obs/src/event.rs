@@ -28,6 +28,10 @@ pub enum Lane {
     Scalar,
     /// Memory-fault (out-of-bounds) instants.
     Fault,
+    /// Resilience-pipeline events (queue depth samples, circuit-breaker
+    /// transitions, retries) — timestamps are commit sequence numbers,
+    /// not cycles, since the soak pipeline spans many kernel runs.
+    Resil,
 }
 
 impl Lane {
@@ -44,6 +48,7 @@ impl Lane {
             Lane::StmBlock => 4,
             Lane::Scalar => 5,
             Lane::Fault => 6,
+            Lane::Resil => 7,
             Lane::Mem(p) => 10 + p as u32,
         }
     }
@@ -58,6 +63,7 @@ impl Lane {
             Lane::StmBlock => "stm.block".to_string(),
             Lane::Scalar => "scalar".to_string(),
             Lane::Fault => "fault".to_string(),
+            Lane::Resil => "resil".to_string(),
             Lane::Mem(p) => format!("mem.port{p}"),
         }
     }
@@ -82,6 +88,9 @@ pub enum Category {
     Fault,
     /// Sampled values (e.g. buffer utilization).
     Sample,
+    /// Resilience-pipeline events (breaker transitions, retries,
+    /// degradations).
+    Resil,
 }
 
 impl Category {
@@ -96,6 +105,7 @@ impl Category {
             Category::Scalar => "scalar",
             Category::Fault => "fault",
             Category::Sample => "sample",
+            Category::Resil => "resil",
         }
     }
 }

@@ -93,8 +93,8 @@ pub fn to_jsonl(data: &TraceData) -> String {
             h.min(),
             h.max(),
             num(h.mean()),
-            h.percentile(50),
-            h.percentile(95),
+            h.percentile(50).unwrap_or(0),
+            h.percentile(95).unwrap_or(0),
             buckets.join(",")
         ));
     }

@@ -82,10 +82,13 @@ impl Histogram {
     /// Bucket-upper-bound estimate of the `p`-th percentile (`p` in
     /// `0..=100`; values above 100 clamp to 100): the upper bound of the
     /// log2 bucket holding the observation of rank `ceil(p/100 * count)`.
-    /// Exact for `p = 100` (returns [`Histogram::max`]); 0 when empty.
-    pub fn percentile(&self, p: u64) -> u64 {
+    /// Exact for `p = 100` (returns [`Histogram::max`]); `None` when the
+    /// histogram holds no observations — an empty histogram has no
+    /// percentiles, and a sentinel value would be indistinguishable from
+    /// a real observation of that value.
+    pub fn percentile(&self, p: u64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let p = p.min(100);
         // rank in 1..=count, computed without floating point.
@@ -105,10 +108,10 @@ impl Histogram {
                 } else {
                     (1u64 << i) - 1
                 };
-                return upper.min(self.max);
+                return Some(upper.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
@@ -181,10 +184,10 @@ mod tests {
     }
 
     #[test]
-    fn percentile_of_empty_histogram_is_zero() {
+    fn percentile_of_empty_histogram_is_none() {
         let h = Histogram::default();
         for p in [0, 50, 95, 100] {
-            assert_eq!(h.percentile(p), 0);
+            assert_eq!(h.percentile(p), None);
         }
     }
 
@@ -193,7 +196,7 @@ mod tests {
         let mut h = Histogram::default();
         h.observe(37);
         for p in [0, 1, 50, 95, 100, 200] {
-            assert_eq!(h.percentile(p), 37, "p{p}");
+            assert_eq!(h.percentile(p), Some(37), "p{p}");
         }
     }
 
@@ -207,10 +210,10 @@ mod tests {
         for _ in 0..50 {
             h.observe(1000);
         }
-        assert_eq!(h.percentile(50), 3); // bucket 2 upper bound = 3
-        assert_eq!(h.percentile(95), 1000); // bucket 10 upper bound 1023, clamped to max
-        assert_eq!(h.percentile(100), h.max());
-        assert_eq!(h.percentile(0), 3); // rank clamps to 1
+        assert_eq!(h.percentile(50), Some(3)); // bucket 2 upper bound = 3
+        assert_eq!(h.percentile(95), Some(1000)); // bucket 10 upper bound 1023, clamped to max
+        assert_eq!(h.percentile(100), Some(h.max()));
+        assert_eq!(h.percentile(0), Some(3)); // rank clamps to 1
     }
 
     #[test]
@@ -219,8 +222,8 @@ mod tests {
         // upper-bound shift; the estimate clamps to the observed max.
         let mut h = Histogram::default();
         h.observe(u64::MAX);
-        assert_eq!(h.percentile(50), u64::MAX);
-        assert_eq!(h.percentile(100), u64::MAX);
+        assert_eq!(h.percentile(50), Some(u64::MAX));
+        assert_eq!(h.percentile(100), Some(u64::MAX));
         assert_eq!(h.max(), u64::MAX);
     }
 
@@ -231,9 +234,9 @@ mod tests {
             h.observe(v);
         }
         for p in 0..=100 {
-            assert!(h.percentile(p) <= h.max());
+            assert!(h.percentile(p).unwrap() <= h.max());
         }
-        assert_eq!(h.percentile(100), 70000);
+        assert_eq!(h.percentile(100), Some(70000));
     }
 
     #[test]

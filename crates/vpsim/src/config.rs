@@ -73,6 +73,15 @@ pub struct VpConfig {
     /// silent growth. Valid inputs never cross the watermark, so this has
     /// no effect on clean runs.
     pub oob: OobPolicy,
+    /// Per-run cycle budget (the soak pipeline's deadline watchdog).
+    /// `None` (the default) disables the check. When set, the engine
+    /// aborts by unwinding with a typed [`crate::DeadlineExceeded`]
+    /// payload at the first watchdog point — instruction issue, a serial
+    /// phase, or a stall — past the budget, so a wedged or runaway kernel
+    /// cannot hold a worker forever. Clean runs under a generous budget
+    /// are cycle-identical to unbudgeted runs (the check never advances
+    /// the clock).
+    pub cycle_budget: Option<u64>,
 }
 
 impl Default for VpConfig {
@@ -96,6 +105,7 @@ impl Default for VpConfig {
             scalar_branch_penalty: 1,
             scalar_out_of_order: false,
             oob: OobPolicy::Trap,
+            cycle_budget: None,
         }
     }
 }
@@ -152,6 +162,16 @@ mod tests {
         assert_eq!(c.mem_words_per_cycle, 4);
         assert_eq!(c.mem_indexed_words_per_cycle, 1);
         assert!(c.chaining);
+        assert_eq!(c.cycle_budget, None, "the paper machine has no deadline");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn a_cycle_budget_is_a_valid_configuration() {
+        let c = VpConfig {
+            cycle_budget: Some(10_000),
+            ..VpConfig::paper()
+        };
         c.validate().unwrap();
     }
 

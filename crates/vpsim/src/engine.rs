@@ -14,6 +14,33 @@ use crate::timing::{TimingKind, TimingModel};
 use crate::trace::{FuBusy, Trace, TraceEvent};
 use stm_obs::{Category, Lane, Recorder};
 
+/// Typed abort payload: the engine exceeded its configured cycle budget
+/// ([`VpConfig::cycle_budget`]).
+///
+/// The engine aborts by unwinding with this struct as the panic payload
+/// (via `std::panic::panic_any`), so a harness that `catch_unwind`s a
+/// kernel can downcast the payload and report a typed deadline error
+/// instead of a generic panic. The check runs at every watchdog point —
+/// instruction issue, serial phases, STM stalls — so a runaway kernel is
+/// stopped within one instruction of crossing the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The configured budget in cycles.
+    pub budget: u64,
+    /// The simulated cycle count at the watchdog point that fired.
+    pub cycles: u64,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle budget exceeded: {} cycles > budget {}",
+            self.cycles, self.budget
+        )
+    }
+}
+
 /// Why the in-order front end was not issuing during an interval (the
 /// engine-wide stall timeline consumed by per-port gap attribution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -345,6 +372,20 @@ impl Engine {
         }
     }
 
+    /// The deadline watchdog: unwinds with a typed [`DeadlineExceeded`]
+    /// payload once the run has consumed more cycles than the configured
+    /// budget. Called at every point the engine advances its timeline, so
+    /// the abort happens within one watchdog interval (one instruction /
+    /// one serial phase) of crossing the budget. A no-op without a budget.
+    fn check_deadline(&self) {
+        if let Some(budget) = self.cfg.cycle_budget {
+            let cycles = self.cycles();
+            if cycles > budget {
+                std::panic::panic_any(DeadlineExceeded { budget, cycles });
+            }
+        }
+    }
+
     /// Charges scalar loop-control overhead on the issue timeline (it can
     /// overlap in-flight vector work, like scalar code on a decoupled VP).
     pub fn loop_overhead(&mut self) {
@@ -352,6 +393,7 @@ impl Engine {
         self.note_stall(self.clock, self.clock + c, StallKind::Scalar);
         self.clock += c;
         self.stats.overhead_cycles += c;
+        self.check_deadline();
     }
 
     /// Charges an arbitrary number of scalar cycles on the issue timeline.
@@ -360,6 +402,7 @@ impl Engine {
         self.note_stall(self.clock, self.clock + c, StallKind::Scalar);
         self.clock += c;
         self.stats.overhead_cycles += c;
+        self.check_deadline();
     }
 
     /// Serializes with a scalar-core phase of `cycles` length: everything
@@ -378,6 +421,7 @@ impl Engine {
             self.obs
                 .complete(Lane::Scalar, Category::Scalar, "serial", start, c, 0);
         }
+        self.check_deadline();
     }
 
     /// Blocks instruction issue until cycle `t` (used by the STM's
@@ -385,11 +429,13 @@ impl Engine {
     pub fn stall_until(&mut self, t: u64) {
         self.note_stall(self.clock, t, StallKind::Stm);
         self.clock = self.clock.max(t);
+        self.check_deadline();
     }
 
     /// Issues an instruction on `fu`: waits for the issue slot and for a
     /// unit port to be free; returns the start cycle and the port taken.
     fn issue(&mut self, fu: Fu) -> (u64, usize) {
+        self.check_deadline();
         let (port, unit_free) = match fu {
             Fu::Mem => {
                 let (port, &busy) = self
@@ -993,6 +1039,67 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::new(VpConfig::paper(), Memory::new())
+    }
+
+    #[test]
+    fn deadline_aborts_with_a_typed_payload() {
+        let cfg = VpConfig {
+            cycle_budget: Some(40),
+            ..VpConfig::paper()
+        };
+        let caught = std::panic::catch_unwind(move || {
+            let mut e = Engine::new(cfg, Memory::new());
+            // Each 64-word load is 36 cycles; the second crosses the
+            // budget and the third must never issue.
+            for _ in 0..100 {
+                e.v_ld(0, 64);
+            }
+        })
+        .expect_err("budget must abort the run");
+        let d = caught
+            .downcast_ref::<DeadlineExceeded>()
+            .expect("payload must be the typed DeadlineExceeded");
+        assert_eq!(d.budget, 40);
+        assert!(d.cycles > 40, "fired before the budget: {}", d.cycles);
+        // Within one watchdog interval: one instruction past the budget.
+        assert!(d.cycles <= 40 + 36, "fired late: {}", d.cycles);
+        assert!(d.to_string().contains("budget 40"), "{d}");
+    }
+
+    #[test]
+    fn deadline_covers_serial_and_stall_paths() {
+        let cfg = VpConfig {
+            cycle_budget: Some(10),
+            ..VpConfig::paper()
+        };
+        for op in [
+            (|e: &mut Engine| e.advance_serial(100)) as fn(&mut Engine),
+            |e| e.scalar_cycles(100),
+            |e| e.stall_until(100),
+        ] {
+            let cfg = cfg.clone();
+            let caught = std::panic::catch_unwind(move || op(&mut Engine::new(cfg, Memory::new())))
+                .expect_err("serial path must hit the watchdog");
+            assert!(caught.downcast_ref::<DeadlineExceeded>().is_some());
+        }
+    }
+
+    #[test]
+    fn generous_deadline_is_cycle_invisible() {
+        let mut plain = engine();
+        let mut budgeted = Engine::new(
+            VpConfig {
+                cycle_budget: Some(u64::MAX),
+                ..VpConfig::paper()
+            },
+            Memory::new(),
+        );
+        for e in [&mut plain, &mut budgeted] {
+            e.v_ld(0, 64);
+            e.loop_overhead();
+            e.v_ld(64, 64);
+        }
+        assert_eq!(plain.cycles(), budgeted.cycles());
     }
 
     #[test]

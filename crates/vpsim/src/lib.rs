@@ -41,7 +41,7 @@ pub mod timing;
 pub mod trace;
 
 pub use config::VpConfig;
-pub use engine::{Engine, Fu, VReg};
+pub use engine::{DeadlineExceeded, Engine, Fu, VReg};
 pub use mem::{Allocator, MemFault, Memory, OobPolicy, POISON_WORD};
 pub use stats::{EngineStats, StallBreakdown, StallCauses};
 pub use timing::{IdealTiming, PaperTiming, TimingKind, TimingModel};

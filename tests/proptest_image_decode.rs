@@ -1,0 +1,156 @@
+//! Property tests for [`HismImage::decode`] as an untrusted-input parser:
+//! truncated and bit-corrupted images must come back as `Ok` or a typed
+//! [`ImageError`] — never a slice panic — and every error variant must
+//! actually be reachable from a corrupted image.
+
+mod common;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use common::{arb_coo, case_rng};
+use hism_stm::hism::{build, HismImage, ImageError};
+use hism_stm::sparse::rng::StdRng;
+
+const CASES: u64 = 48;
+
+/// Stable tag for coverage bookkeeping across random cases.
+fn variant_tag(e: &ImageError) -> &'static str {
+    match e {
+        ImageError::ZeroLevels => "zero_levels",
+        ImageError::BadSectionSize(_) => "bad_section_size",
+        ImageError::OutOfBounds { .. } => "out_of_bounds",
+        ImageError::BadPosition { .. } => "bad_position",
+        ImageError::Runaway { .. } => "runaway",
+    }
+}
+
+/// Decodes inside `catch_unwind` so an escaped slice panic fails the
+/// property with a description of the corrupted image rather than a bare
+/// index-out-of-range backtrace.
+fn decode_no_panic(img: &HismImage, what: &str) -> Result<(), ImageError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| img.decode().map(|_| ())));
+    match outcome {
+        Ok(result) => result,
+        Err(_) => panic!(
+            "decode panicked on {what}: root={:?} words={} pointer_sites={}",
+            img.root,
+            img.words.len(),
+            img.pointer_sites.len()
+        ),
+    }
+}
+
+fn arb_image(r: &mut StdRng, seed_tag: &str) -> HismImage {
+    let coo = arb_coo(r, 70, 140);
+    let s = common::pick(r, &[2usize, 4, 8, 16]);
+    let h = build::from_coo(&coo, s)
+        .unwrap_or_else(|e| panic!("{seed_tag}: build failed for a valid matrix: {e}"));
+    HismImage::encode(&h)
+}
+
+#[test]
+fn truncated_images_decode_to_typed_errors() {
+    let mut seen_err = 0usize;
+    for case in 0..CASES {
+        let mut r = case_rng(0xD1, case);
+        let img = arb_image(&mut r, "truncation");
+        let n = img.words.len();
+        // Every truncation point of small images; sampled for larger ones.
+        let cuts: Vec<usize> = if n <= 32 {
+            (0..n).collect()
+        } else {
+            (0..32).map(|_| r.gen_range(0..n)).collect()
+        };
+        for cut in cuts {
+            let mut t = img.clone();
+            t.words.truncate(cut);
+            if decode_no_panic(&t, &format!("truncation to {cut} words (case {case})")).is_err() {
+                seen_err += 1;
+            }
+        }
+    }
+    // Truncating below the root blockarray must be detected, so errors
+    // dominate; a zero count would mean the bounds checks are dead code.
+    assert!(seen_err > 0, "no truncation ever produced an error");
+}
+
+#[test]
+fn word_corruptions_decode_to_typed_errors_and_cover_every_variant() {
+    let mut seen: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for case in 0..CASES {
+        let mut r = case_rng(0xD2, case);
+        let img = arb_image(&mut r, "corruption");
+        if img.words.is_empty() {
+            continue;
+        }
+        for _ in 0..24 {
+            let mut t = img.clone();
+            let site = r.gen_range(0..t.words.len());
+            // Mix single-bit flips with full-word garbage: bit flips probe
+            // near-valid values (positions, short lengths), garbage probes
+            // far pointers and runaway lengths.
+            if r.gen_bool(0.5) {
+                t.words[site] ^= 1u32 << r.gen_range(0..32u64) as u32;
+            } else {
+                t.words[site] = r.next_u64() as u32;
+            }
+            let what = format!("word {site} corruption (case {case})");
+            if let Err(e) = decode_no_panic(&t, &what) {
+                *seen.entry(variant_tag(&e)).or_insert(0) += 1;
+            }
+        }
+    }
+    // ZeroLevels and BadSectionSize live in the root descriptor, not the
+    // word image, so they need direct descriptor corruption.
+    for (levels, s) in [(0u32, 8u32), (1, 0), (1, 1), (1, 257), (1, u32::MAX)] {
+        let mut r = case_rng(0xD3, u64::from(levels) ^ u64::from(s));
+        let mut t = arb_image(&mut r, "descriptor");
+        t.root.levels = levels;
+        t.root.s = s;
+        let what = format!("root descriptor levels={levels} s={s}");
+        match decode_no_panic(&t, &what) {
+            Err(e) => {
+                *seen.entry(variant_tag(&e)).or_insert(0) += 1;
+            }
+            Ok(()) => panic!("corrupt {what} decoded successfully"),
+        }
+    }
+    for tag in [
+        "zero_levels",
+        "bad_section_size",
+        "out_of_bounds",
+        "bad_position",
+        "runaway",
+    ] {
+        assert!(
+            seen.get(tag).copied().unwrap_or(0) > 0,
+            "ImageError variant {tag} never reached; coverage: {seen:?}"
+        );
+    }
+}
+
+#[test]
+fn root_descriptor_fuzzing_never_panics() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xD4, case);
+        let img = arb_image(&mut r, "root");
+        for _ in 0..16 {
+            let mut t = img.clone();
+            // Random root descriptor over the full u32 range, biased
+            // toward small values so the happy path stays reachable.
+            let small = |r: &mut StdRng| {
+                if r.gen_bool(0.7) {
+                    r.gen_range(0..64u64) as u32
+                } else {
+                    r.next_u64() as u32
+                }
+            };
+            t.root.addr = small(&mut r);
+            t.root.len = small(&mut r);
+            t.root.levels = r.gen_range(0..5u64) as u32;
+            t.root.s = small(&mut r);
+            let what = format!("fuzzed root {:?} (case {case})", t.root);
+            let _ = decode_no_panic(&t, &what);
+        }
+    }
+}
