@@ -88,6 +88,16 @@ impl Baseline {
                 if let Some(rep) = &r.hism {
                     kernels.push(("transpose_hism".to_string(), kernel_baseline(rep)));
                 }
+                // The format leg, when the run had one. `--format csr`
+                // resolves to transpose_crs, already recorded above — a
+                // duplicate key would corrupt the JSON object.
+                if let Some(leg) = &r.format {
+                    if let Some(rep) = &leg.report {
+                        if !kernels.iter().any(|(n, _)| n == leg.kernel) {
+                            kernels.push((leg.kernel.to_string(), kernel_baseline(rep)));
+                        }
+                    }
+                }
                 kernels.sort_by(|a, b| a.0.cmp(&b.0));
                 BaselineMatrix {
                     name: r.name.clone(),
@@ -373,6 +383,44 @@ mod tests {
                 assert!(!bk.util.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn format_legs_land_in_the_baseline_without_duplicate_keys() {
+        let coo = gen::random::uniform(64, 64, 300, 2);
+        let metrics = MatrixMetrics::compute(&coo);
+        let set = vec![stm_dsab::SuiteEntry {
+            name: "tiny".into(),
+            coo,
+            metrics,
+        }];
+        let run = |format| {
+            let results = run_set(
+                &RunConfig {
+                    jobs: Some(1),
+                    format,
+                    ..RunConfig::default()
+                },
+                &set,
+            );
+            Baseline::from_results("fig11", "quick", "paper", &results)
+        };
+        let sell = run(stm_dsab::FormatSel::parse("sell"));
+        assert_eq!(
+            sell.matrices[0]
+                .kernels
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["transpose_crs", "transpose_hism", "transpose_sell"]
+        );
+        // Round trip keeps the extra kernel.
+        let parsed = Baseline::parse(&sell.to_json()).unwrap();
+        assert_eq!(parsed.matrices[0].kernels.len(), 3);
+        // `--format csr` resolves to transpose_crs, already present: no
+        // duplicate key, and the baseline matches a format-less run.
+        let csr = run(stm_dsab::FormatSel::parse("csr"));
+        assert_eq!(csr, run(None));
     }
 
     #[test]

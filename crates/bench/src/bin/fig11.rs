@@ -5,7 +5,10 @@
 //! range on this set is 1.8–32.0 (average 16.5).
 
 use stm_bench::baseline::Baseline;
-use stm_bench::output::{figure_rows, format_table, print_trace_rollup, write_csv, FIGURE_HEADERS};
+use stm_bench::output::{
+    figure_rows, format_table, print_format_decisions, print_trace_rollup, write_csv,
+    FIGURE_HEADERS,
+};
 use stm_bench::{bench_json_from_env, run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
@@ -20,6 +23,7 @@ fn main() {
         "speedup range {:.1} .. {:.1}, average {:.1}   (paper: 1.8 .. 32.0, avg 16.5)",
         s.min, s.max, s.avg
     );
+    print_format_decisions(&results);
     print_trace_rollup(&results);
     write_csv("results/fig11.csv", &FIGURE_HEADERS, &rows).expect("write results/fig11.csv");
     eprintln!("wrote results/fig11.csv");

@@ -3,7 +3,10 @@
 //! reading: CRS performance improves as ANZ grows (its per-row startup
 //! amortizes); speedup range 11.9–28.9 (average 20.0).
 
-use stm_bench::output::{figure_rows, format_table, print_trace_rollup, write_csv, FIGURE_HEADERS};
+use stm_bench::output::{
+    figure_rows, format_table, print_format_decisions, print_trace_rollup, write_csv,
+    FIGURE_HEADERS,
+};
 use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
@@ -18,6 +21,7 @@ fn main() {
         "speedup range {:.1} .. {:.1}, average {:.1}   (paper: 11.9 .. 28.9, avg 20.0)",
         s.min, s.max, s.avg
     );
+    print_format_decisions(&results);
     print_trace_rollup(&results);
     write_csv("results/fig12.csv", &FIGURE_HEADERS, &rows).expect("write results/fig12.csv");
     eprintln!("wrote results/fig12.csv");

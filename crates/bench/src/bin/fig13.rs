@@ -3,7 +3,10 @@
 //! reading: neither method's cycles/nnz shows a particular dependence on
 //! size; speedup range 3.4–28.2 (average 15.5).
 
-use stm_bench::output::{figure_rows, format_table, print_trace_rollup, write_csv, FIGURE_HEADERS};
+use stm_bench::output::{
+    figure_rows, format_table, print_format_decisions, print_trace_rollup, write_csv,
+    FIGURE_HEADERS,
+};
 use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
@@ -18,6 +21,7 @@ fn main() {
         "speedup range {:.1} .. {:.1}, average {:.1}   (paper: 3.4 .. 28.2, avg 15.5)",
         s.min, s.max, s.avg
     );
+    print_format_decisions(&results);
     print_trace_rollup(&results);
     write_csv("results/fig13.csv", &FIGURE_HEADERS, &rows).expect("write results/fig13.csv");
     eprintln!("wrote results/fig13.csv");

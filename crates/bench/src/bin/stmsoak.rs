@@ -18,7 +18,11 @@
 //! * `--breaker-threshold N` / `--breaker-cooldown N` — breaker tuning;
 //! * `--max-attempts N` / `--retry-delay-ms N` — retry tuning;
 //! * `--stop-after N` — commit N items then stop cleanly (simulated
-//!   kill; resume with the same `--checkpoint`).
+//!   kill; resume with the same `--checkpoint`);
+//! * `--format {coo,csr,csc,jd,sell,auto}` / `STM_FORMAT` — soak a
+//!   third slot per item: the selected format's transpose kernel
+//!   (`auto` = cost-model autotuner per matrix). The slot shares
+//!   chaos/deadline/retry/fallback handling but has no breaker.
 //!
 //! Exit codes: 0 = pipeline completed and every failure was contained
 //! as `degraded`/`failed` rows; 1 = a containment invariant broke;
@@ -96,6 +100,7 @@ fn main() {
     }
     cfg.checkpoint = arg_value("--checkpoint").map(Into::into);
     cfg.stop_after = parsed("--stop-after");
+    cfg.format = cfg.run.format.take();
 
     let report = match resilient::run_soak(&cfg, &set) {
         Ok(r) => r,
@@ -105,26 +110,33 @@ fn main() {
         }
     };
 
+    let has_format = cfg.format.is_some();
     let rows: Vec<Vec<String>> = report
         .entries
         .iter()
         .map(|e| {
-            vec![
+            let mut row = vec![
                 e.name.clone(),
                 slot_cell(&e.slots[0]),
                 slot_cell(&e.slots[1]),
-                e.slots.iter().map(|s| s.attempts).sum::<u64>().to_string(),
-                e.status.name().to_string(),
-            ]
+            ];
+            if has_format {
+                row.push(match e.slots.get(2) {
+                    Some(s) => format!("{}:{}", s.kernel, slot_cell(s)),
+                    None => "-".to_string(),
+                });
+            }
+            row.push(e.slots.iter().map(|s| s.attempts).sum::<u64>().to_string());
+            row.push(e.status.name().to_string());
+            row
         })
         .collect();
-    println!(
-        "{}",
-        format_table(
-            &["matrix", "hism_cyc", "crs_cyc", "attempts", "status"],
-            &rows
-        )
-    );
+    let mut headers = vec!["matrix", "hism_cyc", "crs_cyc"];
+    if has_format {
+        headers.push("format");
+    }
+    headers.extend(["attempts", "status"]);
+    println!("{}", format_table(&headers, &rows));
     for (seq, kernel, from, to) in &report.transitions {
         println!("breaker[{kernel}] @{seq}: {} -> {}", from.name(), to.name());
     }

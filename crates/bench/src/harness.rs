@@ -27,7 +27,7 @@
 use crate::trace::{export_trace, TraceRollup};
 use stm_core::kernels::registry::{self, ExecCtx, KernelError, KernelFailure, KernelReport, Stage};
 use stm_core::{StmConfig, TransposeReport};
-use stm_dsab::SuiteEntry;
+use stm_dsab::{FormatDecision, FormatKind, FormatSel, SuiteEntry};
 use stm_hism::FaultClass;
 use stm_obs::{Recorder, TraceData};
 use stm_vpsim::{TimingKind, VpConfig};
@@ -59,6 +59,12 @@ pub struct RunConfig {
     /// Corrupt one matrix of the set before running it (fault-injection
     /// experiments; see [`FaultSpec`]).
     pub fault: Option<FaultSpec>,
+    /// Storage-format selection (`--format` / `STM_FORMAT` in the
+    /// binaries). When set, every matrix additionally runs the chosen
+    /// format's transpose kernel as a third leg ([`FormatLeg`]);
+    /// [`FormatSel::Auto`] consults the cost-model autotuner per matrix.
+    /// `None` keeps the classic HiSM + CRS experiment shape.
+    pub format: Option<FormatSel>,
     /// Directory to write structured event traces into (`--trace DIR` /
     /// `STM_TRACE` in the binaries). `None` keeps tracing compiled out —
     /// kernels run with a no-op recorder and no files are written.
@@ -76,6 +82,7 @@ impl Default for RunConfig {
             retries: 1,
             strict: false,
             fault: None,
+            format: None,
             trace: None,
         }
     }
@@ -90,6 +97,7 @@ impl RunConfig {
             jobs: crate::jobs_from_env(),
             strict: crate::strict_from_env(),
             trace: crate::trace_dir_from_env(),
+            format: crate::format_from_env(),
             ..RunConfig::default()
         }
     }
@@ -176,6 +184,42 @@ impl RunStatus {
     }
 }
 
+/// The optional third, format-driven transpose leg of a matrix run
+/// (see [`RunConfig::format`]): which format the selection resolved to
+/// for this matrix, the registry kernel that ran it, the autotuner's
+/// per-format predictions when the selection was `auto`, and the
+/// kernel's report.
+#[derive(Debug, Clone)]
+pub struct FormatLeg {
+    /// The `--format` selection that produced the leg.
+    pub selection: FormatSel,
+    /// The format actually run (`selection` resolved on this matrix's
+    /// metrics).
+    pub kind: FormatKind,
+    /// The registry transpose kernel of [`FormatLeg::kind`].
+    pub kernel: &'static str,
+    /// The cost model's per-format predictions — present only for
+    /// `--format auto`, where they decided `kind`.
+    pub decision: Option<FormatDecision>,
+    /// Kernel report (`None` if the leg failed).
+    pub report: Option<TransposeReport>,
+}
+
+/// Resolves a format selection on one matrix: the format to run plus,
+/// for `auto`, the full decision it came from.
+pub(crate) fn resolve_format(
+    sel: FormatSel,
+    metrics: &stm_sparse::MatrixMetrics,
+) -> (FormatKind, Option<FormatDecision>) {
+    match sel {
+        FormatSel::Fixed(k) => (k, None),
+        FormatSel::Auto => {
+            let d = stm_dsab::choose(metrics);
+            (d.chosen, Some(d))
+        }
+    }
+}
+
 /// Both kernels' results for one matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixResult {
@@ -187,6 +231,9 @@ pub struct MatrixResult {
     pub hism: Option<TransposeReport>,
     /// CRS baseline report (`None` if that kernel failed).
     pub crs: Option<TransposeReport>,
+    /// The format-driven third leg — `None` unless [`RunConfig::format`]
+    /// was set.
+    pub format: Option<FormatLeg>,
     /// Whether the matrix completed cleanly.
     pub status: RunStatus,
     /// Per-kernel trace roll-ups — empty unless [`RunConfig::trace`] was
@@ -335,9 +382,18 @@ fn run_matrix_inner(
 ) -> MatrixResult {
     let hism = run_kernel_inner(cfg, "transpose_hism", entry, fault);
     let crs = run_kernel_inner(cfg, "transpose_crs", entry, fault);
+    let resolved = cfg
+        .format
+        .map(|sel| (sel, resolve_format(sel, &entry.metrics)));
+    let format_run = resolved
+        .as_ref()
+        .map(|(_, (kind, _))| run_kernel_inner(cfg, kind.transpose_kernel(), entry, fault));
     let status = match (&hism.result, &crs.result) {
         (Err(f), _) | (_, Err(f)) => RunStatus::Failed(f.clone()),
-        _ => RunStatus::Ok,
+        _ => match format_run.as_ref().map(|r| &r.result) {
+            Some(Err(f)) => RunStatus::Failed(f.clone()),
+            _ => RunStatus::Ok,
+        },
     };
     if cfg.strict {
         if let Some(f) = status.failure() {
@@ -346,7 +402,16 @@ fn run_matrix_inner(
     }
     let mut traces = Vec::new();
     if let Some(dir) = &cfg.trace {
-        for (kernel, run) in [("transpose_hism", &hism), ("transpose_crs", &crs)] {
+        let mut legs = vec![("transpose_hism", &hism), ("transpose_crs", &crs)];
+        if let (Some((_, (kind, _))), Some(run)) = (&resolved, &format_run) {
+            // `--format csr` re-runs transpose_crs; exporting it twice
+            // would overwrite the CRS leg's trace with an identical copy
+            // and double its roll-up row.
+            if kind.transpose_kernel() != "transpose_crs" {
+                legs.push((kind.transpose_kernel(), run));
+            }
+        }
+        for (kernel, run) in legs {
             if let Some(data) = &run.trace {
                 export_trace(dir, &entry.name, kernel, data)
                     .unwrap_or_else(|e| panic!("writing trace under {}: {e}", dir.display()));
@@ -359,6 +424,13 @@ fn run_matrix_inner(
         metrics: entry.metrics,
         hism: hism.result.ok().map(|r| r.report),
         crs: crs.result.ok().map(|r| r.report),
+        format: resolved.map(|(selection, (kind, decision))| FormatLeg {
+            selection,
+            kind,
+            kernel: kind.transpose_kernel(),
+            decision,
+            report: format_run.and_then(|r| r.result.ok()).map(|r| r.report),
+        }),
         status,
         traces,
     }
@@ -476,6 +548,83 @@ mod tests {
         assert_eq!(crs.nnz, e.coo.nnz());
         assert!(hism.cycles > 0 && crs.cycles > 0);
         assert!(r.speedup().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn a_fixed_format_leg_runs_and_reports() {
+        let e = entry("uniform", gen::random::uniform(200, 200, 1500, 3));
+        for sel in ["coo", "csr", "csc", "jd", "sell"] {
+            let cfg = RunConfig {
+                format: FormatSel::parse(sel),
+                jobs: Some(1),
+                ..RunConfig::default()
+            };
+            let r = run_matrix(&cfg, &e);
+            assert!(r.status.is_ok(), "{sel}: {:?}", r.status);
+            let leg = r.format.expect("format leg present");
+            assert_eq!(leg.selection.name(), sel);
+            assert_eq!(leg.kind.name(), sel);
+            assert_eq!(leg.kernel, leg.kind.transpose_kernel());
+            assert!(
+                leg.decision.is_none(),
+                "fixed formats never consult the model"
+            );
+            assert!(leg.report.expect("leg verified").cycles > 0);
+        }
+    }
+
+    #[test]
+    fn the_auto_leg_carries_the_decision_and_matches_its_kernel() {
+        let cfg = RunConfig {
+            format: Some(FormatSel::Auto),
+            jobs: Some(1),
+            ..RunConfig::default()
+        };
+        let e = entry("uniform", gen::random::uniform(128, 128, 900, 5));
+        let r = run_matrix(&cfg, &e);
+        assert!(r.status.is_ok());
+        let leg = r.format.expect("format leg present");
+        assert_eq!(leg.selection, FormatSel::Auto);
+        let d = leg.decision.expect("auto records its decision");
+        assert_eq!(d.chosen, leg.kind);
+        assert_eq!(d.predicted.len(), FormatKind::ALL.len());
+        // The leg re-ran the chosen format's kernel and its cycle count
+        // matches a direct registry run.
+        let direct = run_kernel(&cfg, leg.kernel, &e).unwrap();
+        assert_eq!(leg.report.unwrap().cycles, direct.report.cycles);
+    }
+
+    #[test]
+    fn no_format_flag_means_no_third_leg() {
+        let e = entry("t", gen::structured::tridiagonal(64));
+        let r = run_matrix(&RunConfig::default(), &e);
+        assert!(r.format.is_none());
+    }
+
+    #[test]
+    fn a_traced_format_leg_exports_its_own_trace() {
+        let dir = std::env::temp_dir().join("stm_harness_format_trace_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = RunConfig {
+            format: FormatSel::parse("sell"),
+            trace: Some(dir.clone()),
+            jobs: Some(1),
+            ..RunConfig::default()
+        };
+        let e = entry("m", gen::random::uniform(96, 96, 500, 2));
+        let results = run_set(&cfg, &[e]);
+        let kernels: Vec<&str> = results[0].traces.iter().map(|t| t.kernel).collect();
+        assert_eq!(
+            kernels,
+            vec!["transpose_hism", "transpose_crs", "transpose_sell"]
+        );
+        assert!(dir
+            .join(format!(
+                "{}.jsonl",
+                crate::trace::trace_stem(&results[0].name, "transpose_sell")
+            ))
+            .exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod resilient;
 pub mod trace;
 
 pub use harness::{
-    run_batch, run_kernel, run_matrix, run_set, FaultSpec, MatrixResult, RunConfig, RunStatus,
-    SpeedupSummary,
+    run_batch, run_kernel, run_matrix, run_set, FaultSpec, FormatLeg, MatrixResult, RunConfig,
+    RunStatus, SpeedupSummary,
 };
 pub use resilient::{run_soak, ChaosSpec, SoakConfig, SoakReport};
 pub use trace::TraceRollup;
@@ -106,6 +106,37 @@ pub fn bench_json_from_env() -> Option<std::path::PathBuf> {
     std::env::var("STM_BENCH_JSON")
         .ok()
         .map(std::path::PathBuf::from)
+}
+
+/// Parses the storage-format selection from the CLI args / environment:
+/// `--format X`, `--format=X` or `STM_FORMAT=X` with
+/// `X ∈ {coo,csr,csc,jd,sell,auto}`. When set, the harness runs a third,
+/// format-driven transpose leg per matrix (`auto` lets the cost-model
+/// autotuner pick per matrix — see `stm_dsab::autotune`); `None` (no
+/// flag) keeps the classic two-leg experiment shape. An unrecognized
+/// value aborts with exit code 2: a silently dropped format flag would
+/// invalidate a whole campaign.
+pub fn format_from_env() -> Option<stm_dsab::FormatSel> {
+    let mut raw = None;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--format" {
+            raw = args.next();
+            break;
+        }
+        if let Some(v) = a.strip_prefix("--format=") {
+            raw = Some(v.to_string());
+            break;
+        }
+    }
+    let raw = raw.or_else(|| std::env::var("STM_FORMAT").ok())?;
+    match stm_dsab::FormatSel::parse(&raw) {
+        Some(sel) => Some(sel),
+        None => {
+            eprintln!("bad --format value {raw:?} (want coo|csr|csc|jd|sell|auto)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `true` when `--strict` is on the command line or `STM_STRICT=1` is in

@@ -103,6 +103,70 @@ pub fn print_trace_rollup(results: &[MatrixResult]) {
     print!("{}", crate::trace::format_trace_rollup(&rows));
 }
 
+/// Per-matrix format-decision rows (see `RunConfig::format`): the
+/// selection, the format it resolved to, the kernel that ran it, its
+/// measured cycles, and the cost model's predicted cycles per format.
+/// Fixed selections never consult the model, so their prediction cells
+/// render `-`. Matrices without a format leg produce no row — the table
+/// is empty (and [`print_format_decisions`] silent) for format-less
+/// runs.
+pub fn format_decision_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
+    results
+        .iter()
+        .filter_map(|r| {
+            let leg = r.format.as_ref()?;
+            let mut row = vec![
+                r.name.clone(),
+                leg.selection.name().to_string(),
+                leg.kind.name().to_string(),
+                leg.kernel.to_string(),
+                match &leg.report {
+                    Some(rep) => rep.cycles.to_string(),
+                    None => "-".to_string(),
+                },
+            ];
+            for kind in stm_dsab::FormatKind::ALL {
+                row.push(match &leg.decision {
+                    Some(d) => d
+                        .predicted
+                        .iter()
+                        .find(|(k, _)| *k == kind)
+                        .map(|(_, c)| format!("{c:.0}"))
+                        .unwrap_or_else(|| "-".to_string()),
+                    None => "-".to_string(),
+                });
+            }
+            Some(row)
+        })
+        .collect()
+}
+
+/// Header row matching [`format_decision_rows`].
+pub const FORMAT_DECISION_HEADERS: [&str; 10] = [
+    "matrix",
+    "selection",
+    "chosen",
+    "kernel",
+    "cycles",
+    "pred_coo",
+    "pred_csr",
+    "pred_csc",
+    "pred_jd",
+    "pred_sell",
+];
+
+/// Prints the per-matrix format-decision table after a figure's main
+/// table — a no-op when the run carried no format legs.
+pub fn print_format_decisions(results: &[MatrixResult]) {
+    let rows = format_decision_rows(results);
+    if rows.is_empty() {
+        return;
+    }
+    println!();
+    println!("format decisions:");
+    print!("{}", format_table(&FORMAT_DECISION_HEADERS, &rows));
+}
+
 /// Header row matching [`figure_rows`].
 pub const FIGURE_HEADERS: [&str; 8] = [
     "matrix",
@@ -135,6 +199,41 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn ragged_rows_panic() {
         format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn format_decision_rows_cover_auto_and_fixed_legs() {
+        let coo = stm_sparse::gen::random::uniform(64, 64, 300, 2);
+        let metrics = stm_sparse::MatrixMetrics::compute(&coo);
+        let set = vec![stm_dsab::SuiteEntry {
+            name: "tiny".into(),
+            coo,
+            metrics,
+        }];
+        let run = |format| {
+            crate::harness::run_set(
+                &crate::harness::RunConfig {
+                    jobs: Some(1),
+                    format,
+                    ..Default::default()
+                },
+                &set,
+            )
+        };
+        assert!(format_decision_rows(&run(None)).is_empty());
+        let fixed = format_decision_rows(&run(stm_dsab::FormatSel::parse("jd")));
+        assert_eq!(fixed.len(), 1);
+        assert_eq!(fixed[0].len(), FORMAT_DECISION_HEADERS.len());
+        assert_eq!(&fixed[0][1..4], &["jd", "jd", "transpose_jd"]);
+        assert_eq!(fixed[0][5], "-", "fixed legs carry no predictions");
+        let auto = format_decision_rows(&run(Some(stm_dsab::FormatSel::Auto)));
+        assert_eq!(auto[0][1], "auto");
+        assert!(
+            auto[0][5..].iter().all(|c| c.parse::<f64>().is_ok()),
+            "auto rows predict every format: {auto:?}"
+        );
+        // Both render through the aligned table without panicking.
+        format_table(&FORMAT_DECISION_HEADERS, &auto);
     }
 
     #[test]

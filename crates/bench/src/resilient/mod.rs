@@ -42,7 +42,9 @@ pub use checkpoint::{
     digest, Checkpoint, EntryRecord, EntryStatus, FallbackRecord, SlotRecord, SCHEMA,
 };
 
-use crate::harness::{attempt, FaultSpec, MatrixResult, RunConfig, RunStatus};
+use crate::harness::{
+    attempt, resolve_format, FaultSpec, FormatLeg, MatrixResult, RunConfig, RunStatus,
+};
 use crate::trace::export_trace;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -75,9 +77,9 @@ pub struct ChaosSpec {
 #[derive(Debug, Clone)]
 pub struct SoakConfig {
     /// The underlying harness configuration (machine, timing, verify,
-    /// `jobs`). `run.fault`, `run.retries`, `run.strict` and `run.trace`
-    /// are ignored — chaos, retry and tracing are governed by the soak
-    /// fields below.
+    /// `jobs`). `run.fault`, `run.retries`, `run.strict`, `run.trace`
+    /// and `run.format` are ignored — chaos, retry, tracing and the
+    /// format slot are governed by the soak fields below.
     pub run: RunConfig,
     /// Per-run cycle budget enforced by the engine's watchdog
     /// ([`stm_vpsim::VpConfig::cycle_budget`]); a run that exceeds it
@@ -101,6 +103,14 @@ pub struct SoakConfig {
     /// Stop (cleanly, checkpoint intact) once this many items have
     /// committed — the test/CI hook that simulates a mid-stream kill.
     pub stop_after: Option<usize>,
+    /// Storage-format selection (`--format` in `stmsoak`). When set,
+    /// every item runs a third slot: the selected format's transpose
+    /// kernel (resolved per matrix for `auto`). The slot shares the
+    /// deadline, chaos injection, retry policy and registry fallback of
+    /// the primaries but has no circuit breaker — it is always
+    /// attempted. Changes the checkpoint fingerprint and the report
+    /// digest (the entry stream gains a slot).
+    pub format: Option<stm_dsab::FormatSel>,
 }
 
 impl Default for SoakConfig {
@@ -115,6 +125,7 @@ impl Default for SoakConfig {
             checkpoint: None,
             trace: None,
             stop_after: None,
+            format: None,
         }
     }
 }
@@ -153,7 +164,13 @@ impl SoakConfig {
             self.retry,
             self.chaos,
         );
-        fnv1a(h, cfg.as_bytes())
+        let h = fnv1a(h, cfg.as_bytes());
+        // Appended (rather than folded into `cfg`) so format-less
+        // checkpoints keep their pre-format fingerprints.
+        match self.format {
+            Some(sel) => fnv1a(h, format!("|format={}", sel.name()).as_bytes()),
+            None => h,
+        }
     }
 
     /// The harness configuration actually used per attempt: the soak
@@ -166,6 +183,7 @@ impl SoakConfig {
         run.retries = 0;
         run.strict = false;
         run.trace = None;
+        run.format = None;
         run
     }
 }
@@ -442,7 +460,11 @@ impl Shared {
             rec.add("resil.chaos.injected", 1);
         }
         for (k, slot) in entry.slots.iter().enumerate() {
-            self.breakers[k].commit(slot.decision, slot.outcome, seq);
+            // Only the primary slots feed a breaker; the optional format
+            // slot (k ≥ PRIMARY_KERNELS.len()) is always attempted.
+            if let Some(b) = self.breakers.get_mut(k) {
+                b.commit(slot.decision, slot.outcome, seq);
+            }
             if slot.attempts > 1 {
                 rec.instant(Lane::Resil, Category::Resil, "resil.retry", seq);
                 rec.add("resil.retry.attempts", slot.attempts - 1);
@@ -600,7 +622,11 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
             for entry in &ckpt.entries {
                 let i = shared.committed;
                 for (k, slot) in entry.slots.iter().enumerate() {
-                    let replayed = shared.decisions[i][k];
+                    // The format slot has no breaker stream to replay —
+                    // it is recorded as an unconditional run.
+                    let Some(&replayed) = shared.decisions[i].get(k) else {
+                        continue;
+                    };
                     if replayed != slot.decision {
                         return Err(format!(
                             "checkpoint {path:?} entry {i} slot {k}: recorded decision {} \
@@ -653,7 +679,7 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                     };
 
                     let fault = chaos_fault(cfg.chaos.as_ref(), i);
-                    let slots: Vec<SlotExec> = PRIMARY_KERNELS
+                    let mut slots: Vec<SlotExec> = PRIMARY_KERNELS
                         .iter()
                         .zip(&decisions)
                         .map(|(kernel, &decision)| {
@@ -668,6 +694,18 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                             )
                         })
                         .collect();
+                    if let Some(sel) = cfg.format {
+                        let (kind, _) = resolve_format(sel, &set[i].metrics);
+                        slots.push(run_slot(
+                            &run,
+                            &cfg.retry,
+                            &set[i],
+                            i,
+                            kind.transpose_kernel(),
+                            Decision::Run,
+                            fault.as_ref(),
+                        ));
+                    }
 
                     let mut g = lock.lock().unwrap();
                     g.in_flight -= 1;
@@ -699,6 +737,19 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                         g.fold_commit(&rec, &entry, chaos_hit, n, w);
                         let hism = slots[0].verified().map(|r| r.report.clone());
                         let crs = slots[1].verified().map(|r| r.report.clone());
+                        let format = cfg.format.map(|sel| {
+                            let (kind, decision) = resolve_format(sel, &set[next_commit].metrics);
+                            FormatLeg {
+                                selection: sel,
+                                kind,
+                                kernel: kind.transpose_kernel(),
+                                decision,
+                                report: slots
+                                    .get(PRIMARY_KERNELS.len())
+                                    .and_then(SlotExec::verified)
+                                    .map(|r| r.report.clone()),
+                            }
+                        });
                         g.live.push((
                             next_commit,
                             MatrixResult {
@@ -706,6 +757,7 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                                 metrics: set[next_commit].metrics,
                                 hism,
                                 crs,
+                                format,
                                 status: live_status(&slots),
                                 traces: Vec::new(),
                             },

@@ -174,8 +174,10 @@ pub fn transpose_crs_obs(
 
 /// The four phases of the vectorized Pissanetsky transposition, charged
 /// to `e`. Split out so the caller owns the engine on error paths (for
-/// fault accounting).
-fn run_phases(
+/// fault accounting). Phase cycles are relative to the engine clock at
+/// entry, so kernels that stage their input first (the JD regroup) can
+/// reuse the pipeline and still report a clean phase partition.
+pub(crate) fn run_phases(
     e: &mut Engine,
     vp_cfg: &VpConfig,
     layout: &CrsLayout,
@@ -185,6 +187,7 @@ fn run_phases(
 ) -> Result<(Vec<Phase>, ScalarRunStats), KernelError> {
     let mut phases = Vec::new();
     let s = vp_cfg.section_size;
+    let start = e.cycles();
 
     // Phase 0: IAT[0..=cols] = 0 — a sequence of vector stores.
     let zero = e.v_set_imm(s, 0);
@@ -199,7 +202,7 @@ fn run_phases(
     let t0 = e.cycles();
     phases.push(Phase {
         name: "init",
-        cycles: t0,
+        cycles: t0 - start,
     });
 
     // Phase 1: scalar histogram on the 4-way core.

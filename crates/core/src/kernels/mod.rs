@@ -11,12 +11,18 @@
 //!   "traditional scalar architecture" of the paper's introduction);
 //! * [`hism_spmv`] / [`crs_spmv`] — simulated sparse matrix–vector
 //!   multiplication over both formats (the extension experiment backing
-//!   the paper's reference \[5\]).
+//!   the paper's reference \[5\]);
+//! * [`coo_transpose`] / [`jd_transpose`] / [`sell`] — transposition
+//!   from the remaining formats of the unified `SparseFormat` layer
+//!   (COO triplets, Jagged Diagonal, SELL-C-σ), plus the SELL SpMV.
+//!   All three transpositions reduce to the Pissanetsky pipeline and
+//!   produce byte-identical output to [`crs_transpose`].
 //!
 //! Every kernel is also registered behind the [`crate::exec::Kernel`]
 //! trait in [`registry`], so harnesses select kernels by name instead of
 //! importing these functions directly.
 
+pub mod coo_transpose;
 pub mod crs_scalar;
 pub mod crs_spmv;
 pub mod crs_transpose;
@@ -24,8 +30,10 @@ pub mod dense_transpose;
 pub mod hism_spmv;
 pub mod hism_transpose;
 pub mod histogram;
+pub mod jd_transpose;
 pub mod registry;
 pub mod scan;
+pub mod sell;
 
 pub use crs_scalar::{transpose_crs_scalar, transpose_crs_scalar_timed};
 pub use crs_spmv::{spmv_crs, spmv_crs_timed};

@@ -15,20 +15,23 @@ pub use crate::exec::{
     spmv_input, ExecCtx, Kernel, KernelError, KernelFailure, KernelOutput, KernelReport, Stage,
 };
 
+use crate::kernels::coo_transpose::{transpose_coo_obs, CooArrays};
 use crate::kernels::crs_scalar::transpose_crs_scalar_obs;
 use crate::kernels::crs_spmv::spmv_crs_obs;
 use crate::kernels::crs_transpose::transpose_crs_obs;
 use crate::kernels::dense_transpose::transpose_dense_obs;
 use crate::kernels::hism_spmv::spmv_hism_obs;
 use crate::kernels::hism_transpose::transpose_hism_obs;
+use crate::kernels::jd_transpose::{transpose_jd_obs, JdArrays};
+use crate::kernels::sell::{spmv_sell_obs, transpose_sell_obs, SellArrays};
 use crate::obs::{record_lifecycle, record_phases};
 use crate::report::{Phase, TransposeReport};
 use stm_hism::{build, faults, FaultClass, FaultRecord, HismImage};
 use stm_sparse::rng::StdRng;
-use stm_sparse::{Coo, Csr, Value};
+use stm_sparse::{Coo, Csc, Csr, Jd, Sell, SellConfig, SparseFormat, Value};
 
 /// All registered kernel names, in canonical order.
-pub const NAMES: [&str; 7] = [
+pub const NAMES: [&str; 12] = [
     "transpose_hism",
     "transpose_crs",
     "transpose_crs_scalar",
@@ -36,6 +39,11 @@ pub const NAMES: [&str; 7] = [
     "spmv_hism",
     "spmv_crs",
     "transpose_ref",
+    "transpose_coo",
+    "transpose_csc",
+    "transpose_jd",
+    "transpose_sell",
+    "spmv_sell",
 ];
 
 /// All registered kernel names, in canonical order.
@@ -52,6 +60,7 @@ pub fn fallback_for(name: &str) -> Option<&'static str> {
     match name {
         "transpose_hism" => Some("transpose_ref"),
         "transpose_crs" => Some("transpose_crs_scalar"),
+        "transpose_coo" | "transpose_jd" | "transpose_sell" => Some("transpose_ref"),
         _ => None,
     }
 }
@@ -67,6 +76,11 @@ pub fn create(name: &str) -> Option<Box<dyn Kernel>> {
         "spmv_hism" => Some(Box::new(SpmvHism::default())),
         "spmv_crs" => Some(Box::new(SpmvCrs::default())),
         "transpose_ref" => Some(Box::new(TransposeRef::default())),
+        "transpose_coo" => Some(Box::new(TransposeCoo::default())),
+        "transpose_csc" => Some(Box::new(TransposeCsc::default())),
+        "transpose_jd" => Some(Box::new(TransposeJd::default())),
+        "transpose_sell" => Some(Box::new(TransposeSell::default())),
+        "spmv_sell" => Some(Box::new(SpmvSell::default())),
         _ => None,
     }
 }
@@ -340,7 +354,10 @@ fn verify_csr_transpose(coo: &Coo, out: &KernelOutput) -> Result<(), KernelError
     let got = out
         .as_csr()
         .ok_or_else(|| KernelError::Mismatch("CRS kernels produce Csr outputs".into()))?;
-    if *got == Csr::from_coo(coo).transpose_pissanetsky() {
+    // Through the format trait (Csr overrides it with Pissanetsky), so
+    // every CSR-output kernel verifies against the same oracle the
+    // format layer exposes.
+    if *got == SparseFormat::transpose(&Csr::from_coo(coo))? {
         Ok(())
     } else {
         Err(KernelError::Mismatch(
@@ -606,6 +623,388 @@ impl Kernel for SpmvCrs {
     }
 }
 
+/// A column index with a bit flipped high enough to be out of range —
+/// the index-word bit-flip shared by the triplet/JD/SELL injectors
+/// (mirrors the CRS injector's choice: value flips can hide inside the
+/// verify tolerance).
+fn flip_col_high(col: usize, cols: usize, r: &mut StdRng) -> (usize, u32) {
+    let lo = (cols.max(1) as u32).next_power_of_two().trailing_zeros();
+    let bit = (lo + (r.next_u64() % 4) as u32).min(30);
+    (col ^ (1usize << bit), bit)
+}
+
+/// Fault injector for the raw COO triplets. The format has no pointer or
+/// length arrays, so only entry-level classes apply (the same reduced
+/// surface as `transpose_dense`).
+fn inject_coo_arrays(
+    ca: &mut CooArrays,
+    kernel: &'static str,
+    class: FaultClass,
+    seed: u64,
+) -> Result<FaultRecord, KernelError> {
+    let mut r = StdRng::seed_from_u64(seed ^ 0xc0_07a1 ^ class.name().len() as u64);
+    let unsupported = Err(KernelError::FaultUnsupported { kernel, class });
+    let nnz = ca.entries.len();
+    if nnz == 0 {
+        return unsupported;
+    }
+    let detail = match class {
+        FaultClass::BitFlip => {
+            let k = r.gen_range(0..nnz);
+            let (col, bit) = flip_col_high(ca.entries[k].1, ca.cols, &mut r);
+            ca.entries[k].1 = col;
+            format!("flipped bit {bit} of entry {k}'s column")
+        }
+        FaultClass::Truncate => {
+            ca.entries.pop();
+            format!("dropped the last of {nnz} triplets")
+        }
+        FaultClass::PosGarbage => {
+            let k = r.gen_range(0..nnz);
+            let bogus = ca.cols + 1 + (r.next_u64() % 512) as usize;
+            ca.entries[k].1 = bogus;
+            format!("entry {k}'s column set to {bogus} (cols {})", ca.cols)
+        }
+        _ => return unsupported,
+    };
+    Ok(FaultRecord {
+        class,
+        word: None,
+        detail,
+    })
+}
+
+/// Fault injector for the JD arrays — the full taxonomy applies: the
+/// format has column indices (bit flips, garbage), diagonal pointers
+/// (retarget, length) and data arrays (truncation).
+fn inject_jd_arrays(
+    jda: &mut JdArrays,
+    kernel: &'static str,
+    class: FaultClass,
+    seed: u64,
+) -> Result<FaultRecord, KernelError> {
+    let mut r = StdRng::seed_from_u64(seed ^ 0x1d_77a9 ^ class.name().len() as u64);
+    let unsupported = Err(KernelError::FaultUnsupported { kernel, class });
+    let nnz = jda.col_idx.len();
+    if nnz == 0 {
+        return unsupported;
+    }
+    let n_diag = jda.jd_ptr.len() - 1;
+    let detail = match class {
+        FaultClass::BitFlip => {
+            let k = r.gen_range(0..nnz);
+            let (col, bit) = flip_col_high(jda.col_idx[k], jda.cols, &mut r);
+            jda.col_idx[k] = col;
+            format!("flipped bit {bit} of diagonal column {k}")
+        }
+        FaultClass::PointerRetarget => {
+            let k = 1 + (r.next_u64() as usize) % n_diag;
+            let bogus = nnz + 1 + (r.next_u64() % 1024) as usize;
+            jda.jd_ptr[k] = bogus;
+            format!("diagonal pointer jd_ptr[{k}] retargeted to {bogus} (nnz {nnz})")
+        }
+        FaultClass::LengthCorruption => {
+            let bogus = nnz + 1 + (r.next_u64() % 1024) as usize;
+            jda.jd_ptr[n_diag] = bogus;
+            format!("jd_ptr[{n_diag}] (total length) set to {bogus}")
+        }
+        FaultClass::Truncate => {
+            jda.col_idx.pop();
+            jda.values.pop();
+            format!("dropped the last of {nnz} entries, jd_ptr unchanged")
+        }
+        FaultClass::PosGarbage => {
+            let k = r.gen_range(0..nnz);
+            let bogus = jda.cols + 1 + (r.next_u64() % 512) as usize;
+            jda.col_idx[k] = bogus;
+            format!("diagonal column {k} set to {bogus} (cols {})", jda.cols)
+        }
+    };
+    Ok(FaultRecord {
+        class,
+        word: None,
+        detail,
+    })
+}
+
+/// Fault injector shared by the two SELL kernels. Index corruptions
+/// target *active* cells only — corrupting padding would be invisible by
+/// construction and prove nothing.
+fn inject_sell_arrays(
+    sa: &mut SellArrays,
+    kernel: &'static str,
+    class: FaultClass,
+    seed: u64,
+) -> Result<FaultRecord, KernelError> {
+    let mut r = StdRng::seed_from_u64(seed ^ 0x5e_11c5 ^ class.name().len() as u64);
+    let unsupported = Err(KernelError::FaultUnsupported { kernel, class });
+    let active = sa.active_cells();
+    if active.is_empty() {
+        return unsupported;
+    }
+    let detail = match class {
+        FaultClass::BitFlip => {
+            let cell = active[r.gen_range(0..active.len())];
+            let (col, bit) = flip_col_high(sa.col_idx[cell], sa.cols, &mut r);
+            sa.col_idx[cell] = col;
+            format!("flipped bit {bit} of active cell {cell}'s column")
+        }
+        FaultClass::PointerRetarget => {
+            let chunks = sa.chunk_len.len();
+            let k = 1 + (r.next_u64() as usize) % chunks;
+            let bogus = sa.col_idx.len() + 1 + (r.next_u64() % 1024) as usize;
+            sa.chunk_ptr[k] = bogus;
+            format!("chunk pointer [{k}] retargeted to {bogus}")
+        }
+        FaultClass::LengthCorruption => {
+            let p = r.gen_range(0..sa.row_len.len());
+            let bogus = sa.row_len[p] + sa.col_idx.len() + 1;
+            sa.row_len[p] = bogus;
+            format!("row length at position {p} inflated to {bogus}")
+        }
+        FaultClass::Truncate => {
+            let n = sa.col_idx.len();
+            sa.col_idx.pop();
+            sa.values.pop();
+            format!("dropped the last of {n} cells, chunk_ptr unchanged")
+        }
+        FaultClass::PosGarbage => {
+            let cell = active[r.gen_range(0..active.len())];
+            let bogus = sa.cols + 1 + (r.next_u64() % 512) as usize;
+            sa.col_idx[cell] = bogus;
+            format!(
+                "active cell {cell}'s column set to {bogus} (cols {})",
+                sa.cols
+            )
+        }
+    };
+    Ok(FaultRecord {
+        class,
+        word: None,
+        detail,
+    })
+}
+
+/// Simulated transposition straight from COO triplets (no row-pointer
+/// construction on the host side).
+#[derive(Debug, Default)]
+struct TransposeCoo {
+    ca: Option<CooArrays>,
+}
+
+impl Kernel for TransposeCoo {
+    fn name(&self) -> &'static str {
+        "transpose_coo"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        self.ca = Some(CooArrays {
+            rows: canon.rows(),
+            cols: canon.cols(),
+            entries: canon.iter().copied().collect(),
+        });
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let ca = self.ca.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_coo_obs(&ctx.vp, ca, ctx.timing, &ctx.obs)?;
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.ca
+            .as_ref()
+            .map_or(0, |ca| 12 * ca.entries.len() as u64)
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+        verify_csr_transpose(coo, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let ca = self.ca.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_coo_arrays(ca, "transpose_coo", class, seed)
+    }
+}
+
+/// Transposition from CSC storage. CSC's arrays *are* the CSR arrays of
+/// the transpose, so the kernel runs the Pissanetsky pipeline on that
+/// dual: the stored CSC of `A` is the CSR of `Aᵀ`, and transposing it
+/// yields `A` itself — which is exactly `Aᵀ` in CSC clothing. The
+/// verifier pins that down: the output must equal `Csr::from_coo(A)`
+/// bit for bit (those arrays read as CSC are canonical `Aᵀ`).
+#[derive(Debug, Default)]
+struct TransposeCsc {
+    /// The stored CSC of `A`, reinterpreted as the CSR of `Aᵀ`.
+    dual: Option<Csr>,
+}
+
+impl Kernel for TransposeCsc {
+    fn name(&self) -> &'static str {
+        "transpose_csc"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
+        self.dual = Some(Csc::from_coo(coo).into_csr_of_transpose()?);
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let dual = self.dual.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_crs_obs(&ctx.vp, dual, ctx.timing, &ctx.obs)?;
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.dual.as_ref().map_or(0, csr_bytes)
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+        let got = out
+            .as_csr()
+            .ok_or_else(|| KernelError::Mismatch("transpose_csc produces Csr outputs".into()))?;
+        if *got == Csr::from_coo(coo) {
+            Ok(())
+        } else {
+            Err(KernelError::Mismatch(
+                "CSC transpose differs from host oracle".into(),
+            ))
+        }
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let dual = self.dual.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_csr(dual, "transpose_csc", class, seed)
+    }
+}
+
+/// Simulated transposition from Jagged Diagonal storage (regroup to CRS
+/// in simulated memory, then the standard pipeline).
+#[derive(Debug, Default)]
+struct TransposeJd {
+    jda: Option<JdArrays>,
+}
+
+impl Kernel for TransposeJd {
+    fn name(&self) -> &'static str {
+        "transpose_jd"
+    }
+
+    fn prepare(&mut self, coo: &Coo, _ctx: &ExecCtx) -> Result<(), KernelError> {
+        self.jda = Some(JdArrays::from_jd(&Jd::from_coo(coo)));
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let jda = self.jda.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_jd_obs(&ctx.vp, jda, ctx.timing, &ctx.obs)?;
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.jda.as_ref().map_or(0, |j| {
+            4 * (j.perm.len() + j.jd_ptr.len() + j.col_idx.len() + j.values.len()) as u64
+        })
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+        verify_csr_transpose(coo, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let jda = self.jda.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_jd_arrays(jda, "transpose_jd", class, seed)
+    }
+}
+
+/// Builds the SELL-C-σ arrays for the machine at hand: chunks as tall as
+/// the vector section, σ = 8 chunks of sort window.
+fn prepare_sell(coo: &Coo, ctx: &ExecCtx) -> Result<SellArrays, KernelError> {
+    let c = ctx.vp.section_size;
+    let sell = Sell::from_coo_with(coo, SellConfig { c, sigma: 8 * c })?;
+    Ok(SellArrays::from_sell(&sell))
+}
+
+/// Simulated transposition from SELL-C-σ storage.
+#[derive(Debug, Default)]
+struct TransposeSell {
+    sa: Option<SellArrays>,
+}
+
+impl Kernel for TransposeSell {
+    fn name(&self) -> &'static str {
+        "transpose_sell"
+    }
+
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), KernelError> {
+        self.sa = Some(prepare_sell(coo, ctx)?);
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let sa = self.sa.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (out, report) = transpose_sell_obs(&ctx.vp, sa, ctx.timing, &ctx.obs)?;
+        Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.sa.as_ref().map_or(0, |sa| 4 * sa.words())
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+        verify_csr_transpose(coo, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let sa = self.sa.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_sell_arrays(sa, "transpose_sell", class, seed)
+    }
+}
+
+/// Simulated SpMV over SELL-C-σ (the format's showcase kernel: the
+/// active-lane prefix keeps padding off the memory ports).
+#[derive(Debug, Default)]
+struct SpmvSell {
+    sa: Option<SellArrays>,
+    x: Vec<Value>,
+}
+
+impl Kernel for SpmvSell {
+    fn name(&self) -> &'static str {
+        "spmv_sell"
+    }
+
+    fn prepare(&mut self, coo: &Coo, ctx: &ExecCtx) -> Result<(), KernelError> {
+        self.sa = Some(prepare_sell(coo, ctx)?);
+        self.x = spmv_input(coo.cols());
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
+        let sa = self.sa.as_ref().ok_or(KernelError::NotPrepared)?;
+        let (y, report) = spmv_sell_obs(&ctx.vp, sa, &self.x, ctx.timing, &ctx.obs)?;
+        Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
+    }
+
+    fn prepared_bytes(&self) -> u64 {
+        self.sa
+            .as_ref()
+            .map_or(0, |sa| 4 * (sa.words() + self.x.len() as u64))
+    }
+
+    fn verify(&self, coo: &Coo, out: &KernelOutput) -> Result<(), KernelError> {
+        spmv_verify(coo, &self.x, out)
+    }
+
+    fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
+        let sa = self.sa.as_mut().ok_or(KernelError::NotPrepared)?;
+        inject_sell_arrays(sa, "spmv_sell", class, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +1127,33 @@ mod tests {
                 assert!(failed, "{name}/{class}: fault survived run + verify");
             }
         }
+    }
+
+    #[test]
+    fn format_transposes_share_the_crs_digest() {
+        // The acceptance bar for the format layer: every CSR-output
+        // transpose kernel lands on byte-identical output, so their
+        // digests are interchangeable across formats.
+        let ctx = ExecCtx::paper();
+        for coo in [
+            gen::random::uniform(64, 48, 400, 7),
+            gen::random::power_law(100, 80, 6.0, 1.3, 2),
+        ] {
+            let reference = run_verified("transpose_crs", &coo, &ctx).unwrap();
+            for name in ["transpose_coo", "transpose_jd", "transpose_sell"] {
+                let r = run_verified(name, &coo, &ctx).unwrap();
+                assert_eq!(r.output_digest, reference.output_digest, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_sell_is_bit_identical_to_the_host_oracle() {
+        let ctx = ExecCtx::paper();
+        let coo = gen::random::uniform(96, 64, 700, 5);
+        let r = run_verified("spmv_sell", &coo, &ctx).unwrap();
+        let host = Csr::from_coo(&coo).spmv(&spmv_input(coo.cols())).unwrap();
+        assert_eq!(r.output_digest, KernelOutput::Vector(host).digest());
     }
 
     #[test]

@@ -18,9 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod select;
 pub mod suite;
 
+pub use autotune::{choose, predict_cycles, FormatDecision, FormatKind, FormatSel};
 pub use select::{log_spaced_picks, Criterion};
 pub use suite::{
     build_by_name, experiment_sets, full_catalogue, quick_catalogue, ExperimentSets, MatrixSpec,

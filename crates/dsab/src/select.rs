@@ -133,6 +133,7 @@ mod tests {
             nnz: 10,
             locality: 2.5,
             avg_nnz_per_row: 4.0,
+            ..MatrixMetrics::default()
         };
         assert_eq!(Criterion::Size.value(&m), 10.0);
         assert_eq!(Criterion::Locality.value(&m), 2.5);

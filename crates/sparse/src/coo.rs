@@ -191,6 +191,42 @@ impl Coo {
     }
 }
 
+impl crate::SparseFormat for Coo {
+    const NAME: &'static str = "coo";
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn validate(&self) -> Result<(), FormatError> {
+        Coo::validate(self, false)
+    }
+
+    fn from_coo(coo: &Coo) -> Result<Self, FormatError> {
+        let mut c = coo.clone();
+        c.canonicalize();
+        Ok(c)
+    }
+
+    fn to_coo(&self) -> Coo {
+        let mut c = self.clone();
+        c.canonicalize();
+        c
+    }
+
+    fn transpose(&self) -> Result<Self, FormatError> {
+        Ok(self.transpose_canonical())
+    }
+
+    fn spmv(&self, x: &[Value]) -> Result<Vec<Value>, FormatError> {
+        Coo::spmv(self, x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,25 +17,16 @@ pub struct Csc {
 }
 
 impl Csc {
-    /// Builds a CSC matrix from a COO matrix (canonicalizing first).
+    /// Builds a CSC matrix from a COO matrix (canonicalizing first). The
+    /// arrays come from the same [`crate::format::compress_sorted`]
+    /// helper as CSR's, with outer = column and inner = row.
     pub fn from_coo(coo: &Coo) -> Self {
         let mut c = coo.clone();
         c.canonicalize();
         c.sort_col_major();
         let (rows, cols) = c.shape();
-        let mut col_ptr = vec![0usize; cols + 1];
-        for &(_, j, _) in c.iter() {
-            col_ptr[j + 1] += 1;
-        }
-        for j in 0..cols {
-            col_ptr[j + 1] += col_ptr[j];
-        }
-        let mut row_idx = Vec::with_capacity(c.nnz());
-        let mut values = Vec::with_capacity(c.nnz());
-        for &(i, _, v) in c.iter() {
-            row_idx.push(i);
-            values.push(v);
-        }
+        let (col_ptr, row_idx, values) =
+            crate::format::compress_sorted(cols, c.iter().map(|&(i, j, v)| (j, i, v)));
         Csc {
             rows,
             cols,
@@ -96,6 +87,73 @@ impl Csc {
             self.row_idx,
             self.values,
         )
+    }
+
+    /// The inverse reinterpretation: the CSR data of `B` is bit-identical
+    /// to the CSC data of `Bᵀ`. Together with
+    /// [`Csc::into_csr_of_transpose`] this makes CSR↔CSC conversion a
+    /// pair of zero-cost moves.
+    pub fn from_csr_of_transpose(csr: Csr) -> Self {
+        let (rows, cols, row_ptr, col_idx, values) = csr.into_parts();
+        Csc {
+            rows: cols,
+            cols: rows,
+            col_ptr: row_ptr,
+            row_idx: col_idx,
+            values,
+        }
+    }
+}
+
+impl crate::SparseFormat for Csc {
+    const NAME: &'static str = "csc";
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn nnz(&self) -> usize {
+        Csc::nnz(self)
+    }
+
+    fn validate(&self) -> Result<(), FormatError> {
+        // CSC(A) is CSR(Aᵀ) bit-for-bit, so the CSR validator covers
+        // every CSC invariant through the zero-cost reinterpretation.
+        self.clone().into_csr_of_transpose().map(|_| ())
+    }
+
+    fn from_coo(coo: &Coo) -> Result<Self, FormatError> {
+        Ok(Csc::from_coo(coo))
+    }
+
+    fn to_coo(&self) -> Coo {
+        let mut coo = Csc::to_coo(self);
+        coo.sort_row_major();
+        coo
+    }
+
+    /// Transpose without touching COO: reinterpret CSC(A) as CSR(Aᵀ),
+    /// transpose that with Pissanetsky's algorithm to CSR(A), and
+    /// reinterpret back as CSC(Aᵀ).
+    fn transpose(&self) -> Result<Self, FormatError> {
+        let csr_of_t = self.clone().into_csr_of_transpose()?;
+        Ok(Csc::from_csr_of_transpose(csr_of_t.transpose_pissanetsky()))
+    }
+
+    fn spmv(&self, x: &[Value]) -> Result<Vec<Value>, FormatError> {
+        if x.len() != self.cols {
+            return Err(FormatError::ShapeMismatch {
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                y[self.row_idx[k]] += self.values[k] * xj;
+            }
+        }
+        Ok(y)
     }
 }
 

@@ -70,24 +70,13 @@ impl Csr {
 
     /// Builds a CSR matrix from a COO matrix. Duplicates are summed and the
     /// columns within each row are sorted (i.e. the input is canonicalized
-    /// first).
+    /// first). The pointer/index/value arrays are produced by the shared
+    /// [`crate::format::compress_sorted`] helper (outer = row).
     pub fn from_coo(coo: &Coo) -> Self {
         let mut c = coo.clone();
         c.canonicalize();
         let (rows, cols) = c.shape();
-        let mut row_ptr = vec![0usize; rows + 1];
-        for &(r, _, _) in c.iter() {
-            row_ptr[r + 1] += 1;
-        }
-        for i in 0..rows {
-            row_ptr[i + 1] += row_ptr[i];
-        }
-        let mut col_idx = Vec::with_capacity(c.nnz());
-        let mut values = Vec::with_capacity(c.nnz());
-        for &(_, cix, v) in c.iter() {
-            col_idx.push(cix);
-            values.push(v);
-        }
+        let (row_ptr, col_idx, values) = crate::format::compress_sorted(rows, c.iter().copied());
         Csr {
             rows,
             cols,
@@ -276,6 +265,51 @@ impl Csr {
     /// per row (plus one).
     pub fn storage_bits(&self) -> u64 {
         32 * (2 * self.nnz() as u64 + self.row_ptr.len() as u64)
+    }
+
+    /// Decomposes into `(rows, cols, row_ptr, col_idx, values)` — the
+    /// inverse of [`Csr::from_parts`], used by the zero-cost CSR/CSC
+    /// reinterpretations.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<Value>) {
+        (
+            self.rows,
+            self.cols,
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+        )
+    }
+}
+
+impl crate::SparseFormat for Csr {
+    const NAME: &'static str = "csr";
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn nnz(&self) -> usize {
+        Csr::nnz(self)
+    }
+
+    fn validate(&self) -> Result<(), FormatError> {
+        Csr::validate(self)
+    }
+
+    fn from_coo(coo: &Coo) -> Result<Self, FormatError> {
+        Ok(Csr::from_coo(coo))
+    }
+
+    fn to_coo(&self) -> Coo {
+        Csr::to_coo(self)
+    }
+
+    fn transpose(&self) -> Result<Self, FormatError> {
+        Ok(self.transpose_pissanetsky())
+    }
+
+    fn spmv(&self, x: &[Value]) -> Result<Vec<Value>, FormatError> {
+        Csr::spmv(self, x)
     }
 }
 

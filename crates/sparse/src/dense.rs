@@ -92,6 +92,55 @@ impl Dense {
     }
 }
 
+impl crate::SparseFormat for Dense {
+    const NAME: &'static str = "dense";
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn nnz(&self) -> usize {
+        Dense::nnz(self)
+    }
+
+    fn validate(&self) -> Result<(), FormatError> {
+        if self.data.len() != self.rows * self.cols {
+            return Err(FormatError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                found: (self.data.len(), 1),
+            });
+        }
+        Ok(())
+    }
+
+    fn from_coo(coo: &Coo) -> Result<Self, FormatError> {
+        Ok(Dense::from_coo(coo))
+    }
+
+    fn to_coo(&self) -> Coo {
+        Dense::to_coo(self)
+    }
+
+    fn transpose(&self) -> Result<Self, FormatError> {
+        Ok(Dense::transpose(self))
+    }
+
+    fn spmv(&self, x: &[Value]) -> Result<Vec<Value>, FormatError> {
+        if x.len() != self.cols {
+            return Err(FormatError::ShapeMismatch {
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *yr = row.iter().zip(x).map(|(d, xc)| d * xc).sum();
+        }
+        Ok(y)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

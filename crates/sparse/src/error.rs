@@ -41,6 +41,9 @@ pub enum FormatError {
         /// Shape actually supplied.
         found: (usize, usize),
     },
+    /// A format's construction parameters are invalid (e.g. a SELL-C-σ
+    /// sort window that is not a multiple of the chunk height).
+    BadConfig(String),
 }
 
 impl fmt::Display for FormatError {
@@ -68,6 +71,7 @@ impl fmt::Display for FormatError {
                 "shape mismatch: expected {}x{}, found {}x{}",
                 expected.0, expected.1, found.0, found.1
             ),
+            FormatError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
         }
     }
 }

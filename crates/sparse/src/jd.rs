@@ -26,19 +26,17 @@ pub struct Jd {
 }
 
 impl Jd {
-    /// Builds JD from COO (canonicalized first).
+    /// Builds JD from COO (canonicalized first). The descending stable
+    /// row-length sort is the *global-window* case of the shared
+    /// [`crate::format::length_sorted_perm`] helper (SELL-C-σ is the
+    /// same sort with `window = σ`).
     pub fn from_coo(coo: &Coo) -> Self {
         let mut canon = coo.clone();
         canon.canonicalize();
         let (rows, cols) = canon.shape();
-        // Row buckets, sorted by descending length (stable: ties keep
-        // original row order, the conventional JD construction).
-        let mut row_entries: Vec<Vec<(usize, Value)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in canon.iter() {
-            row_entries[r].push((c, v));
-        }
-        let mut perm: Vec<usize> = (0..rows).collect();
-        perm.sort_by_key(|&r| std::cmp::Reverse(row_entries[r].len()));
+        let row_entries = crate::format::row_buckets(&canon);
+        let lengths = crate::format::row_lengths(&canon);
+        let perm = crate::format::length_sorted_perm(&lengths, rows.max(1));
         let max_len = perm.first().map_or(0, |&r| row_entries[r].len());
 
         let mut jd_ptr = Vec::with_capacity(max_len + 1);
@@ -96,6 +94,22 @@ impl Jd {
     /// `k` of every diagonal).
     pub fn perm(&self) -> &[usize] {
         &self.perm
+    }
+
+    /// Diagonal start offsets into [`Self::col_idx`]/[`Self::values`]
+    /// (`num_diagonals() + 1` entries, first 0, last `nnz`).
+    pub fn jd_ptr(&self) -> &[usize] {
+        &self.jd_ptr
+    }
+
+    /// Column indices, diagonal-major.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Values, diagonal-major (parallel to [`Self::col_idx`]).
+    pub fn values(&self) -> &[Value] {
+        &self.values
     }
 
     /// Converts back to canonical COO.
@@ -166,6 +180,34 @@ impl Jd {
             seen[p] = true;
         }
         Ok(())
+    }
+}
+
+impl crate::SparseFormat for Jd {
+    const NAME: &'static str = "jd";
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn nnz(&self) -> usize {
+        Jd::nnz(self)
+    }
+
+    fn validate(&self) -> Result<(), FormatError> {
+        Jd::validate(self)
+    }
+
+    fn from_coo(coo: &Coo) -> Result<Self, FormatError> {
+        Ok(Jd::from_coo(coo))
+    }
+
+    fn to_coo(&self) -> Coo {
+        Jd::to_coo(self)
+    }
+
+    fn spmv(&self, x: &[Value]) -> Result<Vec<Value>, FormatError> {
+        Jd::spmv(self, x)
     }
 }
 

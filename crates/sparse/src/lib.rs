@@ -12,6 +12,11 @@
 //! * [`Dense`] — small dense matrices for exhaustive cross-checks.
 //! * [`Jd`] — Jagged Diagonal storage, the third format of the HiSM
 //!   papers' comparisons (long vectors via row-length sorting).
+//! * [`Sell`] — SELL-C-σ (Kreutzer et al.), the chunked, sorted, padded
+//!   SIMD-friendly format the ROADMAP's unified-format item calls for.
+//! * [`mod@format`] — the [`SparseFormat`] trait every format implements,
+//!   plus the shared construction helpers (compressed-pointer build,
+//!   windowed length sort, canonical digest).
 //! * [`mm`] — Matrix Market coordinate-format I/O (the paper's matrices come
 //!   from the Matrix Market collection; real files can be dropped in).
 //! * [`gen`] — seeded synthetic matrix generators used to rebuild the D-SAB
@@ -33,12 +38,14 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod format;
 pub mod gen;
 pub mod jd;
 pub mod metrics;
 pub mod mm;
 pub mod reorder;
 pub mod rng;
+pub mod sell;
 pub mod viz;
 
 pub use coo::Coo;
@@ -46,8 +53,10 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::Dense;
 pub use error::FormatError;
+pub use format::SparseFormat;
 pub use jd::Jd;
 pub use metrics::MatrixMetrics;
+pub use sell::{Sell, SellConfig};
 
 /// Scalar value type used by every matrix format in this workspace.
 ///

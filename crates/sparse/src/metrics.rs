@@ -19,7 +19,9 @@ use std::collections::HashMap;
 /// D-SAB definition, independent of the machine's section size).
 pub const LOCALITY_BLOCK: usize = 32;
 
-/// The D-SAB metrics of one matrix.
+/// The D-SAB metrics of one matrix, extended with the row-shape
+/// statistics the format cost model reads (row-length CV, max row
+/// length, empty-row count, predicted SELL-C-σ occupancy).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatrixMetrics {
     /// Number of non-zero elements ("matrix size" criterion).
@@ -28,21 +30,72 @@ pub struct MatrixMetrics {
     pub locality: f64,
     /// Average non-zeros per row.
     pub avg_nnz_per_row: f64,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Coefficient of variation of the row non-zero counts
+    /// (population standard deviation / mean; `0` when the mean is 0).
+    pub row_nnz_cv: f64,
+    /// Largest row non-zero count.
+    pub max_row_nnz: usize,
+    /// Number of rows with no non-zeros.
+    pub empty_rows: usize,
+    /// Predicted SELL-C-σ chunk occupancy at the default `C = 64`,
+    /// `σ = 512` (see [`crate::sell::occupancy_from_lengths`]);
+    /// `1.0` for an empty matrix.
+    pub sell_occupancy: f64,
+}
+
+impl Default for MatrixMetrics {
+    /// All-zero metrics of an empty matrix (occupancy `1.0`).
+    fn default() -> Self {
+        MatrixMetrics {
+            nnz: 0,
+            locality: 0.0,
+            avg_nnz_per_row: 0.0,
+            rows: 0,
+            cols: 0,
+            row_nnz_cv: 0.0,
+            max_row_nnz: 0,
+            empty_rows: 0,
+            sell_occupancy: 1.0,
+        }
+    }
 }
 
 impl MatrixMetrics {
-    /// Computes all three metrics for a COO matrix. Duplicate coordinates
+    /// Computes all metrics for a COO matrix. Duplicate coordinates
     /// are counted once (the matrix is canonicalized first).
     pub fn compute(coo: &Coo) -> Self {
         let mut canon = coo.clone();
         canon.canonicalize();
         let nnz = canon.nnz();
         let locality = locality(&canon);
-        let rows = canon.rows().max(1);
+        let (rows, cols) = canon.shape();
+        let lengths = crate::format::row_lengths(&canon);
+        let mean = nnz as f64 / rows.max(1) as f64;
+        let row_nnz_cv = if nnz == 0 {
+            0.0
+        } else {
+            let var = lengths
+                .iter()
+                .map(|&l| (l as f64 - mean).powi(2))
+                .sum::<f64>()
+                / rows.max(1) as f64;
+            var.sqrt() / mean
+        };
+        let cfg = crate::SellConfig::default();
         MatrixMetrics {
             nnz,
             locality,
-            avg_nnz_per_row: nnz as f64 / rows as f64,
+            avg_nnz_per_row: mean,
+            rows,
+            cols,
+            row_nnz_cv,
+            max_row_nnz: lengths.iter().copied().max().unwrap_or(0),
+            empty_rows: lengths.iter().filter(|&&l| l == 0).count(),
+            sell_occupancy: crate::sell::occupancy_from_lengths(&lengths, cfg.c, cfg.sigma),
         }
     }
 }
@@ -138,6 +191,64 @@ mod tests {
         }
         // With 64-wide blocks, one block with 64 nnz: 64/64 = 1.
         assert!((locality_with_block(&coo, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_degenerate_safe() {
+        let m = MatrixMetrics::compute(&Coo::new(0, 0));
+        assert_eq!(m, MatrixMetrics::default());
+        let hollow = MatrixMetrics::compute(&Coo::new(7, 3));
+        assert_eq!(hollow.nnz, 0);
+        assert_eq!(hollow.rows, 7);
+        assert_eq!(hollow.cols, 3);
+        assert_eq!(hollow.row_nnz_cv, 0.0);
+        assert_eq!(hollow.max_row_nnz, 0);
+        assert_eq!(hollow.empty_rows, 7);
+        assert_eq!(hollow.sell_occupancy, 1.0);
+    }
+
+    #[test]
+    fn single_row_matrix_has_zero_cv() {
+        let coo = Coo::from_triplets(1, 8, vec![(0, 1, 1.0), (0, 5, 2.0), (0, 7, 3.0)]).unwrap();
+        let m = MatrixMetrics::compute(&coo);
+        assert_eq!(m.rows, 1);
+        assert_eq!(m.max_row_nnz, 3);
+        assert_eq!(m.empty_rows, 0);
+        assert!(m.row_nnz_cv.abs() < 1e-12, "uniform lengths ⇒ CV = 0");
+        // One row in a C=64 chunk: 3 stored cells of 64*3 allocated
+        // (the last chunk is padded to full height).
+        assert!((m.sell_occupancy - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_row_dominates_max_and_cv() {
+        // One fully dense row among empties: CV = sqrt(n-1) for n rows.
+        let mut coo = Coo::new(16, 16);
+        for c in 0..16 {
+            coo.push(0, c, 1.0);
+        }
+        let m = MatrixMetrics::compute(&coo);
+        assert_eq!(m.max_row_nnz, 16);
+        assert_eq!(m.empty_rows, 15);
+        assert!(
+            (m.row_nnz_cv - (15f64).sqrt()).abs() < 1e-9,
+            "{}",
+            m.row_nnz_cv
+        );
+        // One C=64 chunk of width 16: 16 stored cells of 64*16 allocated.
+        assert!((m.sell_occupancy - 16.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_rows_have_zero_cv_and_full_occupancy() {
+        let mut coo = Coo::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, i, 1.0);
+        }
+        let m = MatrixMetrics::compute(&coo);
+        assert_eq!(m.row_nnz_cv, 0.0);
+        assert_eq!(m.sell_occupancy, 1.0);
+        assert_eq!(m.max_row_nnz, 1);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property tests of the [`SparseFormat`] trait laws, for every impl:
+//!
+//! * round trip: `from_coo(a).to_coo()` equals `a` canonicalized;
+//! * involution: `transpose(transpose(a))` equals `a`;
+//! * digest: every format holding the same matrix digests equal
+//!   (and equal to the canonical COO digest);
+//!
+//! plus the cross-layer contracts the format kernels promise: the SELL
+//! transpose kernel is byte-identical to the CRS reference over the
+//! whole quick catalogue, `spmv_sell` is bit-identical to the host CSR
+//! oracle, and the format autotuner is deterministic.
+
+mod common;
+
+use common::{arb_coo, case_rng};
+use hism_stm::dsab::{self, FormatKind, FormatSel};
+use hism_stm::sparse::format::canonical_digest;
+use hism_stm::sparse::{Coo, Csc, Csr, Dense, Jd, Sell, SparseFormat};
+use hism_stm::stm::kernels::registry::run_verified;
+use hism_stm::stm::ExecCtx;
+
+const CASES: u64 = 48;
+
+fn canon(coo: &Coo) -> Coo {
+    let mut c = coo.clone();
+    c.canonicalize();
+    c
+}
+
+/// Checks every trait law on one format over one matrix, returning the
+/// format's digest so the caller can compare across formats.
+fn check_laws<F: SparseFormat>(coo: &Coo, ctx: &str) -> u64 {
+    let c = canon(coo);
+    let f = F::from_coo(coo).unwrap_or_else(|e| panic!("{ctx}: {} from_coo: {e}", F::NAME));
+    f.validate()
+        .unwrap_or_else(|e| panic!("{ctx}: {} validate: {e}", F::NAME));
+    assert_eq!(f.shape(), (c.rows(), c.cols()), "{ctx}: {} shape", F::NAME);
+    assert_eq!(f.nnz(), c.nnz(), "{ctx}: {} nnz", F::NAME);
+    assert_eq!(SparseFormat::to_coo(&f), c, "{ctx}: {} round trip", F::NAME);
+    let tt = SparseFormat::transpose(&f)
+        .and_then(|t| SparseFormat::transpose(&t))
+        .unwrap_or_else(|e| panic!("{ctx}: {} transpose: {e}", F::NAME));
+    assert_eq!(
+        SparseFormat::to_coo(&tt),
+        c,
+        "{ctx}: {} transpose involution",
+        F::NAME
+    );
+    SparseFormat::digest(&f)
+}
+
+#[test]
+fn every_format_satisfies_the_trait_laws_and_digests_agree() {
+    for case in 0..CASES {
+        let mut r = case_rng(0xFE, case);
+        let coo = arb_coo(&mut r, 90, 160);
+        let ctx = format!("case {case}");
+        let want = canonical_digest(&canon(&coo));
+        for digest in [
+            check_laws::<Coo>(&coo, &ctx),
+            check_laws::<Csr>(&coo, &ctx),
+            check_laws::<Csc>(&coo, &ctx),
+            check_laws::<Jd>(&coo, &ctx),
+            check_laws::<Sell>(&coo, &ctx),
+            check_laws::<Dense>(&coo, &ctx),
+        ] {
+            assert_eq!(digest, want, "{ctx}: cross-format digest");
+        }
+    }
+}
+
+#[test]
+fn trait_laws_hold_on_degenerate_shapes() {
+    let shapes = [
+        Coo::new(0, 0),
+        Coo::new(7, 0),
+        Coo::new(0, 7),
+        Coo::new(5, 9), // all-empty rows
+        Coo::from_triplets(1, 1, vec![(0, 0, 2.5)]).unwrap(),
+        Coo::from_triplets(1, 200, (0..200).map(|j| (0, j, 1.0)).collect()).unwrap(),
+        Coo::from_triplets(200, 1, (0..200).map(|i| (i, 0, 1.0)).collect()).unwrap(),
+    ];
+    for (i, coo) in shapes.iter().enumerate() {
+        let ctx = format!("shape {i}");
+        let want = canonical_digest(&canon(coo));
+        assert_eq!(check_laws::<Coo>(coo, &ctx), want);
+        assert_eq!(check_laws::<Csr>(coo, &ctx), want);
+        assert_eq!(check_laws::<Csc>(coo, &ctx), want);
+        assert_eq!(check_laws::<Jd>(coo, &ctx), want);
+        assert_eq!(check_laws::<Sell>(coo, &ctx), want);
+        assert_eq!(check_laws::<Dense>(coo, &ctx), want);
+    }
+}
+
+#[test]
+fn sell_transpose_kernel_matches_the_crs_reference_on_the_quick_catalogue() {
+    let ctx = ExecCtx::paper();
+    let specs = dsab::quick_catalogue();
+    for spec in &specs {
+        let e = dsab::build_by_name(&specs, &spec.name).unwrap();
+        let crs = run_verified("transpose_crs", &e.coo, &ctx).unwrap();
+        let sell = run_verified("transpose_sell", &e.coo, &ctx).unwrap();
+        assert_eq!(
+            sell.output_digest, crs.output_digest,
+            "{}: transpose_sell output diverged from transpose_crs",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn spmv_sell_kernel_is_bit_identical_to_the_host_oracle() {
+    use hism_stm::stm::kernels::registry::{spmv_input, KernelOutput};
+    let ctx = ExecCtx::paper();
+    let specs = dsab::quick_catalogue();
+    for name in ["tridiag-300", "uniform-256", "powlaw-400", "blockdense-128"] {
+        let e = dsab::build_by_name(&specs, name).unwrap();
+        let got = run_verified("spmv_sell", &e.coo, &ctx).unwrap();
+        let x = spmv_input(e.coo.cols());
+        let host = Csr::from_coo(&e.coo).spmv(&x).unwrap();
+        assert_eq!(
+            got.output_digest,
+            KernelOutput::Vector(host).digest(),
+            "{name}: spmv_sell bits diverged from the host CSR oracle"
+        );
+    }
+}
+
+#[test]
+fn the_autotuner_is_deterministic_and_its_choice_maps_to_a_kernel() {
+    let specs = dsab::quick_catalogue();
+    for spec in &specs {
+        let e = dsab::build_by_name(&specs, &spec.name).unwrap();
+        let a = dsab::choose(&e.metrics);
+        let b = dsab::choose(&e.metrics);
+        assert_eq!(a, b, "{}: choose is not deterministic", e.name);
+        assert_eq!(FormatSel::Auto.resolve(&e.metrics), a.chosen);
+        assert!(
+            FormatKind::ALL.contains(&a.chosen),
+            "{}: chose an unrankable format",
+            e.name
+        );
+        // The decision always prices all five formats, finitely.
+        assert_eq!(a.predicted.len(), FormatKind::ALL.len());
+        assert!(a.predicted.iter().all(|(_, c)| c.is_finite() && *c > 0.0));
+    }
+}

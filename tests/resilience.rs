@@ -216,3 +216,63 @@ fn exported_soak_trace_is_well_formed() {
     assert!(summary.events > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn a_format_slot_soaks_deterministically_and_survives_resume() {
+    let set = suite();
+    let with_format = |jobs| {
+        let mut cfg = chaos_cfg(jobs);
+        cfg.format = Some(hism_stm::dsab::FormatSel::Auto);
+        cfg
+    };
+
+    // The third slot is part of the deterministic entry stream: same
+    // digest at any worker count, different digest from a two-slot run.
+    let solo = resilient::run_soak(&with_format(1), &set).unwrap();
+    let pooled = resilient::run_soak(&with_format(4), &set).unwrap();
+    assert_eq!(
+        solo.digest, pooled.digest,
+        "format digest depends on --jobs"
+    );
+    assert_eq!(solo.entries, pooled.entries);
+    assert!(solo.entries.iter().all(|e| e.slots.len() == 3));
+    let plain = resilient::run_soak(&chaos_cfg(1), &set).unwrap();
+    assert_ne!(
+        solo.digest, plain.digest,
+        "the slot must land in the digest"
+    );
+
+    // Live results carry the resolved format leg with its decision.
+    for (_, r) in &solo.live {
+        let leg = r.format.as_ref().expect("live entries carry the leg");
+        assert_eq!(leg.selection.name(), "auto");
+        let d = leg.decision.as_ref().expect("auto records its decision");
+        assert_eq!(d.chosen, leg.kind);
+    }
+
+    // A format-less checkpoint cannot resume a format run: the slot
+    // changes the fingerprint.
+    let ckpt = tmp_path("format.ckpt");
+    let mut killed_cfg = chaos_cfg(1);
+    killed_cfg.checkpoint = Some(ckpt.clone());
+    killed_cfg.stop_after = Some(2);
+    resilient::run_soak(&killed_cfg, &set).unwrap();
+    let mut mismatched = with_format(1);
+    mismatched.checkpoint = Some(ckpt.clone());
+    let err = resilient::run_soak(&mismatched, &set).unwrap_err();
+    assert!(err.contains("fingerprint"), "{err}");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // And a kill/resume pair with the slot reproduces the digest.
+    let mut killed_cfg = with_format(4);
+    killed_cfg.checkpoint = Some(ckpt.clone());
+    killed_cfg.stop_after = Some(3);
+    let killed = resilient::run_soak(&killed_cfg, &set).unwrap();
+    assert!(killed.halted);
+    let mut resumed_cfg = with_format(1);
+    resumed_cfg.checkpoint = Some(ckpt.clone());
+    let resumed = resilient::run_soak(&resumed_cfg, &set).unwrap();
+    assert_eq!(resumed.resumed, 3);
+    assert_eq!(resumed.digest, solo.digest, "format resume diverged");
+    let _ = std::fs::remove_file(&ckpt);
+}

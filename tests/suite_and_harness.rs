@@ -82,6 +82,7 @@ fn criterion_values_match_metrics() {
         nnz: 42,
         locality: 1.5,
         avg_nnz_per_row: 3.0,
+        ..MatrixMetrics::default()
     };
     assert_eq!(Criterion::Size.value(&m), 42.0);
     assert_eq!(Criterion::Locality.value(&m), 1.5);
