@@ -30,6 +30,17 @@ fn arg_value(flag: &str) -> Option<String> {
 }
 
 fn main() {
+    stm_bench::handle_help(
+        "faultsmoke",
+        "Fault-injection smoke: corrupt one matrix, check containment.",
+        &[
+            (
+                "--class NAME",
+                "fault class to inject (default pointer_retarget)",
+            ),
+            ("--index N", "set position of the victim matrix (default 2)"),
+        ],
+    );
     let class = match arg_value("--class") {
         Some(name) => FaultClass::from_name(&name)
             .unwrap_or_else(|| panic!("unknown fault class {name:?}; see `FaultClass::ALL`")),

@@ -8,6 +8,11 @@ use stm_bench::output::{format_table, write_csv};
 use stm_bench::sets_from_env;
 
 fn main() {
+    stm_bench::handle_help(
+        "fig10",
+        "Fig. 10: buffer bandwidth utilization vs B for L in {1,2,4,8}.",
+        &[],
+    );
     let (sets, tag) = sets_from_env();
     let flat: Vec<stm_dsab::SuiteEntry> = sets
         .by_locality

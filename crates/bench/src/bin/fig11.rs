@@ -12,6 +12,11 @@ use stm_bench::output::{
 use stm_bench::{bench_json_from_env, run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
+    stm_bench::handle_help(
+        "fig11",
+        "Fig. 11: transposition performance over the locality-sorted set.",
+        &[],
+    );
     let (sets, tag) = sets_from_env();
     let cfg = RunConfig::from_env();
     let results = run_set(&cfg, &sets.by_locality);

@@ -10,6 +10,11 @@ use stm_bench::output::{
 use stm_bench::{run_set, sets_from_env, RunConfig, SpeedupSummary};
 
 fn main() {
+    stm_bench::handle_help(
+        "fig13",
+        "Fig. 13: transposition performance over the size-sorted set.",
+        &[],
+    );
     let (sets, tag) = sets_from_env();
     let cfg = RunConfig::from_env();
     let results = run_set(&cfg, &sets.by_size);

@@ -25,6 +25,11 @@ use stm_dsab::{build_by_name, quick_catalogue, FormatKind, FormatSel, SuiteEntry
 const MAX_REGRET: f64 = 0.10;
 
 fn main() {
+    stm_bench::handle_help(
+        "formatsmoke",
+        "Format gate: cross-format digest equality + autotuner regret bound.",
+        &[],
+    );
     let specs = quick_catalogue();
     let set: Vec<SuiteEntry> = specs
         .iter()

@@ -69,6 +69,28 @@ fn slot_cell(s: &SlotRecord) -> String {
 }
 
 fn main() {
+    stm_bench::handle_help(
+        "stmsoak",
+        "Resilient chaos soak: bounded queue, deadlines, breaker fallback, checkpoint/resume.",
+        &[
+            ("--deadline CYCLES", "per-run cycle budget (typed abort)"),
+            (
+                "--queue-depth N",
+                "bounded window / breaker decision lag (default 8)",
+            ),
+            ("--breaker-threshold N", "consecutive failures to trip"),
+            ("--breaker-cooldown N", "skipped decisions before a probe"),
+            ("--max-attempts N", "bounded retry attempts per slot"),
+            ("--retry-delay-ms N", "retry backoff base delay"),
+            ("--fault-rate PCT", "chaos injection probability per item"),
+            ("--seed N", "chaos seed (default 0xC0FFEE)"),
+            (
+                "--checkpoint FILE",
+                "resume from FILE if present, checkpoint every commit",
+            ),
+            ("--stop-after N", "commit N items then stop cleanly"),
+        ],
+    );
     let (sets, suite) = stm_bench::sets_from_env();
     let set = sets.by_locality;
     let mut cfg = SoakConfig {

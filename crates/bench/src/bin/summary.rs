@@ -8,6 +8,11 @@ use stm_bench::{run_set, sets_from_env, MatrixResult, RunConfig, SpeedupSummary}
 use stm_hism::{build, StorageStats};
 
 fn main() {
+    stm_bench::handle_help(
+        "summary",
+        "Per-set and overall HiSM-vs-CRS speedup summary.",
+        &[],
+    );
     let (sets, tag) = sets_from_env();
     let cfg = RunConfig::from_env();
 

@@ -139,6 +139,53 @@ pub fn format_from_env() -> Option<stm_dsab::FormatSel> {
     }
 }
 
+/// The harness flags shared by every figure/soak binary, as
+/// `(flag, description)` pairs — the single source the binaries render
+/// their `--help` text from, so the flag list cannot drift per binary
+/// again.
+pub const COMMON_FLAGS: &[(&str, &str)] = &[
+    ("--quick", "reduced 6-matrix suite (or STM_SUITE=quick)"),
+    ("--jobs N", "worker-pool size (or STM_JOBS=N)"),
+    (
+        "--format F",
+        "extra format leg, F in {coo,csr,csc,jd,sell,auto} (or STM_FORMAT=F)",
+    ),
+    (
+        "--trace DIR",
+        "export structured event traces under DIR (or STM_TRACE=DIR)",
+    ),
+    (
+        "--strict",
+        "fail fast on the first failed matrix (or STM_STRICT=1)",
+    ),
+    (
+        "--bench-json FILE",
+        "write a machine-readable perf baseline (or STM_BENCH_JSON=FILE)",
+    ),
+];
+
+/// Renders the uniform usage text for one binary: the shared
+/// [`COMMON_FLAGS`] plus any binary-specific `extra` flags, aligned.
+pub fn usage_text(bin: &str, about: &str, extra: &[(&str, &str)]) -> String {
+    let mut out = format!("usage: {bin} [flags]\n{about}\n\nflags:\n");
+    let rows: Vec<(&str, &str)> = COMMON_FLAGS.iter().chain(extra).copied().collect();
+    let width = rows.iter().map(|(f, _)| f.len()).max().unwrap_or(0);
+    for (flag, desc) in rows {
+        out.push_str(&format!("  {flag:width$}  {desc}\n"));
+    }
+    out
+}
+
+/// Standard `--help`/`-h` handling for the figure/soak binaries: when
+/// either flag is present, print the uniform usage text (see
+/// [`usage_text`]) and exit 0. Call first thing in `main`.
+pub fn handle_help(bin: &str, about: &str, extra: &[(&str, &str)]) {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage_text(bin, about, extra));
+        std::process::exit(0);
+    }
+}
+
 /// `true` when `--strict` is on the command line or `STM_STRICT=1` is in
 /// the environment: the harness then panics on the first failed matrix
 /// (nonzero exit) instead of recording it as a `Failed` row.

@@ -296,9 +296,20 @@ pub fn save(path: &Path, fingerprint: u64, entries: &[EntryRecord]) -> std::io::
 }
 
 /// Loads and validates a checkpoint file.
+///
+/// Checkpoint writes are atomic (tmp + rename), but the same schema is
+/// also written append-only by consumers that flush line by line (the
+/// `stm-serve` results log follows the pattern) — and a `kill -9` can
+/// land mid-write, truncating the **final** line. A final line that
+/// fails to parse *and* is not newline-terminated is therefore a torn
+/// record from an interrupted write: it is skipped with a warning on
+/// stderr, and the intact prefix loads normally. A malformed line
+/// anywhere else (or a complete, newline-terminated final line that
+/// does not parse) is still corruption and still errors.
 pub fn load(path: &Path) -> Result<Checkpoint, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
-    let mut lines = text.lines();
+    let complete = text.is_empty() || text.ends_with('\n');
+    let mut lines = text.lines().peekable();
     let header = lines.next().ok_or("empty checkpoint file")?;
     let header = Json::parse(header).map_err(|e| format!("bad header: {e}"))?;
     let schema = header.get("schema").and_then(Json::as_str).unwrap_or("");
@@ -312,12 +323,26 @@ pub fn load(path: &Path) -> Result<Checkpoint, String> {
         .and_then(|s| u64::from_str_radix(s, 16).ok())
         .ok_or("header missing fingerprint")?;
     let mut entries = Vec::new();
-    for (i, line) in lines.enumerate() {
+    let mut i = 0usize;
+    while let Some(line) = lines.next() {
         if line.trim().is_empty() {
             continue;
         }
-        let json = Json::parse(line).map_err(|e| format!("entry {i}: {e}"))?;
-        let entry = EntryRecord::parse(&json).map_err(|e| format!("entry {i}: {e}"))?;
+        let torn_tail = lines.peek().is_none() && !complete;
+        let parsed = Json::parse(line)
+            .map_err(|e| format!("entry {i}: {e}"))
+            .and_then(|json| EntryRecord::parse(&json).map_err(|e| format!("entry {i}: {e}")));
+        let entry = match parsed {
+            Ok(entry) => entry,
+            Err(e) if torn_tail => {
+                eprintln!(
+                    "warning: checkpoint {path:?}: skipping torn final line \
+                     (truncated mid-write record): {e}"
+                );
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         if entry.index != i as u64 {
             return Err(format!(
                 "entry {i} has index {} — checkpoint is not a contiguous prefix",
@@ -325,6 +350,7 @@ pub fn load(path: &Path) -> Result<Checkpoint, String> {
             ));
         }
         entries.push(entry);
+        i += 1;
     }
     Ok(Checkpoint {
         fingerprint,
@@ -426,6 +452,54 @@ mod tests {
         );
         std::fs::write(&gap, text).unwrap();
         assert!(load(&gap).unwrap_err().contains("contiguous"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_torn_final_line_is_skipped_with_the_prefix_intact() {
+        let dir = std::env::temp_dir().join("stm-ckpt-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let entries = sample_entries();
+        let full = dir.join("full.ckpt");
+        save(&full, 9, &entries).unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+
+        // Truncate mid-way through the final record, as a kill -9 during
+        // an append-style write would: every cut point that leaves a
+        // non-empty partial line must load the intact one-entry prefix.
+        let last_line_start = {
+            let without_nl = &bytes[..bytes.len() - 1];
+            without_nl.iter().rposition(|&b| b == b'\n').unwrap() + 1
+        };
+        for cut in [last_line_start + 1, last_line_start + 10, bytes.len() - 2] {
+            let torn = dir.join("torn.ckpt");
+            std::fs::write(&torn, &bytes[..cut]).unwrap();
+            let loaded = load(&torn).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(loaded.fingerprint, 9);
+            assert_eq!(loaded.entries, entries[..1], "cut at {cut}");
+        }
+
+        // Losing only the trailing newline leaves a complete final
+        // record: it parses, so nothing is skipped.
+        let whole = dir.join("no-newline.ckpt");
+        std::fs::write(&whole, &bytes[..bytes.len() - 1]).unwrap();
+        assert_eq!(load(&whole).unwrap().entries, entries);
+
+        // A newline-terminated garbage line is corruption, not a torn
+        // write — it must still refuse.
+        let bad = dir.join("bad.ckpt");
+        let mut garbled = bytes[..last_line_start + 10].to_vec();
+        garbled.push(b'\n');
+        std::fs::write(&bad, &garbled).unwrap();
+        assert!(load(&bad).is_err(), "complete garbage line must error");
+
+        // And a garbage line in the *middle* errors even without a
+        // trailing newline on the file.
+        let mid = dir.join("mid.ckpt");
+        let mut text = String::from_utf8(bytes.clone()).unwrap();
+        text = text.replacen("\"status\":\"ok\"", "\"status\":", 1);
+        std::fs::write(&mid, text.trim_end_matches('\n')).unwrap();
+        assert!(load(&mid).is_err(), "torn tolerance is final-line only");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -564,6 +564,89 @@ fn run_slot(
     }
 }
 
+/// The public outcome of one resilient kernel execution
+/// ([`execute_slot`]): what the primary did, whether the registry
+/// fallback rescued it, and the verified report from whichever kernel
+/// produced one.
+#[derive(Debug)]
+pub struct SlotOutcome {
+    /// The primary kernel the slot was asked to run.
+    pub kernel: &'static str,
+    /// The breaker decision the slot ran under.
+    pub decision: Decision,
+    /// What the primary actually did (commit this to the breaker).
+    pub outcome: Outcome,
+    /// Attempts the primary consumed (0 when skipped).
+    pub attempts: u64,
+    /// `true` when the primary did not produce the verified result but
+    /// the registry fallback did — the graceful-degradation outcome.
+    pub degraded: bool,
+    /// The fallback kernel, when one was attempted.
+    pub fallback: Option<&'static str>,
+    /// The verified report, from the primary or the fallback.
+    pub report: Option<KernelReport>,
+    /// The terminal failure when nothing produced a verified result;
+    /// for a degraded slot this is the *primary's* failure (absent when
+    /// an open breaker skipped it).
+    pub failure: Option<KernelFailure>,
+}
+
+/// Runs one kernel through the full resilient slot path — the
+/// breaker-decided primary attempt loop with seeded backoff, then the
+/// registry fallback when the primary produced no verified result — and
+/// returns the public [`SlotOutcome`].
+///
+/// This is the single-request face of the soak pipeline's `run_slot`,
+/// exported for the `stm-serve` request path: the service holds its own
+/// per-kernel [`Breaker`]s, calls [`Breaker::decide`] for a decision,
+/// executes through this function, and commits
+/// [`SlotOutcome::outcome`] back. `index` only keys the retry-jitter
+/// stream (use a request sequence number); `fault` injects a
+/// deterministic corruption into the *primary* (fallbacks run trusted)
+/// and, like everywhere else in the repo, is never retried. The
+/// deadline, if any, is `run.vp.cycle_budget`.
+pub fn execute_slot(
+    run: &RunConfig,
+    retry: &RetryPolicy,
+    entry: &SuiteEntry,
+    index: usize,
+    kernel: &'static str,
+    decision: Decision,
+    fault: Option<&FaultSpec>,
+) -> SlotOutcome {
+    let exec = run_slot(run, retry, entry, index, kernel, decision, fault);
+    let outcome = exec.outcome();
+    let primary_ok = matches!(exec.primary, Some(Ok(_)));
+    let report = exec.verified().cloned();
+    let degraded = !primary_ok && report.is_some();
+    let failure = if report.is_some() {
+        match (&exec.primary, degraded) {
+            (Some(Err(f)), true) => Some(f.clone()),
+            _ => None,
+        }
+    } else {
+        match (&exec.primary, &exec.fallback) {
+            (Some(Err(f)), _) => Some(f.clone()),
+            (_, Some((_, Err(f)))) => Some(f.clone()),
+            _ => Some(KernelFailure {
+                kernel: kernel.to_string(),
+                stage: Stage::Run,
+                error: KernelError::Corrupt("breaker open and no fallback registered".to_string()),
+            }),
+        }
+    };
+    SlotOutcome {
+        kernel,
+        decision,
+        outcome,
+        attempts: exec.attempts,
+        degraded,
+        fallback: exec.fallback.as_ref().map(|(k, _)| *k),
+        report,
+        failure,
+    }
+}
+
 /// Runs the soak pipeline over `set`. See the module docs for the
 /// architecture; returns an error for checkpoint problems (unreadable,
 /// wrong fingerprint, inconsistent with the configured breaker stream)

@@ -314,6 +314,49 @@ impl KernelOutput {
         h.finish()
     }
 
+    /// Format-*independent* digest of the output: the canonical-COO
+    /// digest of the matrix the output encodes
+    /// ([`stm_sparse::format::canonical_digest`]), or an FNV-1a digest
+    /// over the value bits for a vector result.
+    ///
+    /// Where [`KernelOutput::digest`] distinguishes encodings (a HiSM
+    /// image and a CSR matrix holding the same Aᵀ digest differently),
+    /// this digest is equal for any two outputs encoding the same
+    /// matrix — which is what lets a service report one digest per
+    /// *request* regardless of whether the primary kernel or its
+    /// registry fallback (a different output format) served it. Returns
+    /// `None` for a HiSM image that does not decode.
+    pub fn canonical_digest(&self) -> Option<u64> {
+        use stm_sparse::format::canonical_digest;
+        match self {
+            KernelOutput::Hism(img) => Some(canonical_digest(&stm_hism::build::to_coo(
+                &img.decode().ok()?,
+            ))),
+            KernelOutput::Csr(csr) => Some(canonical_digest(&csr.to_coo())),
+            KernelOutput::Dense(d) => {
+                let mut coo = Coo::new(d.rows(), d.cols());
+                for r in 0..d.rows() {
+                    for c in 0..d.cols() {
+                        let v = d.get(r, c);
+                        if v.to_bits() != 0 {
+                            coo.push(r, c, v);
+                        }
+                    }
+                }
+                Some(canonical_digest(&coo))
+            }
+            KernelOutput::Vector(y) => {
+                let mut h = Fnv1a::new();
+                h.byte(3);
+                h.u64(y.len() as u64);
+                for &v in y {
+                    h.u32(v.to_bits());
+                }
+                Some(h.finish())
+            }
+        }
+    }
+
     /// The result vector, if this is a [`KernelOutput::Vector`].
     pub fn as_vector(&self) -> Option<&[Value]> {
         match self {
@@ -477,6 +520,32 @@ mod tests {
         let z = KernelOutput::Vector(vec![0.0]);
         let nz = KernelOutput::Vector(vec![-0.0]);
         assert_ne!(z.digest(), nz.digest());
+    }
+
+    #[test]
+    fn canonical_digest_is_format_independent() {
+        use crate::kernels::registry;
+        let coo = stm_sparse::gen::random::uniform(64, 48, 300, 9);
+        let ctx = ExecCtx::paper();
+        let want = stm_sparse::format::canonical_digest(&coo.transpose_canonical());
+        // The HiSM image and the CSR matrix encode Aᵀ differently (their
+        // encoding digests disagree) but canonically they are the same
+        // matrix — the property that makes a degraded request report the
+        // same digest its primary would have.
+        let hism = registry::run_verified("transpose_hism", &coo, &ctx).unwrap();
+        let crs = registry::run_verified("transpose_crs", &coo, &ctx).unwrap();
+        let refk = registry::run_verified("transpose_ref", &coo, &ctx).unwrap();
+        assert_ne!(hism.output_digest, crs.output_digest);
+        for r in [&hism, &crs, &refk] {
+            assert_eq!(r.output.canonical_digest(), Some(want), "{}", r.kernel);
+        }
+        // Vector results digest by length + value bits.
+        let y = KernelOutput::Vector(vec![1.0, -0.0]);
+        assert_eq!(y.canonical_digest(), Some(y.digest()));
+        assert_ne!(
+            y.canonical_digest(),
+            KernelOutput::Vector(vec![1.0, 0.0]).canonical_digest()
+        );
     }
 
     #[test]

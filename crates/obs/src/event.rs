@@ -32,6 +32,10 @@ pub enum Lane {
     /// transitions, retries) — timestamps are commit sequence numbers,
     /// not cycles, since the soak pipeline spans many kernel runs.
     Resil,
+    /// Service-layer events (`stm-serve`: request admissions, shed/quota
+    /// rejections, degradations, queue-depth samples) — timestamps are a
+    /// server-global event sequence number, monotone by construction.
+    Serve,
 }
 
 impl Lane {
@@ -49,6 +53,7 @@ impl Lane {
             Lane::Scalar => 5,
             Lane::Fault => 6,
             Lane::Resil => 7,
+            Lane::Serve => 8,
             Lane::Mem(p) => 10 + p as u32,
         }
     }
@@ -64,6 +69,7 @@ impl Lane {
             Lane::Scalar => "scalar".to_string(),
             Lane::Fault => "fault".to_string(),
             Lane::Resil => "resil".to_string(),
+            Lane::Serve => "serve".to_string(),
             Lane::Mem(p) => format!("mem.port{p}"),
         }
     }
@@ -91,6 +97,8 @@ pub enum Category {
     /// Resilience-pipeline events (breaker transitions, retries,
     /// degradations).
     Resil,
+    /// Service-layer events (admissions, rejections, completions).
+    Serve,
 }
 
 impl Category {
@@ -106,6 +114,7 @@ impl Category {
             Category::Fault => "fault",
             Category::Sample => "sample",
             Category::Resil => "resil",
+            Category::Serve => "serve",
         }
     }
 }

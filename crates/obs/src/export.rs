@@ -86,7 +86,7 @@ pub fn to_jsonl(data: &TraceData) -> String {
             .map(|(i, c)| format!("[{i},{c}]"))
             .collect();
         out.push_str(&format!(
-            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"buckets\":[{}]}}\n",
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}\n",
             esc(name),
             h.count(),
             h.sum(),
@@ -95,6 +95,7 @@ pub fn to_jsonl(data: &TraceData) -> String {
             num(h.mean()),
             h.percentile(50).unwrap_or(0),
             h.percentile(95).unwrap_or(0),
+            h.percentile(99).unwrap_or(0),
             buckets.join(",")
         ));
     }
@@ -234,7 +235,7 @@ mod tests {
         assert!(text.contains("\"type\":\"histogram\""));
         // Histogram lines carry the percentile summary (one value, 64,
         // so every percentile is exactly 64).
-        assert!(text.contains("\"p50\":64,\"p95\":64"), "{text}");
+        assert!(text.contains("\"p50\":64,\"p95\":64,\"p99\":64"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! `stmserve` — the transpose-as-a-service TCP server.
+//!
+//! Prints `listening: <addr>` once the socket is bound (the line the
+//! harnesses parse to find an ephemeral port), serves until a `SHUTDOWN`
+//! request drains it, then prints `shutdown: clean`.
+//!
+//! Exit codes: 0 = clean drain; 2 = configuration/bind/log error.
+
+use stm_bench::resilient::{BreakerConfig, RetryPolicy};
+use stm_serve::server::{ServeConfig, Server};
+
+const FLAGS: &[(&str, &str)] = &[
+    ("--addr A", "bind address (default 127.0.0.1:0 = free port)"),
+    (
+        "--queue-depth N",
+        "bounded admission queue depth (default 8)",
+    ),
+    ("--quota N", "max in-flight requests per client (default 4)"),
+    ("--workers N", "kernel worker threads (default 4)"),
+    (
+        "--deadline CYCLES",
+        "per-request cycle budget (typed abort)",
+    ),
+    ("--breaker-threshold N", "consecutive failures to trip"),
+    ("--breaker-cooldown N", "skipped decisions before a probe"),
+    ("--max-attempts N", "bounded retry attempts per request"),
+    ("--max-frame BYTES", "frame payload cap (default 1 MiB)"),
+    (
+        "--io-timeout-ms MS",
+        "socket read/write timeout (default 10000)",
+    ),
+    (
+        "--results-log FILE",
+        "durable results log (resume FETCHes after restart)",
+    ),
+    ("--trace DIR", "export the server event trace at shutdown"),
+];
+
+fn usage() -> String {
+    let width = FLAGS.iter().map(|(f, _)| f.len()).max().unwrap_or(0);
+    let mut out = String::from(
+        "usage: stmserve [flags]\nFault-tolerant transpose/SpMV service over the resilient pipeline.\n\nflags:\n",
+    );
+    for (flag, desc) in FLAGS {
+        out.push_str(&format!("  {flag:width$}  {desc}\n"));
+    }
+    out
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    arg_value(flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("stmserve: bad value {v:?} for {flag}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return;
+    }
+    let mut cfg = ServeConfig {
+        addr: arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = parsed("--queue-depth") {
+        cfg.queue_depth = n;
+    }
+    if let Some(n) = parsed("--quota") {
+        cfg.quota = n;
+    }
+    if let Some(n) = parsed("--workers") {
+        cfg.workers = n;
+    }
+    cfg.deadline = parsed("--deadline");
+    let mut breaker = BreakerConfig::default();
+    if let Some(t) = parsed("--breaker-threshold") {
+        breaker.threshold = t;
+    }
+    if let Some(c) = parsed("--breaker-cooldown") {
+        breaker.cooldown = c;
+    }
+    cfg.breaker = breaker;
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = parsed("--max-attempts") {
+        retry.max_attempts = n;
+    }
+    cfg.retry = retry;
+    if let Some(n) = parsed("--max-frame") {
+        cfg.max_frame = n;
+    }
+    if let Some(n) = parsed("--io-timeout-ms") {
+        cfg.io_timeout_ms = n;
+    }
+    cfg.results_log = arg_value("--results-log").map(Into::into);
+    cfg.trace = arg_value("--trace").map(Into::into);
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stmserve: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The harnesses parse this line to find the ephemeral port — print
+    // and flush before serving.
+    println!("listening: {}", server.addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    server.join();
+    println!("shutdown: clean");
+}

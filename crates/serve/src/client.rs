@@ -1,0 +1,124 @@
+//! A blocking `stm-serve` client: one TCP connection, one request in
+//! flight at a time.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FaultRequest, FrameError, Request,
+    RequestBody, Response, DEFAULT_MAX_FRAME,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+use stm_sparse::Coo;
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Client identity sent with every request (quota accounting).
+    pub client_id: u64,
+}
+
+impl Client {
+    /// Connects with the given identity and a `timeout_ms` read/write
+    /// timeout.
+    pub fn connect(addr: &str, client_id: u64, timeout_ms: u64) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let t = Some(Duration::from_millis(timeout_ms.max(1)));
+        stream.set_read_timeout(t)?;
+        stream.set_write_timeout(t)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, client_id })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, request_id: u64, body: RequestBody) -> Result<Response, String> {
+        let req = Request {
+            request_id,
+            client_id: self.client_id,
+            body,
+        };
+        write_frame(&mut self.stream, &encode_request(&req)).map_err(|e| format!("send: {e}"))?;
+        let payload = match read_frame(&mut self.stream, DEFAULT_MAX_FRAME) {
+            Ok(p) => p,
+            Err(FrameError::Io(e)) => return Err(format!("recv: {e}")),
+            Err(e) => return Err(format!("recv: {e}")),
+        };
+        decode_response(&payload)
+    }
+
+    /// Uploads `coo` under `matrix_id`.
+    pub fn submit(
+        &mut self,
+        request_id: u64,
+        matrix_id: u64,
+        coo: &Coo,
+    ) -> Result<Response, String> {
+        let entries = coo
+            .entries()
+            .iter()
+            .map(|&(r, c, v)| (r as u32, c as u32, v))
+            .collect();
+        self.request(
+            request_id,
+            RequestBody::Submit {
+                matrix_id,
+                rows: coo.rows() as u32,
+                cols: coo.cols() as u32,
+                entries,
+            },
+        )
+    }
+
+    /// Requests a transpose of `matrix_id`.
+    pub fn transpose(
+        &mut self,
+        request_id: u64,
+        matrix_id: u64,
+        fault: Option<FaultRequest>,
+    ) -> Result<Response, String> {
+        self.request(request_id, RequestBody::Transpose { matrix_id, fault })
+    }
+
+    /// Requests an SpMV over `matrix_id`.
+    pub fn spmv(
+        &mut self,
+        request_id: u64,
+        matrix_id: u64,
+        fault: Option<FaultRequest>,
+    ) -> Result<Response, String> {
+        self.request(request_id, RequestBody::Spmv { matrix_id, fault })
+    }
+
+    /// Replays the recorded result of completed request `target`.
+    pub fn fetch(&mut self, request_id: u64, target: u64) -> Result<Response, String> {
+        self.request(request_id, RequestBody::Fetch { target })
+    }
+
+    /// Reads the service counters.
+    pub fn stats(&mut self, request_id: u64) -> Result<Response, String> {
+        self.request(request_id, RequestBody::Stats)
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self, request_id: u64) -> Result<Response, String> {
+        self.request(request_id, RequestBody::Shutdown)
+    }
+
+    /// Writes raw bytes on the connection — the chaos harness uses this
+    /// to send deliberately corrupt frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Sends a request frame and drops the connection without reading
+    /// the response — the chaos harness's killed-connection move.
+    pub fn send_and_abandon(mut self, request_id: u64, body: RequestBody) -> Result<(), String> {
+        let req = Request {
+            request_id,
+            client_id: self.client_id,
+            body,
+        };
+        write_frame(&mut self.stream, &encode_request(&req)).map_err(|e| format!("send: {e}"))
+    }
+}

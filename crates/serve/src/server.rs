@@ -1,0 +1,717 @@
+//! The `stmserve` TCP server: a fault-tolerant front-end over the
+//! resilient pipeline.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! accept loop ──► connection threads ──► bounded admission queue ──► worker pool
+//!   (poll +          (frame codec,          (depth-limited,            (breaker decide →
+//!    stop flag)       guards, timeouts)      per-client quotas,         execute_slot →
+//!                                            RETRY_AFTER shedding)      commit, log, wake)
+//! ```
+//!
+//! Every execution request flows through
+//! [`stm_bench::resilient::execute_slot`] — the same breaker-decided
+//! primary-attempt loop with seeded backoff and registry fallback the
+//! soak pipeline uses — so the service inherits the whole resilience
+//! stack rather than reimplementing it.
+//!
+//! ## Invariants
+//!
+//! * **Bounded memory** — the admission queue never holds more than
+//!   `queue_depth` jobs; excess load is shed with `RETRY_AFTER` and the
+//!   high-water mark is exported in `STATS` for CI to assert.
+//! * **At-most-once execution** — `request_id` is the idempotency key: a
+//!   re-sent in-flight id joins the original execution (no re-admit), a
+//!   re-sent completed id replays the recorded result.
+//! * **Breakers only where a fallback exists** — the transpose path
+//!   degrades onto `transpose_ref`; SpMV has no registry fallback, so it
+//!   gets no breaker (an open breaker would turn healthy requests into
+//!   failures) and every SpMV runs. See DESIGN.md §13.
+//! * **Durability** — each completed request is appended and flushed to
+//!   the results log *before* its response is sent; a `kill -9` loses at
+//!   most responses, never recorded results, and a restarted server
+//!   re-serves `FETCH`es for every completed id.
+//! * **Clean drain** — `SHUTDOWN` stops admission (`SHUTTING_DOWN` to
+//!   new work), lets the queue and in-flight requests finish (each one
+//!   checkpointed to the log as it lands), exports the server trace, and
+//!   only then acknowledges.
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, FrameError, Op, Request, RequestBody,
+    Response, ResponseBody, Status,
+};
+use crate::store::{ResultRecord, ResultsLog};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use stm_bench::resilient::{execute_slot, Breaker, BreakerConfig, Decision, RetryPolicy};
+use stm_bench::{FaultSpec, RunConfig};
+use stm_core::kernels::registry;
+use stm_dsab::SuiteEntry;
+use stm_obs::{Category, Lane, Recorder};
+use stm_sparse::{Coo, MatrixMetrics};
+
+/// The kernel each execution op dispatches to.
+fn kernel_for(op: Op) -> &'static str {
+    match op {
+        Op::Spmv => "spmv_hism",
+        _ => "transpose_hism",
+    }
+}
+
+/// Server tuning. `Default` is sized for tests and local runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Admission queue depth — the bounded-memory knob.
+    pub queue_depth: usize,
+    /// Max in-flight (admitted, not yet completed) requests per client.
+    pub quota: usize,
+    /// Worker threads executing kernels.
+    pub workers: usize,
+    /// Frame payload cap in bytes (oversized-frame guard).
+    pub max_frame: usize,
+    /// Socket read/write timeout (slow-loris guard).
+    pub io_timeout_ms: u64,
+    /// Backoff hint sent with `RETRY_AFTER`.
+    pub retry_after_ms: u32,
+    /// Per-request cycle budget; exceeding it is a typed
+    /// `DEADLINE_EXCEEDED`.
+    pub deadline: Option<u64>,
+    /// Circuit-breaker tuning for the transpose path.
+    pub breaker: BreakerConfig,
+    /// Bounded-retry tuning for primary kernel attempts.
+    pub retry: RetryPolicy,
+    /// Durable results log; `None` disables durability (tests).
+    pub results_log: Option<std::path::PathBuf>,
+    /// Directory for the server event trace, exported at shutdown.
+    pub trace: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: 8,
+            quota: 4,
+            workers: 4,
+            max_frame: crate::protocol::DEFAULT_MAX_FRAME,
+            io_timeout_ms: 10_000,
+            retry_after_ms: 2,
+            deadline: None,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            results_log: None,
+            trace: None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters — the `STATS`
+/// payload, in wire order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Execution requests admitted to the queue.
+    pub accepted: u64,
+    /// Execution requests completed (any terminal status).
+    pub completed: u64,
+    /// Requests shed with `RETRY_AFTER` because the queue was full.
+    pub shed: u64,
+    /// Completed requests whose result came from the fallback kernel.
+    pub degraded: u64,
+    /// High-water mark of the admission queue.
+    pub queue_depth_max: u64,
+    /// The configured queue depth (the bound `queue_depth_max` must
+    /// respect).
+    pub queue_depth_limit: u64,
+    /// Matrices currently stored.
+    pub matrices: u64,
+    /// Frames rejected by the magic/size/parse guards.
+    pub bad_frames: u64,
+}
+
+impl StatsSnapshot {
+    /// Wire encoding: the fields as a `u64` list, in declaration order.
+    pub fn to_vec(self) -> Vec<u64> {
+        vec![
+            self.accepted,
+            self.completed,
+            self.shed,
+            self.degraded,
+            self.queue_depth_max,
+            self.queue_depth_limit,
+            self.matrices,
+            self.bad_frames,
+        ]
+    }
+
+    /// Decodes [`StatsSnapshot::to_vec`] output.
+    pub fn from_vec(v: &[u64]) -> Option<StatsSnapshot> {
+        if v.len() < 8 {
+            return None;
+        }
+        Some(StatsSnapshot {
+            accepted: v[0],
+            completed: v[1],
+            shed: v[2],
+            degraded: v[3],
+            queue_depth_max: v[4],
+            queue_depth_limit: v[5],
+            matrices: v[6],
+            bad_frames: v[7],
+        })
+    }
+}
+
+/// One admitted execution job.
+struct Job {
+    request_id: u64,
+    client_id: u64,
+    op: Op,
+    matrix_id: u64,
+    entry: Arc<SuiteEntry>,
+    fault: Option<FaultSpec>,
+}
+
+#[derive(Default)]
+struct State {
+    matrices: HashMap<u64, Arc<SuiteEntry>>,
+    queue: VecDeque<Job>,
+    /// Admitted-but-not-completed request ids, with the owning client.
+    pending: HashMap<u64, u64>,
+    pending_by_client: HashMap<u64, usize>,
+    completed: HashMap<u64, ResultRecord>,
+    stats: StatsSnapshot,
+    /// No new work admitted; drain in progress.
+    draining: bool,
+    /// Workers and the accept loop should exit.
+    stopped: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Wakes workers (queue push, stop).
+    work: Condvar,
+    /// Wakes request waiters and the drain (completion, stop).
+    done: Condvar,
+    /// One breaker per kernel *with a registry fallback*, with its
+    /// monotone decision sequence.
+    breakers: Mutex<HashMap<&'static str, (Breaker, u64)>>,
+    run: RunConfig,
+    log: Mutex<Option<ResultsLog>>,
+    rec: Recorder,
+    /// Global event sequence — the `Lane::Serve` timestamp domain. A
+    /// mutex (not an atomic) so the sequence draw and the ring append
+    /// happen as one step: `check::validate` requires per-lane monotone
+    /// timestamps in record order.
+    seq: Mutex<u64>,
+}
+
+impl Shared {
+    fn tick(&self, name: &'static str) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let mut seq = self.seq.lock().unwrap();
+        self.rec.instant(Lane::Serve, Category::Serve, name, *seq);
+        *seq += 1;
+    }
+}
+
+/// A running server. Dropping the handle does not stop it; send
+/// `SHUTDOWN` (or use `stmload --shutdown`) and call [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, recovers the results log, and spawns the accept loop and
+    /// worker pool.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut state = State {
+            stats: StatsSnapshot {
+                queue_depth_limit: cfg.queue_depth as u64,
+                ..StatsSnapshot::default()
+            },
+            ..State::default()
+        };
+        let log = match &cfg.results_log {
+            Some(path) => {
+                let (log, records) = ResultsLog::open(path)?;
+                for rec in records {
+                    state.stats.completed += 1;
+                    if rec.degraded {
+                        state.stats.degraded += 1;
+                    }
+                    state.completed.insert(rec.request_id, rec);
+                }
+                Some(log)
+            }
+            None => None,
+        };
+
+        let mut run = RunConfig {
+            jobs: Some(1),
+            verify: true,
+            ..RunConfig::default()
+        };
+        run.vp.cycle_budget = cfg.deadline;
+
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            breakers: Mutex::new(HashMap::new()),
+            run,
+            log: Mutex::new(log),
+            rec: if cfg.trace.is_some() {
+                Recorder::enabled_default()
+            } else {
+                Recorder::disabled()
+            },
+            seq: Mutex::new(0),
+            cfg,
+        });
+
+        let workers = (0..workers_n)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        let sh = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&sh, &listener));
+        Ok(Server {
+            shared,
+            addr,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for a clean `SHUTDOWN`-initiated stop.
+    pub fn join(self) {
+        self.accept.join().ok();
+        for w in self.workers {
+            w.join().ok();
+        }
+    }
+
+    /// A stats snapshot, for in-process tests.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.state.lock().unwrap().stats
+    }
+}
+
+fn accept_loop(sh: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if sh.state.lock().unwrap().stopped {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                sh.tick("serve.accept");
+                let sh = Arc::clone(sh);
+                std::thread::spawn(move || {
+                    handle_connection(&sh, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(sh: &Arc<Shared>, stream: TcpStream) {
+    let timeout = Some(Duration::from_millis(sh.cfg.io_timeout_ms.max(1)));
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader, sh.cfg.max_frame) {
+            Ok(p) => p,
+            Err(FrameError::Io(_)) => return, // EOF, timeout (slow loris), reset
+            Err(FrameError::BadMagic(_)) => {
+                count_bad_frame(sh);
+                respond(&mut writer, &Response::empty(Status::BadFrame, 0));
+                return; // framing is lost; drop the connection
+            }
+            Err(FrameError::TooLarge(_)) => {
+                count_bad_frame(sh);
+                respond(&mut writer, &Response::empty(Status::TooLarge, 0));
+                return;
+            }
+        };
+        let req = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(None) => {
+                count_bad_frame(sh);
+                respond(&mut writer, &Response::empty(Status::UnknownOp, 0));
+                continue;
+            }
+            Err(Some(_)) => {
+                count_bad_frame(sh);
+                respond(&mut writer, &Response::empty(Status::BadFrame, 0));
+                return;
+            }
+        };
+        let shutdown = matches!(req.body, RequestBody::Shutdown);
+        let resp = handle_request(sh, req);
+        let sent = respond(&mut writer, &resp);
+        if shutdown && resp.status == Status::Ok {
+            finish_shutdown(sh);
+            return;
+        }
+        if !sent {
+            return;
+        }
+    }
+}
+
+fn respond(w: &mut impl std::io::Write, resp: &Response) -> bool {
+    write_frame(w, &encode_response(resp)).is_ok()
+}
+
+fn count_bad_frame(sh: &Shared) {
+    sh.tick("serve.frame.bad");
+    sh.rec.add("serve.frames.bad", 1);
+    sh.state.lock().unwrap().stats.bad_frames += 1;
+}
+
+fn handle_request(sh: &Arc<Shared>, req: Request) -> Response {
+    match req.body {
+        RequestBody::Submit {
+            matrix_id,
+            rows,
+            cols,
+            entries,
+        } => handle_submit(sh, req.request_id, matrix_id, rows, cols, &entries),
+        RequestBody::Transpose { matrix_id, fault } | RequestBody::Spmv { matrix_id, fault } => {
+            let op = if matches!(req.body, RequestBody::Spmv { .. }) {
+                Op::Spmv
+            } else {
+                Op::Transpose
+            };
+            handle_execute(sh, &req, op, matrix_id, fault)
+        }
+        RequestBody::Fetch { target } => handle_fetch(sh, req.request_id, target),
+        RequestBody::Stats => {
+            sh.tick("serve.stats");
+            let stats = sh.state.lock().unwrap().stats;
+            Response {
+                status: Status::Ok,
+                degraded: false,
+                request_id: req.request_id,
+                body: ResponseBody::Stats(stats.to_vec()),
+            }
+        }
+        RequestBody::Shutdown => handle_shutdown(sh, req.request_id),
+    }
+}
+
+fn handle_submit(
+    sh: &Arc<Shared>,
+    request_id: u64,
+    matrix_id: u64,
+    rows: u32,
+    cols: u32,
+    entries: &[(u32, u32, f32)],
+) -> Response {
+    let triplets: Vec<(usize, usize, f32)> = entries
+        .iter()
+        .map(|&(r, c, v)| (r as usize, c as usize, v))
+        .collect();
+    let coo = match Coo::from_triplets(rows as usize, cols as usize, triplets) {
+        Ok(c) => c,
+        Err(_) => return Response::empty(Status::BadFrame, request_id),
+    };
+    let mut state = sh.state.lock().unwrap();
+    if state.draining {
+        return Response::empty(Status::ShuttingDown, request_id);
+    }
+    // Idempotent: re-submitting an id keeps the first copy.
+    state.matrices.entry(matrix_id).or_insert_with(|| {
+        let metrics = MatrixMetrics::compute(&coo);
+        Arc::new(SuiteEntry {
+            name: format!("m{matrix_id:x}"),
+            coo,
+            metrics,
+        })
+    });
+    state.stats.matrices = state.matrices.len() as u64;
+    drop(state);
+    sh.tick("serve.submit");
+    Response::empty(Status::Ok, request_id)
+}
+
+fn record_to_response(rec: &ResultRecord) -> Response {
+    Response {
+        status: rec.status,
+        degraded: rec.degraded,
+        request_id: rec.request_id,
+        body: if rec.status == Status::Ok {
+            ResponseBody::Digest(rec.digest)
+        } else {
+            ResponseBody::Empty
+        },
+    }
+}
+
+fn handle_execute(
+    sh: &Arc<Shared>,
+    req: &Request,
+    op: Op,
+    matrix_id: u64,
+    fault: Option<crate::protocol::FaultRequest>,
+) -> Response {
+    let mut state = sh.state.lock().unwrap();
+    // Idempotency, completed side: replay the recorded result.
+    if let Some(rec) = state.completed.get(&req.request_id) {
+        return record_to_response(rec);
+    }
+    // Idempotency, in-flight side: join the original execution.
+    if state.pending.contains_key(&req.request_id) {
+        loop {
+            state = sh.done.wait(state).unwrap();
+            if let Some(rec) = state.completed.get(&req.request_id) {
+                return record_to_response(rec);
+            }
+            if !state.pending.contains_key(&req.request_id) {
+                // Evaporated without completing (cannot happen today);
+                // fail typed rather than hanging.
+                return Response::empty(Status::KernelFailed, req.request_id);
+            }
+        }
+    }
+    if state.draining {
+        return Response::empty(Status::ShuttingDown, req.request_id);
+    }
+    let entry = match state.matrices.get(&matrix_id) {
+        Some(e) => Arc::clone(e),
+        None => return Response::empty(Status::UnknownMatrix, req.request_id),
+    };
+    let in_flight = state
+        .pending_by_client
+        .get(&req.client_id)
+        .copied()
+        .unwrap_or(0);
+    if in_flight >= sh.cfg.quota.max(1) {
+        return Response::empty(Status::QuotaExceeded, req.request_id);
+    }
+    // Bounded admission: shed rather than grow.
+    if state.queue.len() >= sh.cfg.queue_depth.max(1) {
+        state.stats.shed += 1;
+        drop(state);
+        sh.tick("serve.shed");
+        sh.rec.add("serve.shed", 1);
+        return Response {
+            status: Status::RetryAfter,
+            degraded: false,
+            request_id: req.request_id,
+            body: ResponseBody::RetryAfterMs(sh.cfg.retry_after_ms),
+        };
+    }
+    state.pending.insert(req.request_id, req.client_id);
+    *state.pending_by_client.entry(req.client_id).or_insert(0) += 1;
+    state.queue.push_back(Job {
+        request_id: req.request_id,
+        client_id: req.client_id,
+        op,
+        matrix_id,
+        entry,
+        fault: fault.map(|f| FaultSpec {
+            index: 0,
+            class: f.class,
+            seed: f.seed,
+        }),
+    });
+    state.stats.accepted += 1;
+    let depth = state.queue.len() as u64;
+    state.stats.queue_depth_max = state.stats.queue_depth_max.max(depth);
+    sh.rec.observe("serve.queue.depth", depth);
+    sh.work.notify_one();
+    sh.tick("serve.enqueue");
+
+    // Wait for the worker pool to complete this id.
+    loop {
+        state = sh.done.wait(state).unwrap();
+        if let Some(rec) = state.completed.get(&req.request_id) {
+            return record_to_response(rec);
+        }
+    }
+}
+
+fn handle_fetch(sh: &Arc<Shared>, request_id: u64, target: u64) -> Response {
+    sh.tick("serve.fetch");
+    let state = sh.state.lock().unwrap();
+    match state.completed.get(&target) {
+        Some(rec) => {
+            let mut resp = record_to_response(rec);
+            resp.request_id = request_id;
+            resp
+        }
+        None => Response::empty(Status::NotFound, request_id),
+    }
+}
+
+fn handle_shutdown(sh: &Arc<Shared>, request_id: u64) -> Response {
+    sh.tick("serve.drain");
+    let mut state = sh.state.lock().unwrap();
+    state.draining = true;
+    // Clean drain: every admitted request completes and is checkpointed
+    // to the results log before we acknowledge.
+    while !state.queue.is_empty() || !state.pending.is_empty() {
+        state = sh.done.wait(state).unwrap();
+    }
+    drop(state);
+    sh.tick("serve.shutdown");
+    if let Some(dir) = &sh.cfg.trace {
+        let data = sh.rec.snapshot();
+        if let Err(e) = stm_bench::trace::export_trace(dir, "serve", "serve", &data) {
+            eprintln!("stmserve: trace export failed: {e}");
+        }
+    }
+    Response::empty(Status::Ok, request_id)
+}
+
+/// Flips the stop flag after the shutdown ack went out, releasing the
+/// accept loop and the worker pool.
+fn finish_shutdown(sh: &Arc<Shared>) {
+    let mut state = sh.state.lock().unwrap();
+    state.stopped = true;
+    drop(state);
+    sh.work.notify_all();
+    sh.done.notify_all();
+}
+
+fn worker_loop(sh: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut state = sh.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.stopped {
+                    return;
+                }
+                state = sh.work.wait(state).unwrap();
+            }
+        };
+        execute_job(sh, job);
+    }
+}
+
+fn execute_job(sh: &Arc<Shared>, job: Job) {
+    sh.tick("serve.execute");
+    let kernel = kernel_for(job.op);
+
+    // Breakers guard only kernels with a registry fallback: skipping a
+    // fallback-less kernel would fail healthy requests (DESIGN.md §13).
+    let decision = if registry::fallback_for(kernel).is_some() {
+        let mut breakers = sh.breakers.lock().unwrap();
+        let (breaker, seq) = breakers
+            .entry(kernel)
+            .or_insert_with(|| (Breaker::new(sh.cfg.breaker), 0));
+        let d = breaker.decide(*seq);
+        *seq += 1;
+        d
+    } else {
+        Decision::Run
+    };
+
+    // The expensive part runs outside every lock. `index` keys the
+    // retry-jitter stream only.
+    let outcome = execute_slot(
+        &sh.run,
+        &sh.cfg.retry,
+        &job.entry,
+        job.request_id as usize,
+        kernel,
+        decision,
+        job.fault.as_ref(),
+    );
+
+    if registry::fallback_for(kernel).is_some() {
+        let mut breakers = sh.breakers.lock().unwrap();
+        if let Some((breaker, seq)) = breakers.get_mut(kernel) {
+            breaker.commit(decision, outcome.outcome, *seq);
+        }
+    }
+
+    let status = match (&outcome.report, &outcome.failure) {
+        (Some(_), _) => Status::Ok,
+        (None, Some(f)) => match f.error {
+            stm_core::kernels::registry::KernelError::DeadlineExceeded(_) => {
+                Status::DeadlineExceeded
+            }
+            _ => Status::KernelFailed,
+        },
+        (None, None) => Status::KernelFailed,
+    };
+    // Canonical digest: format-independent, so a degraded transpose
+    // (fallback emits a different encoding than the primary) digests
+    // identically to the primary result.
+    let digest = outcome
+        .report
+        .as_ref()
+        .and_then(|r| r.output.canonical_digest())
+        .unwrap_or(0);
+    let rec = ResultRecord {
+        request_id: job.request_id,
+        client_id: job.client_id,
+        op: job.op,
+        matrix_id: job.matrix_id,
+        status,
+        degraded: outcome.degraded,
+        digest,
+    };
+
+    // Durability before visibility: the record hits the flushed log
+    // before any response can be built from it.
+    if let Some(log) = sh.log.lock().unwrap().as_mut() {
+        if let Err(e) = log.append(&rec) {
+            eprintln!("stmserve: results log append failed: {e}");
+        }
+    }
+
+    let mut state = sh.state.lock().unwrap();
+    state.pending.remove(&job.request_id);
+    if let Some(n) = state.pending_by_client.get_mut(&job.client_id) {
+        *n = n.saturating_sub(1);
+    }
+    state.stats.completed += 1;
+    if rec.degraded {
+        state.stats.degraded += 1;
+        sh.rec.add("serve.degraded", 1);
+    }
+    state.completed.insert(job.request_id, rec);
+    drop(state);
+    sh.rec.add("serve.completed", 1);
+    sh.tick("serve.commit");
+    sh.done.notify_all();
+}

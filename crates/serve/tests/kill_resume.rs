@@ -1,0 +1,172 @@
+//! The durability acceptance test: `kill -9` the real `stmserve` binary
+//! mid-load, restart it on the same results log, and verify the new
+//! incarnation re-serves `FETCH`es for every request the old one
+//! completed — with identical digests.
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use stm_serve::client::Client;
+use stm_serve::load::workload_matrix;
+use stm_serve::protocol::{ResponseBody, Status};
+use stm_serve::store::ResultsLog;
+
+struct Spawned {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server(log: &std::path::Path) -> Spawned {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stmserve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--results-log",
+            log.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn stmserve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("stmserve exited before listening")
+            .expect("read stmserve stdout");
+        if let Some(addr) = line.strip_prefix("listening: ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Spawned { child, addr }
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr, 1, 10_000) {
+            Ok(c) => return c,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn kill_dash_nine_mid_load_then_restart_re_serves_completed_fetches() {
+    let dir = std::env::temp_dir().join("stm-serve-kill-resume");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("results.log");
+
+    // Incarnation A: submit the workload and start a stream of
+    // transposes/SpMVs that the kill will interrupt somewhere.
+    let a = spawn_server(&log);
+    let addr_a = a.addr.clone();
+    let mut child = a.child;
+    {
+        let mut c = connect(&addr_a);
+        for m in 0..2u64 {
+            let coo = workload_matrix(load_seed(), m as usize);
+            let resp = c.submit(1000 + m, m, &coo).expect("submit");
+            assert_eq!(resp.status, Status::Ok);
+        }
+    }
+    let loader = {
+        let addr = addr_a.clone();
+        std::thread::spawn(move || {
+            let mut c = connect(&addr);
+            let mut completed = 0u32;
+            for id in 1..=200u64 {
+                let r = if id % 3 == 0 {
+                    c.spmv(id, id % 2, None)
+                } else {
+                    c.transpose(id, id % 2, None)
+                };
+                match r {
+                    Ok(resp) if resp.status == Status::Ok => completed += 1,
+                    // The kill lands somewhere in here: transport errors
+                    // and shutdown statuses are the expected tail.
+                    _ => break,
+                }
+            }
+            completed
+        })
+    };
+    // Let some requests land, then SIGKILL — no drain, no flush beyond
+    // the per-record ones the server already did.
+    std::thread::sleep(Duration::from_millis(300));
+    child.kill().expect("SIGKILL stmserve");
+    child.wait().expect("reap stmserve");
+    let done_before_kill = loader.join().unwrap();
+    assert!(
+        done_before_kill > 0,
+        "the kill window closed before any request completed; widen the sleep"
+    );
+
+    // What incarnation A durably recorded (tolerating a torn tail).
+    let (_, records) = ResultsLog::open(&log).expect("reload results log");
+    assert!(
+        !records.is_empty(),
+        "completed requests must be on disk after SIGKILL"
+    );
+
+    // Incarnation B on the same log must replay every one of them.
+    let b = spawn_server(&log);
+    let mut c = connect(&b.addr);
+    for rec in &records {
+        let resp = c
+            .fetch(90_000 + rec.request_id, rec.request_id)
+            .expect("fetch");
+        assert_eq!(resp.status, rec.status, "request 0x{:x}", rec.request_id);
+        assert_eq!(
+            resp.degraded, rec.degraded,
+            "request 0x{:x}",
+            rec.request_id
+        );
+        assert_eq!(
+            resp.body,
+            ResponseBody::Digest(rec.digest),
+            "request 0x{:x}: digest must survive the restart",
+            rec.request_id
+        );
+    }
+    // An id the old incarnation never completed is a typed NotFound.
+    let resp = c.fetch(99_999, 4_000_000).expect("fetch missing");
+    assert_eq!(resp.status, Status::NotFound);
+
+    // And incarnation B is a live server, not a read-only replica: the
+    // same matrices can be re-submitted and transposed again.
+    let coo = workload_matrix(load_seed(), 0);
+    assert_eq!(
+        c.submit(2000, 0, &coo).expect("resubmit").status,
+        Status::Ok
+    );
+    let fresh = c.transpose(3000, 0, None).expect("fresh transpose");
+    assert_eq!(fresh.status, Status::Ok);
+    let expected = records
+        .iter()
+        .find(|r| r.matrix_id == 0 && r.op == stm_serve::protocol::Op::Transpose)
+        .map(|r| r.digest);
+    if let (ResponseBody::Digest(d), Some(want)) = (&fresh.body, expected) {
+        assert_eq!(*d, want, "fresh transpose agrees with pre-kill results");
+    }
+
+    assert_eq!(c.shutdown(77_777).expect("shutdown").status, Status::Ok);
+    let status = b.child.wait_with_output().expect("join stmserve B");
+    assert!(status.status.success(), "clean drain must exit 0");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The shared workload seed (named to avoid sprinkling the literal).
+fn load_seed() -> u64 {
+    0x5eed_f00d
+}

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use hism_stm::dsab::{experiment_sets, quick_catalogue, SuiteEntry};
 use hism_stm::obs::{check, jsonl};
 use hism_stm::stm::kernels::registry::KernelError;
-use stm_bench::resilient::{self, BreakerState, EntryStatus};
+use stm_bench::resilient::{self, Breaker, BreakerState, Decision, EntryStatus, PRIMARY_KERNELS};
 use stm_bench::{ChaosSpec, RunConfig, RunStatus, SoakConfig};
 
 fn suite() -> Vec<SuiteEntry> {
@@ -215,6 +215,150 @@ fn exported_soak_trace_is_well_formed() {
     let summary = jsonl::validate_jsonl(&text).expect("exported soak.resil.jsonl is invalid");
     assert!(summary.events > 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replays a soak report's recorded `(decision, outcome)` stream through
+/// a fresh model [`Breaker`] per primary kernel, using the documented
+/// call sequence — `decide(0..W)` up front at sequence 0, then
+/// `commit(i)` followed by at most one `decide` per commit — and returns
+/// the model's decisions and interleaved transition stream for
+/// comparison against the pipeline's.
+type KernelTransition = (u64, &'static str, BreakerState, BreakerState);
+
+fn replay_breaker_model(
+    report: &stm_bench::SoakReport,
+    cfg: &SoakConfig,
+) -> (Vec<Vec<Decision>>, Vec<KernelTransition>) {
+    let n = report.entries.len();
+    let w = cfg.queue_depth.max(1);
+    let mut breakers: Vec<Breaker> = PRIMARY_KERNELS
+        .iter()
+        .map(|_| Breaker::new(cfg.breaker))
+        .collect();
+    let mut decisions: Vec<Vec<Decision>> = Vec::new();
+    let mut transitions = Vec::new();
+    let drain = |breakers: &mut Vec<Breaker>, transitions: &mut Vec<KernelTransition>| {
+        for (k, b) in breakers.iter_mut().enumerate() {
+            for (seq, from, to) in b.drain_transitions() {
+                transitions.push((seq, PRIMARY_KERNELS[k], from, to));
+            }
+        }
+    };
+    for _ in 0..n.min(w) {
+        decisions.push(breakers.iter_mut().map(|b| b.decide(0)).collect());
+    }
+    drain(&mut breakers, &mut transitions);
+    for (i, entry) in report.entries.iter().enumerate() {
+        let seq = i as u64;
+        for (k, b) in breakers.iter_mut().enumerate() {
+            let slot = &entry.slots[k];
+            b.commit(slot.decision, slot.outcome, seq);
+        }
+        if decisions.len() < n && decisions.len() < (i + 1) + w {
+            decisions.push(breakers.iter_mut().map(|b| b.decide(seq)).collect());
+        }
+        drain(&mut breakers, &mut transitions);
+    }
+    (decisions, transitions)
+}
+
+#[test]
+fn half_open_probes_reopen_on_failure_and_close_on_success() {
+    let set = suite();
+    // A serial (W = 1), hair-trigger configuration: threshold 1 trips on
+    // the first failure, cooldown 1 probes on the second decision after
+    // the trip, so six entries are enough for a full
+    // trip → probe-fail → re-open → probe-success → close arc. The seed
+    // is searched because which chaos hits actually fail depends on
+    // fault hostability per matrix.
+    let cfg_for = |seed: u64, jobs: usize| {
+        let mut cfg = chaos_cfg(jobs);
+        cfg.queue_depth = 1;
+        cfg.chaos = Some(ChaosSpec { rate_pct: 70, seed });
+        cfg.breaker.threshold = 1;
+        cfg.breaker.cooldown = 1;
+        cfg
+    };
+    let episode = |report: &stm_bench::SoakReport, to: BreakerState| {
+        report
+            .transitions
+            .iter()
+            .any(|&(_, _, from, t)| from == BreakerState::HalfOpen && t == to)
+    };
+
+    let mut found = None;
+    for seed in 0..64u64 {
+        let cfg = cfg_for(seed, 1);
+        let report = resilient::run_soak(&cfg, &set).unwrap();
+        if episode(&report, BreakerState::Open) && episode(&report, BreakerState::Closed) {
+            found = Some((seed, cfg, report));
+            break;
+        }
+    }
+    let (seed, cfg, report) =
+        found.expect("no seed in 0..64 produced both half-open episodes — widen the search");
+
+    // The pipeline's decision and transition streams must match a model
+    // breaker driven by the documented call sequence, exactly.
+    let (decisions, transitions) = replay_breaker_model(&report, &cfg);
+    for (i, entry) in report.entries.iter().enumerate() {
+        for (k, slot) in entry.slots.iter().take(PRIMARY_KERNELS.len()).enumerate() {
+            assert_eq!(
+                slot.decision, decisions[i][k],
+                "entry {i} kernel {k}: recorded decision diverges from the model"
+            );
+        }
+    }
+    assert_eq!(
+        report.transitions, transitions,
+        "pipeline transitions diverge from the model replay"
+    );
+
+    // A probe failure must restart the cooldown: the model (verified
+    // identical above) says the kernel's next decision after a
+    // HalfOpen → Open transition is a Skip, never an immediate re-probe.
+    let kernel_index = |name: &str| PRIMARY_KERNELS.iter().position(|k| *k == name).unwrap();
+    for &(seq, kernel, from, to) in &report.transitions {
+        if from == BreakerState::HalfOpen && to == BreakerState::Open {
+            let k = kernel_index(kernel);
+            if let Some(d) = decisions.get(seq as usize + 1) {
+                assert_eq!(
+                    d[k],
+                    Decision::Skip,
+                    "probe failure at seq {seq} must re-enter cooldown"
+                );
+            }
+        }
+    }
+
+    // The trace counters agree with the transition stream.
+    let count_to = |to: BreakerState| {
+        report
+            .transitions
+            .iter()
+            .filter(|&&(_, _, _, t)| t == to)
+            .count() as u64
+    };
+    assert_eq!(
+        report.trace.counter("resil.breaker.trips"),
+        count_to(BreakerState::Open)
+    );
+    assert_eq!(
+        report.trace.counter("resil.breaker.probes"),
+        count_to(BreakerState::HalfOpen)
+    );
+    assert_eq!(
+        report.trace.counter("resil.breaker.recoveries"),
+        count_to(BreakerState::Closed)
+    );
+
+    // And the half-open arc is worker-count independent: a pooled run
+    // commits in the same input order, so its decision stream — probes
+    // included — is byte-identical to the serial run's.
+    let pooled = resilient::run_soak(&cfg_for(seed, 4), &set).unwrap();
+    assert_eq!(pooled.transitions, report.transitions);
+    assert_eq!(pooled.entries, report.entries);
+    assert_eq!(pooled.digest, report.digest);
 }
 
 #[test]
