@@ -67,7 +67,7 @@ fn main() {
     let mut all: Vec<MatrixResult> = Vec::new();
     for (title, file, set, paper) in figures {
         let results = run_set(&cfg, set);
-        let rows = figure_rows(&results);
+        let rows = figure_rows(&results, cfg.backend.name());
         println!("\n{title}");
         println!("{}", format_table(&FIGURE_HEADERS, &rows));
         let s = SpeedupSummary::of(&results);

@@ -28,6 +28,11 @@ pub const SCHEMA: &str = "stm-bench-baseline/v1";
 pub struct KernelBaseline {
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Measured wall-clock nanoseconds — present only for host-native
+    /// backend runs. Omitted from the JSON when `None`, so simulator
+    /// baselines stay byte-deterministic across machines, and ignored by
+    /// [`diff`] (wall-clock is machine-dependent by nature).
+    pub wall_ns: Option<u64>,
     /// Per-unit busy fraction (`busy / cycles`), in display order.
     pub util: Vec<(String, f64)>,
 }
@@ -52,6 +57,10 @@ pub struct Baseline {
     pub suite: String,
     /// Timing model name (`paper` / `ideal`).
     pub timing: String,
+    /// Execution backend the run used (`sim` / `scalar` / `simd` /
+    /// `auto`). Files written before the field existed parse as `sim` —
+    /// every pre-backend baseline was a simulator run.
+    pub backend: String,
     /// Per-matrix rows in suite order.
     pub matrices: Vec<BaselineMatrix>,
 }
@@ -60,6 +69,7 @@ fn kernel_baseline(report: &stm_core::TransposeReport) -> KernelBaseline {
     let cycles = report.cycles.max(1);
     KernelBaseline {
         cycles: report.cycles,
+        wall_ns: report.wall_ns,
         util: report
             .stalls
             .units()
@@ -76,6 +86,7 @@ impl Baseline {
         figure: &str,
         suite: &str,
         timing: &str,
+        backend: &str,
         results: &[MatrixResult],
     ) -> Baseline {
         let matrices = results
@@ -110,6 +121,7 @@ impl Baseline {
             figure: figure.to_string(),
             suite: suite.to_string(),
             timing: timing.to_string(),
+            backend: backend.to_string(),
             matrices,
         }
     }
@@ -118,8 +130,8 @@ impl Baseline {
     /// line, floats at fixed 6-digit precision.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"schema\":\"{SCHEMA}\",\"figure\":\"{}\",\"suite\":\"{}\",\"timing\":\"{}\",\"matrices\":[\n",
-            self.figure, self.suite, self.timing
+            "{{\"schema\":\"{SCHEMA}\",\"figure\":\"{}\",\"suite\":\"{}\",\"timing\":\"{}\",\"backend\":\"{}\",\"matrices\":[\n",
+            self.figure, self.suite, self.timing, self.backend
         );
         let rows: Vec<String> = self
             .matrices
@@ -134,8 +146,12 @@ impl Baseline {
                             .iter()
                             .map(|(u, f)| format!("\"{u}\":{f:.6}"))
                             .collect();
+                        let wall = match k.wall_ns {
+                            Some(ns) => format!("\"wall_ns\":{ns},"),
+                            None => String::new(),
+                        };
                         format!(
-                            "\"{name}\":{{\"cycles\":{},\"util\":{{{}}}}}",
+                            "\"{name}\":{{\"cycles\":{},{wall}\"util\":{{{}}}}}",
                             k.cycles,
                             util.join(",")
                         )
@@ -203,7 +219,15 @@ impl Baseline {
                         .collect(),
                     _ => Vec::new(),
                 };
-                kernels.push((kname.clone(), KernelBaseline { cycles, util }));
+                let wall_ns = k.get("wall_ns").and_then(Json::as_u64);
+                kernels.push((
+                    kname.clone(),
+                    KernelBaseline {
+                        cycles,
+                        wall_ns,
+                        util,
+                    },
+                ));
             }
             kernels.sort_by(|a, b| a.0.cmp(&b.0));
             matrices.push(BaselineMatrix { name, nnz, kernels });
@@ -212,6 +236,13 @@ impl Baseline {
             figure: field("figure")?,
             suite: field("suite")?,
             timing: field("timing")?,
+            // Absent in files written before the host backend existed:
+            // those were all simulator runs.
+            backend: v
+                .get("backend")
+                .and_then(Json::as_str)
+                .unwrap_or("sim")
+                .to_string(),
             matrices,
         })
     }
@@ -255,6 +286,7 @@ pub fn diff(base: &Baseline, new: &Baseline, tolerance: f64) -> DiffReport {
         ("figure", &base.figure, &new.figure),
         ("suite", &base.suite, &new.suite),
         ("timing", &base.timing, &new.timing),
+        ("backend", &base.backend, &new.backend),
     ] {
         if b != n {
             report.fail(format!("MISMATCH {field}: base {b:?} vs new {n:?}"));
@@ -338,22 +370,25 @@ mod tests {
     use crate::harness::{run_set, RunConfig};
     use stm_sparse::{gen, MatrixMetrics};
 
-    fn tiny_baseline() -> Baseline {
+    fn tiny_set() -> Vec<stm_dsab::SuiteEntry> {
         let coo = gen::random::uniform(64, 64, 300, 2);
         let metrics = MatrixMetrics::compute(&coo);
-        let set = vec![stm_dsab::SuiteEntry {
+        vec![stm_dsab::SuiteEntry {
             name: "tiny".into(),
             coo,
             metrics,
-        }];
+        }]
+    }
+
+    fn tiny_baseline() -> Baseline {
         let results = run_set(
             &RunConfig {
                 jobs: Some(1),
                 ..RunConfig::default()
             },
-            &set,
+            &tiny_set(),
         );
-        Baseline::from_results("fig11", "quick", "paper", &results)
+        Baseline::from_results("fig11", "quick", "paper", "sim", &results)
     }
 
     #[test]
@@ -403,7 +438,7 @@ mod tests {
                 },
                 &set,
             );
-            Baseline::from_results("fig11", "quick", "paper", &results)
+            Baseline::from_results("fig11", "quick", "paper", "sim", &results)
         };
         let sell = run(stm_dsab::FormatSel::parse("sell"));
         assert_eq!(
@@ -421,6 +456,87 @@ mod tests {
         // duplicate key, and the baseline matches a format-less run.
         let csr = run(stm_dsab::FormatSel::parse("csr"));
         assert_eq!(csr, run(None));
+    }
+
+    #[test]
+    fn sim_baselines_carry_no_wall_clock() {
+        let b = tiny_baseline();
+        assert_eq!(b.backend, "sim");
+        let text = b.to_json();
+        assert!(
+            !text.contains("wall_ns"),
+            "simulator baselines must omit wall_ns: {text}"
+        );
+        for (_, k) in &b.matrices[0].kernels {
+            assert_eq!(k.wall_ns, None);
+        }
+    }
+
+    #[test]
+    fn wall_clock_baselines_round_trip_byte_identically() {
+        use stm_core::kernels::registry::Backend;
+        let results = run_set(
+            &RunConfig {
+                jobs: Some(1),
+                backend: Backend::Scalar,
+                ..RunConfig::default()
+            },
+            &tiny_set(),
+        );
+        let b = Baseline::from_results("fig11", "quick", "paper", "scalar", &results);
+        assert_eq!(b.backend, "scalar");
+        let with_wall: Vec<&KernelBaseline> = b.matrices[0]
+            .kernels
+            .iter()
+            .filter(|(n, _)| stm_core::kernels::registry::host_capable(n))
+            .map(|(_, k)| k)
+            .collect();
+        assert!(!with_wall.is_empty());
+        assert!(
+            with_wall.iter().all(|k| k.wall_ns.is_some()),
+            "host legs must record wall_ns"
+        );
+        let text = b.to_json();
+        assert!(text.contains("\"backend\":\"scalar\""));
+        assert!(text.contains("\"wall_ns\":"));
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b, "wall-clock baseline must round-trip exactly");
+        assert_eq!(parsed.to_json(), text, "re-serialization must be stable");
+        // Wall-clock drift between two machines is NOT a regression: two
+        // baselines identical except for wall_ns diff clean.
+        let mut other = b.clone();
+        for (_, k) in &mut other.matrices[0].kernels {
+            if let Some(ns) = k.wall_ns.as_mut() {
+                *ns = ns.wrapping_mul(3) + 17;
+            }
+        }
+        let r = diff(&b, &other, 0.02);
+        assert_eq!(r.regressions, 0, "{:?}", r.lines);
+    }
+
+    #[test]
+    fn pre_backend_baselines_still_load() {
+        // A file written before the backend/wall_ns fields existed —
+        // forward-compat must not rot.
+        let old = concat!(
+            "{\"schema\":\"stm-bench-baseline/v1\",\"figure\":\"fig11\",",
+            "\"suite\":\"quick\",\"timing\":\"paper\",\"matrices\":[\n",
+            "{\"name\":\"m\",\"nnz\":123,\"kernels\":{\"transpose_crs\":",
+            "{\"cycles\":456,\"util\":{\"alu\":0.100000}}}}\n]}\n"
+        );
+        let parsed = Baseline::parse(old).unwrap();
+        assert_eq!(parsed.backend, "sim", "missing backend defaults to sim");
+        let (name, k) = &parsed.matrices[0].kernels[0];
+        assert_eq!(name, "transpose_crs");
+        assert_eq!(k.cycles, 456);
+        assert_eq!(k.wall_ns, None);
+        // And it diffs clean against a freshly-parsed copy of itself.
+        let r = diff(&parsed, &Baseline::parse(old).unwrap(), 0.02);
+        assert_eq!(r.regressions, 0, "{:?}", r.lines);
+        // But against a host-backend run the config mismatch is flagged.
+        let mut host = parsed.clone();
+        host.backend = "scalar".into();
+        assert!(diff(&parsed, &host, 0.02).regressions > 0);
     }
 
     #[test]
@@ -505,6 +621,7 @@ mod tests {
             "transpose_ref".to_string(),
             KernelBaseline {
                 cycles: 123,
+                wall_ns: None,
                 util: Vec::new(),
             },
         ));

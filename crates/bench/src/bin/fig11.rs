@@ -20,7 +20,7 @@ fn main() {
     let (sets, tag) = sets_from_env();
     let cfg = RunConfig::from_env();
     let results = run_set(&cfg, &sets.by_locality);
-    let rows = figure_rows(&results);
+    let rows = figure_rows(&results, cfg.backend.name());
     println!("Fig. 11 — Performance w.r.t. matrix locality (suite: {tag})");
     println!("{}", format_table(&FIGURE_HEADERS, &rows));
     let s = SpeedupSummary::of(&results);
@@ -33,7 +33,13 @@ fn main() {
     write_csv("results/fig11.csv", &FIGURE_HEADERS, &rows).expect("write results/fig11.csv");
     eprintln!("wrote results/fig11.csv");
     if let Some(path) = bench_json_from_env() {
-        let baseline = Baseline::from_results("fig11", tag, cfg.timing.name(), &results);
+        let baseline = Baseline::from_results(
+            "fig11",
+            tag,
+            cfg.timing.name(),
+            cfg.backend.name(),
+            &results,
+        );
         std::fs::write(&path, baseline.to_json())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());

@@ -18,7 +18,7 @@ fn main() {
     let (sets, tag) = sets_from_env();
     let cfg = RunConfig::from_env();
     let results = run_set(&cfg, &sets.by_anz);
-    let rows = figure_rows(&results);
+    let rows = figure_rows(&results, cfg.backend.name());
     println!("Fig. 12 — Performance w.r.t. average non-zeros per row (suite: {tag})");
     println!("{}", format_table(&FIGURE_HEADERS, &rows));
     let s = SpeedupSummary::of(&results);

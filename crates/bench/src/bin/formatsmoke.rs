@@ -38,6 +38,7 @@ fn main() {
     let cfg = RunConfig {
         jobs: stm_bench::jobs_from_env(),
         format: Some(FormatSel::Auto),
+        backend: stm_bench::backend_from_env(),
         ..RunConfig::default()
     };
 

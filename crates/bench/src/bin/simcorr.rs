@@ -1,0 +1,198 @@
+//! `simcorr` — the sim-vs-silicon correlation harness.
+//!
+//! Runs every host-capable kernel over the deduplicated quick catalogue
+//! on three legs — the cycle-accurate simulator, the forced-scalar host
+//! backend, and the auto-dispatched SIMD host backend — asserts the
+//! mandatory three-leg digest equality, and writes one CSV row per
+//! (matrix, kernel) correlating simulated cycles against measured host
+//! wall-clock. Row order is deterministic (matrices in catalogue order,
+//! kernels in registry order); the wall-clock columns are measurements
+//! and vary run to run, the cycle and digest columns do not.
+//!
+//! Exit status: `1` on any kernel failure, digest divergence between
+//! legs, or a scalar-host leg that fails to beat the simulator's
+//! wall-clock by at least 5x on the largest catalogue matrix (the
+//! native tier exists to be fast; losing that property is a
+//! regression). `0` otherwise.
+
+use std::time::Instant;
+use stm_bench::output::{format_table, write_csv};
+use stm_bench::RunConfig;
+use stm_core::kernels::registry::{self, Backend};
+use stm_dsab::{experiment_sets, quick_catalogue, SuiteEntry};
+
+/// One leg's measurement: the output digest, the simulated cycles the
+/// report charged, and the best-of-`reps` wall-clock for the run stage.
+struct Leg {
+    digest: u64,
+    cycles: u64,
+    wall_ns: u64,
+}
+
+/// Runs `kernel` on `entry` under `backend`, timing only the run stage.
+/// Host legs use the report's own `wall_ns` (which times exactly the
+/// host kernel); the sim leg is timed around `run` here. The best of
+/// `reps` repetitions is kept — the minimum is the standard estimator
+/// for "how fast can this go" under scheduler noise.
+fn run_leg(entry: &SuiteEntry, kernel: &str, backend: Backend, reps: usize) -> Result<Leg, String> {
+    let mut ctx = RunConfig::default().ctx();
+    ctx.backend = backend;
+    let mut k = registry::create(kernel).ok_or_else(|| format!("unknown kernel {kernel:?}"))?;
+    k.prepare(&entry.coo, &ctx)
+        .map_err(|e| format!("{kernel} prepare: {e}"))?;
+    let mut best: Option<Leg> = None;
+    for _ in 0..reps.max(1) {
+        let mut c = ctx.clone();
+        let t0 = Instant::now();
+        let report = k
+            .run(&mut c)
+            .map_err(|e| format!("{kernel} run ({}): {e}", backend.name()))?;
+        let measured = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let wall_ns = report.report.wall_ns.unwrap_or(measured);
+        let leg = Leg {
+            digest: report.output_digest,
+            cycles: report.report.cycles,
+            wall_ns,
+        };
+        match &mut best {
+            Some(b) if b.wall_ns <= leg.wall_ns => {}
+            _ => best = Some(leg),
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+/// `--reps N` / `--reps=N` / `STM_SIMCORR_REPS=N` (default 3).
+fn reps_from_env() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--reps" {
+            return args.next().and_then(|n| n.parse().ok()).unwrap_or(3);
+        }
+        if let Some(n) = a.strip_prefix("--reps=") {
+            return n.parse().unwrap_or(3);
+        }
+    }
+    std::env::var("STM_SIMCORR_REPS")
+        .ok()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(3)
+}
+
+const HEADERS: [&str; 10] = [
+    "matrix",
+    "nnz",
+    "kernel",
+    "sim_cycles",
+    "sim_wall_ns",
+    "scalar_wall_ns",
+    "simd_wall_ns",
+    "sim/scalar_wall",
+    "ns_per_cycle",
+    "digests",
+];
+
+fn main() {
+    stm_bench::handle_help(
+        "simcorr",
+        "Three-leg sim-vs-host correlation over the quick catalogue.",
+        &[(
+            "--reps N",
+            "host-leg repetitions, best-of (or STM_SIMCORR_REPS=N, default 3)",
+        )],
+    );
+    let reps = reps_from_env();
+    let sets = experiment_sets(&quick_catalogue(), 6);
+    // The three per-axis sets overlap; dedup by name, catalogue order.
+    let mut seen = std::collections::HashSet::new();
+    let entries: Vec<&SuiteEntry> = sets.all().filter(|e| seen.insert(e.name.clone())).collect();
+    let simd_isa = Backend::Simd.resolve().expect("simd resolves to an ISA");
+    println!(
+        "simcorr: {} matrices x {} kernels, {reps} host reps, simd leg runs {}",
+        entries.len(),
+        registry::HOST_CAPABLE.len(),
+        simd_isa.name()
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut failures = 0usize;
+    let largest = entries
+        .iter()
+        .max_by_key(|e| e.metrics.nnz)
+        .expect("catalogue is not empty")
+        .name
+        .clone();
+    let mut gate_violations = Vec::new();
+    for entry in &entries {
+        for &kernel in &registry::HOST_CAPABLE {
+            let legs: Result<(Leg, Leg, Leg), String> = (|| {
+                Ok((
+                    run_leg(entry, kernel, Backend::Sim, 1)?,
+                    run_leg(entry, kernel, Backend::Scalar, reps)?,
+                    run_leg(entry, kernel, Backend::Simd, reps)?,
+                ))
+            })();
+            let (sim, scalar, simd) = match legs {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("FAIL {}/{kernel}: {e}", entry.name);
+                    failures += 1;
+                    continue;
+                }
+            };
+            let equal = sim.digest == scalar.digest && sim.digest == simd.digest;
+            if !equal {
+                eprintln!(
+                    "DIVERGENCE {}/{kernel}: sim {:016x} scalar {:016x} {} {:016x}",
+                    entry.name,
+                    sim.digest,
+                    scalar.digest,
+                    simd_isa.name(),
+                    simd.digest
+                );
+                failures += 1;
+            }
+            let ratio = sim.wall_ns as f64 / scalar.wall_ns.max(1) as f64;
+            if entry.name == largest && ratio < 5.0 {
+                gate_violations.push(format!(
+                    "{}/{kernel}: scalar host only {ratio:.1}x faster than the simulator",
+                    entry.name
+                ));
+            }
+            rows.push(vec![
+                entry.name.clone(),
+                entry.metrics.nnz.to_string(),
+                kernel.to_string(),
+                sim.cycles.to_string(),
+                sim.wall_ns.to_string(),
+                scalar.wall_ns.to_string(),
+                simd.wall_ns.to_string(),
+                format!("{ratio:.2}"),
+                format!("{:.4}", scalar.wall_ns as f64 / sim.cycles.max(1) as f64),
+                if equal {
+                    "equal".into()
+                } else {
+                    "DIVERGED".into()
+                },
+            ]);
+        }
+    }
+    println!("{}", format_table(&HEADERS, &rows));
+    write_csv("results/sim-correlation.csv", &HEADERS, &rows)
+        .expect("write results/sim-correlation.csv");
+    eprintln!("wrote results/sim-correlation.csv");
+    for v in &gate_violations {
+        eprintln!("SPEED GATE: {v}");
+    }
+    if failures > 0 || !gate_violations.is_empty() {
+        eprintln!(
+            "simcorr: {failures} failures/divergences, {} speed-gate violations",
+            gate_violations.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "simcorr: all {} rows three-leg equal; scalar host beat the simulator >=5x on {largest}",
+        rows.len()
+    );
+}

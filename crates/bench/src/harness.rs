@@ -25,7 +25,9 @@
 //! CI-style fail-fast runs.
 
 use crate::trace::{export_trace, TraceRollup};
-use stm_core::kernels::registry::{self, ExecCtx, KernelError, KernelFailure, KernelReport, Stage};
+use stm_core::kernels::registry::{
+    self, Backend, ExecCtx, KernelError, KernelFailure, KernelReport, Stage,
+};
 use stm_core::{StmConfig, TransposeReport};
 use stm_dsab::{FormatDecision, FormatKind, FormatSel, SuiteEntry};
 use stm_hism::FaultClass;
@@ -69,6 +71,11 @@ pub struct RunConfig {
     /// `STM_TRACE` in the binaries). `None` keeps tracing compiled out —
     /// kernels run with a no-op recorder and no files are written.
     pub trace: Option<std::path::PathBuf>,
+    /// Execution backend (`--backend` / `STM_BACKEND` in the binaries):
+    /// the cycle-accurate simulator by default, or the `stm-host`
+    /// native tier (`scalar` / `simd` / `auto`) for host-capable
+    /// kernels. Kernels without a host implementation always simulate.
+    pub backend: Backend,
 }
 
 impl Default for RunConfig {
@@ -84,6 +91,7 @@ impl Default for RunConfig {
             fault: None,
             format: None,
             trace: None,
+            backend: Backend::Sim,
         }
     }
 }
@@ -98,6 +106,7 @@ impl RunConfig {
             strict: crate::strict_from_env(),
             trace: crate::trace_dir_from_env(),
             format: crate::format_from_env(),
+            backend: crate::backend_from_env(),
             ..RunConfig::default()
         }
     }
@@ -111,6 +120,7 @@ impl RunConfig {
             stm: self.stm,
             timing: self.timing,
             obs: Recorder::disabled(),
+            backend: self.backend,
         }
     }
 

@@ -139,6 +139,41 @@ pub fn format_from_env() -> Option<stm_dsab::FormatSel> {
     }
 }
 
+/// Parses the execution backend from the CLI args / environment:
+/// `--backend B`, `--backend=B` or `STM_BACKEND=B` with
+/// `B ∈ {sim,scalar,simd,auto}`. `sim` (the default) runs every kernel
+/// on the cycle-accurate simulator; the other values send host-capable
+/// kernels through the `stm-host` native tier (`scalar` forces the
+/// portable implementation, `simd`/`auto` pick the best ISA the CPU
+/// reports, falling back to scalar). An unrecognized value aborts with
+/// exit code 2 — a silently dropped backend flag would mislabel a whole
+/// campaign's numbers.
+pub fn backend_from_env() -> stm_core::kernels::registry::Backend {
+    use stm_core::kernels::registry::Backend;
+    let mut raw = None;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            raw = args.next();
+            break;
+        }
+        if let Some(v) = a.strip_prefix("--backend=") {
+            raw = Some(v.to_string());
+            break;
+        }
+    }
+    let Some(raw) = raw.or_else(|| std::env::var("STM_BACKEND").ok()) else {
+        return Backend::Sim;
+    };
+    match Backend::parse(&raw) {
+        Some(b) => b,
+        None => {
+            eprintln!("bad --backend value {raw:?} (want sim|scalar|simd|auto)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The harness flags shared by every figure/soak binary, as
 /// `(flag, description)` pairs — the single source the binaries render
 /// their `--help` text from, so the flag list cannot drift per binary
@@ -153,6 +188,10 @@ pub const COMMON_FLAGS: &[(&str, &str)] = &[
     (
         "--trace DIR",
         "export structured event traces under DIR (or STM_TRACE=DIR)",
+    ),
+    (
+        "--backend B",
+        "execution backend, B in {sim,scalar,simd,auto} (or STM_BACKEND=B)",
     ),
     (
         "--strict",

@@ -54,12 +54,13 @@ pub fn write_csv(
 }
 
 /// The standard per-matrix row of Figs. 11–13: name, the three metrics,
-/// both kernels' cycles/nnz, the speedup, and the run status. A failed
-/// kernel renders `-` in its numeric cells and `failed[stage]` in the
-/// status cell; a matrix the soak pipeline degraded renders
+/// both kernels' cycles/nnz, the speedup, the execution backend the run
+/// was configured with (`RunConfig::backend`), and the run status. A
+/// failed kernel renders `-` in its numeric cells and `failed[stage]` in
+/// the status cell; a matrix the soak pipeline degraded renders
 /// `degraded[primary->fallback]` (no commas anywhere, so the CSV stays
 /// one cell per column).
-pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
+pub fn figure_rows(results: &[MatrixResult], backend: &str) -> Vec<Vec<String>> {
     let per_nnz = |r: Option<&stm_core::TransposeReport>| match r {
         Some(r) => format!("{:.2}", r.cycles_per_nnz()),
         None => "-".to_string(),
@@ -78,6 +79,7 @@ pub fn figure_rows(results: &[MatrixResult]) -> Vec<Vec<String>> {
                     Some(s) => format!("{s:.2}"),
                     None => "-".to_string(),
                 },
+                backend.to_string(),
                 match &r.status {
                     RunStatus::Ok => "ok".to_string(),
                     RunStatus::Degraded {
@@ -168,7 +170,7 @@ pub fn print_format_decisions(results: &[MatrixResult]) {
 }
 
 /// Header row matching [`figure_rows`].
-pub const FIGURE_HEADERS: [&str; 8] = [
+pub const FIGURE_HEADERS: [&str; 9] = [
     "matrix",
     "nnz",
     "locality",
@@ -176,6 +178,7 @@ pub const FIGURE_HEADERS: [&str; 8] = [
     "hism_cyc/nnz",
     "crs_cyc/nnz",
     "speedup",
+    "backend",
     "status",
 ];
 

@@ -141,10 +141,10 @@ fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
 
 impl SoakConfig {
     /// Fingerprint binding a checkpoint to everything that shapes the
-    /// result stream: the suite, machine/timing configuration, deadline,
-    /// queue depth, breaker, retry and chaos tuning. Deliberately
-    /// excludes `run.jobs` — a checkpoint may be resumed with a
-    /// different worker count.
+    /// result stream: the suite, machine/timing configuration, execution
+    /// backend, deadline, queue depth, breaker, retry and chaos tuning.
+    /// Deliberately excludes `run.jobs` — a checkpoint may be resumed
+    /// with a different worker count.
     pub fn fingerprint(&self, set: &[SuiteEntry]) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         h = fnv1a(h, b"soak/v1");
@@ -167,9 +167,18 @@ impl SoakConfig {
         let h = fnv1a(h, cfg.as_bytes());
         // Appended (rather than folded into `cfg`) so format-less
         // checkpoints keep their pre-format fingerprints.
-        match self.format {
+        let h = match self.format {
             Some(sel) => fnv1a(h, format!("|format={}", sel.name()).as_bytes()),
             None => h,
+        };
+        // Same append-only treatment for the execution backend: a host
+        // run produces the same digests but different cycle numbers, so
+        // resuming a sim checkpoint under `--backend scalar` (or vice
+        // versa) must refuse; default-backend checkpoints keep their
+        // pre-backend fingerprints.
+        match self.run.backend {
+            registry::Backend::Sim => h,
+            b => fnv1a(h, format!("|backend={}", b.name()).as_bytes()),
         }
     }
 
@@ -552,8 +561,14 @@ fn run_slot(
     let fallback = if matches!(primary, Some(Ok(_))) {
         None
     } else {
-        registry::fallback_for(kernel)
-            .map(|fb| (fb, attempt(run, fb, entry, None, &Recorder::disabled())))
+        registry::fallback_for(kernel).map(|fb| {
+            // Fallbacks are the trusted leg: they always run on the
+            // cycle-accurate simulator, even when the primary ran (and
+            // failed) on the host backend.
+            let mut sim = run.clone();
+            sim.backend = registry::Backend::Sim;
+            (fb, attempt(&sim, fb, entry, None, &Recorder::disabled()))
+        })
     };
     SlotExec {
         kernel,

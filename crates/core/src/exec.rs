@@ -34,6 +34,8 @@ use stm_obs::Recorder;
 use stm_sparse::{Coo, Csr, Dense, FormatError, Value};
 use stm_vpsim::{MemFault, TimingKind, VpConfig};
 
+pub use stm_host::{Backend, HostIsa};
+
 /// The machine a kernel executes on: vector-processor parameters, STM
 /// coprocessor parameters and the timing model charging the cycles.
 ///
@@ -52,6 +54,12 @@ pub struct ExecCtx {
     /// creates. Disabled (a no-op) by default; clones share the same
     /// underlying recording, so the trace survives context clones.
     pub obs: Recorder,
+    /// Execution backend: the cycle-accurate simulator (the default) or
+    /// a host-native leg ([`Backend::Scalar`]/[`Backend::Simd`]/
+    /// [`Backend::Auto`]). Host-capable kernels dispatch on it in
+    /// [`Kernel::run`]; kernels without a host implementation ignore it
+    /// and always simulate.
+    pub backend: Backend,
 }
 
 impl ExecCtx {
@@ -63,6 +71,7 @@ impl ExecCtx {
             stm: StmConfig::default(),
             timing: TimingKind::Paper,
             obs: Recorder::disabled(),
+            backend: Backend::Sim,
         }
     }
 

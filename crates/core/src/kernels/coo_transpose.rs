@@ -68,6 +68,7 @@ pub fn transpose_coo_obs(
         return Err(f.into());
     }
     let report = TransposeReport {
+        wall_ns: None,
         cycles: e.cycles(),
         nnz,
         engine: e.stats_snapshot(),

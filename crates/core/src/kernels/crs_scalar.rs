@@ -187,6 +187,7 @@ pub fn transpose_crs_scalar_obs(
         )));
     }
     let report = TransposeReport {
+        wall_ns: None,
         cycles,
         nnz,
         engine: Default::default(),

@@ -93,6 +93,7 @@ pub fn spmv_crs_obs(
     }
     let cycles = e.cycles();
     let report = TransposeReport {
+        wall_ns: None,
         cycles,
         nnz: csr.nnz(),
         engine: e.stats_snapshot(),

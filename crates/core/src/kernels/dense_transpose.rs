@@ -83,6 +83,7 @@ pub fn transpose_dense_obs(
     let mut canon = coo.clone();
     canon.canonicalize();
     let report = TransposeReport {
+        wall_ns: None,
         cycles,
         nnz: canon.nnz(),
         engine: e.stats_snapshot(),

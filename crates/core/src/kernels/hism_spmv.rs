@@ -114,6 +114,7 @@ pub fn spmv_hism_obs(
 
     let cycles = e.cycles();
     let report = TransposeReport {
+        wall_ns: None,
         cycles,
         nnz,
         engine: e.stats_snapshot(),

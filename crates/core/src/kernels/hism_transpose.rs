@@ -121,6 +121,7 @@ pub fn transpose_hism_obs(
 
     let cycles = e.cycles();
     let report = TransposeReport {
+        wall_ns: None,
         cycles,
         nnz,
         engine: e.stats_snapshot(),

@@ -143,6 +143,7 @@ pub fn transpose_jd_obs(
         return Err(f.into());
     }
     let report = TransposeReport {
+        wall_ns: None,
         cycles: e.cycles(),
         nnz,
         engine: e.stats_snapshot(),

@@ -12,7 +12,8 @@
 //! [`KernelError`] rather than a panic or a silently wrong answer.
 
 pub use crate::exec::{
-    spmv_input, ExecCtx, Kernel, KernelError, KernelFailure, KernelOutput, KernelReport, Stage,
+    spmv_input, Backend, ExecCtx, HostIsa, Kernel, KernelError, KernelFailure, KernelOutput,
+    KernelReport, Stage,
 };
 
 use crate::kernels::coo_transpose::{transpose_coo_obs, CooArrays};
@@ -26,7 +27,9 @@ use crate::kernels::jd_transpose::{transpose_jd_obs, JdArrays};
 use crate::kernels::sell::{spmv_sell_obs, transpose_sell_obs, SellArrays};
 use crate::obs::{record_lifecycle, record_phases};
 use crate::report::{Phase, TransposeReport};
+use std::time::Instant;
 use stm_hism::{build, faults, FaultClass, FaultRecord, HismImage};
+use stm_host as host;
 use stm_sparse::rng::StdRng;
 use stm_sparse::{Coo, Csc, Csr, Jd, Sell, SellConfig, SparseFormat, Value};
 
@@ -63,6 +66,84 @@ pub fn fallback_for(name: &str) -> Option<&'static str> {
         "transpose_coo" | "transpose_jd" | "transpose_sell" => Some("transpose_ref"),
         _ => None,
     }
+}
+
+/// The kernels with a host-native implementation in `stm-host` — the
+/// kernels that have up to three legs (cycle-model, scalar-host,
+/// SIMD-host) with mandatory digest equality. Kernels not listed here
+/// ignore [`ExecCtx::backend`] and always simulate.
+pub const HOST_CAPABLE: [&str; 6] = [
+    "transpose_hism",
+    "transpose_crs",
+    "spmv_hism",
+    "spmv_crs",
+    "transpose_sell",
+    "spmv_sell",
+];
+
+/// Whether the named kernel dispatches to the host backend when
+/// [`ExecCtx::backend`] asks for one.
+pub fn host_capable(name: &str) -> bool {
+    HOST_CAPABLE.contains(&name)
+}
+
+/// Maps a host-kernel failure onto the registry's typed errors.
+fn host_err(e: host::HostError) -> KernelError {
+    match e {
+        host::HostError::Corrupt(m) => KernelError::Corrupt(m),
+        host::HostError::Config(m) => KernelError::Config(m),
+    }
+}
+
+/// The `host.dispatch.*` counter naming the ISA a host leg ran on.
+fn dispatch_counter(isa: HostIsa) -> &'static str {
+    match isa {
+        HostIsa::Scalar => "host.dispatch.scalar",
+        HostIsa::Avx2 => "host.dispatch.avx2",
+        HostIsa::Neon => "host.dispatch.neon",
+    }
+}
+
+/// Builds the report for a host-native leg: the same nominal linear cost
+/// model `transpose_ref` charges (two passes over the entries plus one
+/// over each dimension, mapped through the timing model) so simulated
+/// cycles stay deterministic and ISA-independent, plus the measured
+/// wall-clock in `wall_ns`. Emits a `Lane::Host` span and the
+/// `host.dispatch.*` counter when tracing is on.
+fn host_report(
+    ctx: &ExecCtx,
+    span: &'static str,
+    isa: HostIsa,
+    shape: (usize, usize, usize),
+    wall: std::time::Duration,
+) -> TransposeReport {
+    let (rows, cols, nnz) = shape;
+    let nominal = 8 + 2 * nnz as u64 + rows as u64 + cols as u64;
+    let cycles = ctx.timing.model().scalar_cycles(nominal);
+    let report = TransposeReport {
+        cycles,
+        nnz,
+        engine: Default::default(),
+        scalar: None,
+        stm: None,
+        phases: vec![Phase { name: span, cycles }],
+        fu_busy: Default::default(),
+        stalls: stm_vpsim::StallBreakdown::scalar_only(ctx.vp.mem_ports, cycles),
+        wall_ns: Some(wall.as_nanos().min(u64::MAX as u128) as u64),
+    };
+    if ctx.obs.is_enabled() {
+        ctx.obs.complete(
+            stm_obs::Lane::Host,
+            stm_obs::Category::Host,
+            span,
+            0,
+            cycles,
+            nnz as u64,
+        );
+        ctx.obs.add(dispatch_counter(isa), 1);
+    }
+    record_phases(&ctx.obs, &report.phases);
+    report
 }
 
 /// Constructs the kernel registered under `name`, or `None` if the name
@@ -245,6 +326,22 @@ impl Kernel for TransposeHism {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let image = self.image.as_ref().ok_or(KernelError::NotPrepared)?;
+        if ctx.backend.resolve().is_some() {
+            // The blockarray permutation is index shuffling with no FP
+            // arithmetic, so the host leg always runs scalar.
+            let t0 = Instant::now();
+            let nnz = host::hism::image_nnz(image).map_err(host_err)?;
+            let out = host::hism::transpose_hism(image, ctx.stm.s).map_err(host_err)?;
+            let shape = (image.root.rows as usize, image.root.cols as usize, nnz);
+            let report = host_report(
+                ctx,
+                "host.transpose_hism",
+                HostIsa::Scalar,
+                shape,
+                t0.elapsed(),
+            );
+            return Ok(wrap(self.name(), report, KernelOutput::Hism(out)));
+        }
         let (out, report) = transpose_hism_obs(&ctx.vp, ctx.stm, image, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Hism(out)))
     }
@@ -296,6 +393,20 @@ impl Kernel for TransposeCrs {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
+        if ctx.backend.resolve().is_some() {
+            // Pissanetsky is pure index counting — always a scalar leg.
+            let t0 = Instant::now();
+            let out = host::csr::transpose_csr(csr).map_err(host_err)?;
+            let shape = (csr.rows(), csr.cols(), csr.nnz());
+            let report = host_report(
+                ctx,
+                "host.transpose_crs",
+                HostIsa::Scalar,
+                shape,
+                t0.elapsed(),
+            );
+            return Ok(wrap(self.name(), report, KernelOutput::Csr(out)));
+        }
         let (out, report) = transpose_crs_obs(&ctx.vp, csr, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
     }
@@ -402,6 +513,7 @@ impl Kernel for TransposeRef {
         let nominal = 8 + 2 * nnz as u64 + rows as u64 + cols as u64;
         let cycles = ctx.timing.model().scalar_cycles(nominal);
         let report = TransposeReport {
+            wall_ns: None,
             cycles,
             nnz,
             engine: Default::default(),
@@ -560,6 +672,15 @@ impl Kernel for SpmvHism {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let image = self.image.as_ref().ok_or(KernelError::NotPrepared)?;
+        if let Some(isa) = ctx.backend.resolve() {
+            let t0 = Instant::now();
+            let nnz = host::hism::image_nnz(image).map_err(host_err)?;
+            let y = host::hism::spmv_hism(image, &self.x, ctx.vp.section_size, isa)
+                .map_err(host_err)?;
+            let shape = (image.root.rows as usize, image.root.cols as usize, nnz);
+            let report = host_report(ctx, "host.spmv_hism", isa, shape, t0.elapsed());
+            return Ok(wrap(self.name(), report, KernelOutput::Vector(y)));
+        }
         let (y, report) = spmv_hism_obs(&ctx.vp, image, &self.x, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
     }
@@ -603,6 +724,14 @@ impl Kernel for SpmvCrs {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let csr = self.csr.as_ref().ok_or(KernelError::NotPrepared)?;
+        if let Some(isa) = ctx.backend.resolve() {
+            let t0 = Instant::now();
+            let y =
+                host::csr::spmv_csr(csr, &self.x, ctx.vp.section_size, isa).map_err(host_err)?;
+            let shape = (csr.rows(), csr.cols(), csr.nnz());
+            let report = host_report(ctx, "host.spmv_crs", isa, shape, t0.elapsed());
+            return Ok(wrap(self.name(), report, KernelOutput::Vector(y)));
+        }
         let (y, report) = spmv_crs_obs(&ctx.vp, csr, &self.x, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
     }
@@ -928,6 +1057,21 @@ fn prepare_sell(coo: &Coo, ctx: &ExecCtx) -> Result<SellArrays, KernelError> {
     Ok(SellArrays::from_sell(&sell))
 }
 
+/// Borrows the SELL arrays as the view the host backend consumes.
+fn sell_view(sa: &SellArrays) -> host::sell::SellView<'_> {
+    host::sell::SellView {
+        rows: sa.rows,
+        cols: sa.cols,
+        c: sa.c,
+        perm: &sa.perm,
+        chunk_ptr: &sa.chunk_ptr,
+        chunk_len: &sa.chunk_len,
+        row_len: &sa.row_len,
+        col_idx: &sa.col_idx,
+        values: &sa.values,
+    }
+}
+
 /// Simulated transposition from SELL-C-σ storage.
 #[derive(Debug, Default)]
 struct TransposeSell {
@@ -946,6 +1090,20 @@ impl Kernel for TransposeSell {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let sa = self.sa.as_ref().ok_or(KernelError::NotPrepared)?;
+        if ctx.backend.resolve().is_some() {
+            // CSR reconstruction + Pissanetsky: index-only, scalar leg.
+            let t0 = Instant::now();
+            let out = host::sell::transpose_sell(&sell_view(sa)).map_err(host_err)?;
+            let shape = (sa.rows, sa.cols, sa.row_len.iter().sum());
+            let report = host_report(
+                ctx,
+                "host.transpose_sell",
+                HostIsa::Scalar,
+                shape,
+                t0.elapsed(),
+            );
+            return Ok(wrap(self.name(), report, KernelOutput::Csr(out)));
+        }
         let (out, report) = transpose_sell_obs(&ctx.vp, sa, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Csr(out)))
     }
@@ -985,6 +1143,14 @@ impl Kernel for SpmvSell {
 
     fn run(&mut self, ctx: &mut ExecCtx) -> Result<KernelReport, KernelError> {
         let sa = self.sa.as_ref().ok_or(KernelError::NotPrepared)?;
+        if let Some(isa) = ctx.backend.resolve() {
+            let t0 = Instant::now();
+            let y = host::sell::spmv_sell(&sell_view(sa), &self.x, ctx.vp.section_size, isa)
+                .map_err(host_err)?;
+            let shape = (sa.rows, sa.cols, sa.row_len.iter().sum());
+            let report = host_report(ctx, "host.spmv_sell", isa, shape, t0.elapsed());
+            return Ok(wrap(self.name(), report, KernelOutput::Vector(y)));
+        }
         let (y, report) = spmv_sell_obs(&ctx.vp, sa, &self.x, ctx.timing, &ctx.obs)?;
         Ok(wrap(self.name(), report, KernelOutput::Vector(y)))
     }
@@ -1019,6 +1185,54 @@ mod tests {
             assert_eq!(report.kernel, name);
             assert!(report.report.cycles > 0, "{name} charged no cycles");
             assert_eq!(report.output_digest, report.output.digest());
+        }
+    }
+
+    #[test]
+    fn host_legs_match_the_simulated_digest() {
+        let coo = gen::random::uniform(40, 50, 180, 11);
+        let sim = ExecCtx::paper();
+        for &name in names() {
+            if !host_capable(name) {
+                continue;
+            }
+            let base = run_verified(name, &coo, &sim).unwrap();
+            assert!(base.report.wall_ns.is_none(), "{name} sim leg has wall_ns");
+            for backend in [Backend::Scalar, Backend::Simd, Backend::Auto] {
+                let mut ctx = ExecCtx::paper();
+                ctx.backend = backend;
+                let got = run_verified(name, &coo, &ctx)
+                    .unwrap_or_else(|e| panic!("{name} on {}: {e}", backend.name()));
+                assert_eq!(
+                    got.output_digest,
+                    base.output_digest,
+                    "{name} diverged from the simulator on {}",
+                    backend.name()
+                );
+                assert!(
+                    got.report.wall_ns.is_some(),
+                    "{name} host leg on {} lacks wall_ns",
+                    backend.name()
+                );
+                assert!(got.report.cycles > 0, "{name} host leg charged no cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn host_incapable_kernels_ignore_the_backend() {
+        let coo = gen::random::uniform(30, 30, 120, 5);
+        for &name in names() {
+            if host_capable(name) {
+                continue;
+            }
+            let mut ctx = ExecCtx::paper();
+            ctx.backend = Backend::Auto;
+            let got = run_verified(name, &coo, &ctx).unwrap();
+            assert!(
+                got.report.wall_ns.is_none(),
+                "{name} is not host-capable yet reported wall_ns"
+            );
         }
     }
 

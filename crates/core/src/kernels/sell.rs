@@ -241,6 +241,7 @@ pub fn transpose_sell_obs(
         return Err(f.into());
     }
     let report = TransposeReport {
+        wall_ns: None,
         cycles: e.cycles(),
         nnz,
         engine: e.stats_snapshot(),
@@ -444,6 +445,7 @@ pub fn spmv_sell_obs(
         return Err(f.into());
     }
     let report = TransposeReport {
+        wall_ns: None,
         cycles: e.cycles(),
         nnz,
         engine: e.stats_snapshot(),

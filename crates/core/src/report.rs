@@ -63,6 +63,11 @@ pub struct TransposeReport {
     /// busy / chain wait / port wait / STM wait / scalar wait / idle,
     /// every row summing to `cycles` (see `StallBreakdown`).
     pub stalls: StallBreakdown,
+    /// Measured wall-clock nanoseconds, set only by host-native backend
+    /// runs (`None` for simulated runs, whose reports stay byte-stable
+    /// across machines). The `simcorr` harness correlates this against
+    /// `cycles`.
+    pub wall_ns: Option<u64>,
 }
 
 impl TransposeReport {

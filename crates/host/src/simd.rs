@@ -1,0 +1,217 @@
+//! Runtime-dispatched SIMD primitives shared by the host kernels.
+//!
+//! Only *element-wise* operations live here — per-lane multiplies and
+//! adds whose result is independent of lane evaluation order. Anything
+//! order-sensitive (reduction trees, scatter-accumulates, permutation
+//! cursors) stays scalar in the kernel modules on every ISA, which is
+//! what makes output digests ISA-independent by construction.
+//!
+//! This is the only module in the crate allowed to contain `unsafe`
+//! (the intrinsics themselves); every public function is safe and
+//! enforces its own preconditions, falling back to the portable scalar
+//! loop when they do not hold.
+
+#![allow(unsafe_code)]
+
+use crate::HostIsa;
+
+/// `prod[j] = an[j] * x[ja[j]]` — the gather-multiply every SpMV section
+/// starts with.
+///
+/// Requires `prod`, `an` and `ja` to have equal lengths and every
+/// `ja[j]` to index into `x`; violations panic via the scalar path's
+/// slice indexing (callers validate indices up front, so a panic here
+/// is a kernel bug, not an input fault).
+pub fn gather_products(prod: &mut [f32], an: &[f32], ja: &[usize], x: &[f32], isa: HostIsa) {
+    debug_assert_eq!(prod.len(), an.len());
+    debug_assert_eq!(prod.len(), ja.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        HostIsa::Avx2 if x.len() <= i32::MAX as usize => avx2::gather_products(prod, an, ja, x),
+        #[cfg(target_arch = "aarch64")]
+        HostIsa::Neon => neon::gather_products(prod, an, ja, x),
+        _ => gather_products_scalar(prod, an, ja, x),
+    }
+}
+
+/// `dst[j] = dst[j] + src[j]` — element-wise vector add.
+pub fn add_in_place(dst: &mut [f32], src: &[f32], isa: HostIsa) {
+    debug_assert_eq!(dst.len(), src.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        HostIsa::Avx2 => avx2::add_in_place(dst, src),
+        #[cfg(target_arch = "aarch64")]
+        HostIsa::Neon => neon::add_in_place(dst, src),
+        _ => add_in_place_scalar(dst, src),
+    }
+}
+
+/// The portable reference for [`gather_products`].
+fn gather_products_scalar(prod: &mut [f32], an: &[f32], ja: &[usize], x: &[f32]) {
+    for ((p, &a), &j) in prod.iter_mut().zip(an).zip(ja) {
+        *p = a * x[j];
+    }
+}
+
+/// The portable reference for [`add_in_place`].
+fn add_in_place_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// AVX2 variants. Each public function performs the runtime-detection
+/// check itself, so calling one on a CPU without AVX2 degrades to the
+/// scalar loop instead of being undefined behaviour — the dispatch in
+/// the parent module is an optimization, not a safety precondition.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// See [`super::gather_products`]. Caller guarantees every `ja[j]`
+    /// indexes `x` and `x.len() <= i32::MAX`.
+    pub fn gather_products(prod: &mut [f32], an: &[f32], ja: &[usize], x: &[f32]) {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            super::gather_products_scalar(prod, an, ja, x);
+            return;
+        }
+        // SAFETY: AVX2 presence just checked; index preconditions are the
+        // caller's (validated) contract.
+        unsafe { gather_products_avx2(prod, an, ja, x) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_products_avx2(prod: &mut [f32], an: &[f32], ja: &[usize], x: &[f32]) {
+        let n = prod.len();
+        let mut j = 0usize;
+        let mut idx = [0i32; 8];
+        while j + 8 <= n {
+            for (slot, &col) in idx.iter_mut().zip(&ja[j..j + 8]) {
+                *slot = col as i32;
+            }
+            // SAFETY: every index is in-bounds for x (caller contract),
+            // loads are unaligned-tolerant (`loadu`), and the store
+            // target prod[j..j+8] is in-bounds by the loop condition.
+            unsafe {
+                let vidx = _mm256_loadu_si256(idx.as_ptr() as *const __m256i);
+                let xg = _mm256_i32gather_ps::<4>(x.as_ptr(), vidx);
+                let va = _mm256_loadu_ps(an.as_ptr().add(j));
+                _mm256_storeu_ps(prod.as_mut_ptr().add(j), _mm256_mul_ps(va, xg));
+            }
+            j += 8;
+        }
+        super::gather_products_scalar(&mut prod[j..], &an[j..], &ja[j..], x);
+    }
+
+    /// See [`super::add_in_place`].
+    pub fn add_in_place(dst: &mut [f32], src: &[f32]) {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            super::add_in_place_scalar(dst, src);
+            return;
+        }
+        // SAFETY: AVX2 presence just checked.
+        unsafe { add_in_place_avx2(dst, src) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_in_place_avx2(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            // SAFETY: dst[j..j+8] and src[j..j+8] are in-bounds by the
+            // loop condition; loadu/storeu tolerate any alignment.
+            unsafe {
+                let a = _mm256_loadu_ps(dst.as_ptr().add(j));
+                let b = _mm256_loadu_ps(src.as_ptr().add(j));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_add_ps(a, b));
+            }
+            j += 8;
+        }
+        super::add_in_place_scalar(&mut dst[j..], &src[j..]);
+    }
+}
+
+/// NEON variants. NEON is baseline on every aarch64 target Rust
+/// supports, so no runtime check is needed — the `cfg` is the check.
+#[cfg(target_arch = "aarch64")]
+pub mod neon {
+    use std::arch::aarch64::*;
+
+    /// See [`super::gather_products`]. NEON has no hardware gather; the
+    /// gather stage stays scalar and the multiply is vectorized.
+    pub fn gather_products(prod: &mut [f32], an: &[f32], ja: &[usize], x: &[f32]) {
+        let n = prod.len();
+        let mut j = 0usize;
+        let mut xg = [0f32; 4];
+        while j + 4 <= n {
+            for (slot, &col) in xg.iter_mut().zip(&ja[j..j + 4]) {
+                *slot = x[col];
+            }
+            // SAFETY: NEON is statically available on aarch64; all
+            // pointers cover 4 in-bounds f32s by the loop condition.
+            unsafe {
+                let va = vld1q_f32(an.as_ptr().add(j));
+                let vx = vld1q_f32(xg.as_ptr());
+                vst1q_f32(prod.as_mut_ptr().add(j), vmulq_f32(va, vx));
+            }
+            j += 4;
+        }
+        super::gather_products_scalar(&mut prod[j..], &an[j..], &ja[j..], x);
+    }
+
+    /// See [`super::add_in_place`].
+    pub fn add_in_place(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0usize;
+        while j + 4 <= n {
+            // SAFETY: NEON is statically available on aarch64; all
+            // pointers cover 4 in-bounds f32s by the loop condition.
+            unsafe {
+                let a = vld1q_f32(dst.as_ptr().add(j));
+                let b = vld1q_f32(src.as_ptr().add(j));
+                vst1q_f32(dst.as_mut_ptr().add(j), vaddq_f32(a, b));
+            }
+            j += 4;
+        }
+        super::add_in_place_scalar(&mut dst[j..], &src[j..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_paths_are_bit_identical_to_scalar() {
+        // Mixed magnitudes, signed zeros and lengths that exercise both
+        // the vector body and the scalar remainder.
+        let x: Vec<f32> = (0..64)
+            .map(|i| match i % 5 {
+                0 => -0.0,
+                1 => 1.5e-30,
+                2 => -3.25e12,
+                3 => (i as f32).sin(),
+                _ => i as f32 * 0.7,
+            })
+            .collect();
+        for n in [0usize, 1, 3, 7, 8, 9, 16, 31, 64] {
+            let an: Vec<f32> = (0..n).map(|i| (i as f32) * -1.3 + 0.1).collect();
+            let ja: Vec<usize> = (0..n).map(|i| (i * 13 + 5) % x.len()).collect();
+            let mut scalar = vec![0f32; n];
+            let mut best = vec![0f32; n];
+            gather_products(&mut scalar, &an, &ja, &x, HostIsa::Scalar);
+            gather_products(&mut best, &an, &ja, &x, crate::detect_isa());
+            for (a, b) in scalar.iter().zip(&best) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let src: Vec<f32> = (0..n).map(|i| (i as f32) - 2.5).collect();
+            let mut d1 = scalar.clone();
+            let mut d2 = best.clone();
+            add_in_place(&mut d1, &src, HostIsa::Scalar);
+            add_in_place(&mut d2, &src, crate::detect_isa());
+            for (a, b) in d1.iter().zip(&d2) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -36,6 +36,9 @@ pub enum Lane {
     /// rejections, degradations, queue-depth samples) — timestamps are a
     /// server-global event sequence number, monotone by construction.
     Serve,
+    /// Host-native backend execution (`stm-host`): kernel spans timed in
+    /// nominal cycles, with `host.dispatch.*` counters naming the ISA.
+    Host,
 }
 
 impl Lane {
@@ -54,6 +57,7 @@ impl Lane {
             Lane::Fault => 6,
             Lane::Resil => 7,
             Lane::Serve => 8,
+            Lane::Host => 9,
             Lane::Mem(p) => 10 + p as u32,
         }
     }
@@ -70,6 +74,7 @@ impl Lane {
             Lane::Fault => "fault".to_string(),
             Lane::Resil => "resil".to_string(),
             Lane::Serve => "serve".to_string(),
+            Lane::Host => "host".to_string(),
             Lane::Mem(p) => format!("mem.port{p}"),
         }
     }
@@ -99,6 +104,8 @@ pub enum Category {
     Resil,
     /// Service-layer events (admissions, rejections, completions).
     Serve,
+    /// Host-native backend execution.
+    Host,
 }
 
 impl Category {
@@ -115,6 +122,7 @@ impl Category {
             Category::Sample => "sample",
             Category::Resil => "resil",
             Category::Serve => "serve",
+            Category::Host => "host",
         }
     }
 }

@@ -34,6 +34,10 @@ const FLAGS: &[(&str, &str)] = &[
         "durable results log (resume FETCHes after restart)",
     ),
     ("--trace DIR", "export the server event trace at shutdown"),
+    (
+        "--backend B",
+        "execution backend, B in {sim,scalar,simd,auto} (or STM_BACKEND=B)",
+    ),
 ];
 
 fn usage() -> String {
@@ -109,6 +113,7 @@ fn main() {
     }
     cfg.results_log = arg_value("--results-log").map(Into::into);
     cfg.trace = arg_value("--trace").map(Into::into);
+    cfg.backend = stm_bench::backend_from_env();
 
     let server = match Server::start(cfg) {
         Ok(s) => s,

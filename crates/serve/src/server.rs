@@ -89,6 +89,10 @@ pub struct ServeConfig {
     pub results_log: Option<std::path::PathBuf>,
     /// Directory for the server event trace, exported at shutdown.
     pub trace: Option<std::path::PathBuf>,
+    /// Execution backend for the primary kernels (`--backend`). Host
+    /// backends serve requests from the native tier; the breaker
+    /// fallback always runs on the simulator regardless.
+    pub backend: registry::Backend,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +110,7 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             results_log: None,
             trace: None,
+            backend: registry::Backend::Sim,
         }
     }
 }
@@ -264,6 +269,7 @@ impl Server {
         let mut run = RunConfig {
             jobs: Some(1),
             verify: true,
+            backend: cfg.backend,
             ..RunConfig::default()
         };
         run.vp.cycle_budget = cfg.deadline;

@@ -123,6 +123,44 @@ fn resume_rejects_a_checkpoint_from_a_different_configuration() {
 }
 
 #[test]
+fn resume_rejects_a_checkpoint_from_a_different_backend() {
+    use hism_stm::stm::kernels::registry::Backend;
+    let set = suite();
+    let ckpt = tmp_path("backend.ckpt");
+    let mut cfg = chaos_cfg(2);
+    cfg.checkpoint = Some(ckpt.clone());
+    cfg.stop_after = Some(2);
+    resilient::run_soak(&cfg, &set).unwrap();
+
+    // A sim checkpoint resumed under the host backend mixes wall-clock
+    // tiers into one result stream; the fingerprint must refuse.
+    let mut host = chaos_cfg(2);
+    host.run.backend = Backend::Scalar;
+    host.checkpoint = Some(ckpt.clone());
+    let err = resilient::run_soak(&host, &set).unwrap_err();
+    assert!(err.contains("fingerprint"), "unexpected error: {err}");
+
+    // The refusal is symmetric (host checkpoint, sim resume), and a
+    // matching host backend resumes cleanly.
+    let _ = std::fs::remove_file(&ckpt);
+    let mut cfg = chaos_cfg(2);
+    cfg.run.backend = Backend::Scalar;
+    cfg.checkpoint = Some(ckpt.clone());
+    cfg.stop_after = Some(2);
+    resilient::run_soak(&cfg, &set).unwrap();
+    let mut sim = chaos_cfg(2);
+    sim.checkpoint = Some(ckpt.clone());
+    let err = resilient::run_soak(&sim, &set).unwrap_err();
+    assert!(err.contains("fingerprint"), "unexpected error: {err}");
+    let mut resumed = chaos_cfg(2);
+    resumed.run.backend = Backend::Scalar;
+    resumed.checkpoint = Some(ckpt.clone());
+    let report = resilient::run_soak(&resumed, &set).unwrap();
+    assert_eq!(report.resumed, 2);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
 fn deadline_exceeded_is_typed_and_fallbacks_rescue() {
     let set = suite();
     let mut cfg = SoakConfig {

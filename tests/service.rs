@@ -183,6 +183,51 @@ fn injected_faults_degrade_onto_the_fallback_with_the_canonical_digest() {
 }
 
 #[test]
+fn a_host_backend_server_serves_the_simulator_digest_and_degrades_onto_it() {
+    use stm_core::kernels::registry::Backend;
+    let coo = stm_sparse::gen::random::uniform(128, 128, 2048, 0x505D);
+
+    // The simulator's canonical digest for this matrix.
+    let (sim_server, sim_addr) = start(ServeConfig::default());
+    let mut c = client(&sim_addr, 9);
+    let resp = c.submit(u64::MAX - 60, 0, &coo).expect("submit");
+    assert_eq!(resp.status, Status::Ok);
+    let resp = c.transpose(1, 0, None).expect("sim transpose");
+    assert_eq!(resp.status, Status::Ok);
+    let sim_digest = match resp.body {
+        ResponseBody::Digest(d) => d,
+        other => panic!("expected digest, got {other:?}"),
+    };
+    drop(c);
+    shutdown_and_join(sim_server, &sim_addr);
+
+    // A host-tier server must serve the same digest natively…
+    let (server, addr) = start(ServeConfig {
+        backend: Backend::Auto,
+        ..ServeConfig::default()
+    });
+    let mut c = client(&addr, 9);
+    let resp = c.submit(u64::MAX - 60, 0, &coo).expect("submit");
+    assert_eq!(resp.status, Status::Ok);
+    let resp = c.transpose(1, 0, None).expect("host transpose");
+    assert_eq!(resp.status, Status::Ok);
+    assert!(!resp.degraded, "a clean host leg must not degrade");
+    assert_eq!(resp.body, ResponseBody::Digest(sim_digest));
+
+    // …and a corrupted host leg must be rescued by the simulator-side
+    // fallback, still with the canonical digest.
+    let fault = FaultRequest {
+        class: FaultClass::LengthCorruption,
+        seed: 0xBAD_5EED,
+    };
+    let resp = c.transpose(2, 0, Some(fault)).expect("faulted transpose");
+    assert_eq!(resp.status, Status::Ok);
+    assert!(resp.degraded, "the fault must degrade onto the fallback");
+    assert_eq!(resp.body, ResponseBody::Digest(sim_digest));
+    shutdown_and_join(server, &addr);
+}
+
+#[test]
 fn spmv_under_an_impossible_deadline_is_a_typed_deadline_error() {
     // SpMV has no registered fallback, so a blown cycle budget cannot be
     // rescued — it must surface as DEADLINE_EXCEEDED, not a hang or a
