@@ -19,6 +19,9 @@
 //! * `--max-attempts N` / `--retry-delay-ms N` — retry tuning;
 //! * `--stop-after N` — commit N items then stop cleanly (simulated
 //!   kill; resume with the same `--checkpoint`);
+//! * `--metrics FILE` — write the pipeline's counters and cycle
+//!   histograms as a one-shot Prometheus text snapshot (the same
+//!   grammar `stmserve --metrics-addr` exposes live);
 //! * `--format {coo,csr,csc,jd,sell,auto}` / `STM_FORMAT` — soak a
 //!   third slot per item: the selected format's transpose kernel
 //!   (`auto` = cost-model autotuner per matrix). The slot shares
@@ -89,6 +92,10 @@ fn main() {
                 "resume from FILE if present, checkpoint every commit",
             ),
             ("--stop-after N", "commit N items then stop cleanly"),
+            (
+                "--metrics FILE",
+                "write the pipeline counters/histograms as a Prometheus text snapshot",
+            ),
         ],
     );
     let (sets, suite) = stm_bench::sets_from_env();
@@ -191,6 +198,35 @@ fn main() {
         println!("halted: stopped after {} commits", report.entries.len());
     }
     println!("digest: 0x{:016x}", report.digest);
+
+    // One-shot Prometheus snapshot: the pipeline's counters and cycle
+    // histograms in the same exposition grammar the server scrapes
+    // serve, so offline soak runs and live service runs are comparable
+    // with the same tooling.
+    if let Some(path) = arg_value("--metrics") {
+        use stm_obs::telemetry::{render_prometheus, WindowSummary};
+        let mut snap = stm_obs::MetricsSnapshot::default();
+        for (name, v) in &report.trace.counters {
+            snap.counters.insert(name.clone(), *v);
+        }
+        for (name, h) in &report.trace.histograms {
+            snap.windows.insert(
+                name.clone(),
+                WindowSummary {
+                    window: h.clone(),
+                    total_count: h.count(),
+                    total_sum: h.sum(),
+                },
+            );
+        }
+        match std::fs::write(&path, render_prometheus(&snap)) {
+            Ok(()) => println!("metrics: {path}"),
+            Err(e) => {
+                eprintln!("stmsoak: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // Containment invariants: a failed primary never leaks an `ok` row,
     // and (unless deliberately halted) the whole suite committed.

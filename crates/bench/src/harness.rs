@@ -120,6 +120,7 @@ impl RunConfig {
             stm: self.stm,
             timing: self.timing,
             obs: Recorder::disabled(),
+            span: stm_obs::SpanCtx::root(),
             backend: self.backend,
         }
     }
@@ -295,6 +296,7 @@ pub(crate) fn attempt(
 ) -> Result<KernelReport, KernelFailure> {
     let mut ctx = cfg.ctx();
     ctx.obs = rec.clone();
+    ctx.span = rec.span_ctx();
     let mut k = registry::create(kernel).ok_or_else(|| KernelFailure {
         kernel: kernel.to_string(),
         stage: Stage::Prepare,

@@ -512,10 +512,50 @@ impl Shared {
     }
 }
 
+/// Static trace-event name for a resilient slot span on the request
+/// timeline (event names are `&'static str` throughout the obs layer).
+fn slot_span_name(kernel: &str) -> &'static str {
+    match kernel {
+        "transpose_hism" => "resil.slot.transpose_hism",
+        "transpose_crs" => "resil.slot.transpose_crs",
+        _ => "resil.slot",
+    }
+}
+
+/// Folds one *successful* attempt's recording into the request-scoped
+/// recorder and advances the request clock past it.
+///
+/// Only the structural lanes survive — lifecycle stages, algorithm
+/// phases and fault instants; the per-instruction lanes (ALU, memory
+/// ports, STM) would overflow a long-lived server ring within a handful
+/// of requests. Failed attempts are never absorbed: their abandoned
+/// spans are unclosed and would corrupt the request tree.
+fn absorb_structural(rec: &Recorder, att: &Recorder, clock: &mut u64) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let mut data = att.snapshot();
+    data.events
+        .retain(|e| matches!(e.lane, Lane::Stage | Lane::Phase | Lane::Fault));
+    // Any ring drops hit the high-volume instruction lanes the filter
+    // removes; the retained structural story is orders of magnitude
+    // below the attempt ring's capacity.
+    data.dropped = 0;
+    rec.absorb(&data, *clock);
+    *clock = rec.max_ts().saturating_add(1);
+}
+
 /// Runs one primary-kernel slot: the breaker-decided primary attempt
 /// loop (with backoff), then the registry fallback when the primary did
 /// not produce a verified result. Fallbacks run trusted — no chaos
 /// injection — but under the same deadline.
+///
+/// `rec` is the request-scoped recorder (disabled in the soak pipeline,
+/// which traces at commit granularity instead): when enabled, the slot
+/// records a `resil.slot.*` span plus retry/fallback instants on the
+/// `resil` lane, and the *successful* attempt's structural kernel trace
+/// is absorbed inside it on the request's own clock.
+#[allow(clippy::too_many_arguments)]
 fn run_slot(
     run: &RunConfig,
     retry: &RetryPolicy,
@@ -524,7 +564,21 @@ fn run_slot(
     kernel: &'static str,
     decision: Decision,
     fault: Option<&FaultSpec>,
+    rec: &Recorder,
 ) -> SlotExec {
+    let traced = rec.is_enabled();
+    // The request timeline keeps its own clock: every absorbed attempt
+    // is shifted past everything the request has recorded so far.
+    let mut clock = rec.max_ts();
+    let slot_span =
+        traced.then(|| rec.begin(Lane::Resil, Category::Resil, slot_span_name(kernel), clock));
+    let attempt_rec = || {
+        if traced {
+            Recorder::enabled_default().with_ctx(rec.span_ctx())
+        } else {
+            Recorder::disabled()
+        }
+    };
     let mut attempts = 0u64;
     let primary = match decision {
         Decision::Skip => None,
@@ -540,12 +594,19 @@ fn run_slot(
             let mut out = None;
             while out.is_none() {
                 attempts += 1;
-                match attempt(run, kernel, entry, fault, &Recorder::disabled()) {
-                    Ok(r) => out = Some(Ok(r)),
+                let att = attempt_rec();
+                match attempt(run, kernel, entry, fault, &att) {
+                    Ok(r) => {
+                        absorb_structural(rec, &att, &mut clock);
+                        out = Some(Ok(r));
+                    }
                     Err(f) => {
                         if attempts >= max_attempts || !retry.should_retry(&f.error, injected) {
                             out = Some(Err(f));
                         } else {
+                            if traced {
+                                rec.instant(Lane::Resil, Category::Resil, "resil.retry", clock);
+                            }
                             let key = fnv1a(index as u64, kernel.as_bytes());
                             let delay = retry.delay_ms(key, (attempts + 1) as u32);
                             if delay > 0 {
@@ -562,14 +623,31 @@ fn run_slot(
         None
     } else {
         registry::fallback_for(kernel).map(|fb| {
+            if traced {
+                rec.instant(Lane::Resil, Category::Resil, "resil.fallback", clock);
+            }
             // Fallbacks are the trusted leg: they always run on the
             // cycle-accurate simulator, even when the primary ran (and
             // failed) on the host backend.
             let mut sim = run.clone();
             sim.backend = registry::Backend::Sim;
-            (fb, attempt(&sim, fb, entry, None, &Recorder::disabled()))
+            let att = attempt_rec();
+            let result = attempt(&sim, fb, entry, None, &att);
+            if result.is_ok() {
+                absorb_structural(rec, &att, &mut clock);
+            }
+            (fb, result)
         })
     };
+    if let Some(span) = slot_span {
+        rec.end(
+            Lane::Resil,
+            Category::Resil,
+            slot_span_name(kernel),
+            clock,
+            span,
+        );
+    }
     SlotExec {
         kernel,
         decision,
@@ -620,6 +698,14 @@ pub struct SlotOutcome {
 /// deterministic corruption into the *primary* (fallbacks run trusted)
 /// and, like everywhere else in the repo, is never retried. The
 /// deadline, if any, is `run.vp.cycle_budget`.
+///
+/// `rec` is the request-scoped recorder the slot traces into (pass
+/// [`Recorder::disabled`] to trace nothing): when enabled, the slot
+/// appends a `resil.slot.*` span plus retry/fallback instants and the
+/// successful attempt's structural kernel trace, all stamped with the
+/// recorder's [`stm_obs::SpanCtx`] request id — the serve → resilient →
+/// kernel leg of end-to-end request correlation.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_slot(
     run: &RunConfig,
     retry: &RetryPolicy,
@@ -628,8 +714,9 @@ pub fn execute_slot(
     kernel: &'static str,
     decision: Decision,
     fault: Option<&FaultSpec>,
+    rec: &Recorder,
 ) -> SlotOutcome {
-    let exec = run_slot(run, retry, entry, index, kernel, decision, fault);
+    let exec = run_slot(run, retry, entry, index, kernel, decision, fault, rec);
     let outcome = exec.outcome();
     let primary_ok = matches!(exec.primary, Some(Ok(_)));
     let report = exec.verified().cloned();
@@ -789,6 +876,7 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                                 kernel,
                                 decision,
                                 fault.as_ref(),
+                                &Recorder::disabled(),
                             )
                         })
                         .collect();
@@ -802,6 +890,7 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                             kind.transpose_kernel(),
                             Decision::Run,
                             fault.as_ref(),
+                            &Recorder::disabled(),
                         ));
                     }
 

@@ -30,7 +30,7 @@ use crate::report::TransposeReport;
 use crate::unit::StmConfig;
 use std::fmt;
 use stm_hism::{FaultClass, FaultRecord, HismImage, ImageError};
-use stm_obs::Recorder;
+use stm_obs::{Recorder, SpanCtx};
 use stm_sparse::{Coo, Csr, Dense, FormatError, Value};
 use stm_vpsim::{MemFault, TimingKind, VpConfig};
 
@@ -54,6 +54,12 @@ pub struct ExecCtx {
     /// creates. Disabled (a no-op) by default; clones share the same
     /// underlying recording, so the trace survives context clones.
     pub obs: Recorder,
+    /// Request correlation context: the originating service request id
+    /// this execution is serving, or the root context for batch runs.
+    /// Harnesses set it alongside `obs` so every engine event carries
+    /// the request tag (`obs` handles stamp it; `span` makes the id
+    /// available to kernels that spawn their own sub-recorders).
+    pub span: SpanCtx,
     /// Execution backend: the cycle-accurate simulator (the default) or
     /// a host-native leg ([`Backend::Scalar`]/[`Backend::Simd`]/
     /// [`Backend::Auto`]). Host-capable kernels dispatch on it in
@@ -71,6 +77,7 @@ impl ExecCtx {
             stm: StmConfig::default(),
             timing: TimingKind::Paper,
             obs: Recorder::disabled(),
+            span: SpanCtx::root(),
             backend: Backend::Sim,
         }
     }

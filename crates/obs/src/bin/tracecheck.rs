@@ -3,16 +3,24 @@
 //! plus kernel accounting (one `run` stage span, phase cycles partition
 //! it, fault instants match the `mem.oob_events` counter).
 //!
-//! Usage: `tracecheck <file.jsonl | dir> ...` — directories are scanned
-//! (non-recursively) for `*.jsonl`. Exits 0 when every file validates
-//! losslessly, 1 when any file is invalid, and 3 when every file is
-//! structurally valid but at least one trace is truncated (the ring
-//! buffer dropped events, so span-level checks were degraded).
+//! Usage: `tracecheck [--join] <file.jsonl | dir> ...` — directories
+//! are scanned (non-recursively) for `*.jsonl`. Exits 0 when every
+//! file validates losslessly, 1 when any file is invalid, and 3 when
+//! every file is structurally valid but at least one trace is
+//! truncated (the ring buffer dropped events, so span-level checks
+//! were degraded).
+//!
+//! `--join` additionally reassembles every request's span tree across
+//! lanes (serve → resil → kernel) via
+//! [`stm_obs::jsonl::join_requests`]: one `req=` line per request, a
+//! `joined:` summary per file, and exit 1 when any tree violates the
+//! join invariants — or when no request-correlated events exist at all
+//! (asking for `--join` on an uncorrelated trace is an error).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use stm_obs::jsonl::validate_jsonl;
+use stm_obs::jsonl::{join_requests, validate_jsonl};
 
 fn collect(path: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if path.is_dir() {
@@ -30,9 +38,11 @@ fn collect(path: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let join = args.iter().any(|a| a == "--join");
+    args.retain(|a| a != "--join");
     if args.is_empty() {
-        eprintln!("usage: tracecheck <file.jsonl | dir> ...");
+        eprintln!("usage: tracecheck [--join] <file.jsonl | dir> ...");
         return ExitCode::FAILURE;
     }
     let mut files = Vec::new();
@@ -48,6 +58,7 @@ fn main() -> ExitCode {
     }
     let mut bad = 0usize;
     let mut truncated = 0usize;
+    let mut joined_total = 0usize;
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -57,6 +68,45 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        if join {
+            match join_requests(&text) {
+                Ok(trees) => {
+                    for t in &trees {
+                        println!(
+                            "  req={} status={} events={} spans={} depth={} lanes={} root={}..{}",
+                            t.request_id,
+                            t.status.as_deref().unwrap_or("-"),
+                            t.events,
+                            t.spans,
+                            t.depth,
+                            t.lanes.join(","),
+                            t.root.0,
+                            t.root.1,
+                        );
+                    }
+                    println!(
+                        "joined: {}: {} request tree(s)",
+                        file.display(),
+                        trees.len()
+                    );
+                    joined_total += trees.len();
+                }
+                Err(errors) => {
+                    bad += 1;
+                    eprintln!(
+                        "{}: JOIN INVALID ({} problem(s))",
+                        file.display(),
+                        errors.len()
+                    );
+                    for e in errors.iter().take(20) {
+                        eprintln!("  {e}");
+                    }
+                    if errors.len() > 20 {
+                        eprintln!("  ... and {} more", errors.len() - 20);
+                    }
+                }
+            }
+        }
         match validate_jsonl(&text) {
             Ok(s) => {
                 println!(
@@ -88,6 +138,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if join && bad == 0 && joined_total == 0 {
+        eprintln!("tracecheck: --join found no request-correlated events in any file");
+        bad += 1;
     }
     if bad > 0 {
         eprintln!("tracecheck: {bad} of {} file(s) invalid", files.len());

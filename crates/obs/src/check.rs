@@ -10,6 +10,11 @@
 //! 3. **Closure** — no span is left open at the end of the recording.
 //! 4. **Causality** — an `End` never precedes its `Begin` in time.
 //!
+//! Request-correlated events (`req != 0`) form independent timelines:
+//! every invariant is keyed by `(lane, request)`, so absorbed request
+//! recordings (their own cycle clocks, starting at 0) coexist with the
+//! host trace's own timeline.
+//!
 //! When the ring dropped events (`dropped > 0`), the oldest `Begin`s may
 //! be gone, so only monotonicity (which survives arbitrary prefix loss)
 //! is checked.
@@ -24,38 +29,43 @@ use crate::recorder::TraceData;
 /// Returns `Ok(())` or the full list of violations (never panics).
 pub fn validate(data: &TraceData) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
-    let mut last_ts: BTreeMap<Lane, u64> = BTreeMap::new();
-    // Per-lane stack of open spans: (span id, name, begin ts).
-    let mut open: BTreeMap<Lane, Vec<(u32, &'static str, u64)>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(Lane, u64), u64> = BTreeMap::new();
+    // Per-(lane, request) stack of open spans: (span id, name, begin ts).
+    #[allow(clippy::type_complexity)]
+    let mut open: BTreeMap<(Lane, u64), Vec<(u32, &'static str, u64)>> = BTreeMap::new();
     let lossy = data.dropped > 0;
 
     for (i, e) in data.events.iter().enumerate() {
-        if let Some(&prev) = last_ts.get(&e.lane) {
+        if let Some(&prev) = last_ts.get(&(e.lane, e.req)) {
             if e.ts < prev {
                 errors.push(format!(
-                    "event {i} ({} {:?}): timestamp {} goes backwards on lane {} (prev {})",
+                    "event {i} ({} {:?}): timestamp {} goes backwards on lane {} req {} (prev {})",
                     e.name,
                     e.kind.as_str(),
                     e.ts,
                     e.lane.label(),
+                    e.req,
                     prev
                 ));
             }
         }
-        last_ts.insert(e.lane, e.ts);
+        last_ts.insert((e.lane, e.req), e.ts);
 
         if lossy {
             continue;
         }
         match e.kind {
             EventKind::Begin { span } => {
-                open.entry(e.lane).or_default().push((span, e.name, e.ts));
+                open.entry((e.lane, e.req))
+                    .or_default()
+                    .push((span, e.name, e.ts));
             }
-            EventKind::End { span } => match open.entry(e.lane).or_default().pop() {
+            EventKind::End { span } => match open.entry((e.lane, e.req)).or_default().pop() {
                 None => errors.push(format!(
-                    "event {i} ({}): End span {span} on lane {} with no open span",
+                    "event {i} ({}): End span {span} on lane {} req {} with no open span",
                     e.name,
-                    e.lane.label()
+                    e.lane.label(),
+                    e.req
                 )),
                 Some((opened, name, begin_ts)) => {
                     if opened != span {
@@ -79,10 +89,10 @@ pub fn validate(data: &TraceData) -> Result<(), Vec<String>> {
     }
 
     if !lossy {
-        for (lane, stack) in &open {
+        for ((lane, req), stack) in &open {
             for (span, name, ts) in stack {
                 errors.push(format!(
-                    "span {span} ({name}, begun at {ts}) on lane {} never closed",
+                    "span {span} ({name}, begun at {ts}) on lane {} req {req} never closed",
                     lane.label()
                 ));
             }
@@ -147,6 +157,25 @@ mod tests {
         r.end(Lane::Stage, Category::Stage, "a", 2, a);
         let errs = validate(&r.snapshot()).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("improper nesting")));
+    }
+
+    #[test]
+    fn requests_are_independent_timelines() {
+        use crate::event::SpanCtx;
+        let r = Recorder::enabled(64);
+        let a = r.with_ctx(SpanCtx::request(1));
+        let b = r.with_ctx(SpanCtx::request(2));
+        let s1 = a.begin(Lane::Stage, Category::Stage, "run", 100);
+        a.end(Lane::Stage, Category::Stage, "run", 110, s1);
+        // Request 2 restarts its clock at 0 on the same lane: legal,
+        // the timelines are independent.
+        let s2 = b.begin(Lane::Stage, Category::Stage, "run", 0);
+        b.end(Lane::Stage, Category::Stage, "run", 5, s2);
+        assert!(validate(&r.snapshot()).is_ok());
+        // But within one request, time still cannot go backwards.
+        a.instant(Lane::Stage, Category::Stage, "late", 50);
+        let errs = validate(&r.snapshot()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("req 1")));
     }
 
     #[test]

@@ -169,10 +169,44 @@ impl EventKind {
     }
 }
 
+/// Request correlation context carried by a [`crate::Recorder`] handle.
+///
+/// Every event pushed through a handle is stamped with the handle's
+/// request id, so a request's events can be reassembled across lanes
+/// (serve → resilient → kernel) after the fact. `request_id == 0` is
+/// the root context: not request-scoped, the pre-correlation behavior.
+///
+/// Events from different requests form *independent* timelines: lane
+/// monotonicity and span nesting hold per `(lane, request)` pair, and a
+/// request's kernel events keep their own cycle clock. See
+/// [`crate::jsonl::join_requests`] for the reassembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanCtx {
+    /// Originating request id; 0 means "not request-scoped".
+    pub request_id: u64,
+}
+
+impl SpanCtx {
+    /// The root (non-request) context.
+    pub fn root() -> Self {
+        SpanCtx { request_id: 0 }
+    }
+
+    /// A context correlated to request `id`.
+    pub fn request(id: u64) -> Self {
+        SpanCtx { request_id: id }
+    }
+
+    /// Whether this context is correlated to a request.
+    pub fn is_request(&self) -> bool {
+        self.request_id != 0
+    }
+}
+
 /// One cycle-stamped event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
-    /// Cycle timestamp (monotone non-decreasing per lane).
+    /// Cycle timestamp (monotone non-decreasing per lane and request).
     pub ts: u64,
     /// The lane (logical timeline) this event belongs to.
     pub lane: Lane,
@@ -180,6 +214,10 @@ pub struct TraceEvent {
     pub cat: Category,
     /// Event name (instruction mnemonic, phase name, stage name, ...).
     pub name: &'static str,
+    /// Originating request id (0 = not request-scoped); exporters omit
+    /// the field when 0, so traces without request correlation are
+    /// byte-identical to the pre-correlation format.
+    pub req: u64,
     /// The event payload.
     pub kind: EventKind,
 }

@@ -45,6 +45,12 @@ fn event_fields(e: &TraceEvent) -> String {
         esc(e.name),
         e.kind.as_str()
     );
+    // Request-correlated events carry their originating request id; the
+    // field is omitted when 0 so uncorrelated traces keep the pre-
+    // correlation byte format.
+    if e.req != 0 {
+        s.push_str(&format!(",\"req\":{}", e.req));
+    }
     match e.kind {
         EventKind::Begin { span } | EventKind::End { span } => {
             s.push_str(&format!(",\"span\":{span}"));
@@ -166,19 +172,33 @@ pub fn to_chrome_trace(data: &TraceData) -> String {
             e.cat.as_str(),
             esc(e.name)
         );
+        // Request-tagged events carry the id as an extra arg; the arg
+        // is absent when 0 so uncorrelated traces are byte-identical to
+        // the pre-correlation format.
+        let req = if e.req != 0 {
+            format!(",\"req\":{}", e.req)
+        } else {
+            String::new()
+        };
         let rec = match e.kind {
             EventKind::Begin { span } => {
-                format!("{{\"ph\":\"B\",{head},\"args\":{{\"span\":{span}}}}}")
+                format!("{{\"ph\":\"B\",{head},\"args\":{{\"span\":{span}{req}}}}}")
             }
             EventKind::End { span } => {
-                format!("{{\"ph\":\"E\",{head},\"args\":{{\"span\":{span}}}}}")
+                format!("{{\"ph\":\"E\",{head},\"args\":{{\"span\":{span}{req}}}}}")
             }
             EventKind::Complete { dur, elements } => format!(
-                "{{\"ph\":\"X\",{head},\"dur\":{dur},\"args\":{{\"elements\":{elements}}}}}"
+                "{{\"ph\":\"X\",{head},\"dur\":{dur},\"args\":{{\"elements\":{elements}{req}}}}}"
             ),
+            EventKind::Instant if e.req != 0 => {
+                format!(
+                    "{{\"ph\":\"i\",{head},\"s\":\"t\",\"args\":{{\"req\":{}}}}}",
+                    e.req
+                )
+            }
             EventKind::Instant => format!("{{\"ph\":\"i\",{head},\"s\":\"t\"}}"),
             EventKind::Sample { value } => format!(
-                "{{\"ph\":\"C\",{head},\"args\":{{\"value\":{}}}}}",
+                "{{\"ph\":\"C\",{head},\"args\":{{\"value\":{}{req}}}}}",
                 num(value)
             ),
         };
@@ -270,5 +290,29 @@ mod tests {
     #[test]
     fn escaping_handles_quotes() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn request_tag_is_emitted_only_when_nonzero() {
+        use crate::event::SpanCtx;
+        let r = Recorder::enabled(16);
+        r.instant(Lane::Serve, Category::Serve, "plain", 0);
+        let tagged = r.with_ctx(SpanCtx::request(0xbeef));
+        let s = tagged.begin(Lane::Stage, Category::Stage, "run", 1);
+        tagged.end(Lane::Stage, Category::Stage, "run", 2, s);
+        let snap = r.snapshot();
+
+        let jsonl = to_jsonl(&snap);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(!lines[1].contains("\"req\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"req\":48879"), "{}", lines[2]);
+
+        let chrome = to_chrome_trace(&snap);
+        assert!(chrome.contains("\"req\":48879"));
+        // Untagged traces keep the pre-correlation byte format.
+        let plain = Recorder::enabled(16);
+        plain.instant(Lane::Serve, Category::Serve, "plain", 0);
+        assert!(!to_jsonl(&plain.snapshot()).contains("req"));
+        assert!(!to_chrome_trace(&plain.snapshot()).contains("req"));
     }
 }

@@ -2,6 +2,14 @@
 //! `tracecheck` bin): re-parses the text with the first-party JSON
 //! parser and re-checks the structural invariants of [`crate::check`],
 //! plus kernel-level accounting when the trace contains stage spans.
+//!
+//! Request-correlated events (`"req"` field, absent means 0) form
+//! independent timelines: monotonicity and span nesting are keyed by
+//! `(tid, req)`, and the kernel accounting (exactly one `run` span,
+//! phase partition, fault counts) applies only to the uncorrelated
+//! (`req == 0`) portion of the trace — a server trace holds many
+//! absorbed request recordings, each with its own run span and clock.
+//! [`join_requests`] reassembles and validates those per-request trees.
 
 use std::collections::BTreeMap;
 
@@ -16,8 +24,10 @@ pub struct JsonlSummary {
     pub dropped: u64,
     /// Counters found in the trace, in file order.
     pub counters: Vec<(String, u64)>,
-    /// Number of kernel-run stage spans found.
+    /// Number of kernel-run stage spans found (uncorrelated portion).
     pub run_spans: usize,
+    /// Number of distinct request ids carried by events.
+    pub requests: usize,
 }
 
 fn req_u64(v: &Json, key: &str, line: usize, errors: &mut Vec<String>) -> u64 {
@@ -69,9 +79,13 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
     summary.dropped = req_u64(&meta, "dropped", 1, &mut errors);
     let lossy = summary.dropped > 0;
 
-    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut open: BTreeMap<u64, Vec<(u64, String, u64)>> = BTreeMap::new();
-    // Stage-span accounting: name -> (begin ts, end ts) for closed spans.
+    // Open spans per `(tid, request)` key: (span id, name, begin ts).
+    type OpenSpans = BTreeMap<(u64, u64), Vec<(u64, String, u64)>>;
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut open: OpenSpans = BTreeMap::new();
+    let mut request_ids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    // Stage-span accounting over the uncorrelated (req == 0) portion:
+    // name -> (begin ts, end ts) for closed spans.
     let mut stage_spans: Vec<(String, u64, u64)> = Vec::new();
     let mut stage_stack: Vec<(u64, String, u64)> = Vec::new();
     let mut phase_cycles: u64 = 0;
@@ -98,30 +112,38 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
                 let lane = req_str(&v, "lane", lineno, &mut errors).to_string();
                 let name = req_str(&v, "name", lineno, &mut errors).to_string();
                 let kind = req_str(&v, "kind", lineno, &mut errors).to_string();
-                if let Some(&prev) = last_ts.get(&tid) {
+                // Optional request correlation; absent means 0 (the
+                // uncorrelated host timeline).
+                let req = v.get("req").and_then(Json::as_u64).unwrap_or(0);
+                if req != 0 {
+                    request_ids.insert(req);
+                }
+                if let Some(&prev) = last_ts.get(&(tid, req)) {
                     if ts < prev {
                         errors.push(format!(
-                            "line {lineno}: timestamp {ts} goes backwards on lane {lane} (prev {prev})"
+                            "line {lineno}: timestamp {ts} goes backwards on lane {lane} req {req} (prev {prev})"
                         ));
                     }
                 }
-                last_ts.insert(tid, ts);
+                last_ts.insert((tid, req), ts);
                 match kind.as_str() {
                     "begin" => {
                         let span = req_u64(&v, "span", lineno, &mut errors);
                         if !lossy {
-                            open.entry(tid).or_default().push((span, name.clone(), ts));
+                            open.entry((tid, req))
+                                .or_default()
+                                .push((span, name.clone(), ts));
                         }
-                        if lane == "stage" {
+                        if lane == "stage" && req == 0 {
                             stage_stack.push((span, name, ts));
                         }
                     }
                     "end" => {
                         let span = req_u64(&v, "span", lineno, &mut errors);
                         if !lossy {
-                            match open.entry(tid).or_default().pop() {
+                            match open.entry((tid, req)).or_default().pop() {
                                 None => errors.push(format!(
-                                    "line {lineno}: End span {span} on lane {lane} with no open span"
+                                    "line {lineno}: End span {span} on lane {lane} req {req} with no open span"
                                 )),
                                 Some((opened, oname, bts)) => {
                                     if opened != span {
@@ -138,7 +160,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
                                 }
                             }
                         }
-                        if lane == "stage" {
+                        if lane == "stage" && req == 0 {
                             if let Some((_, sname, bts)) = stage_stack.pop() {
                                 stage_spans.push((sname, bts, ts));
                             }
@@ -146,13 +168,13 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
                     }
                     "complete" => {
                         let dur = req_u64(&v, "dur", lineno, &mut errors);
-                        if lane == "phase" {
+                        if lane == "phase" && req == 0 {
                             phase_cycles += dur;
                             saw_phase = true;
                         }
                     }
                     "instant" => {
-                        if lane == "fault" {
+                        if lane == "fault" && req == 0 {
                             fault_instants += 1;
                         }
                     }
@@ -184,11 +206,12 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
             summary.events
         ));
     }
+    summary.requests = request_ids.len();
     if !lossy {
-        for (tid, stack) in &open {
+        for ((tid, req), stack) in &open {
             for (span, name, ts) in stack {
                 errors.push(format!(
-                    "span {span} ({name}, begun at {ts}) on tid {tid} never closed"
+                    "span {span} ({name}, begun at {ts}) on tid {tid} req {req} never closed"
                 ));
             }
         }
@@ -229,6 +252,199 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
 
     if errors.is_empty() {
         Ok(summary)
+    } else {
+        Err(errors)
+    }
+}
+
+/// One reassembled request span tree (see [`join_requests`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTree {
+    /// The request id all events share.
+    pub request_id: u64,
+    /// Total events carrying this request id.
+    pub events: usize,
+    /// Closed spans in the tree.
+    pub spans: usize,
+    /// Maximum span nesting depth (by interval containment across
+    /// lanes; the `serve.request` root is depth 1).
+    pub depth: usize,
+    /// Distinct lane labels present, sorted.
+    pub lanes: Vec<String>,
+    /// `(begin, end)` of the `serve.request` root span.
+    pub root: (u64, u64),
+    /// Terminal status marker (`ok`, `degraded`, `failed`, ...), from
+    /// the `serve.request.<status>` instant, when present.
+    pub status: Option<String>,
+}
+
+/// Reassemble every request's span tree from a JSONL trace and
+/// validate its structure.
+///
+/// For each distinct request id the joined view must satisfy:
+///
+/// 1. per-`(tid, request)` timestamp monotonicity and LIFO span
+///    nesting with closure (inherited from [`validate_jsonl`] keying,
+///    re-checked here on the per-request slice);
+/// 2. exactly one `serve.request` root span on the `serve` lane;
+/// 3. every event of the request lies inside the root interval
+///    (`complete` events end inside it too);
+/// 4. every request that completed (status `ok` or `degraded`) spans
+///    the `serve`, `resil`, and kernel (`stage`) lanes — the full
+///    serve → resilient → kernel path is present in one tree.
+///
+/// Returns the trees sorted by request id, or the full list of
+/// violations. A trace with *no* request-correlated events yields an
+/// empty vector (not an error): the caller decides whether that is
+/// acceptable.
+pub fn join_requests(text: &str) -> Result<Vec<RequestTree>, Vec<String>> {
+    let mut errors = Vec::new();
+    // Parsed per-request event slices, in file order:
+    // (tid, lane, name, kind, ts, span, dur).
+    type Ev = (u64, String, String, String, u64, u64, u64);
+    let mut by_req: BTreeMap<u64, Vec<Ev>> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = Json::parse(line) else { continue };
+        if v.get("type").and_then(Json::as_str) != Some("event") {
+            continue;
+        }
+        let req = v.get("req").and_then(Json::as_u64).unwrap_or(0);
+        if req == 0 {
+            continue;
+        }
+        let mut errs = Vec::new();
+        let lineno = idx + 1;
+        let ev: Ev = (
+            req_u64(&v, "tid", lineno, &mut errs),
+            req_str(&v, "lane", lineno, &mut errs).to_string(),
+            req_str(&v, "name", lineno, &mut errs).to_string(),
+            req_str(&v, "kind", lineno, &mut errs).to_string(),
+            req_u64(&v, "ts", lineno, &mut errs),
+            v.get("span").and_then(Json::as_u64).unwrap_or(0),
+            v.get("dur").and_then(Json::as_u64).unwrap_or(0),
+        );
+        errors.extend(errs);
+        by_req.entry(req).or_default().push(ev);
+    }
+
+    let mut trees = Vec::new();
+    for (req, events) in &by_req {
+        // Per-lane LIFO reassembly of the request's own timeline.
+        let mut open: BTreeMap<u64, Vec<(u64, String, u64)>> = BTreeMap::new();
+        // Closed spans: (lane, name, begin, end).
+        let mut spans: Vec<(String, String, u64, u64)> = Vec::new();
+        let mut lanes: Vec<String> = Vec::new();
+        let mut status = None;
+        for (tid, lane, name, kind, ts, span, _dur) in events {
+            if !lanes.contains(lane) {
+                lanes.push(lane.clone());
+            }
+            match kind.as_str() {
+                "begin" => open
+                    .entry(*tid)
+                    .or_default()
+                    .push((*span, name.clone(), *ts)),
+                "end" => match open.entry(*tid).or_default().pop() {
+                    None => errors.push(format!(
+                        "req {req}: end of span {span} ({name}) on lane {lane} with no open span"
+                    )),
+                    Some((opened, oname, bts)) => {
+                        if opened != *span {
+                            errors.push(format!(
+                                "req {req}: end span {span} ({name}) does not match innermost \
+                                 open span {opened} ({oname}) on lane {lane}"
+                            ));
+                        }
+                        if *ts < bts {
+                            errors.push(format!(
+                                "req {req}: span {span} ({name}) ends at {ts} before begin {bts}"
+                            ));
+                        }
+                        spans.push((lane.clone(), oname, bts, *ts));
+                    }
+                },
+                "instant" => {
+                    if let Some(s) = name.strip_prefix("serve.request.") {
+                        status = Some(s.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (tid, stack) in &open {
+            for (span, name, ts) in stack {
+                errors.push(format!(
+                    "req {req}: span {span} ({name}, begun at {ts}) on tid {tid} never closed"
+                ));
+            }
+        }
+
+        // Exactly one serve.request root, containing everything.
+        let roots: Vec<&(String, String, u64, u64)> = spans
+            .iter()
+            .filter(|(lane, name, _, _)| lane == "serve" && name == "serve.request")
+            .collect();
+        let root = match roots.as_slice() {
+            [one] => (one.2, one.3),
+            other => {
+                errors.push(format!(
+                    "req {req}: expected exactly one serve.request root span, found {}",
+                    other.len()
+                ));
+                (0, u64::MAX)
+            }
+        };
+        for e in events {
+            let (ts, dur) = (e.4, e.6);
+            if ts < root.0 || ts.saturating_add(dur) > root.1 {
+                errors.push(format!(
+                    "req {req}: event at ts {ts} (+{dur}) escapes the serve.request root \
+                     interval [{}, {}]",
+                    root.0, root.1
+                ));
+            }
+        }
+
+        // Completed requests must span the full serve → resil → kernel
+        // path in one joined tree.
+        if matches!(status.as_deref(), Some("ok") | Some("degraded")) {
+            for required in ["serve", "resil", "stage"] {
+                if !lanes.iter().any(|l| l == required) {
+                    errors.push(format!(
+                        "req {req}: completed ({}) but lane {required:?} is missing from its tree",
+                        status.as_deref().unwrap_or("?")
+                    ));
+                }
+            }
+        }
+
+        // Nesting depth by interval containment across lanes.
+        let mut depth = 0usize;
+        for (_, _, b, e) in &spans {
+            let d = 1 + spans
+                .iter()
+                .filter(|(_, _, ob, oe)| (ob < b && e <= oe) || (ob <= b && e < oe))
+                .count();
+            depth = depth.max(d);
+        }
+
+        lanes.sort();
+        trees.push(RequestTree {
+            request_id: *req,
+            events: events.len(),
+            spans: spans.len(),
+            depth,
+            lanes,
+            root,
+            status,
+        });
+    }
+
+    if errors.is_empty() {
+        Ok(trees)
     } else {
         Err(errors)
     }
@@ -313,5 +529,95 @@ mod tests {
         let errs =
             validate_jsonl("{\"type\":\"meta\",\"events\":0,\"dropped\":0}\nnot json").unwrap_err();
         assert!(!errs.is_empty());
+    }
+
+    /// Build a server-like trace: untagged serve ticks on a sequence
+    /// clock, plus two absorbed request subtrees with their own cycle
+    /// clocks (serve.request root wrapping resil + kernel spans).
+    fn served_trace(statuses: &[(u64, &'static str, bool)]) -> String {
+        use crate::event::SpanCtx;
+        let main = Recorder::enabled(256);
+        let mut seq = 0u64;
+        for (id, status, with_kernel) in statuses {
+            main.instant(Lane::Serve, Category::Serve, "serve.enqueue", seq);
+            seq += 1;
+            let sub = Recorder::enabled(128).with_ctx(SpanCtx::request(*id));
+            let root = sub.begin(Lane::Serve, Category::Serve, "serve.request", 0);
+            let slot = sub.begin(Lane::Resil, Category::Resil, "resil.slot", 0);
+            if *with_kernel {
+                let run = sub.begin(Lane::Stage, Category::Stage, "run", 1);
+                sub.complete(Lane::Phase, Category::Phase, "histogram", 1, 9, 0);
+                sub.end(Lane::Stage, Category::Stage, "run", 10, run);
+            }
+            sub.end(Lane::Resil, Category::Resil, "resil.slot", 11, slot);
+            let status_name: &'static str = match *status {
+                "ok" => "serve.request.ok",
+                "degraded" => "serve.request.degraded",
+                _ => "serve.request.failed",
+            };
+            sub.instant(Lane::Serve, Category::Serve, status_name, 11);
+            sub.end(Lane::Serve, Category::Serve, "serve.request", 12, root);
+            main.absorb(&sub.snapshot(), 0);
+            main.instant(Lane::Serve, Category::Serve, "serve.commit", seq);
+            seq += 1;
+        }
+        to_jsonl(&main.snapshot())
+    }
+
+    #[test]
+    fn server_trace_with_request_subtrees_validates() {
+        let text = served_trace(&[(7, "ok", true), (9, "degraded", true)]);
+        let s = validate_jsonl(&text).unwrap();
+        assert_eq!(s.requests, 2);
+        // Request subtrees carry run spans but they are correlated, so
+        // the uncorrelated kernel accounting must not fire.
+        assert_eq!(s.run_spans, 0);
+    }
+
+    #[test]
+    fn join_reassembles_complete_request_trees() {
+        let text = served_trace(&[(7, "ok", true), (9, "degraded", true)]);
+        let trees = join_requests(&text).unwrap();
+        assert_eq!(trees.len(), 2);
+        let t = &trees[0];
+        assert_eq!(t.request_id, 7);
+        assert_eq!(t.status.as_deref(), Some("ok"));
+        assert_eq!(t.root, (0, 12));
+        assert_eq!(t.spans, 3); // serve.request, resil.slot, run
+        assert_eq!(t.depth, 3);
+        assert_eq!(
+            t.lanes,
+            vec![
+                "phase".to_string(),
+                "resil".into(),
+                "serve".into(),
+                "stage".into()
+            ]
+        );
+        assert_eq!(trees[1].request_id, 9);
+        assert_eq!(trees[1].status.as_deref(), Some("degraded"));
+    }
+
+    #[test]
+    fn join_rejects_completed_request_without_kernel_lane() {
+        let text = served_trace(&[(7, "ok", false)]);
+        let errs = join_requests(&text).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("\"stage\" is missing")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn join_accepts_failed_request_without_kernel_lane() {
+        let text = served_trace(&[(7, "failed", false)]);
+        let trees = join_requests(&text).unwrap();
+        assert_eq!(trees[0].status.as_deref(), Some("failed"));
+    }
+
+    #[test]
+    fn join_of_uncorrelated_trace_is_empty() {
+        let trees = join_requests(&kernel_like_trace()).unwrap();
+        assert!(trees.is_empty());
     }
 }

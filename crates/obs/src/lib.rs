@@ -17,6 +17,10 @@
 //!   JSONL export; the logic behind the `stmprof` bin;
 //! * [`jsonl`] — re-validation of exported JSONL text (the logic
 //!   behind the `tracecheck` bin);
+//! * [`telemetry`] — the live metrics plane: a lock-striped
+//!   [`telemetry::MetricsRegistry`] (counters, gauges, sliding-window
+//!   histograms) merged deterministically across worker shards, with a
+//!   sorted Prometheus-compatible text exposition;
 //! * [`json`] — a minimal JSON parser used to re-read exports.
 //!
 //! # Example
@@ -47,7 +51,9 @@ pub mod jsonl;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
+pub mod telemetry;
 
-pub use event::{Category, EventKind, Lane, TraceEvent};
+pub use event::{Category, EventKind, Lane, SpanCtx, TraceEvent};
 pub use metrics::{Histogram, Metrics};
 pub use recorder::{Recorder, TraceData, DEFAULT_CAPACITY};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot};

@@ -3,15 +3,23 @@
 
 use std::collections::BTreeMap;
 
+/// Number of buckets: zeros, one bucket per power-of-two upper bound
+/// `2^0 ..= 2^63`, and one overflow bucket for `(2^63, u64::MAX]`.
+const BUCKETS: usize = 66;
+
 /// A log2-bucketed histogram of `u64` observations.
 ///
-/// Bucket `i` counts observations `v` with `floor(log2(v)) == i - 1`
-/// (bucket 0 counts `v == 0`). Cheap, allocation-free after creation,
-/// and deterministic — good enough to see instruction-length and span
-/// shape distributions without pulling in a dependency.
+/// Bucket 0 counts `v == 0`; bucket `i` (`1 <= i <= 64`) counts
+/// observations in `(2^(i-2), 2^(i-1)]` — each bucket's upper bound is a
+/// power of two and is **inclusive**, so a sample equal to a bucket's
+/// top bound lands in that bucket, never the next one up. Bucket 65 is
+/// the overflow bucket for `(2^63, u64::MAX]`. Cheap, allocation-free
+/// after creation, and deterministic — good enough to see
+/// instruction-length and span shape distributions without pulling in a
+/// dependency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 65],
+    buckets: [u64; BUCKETS],
     count: u64,
     sum: u64,
     min: u64,
@@ -21,7 +29,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; 65],
+            buckets: [0; BUCKETS],
             count: 0,
             sum: 0,
             min: 0,
@@ -31,14 +39,31 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Record one observation.
+    /// Bucket index for one observation: `ceil(log2(v)) + 1` with zeros
+    /// in bucket 0 and `(2^63, u64::MAX]` in the overflow bucket.
+    fn bucket_index(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 65 - (v - 1).leading_zeros() as usize,
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`0` for the zero bucket,
+    /// `u64::MAX` for the overflow bucket).
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=64 => 1u64 << (i - 1),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Record one observation. Count and sum saturate rather than wrap,
+    /// so a long-lived histogram (a live telemetry window) degrades to a
+    /// pinned maximum instead of corrupting its aggregates.
     pub fn observe(&mut self, value: u64) {
-        let b = if value == 0 {
-            0
-        } else {
-            64 - value.leading_zeros() as usize
-        };
-        self.buckets[b] += 1;
+        let b = Self::bucket_index(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -46,8 +71,8 @@ impl Histogram {
             self.min = self.min.min(value);
             self.max = self.max.max(value);
         }
-        self.count += 1;
-        self.sum += value;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Number of observations.
@@ -97,21 +122,35 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Bucket 0 holds only zeros; bucket i (i >= 1) holds
-                // values in [2^(i-1), 2^i - 1]. Clamp the upper bound
-                // to the observed max so p100 is exact and estimates
-                // never exceed any real observation.
-                let upper = if i == 0 {
-                    0
-                } else if i >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
-                return Some(upper.min(self.max));
+                // Clamp the bucket's inclusive upper bound to the
+                // observed max so p100 is exact and estimates never
+                // exceed any real observation.
+                return Some(Self::bucket_upper(i).min(self.max));
             }
         }
         Some(self.max)
+    }
+
+    /// Merge another histogram into this one: bucket counts, count and
+    /// sum saturating-add; min/max widen. Merging is associative and
+    /// commutative, so per-shard histograms fold into one aggregate in
+    /// any order with the same result.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
@@ -146,6 +185,15 @@ impl Metrics {
             .observe(value);
     }
 
+    /// Merge a whole histogram into the histogram `name` (creating it
+    /// empty), via [`Histogram::merge`].
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Current value of counter `name`, 0 if absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -176,11 +224,26 @@ mod tests {
         assert_eq!(h.sum(), 1034);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 1024);
-        // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1024 -> 11.
+        // 0 -> bucket 0; 1 -> 1; 2 -> 2; 3,4 -> 3 (upper bound 4);
+        // 1024 -> 11 (upper bound 1024, inclusive).
         assert_eq!(
             h.nonzero_buckets(),
-            vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]
+            vec![(0, 1), (1, 1), (2, 1), (3, 2), (11, 1)]
         );
+    }
+
+    #[test]
+    fn sample_on_top_bucket_bound_stays_in_that_bucket() {
+        // A sample equal to a bucket's inclusive upper bound must land
+        // in that bucket, not the next one up — in particular 2^63 (the
+        // top regular bound) must not spill into the overflow bucket.
+        let mut h = Histogram::default();
+        h.observe(1u64 << 63);
+        assert_eq!(h.nonzero_buckets(), vec![(64, 1)]);
+        assert_eq!(Histogram::bucket_upper(64), 1u64 << 63);
+        h.observe((1u64 << 63) + 1);
+        assert_eq!(h.nonzero_buckets(), vec![(64, 1), (65, 1)]);
+        assert_eq!(Histogram::bucket_upper(65), u64::MAX);
     }
 
     #[test]
@@ -203,28 +266,129 @@ mod tests {
     #[test]
     fn percentile_uses_bucket_upper_bounds() {
         let mut h = Histogram::default();
-        // 100 observations: 50 of value 3 (bucket 2), 50 of 1000 (bucket 10).
+        // 100 observations: 50 of value 3 (bucket 3), 50 of 1000 (bucket 11).
         for _ in 0..50 {
             h.observe(3);
         }
         for _ in 0..50 {
             h.observe(1000);
         }
-        assert_eq!(h.percentile(50), Some(3)); // bucket 2 upper bound = 3
-        assert_eq!(h.percentile(95), Some(1000)); // bucket 10 upper bound 1023, clamped to max
+        assert_eq!(h.percentile(50), Some(4)); // bucket 3 upper bound = 4
+        assert_eq!(h.percentile(95), Some(1000)); // bucket 11 upper bound 1024, clamped to max
         assert_eq!(h.percentile(100), Some(h.max()));
-        assert_eq!(h.percentile(0), Some(3)); // rank clamps to 1
+        assert_eq!(h.percentile(0), Some(4)); // rank clamps to 1
     }
 
     #[test]
     fn percentile_of_saturated_top_bucket() {
-        // A value in bucket 64 (top bit set) must not overflow the
+        // A value in the overflow bucket must not overflow the
         // upper-bound shift; the estimate clamps to the observed max.
         let mut h = Histogram::default();
         h.observe(u64::MAX);
         assert_eq!(h.percentile(50), Some(u64::MAX));
         assert_eq!(h.percentile(100), Some(u64::MAX));
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_observation() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for v in [0, 1, 7, 64, 1000, u64::MAX] {
+            a.observe(v);
+            all.observe(v);
+        }
+        for v in [2, 3, 64, 4096] {
+            b.observe(v);
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = Histogram::default();
+        a.observe(u64::MAX);
+        a.observe(u64::MAX);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), u64::MAX); // saturated, not wrapped
+        assert_eq!(a.nonzero_buckets(), vec![(65, 4)]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::default();
+        for v in [5, 9, 130] {
+            a.observe(v);
+        }
+        let orig = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, orig);
+        let mut empty = Histogram::default();
+        empty.merge(&orig);
+        assert_eq!(empty, orig);
+    }
+
+    /// Property test (hand-rolled deterministic generator): percentiles
+    /// over two merged shards equal percentiles over the concatenated
+    /// sample stream exactly, and both stay within bucket resolution
+    /// (at most 2x) of the true rank-order percentile.
+    #[test]
+    fn merge_percentiles_match_concatenated_within_bucket_resolution() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            // SplitMix64 step — deterministic across platforms.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 200) as usize;
+            let split = next() as usize % (n + 1);
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix magnitudes: small, medium, and full-range values.
+                let v = match next() % 4 {
+                    0 => next() % 16,
+                    1 => next() % 4096,
+                    2 => next() % 1_000_000,
+                    _ => next(),
+                };
+                samples.push(v);
+            }
+            let mut left = Histogram::default();
+            let mut right = Histogram::default();
+            let mut concat = Histogram::default();
+            for (i, &v) in samples.iter().enumerate() {
+                if i < split {
+                    left.observe(v);
+                } else {
+                    right.observe(v);
+                }
+                concat.observe(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, concat, "trial {trial}: merged != concatenated");
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for p in [0u64, 25, 50, 90, 95, 99, 100] {
+                let est = left.percentile(p).unwrap();
+                assert_eq!(est, concat.percentile(p).unwrap(), "trial {trial} p{p}");
+                let rank = (p * n as u64).div_ceil(100).max(1) as usize;
+                let truth = sorted[rank - 1];
+                assert!(est >= truth, "trial {trial} p{p}: {est} < true {truth}");
+                assert!(
+                    est <= truth.saturating_mul(2).max(truth),
+                    "trial {trial} p{p}: {est} > 2x true {truth}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -187,15 +187,25 @@ impl KernelProfile {
     /// Profile a JSONL export (the `tracecheck` input format). Produces
     /// exactly the same profile as [`KernelProfile::from_trace`] on the
     /// snapshot the export came from.
+    ///
+    /// A *final* line that fails to parse is tolerated as a torn tail
+    /// (a writer killed mid-append — the crash scenario the flight
+    /// recorder exists for); mid-file corruption is still an error.
     pub fn from_jsonl(kernel: &str, text: &str) -> Result<KernelProfile, String> {
         let mut dropped = 0u64;
         let mut phases: Vec<(String, u64)> = Vec::new();
         let mut counters: Vec<(String, u64)> = Vec::new();
-        for (idx, line) in text.lines().enumerate() {
+        let lines: Vec<&str> = text.lines().collect();
+        let last = lines.len().saturating_sub(1);
+        for (idx, line) in lines.into_iter().enumerate() {
             if line.is_empty() {
                 continue;
             }
-            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            let v = match Json::parse(line) {
+                Ok(v) => v,
+                Err(_) if idx == last => break, // torn tail
+                Err(e) => return Err(format!("line {}: {e}", idx + 1)),
+            };
             match v.get("type").and_then(Json::as_str) {
                 Some("meta") => {
                     dropped = v.get("dropped").and_then(Json::as_u64).unwrap_or(0);
@@ -606,6 +616,19 @@ mod tests {
         let first_a = folded.find("m.a;").unwrap();
         let first_b = folded.find("m.b;").unwrap();
         assert!(first_a < first_b);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_only_at_the_end() {
+        let data = kernel_like(100);
+        let mut text = to_jsonl(&data);
+        text.push_str("{\"type\":\"counter\",\"name\":\"x"); // killed mid-append
+        let p = KernelProfile::from_jsonl("k", &text).unwrap();
+        assert_eq!(p.cycles, 100);
+        assert!(p.check_conservation().is_ok());
+        // The same corruption mid-file is still an error.
+        let broken = text.replacen("\"type\":\"meta\"", "\"type\":", 1);
+        assert!(KernelProfile::from_jsonl("k", &broken).is_err());
     }
 
     #[test]

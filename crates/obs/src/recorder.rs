@@ -3,10 +3,10 @@
 //! every method is a branch on a `None` and returns immediately, so
 //! instrumented code pays (almost) nothing when tracing is off.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use crate::event::{Category, EventKind, Lane, TraceEvent};
+use crate::event::{Category, EventKind, Lane, SpanCtx, TraceEvent};
 use crate::metrics::{Histogram, Metrics};
 
 /// Default event-ring capacity used by [`Recorder::enabled_default`].
@@ -18,6 +18,7 @@ struct Inner {
     capacity: usize,
     dropped: u64,
     next_span: u32,
+    max_ts: u64,
     metrics: Metrics,
 }
 
@@ -27,6 +28,7 @@ impl Inner {
             self.events.pop_front();
             self.dropped += 1;
         }
+        self.max_ts = self.max_ts.max(ev.ts);
         self.events.push_back(ev);
     }
 }
@@ -36,17 +38,26 @@ impl Inner {
 /// harness cloning its execution context per attempt) and every layer
 /// writes into one trace.
 ///
+/// Each *handle* additionally carries a [`SpanCtx`]: every event pushed
+/// through the handle is stamped with the handle's request id, while
+/// clones made with [`Recorder::with_ctx`] share the same ring under a
+/// different correlation context.
+///
 /// The disabled recorder ([`Recorder::disabled`], also the `Default`)
 /// carries no allocation and ignores every call.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Mutex<Inner>>>,
+    ctx: SpanCtx,
 }
 
 impl Recorder {
     /// A no-op recorder: records nothing, allocates nothing.
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            ctx: SpanCtx::root(),
+        }
     }
 
     /// A live recorder with an event ring of `capacity` (oldest events
@@ -58,8 +69,10 @@ impl Recorder {
                 capacity: capacity.max(1),
                 dropped: 0,
                 next_span: 1,
+                max_ts: 0,
                 metrics: Metrics::default(),
             }))),
+            ctx: SpanCtx::root(),
         }
     }
 
@@ -71,6 +84,26 @@ impl Recorder {
     /// Whether this recorder actually records.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A handle over the same ring that stamps every event with `ctx`
+    /// (a no-op on a disabled recorder, which stays disabled).
+    pub fn with_ctx(&self, ctx: SpanCtx) -> Recorder {
+        Recorder {
+            inner: self.inner.clone(),
+            ctx,
+        }
+    }
+
+    /// This handle's correlation context.
+    pub fn span_ctx(&self) -> SpanCtx {
+        self.ctx
+    }
+
+    /// Largest timestamp recorded so far (0 when disabled or empty).
+    pub fn max_ts(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner.lock().unwrap().max_ts
     }
 
     /// Open a span on `lane` at cycle `ts`. Returns the span id to pass
@@ -85,6 +118,7 @@ impl Recorder {
             lane,
             cat,
             name,
+            req: self.ctx.request_id,
             kind: EventKind::Begin { span },
         });
         span
@@ -98,6 +132,7 @@ impl Recorder {
             lane,
             cat,
             name,
+            req: self.ctx.request_id,
             kind: EventKind::End { span },
         });
     }
@@ -118,6 +153,7 @@ impl Recorder {
             lane,
             cat,
             name,
+            req: self.ctx.request_id,
             kind: EventKind::Complete { dur, elements },
         });
     }
@@ -130,6 +166,7 @@ impl Recorder {
             lane,
             cat,
             name,
+            req: self.ctx.request_id,
             kind: EventKind::Instant,
         });
     }
@@ -142,6 +179,7 @@ impl Recorder {
             lane,
             cat: Category::Sample,
             name,
+            req: self.ctx.request_id,
             kind: EventKind::Sample { value },
         });
     }
@@ -156,6 +194,52 @@ impl Recorder {
     pub fn observe(&self, name: &str, value: u64) {
         let Some(inner) = &self.inner else { return };
         inner.lock().unwrap().metrics.observe(name, value);
+    }
+
+    /// Append another recording into this ring as one atomic block.
+    ///
+    /// Every event's timestamp is shifted by `offset` (saturating), its
+    /// request id is preserved, and span ids are remapped into this
+    /// ring's id space so absorbed spans never collide with native
+    /// ones. Counters add and histograms merge. The single lock
+    /// acquisition keeps the absorbed events contiguous even when other
+    /// handles are recording concurrently.
+    ///
+    /// This is how a request-scoped recording (its own cycle clock,
+    /// starting at 0) folds into a long-lived server trace: per-lane
+    /// monotonicity holds per `(lane, request)` pair, so shifted
+    /// request timelines coexist with the server's own sequence-stamped
+    /// events.
+    pub fn absorb(&self, data: &TraceData, offset: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().unwrap();
+        let mut remap: BTreeMap<u32, u32> = BTreeMap::new();
+        for e in &data.events {
+            let kind = match e.kind {
+                EventKind::Begin { span } => {
+                    let id = g.next_span;
+                    g.next_span += 1;
+                    remap.insert(span, id);
+                    EventKind::Begin { span: id }
+                }
+                EventKind::End { span } => EventKind::End {
+                    span: remap.get(&span).copied().unwrap_or(0),
+                },
+                k => k,
+            };
+            g.push(TraceEvent {
+                ts: e.ts.saturating_add(offset),
+                kind,
+                ..*e
+            });
+        }
+        g.dropped += data.dropped;
+        for (name, v) in &data.counters {
+            g.metrics.add(name, *v);
+        }
+        for (name, h) in &data.histograms {
+            g.metrics.merge_histogram(name, h);
+        }
     }
 
     /// Snapshot the recording so far (events in arrival order, counters
@@ -275,5 +359,71 @@ mod tests {
         assert_ne!(a, 0);
         assert_ne!(b, 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ctx_handles_stamp_requests_and_share_the_ring() {
+        use crate::event::SpanCtx;
+        let root = Recorder::enabled(16);
+        let tagged = root.with_ctx(SpanCtx::request(42));
+        root.instant(Lane::Serve, Category::Serve, "a", 0);
+        tagged.instant(Lane::Serve, Category::Serve, "b", 0);
+        assert_eq!(tagged.span_ctx().request_id, 42);
+        let snap = root.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].req, 0);
+        assert_eq!(snap.events[1].req, 42);
+        // A disabled recorder stays disabled under with_ctx.
+        assert!(!Recorder::disabled()
+            .with_ctx(SpanCtx::request(1))
+            .is_enabled());
+    }
+
+    #[test]
+    fn max_ts_tracks_the_largest_timestamp() {
+        let r = Recorder::enabled(16);
+        assert_eq!(r.max_ts(), 0);
+        r.instant(Lane::Fault, Category::Fault, "f", 9);
+        r.instant(Lane::Serve, Category::Serve, "s", 3);
+        assert_eq!(r.max_ts(), 9);
+        assert_eq!(Recorder::disabled().max_ts(), 0);
+    }
+
+    #[test]
+    fn absorb_shifts_remaps_and_merges() {
+        use crate::event::SpanCtx;
+        let main = Recorder::enabled(64);
+        let native = main.begin(Lane::Serve, Category::Serve, "outer", 0);
+
+        let sub = Recorder::enabled(64).with_ctx(SpanCtx::request(7));
+        let s = sub.begin(Lane::Stage, Category::Stage, "run", 0);
+        sub.complete(Lane::Mem(0), Category::Mem, "v_ld", 1, 4, 16);
+        sub.end(Lane::Stage, Category::Stage, "run", 6, s);
+        sub.add("mem.words", 16);
+        sub.observe("vector_length", 16);
+
+        main.absorb(&sub.snapshot(), 100);
+        main.end(Lane::Serve, Category::Serve, "outer", 1, native);
+
+        let snap = main.snapshot();
+        assert_eq!(snap.events.len(), 5);
+        // Absorbed events: shifted, request-tagged, span ids remapped
+        // past the native span.
+        let run_begin = &snap.events[1];
+        assert_eq!(run_begin.ts, 100);
+        assert_eq!(run_begin.req, 7);
+        let EventKind::Begin { span: remapped } = run_begin.kind else {
+            panic!("expected begin")
+        };
+        assert_ne!(remapped, native);
+        assert_ne!(remapped, s);
+        let run_end = &snap.events[3];
+        assert_eq!(run_end.kind, EventKind::End { span: remapped });
+        assert_eq!(run_end.ts, 106);
+        assert_eq!(snap.counter("mem.words"), 16);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+        // Absorbing into a disabled recorder is a no-op.
+        Recorder::disabled().absorb(&snap, 0);
     }
 }

@@ -1,0 +1,396 @@
+//! Live telemetry plane: a lock-striped metrics registry with
+//! counters, gauges, and sliding-window histograms, plus a stable,
+//! sorted, Prometheus-compatible text exposition.
+//!
+//! Unlike the [`crate::recorder::Recorder`] event ring (post-hoc,
+//! byte-deterministic traces), the registry is meant to be read *while
+//! the workload runs*: `stmserve` workers update their own shard
+//! in-band (one mutex per shard, so workers never contend with each
+//! other), and a scrape merges all shards deterministically — counters
+//! and window histograms fold with commutative, associative operations,
+//! so the merged snapshot is independent of shard count and fold order.
+//!
+//! Time is always passed in explicitly (seconds since an arbitrary
+//! epoch). The registry never reads a clock, which keeps every code
+//! path deterministic under test and keeps the zero-perturbation
+//! guarantee trivial: nothing here touches kernel state, cycle
+//! accounting, or digests.
+//!
+//! The exposition grammar (see DESIGN.md §15) is a subset of the
+//! Prometheus text format: `# TYPE` lines, `counter`/`gauge`/`summary`
+//! families, `{quantile="…"}` labels on summaries, families sorted by
+//! metric name, integer values. A scrape of the same snapshot is
+//! byte-identical regardless of how the registry was filled.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metrics::Histogram;
+
+/// One stripe of the registry: every mutation touches exactly one
+/// shard, so concurrent workers on distinct shards never contend.
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    windows: BTreeMap<String, Window>,
+}
+
+/// A sliding-window histogram: one slot per second over the window,
+/// plus cumulative totals that never expire (for monotone `_count` /
+/// `_sum` exposition).
+struct Window {
+    /// Ring of per-second slots, indexed by `sec % slots.len()`; each
+    /// slot remembers which absolute second it holds so stale slots
+    /// are reset lazily on write and skipped on read.
+    slots: Vec<(u64, Histogram)>,
+    total: Histogram,
+}
+
+impl Window {
+    fn new(window_secs: u64) -> Self {
+        Window {
+            slots: (0..window_secs.max(1))
+                .map(|_| (u64::MAX, Histogram::default()))
+                .collect(),
+            total: Histogram::default(),
+        }
+    }
+
+    fn observe(&mut self, value: u64, now_secs: u64) {
+        let n = self.slots.len() as u64;
+        let slot = &mut self.slots[(now_secs % n) as usize];
+        if slot.0 != now_secs {
+            *slot = (now_secs, Histogram::default());
+        }
+        slot.1.observe(value);
+        self.total.observe(value);
+    }
+
+    /// Merge the slots covering `(now - window, now]` into one
+    /// histogram.
+    fn merged(&self, now_secs: u64) -> Histogram {
+        let n = self.slots.len() as u64;
+        let mut out = Histogram::default();
+        for (sec, hist) in &self.slots {
+            if *sec <= now_secs && sec.saturating_add(n) > now_secs {
+                out.merge(hist);
+            }
+        }
+        out
+    }
+}
+
+/// A merged, immutable view of the registry at one instant.
+///
+/// All maps iterate in name order, so everything derived from a
+/// snapshot (exposition text, tables) is deterministic. The fields are
+/// public so other producers (e.g. `stmsoak`) can assemble a snapshot
+/// from their own aggregates and reuse [`render_prometheus`].
+#[derive(Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters, summed across shards.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges, summed across shards (by convention each gauge has a
+    /// single writing shard, so the sum is just that shard's value).
+    pub gauges: BTreeMap<String, u64>,
+    /// Window summaries: the merged last-N-seconds histogram plus the
+    /// cumulative (never-expiring) totals.
+    pub windows: BTreeMap<String, WindowSummary>,
+}
+
+/// Snapshot of one sliding-window histogram.
+pub struct WindowSummary {
+    /// Observations from the last N seconds, merged across shards.
+    pub window: Histogram,
+    /// Cumulative observation count since startup (monotone).
+    pub total_count: u64,
+    /// Cumulative observation sum since startup (monotone).
+    pub total_sum: u64,
+}
+
+/// Lock-striped live metrics registry.
+///
+/// Writers pick a shard (their worker index); readers merge all shards.
+/// Mutations are wait-free with respect to other shards and O(log n)
+/// in the number of metric names within a shard.
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<Shard>>,
+    window_secs: u64,
+}
+
+impl MetricsRegistry {
+    /// Create a registry with `shards` stripes (clamped to at least 1)
+    /// and a sliding window of `window_secs` seconds (clamped to at
+    /// least 1) for `observe`d histograms.
+    pub fn new(shards: usize, window_secs: u64) -> Self {
+        MetricsRegistry {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            window_secs: window_secs.max(1),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Width of the sliding window in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    fn shard(&self, shard: usize) -> std::sync::MutexGuard<'_, Shard> {
+        let s = &self.shards[shard % self.shards.len()];
+        s.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `delta` to counter `name` on `shard` (shard indexes wrap).
+    pub fn add(&self, shard: usize, name: &str, delta: u64) {
+        let mut s = self.shard(shard);
+        let c = s.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Set gauge `name` on `shard` to `value`. Gauges merge by
+    /// summation, so keep each gauge on a single writing shard.
+    pub fn gauge(&self, shard: usize, name: &str, value: u64) {
+        self.shard(shard).gauges.insert(name.to_string(), value);
+    }
+
+    /// Ensure the sliding-window histogram `name` exists on `shard`
+    /// without recording anything. Declaring every family up front
+    /// keeps the set of exposed metric names byte-stable from the very
+    /// first scrape (an undeclared window only appears after its first
+    /// observation).
+    pub fn declare_window(&self, shard: usize, name: &str) {
+        let window = self.window_secs;
+        self.shard(shard)
+            .windows
+            .entry(name.to_string())
+            .or_insert_with(|| Window::new(window));
+    }
+
+    /// Record `value` into the sliding-window histogram `name` on
+    /// `shard`, stamped with the caller's clock `now_secs`.
+    pub fn observe(&self, shard: usize, name: &str, value: u64, now_secs: u64) {
+        let window = self.window_secs;
+        self.shard(shard)
+            .windows
+            .entry(name.to_string())
+            .or_insert_with(|| Window::new(window))
+            .observe(value, now_secs);
+    }
+
+    /// Merge every shard into one deterministic snapshot as of
+    /// `now_secs`: counters and cumulative totals sum (saturating),
+    /// window histograms merge bucket-wise, gauges sum.
+    pub fn snapshot(&self, now_secs: u64) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for stripe in &self.shards {
+            let s = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, &v) in &s.counters {
+                let c = out.counters.entry(name.clone()).or_insert(0);
+                *c = c.saturating_add(v);
+            }
+            for (name, &v) in &s.gauges {
+                let g = out.gauges.entry(name.clone()).or_insert(0);
+                *g = g.saturating_add(v);
+            }
+            for (name, w) in &s.windows {
+                let e = out
+                    .windows
+                    .entry(name.clone())
+                    .or_insert_with(|| WindowSummary {
+                        window: Histogram::default(),
+                        total_count: 0,
+                        total_sum: 0,
+                    });
+                e.window.merge(&w.merged(now_secs));
+                e.total_count = e.total_count.saturating_add(w.total.count());
+                e.total_sum = e.total_sum.saturating_add(w.total.sum());
+            }
+        }
+        out
+    }
+}
+
+/// Mangle a dotted metric name into a Prometheus metric name:
+/// `serve.latency.us` → `stm_serve_latency_us`.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("stm_");
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Families are sorted by exposed metric name; counters get a `_total`
+/// suffix, sliding-window histograms become `summary` families with
+/// `quantile` labels (p50/p95/p99 over the window) and monotone
+/// `_sum`/`_count` totals. The output depends only on the snapshot
+/// contents — never on registry fill order or shard layout.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut families: Vec<(String, String)> = Vec::new();
+    for (name, &v) in &snap.counters {
+        let n = format!("{}_total", prom_name(name));
+        families.push((n.clone(), format!("# TYPE {n} counter\n{n} {v}\n")));
+    }
+    for (name, &v) in &snap.gauges {
+        let n = prom_name(name);
+        families.push((n.clone(), format!("# TYPE {n} gauge\n{n} {v}\n")));
+    }
+    for (name, w) in &snap.windows {
+        let n = prom_name(name);
+        let mut block = format!("# TYPE {n} summary\n");
+        for (label, p) in [("0.5", 50u64), ("0.95", 95), ("0.99", 99)] {
+            // An empty window exposes 0 rather than omitting the
+            // sample: the name set must be byte-stable from the very
+            // first scrape (CI diffs it across scrapes).
+            let v = w.window.percentile(p).unwrap_or(0);
+            block.push_str(&format!("{n}{{quantile=\"{label}\"}} {v}\n"));
+        }
+        block.push_str(&format!("{n}_sum {}\n", w.total_sum));
+        block.push_str(&format!("{n}_count {}\n", w.total_count));
+        families.push((n, block));
+    }
+    families.sort();
+    let mut out = String::new();
+    for (_, block) in families {
+        out.push_str(&block);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_merge_across_shards() {
+        let reg = MetricsRegistry::new(4, 10);
+        reg.add(0, "req.completed", 3);
+        reg.add(1, "req.completed", 4);
+        reg.add(7, "req.shed", 1); // shard index wraps: 7 % 4 == 3
+        reg.gauge(2, "queue.depth", 5);
+        let snap = reg.snapshot(0);
+        assert_eq!(snap.counters.get("req.completed"), Some(&7));
+        assert_eq!(snap.counters.get("req.shed"), Some(&1));
+        assert_eq!(snap.gauges.get("queue.depth"), Some(&5));
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_fill_order_and_shard_choice() {
+        let a = MetricsRegistry::new(4, 10);
+        let b = MetricsRegistry::new(8, 10);
+        // Same logical updates, different order and shard placement.
+        for (shard, v) in [(0usize, 10u64), (1, 20), (2, 30)] {
+            a.add(shard, "c", v);
+            a.observe(shard, "lat", v, 5);
+        }
+        for (shard, v) in [(6usize, 30u64), (3, 10), (0, 20)] {
+            b.add(shard, "c", v);
+            b.observe(shard, "lat", v, 5);
+        }
+        let (sa, sb) = (a.snapshot(5), b.snapshot(5));
+        assert_eq!(render_prometheus(&sa), render_prometheus(&sb));
+    }
+
+    #[test]
+    fn window_expires_old_observations_but_totals_are_monotone() {
+        let reg = MetricsRegistry::new(1, 5);
+        reg.observe(0, "lat", 1000, 0);
+        reg.observe(0, "lat", 8, 7);
+        // At t=7 the t=0 slot is outside the (2, 7] window.
+        let snap = reg.snapshot(7);
+        let w = snap.windows.get("lat").unwrap();
+        assert_eq!(w.window.count(), 1);
+        assert_eq!(w.window.max(), 8);
+        assert_eq!(w.total_count, 2);
+        assert_eq!(w.total_sum, 1008);
+        // Much later, the window is empty but totals remain.
+        let snap = reg.snapshot(100);
+        let w = snap.windows.get("lat").unwrap();
+        assert_eq!(w.window.count(), 0);
+        assert_eq!(w.total_count, 2);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_seconds() {
+        let reg = MetricsRegistry::new(1, 2);
+        reg.observe(0, "lat", 1, 0);
+        reg.observe(0, "lat", 2, 1);
+        // Second 2 reuses second 0's slot (2 % 2 == 0).
+        reg.observe(0, "lat", 4, 2);
+        let w = reg.snapshot(2);
+        let s = w.windows.get("lat").unwrap();
+        assert_eq!(s.window.count(), 2); // seconds 1 and 2 only
+        assert_eq!(s.window.min(), 2);
+        assert_eq!(s.window.max(), 4);
+    }
+
+    #[test]
+    fn prom_names_are_mangled() {
+        assert_eq!(prom_name("serve.latency.us"), "stm_serve_latency_us");
+        assert_eq!(
+            prom_name("breaker-open/transpose"),
+            "stm_breaker_open_transpose"
+        );
+    }
+
+    #[test]
+    fn exposition_golden() {
+        let reg = MetricsRegistry::new(2, 10);
+        reg.add(0, "serve.requests.completed", 41);
+        reg.add(1, "serve.requests.completed", 1);
+        reg.add(0, "serve.requests.shed", 3);
+        reg.gauge(0, "serve.queue.depth", 2);
+        for v in [100u64, 100, 100, 900] {
+            reg.observe(0, "serve.latency.us", v, 9);
+        }
+        let text = render_prometheus(&reg.snapshot(9));
+        let expected = "\
+# TYPE stm_serve_latency_us summary
+stm_serve_latency_us{quantile=\"0.5\"} 128
+stm_serve_latency_us{quantile=\"0.95\"} 900
+stm_serve_latency_us{quantile=\"0.99\"} 900
+stm_serve_latency_us_sum 1200
+stm_serve_latency_us_count 4
+# TYPE stm_serve_queue_depth gauge
+stm_serve_queue_depth 2
+# TYPE stm_serve_requests_completed_total counter
+stm_serve_requests_completed_total 42
+# TYPE stm_serve_requests_shed_total counter
+stm_serve_requests_shed_total 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn empty_window_renders_zero_quantiles_and_the_totals() {
+        let mut snap = MetricsSnapshot::default();
+        snap.windows.insert(
+            "lat".into(),
+            WindowSummary {
+                window: Histogram::default(),
+                total_count: 7,
+                total_sum: 70,
+            },
+        );
+        // Quantile samples stay present (at 0) so the metric name set
+        // is identical before and after the first observation.
+        let text = render_prometheus(&snap);
+        assert!(text.contains("stm_lat{quantile=\"0.5\"} 0\n"));
+        assert!(text.contains("stm_lat{quantile=\"0.99\"} 0\n"));
+        assert!(text.contains("stm_lat_sum 70\n"));
+        assert!(text.contains("stm_lat_count 7\n"));
+    }
+}

@@ -31,6 +31,10 @@ const FLAGS: &[(&str, &str)] = &[
     ("--matrices N", "distinct workload matrices (default 4)"),
     ("--timeout-ms MS", "client socket timeout (default 30000)"),
     ("--csv FILE", "write the latency histogram as CSV"),
+    (
+        "--metrics-addr A",
+        "scrape the server metrics endpoint and print its p99 next to the client-measured one",
+    ),
     ("--shutdown", "drain and stop the server after the run"),
 ];
 
@@ -115,13 +119,37 @@ fn main() {
     );
     println!("degraded: {}", report.degraded);
     let p = |q: u64| report.latency_us.percentile(q).unwrap_or(0);
-    println!(
-        "latency_us: p50={} p95={} p99={} max={}",
-        p(50),
-        p(95),
-        p(99),
-        report.latency_us.max()
-    );
+    // Server-side view of the same tail, scraped from the metrics
+    // endpoint: client p99 includes queueing + transport, server p99
+    // starts at dequeue — the gap is where the latency lives.
+    let server_p99 = arg_value("--metrics-addr").map(|maddr| {
+        stm_serve::scrape::fetch(&maddr, cfg.timeout_ms)
+            .map(|text| {
+                let samples = stm_serve::scrape::parse(&text);
+                stm_serve::scrape::value(&samples, "stm_serve_latency_us", "quantile=\"0.99\"")
+                    .unwrap_or(0)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("stmload: metrics scrape: {e}");
+                0
+            })
+    });
+    match server_p99 {
+        Some(sp99) => println!(
+            "latency_us: p50={} p95={} p99={} max={} server_p99={sp99}",
+            p(50),
+            p(95),
+            p(99),
+            report.latency_us.max()
+        ),
+        None => println!(
+            "latency_us: p50={} p95={} p99={} max={}",
+            p(50),
+            p(95),
+            p(99),
+            report.latency_us.max()
+        ),
+    }
     let secs = report.elapsed.as_secs_f64();
     println!(
         "throughput: {:.0} req/s over {:.2}s",

@@ -38,6 +38,22 @@ const FLAGS: &[(&str, &str)] = &[
         "--backend B",
         "execution backend, B in {sim,scalar,simd,auto} (or STM_BACKEND=B)",
     ),
+    (
+        "--metrics-addr A",
+        "bind the Prometheus text exposition listener (port 0 = free port)",
+    ),
+    (
+        "--flight-dir DIR",
+        "write crash flight-recorder dumps here (panic, breaker-open, deadline storm, SIGTERM)",
+    ),
+    (
+        "--flight-window MS",
+        "flight-recorder dump window in milliseconds (default 10000)",
+    ),
+    (
+        "--flight-every N",
+        "test hook: also dump the flight ring every N completed requests",
+    ),
 ];
 
 fn usage() -> String {
@@ -114,6 +130,12 @@ fn main() {
     cfg.results_log = arg_value("--results-log").map(Into::into);
     cfg.trace = arg_value("--trace").map(Into::into);
     cfg.backend = stm_bench::backend_from_env();
+    cfg.metrics_addr = arg_value("--metrics-addr");
+    cfg.flight_dir = arg_value("--flight-dir").map(Into::into);
+    if let Some(ms) = parsed("--flight-window") {
+        cfg.flight_window_ms = ms;
+    }
+    cfg.flight_every = parsed("--flight-every");
 
     let server = match Server::start(cfg) {
         Ok(s) => s,
@@ -122,12 +144,61 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // The harnesses parse this line to find the ephemeral port — print
-    // and flush before serving.
+    // The harnesses parse these lines to find the ephemeral ports —
+    // print and flush before serving.
     println!("listening: {}", server.addr());
+    if let Some(maddr) = server.metrics_addr() {
+        println!("metrics: {maddr}");
+    }
     use std::io::Write;
     std::io::stdout().flush().ok();
 
+    // SIGTERM: flush a last flight dump, then exit. The watcher holds
+    // only a FlightDumper, so the server itself can move into join().
+    #[cfg(unix)]
+    {
+        sig::install();
+        let dumper = server.flight_dumper();
+        std::thread::spawn(move || loop {
+            if sig::term_seen() {
+                dumper.dump("sigterm");
+                println!("shutdown: sigterm");
+                std::io::stdout().flush().ok();
+                std::process::exit(0);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
     server.join();
     println!("shutdown: clean");
+}
+
+/// Raw `signal(2)` registration — the workspace is dependency-free, so
+/// no `libc` crate; the handler only flips an atomic flag (async-signal
+/// safe) and a watcher thread does the actual dump.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn term_seen() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
 }

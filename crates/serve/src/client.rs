@@ -99,6 +99,11 @@ impl Client {
         self.request(request_id, RequestBody::Stats)
     }
 
+    /// Reads the live telemetry registry as Prometheus exposition text.
+    pub fn metrics(&mut self, request_id: u64) -> Result<Response, String> {
+        self.request(request_id, RequestBody::Metrics)
+    }
+
     /// Asks the server to drain and stop.
     pub fn shutdown(&mut self, request_id: u64) -> Result<Response, String> {
         self.request(request_id, RequestBody::Shutdown)

@@ -13,7 +13,13 @@
 //!   `stm_bench::resilient::execute_slot`, load shedding, clean drain;
 //! * [`client`] — a blocking client;
 //! * [`load`] — the `stmload` chaos-injecting load harness with
-//!   digest verification against host oracles.
+//!   digest verification against host oracles;
+//! * [`flight`] — the always-on crash flight recorder: a bounded ring
+//!   of recent service events, dumped atomically to JSONL on panic,
+//!   breaker-open, deadline storms, or `SIGTERM`;
+//! * [`scrape`] — a minimal Prometheus scrape client over the
+//!   `--metrics-addr` exposition listener (used by `stmtop` and
+//!   `stmload`).
 //!
 //! See DESIGN.md §13 for the architecture and the wire format.
 
@@ -21,8 +27,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod flight;
 pub mod load;
 pub mod protocol;
+pub mod scrape;
 pub mod server;
 pub mod store;
 

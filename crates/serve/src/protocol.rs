@@ -29,6 +29,7 @@
 //! | `FETCH`     | `target_request_id u64` |
 //! | `STATS`     | empty |
 //! | `SHUTDOWN`  | empty |
+//! | `METRICS`   | empty |
 //!
 //! `request_id` is the idempotency key: re-sending an id that is already
 //! in flight joins the original execution, and re-sending a completed id
@@ -46,7 +47,12 @@
 //! `TRANSPOSE`/`SPMV`/`FETCH` carry the result digest (`u64`);
 //! `RETRY_AFTER` carries a backoff hint in milliseconds (`u32`);
 //! `STATS` carries a count-prefixed `u64` list (see
-//! [`crate::server::StatsSnapshot`] for the field order).
+//! [`crate::server::StatsSnapshot`] for the field order); `METRICS`
+//! carries a `u32::MAX` marker, a `u32` byte length and that many bytes
+//! of Prometheus-format UTF-8 text. The marker keeps the `Ok`-body
+//! decode unambiguous: a count-prefixed `STATS` list never starts with
+//! `u32::MAX`, and the exposition text is never empty, so a `METRICS`
+//! body is never 8 bytes long like a digest.
 
 use stm_hism::FaultClass;
 
@@ -76,6 +82,8 @@ pub enum Op {
     Stats = 5,
     /// Drain in-flight work, checkpoint, and stop the server.
     Shutdown = 6,
+    /// Read the live telemetry registry as Prometheus exposition text.
+    Metrics = 7,
 }
 
 impl Op {
@@ -88,6 +96,7 @@ impl Op {
             4 => Some(Op::Fetch),
             5 => Some(Op::Stats),
             6 => Some(Op::Shutdown),
+            7 => Some(Op::Metrics),
             _ => None,
         }
     }
@@ -101,6 +110,7 @@ impl Op {
             Op::Fetch => "fetch",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
+            Op::Metrics => "metrics",
         }
     }
 
@@ -113,6 +123,7 @@ impl Op {
             "fetch" => Some(Op::Fetch),
             "stats" => Some(Op::Stats),
             "shutdown" => Some(Op::Shutdown),
+            "metrics" => Some(Op::Metrics),
             _ => None,
         }
     }
@@ -234,6 +245,8 @@ pub enum RequestBody {
     Stats,
     /// Drain and stop the server.
     Shutdown,
+    /// Read the live telemetry registry (Prometheus text).
+    Metrics,
 }
 
 impl RequestBody {
@@ -246,6 +259,7 @@ impl RequestBody {
             RequestBody::Fetch { .. } => Op::Fetch,
             RequestBody::Stats => Op::Stats,
             RequestBody::Shutdown => Op::Shutdown,
+            RequestBody::Metrics => Op::Metrics,
         }
     }
 }
@@ -272,6 +286,8 @@ pub enum ResponseBody {
     RetryAfterMs(u32),
     /// Counter values in [`crate::server::StatsSnapshot`] field order.
     Stats(Vec<u64>),
+    /// Prometheus exposition text (`METRICS`); never empty on the wire.
+    Metrics(String),
 }
 
 /// One decoded response.
@@ -468,7 +484,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             encode_fault(&mut out, fault);
         }
         RequestBody::Fetch { target } => out.extend_from_slice(&target.to_le_bytes()),
-        RequestBody::Stats | RequestBody::Shutdown => {}
+        RequestBody::Stats | RequestBody::Shutdown | RequestBody::Metrics => {}
     }
     out
 }
@@ -521,6 +537,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, Option<String>> {
         },
         Op::Stats => RequestBody::Stats,
         Op::Shutdown => RequestBody::Shutdown,
+        Op::Metrics => RequestBody::Metrics,
     };
     c.done().map_err(Some)?;
     Ok(Request {
@@ -546,6 +563,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
+        ResponseBody::Metrics(text) => {
+            out.extend_from_slice(&u32::MAX.to_le_bytes());
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
     }
     out
 }
@@ -563,12 +585,21 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         match status {
             Status::RetryAfter => ResponseBody::RetryAfterMs(c.u32()?),
             Status::Ok if payload.len() - c.p > 8 => {
-                let n = c.u32()? as usize;
-                let mut vals = Vec::with_capacity(n.min(1024));
-                for _ in 0..n {
-                    vals.push(c.u64()?);
+                let n = c.u32()?;
+                if n == u32::MAX {
+                    let len = c.u32()? as usize;
+                    let bytes = c.take(len)?;
+                    let text = String::from_utf8(bytes.to_vec())
+                        .map_err(|e| format!("metrics payload is not UTF-8: {e}"))?;
+                    ResponseBody::Metrics(text)
+                } else {
+                    let n = n as usize;
+                    let mut vals = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        vals.push(c.u64()?);
+                    }
+                    ResponseBody::Stats(vals)
                 }
-                ResponseBody::Stats(vals)
             }
             _ => ResponseBody::Digest(c.u64()?),
         }
@@ -637,6 +668,11 @@ mod tests {
             client_id: 2,
             body: RequestBody::Shutdown,
         });
+        round_trip(Request {
+            request_id: 6,
+            client_id: 2,
+            body: RequestBody::Metrics,
+        });
     }
 
     #[test]
@@ -660,6 +696,14 @@ mod tests {
                 degraded: false,
                 request_id: 3,
                 body: ResponseBody::Stats(vec![1, 2, 3, u64::MAX]),
+            },
+            Response {
+                status: Status::Ok,
+                degraded: false,
+                request_id: 4,
+                body: ResponseBody::Metrics(
+                    "# TYPE stm_serve_completed counter\nstm_serve_completed_total 3\n".to_string(),
+                ),
             },
         ] {
             let payload = encode_response(&resp);
@@ -745,6 +789,7 @@ mod tests {
             Op::Fetch,
             Op::Stats,
             Op::Shutdown,
+            Op::Metrics,
         ] {
             assert_eq!(Op::from_name(op.name()), Some(op));
             assert_eq!(Op::from_u8(op as u8), Some(op));

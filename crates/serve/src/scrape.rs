@@ -1,0 +1,150 @@
+//! A minimal Prometheus scrape client: fetch the exposition text from
+//! an `stmserve --metrics-addr` listener and parse it back into
+//! `(name, labels, value)` samples.
+//!
+//! Used by `stmtop` (the live terminal view) and `stmload` (printing
+//! the server-side p99 next to the client-measured one). The parser
+//! accepts exactly the subset `stm_obs::telemetry::render_prometheus`
+//! emits — `# TYPE` comments, `name value` and `name{label="v"} value`
+//! sample lines with unsigned integer values — and ignores anything
+//! else, so it stays robust to future families.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name (e.g. `stm_serve_latency_us`).
+    pub name: String,
+    /// The raw label block without braces (e.g. `quantile="0.99"`),
+    /// empty for unlabelled samples.
+    pub labels: String,
+    /// The sample value (the exposition only emits unsigned integers).
+    pub value: u64,
+}
+
+/// Fetch the exposition text from `addr` (an `http://`-less host:port)
+/// with one HTTP/1.0-style GET, stripping the response headers.
+pub fn fetch(addr: &str, timeout_ms: u64) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let t = Some(Duration::from_millis(timeout_ms.max(1)));
+    stream.set_read_timeout(t).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(t).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) => {
+            if !head.starts_with("HTTP/1.1 200") && !head.starts_with("HTTP/1.0 200") {
+                return Err(format!(
+                    "{addr}: non-200 response: {}",
+                    head.lines().next().unwrap_or("")
+                ));
+            }
+            Ok(body.to_string())
+        }
+        // Not HTTP at all — treat the whole payload as the body.
+        None => Ok(raw),
+    }
+}
+
+/// Parse exposition text into samples, in document order. Comment
+/// (`#`) lines, blank lines, and malformed lines are skipped.
+pub fn parse(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            continue;
+        };
+        let (name, labels) = match key.split_once('{') {
+            Some((n, rest)) => match rest.strip_suffix('}') {
+                Some(l) => (n, l),
+                None => continue,
+            },
+            None => (key, ""),
+        };
+        out.push(Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+    out
+}
+
+/// The value of the first sample matching `name` (and, when non-empty,
+/// a label block containing `label_frag`).
+pub fn value(samples: &[Sample], name: &str, label_frag: &str) -> Option<u64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && (label_frag.is_empty() || s.labels.contains(label_frag)))
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "\
+# TYPE stm_serve_latency_us summary
+stm_serve_latency_us{quantile=\"0.5\"} 128
+stm_serve_latency_us{quantile=\"0.99\"} 900
+stm_serve_latency_us_sum 1200
+stm_serve_latency_us_count 4
+# TYPE stm_serve_requests_completed_total counter
+stm_serve_requests_completed_total 42
+";
+
+    #[test]
+    fn parses_the_renderer_subset() {
+        let samples = parse(TEXT);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(
+            value(&samples, "stm_serve_latency_us", "quantile=\"0.99\""),
+            Some(900)
+        );
+        assert_eq!(value(&samples, "stm_serve_latency_us_count", ""), Some(4));
+        assert_eq!(
+            value(&samples, "stm_serve_requests_completed_total", ""),
+            Some(42)
+        );
+        assert_eq!(value(&samples, "stm_absent", ""), None);
+    }
+
+    #[test]
+    fn round_trips_the_live_renderer() {
+        let reg = stm_obs::MetricsRegistry::new(2, 10);
+        reg.add(0, "serve.requests.completed", 7);
+        reg.gauge(1, "serve.queue.depth", 3);
+        reg.observe(0, "serve.latency.us", 500, 1);
+        let text = stm_obs::telemetry::render_prometheus(&reg.snapshot(1));
+        let samples = parse(&text);
+        assert_eq!(
+            value(&samples, "stm_serve_requests_completed_total", ""),
+            Some(7)
+        );
+        assert_eq!(value(&samples, "stm_serve_queue_depth", ""), Some(3));
+        assert_eq!(value(&samples, "stm_serve_latency_us_count", ""), Some(1));
+    }
+
+    #[test]
+    fn ignores_garbage_lines() {
+        let samples = parse("not a sample\nx{unclosed 5\nname -3\nok 9\n");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "ok");
+        assert_eq!(samples[0].value, 9);
+    }
+}

@@ -37,6 +37,7 @@
 //!   checkpointed to the log as it lands), exports the server trace, and
 //!   only then acknowledges.
 
+use crate::flight::FlightRecorder;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, FrameError, Op, Request, RequestBody,
     Response, ResponseBody, Status,
@@ -45,13 +46,25 @@ use crate::store::{ResultRecord, ResultsLog};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
-use stm_bench::resilient::{execute_slot, Breaker, BreakerConfig, Decision, RetryPolicy};
+use std::time::{Duration, Instant};
+use stm_bench::resilient::{
+    execute_slot, Breaker, BreakerConfig, BreakerState, Decision, RetryPolicy,
+};
 use stm_bench::{FaultSpec, RunConfig};
 use stm_core::kernels::registry;
 use stm_dsab::SuiteEntry;
-use stm_obs::{Category, Lane, Recorder};
+use stm_obs::{telemetry, Category, Lane, MetricsRegistry, Recorder, SpanCtx};
 use stm_sparse::{Coo, MatrixMetrics};
+
+/// `DEADLINE_EXCEEDED` completions within one flight window that count
+/// as a storm and trigger a flight dump.
+const DEADLINE_STORM: usize = 3;
+
+/// Per-request trace ring capacity. A request's structural story (serve
+/// root, resil slot, stage/phase/fault events per attempt) is a few
+/// dozen events; 4096 leaves room for pathological retry chains without
+/// ever dropping (dropped events would mark the merged trace lossy).
+const REQUEST_TRACE_CAPACITY: usize = 4096;
 
 /// The kernel each execution op dispatches to.
 fn kernel_for(op: Op) -> &'static str {
@@ -93,6 +106,18 @@ pub struct ServeConfig {
     /// backends serve requests from the native tier; the breaker
     /// fallback always runs on the simulator regardless.
     pub backend: registry::Backend,
+    /// Optional bind address for the plain-text metrics exposition
+    /// listener (`--metrics-addr`); `None` disables the listener. The
+    /// registry itself is always live — `METRICS` works regardless.
+    pub metrics_addr: Option<String>,
+    /// Directory for crash flight-recorder dumps (`--flight-dir`);
+    /// `None` disables dumps (the ring still records).
+    pub flight_dir: Option<std::path::PathBuf>,
+    /// Flight-recorder dump window in milliseconds (`--flight-window`).
+    pub flight_window_ms: u64,
+    /// Test hook (`--flight-every`): also dump the flight ring after
+    /// every N completed requests.
+    pub flight_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -111,7 +136,22 @@ impl Default for ServeConfig {
             results_log: None,
             trace: None,
             backend: registry::Backend::Sim,
+            metrics_addr: None,
+            flight_dir: None,
+            flight_window_ms: 10_000,
+            flight_every: None,
         }
+    }
+}
+
+/// Stable wire index for the configured backend (the `STATS` payload
+/// cannot carry a string).
+fn backend_index(b: registry::Backend) -> u64 {
+    match b {
+        registry::Backend::Sim => 0,
+        registry::Backend::Scalar => 1,
+        registry::Backend::Simd => 2,
+        registry::Backend::Auto => 3,
     }
 }
 
@@ -136,6 +176,16 @@ pub struct StatsSnapshot {
     pub matrices: u64,
     /// Frames rejected by the magic/size/parse guards.
     pub bad_frames: u64,
+    /// Jobs sitting in the admission queue *right now* (live, not a
+    /// high-water mark).
+    pub queue_depth: u64,
+    /// Admitted-but-not-completed requests right now.
+    pub in_flight: u64,
+    /// Completed requests whose terminal status was not `OK`.
+    pub failed: u64,
+    /// The serving backend as a stable wire index (`0` = sim, `1` =
+    /// scalar host, `2` = SIMD host, `3` = auto).
+    pub backend: u64,
 }
 
 impl StatsSnapshot {
@@ -150,14 +200,22 @@ impl StatsSnapshot {
             self.queue_depth_limit,
             self.matrices,
             self.bad_frames,
+            self.queue_depth,
+            self.in_flight,
+            self.failed,
+            self.backend,
         ]
     }
 
-    /// Decodes [`StatsSnapshot::to_vec`] output.
+    /// Decodes [`StatsSnapshot::to_vec`] output. Tolerates short
+    /// payloads down to the original eight fields (a newer client
+    /// reading an older server sees zeros for the live fields), so the
+    /// wire format stays forward- and backward-compatible.
     pub fn from_vec(v: &[u64]) -> Option<StatsSnapshot> {
         if v.len() < 8 {
             return None;
         }
+        let get = |i: usize| v.get(i).copied().unwrap_or(0);
         Some(StatsSnapshot {
             accepted: v[0],
             completed: v[1],
@@ -167,6 +225,10 @@ impl StatsSnapshot {
             queue_depth_limit: v[5],
             matrices: v[6],
             bad_frames: v[7],
+            queue_depth: get(8),
+            in_flight: get(9),
+            failed: get(10),
+            backend: get(11),
         })
     }
 }
@@ -214,6 +276,18 @@ struct Shared {
     /// happen as one step: `check::validate` requires per-lane monotone
     /// timestamps in record order.
     seq: Mutex<u64>,
+    /// The live telemetry plane: shard 0 belongs to connection threads,
+    /// shard `1 + i` to worker `i`. Always on — updates are a striped
+    /// mutex and a map insert, far off the execution path's clock.
+    metrics: MetricsRegistry,
+    /// The crash flight recorder's event ring (same shard layout).
+    flight: FlightRecorder,
+    /// Server start, the epoch for wall-clock metric windows and flight
+    /// timestamps.
+    start: Instant,
+    /// Wall-ms timestamps of recent `DEADLINE_EXCEEDED` completions,
+    /// for storm detection.
+    deadlines: Mutex<VecDeque<u64>>,
 }
 
 impl Shared {
@@ -225,6 +299,60 @@ impl Shared {
         self.rec.instant(Lane::Serve, Category::Serve, name, *seq);
         *seq += 1;
     }
+
+    /// Milliseconds since server start (flight-recorder clock).
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Seconds since server start (metrics-window clock).
+    fn now_secs(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// The current metrics exposition text. Never empty: every family
+    /// is declared at startup.
+    fn metrics_text(&self) -> String {
+        telemetry::render_prometheus(&self.metrics.snapshot(self.now_secs()))
+    }
+
+    /// Note an event in the flight ring.
+    fn flight_note(&self, shard: usize, name: &'static str, req: u64) {
+        self.flight.record(shard, name, self.now_ms(), req);
+    }
+
+    /// Dump the flight ring, if a dump directory is configured.
+    fn flight_dump(&self, reason: &'static str) {
+        let Some(dir) = &self.cfg.flight_dir else {
+            return;
+        };
+        match self.flight.dump(dir, reason, self.now_ms()) {
+            Ok(path) => eprintln!("stmserve: flight dump ({reason}): {}", path.display()),
+            Err(e) => eprintln!("stmserve: flight dump ({reason}) failed: {e}"),
+        }
+    }
+
+    /// Record a `DEADLINE_EXCEEDED` completion and dump the flight ring
+    /// when [`DEADLINE_STORM`] of them land within one flight window.
+    fn note_deadline(&self, now_ms: u64) {
+        let storm = {
+            let mut d = self.deadlines.lock().unwrap();
+            d.push_back(now_ms);
+            let cutoff = now_ms.saturating_sub(self.cfg.flight_window_ms.max(1));
+            while d.front().is_some_and(|&t| t <= cutoff) {
+                d.pop_front();
+            }
+            if d.len() >= DEADLINE_STORM {
+                d.clear();
+                true
+            } else {
+                false
+            }
+        };
+        if storm {
+            self.flight_dump("deadline-storm");
+        }
+    }
 }
 
 /// A running server. Dropping the handle does not stop it; send
@@ -232,21 +360,51 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     accept: std::thread::JoinHandle<()>,
+    metrics_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// Counter and gauge families, declared at startup so the set of
+/// exposed metric names is byte-stable from the very first scrape.
+const COUNTER_FAMILIES: &[&str] = &[
+    "serve.requests.accepted",
+    "serve.requests.completed",
+    "serve.requests.degraded",
+    "serve.requests.failed",
+    "serve.requests.shed",
+    "serve.frames.bad",
+    "serve.breaker.trips",
+];
+const GAUGE_FAMILIES: &[&str] = &["serve.queue.depth", "serve.inflight"];
+const WINDOW_FAMILIES: &[&str] = &["serve.latency.us", "serve.kernel.cycles"];
+
 impl Server {
-    /// Binds, recovers the results log, and spawns the accept loop and
-    /// worker pool.
+    /// Binds, recovers the results log, and spawns the accept loop,
+    /// the worker pool, and (when configured) the metrics exposition
+    /// listener.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(maddr) => {
+                let l = TcpListener::bind(maddr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
 
         let mut state = State {
             stats: StatsSnapshot {
                 queue_depth_limit: cfg.queue_depth as u64,
+                backend: backend_index(cfg.backend),
                 ..StatsSnapshot::default()
             },
             ..State::default()
@@ -275,6 +433,20 @@ impl Server {
         run.vp.cycle_budget = cfg.deadline;
 
         let workers_n = cfg.workers.max(1);
+        // Shard 0 is the connection threads' stripe; worker i owns
+        // stripe 1 + i.
+        let metrics = MetricsRegistry::new(workers_n + 1, 10);
+        for name in COUNTER_FAMILIES {
+            metrics.add(0, name, 0);
+        }
+        for name in GAUGE_FAMILIES {
+            metrics.gauge(0, name, 0);
+        }
+        for name in WINDOW_FAMILIES {
+            metrics.declare_window(0, name);
+        }
+        let flight = FlightRecorder::new(workers_n + 1, cfg.flight_window_ms);
+        let install_panic_hook = cfg.flight_dir.is_some();
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             work: Condvar::new(),
@@ -283,26 +455,50 @@ impl Server {
             run,
             log: Mutex::new(log),
             rec: if cfg.trace.is_some() {
-                Recorder::enabled_default()
+                Recorder::enabled(1 << 20)
             } else {
                 Recorder::disabled()
             },
             seq: Mutex::new(0),
+            metrics,
+            flight,
+            start: Instant::now(),
+            deadlines: Mutex::new(VecDeque::new()),
             cfg,
         });
 
+        // Last-breath flight dump on a worker/connection panic. The
+        // hook chains the previous one and holds only a weak reference,
+        // so a dropped server never keeps dumping (or leaks).
+        if install_panic_hook {
+            let weak = Arc::downgrade(&shared);
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if let Some(sh) = weak.upgrade() {
+                    sh.flight_dump("panic");
+                }
+                prev(info);
+            }));
+        }
+
         let workers = (0..workers_n)
-            .map(|_| {
+            .map(|i| {
                 let sh = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&sh))
+                std::thread::spawn(move || worker_loop(&sh, i))
             })
             .collect();
+        let metrics_thread = metrics_listener.map(|l| {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || metrics_loop(&sh, &l))
+        });
         let sh = Arc::clone(&shared);
         let accept = std::thread::spawn(move || accept_loop(&sh, &listener));
         Ok(Server {
             shared,
             addr,
+            metrics_addr,
             accept,
+            metrics_thread,
             workers,
         })
     }
@@ -312,17 +508,97 @@ impl Server {
         self.addr
     }
 
+    /// The bound metrics exposition address, when the listener is
+    /// configured (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Waits for a clean `SHUTDOWN`-initiated stop.
     pub fn join(self) {
         self.accept.join().ok();
+        if let Some(m) = self.metrics_thread {
+            m.join().ok();
+        }
         for w in self.workers {
             w.join().ok();
         }
     }
 
-    /// A stats snapshot, for in-process tests.
+    /// A stats snapshot, for in-process tests. Live fields
+    /// (`queue_depth`, `in_flight`) reflect this instant.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.state.lock().unwrap().stats
+        let state = self.shared.state.lock().unwrap();
+        let mut stats = state.stats;
+        stats.queue_depth = state.queue.len() as u64;
+        stats.in_flight = state.pending.len() as u64;
+        stats
+    }
+
+    /// The current metrics exposition text (what a scrape returns).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Dump the flight ring now (the `stmserve` bin's `SIGTERM` path).
+    /// No-op unless a flight directory is configured.
+    pub fn dump_flight(&self, reason: &'static str) {
+        self.shared.flight_dump(reason);
+    }
+
+    /// A cheap handle that can trigger flight dumps after the `Server`
+    /// itself has been moved (e.g. into [`Server::join`]) — the signal
+    /// watcher's lifeline.
+    pub fn flight_dumper(&self) -> FlightDumper {
+        FlightDumper(Arc::clone(&self.shared))
+    }
+}
+
+/// See [`Server::flight_dumper`].
+#[derive(Clone)]
+pub struct FlightDumper(Arc<Shared>);
+
+impl FlightDumper {
+    /// Dump the flight ring now. No-op unless a flight directory is
+    /// configured.
+    pub fn dump(&self, reason: &'static str) {
+        self.0.flight_dump(reason);
+    }
+}
+
+/// Serves the metrics exposition endpoint: one tiny HTTP/1.1 200 per
+/// connection, then close. Accepts any request bytes (it never parses
+/// the path), so `curl`, `stmtop`, and a bare TCP read all work.
+fn metrics_loop(sh: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if sh.state.lock().unwrap().stopped {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(500)))
+                    .ok();
+                stream
+                    .set_write_timeout(Some(Duration::from_millis(2_000)))
+                    .ok();
+                // Best-effort drain of the request line; the response
+                // is the same whatever was asked.
+                let mut buf = [0u8; 1024];
+                let _ = std::io::Read::read(&mut stream, &mut buf);
+                let body = sh.metrics_text();
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = std::io::Write::write_all(&mut stream, resp.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
     }
 }
 
@@ -405,6 +681,8 @@ fn respond(w: &mut impl std::io::Write, resp: &Response) -> bool {
 fn count_bad_frame(sh: &Shared) {
     sh.tick("serve.frame.bad");
     sh.rec.add("serve.frames.bad", 1);
+    sh.metrics.add(0, "serve.frames.bad", 1);
+    sh.flight_note(0, "flight.frame.bad", 0);
     sh.state.lock().unwrap().stats.bad_frames += 1;
 }
 
@@ -427,12 +705,27 @@ fn handle_request(sh: &Arc<Shared>, req: Request) -> Response {
         RequestBody::Fetch { target } => handle_fetch(sh, req.request_id, target),
         RequestBody::Stats => {
             sh.tick("serve.stats");
-            let stats = sh.state.lock().unwrap().stats;
+            let stats = {
+                let state = sh.state.lock().unwrap();
+                let mut stats = state.stats;
+                stats.queue_depth = state.queue.len() as u64;
+                stats.in_flight = state.pending.len() as u64;
+                stats
+            };
             Response {
                 status: Status::Ok,
                 degraded: false,
                 request_id: req.request_id,
                 body: ResponseBody::Stats(stats.to_vec()),
+            }
+        }
+        RequestBody::Metrics => {
+            sh.tick("serve.metrics");
+            Response {
+                status: Status::Ok,
+                degraded: false,
+                request_id: req.request_id,
+                body: ResponseBody::Metrics(sh.metrics_text()),
             }
         }
         RequestBody::Shutdown => handle_shutdown(sh, req.request_id),
@@ -534,6 +827,8 @@ fn handle_execute(
         drop(state);
         sh.tick("serve.shed");
         sh.rec.add("serve.shed", 1);
+        sh.metrics.add(0, "serve.requests.shed", 1);
+        sh.flight_note(0, "flight.shed", req.request_id);
         return Response {
             status: Status::RetryAfter,
             degraded: false,
@@ -557,8 +852,13 @@ fn handle_execute(
     });
     state.stats.accepted += 1;
     let depth = state.queue.len() as u64;
+    let in_flight = state.pending.len() as u64;
     state.stats.queue_depth_max = state.stats.queue_depth_max.max(depth);
     sh.rec.observe("serve.queue.depth", depth);
+    sh.metrics.add(0, "serve.requests.accepted", 1);
+    sh.metrics.gauge(0, "serve.queue.depth", depth);
+    sh.metrics.gauge(0, "serve.inflight", in_flight);
+    sh.flight_note(0, "flight.enqueue", req.request_id);
     sh.work.notify_one();
     sh.tick("serve.enqueue");
 
@@ -614,7 +914,7 @@ fn finish_shutdown(sh: &Arc<Shared>) {
     sh.done.notify_all();
 }
 
-fn worker_loop(sh: &Arc<Shared>) {
+fn worker_loop(sh: &Arc<Shared>, widx: usize) {
     loop {
         let job = {
             let mut state = sh.state.lock().unwrap();
@@ -628,13 +928,30 @@ fn worker_loop(sh: &Arc<Shared>) {
                 state = sh.work.wait(state).unwrap();
             }
         };
-        execute_job(sh, job);
+        execute_job(sh, widx, job);
     }
 }
 
-fn execute_job(sh: &Arc<Shared>, job: Job) {
+fn execute_job(sh: &Arc<Shared>, widx: usize, job: Job) {
+    // This worker's metrics/flight stripe (shard 0 is the connection
+    // threads').
+    let shard = widx + 1;
     sh.tick("serve.execute");
+    sh.flight_note(shard, "flight.execute", job.request_id);
     let kernel = kernel_for(job.op);
+
+    // The request-scoped trace: its own ring, its own cycle clock
+    // starting at 0, every event stamped with the request id. The
+    // `serve.request` root span brackets the whole execution so the
+    // joiner can check containment.
+    let req_rec = if sh.rec.is_enabled() {
+        Recorder::enabled(REQUEST_TRACE_CAPACITY).with_ctx(SpanCtx::request(job.request_id))
+    } else {
+        Recorder::disabled()
+    };
+    let root = req_rec
+        .is_enabled()
+        .then(|| req_rec.begin(Lane::Serve, Category::Serve, "serve.request", 0));
 
     // Breakers guard only kernels with a registry fallback: skipping a
     // fallback-less kernel would fail healthy requests (DESIGN.md §13).
@@ -652,6 +969,7 @@ fn execute_job(sh: &Arc<Shared>, job: Job) {
 
     // The expensive part runs outside every lock. `index` keys the
     // retry-jitter stream only.
+    let wall = Instant::now();
     let outcome = execute_slot(
         &sh.run,
         &sh.cfg.retry,
@@ -660,12 +978,26 @@ fn execute_job(sh: &Arc<Shared>, job: Job) {
         kernel,
         decision,
         job.fault.as_ref(),
+        &req_rec,
     );
+    let wall_us = wall.elapsed().as_micros() as u64;
 
     if registry::fallback_for(kernel).is_some() {
         let mut breakers = sh.breakers.lock().unwrap();
-        if let Some((breaker, seq)) = breakers.get_mut(kernel) {
-            breaker.commit(decision, outcome.outcome, *seq);
+        let transitions = match breakers.get_mut(kernel) {
+            Some((breaker, seq)) => {
+                breaker.commit(decision, outcome.outcome, *seq);
+                breaker.drain_transitions()
+            }
+            None => Vec::new(),
+        };
+        drop(breakers);
+        for (_, _, to) in transitions {
+            if to == BreakerState::Open {
+                sh.metrics.add(shard, "serve.breaker.trips", 1);
+                sh.flight_note(shard, "flight.breaker.open", job.request_id);
+                sh.flight_dump("breaker-open");
+            }
         }
     }
 
@@ -679,6 +1011,25 @@ fn execute_job(sh: &Arc<Shared>, job: Job) {
         },
         (None, None) => Status::KernelFailed,
     };
+
+    // Close the request trace — status instant, then the root span —
+    // and fold it into the server recording as one atomic block. The
+    // request timeline keeps its own clock (offset 0): per-lane
+    // invariants hold per `(lane, request)`, so shifted request
+    // timelines coexist with the server's sequence-stamped events.
+    if let Some(root) = root {
+        let end_ts = req_rec.max_ts();
+        let status_name = if outcome.degraded {
+            "serve.request.degraded"
+        } else if status == Status::Ok {
+            "serve.request.ok"
+        } else {
+            "serve.request.failed"
+        };
+        req_rec.instant(Lane::Serve, Category::Serve, status_name, end_ts);
+        req_rec.end(Lane::Serve, Category::Serve, "serve.request", end_ts, root);
+        sh.rec.absorb(&req_rec.snapshot(), 0);
+    }
     // Canonical digest: format-independent, so a degraded transpose
     // (fallback emits a different encoding than the primary) digests
     // identically to the primary result.
@@ -715,9 +1066,47 @@ fn execute_job(sh: &Arc<Shared>, job: Job) {
         state.stats.degraded += 1;
         sh.rec.add("serve.degraded", 1);
     }
+    if rec.status != Status::Ok {
+        state.stats.failed += 1;
+    }
+    let (rstatus, rdegraded) = (rec.status, rec.degraded);
     state.completed.insert(job.request_id, rec);
+    let completed_total = state.stats.completed;
+    let depth = state.queue.len() as u64;
+    let in_flight = state.pending.len() as u64;
     drop(state);
     sh.rec.add("serve.completed", 1);
     sh.tick("serve.commit");
+
+    let now_ms = sh.now_ms();
+    let now_secs = sh.now_secs();
+    sh.metrics.add(shard, "serve.requests.completed", 1);
+    sh.metrics
+        .observe(shard, "serve.latency.us", wall_us, now_secs);
+    if let Some(r) = &outcome.report {
+        sh.metrics
+            .observe(shard, "serve.kernel.cycles", r.report.cycles, now_secs);
+    }
+    sh.metrics.gauge(0, "serve.queue.depth", depth);
+    sh.metrics.gauge(0, "serve.inflight", in_flight);
+    let flight_name = if rdegraded {
+        sh.metrics.add(shard, "serve.requests.degraded", 1);
+        "flight.commit.degraded"
+    } else if rstatus == Status::Ok {
+        "flight.commit.ok"
+    } else {
+        sh.metrics.add(shard, "serve.requests.failed", 1);
+        "flight.commit.failed"
+    };
+    sh.flight_note(shard, flight_name, job.request_id);
+    if rstatus == Status::DeadlineExceeded {
+        sh.flight_note(shard, "flight.deadline", job.request_id);
+        sh.note_deadline(now_ms);
+    }
+    if let Some(n) = sh.cfg.flight_every {
+        if n > 0 && completed_total.is_multiple_of(n) {
+            sh.flight_dump("interval");
+        }
+    }
     sh.done.notify_all();
 }

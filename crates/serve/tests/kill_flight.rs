@@ -1,0 +1,179 @@
+//! Flight-recorder durability: `kill -9` the real `stmserve` binary
+//! mid-load with `--flight-dir` + `--flight-every` active, then verify
+//! the most recent *complete* flight dump survives the crash — it must
+//! validate structurally, load as a profile, and keep loading when a
+//! writer is torn mid-line (the `stmprof` torn-tail tolerance).
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use stm_serve::client::Client;
+use stm_serve::load::workload_matrix;
+use stm_serve::protocol::Status;
+
+struct Spawned {
+    child: Child,
+    addr: String,
+    metrics_addr: String,
+}
+
+fn spawn_server(flight_dir: &std::path::Path) -> Spawned {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stmserve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--flight-dir",
+            flight_dir.to_str().unwrap(),
+            "--flight-every",
+            "1",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn stmserve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut metrics_addr = None;
+    while addr.is_none() || metrics_addr.is_none() {
+        let line = lines
+            .next()
+            .expect("stmserve exited before listening")
+            .expect("read stmserve stdout");
+        if let Some(a) = line.strip_prefix("listening: ") {
+            addr = Some(a.to_string());
+        } else if let Some(a) = line.strip_prefix("metrics: ") {
+            metrics_addr = Some(a.to_string());
+        }
+    }
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Spawned {
+        child,
+        addr: addr.unwrap(),
+        metrics_addr: metrics_addr.unwrap(),
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr, 1, 10_000) {
+            Ok(c) => return c,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn flight_dumps(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut dumps: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("flight-") && n.ends_with(".jsonl"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    // Names embed (zero-padded-free) wall-ms + a monotone sequence; a
+    // lexicographic sort is stable enough to find the newest for equal
+    // widths, and the exact choice doesn't matter for validity checks.
+    dumps.sort();
+    dumps
+}
+
+#[test]
+fn kill_dash_nine_leaves_a_loadable_flight_dump_behind() {
+    let dir = std::env::temp_dir().join("stm-serve-kill-flight");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let flight_dir = dir.join("flight");
+
+    let s = spawn_server(&flight_dir);
+    let mut child = s.child;
+    {
+        let mut c = connect(&s.addr);
+        for m in 0..2u64 {
+            let coo = workload_matrix(0x5eed_f00d, m as usize);
+            assert_eq!(
+                c.submit(1000 + m, m, &coo).expect("submit").status,
+                Status::Ok
+            );
+        }
+    }
+    // The metrics listener must be live before the kill.
+    let text = stm_serve::scrape::fetch(&s.metrics_addr, 5_000).expect("pre-kill scrape");
+    assert!(
+        text.contains("stm_serve_requests_accepted_total"),
+        "exposition must name the request counters"
+    );
+
+    // A stream of transposes the SIGKILL lands somewhere inside; with
+    // `--flight-every 1` each completion rewrites a fresh dump.
+    let loader = {
+        let addr = s.addr.clone();
+        std::thread::spawn(move || {
+            let mut c = connect(&addr);
+            let mut completed = 0u32;
+            for id in 1..=200u64 {
+                match c.transpose(id, id % 2, None) {
+                    Ok(resp) if resp.status == Status::Ok => completed += 1,
+                    _ => break,
+                }
+            }
+            completed
+        })
+    };
+    std::thread::sleep(Duration::from_millis(400));
+    child.kill().expect("SIGKILL stmserve");
+    child.wait().expect("reap stmserve");
+    let done_before_kill = loader.join().unwrap();
+    assert!(
+        done_before_kill > 0,
+        "the kill window closed before any request completed; widen the sleep"
+    );
+
+    // At least one complete dump must be on disk (rename is atomic, so
+    // every `flight-*.jsonl` is complete even after SIGKILL — only a
+    // `.tmp` can be torn).
+    let dumps = flight_dumps(&flight_dir);
+    assert!(
+        !dumps.is_empty(),
+        "--flight-every must leave dumps behind after SIGKILL"
+    );
+    let newest = dumps.last().unwrap();
+    let text = std::fs::read_to_string(newest).expect("read newest dump");
+    let summary = stm_obs::jsonl::validate_jsonl(&text)
+        .unwrap_or_else(|e| panic!("{}: invalid dump: {e:?}", newest.display()));
+    assert!(summary.events > 0, "the newest dump must not be empty");
+    assert!(
+        summary
+            .counters
+            .iter()
+            .any(|(k, _)| k.starts_with("flight.reason.")),
+        "the dump must record its trigger reason"
+    );
+
+    // The dump loads as a profile as-is…
+    stm_obs::profile::KernelProfile::from_jsonl("flight", &text).expect("clean load");
+    // …and still loads when a writer died mid-append: chop the final
+    // line in half and the reload must tolerate exactly that torn tail.
+    let whole = text.trim_end();
+    let cut = whole.len() - whole.lines().last().unwrap().len() / 2;
+    let torn = &whole[..cut];
+    stm_obs::profile::KernelProfile::from_jsonl("flight", torn)
+        .expect("a torn final line must be tolerated");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
