@@ -12,6 +12,14 @@
 //!   every commit (atomic rewrite);
 //! * `--fault-rate PCT` — chaos injection probability per item;
 //! * `--seed N` — chaos seed (default `0xC0FFEE`);
+//! * `--verify-mode {off,checksum,dual,vote}` — output integrity
+//!   verification: `checksum` re-verifies the HiSM section checksums,
+//!   `dual` re-executes on one alternate backend (escalating to a
+//!   third on disagreement), `vote` runs 2-of-3 across
+//!   sim/scalar/simd and recovers the majority answer;
+//! * `--sdc-rate PCT` / `--sdc-seed N` — silent-data-corruption
+//!   injection: flips one seeded bit in simulated memory mid-run
+//!   (implies oracle `verify=false` so the flip stays *silent*);
 //! * `--deadline CYCLES` — per-run cycle budget (typed abort);
 //! * `--queue-depth N` — bounded window / breaker decision lag
 //!   (default 8);
@@ -28,15 +36,17 @@
 //!   chaos/deadline/retry/fallback handling but has no breaker.
 //!
 //! Exit codes: 0 = pipeline completed and every failure was contained
-//! as `degraded`/`failed` rows; 1 = a containment invariant broke;
-//! 2 = configuration/checkpoint/IO error.
+//! as `degraded`/`failed`/`corrupted` rows; 1 = a containment
+//! invariant broke; 2 = configuration/checkpoint/IO error.
 //!
 //! The `digest: 0x…` line is byte-stable across `--jobs` values and
 //! kill/resume boundaries — CI compares it between an uninterrupted run
 //! and a `--stop-after` + resume pair.
 
 use stm_bench::output::format_table;
-use stm_bench::resilient::{self, ChaosSpec, EntryStatus, Outcome, SlotRecord, SoakConfig};
+use stm_bench::resilient::{
+    self, ChaosSpec, EntryStatus, Outcome, SdcSpec, SlotRecord, SoakConfig, VerifyMode,
+};
 use stm_bench::RunConfig;
 
 fn arg_value(flag: &str) -> Option<String> {
@@ -88,6 +98,15 @@ fn main() {
             ("--fault-rate PCT", "chaos injection probability per item"),
             ("--seed N", "chaos seed (default 0xC0FFEE)"),
             (
+                "--verify-mode M",
+                "off|checksum|dual|vote — output integrity verification",
+            ),
+            (
+                "--sdc-rate PCT",
+                "silent mid-run bit-flip probability per item",
+            ),
+            ("--sdc-seed N", "SDC injection seed (default 0x5DC)"),
+            (
                 "--checkpoint FILE",
                 "resume from FILE if present, checkpoint every commit",
             ),
@@ -126,6 +145,23 @@ fn main() {
             rate_pct: rate,
             seed: parsed("--seed").unwrap_or(0xC0FFEE),
         });
+    }
+    if let Some(m) = arg_value("--verify-mode") {
+        cfg.verify_mode = VerifyMode::from_name(&m).unwrap_or_else(|| {
+            eprintln!("stmsoak: bad value {m:?} for --verify-mode (off|checksum|dual|vote)");
+            std::process::exit(2);
+        });
+    }
+    if let Some(rate) = parsed::<u32>("--sdc-rate") {
+        cfg.sdc = Some(SdcSpec {
+            rate_pct: rate,
+            seed: parsed("--sdc-seed").unwrap_or(0x5DC),
+        });
+        // An SDC is only *silent* if the oracle check is off; otherwise
+        // the flip surfaces as a typed Mismatch and the verify legs
+        // never get to vote. Campaigns measure the verify plane, not
+        // the oracle.
+        cfg.run.verify = false;
     }
     cfg.checkpoint = arg_value("--checkpoint").map(Into::into);
     cfg.stop_after = parsed("--stop-after");
@@ -171,14 +207,27 @@ fn main() {
     }
     let c = |name: &str| report.trace.counter(name);
     println!(
-        "status: suite={suite} n={} ok={} degraded={} failed={} chaos_hits={} deadline_exceeded={}",
+        "status: suite={suite} n={} ok={} degraded={} failed={} corrupted={} chaos_hits={} deadline_exceeded={}",
         report.entries.len(),
         report.count(EntryStatus::Ok),
         report.count(EntryStatus::Degraded),
         report.count(EntryStatus::Failed),
+        report.count(EntryStatus::Corrupted),
         c("resil.chaos.injected"),
         c("resil.deadline.exceeded"),
     );
+    if cfg.verify_mode != VerifyMode::Off || cfg.sdc.is_some() {
+        println!(
+            "integrity: mode={} verify_slots={} verify_legs={} sdc_injected={} detected={} recovered={} unrecovered={}",
+            cfg.verify_mode.name(),
+            c("integrity.verify.slots"),
+            c("integrity.verify.legs"),
+            c("resil.sdc.injected"),
+            c("integrity.sdc.detected"),
+            c("integrity.sdc.recovered"),
+            c("integrity.sdc.unrecovered"),
+        );
+    }
     println!(
         "breaker: trips={} probes={} recoveries={}",
         c("resil.breaker.trips"),

@@ -171,6 +171,24 @@ pub enum RunStatus {
     /// A kernel failed; the failure names the kernel, stage and typed
     /// error. Reports of kernels that did succeed are still present.
     Failed(KernelFailure),
+    /// Silent data corruption: a primary kernel *succeeded* — no typed
+    /// error, no failed check — but cross-execution digest comparison
+    /// (the resilient pipeline's `--verify-mode dual`/`vote`) proved its
+    /// output wrong. The corrupt result is quarantined, never served.
+    /// The plain batch harness never produces this variant.
+    Corrupted {
+        /// The kernel whose output disagreed with the majority.
+        kernel: String,
+        /// The quarantined (wrong) canonical digest the primary produced.
+        quarantined: u64,
+        /// The canonical digest actually served — the majority digest
+        /// when recovery succeeded, `None` when no majority existed and
+        /// even the trusted fallback could not produce a result.
+        served: Option<u64>,
+        /// The verification leg (backend name) whose report was adopted
+        /// in the primary's place, when one was.
+        backend: Option<String>,
+    },
 }
 
 impl RunStatus {
@@ -184,13 +202,21 @@ impl RunStatus {
         matches!(self, RunStatus::Degraded { .. })
     }
 
+    /// `true` for [`RunStatus::Corrupted`] — a detected SDC.
+    pub fn is_corrupted(&self) -> bool {
+        matches!(self, RunStatus::Corrupted { .. })
+    }
+
     /// The failure, if any. For a degraded matrix this is the primary's
-    /// failure (absent when an open breaker skipped the primary).
+    /// failure (absent when an open breaker skipped the primary). A
+    /// corrupted matrix carries no [`KernelFailure`] — the primary
+    /// *succeeded*; its output was simply wrong.
     pub fn failure(&self) -> Option<&KernelFailure> {
         match self {
             RunStatus::Ok => None,
             RunStatus::Degraded { failure, .. } => failure.as_ref(),
             RunStatus::Failed(f) => Some(f),
+            RunStatus::Corrupted { .. } => None,
         }
     }
 }
@@ -304,16 +330,25 @@ pub(crate) fn attempt(
     })?;
     isolate(kernel, Stage::Prepare, || k.prepare(&entry.coo, &ctx))?;
     if let Some(f) = fault {
-        // A kernel that cannot host this fault class runs clean — the
-        // spec corrupts "every kernel that supports it".
-        match k.inject_fault(f.class, f.seed) {
-            Ok(_) | Err(KernelError::FaultUnsupported { .. }) => {}
-            Err(error) => {
-                return Err(KernelFailure {
-                    kernel: kernel.to_string(),
-                    stage: Stage::Prepare,
-                    error,
-                })
+        if f.class == FaultClass::MidRunBitFlip {
+            // Mid-run SDC is hosted by the *engine*, not the prepared
+            // input: arm the flip on the context so it fires silently
+            // during `run`, after every input check has passed. Kernels
+            // that don't run on simulated memory (and host legs, which
+            // never construct the engine) run clean — the spec corrupts
+            // "every kernel that supports it".
+            ctx.vp.mid_run_flip = k.arm_sdc(f.seed);
+        } else {
+            // A kernel that cannot host this fault class runs clean.
+            match k.inject_fault(f.class, f.seed) {
+                Ok(_) | Err(KernelError::FaultUnsupported { .. }) => {}
+                Err(error) => {
+                    return Err(KernelFailure {
+                        kernel: kernel.to_string(),
+                        stage: Stage::Prepare,
+                        error,
+                    })
+                }
             }
         }
     }

@@ -86,6 +86,12 @@ pub fn figure_rows(results: &[MatrixResult], backend: &str) -> Vec<Vec<String>> 
                         kernel, fallback, ..
                     } => format!("degraded[{kernel}->{fallback}]"),
                     RunStatus::Failed(f) => format!("failed[{}]", f.stage),
+                    RunStatus::Corrupted {
+                        kernel, backend, ..
+                    } => match backend {
+                        Some(b) => format!("corrupted[{kernel}->{b}]"),
+                        None => format!("corrupted[{kernel}]"),
+                    },
                 },
             ]
         })

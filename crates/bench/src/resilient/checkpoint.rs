@@ -1,20 +1,28 @@
 //! Checkpoint/resume for the soak pipeline.
 //!
-//! ## Schema: `stm-soak-checkpoint/v1`
+//! ## Schema: `stm-soak-checkpoint/v2`
 //!
 //! A checkpoint file is JSON lines with **byte-deterministic** layout —
-//! fixed field order, no floats, one record per line:
+//! fixed field order, no floats, one record per line, every line sealed
+//! with a per-record checksum ([`stm_obs::journal::seal`]):
 //!
 //! ```text
-//! {"schema":"stm-soak-checkpoint/v1","fingerprint":<u64>}
-//! {"index":0,"name":"...","status":"ok|degraded|failed","slots":[...]}
+//! {"schema":"stm-soak-checkpoint/v2","fingerprint":"0x…","crc":"0x…"}
+//! {"index":0,"name":"...","status":"ok|degraded|failed|corrupted","slots":[...],"crc":"0x…"}
 //! {"index":1, ...}
 //! ```
 //!
 //! Each slot (one per primary kernel, fixed order) carries the breaker
 //! decision, the primary outcome, attempt count, cycles, and — flattened
-//! to keep the parser simple — the failure stage/error rendering and the
-//! fallback's result. Absent string fields serialize as `""`.
+//! to keep the parser simple — the failure stage/error rendering, the
+//! served canonical digest with the integrity-verification verdict, and
+//! the fallback's result. Absent string fields serialize as `""`.
+//!
+//! `v1` files (no digest/verify fields, unsealed lines) still load:
+//! absent integrity fields default to "not verified", and a line with no
+//! seal is accepted as legacy. A line whose seal *fails* is detected
+//! corruption and refuses to load — the `stmscrub` bin locates the
+//! damage.
 //!
 //! Because the pipeline commits results strictly in input order, the
 //! entries of a checkpoint always form the contiguous prefix `0..k` of
@@ -36,10 +44,15 @@
 use super::breaker::{Decision, Outcome};
 use std::io::Write;
 use std::path::Path;
+use stm_obs::journal;
 use stm_obs::json::Json;
 
 /// Schema tag of the checkpoint header line.
-pub const SCHEMA: &str = "stm-soak-checkpoint/v1";
+pub const SCHEMA: &str = "stm-soak-checkpoint/v2";
+
+/// The previous schema, still accepted by [`load`]: no per-slot
+/// digest/verify fields, no record seals.
+pub const SCHEMA_V1: &str = "stm-soak-checkpoint/v1";
 
 /// Terminal status of one committed suite entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +64,11 @@ pub enum EntryStatus {
     Degraded,
     /// At least one slot failed beyond rescue.
     Failed,
+    /// At least one slot's output was convicted by integrity
+    /// verification — a silent data corruption was detected (and, when a
+    /// majority leg or the fallback produced a clean result, recovered).
+    /// Outranks the other statuses.
+    Corrupted,
 }
 
 impl EntryStatus {
@@ -60,6 +78,7 @@ impl EntryStatus {
             EntryStatus::Ok => "ok",
             EntryStatus::Degraded => "degraded",
             EntryStatus::Failed => "failed",
+            EntryStatus::Corrupted => "corrupted",
         }
     }
 
@@ -69,9 +88,24 @@ impl EntryStatus {
             "ok" => Some(EntryStatus::Ok),
             "degraded" => Some(EntryStatus::Degraded),
             "failed" => Some(EntryStatus::Failed),
+            "corrupted" => Some(EntryStatus::Corrupted),
             _ => None,
         }
     }
+}
+
+/// Integrity-verification verdict of one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyRecord {
+    /// The [`super::VerifyMode`] name the slot ran under.
+    pub mode: String,
+    /// Verification re-executions performed.
+    pub legs: u64,
+    /// Whether the primary's output was convicted.
+    pub corrupted: bool,
+    /// The leg adopted in the convicted primary's place (`""` when
+    /// recovery came from the fallback or did not happen).
+    pub recovered: String,
 }
 
 /// Result of the fallback kernel in one slot.
@@ -105,6 +139,13 @@ pub struct SlotRecord {
     pub stage: Option<String>,
     /// Failure error rendering when the primary failed.
     pub error: Option<String>,
+    /// Format-independent canonical digest of the result this slot
+    /// *served* (0 when nothing was served, or the output had no
+    /// canonical form). Serialized as a hex string — the JSON number
+    /// path routes through `f64`, which cannot hold all 64 bits.
+    pub digest: u64,
+    /// The integrity-verification verdict, when verification ran.
+    pub verify: Option<VerifyRecord>,
     /// The fallback's result, when one was attempted.
     pub fallback: Option<FallbackRecord>,
 }
@@ -160,8 +201,17 @@ impl EntryRecord {
                         opt(&f.error),
                     ),
                 };
+                let (v_mode, v_legs, v_corrupted, v_recovered) = match &s.verify {
+                    None => (String::new(), 0, 0, String::new()),
+                    Some(v) => (
+                        esc(&v.mode),
+                        v.legs,
+                        u64::from(v.corrupted),
+                        esc(&v.recovered),
+                    ),
+                };
                 format!(
-                    "{{\"kernel\":\"{}\",\"decision\":\"{}\",\"outcome\":\"{}\",\"attempts\":{},\"cycles\":{},\"stage\":\"{}\",\"error\":\"{}\",\"fallback\":\"{}\",\"fallback_outcome\":\"{}\",\"fallback_cycles\":{},\"fallback_error\":\"{}\"}}",
+                    "{{\"kernel\":\"{}\",\"decision\":\"{}\",\"outcome\":\"{}\",\"attempts\":{},\"cycles\":{},\"stage\":\"{}\",\"error\":\"{}\",\"digest\":\"0x{:016x}\",\"verify\":\"{}\",\"verify_legs\":{},\"corrupted\":{},\"recovered\":\"{}\",\"fallback\":\"{}\",\"fallback_outcome\":\"{}\",\"fallback_cycles\":{},\"fallback_error\":\"{}\"}}",
                     esc(&s.kernel),
                     s.decision.name(),
                     s.outcome.name(),
@@ -169,6 +219,11 @@ impl EntryRecord {
                     s.cycles,
                     opt(&s.stage),
                     opt(&s.error),
+                    s.digest,
+                    v_mode,
+                    v_legs,
+                    v_corrupted,
+                    v_recovered,
                     fb_kernel,
                     fb_outcome,
                     fb_cycles,
@@ -210,6 +265,28 @@ impl EntryRecord {
             let outcome = str_field(s, "outcome")?;
             let outcome =
                 Outcome::from_name(&outcome).ok_or_else(|| format!("bad outcome {outcome:?}"))?;
+            // Integrity fields arrived with schema v2 — default them
+            // (digest 0, no verification) so v1 files still parse.
+            let digest = match s.get("digest").and_then(Json::as_str) {
+                None => 0,
+                Some(hex) => hex
+                    .strip_prefix("0x")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("bad digest {hex:?}"))?,
+            };
+            let verify = match s.get("verify").and_then(Json::as_str) {
+                None | Some("") => None,
+                Some(mode) => Some(VerifyRecord {
+                    mode: mode.to_string(),
+                    legs: u64_field(s, "verify_legs")?,
+                    corrupted: match u64_field(s, "corrupted")? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(format!("bad corrupted flag {other}")),
+                    },
+                    recovered: str_field(s, "recovered")?,
+                }),
+            };
             let fb_kernel = str_field(s, "fallback")?;
             let fallback = if fb_kernel.is_empty() {
                 None
@@ -234,6 +311,8 @@ impl EntryRecord {
                 cycles: u64_field(s, "cycles")?,
                 stage: non_empty(str_field(s, "stage")?),
                 error: non_empty(str_field(s, "error")?),
+                digest,
+                verify,
                 fallback,
             });
         }
@@ -271,7 +350,8 @@ pub struct Checkpoint {
     pub entries: Vec<EntryRecord>,
 }
 
-/// Atomically writes a checkpoint (`<path>.tmp` then rename).
+/// Atomically writes a checkpoint (`<path>.tmp` then rename). Every
+/// line — header included — is sealed with a per-record checksum.
 pub fn save(path: &Path, fingerprint: u64, entries: &[EntryRecord]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -285,10 +365,13 @@ pub fn save(path: &Path, fingerprint: u64, entries: &[EntryRecord]) -> std::io::
         // through f64, which cannot hold all 64 fingerprint bits.
         writeln!(
             f,
-            "{{\"schema\":\"{SCHEMA}\",\"fingerprint\":\"0x{fingerprint:016x}\"}}"
+            "{}",
+            journal::seal(&format!(
+                "{{\"schema\":\"{SCHEMA}\",\"fingerprint\":\"0x{fingerprint:016x}\"}}"
+            ))
         )?;
         for e in entries {
-            writeln!(f, "{}", e.canonical_line())?;
+            writeln!(f, "{}", journal::seal(&e.canonical_line()))?;
         }
         f.flush()?;
     }
@@ -301,59 +384,56 @@ pub fn save(path: &Path, fingerprint: u64, entries: &[EntryRecord]) -> std::io::
 /// also written append-only by consumers that flush line by line (the
 /// `stm-serve` results log follows the pattern) — and a `kill -9` can
 /// land mid-write, truncating the **final** line. A final line that
-/// fails to parse *and* is not newline-terminated is therefore a torn
-/// record from an interrupted write: it is skipped with a warning on
-/// stderr, and the intact prefix loads normally. A malformed line
-/// anywhere else (or a complete, newline-terminated final line that
-/// does not parse) is still corruption and still errors.
+/// fails its seal or parse *and* is not newline-terminated is therefore
+/// a torn record from an interrupted write: it is skipped with a
+/// warning on stderr, and the intact prefix loads normally
+/// ([`stm_obs::journal::read_journal`] is the shared reader). A bad
+/// seal or malformed line anywhere else is corruption and errors.
+/// Unsealed `v1` files load as legacy.
 pub fn load(path: &Path) -> Result<Checkpoint, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
-    let complete = text.is_empty() || text.ends_with('\n');
-    let mut lines = text.lines().peekable();
-    let header = lines.next().ok_or("empty checkpoint file")?;
-    let header = Json::parse(header).map_err(|e| format!("bad header: {e}"))?;
-    let schema = header.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != SCHEMA {
-        return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+    if text.is_empty() {
+        return Err("empty checkpoint file".to_string());
     }
-    let fingerprint = header
-        .get("fingerprint")
-        .and_then(Json::as_str)
-        .and_then(|s| s.strip_prefix("0x"))
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .ok_or("header missing fingerprint")?;
-    let mut entries = Vec::new();
-    let mut i = 0usize;
-    while let Some(line) = lines.next() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let torn_tail = lines.peek().is_none() && !complete;
-        let parsed = Json::parse(line)
-            .map_err(|e| format!("entry {i}: {e}"))
-            .and_then(|json| EntryRecord::parse(&json).map_err(|e| format!("entry {i}: {e}")));
-        let entry = match parsed {
-            Ok(entry) => entry,
-            Err(e) if torn_tail => {
-                eprintln!(
-                    "warning: checkpoint {path:?}: skipping torn final line \
-                     (truncated mid-write record): {e}"
-                );
-                break;
+    let mut fingerprint: Option<u64> = None;
+    let read = journal::read_journal(&text, |index, body| {
+        let json = Json::parse(body).map_err(|e| e.to_string())?;
+        if index == 0 {
+            let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+            if schema != SCHEMA && schema != SCHEMA_V1 {
+                return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
             }
-            Err(e) => return Err(e),
-        };
+            fingerprint = Some(
+                json.get("fingerprint")
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.strip_prefix("0x"))
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or("header missing fingerprint")?,
+            );
+            return Ok(None);
+        }
+        EntryRecord::parse(&json)
+            .map(Some)
+            .map_err(|e| format!("entry {}: {e}", index - 1))
+    })
+    .map_err(|e| format!("checkpoint {path:?}: {e}"))?;
+    if let Some(torn) = &read.torn {
+        eprintln!(
+            "warning: checkpoint {path:?}: skipping torn final line \
+             (truncated mid-write record): {torn}"
+        );
+    }
+    let entries = read.records;
+    for (i, entry) in entries.iter().enumerate() {
         if entry.index != i as u64 {
             return Err(format!(
                 "entry {i} has index {} — checkpoint is not a contiguous prefix",
                 entry.index
             ));
         }
-        entries.push(entry);
-        i += 1;
     }
     Ok(Checkpoint {
-        fingerprint,
+        fingerprint: fingerprint.ok_or("empty checkpoint file")?,
         entries,
     })
 }
@@ -376,6 +456,13 @@ mod tests {
                     cycles: 1234,
                     stage: None,
                     error: None,
+                    digest: 0xdead_beef_0bad_f00d,
+                    verify: Some(VerifyRecord {
+                        mode: "vote".into(),
+                        legs: 2,
+                        corrupted: false,
+                        recovered: String::new(),
+                    }),
                     fallback: None,
                 }],
             },
@@ -391,12 +478,36 @@ mod tests {
                     cycles: 0,
                     stage: Some("run".into()),
                     error: Some("corrupt: bad\nimage".into()),
+                    digest: 0,
+                    verify: None,
                     fallback: Some(FallbackRecord {
                         kernel: "transpose_ref".into(),
                         ok: true,
                         cycles: 999,
                         error: None,
                     }),
+                }],
+            },
+            EntryRecord {
+                index: 2,
+                name: "sdc-hit".into(),
+                status: EntryStatus::Corrupted,
+                slots: vec![SlotRecord {
+                    kernel: "transpose_hism".into(),
+                    decision: Decision::Run,
+                    outcome: Outcome::Failure,
+                    attempts: 1,
+                    cycles: 777,
+                    stage: None,
+                    error: None,
+                    digest: 0x1111_2222_3333_4444,
+                    verify: Some(VerifyRecord {
+                        mode: "vote".into(),
+                        legs: 2,
+                        corrupted: true,
+                        recovered: "scalar".into(),
+                    }),
+                    fallback: None,
                 }],
             },
         ]
@@ -476,7 +587,7 @@ mod tests {
             std::fs::write(&torn, &bytes[..cut]).unwrap();
             let loaded = load(&torn).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
             assert_eq!(loaded.fingerprint, 9);
-            assert_eq!(loaded.entries, entries[..1], "cut at {cut}");
+            assert_eq!(loaded.entries, entries[..entries.len() - 1], "cut at {cut}");
         }
 
         // Losing only the trailing newline leaves a complete final
@@ -505,9 +616,54 @@ mod tests {
 
     #[test]
     fn status_names_round_trip() {
-        for s in [EntryStatus::Ok, EntryStatus::Degraded, EntryStatus::Failed] {
+        for s in [
+            EntryStatus::Ok,
+            EntryStatus::Degraded,
+            EntryStatus::Failed,
+            EntryStatus::Corrupted,
+        ] {
             assert_eq!(EntryStatus::from_name(s.name()), Some(s));
         }
         assert_eq!(EntryStatus::from_name("meh"), None);
+    }
+
+    #[test]
+    fn v1_files_load_with_defaulted_integrity_fields() {
+        let dir = std::env::temp_dir().join("stm-ckpt-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.ckpt");
+        // A v1 file: v1 schema tag, no digest/verify fields, no seals.
+        let text = format!(
+            "{{\"schema\":\"{SCHEMA_V1}\",\"fingerprint\":\"0x000000000000002a\"}}\n\
+             {{\"index\":0,\"name\":\"tri64\",\"status\":\"ok\",\"slots\":[\
+             {{\"kernel\":\"transpose_hism\",\"decision\":\"run\",\"outcome\":\"success\",\
+             \"attempts\":1,\"cycles\":1234,\"stage\":\"\",\"error\":\"\",\"fallback\":\"\",\
+             \"fallback_outcome\":\"\",\"fallback_cycles\":0,\"fallback_error\":\"\"}}]}}\n"
+        );
+        std::fs::write(&path, text).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.fingerprint, 42);
+        assert_eq!(loaded.entries.len(), 1);
+        let slot = &loaded.entries[0].slots[0];
+        assert_eq!(slot.digest, 0);
+        assert_eq!(slot.verify, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_flipped_bit_in_a_sealed_checkpoint_refuses_to_load() {
+        let dir = std::env::temp_dir().join("stm-ckpt-sealed");
+        let path = dir.join("soak.ckpt");
+        save(&path, 7, &sample_entries()).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+        assert!(good.lines().all(|l| l.contains("\"crc\":\"0x")));
+        // Corrupt one digit of a mid-file record's cycle count: the line
+        // still parses as valid JSON, but its seal convicts it.
+        let rotten = good.replacen("\"cycles\":1234", "\"cycles\":1235", 1);
+        assert_ne!(rotten, good);
+        std::fs::write(&path, rotten).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -39,7 +39,8 @@ pub mod checkpoint;
 pub use backoff::RetryPolicy;
 pub use breaker::{Breaker, BreakerConfig, BreakerState, Decision, Outcome, Transition};
 pub use checkpoint::{
-    digest, Checkpoint, EntryRecord, EntryStatus, FallbackRecord, SlotRecord, SCHEMA,
+    digest, Checkpoint, EntryRecord, EntryStatus, FallbackRecord, SlotRecord, VerifyRecord, SCHEMA,
+    SCHEMA_V1,
 };
 
 use crate::harness::{
@@ -71,6 +72,69 @@ pub struct ChaosSpec {
     pub rate_pct: u32,
     /// Seed of the per-item draw stream.
     pub seed: u64,
+}
+
+/// Mid-run silent-data-corruption injection: each suite item draws
+/// against `rate_pct` (independently of [`ChaosSpec`]); a hit arms a
+/// seeded [`FaultClass::MidRunBitFlip`] on the item's primary kernels —
+/// a single bit of simulated memory flipped *during* the run, after
+/// every input check has passed. Unlike chaos faults, the corruption is
+/// silent by construction: no typed error fires, and only the
+/// cross-execution digest comparison of [`VerifyMode::Dual`]/
+/// [`VerifyMode::Vote`] (or the harness oracle, which production soaks
+/// run without) can see it. Purely seed-determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcSpec {
+    /// Injection probability per item, in percent (`0..=100`).
+    pub rate_pct: u32,
+    /// Seed of the per-item draw stream.
+    pub seed: u64,
+}
+
+/// Output-integrity verification tier for successful primary runs —
+/// the `--verify-mode` knob of `stmsoak` (and the serve pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Trust the primary's output as-is.
+    #[default]
+    Off,
+    /// Re-verify the output artifact's own checksums (HiSM image section
+    /// seals). Catches at-rest corruption of the artifact, but **not**
+    /// mid-run SDC: the output is sealed *after* the run, so a flip that
+    /// lands before sealing is checksummed over. The documented blind
+    /// tier — [`VerifyMode::Dual`]/[`VerifyMode::Vote`] exist because of
+    /// it.
+    Checksum,
+    /// Re-execute on one alternate backend and compare format-independent
+    /// canonical digests; on disagreement escalate to the third backend
+    /// and let the 2-of-3 majority decide.
+    Dual,
+    /// Re-execute on both alternate backends up front: 2-of-3 majority
+    /// voting across the simulator / scalar-host / SIMD-host legs.
+    Vote,
+}
+
+impl VerifyMode {
+    /// Stable lowercase name (`off`/`checksum`/`dual`/`vote`).
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Checksum => "checksum",
+            VerifyMode::Dual => "dual",
+            VerifyMode::Vote => "vote",
+        }
+    }
+
+    /// Parses [`VerifyMode::name`] output.
+    pub fn from_name(name: &str) -> Option<VerifyMode> {
+        match name {
+            "off" => Some(VerifyMode::Off),
+            "checksum" => Some(VerifyMode::Checksum),
+            "dual" => Some(VerifyMode::Dual),
+            "vote" => Some(VerifyMode::Vote),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of one soak run.
@@ -111,6 +175,14 @@ pub struct SoakConfig {
     /// attempted. Changes the checkpoint fingerprint and the report
     /// digest (the entry stream gains a slot).
     pub format: Option<stm_dsab::FormatSel>,
+    /// Output-integrity verification tier for successful primaries
+    /// (`--verify-mode` in `stmsoak`). Non-[`VerifyMode::Off`] values
+    /// change the checkpoint fingerprint and the report digest (slots
+    /// gain verification fields).
+    pub verify_mode: VerifyMode,
+    /// Mid-run silent-data-corruption injection; `None` injects nothing.
+    /// Changes the fingerprint when set.
+    pub sdc: Option<SdcSpec>,
 }
 
 impl Default for SoakConfig {
@@ -126,6 +198,8 @@ impl Default for SoakConfig {
             trace: None,
             stop_after: None,
             format: None,
+            verify_mode: VerifyMode::Off,
+            sdc: None,
         }
     }
 }
@@ -176,9 +250,19 @@ impl SoakConfig {
         // resuming a sim checkpoint under `--backend scalar` (or vice
         // versa) must refuse; default-backend checkpoints keep their
         // pre-backend fingerprints.
-        match self.run.backend {
+        let h = match self.run.backend {
             registry::Backend::Sim => h,
             b => fnv1a(h, format!("|backend={}", b.name()).as_bytes()),
+        };
+        // The integrity plane follows the same append-only convention:
+        // runs without it keep their pre-integrity fingerprints.
+        let h = match self.verify_mode {
+            VerifyMode::Off => h,
+            m => fnv1a(h, format!("|verify_mode={}", m.name()).as_bytes()),
+        };
+        match self.sdc {
+            None => h,
+            Some(s) => fnv1a(h, format!("|sdc={},{}", s.rate_pct, s.seed).as_bytes()),
         }
     }
 
@@ -213,6 +297,29 @@ pub fn chaos_fault(chaos: Option<&ChaosSpec>, index: usize) -> Option<FaultSpec>
     Some(FaultSpec {
         index,
         class,
+        seed: rng.next_u64(),
+    })
+}
+
+/// The per-item SDC draw: `None` for a clean item, or a
+/// [`FaultClass::MidRunBitFlip`] spec to arm on the item's primary
+/// kernels. Pure in `(spec, index)`; the draw stream is independent of
+/// [`chaos_fault`]'s. An SDC hit takes precedence over a chaos hit on
+/// the same item.
+pub fn sdc_fault(sdc: Option<&SdcSpec>, index: usize) -> Option<FaultSpec> {
+    let spec = sdc?;
+    if spec.rate_pct == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(
+        spec.seed ^ 0x5dc0_11ec ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    if rng.gen_range(0..100usize) >= spec.rate_pct as usize {
+        return None;
+    }
+    Some(FaultSpec {
+        index,
+        class: FaultClass::MidRunBitFlip,
         seed: rng.next_u64(),
     })
 }
@@ -254,13 +361,175 @@ impl SoakReport {
     }
 }
 
-/// One executed primary-kernel slot (plus its fallback, when taken).
+/// The three execution legs digests can be compared across. A primary
+/// that ran on [`registry::Backend::Auto`] is attributed to the SIMD
+/// leg (that is what `Auto` resolves to on every supported host).
+const VERIFY_LEGS: [(&str, registry::Backend); 3] = [
+    ("sim", registry::Backend::Sim),
+    ("scalar", registry::Backend::Scalar),
+    ("simd", registry::Backend::Simd),
+];
+
+/// The leg name the configured backend executes as.
+fn backend_leg(b: registry::Backend) -> &'static str {
+    match b {
+        registry::Backend::Sim => "sim",
+        registry::Backend::Scalar => "scalar",
+        registry::Backend::Simd | registry::Backend::Auto => "simd",
+    }
+}
+
+/// Integrity verification of one successful primary attempt.
+///
+/// * [`VerifyMode::Checksum`] re-verifies the output artifact's own
+///   section seals (HiSM images only — the other output formats carry no
+///   at-rest checksums, so their slots record no verification). Cheap,
+///   but blind to mid-run SDC by design: the seal is computed *after*
+///   the run, so a flip that lands before sealing is checksummed over.
+/// * [`VerifyMode::Dual`] / [`VerifyMode::Vote`] re-execute the kernel
+///   on alternate backends with **no** fault injection and compare
+///   format-independent canonical digests. Dual runs one alternate and
+///   escalates to the third leg only on disagreement; Vote runs both up
+///   front. Either way the verdict is 2-of-3: a primary confirmed by any
+///   independent leg is clean; a primary outvoted by two agreeing legs
+///   (or one whose output does not even decode) is corrupted, and the
+///   agreeing pair's report is adopted as the recovery. A 1-vs-1 tie —
+///   one leg erred, the other merely disagrees — convicts nobody: no
+///   majority, no verdict.
+///
+/// Returns `None` for [`VerifyMode::Off`], for Checksum on non-HiSM
+/// outputs, and for Dual/Vote on kernels without a host implementation
+/// (a single execution substrate has no independent leg).
+fn verify_primary(
+    run: &RunConfig,
+    entry: &SuiteEntry,
+    kernel: &'static str,
+    mode: VerifyMode,
+    primary: &KernelReport,
+) -> Option<VerifyExec> {
+    // The digest that gets quarantined when the verdict is corrupted:
+    // canonical when the output still decodes, its format-level digest
+    // otherwise (an undecodable image has no canonical form).
+    let quarantine = || {
+        primary
+            .output
+            .canonical_digest()
+            .unwrap_or(primary.output_digest)
+    };
+    match mode {
+        VerifyMode::Off => None,
+        VerifyMode::Checksum => {
+            let img = primary.output.as_hism()?;
+            let corrupted = img.verify_integrity().is_err();
+            Some(VerifyExec {
+                mode,
+                legs: Vec::new(),
+                corrupted,
+                quarantined: if corrupted { quarantine() } else { 0 },
+                recovery: None,
+            })
+        }
+        VerifyMode::Dual | VerifyMode::Vote => {
+            if !registry::host_capable(kernel) {
+                return None;
+            }
+            let primary_leg = backend_leg(run.backend);
+            let alternates: Vec<(&'static str, registry::Backend)> = VERIFY_LEGS
+                .iter()
+                .copied()
+                .filter(|(name, _)| *name != primary_leg)
+                .collect();
+            let reference = primary.output.canonical_digest();
+            let run_leg = |(name, backend): (&'static str, registry::Backend)| {
+                let mut alt = run.clone();
+                alt.backend = backend;
+                let result = attempt(&alt, kernel, entry, None, &Recorder::disabled())
+                    .ok()
+                    .and_then(|r| r.output.canonical_digest().map(|d| (r, d)));
+                (name, result)
+            };
+            let mut legs: Vec<&'static str> = Vec::new();
+            let mut results: Vec<(&'static str, Option<(KernelReport, u64)>)> = Vec::new();
+            let upfront = if mode == VerifyMode::Vote { 2 } else { 1 };
+            for &alt in alternates.iter().take(upfront) {
+                legs.push(alt.0);
+                results.push(run_leg(alt));
+            }
+            let confirmed = |results: &[(&'static str, Option<(KernelReport, u64)>)]| {
+                reference.is_some_and(|rf| {
+                    results
+                        .iter()
+                        .any(|(_, r)| matches!(r, Some((_, d)) if *d == rf))
+                })
+            };
+            if mode == VerifyMode::Dual && !confirmed(&results) {
+                // Disagreement (or an undecodable primary): escalate to
+                // the third leg and let the majority decide.
+                let alt = alternates[1];
+                legs.push(alt.0);
+                results.push(run_leg(alt));
+            }
+            if confirmed(&results) {
+                return Some(VerifyExec {
+                    mode,
+                    legs,
+                    corrupted: false,
+                    quarantined: 0,
+                    recovery: None,
+                });
+            }
+            // No independent leg reproduces the primary's digest. A
+            // conviction needs a majority: two executed legs agreeing
+            // with each other, or a primary output that does not decode
+            // at all (provably broken on its own).
+            let executed: Vec<(&'static str, &KernelReport, u64)> = results
+                .iter()
+                .filter_map(|(n, r)| r.as_ref().map(|(rep, d)| (*n, rep, *d)))
+                .collect();
+            let majority = match executed.as_slice() {
+                [(n1, r1, d1), (_, _, d2)] if d1 == d2 => Some((*n1, (*r1).clone())),
+                _ => None,
+            };
+            let corrupted = reference.is_none() || majority.is_some();
+            Some(VerifyExec {
+                mode,
+                legs,
+                corrupted,
+                quarantined: if corrupted { quarantine() } else { 0 },
+                recovery: if corrupted { majority } else { None },
+            })
+        }
+    }
+}
+
+/// Outcome of the integrity verification of one *successful* primary.
+struct VerifyExec {
+    mode: VerifyMode,
+    /// Verification legs actually executed (leg name per re-execution).
+    legs: Vec<&'static str>,
+    /// The verdict: the primary's output is provably wrong (digest
+    /// outvoted, or its own artifact checksums failed).
+    corrupted: bool,
+    /// The quarantined primary digest (canonical when the output still
+    /// decodes, else its format-level digest) — recorded, never served.
+    quarantined: u64,
+    /// The agreeing leg whose report is served in the primary's place,
+    /// when the majority produced one.
+    recovery: Option<(&'static str, KernelReport)>,
+}
+
+/// One executed primary-kernel slot (plus its verification legs and its
+/// fallback, when taken).
 struct SlotExec {
     kernel: &'static str,
     decision: Decision,
     /// `None` when the breaker skipped the primary.
     primary: Option<Result<KernelReport, KernelFailure>>,
     attempts: u64,
+    /// Integrity verification of a successful primary — `None` when the
+    /// mode is [`VerifyMode::Off`], the primary did not succeed, or the
+    /// kernel has a single leg (nothing to compare against).
+    verify: Option<VerifyExec>,
     fallback: Option<(&'static str, Result<KernelReport, KernelFailure>)>,
 }
 
@@ -268,9 +537,18 @@ impl SlotExec {
     fn outcome(&self) -> Outcome {
         match &self.primary {
             None => Outcome::Skipped,
+            // A detected SDC feeds the breaker as a failure: a kernel
+            // (or backend) that keeps producing outvoted digests should
+            // shed load onto its fallback exactly like one that keeps
+            // raising typed errors.
+            Some(Ok(_)) if self.corrupted() => Outcome::Failure,
             Some(Ok(_)) => Outcome::Success,
             Some(Err(_)) => Outcome::Failure,
         }
+    }
+
+    fn corrupted(&self) -> bool {
+        self.verify.as_ref().is_some_and(|v| v.corrupted)
     }
 
     fn record(&self) -> SlotRecord {
@@ -287,6 +565,20 @@ impl SlotExec {
             cycles,
             stage,
             error,
+            digest: self
+                .verified()
+                .and_then(|r| r.output.canonical_digest())
+                .unwrap_or(0),
+            verify: self.verify.as_ref().map(|v| checkpoint::VerifyRecord {
+                mode: v.mode.name().to_string(),
+                legs: v.legs.len() as u64,
+                corrupted: v.corrupted,
+                recovered: v
+                    .recovery
+                    .as_ref()
+                    .map(|(leg, _)| (*leg).to_string())
+                    .unwrap_or_default(),
+            }),
             fallback: self.fallback.as_ref().map(|(k, r)| match r {
                 Ok(rep) => FallbackRecord {
                     kernel: (*k).to_string(),
@@ -304,9 +596,23 @@ impl SlotExec {
         }
     }
 
-    /// The verified report for this slot, from whichever kernel
-    /// produced one.
+    /// The trusted report for this slot, from whichever execution
+    /// produced one: the primary when its output survived verification,
+    /// the majority leg adopted in its place when it did not, else the
+    /// registry fallback.
     fn verified(&self) -> Option<&KernelReport> {
+        if let Some(v) = &self.verify {
+            if v.corrupted {
+                return v
+                    .recovery
+                    .as_ref()
+                    .map(|(_, r)| r)
+                    .or(match &self.fallback {
+                        Some((_, Ok(r))) => Some(r),
+                        _ => None,
+                    });
+            }
+        }
         match &self.primary {
             Some(Ok(r)) => Some(r),
             _ => match &self.fallback {
@@ -317,8 +623,17 @@ impl SlotExec {
     }
 }
 
-/// Terminal [`EntryStatus`] of a committed entry's slots.
+/// Terminal [`EntryStatus`] of a committed entry's slots. A detected
+/// SDC outranks everything: an entry that served a wrong-then-recovered
+/// (or unrecoverable) result is `Corrupted` even if every other slot is
+/// clean — integrity events must never be absorbed into `Degraded`.
 fn entry_status(slots: &[SlotRecord]) -> EntryStatus {
+    if slots
+        .iter()
+        .any(|s| s.verify.as_ref().is_some_and(|v| v.corrupted))
+    {
+        return EntryStatus::Corrupted;
+    }
     let mut degraded = false;
     for s in slots {
         let rescued = s.fallback.as_ref().is_some_and(|f| f.ok);
@@ -341,9 +656,22 @@ fn entry_status(slots: &[SlotRecord]) -> EntryStatus {
 }
 
 /// [`RunStatus`] of a live (executed-in-process) entry, with full typed
-/// failures. Precedence: any unrescued slot ⇒ `Failed`, else any
-/// rescued slot ⇒ `Degraded`, else `Ok`.
+/// failures. Precedence: any corrupted slot ⇒ `Corrupted`, else any
+/// unrescued slot ⇒ `Failed`, else any rescued slot ⇒ `Degraded`, else
+/// `Ok`.
 fn live_status(slots: &[SlotExec]) -> RunStatus {
+    for s in slots {
+        if let Some(v) = &s.verify {
+            if v.corrupted {
+                return RunStatus::Corrupted {
+                    kernel: s.kernel.to_string(),
+                    quarantined: v.quarantined,
+                    served: s.verified().and_then(|r| r.output.canonical_digest()),
+                    backend: v.recovery.as_ref().map(|(leg, _)| (*leg).to_string()),
+                };
+            }
+        }
+    }
     for s in slots {
         if s.verified().is_none() {
             let failure = match (&s.primary, &s.fallback) {
@@ -460,6 +788,7 @@ impl Shared {
         rec: &Recorder,
         entry: &EntryRecord,
         chaos_hit: bool,
+        sdc_hit: bool,
         n: usize,
         w: usize,
     ) {
@@ -467,6 +796,9 @@ impl Shared {
         let seq = i as u64;
         if chaos_hit {
             rec.add("resil.chaos.injected", 1);
+        }
+        if sdc_hit {
+            rec.add("resil.sdc.injected", 1);
         }
         for (k, slot) in entry.slots.iter().enumerate() {
             // Only the primary slots feed a breaker; the optional format
@@ -484,6 +816,21 @@ impl Shared {
                     rec.add("resil.fallback.rescues", 1);
                 }
             }
+            // Integrity counters fold from the *record*, so a resumed
+            // run replays them identically to a live one.
+            if let Some(v) = &slot.verify {
+                rec.add("integrity.verify.slots", 1);
+                rec.add("integrity.verify.legs", v.legs);
+                if v.corrupted {
+                    rec.instant(Lane::Resil, Category::Resil, "integrity.sdc.detected", seq);
+                    rec.add("integrity.sdc.detected", 1);
+                    if v.recovered.is_empty() {
+                        rec.add("integrity.sdc.unrecovered", 1);
+                    } else {
+                        rec.add("integrity.sdc.recovered", 1);
+                    }
+                }
+            }
             if slot
                 .error
                 .as_deref()
@@ -498,11 +845,15 @@ impl Shared {
                 EntryStatus::Ok => "resil.ok",
                 EntryStatus::Degraded => "resil.degraded",
                 EntryStatus::Failed => "resil.failed",
+                EntryStatus::Corrupted => "resil.corrupted",
             },
             1,
         );
         if entry.status == EntryStatus::Degraded {
             rec.instant(Lane::Resil, Category::Resil, "resil.degraded", seq);
+        }
+        if entry.status == EntryStatus::Corrupted {
+            rec.instant(Lane::Resil, Category::Resil, "resil.corrupted", seq);
         }
         self.committed += 1;
         if self.decisions.len() < n && self.decisions.len() < self.committed + w {
@@ -546,9 +897,12 @@ fn absorb_structural(rec: &Recorder, att: &Recorder, clock: &mut u64) {
 }
 
 /// Runs one primary-kernel slot: the breaker-decided primary attempt
-/// loop (with backoff), then the registry fallback when the primary did
-/// not produce a verified result. Fallbacks run trusted — no chaos
-/// injection — but under the same deadline.
+/// loop (with backoff), then integrity verification of a successful
+/// primary ([`verify_primary`]), then the registry fallback when the
+/// slot still has no trusted result — the primary failed outright, or
+/// verification convicted it without producing a majority recovery.
+/// Fallbacks run trusted — no chaos injection — but under the same
+/// deadline.
 ///
 /// `rec` is the request-scoped recorder (disabled in the soak pipeline,
 /// which traces at commit granularity instead): when enabled, the slot
@@ -564,6 +918,7 @@ fn run_slot(
     kernel: &'static str,
     decision: Decision,
     fault: Option<&FaultSpec>,
+    mode: VerifyMode,
     rec: &Recorder,
 ) -> SlotExec {
     let traced = rec.is_enabled();
@@ -619,7 +974,26 @@ fn run_slot(
             out
         }
     };
-    let fallback = if matches!(primary, Some(Ok(_))) {
+    let verify = match &primary {
+        Some(Ok(r)) => verify_primary(run, entry, kernel, mode, r),
+        _ => None,
+    };
+    if traced && verify.as_ref().is_some_and(|v| v.corrupted) {
+        rec.instant(
+            Lane::Resil,
+            Category::Resil,
+            "integrity.sdc.detected",
+            clock,
+        );
+    }
+    // The slot has a trusted result when the primary succeeded and
+    // verification either passed, produced no verdict, or recovered a
+    // majority report. Anything else falls back.
+    let trusted = matches!(primary, Some(Ok(_)))
+        && verify
+            .as_ref()
+            .is_none_or(|v| !v.corrupted || v.recovery.is_some());
+    let fallback = if trusted {
         None
     } else {
         registry::fallback_for(kernel).map(|fb| {
@@ -653,6 +1027,7 @@ fn run_slot(
         decision,
         primary,
         attempts,
+        verify,
         fallback,
     }
 }
@@ -682,6 +1057,19 @@ pub struct SlotOutcome {
     /// for a degraded slot this is the *primary's* failure (absent when
     /// an open breaker skipped it).
     pub failure: Option<KernelFailure>,
+    /// `true` when integrity verification convicted the primary's
+    /// output: `report`, if present, came from the majority recovery leg
+    /// or the fallback — never from the quarantined primary.
+    pub corrupted: bool,
+    /// Verification re-executions performed (0 under [`VerifyMode::Off`],
+    /// for checksum-only verification, and for non-host-capable kernels).
+    pub verify_legs: u64,
+    /// The quarantined primary digest when `corrupted` (0 otherwise).
+    pub quarantined: u64,
+    /// The verification leg whose report was adopted in the corrupted
+    /// primary's place (`None` when recovery came from the fallback or
+    /// did not happen).
+    pub recovered: Option<&'static str>,
 }
 
 /// Runs one kernel through the full resilient slot path — the
@@ -714,11 +1102,13 @@ pub fn execute_slot(
     kernel: &'static str,
     decision: Decision,
     fault: Option<&FaultSpec>,
+    mode: VerifyMode,
     rec: &Recorder,
 ) -> SlotOutcome {
-    let exec = run_slot(run, retry, entry, index, kernel, decision, fault, rec);
+    let exec = run_slot(run, retry, entry, index, kernel, decision, fault, mode, rec);
     let outcome = exec.outcome();
-    let primary_ok = matches!(exec.primary, Some(Ok(_)));
+    let corrupted = exec.corrupted();
+    let primary_ok = matches!(exec.primary, Some(Ok(_))) && !corrupted;
     let report = exec.verified().cloned();
     let degraded = !primary_ok && report.is_some();
     let failure = if report.is_some() {
@@ -730,6 +1120,13 @@ pub fn execute_slot(
         match (&exec.primary, &exec.fallback) {
             (Some(Err(f)), _) => Some(f.clone()),
             (_, Some((_, Err(f)))) => Some(f.clone()),
+            _ if corrupted => Some(KernelFailure {
+                kernel: kernel.to_string(),
+                stage: Stage::Verify,
+                error: KernelError::Corrupt(
+                    "output digest outvoted by independent re-execution".to_string(),
+                ),
+            }),
             _ => Some(KernelFailure {
                 kernel: kernel.to_string(),
                 stage: Stage::Run,
@@ -737,6 +1134,7 @@ pub fn execute_slot(
             }),
         }
     };
+    let verify = exec.verify.as_ref();
     SlotOutcome {
         kernel,
         decision,
@@ -746,6 +1144,10 @@ pub fn execute_slot(
         fallback: exec.fallback.as_ref().map(|(k, _)| *k),
         report,
         failure,
+        corrupted,
+        verify_legs: verify.map_or(0, |v| v.legs.len() as u64),
+        quarantined: verify.map_or(0, |v| v.quarantined),
+        recovered: verify.and_then(|v| v.recovery.as_ref().map(|(leg, _)| *leg)),
     }
 }
 
@@ -821,8 +1223,9 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                         ));
                     }
                 }
-                let chaos_hit = chaos_fault(cfg.chaos.as_ref(), i).is_some();
-                shared.fold_commit(&rec, entry, chaos_hit, n, w);
+                let sdc_hit = sdc_fault(cfg.sdc.as_ref(), i).is_some();
+                let chaos_hit = !sdc_hit && chaos_fault(cfg.chaos.as_ref(), i).is_some();
+                shared.fold_commit(&rec, entry, chaos_hit, sdc_hit, n, w);
                 shared.entries.push(entry.clone());
             }
             resumed = shared.committed;
@@ -863,7 +1266,10 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                         return;
                     };
 
-                    let fault = chaos_fault(cfg.chaos.as_ref(), i);
+                    // An SDC hit takes precedence over a chaos hit on
+                    // the same item (the draws are independent streams).
+                    let fault = sdc_fault(cfg.sdc.as_ref(), i)
+                        .or_else(|| chaos_fault(cfg.chaos.as_ref(), i));
                     let mut slots: Vec<SlotExec> = PRIMARY_KERNELS
                         .iter()
                         .zip(&decisions)
@@ -876,6 +1282,7 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                                 kernel,
                                 decision,
                                 fault.as_ref(),
+                                cfg.verify_mode,
                                 &Recorder::disabled(),
                             )
                         })
@@ -890,6 +1297,7 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                             kind.transpose_kernel(),
                             Decision::Run,
                             fault.as_ref(),
+                            cfg.verify_mode,
                             &Recorder::disabled(),
                         ));
                     }
@@ -920,8 +1328,10 @@ pub fn run_soak(cfg: &SoakConfig, set: &[SuiteEntry]) -> Result<SoakReport, Stri
                             (g.in_flight + g.pending.len()) as f64,
                         );
                         rec.observe("resil.queue.depth", (g.in_flight + g.pending.len()) as u64);
-                        let chaos_hit = chaos_fault(cfg.chaos.as_ref(), next_commit).is_some();
-                        g.fold_commit(&rec, &entry, chaos_hit, n, w);
+                        let sdc_hit = sdc_fault(cfg.sdc.as_ref(), next_commit).is_some();
+                        let chaos_hit =
+                            !sdc_hit && chaos_fault(cfg.chaos.as_ref(), next_commit).is_some();
+                        g.fold_commit(&rec, &entry, chaos_hit, sdc_hit, n, w);
                         let hism = slots[0].verified().map(|r| r.report.clone());
                         let crs = slots[1].verified().map(|r| r.report.clone());
                         let format = cfg.format.map(|sel| {

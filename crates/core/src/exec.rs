@@ -471,6 +471,21 @@ pub trait Kernel {
     fn prepared_bytes(&self) -> u64 {
         0
     }
+
+    /// Picks a seeded *silent-data-corruption* payload for this kernel:
+    /// a mid-run single-bit flip of a simulated-memory word that carries
+    /// matrix content (arm it via [`crate::exec::ExecCtx`]'s
+    /// `vp.mid_run_flip` before [`Kernel::run`]). Unlike
+    /// [`Kernel::inject_fault`] — which corrupts the *prepared* input,
+    /// where sealed-image checksums and structural validation can catch
+    /// it — a mid-run flip lands after every input check has passed and
+    /// is silent by construction: only comparing output digests across
+    /// independent executions can see it. `None` means the kernel does
+    /// not run on simulated memory (or cannot target content words) and
+    /// hosts no SDC.
+    fn arm_sdc(&self, _seed: u64) -> Option<stm_vpsim::MidRunFlip> {
+        None
+    }
 }
 
 /// The deterministic SpMV operand vector the harness and benchmark

@@ -136,7 +136,7 @@ pub fn transpose_hism_obs(
     };
     record_phases(rec, &report.phases);
     let mem = e.into_mem();
-    let out = HismImage {
+    let mut out = HismImage {
         words: mem.read_block(0, image.words.len()),
         root: RootDesc {
             rows: image.root.cols,
@@ -144,7 +144,12 @@ pub fn transpose_hism_obs(
             ..image.root
         },
         pointer_sites: image.pointer_sites.clone(),
+        integrity: None,
     };
+    // Seal the output over the words the engine actually produced. A
+    // mid-run soft error is sealed over too — by design: an SDC is
+    // silent here and only the cross-backend digest vote can catch it.
+    out.seal_integrity();
     Ok((out, report))
 }
 

@@ -232,6 +232,54 @@ fn csr_bytes(csr: &Csr) -> u64 {
     4 * (csr.row_ptr().len() + csr.col_idx().len() + csr.values().len()) as u64
 }
 
+/// Picks a seeded index of a nonzero value word — the target set for
+/// [`FaultClass::ValueCorruption`], where a sign-bit flip is guaranteed
+/// to change the output bit pattern of every downstream kernel while
+/// leaving all structure (and therefore every typed check) intact.
+fn pick_nonzero_value(values: &[f32], r: &mut StdRng) -> Option<usize> {
+    let live: Vec<usize> = (0..values.len()).filter(|&k| values[k] != 0.0).collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[r.gen_range(0..live.len())])
+    }
+}
+
+/// [`FaultClass::ValueCorruption`] for the SpMV kernels: flips the sign
+/// bit of the candidate value with the largest `|a·x|` weight — the
+/// dominant term of the product. A random value flip can legitimately
+/// round away inside the f32 row accumulation (or multiply a zero of
+/// `x`), but negating the globally dominant term always survives into
+/// the output bits, keeping the class digest-detectable. `cands` pairs a
+/// value index with the column it multiplies.
+fn flip_dominant_term(
+    values: &mut [f32],
+    cands: &[(usize, usize)],
+    x: &[Value],
+    kernel: &'static str,
+) -> Result<FaultRecord, KernelError> {
+    let best = cands
+        .iter()
+        .map(|&(k, c)| {
+            let w = (values[k].abs() as f64) * x.get(c).map_or(0.0, |e| e.abs() as f64);
+            (k, w)
+        })
+        .filter(|&(_, w)| w > 0.0 && w.is_finite())
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)));
+    let Some((k, _)) = best else {
+        return Err(KernelError::FaultUnsupported {
+            kernel,
+            class: FaultClass::ValueCorruption,
+        });
+    };
+    values[k] = f32::from_bits(values[k].to_bits() ^ 1 << 31);
+    Ok(FaultRecord {
+        class: FaultClass::ValueCorruption,
+        word: None,
+        detail: format!("sign-flipped the dominant SpMV term at value {k} (structure untouched)"),
+    })
+}
+
 /// Shared fault injector for the CRS-input kernels: corrupts the prepared
 /// CSR arrays in the image of the HiSM fault taxonomy, rebuilding the
 /// matrix through `Csr::from_parts_unchecked` (the invariants are broken
@@ -297,6 +345,15 @@ fn inject_csr(
             col_idx[k] = bogus;
             detail = format!("column index JA[{k}] set to {bogus} (cols {cols})");
         }
+        FaultClass::ValueCorruption => {
+            let k = pick_nonzero_value(&values, &mut r)
+                .ok_or(KernelError::FaultUnsupported { kernel, class })?;
+            values[k] = f32::from_bits(values[k].to_bits() ^ 1 << 31);
+            detail = format!("flipped the sign bit of AN[{k}] (structure untouched)");
+        }
+        // Mid-run memory corruption lives in the simulator engine, not in
+        // host-side prepared arrays.
+        FaultClass::MidRunBitFlip => return unsupported,
     }
     *csr = Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, values);
     Ok(FaultRecord {
@@ -371,6 +428,29 @@ impl Kernel for TransposeHism {
         faults::inject(image, class, seed).ok_or(KernelError::FaultUnsupported {
             kernel: "transpose_hism",
             class,
+        })
+    }
+
+    fn arm_sdc(&self, seed: u64) -> Option<stm_vpsim::MidRunFlip> {
+        // The simulated kernel loads the image at memory address 0, so
+        // image word addresses are memory addresses. Target a leaf value
+        // word: the transpose copies value bits verbatim, so the flip —
+        // when the engine reads the word after it fires — lands in the
+        // output unchanged by any arithmetic. (It can still be *masked*
+        // when the strip streaming that word was already loaded; callers
+        // asserting detection must pick manifesting seeds.)
+        let image = self.image.as_ref()?;
+        let sites = image.value_sites().ok()?;
+        if sites.is_empty() {
+            return None;
+        }
+        let mut r = StdRng::seed_from_u64(seed ^ 0x5dc_f11b);
+        let word = sites[r.gen_range(0..sites.len())];
+        let bit = (r.next_u64() % 32) as u32;
+        Some(stm_vpsim::MidRunFlip {
+            after_cycle: 0,
+            word,
+            bit,
         })
     }
 }
@@ -697,10 +777,20 @@ impl Kernel for SpmvHism {
 
     fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
         let image = self.image.as_mut().ok_or(KernelError::NotPrepared)?;
-        faults::inject(image, class, seed).ok_or(KernelError::FaultUnsupported {
+        let unsupported = KernelError::FaultUnsupported {
             kernel: "spmv_hism",
             class,
-        })
+        };
+        if class == FaultClass::ValueCorruption {
+            // Weight sites by the |a·x| term they feed, so the flip can
+            // neither multiply a zero of x nor round away in the sum.
+            let x = &self.x;
+            return faults::inject_value_corruption(image, |_, c, v| {
+                v.abs() as f64 * x.get(c as usize).map_or(0.0, |e| e.abs() as f64)
+            })
+            .ok_or(unsupported);
+        }
+        faults::inject(image, class, seed).ok_or(unsupported)
     }
 }
 
@@ -748,6 +838,16 @@ impl Kernel for SpmvCrs {
 
     fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
         let csr = self.csr.as_mut().ok_or(KernelError::NotPrepared)?;
+        if class == FaultClass::ValueCorruption {
+            let (rows, cols, nnz) = (csr.rows(), csr.cols(), csr.nnz());
+            let row_ptr = csr.row_ptr().to_vec();
+            let col_idx = csr.col_idx().to_vec();
+            let mut values = csr.values().to_vec();
+            let cands: Vec<(usize, usize)> = (0..nnz).map(|k| (k, col_idx[k])).collect();
+            let rec = flip_dominant_term(&mut values, &cands, &self.x, "spmv_crs")?;
+            *csr = Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, values);
+            return Ok(rec);
+        }
         inject_csr(csr, "spmv_crs", class, seed)
     }
 }
@@ -848,6 +948,13 @@ fn inject_jd_arrays(
             jda.col_idx[k] = bogus;
             format!("diagonal column {k} set to {bogus} (cols {})", jda.cols)
         }
+        FaultClass::ValueCorruption => {
+            let k = pick_nonzero_value(&jda.values, &mut r)
+                .ok_or(KernelError::FaultUnsupported { kernel, class })?;
+            jda.values[k] = f32::from_bits(jda.values[k].to_bits() ^ 1 << 31);
+            format!("flipped the sign bit of diagonal value {k} (structure untouched)")
+        }
+        FaultClass::MidRunBitFlip => return unsupported,
     };
     Ok(FaultRecord {
         class,
@@ -906,6 +1013,22 @@ fn inject_sell_arrays(
                 sa.cols
             )
         }
+        FaultClass::ValueCorruption => {
+            // Among *active* cells only: padding values are dead by
+            // construction and corrupting one would prove nothing.
+            let live: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&c| sa.values[c] != 0.0)
+                .collect();
+            if live.is_empty() {
+                return unsupported;
+            }
+            let cell = live[r.gen_range(0..live.len())];
+            sa.values[cell] = f32::from_bits(sa.values[cell].to_bits() ^ 1 << 31);
+            format!("flipped the sign bit of active cell {cell}'s value (structure untouched)")
+        }
+        FaultClass::MidRunBitFlip => return unsupported,
     };
     Ok(FaultRecord {
         class,
@@ -1167,6 +1290,15 @@ impl Kernel for SpmvSell {
 
     fn inject_fault(&mut self, class: FaultClass, seed: u64) -> Result<FaultRecord, KernelError> {
         let sa = self.sa.as_mut().ok_or(KernelError::NotPrepared)?;
+        if class == FaultClass::ValueCorruption {
+            // Active cells only, weighted by the |a·x| term each feeds.
+            let cands: Vec<(usize, usize)> = sa
+                .active_cells()
+                .into_iter()
+                .map(|cell| (cell, sa.col_idx[cell]))
+                .collect();
+            return flip_dominant_term(&mut sa.values, &cands, &self.x, "spmv_sell");
+        }
         inject_sell_arrays(sa, "spmv_sell", class, seed)
     }
 }

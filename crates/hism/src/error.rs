@@ -44,6 +44,18 @@ pub enum ImageError {
         /// Blockarray address at which the entry budget ran out.
         addr: u32,
     },
+    /// A section checksum carried in the image's integrity header does not
+    /// match the words actually present — the image was modified after it
+    /// was sealed.
+    Integrity {
+        /// Which section class disagrees (`values`, `pointers`,
+        /// `positions`, or `lengths`).
+        section: &'static str,
+        /// Checksum recorded in the header.
+        expect: u64,
+        /// Checksum recomputed from the image words.
+        got: u64,
+    },
 }
 
 impl fmt::Display for ImageError {
@@ -63,6 +75,14 @@ impl fmt::Display for ImageError {
             ImageError::Runaway { addr } => write!(
                 f,
                 "hierarchy at word {addr} larger than the image itself (pointer cycle?)"
+            ),
+            ImageError::Integrity {
+                section,
+                expect,
+                got,
+            } => write!(
+                f,
+                "integrity: {section} checksum mismatch (header 0x{expect:016x}, image 0x{got:016x})"
             ),
         }
     }

@@ -28,16 +28,32 @@ pub enum FaultClass {
     Truncate,
     /// Overwrite a position word with coordinates outside the block.
     PosGarbage,
+    /// Flip one bit of one leaf *value* word, then re-seal the integrity
+    /// header — modelling corruption at the data's source, before
+    /// checksumming. Structure, positions, and checksums all stay valid,
+    /// so the fault is type-silent by construction: only comparing output
+    /// digests can catch it.
+    ValueCorruption,
+    /// Flip a seeded bit of a value word in *simulated memory* after a
+    /// configured cycle count, mid-run. Not an image mutation — the
+    /// vector-processor engine hosts it (`stm_vpsim::MidRunFlip`), so
+    /// [`inject`] reports it unsupported; kernel adapters arm it on the
+    /// engine instead. Deliberately outside [`FaultClass::ALL`]: the
+    /// pre-run sweeps cannot host it.
+    MidRunBitFlip,
 }
 
 impl FaultClass {
-    /// Every fault class, in canonical order (sweep tests iterate this).
-    pub const ALL: [FaultClass; 5] = [
+    /// Every *pre-run image* fault class, in canonical order (sweep tests
+    /// and chaos draws iterate this). [`FaultClass::MidRunBitFlip`] is
+    /// excluded: it corrupts simulated memory mid-run, not the image.
+    pub const ALL: [FaultClass; 6] = [
         FaultClass::BitFlip,
         FaultClass::PointerRetarget,
         FaultClass::LengthCorruption,
         FaultClass::Truncate,
         FaultClass::PosGarbage,
+        FaultClass::ValueCorruption,
     ];
 
     /// Stable name, usable on a command line.
@@ -48,12 +64,17 @@ impl FaultClass {
             FaultClass::LengthCorruption => "length_corruption",
             FaultClass::Truncate => "truncate",
             FaultClass::PosGarbage => "pos_garbage",
+            FaultClass::ValueCorruption => "value_corruption",
+            FaultClass::MidRunBitFlip => "mid_run_bit_flip",
         }
     }
 
     /// Parses a [`FaultClass::name`] back into the class.
     pub fn from_name(name: &str) -> Option<FaultClass> {
-        Self::ALL.into_iter().find(|c| c.name() == name)
+        Self::ALL
+            .into_iter()
+            .chain([FaultClass::MidRunBitFlip])
+            .find(|c| c.name() == name)
     }
 }
 
@@ -149,7 +170,51 @@ pub fn inject(image: &mut HismImage, class: FaultClass, seed: u64) -> Option<Fau
                 detail: format!("position word {w} set to (255,255), s={}", image.root.s),
             })
         }
+        FaultClass::ValueCorruption => inject_value_corruption(image, |_, _, v| v.abs() as f64),
+        // Mid-run memory corruption is hosted by the simulator engine,
+        // not by image mutation.
+        FaultClass::MidRunBitFlip => None,
     }
+}
+
+/// Weighted [`FaultClass::ValueCorruption`]: flips the *sign* bit of the
+/// nonzero value site maximizing `weight(row, col, value)`, then re-seals
+/// the integrity header. Sign-negating a dominant term is the one value
+/// corruption that can never round away inside an f32 accumulation, so
+/// callers pick the weight that models their downstream computation —
+/// `|v|` for transposes (any value word lands raw in the output),
+/// `|v · x[col]|` for SpMV (the term must actually feed `y`). Returns
+/// `None` when no site has positive weight: every candidate is dead for
+/// that computation and the class is unsupported there.
+pub fn inject_value_corruption(
+    image: &mut HismImage,
+    weight: impl Fn(u64, u64, f32) -> f64,
+) -> Option<FaultRecord> {
+    let sites = image.value_sites_detailed().ok()?;
+    let (site, _) = sites
+        .iter()
+        .map(|s| (s, weight(s.row, s.col, s.value)))
+        .filter(|&(s, w)| s.value != 0.0 && w > 0.0 && w.is_finite())
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Deterministic tie-break: lowest word address wins.
+                .then(b.0.addr.cmp(&a.0.addr))
+        })?;
+    let site = *site;
+    image.words[site.addr as usize] ^= 1 << 31;
+    // Re-seal: the corruption happened "before" checksumming, so every
+    // structural and integrity check passes — only a digest comparison
+    // against an independent execution can see it.
+    image.seal_integrity();
+    Some(FaultRecord {
+        class: FaultClass::ValueCorruption,
+        word: Some(site.addr),
+        detail: format!(
+            "sign-flipped value {} at ({}, {}), word {} (header re-sealed)",
+            site.value, site.row, site.col, site.addr
+        ),
+    })
 }
 
 #[cfg(test)]
@@ -238,8 +303,11 @@ mod tests {
             let mut img = image(true);
             inject(&mut img, class, 11).unwrap();
             let err = img.decode().expect_err(&format!("{class} not detected"));
+            // Since images are sealed at encode time, the checksum check
+            // may fire before the structural one — both are typed.
             match (class, &err) {
-                (FaultClass::PointerRetarget, ImageError::OutOfBounds { .. })
+                (_, ImageError::Integrity { .. })
+                | (FaultClass::PointerRetarget, ImageError::OutOfBounds { .. })
                 | (FaultClass::PointerRetarget, ImageError::BadPosition { .. })
                 | (FaultClass::LengthCorruption, ImageError::Runaway { .. })
                 | (FaultClass::LengthCorruption, ImageError::OutOfBounds { .. })
@@ -248,5 +316,40 @@ mod tests {
                 other => panic!("unexpected error for {class}: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn value_corruption_is_type_silent() {
+        for big in [false, true] {
+            let clean = image(big);
+            let mut faulty = clean.clone();
+            let rec = inject(&mut faulty, FaultClass::ValueCorruption, 9).unwrap();
+            assert_ne!(clean.words, faulty.words);
+            // Every typed check passes: checksums were re-sealed and the
+            // structure is untouched...
+            assert_eq!(faulty.verify_integrity(), Ok(true));
+            let decoded = faulty.decode().expect("must decode cleanly");
+            decoded.validate().expect("must validate cleanly");
+            // ...but the content differs: the flipped value word is live.
+            let w = rec.word.unwrap() as usize;
+            assert!(clean.value_sites().unwrap().contains(&(w as u32)));
+            assert_ne!(
+                crate::build::to_coo(&decoded),
+                crate::build::to_coo(&clean.decode().unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn mid_run_bit_flip_is_not_an_image_fault() {
+        let mut img = image(true);
+        let before = img.clone();
+        assert!(inject(&mut img, FaultClass::MidRunBitFlip, 5).is_none());
+        assert_eq!(img, before);
+        // ...but it still round-trips by name for command lines.
+        assert_eq!(
+            FaultClass::from_name("mid_run_bit_flip"),
+            Some(FaultClass::MidRunBitFlip)
+        );
     }
 }

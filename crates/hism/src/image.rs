@@ -62,6 +62,138 @@ pub struct RootDesc {
     pub s: u32,
 }
 
+/// Version of the integrity sidecar header this crate writes.
+pub const INTEGRITY_VERSION: u32 = 1;
+
+/// Magic word opening a serialized integrity header (`"HIS" + version
+/// marker`), so a stray word vector is never misread as a header.
+pub const INTEGRITY_MAGIC: u32 = 0x4849_5349; // "HISI"
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over one word's little-endian bytes. Section checksums XOR
+/// these per-word hashes together, so they are order-independent — the
+/// simulated STM permutes blockarrays in place, and a permuted-but-intact
+/// image must still verify.
+fn fnv_word(w: u32) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in w.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Order-independent FNV-1a checksums over the four word classes of a
+/// HiSM image: leaf values, child pointers, position words, and lengths
+/// vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSums {
+    /// XOR of per-word hashes over leaf payload (value-bit) words.
+    pub values: u64,
+    /// XOR of per-word hashes over node payload (child-pointer) words.
+    pub pointers: u64,
+    /// XOR of per-word hashes over position words (all levels).
+    pub positions: u64,
+    /// XOR of per-word hashes over lengths-vector words.
+    pub lengths: u64,
+}
+
+impl SectionSums {
+    /// The first section that disagrees with `other`, as a typed error
+    /// (`self` is the header, `other` the recomputed sums).
+    fn diff(&self, other: &SectionSums) -> Option<ImageError> {
+        let pairs = [
+            ("values", self.values, other.values),
+            ("pointers", self.pointers, other.pointers),
+            ("positions", self.positions, other.positions),
+            ("lengths", self.lengths, other.lengths),
+        ];
+        pairs
+            .into_iter()
+            .find(|(_, a, b)| a != b)
+            .map(|(section, expect, got)| ImageError::Integrity {
+                section,
+                expect,
+                got,
+            })
+    }
+}
+
+/// One leaf payload word, located both in the image (word address) and in
+/// the matrix (global coordinates) — the unit of value-targeted fault
+/// injection and of weighted site selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueSite {
+    /// Word address of the value word inside the image.
+    pub addr: u32,
+    /// Global row of the entry this word belongs to.
+    pub row: u64,
+    /// Global column of the entry this word belongs to.
+    pub col: u64,
+    /// The value currently stored there (bit cast).
+    pub value: f32,
+}
+
+/// Accumulator for one structural walk over an image.
+#[derive(Default)]
+struct SectionWalk {
+    sums: SectionSums,
+    collect_values: bool,
+    value_sites: Vec<ValueSite>,
+}
+
+/// The versioned sidecar header carrying an image's section checksums.
+/// It travels next to the image (never inside the word vector, which
+/// stays exactly the hardware layout) and is re-derivable at any time
+/// from a structurally valid image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityHeader {
+    /// Header format version ([`INTEGRITY_VERSION`]).
+    pub version: u32,
+    /// The section checksums.
+    pub sums: SectionSums,
+}
+
+impl IntegrityHeader {
+    /// Serialized length in words: magic, version, four 2-word sums.
+    pub const WORDS: usize = 10;
+
+    /// Serializes the header to its word form (magic, version, then each
+    /// sum as `[lo, hi]`).
+    pub fn to_words(&self) -> Vec<u32> {
+        let mut w = vec![INTEGRITY_MAGIC, self.version];
+        for s in [
+            self.sums.values,
+            self.sums.pointers,
+            self.sums.positions,
+            self.sums.lengths,
+        ] {
+            w.push(s as u32);
+            w.push((s >> 32) as u32);
+        }
+        w
+    }
+
+    /// Parses a serialized header. Returns `None` when the magic or
+    /// length is wrong — callers treat that as "no header present".
+    pub fn from_words(words: &[u32]) -> Option<IntegrityHeader> {
+        if words.len() != Self::WORDS || words[0] != INTEGRITY_MAGIC {
+            return None;
+        }
+        let u = |i: usize| words[i] as u64 | (words[i + 1] as u64) << 32;
+        Some(IntegrityHeader {
+            version: words[1],
+            sums: SectionSums {
+                values: u(2),
+                pointers: u(4),
+                positions: u(6),
+                lengths: u(8),
+            },
+        })
+    }
+}
+
 /// A serialized HiSM matrix: the word image plus its root descriptor and
 /// the relocation table (word indices that hold child addresses).
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +206,10 @@ pub struct HismImage {
     pub root: RootDesc,
     /// Word indices that contain child addresses, for [`HismImage::relocate`].
     pub pointer_sites: Vec<u32>,
+    /// Section checksums sealed over the current words, when present.
+    /// `None` marks a legacy/headerless image — it still loads, but the
+    /// consumer counts the absence.
+    pub integrity: Option<IntegrityHeader>,
 }
 
 impl HismImage {
@@ -113,11 +249,147 @@ impl HismImage {
             cols: h.cols() as u32,
             s: h.section_size() as u32,
         };
-        HismImage {
+        let mut img = HismImage {
             words,
             root,
             pointer_sites,
+            integrity: None,
+        };
+        img.seal_integrity();
+        img
+    }
+
+    /// Recomputes the section checksums over the current words and walks
+    /// the image structure in the process. Fails with the first
+    /// structural corruption found, exactly like [`HismImage::decode`]
+    /// (minus position-range checks, which are a decode concern).
+    pub fn compute_integrity(&self) -> Result<IntegrityHeader, ImageError> {
+        let mut walk = SectionWalk::default();
+        self.walk_block(
+            self.root.addr,
+            self.root.len,
+            self.root.levels.max(1) - 1,
+            (0, 0),
+            &mut (self.words.len() as u64 / 2 + 1),
+            &mut walk,
+        )?;
+        Ok(IntegrityHeader {
+            version: INTEGRITY_VERSION,
+            sums: walk.sums,
+        })
+    }
+
+    /// Word addresses of every leaf payload (value-bit) word, in layout
+    /// order. Empty for an empty matrix. This is the target set for
+    /// value-only fault injection: flipping any of these words corrupts
+    /// matrix *content* without touching structure.
+    pub fn value_sites(&self) -> Result<Vec<u32>, ImageError> {
+        Ok(self
+            .value_sites_detailed()?
+            .iter()
+            .map(|s| s.addr)
+            .collect())
+    }
+
+    /// Every leaf payload word together with its global matrix
+    /// coordinates and current value, in layout order. The coordinates
+    /// let a fault injector weight sites by how they feed a downstream
+    /// computation (e.g. which SpMV input element they multiply).
+    pub fn value_sites_detailed(&self) -> Result<Vec<ValueSite>, ImageError> {
+        let mut walk = SectionWalk {
+            collect_values: true,
+            ..SectionWalk::default()
+        };
+        self.walk_block(
+            self.root.addr,
+            self.root.len,
+            self.root.levels.max(1) - 1,
+            (0, 0),
+            &mut (self.words.len() as u64 / 2 + 1),
+            &mut walk,
+        )?;
+        Ok(walk.value_sites)
+    }
+
+    /// (Re-)seals the integrity header over the current words. A
+    /// structurally broken image cannot be summed; it is left headerless.
+    pub fn seal_integrity(&mut self) {
+        self.integrity = self.compute_integrity().ok();
+    }
+
+    /// Re-verifies the sealed checksums against the current words.
+    ///
+    /// * `Ok(true)` — header present and every section matches.
+    /// * `Ok(false)` — no header (or an unknown future version): nothing
+    ///   to check; callers count the absence.
+    /// * `Err(ImageError::Integrity {..})` — a section disagrees.
+    /// * `Err(other)` — the image is too structurally broken to walk.
+    pub fn verify_integrity(&self) -> Result<bool, ImageError> {
+        let header = match &self.integrity {
+            Some(h) if h.version == INTEGRITY_VERSION => h,
+            _ => return Ok(false),
+        };
+        let got = self.compute_integrity()?;
+        match header.sums.diff(&got.sums) {
+            Some(err) => Err(err),
+            None => Ok(true),
         }
+    }
+
+    fn walk_block(
+        &self,
+        addr: u32,
+        len: u32,
+        level: u32,
+        off: (u64, u64),
+        budget: &mut u64,
+        out: &mut SectionWalk,
+    ) -> Result<(), ImageError> {
+        let base = addr as usize;
+        if (len as u64) > *budget {
+            return Err(ImageError::Runaway { addr });
+        }
+        *budget -= len as u64;
+        // Each level-ℓ position addresses an s^ℓ × s^ℓ subblock. The
+        // walk runs before decode's section-size guard (the checksum
+        // check is the *first* line of defence), so the root descriptor
+        // is untrusted here: saturate instead of overflowing on garbage
+        // `s`/`levels` — the offsets only matter for valid images.
+        let scale = (self.root.s.max(1) as u64).saturating_pow(level);
+        if level == 0 {
+            for k in 0..len as usize {
+                let v = self.word(base + 2 * k)?;
+                let p = self.word(base + 2 * k + 1)?;
+                out.sums.values ^= fnv_word(v);
+                out.sums.positions ^= fnv_word(p);
+                if out.collect_values {
+                    let (r, c) = unpack_pos(p);
+                    out.value_sites.push(ValueSite {
+                        addr: (base + 2 * k) as u32,
+                        row: off.0.saturating_add(r as u64),
+                        col: off.1.saturating_add(c as u64),
+                        value: f32::from_bits(v),
+                    });
+                }
+            }
+        } else {
+            let lens_base = base + 2 * len as usize;
+            for k in 0..len as usize {
+                let child_addr = self.word(base + 2 * k)?;
+                let p = self.word(base + 2 * k + 1)?;
+                let child_len = self.word(lens_base + k)?;
+                out.sums.pointers ^= fnv_word(child_addr);
+                out.sums.positions ^= fnv_word(p);
+                out.sums.lengths ^= fnv_word(child_len);
+                let (r, c) = unpack_pos(p);
+                let child_off = (
+                    off.0.saturating_add((r as u64).saturating_mul(scale)),
+                    off.1.saturating_add((c as u64).saturating_mul(scale)),
+                );
+                self.walk_block(child_addr, child_len, level - 1, child_off, budget, out)?;
+            }
+        }
+        Ok(())
     }
 
     /// Rebuilds the host structure from the image. Works on images whose
@@ -132,6 +404,11 @@ impl HismImage {
         if self.root.levels == 0 {
             return Err(ImageError::ZeroLevels);
         }
+        // A sealed image is checked against its checksums before the
+        // structural walk, so a flipped bit is reported as the content
+        // corruption it is — even when it lands on a word the structural
+        // checks would never look at.
+        self.verify_integrity()?;
         if !(2..=256).contains(&(self.root.s as usize)) {
             return Err(ImageError::BadSectionSize(self.root.s));
         }
@@ -242,6 +519,10 @@ impl HismImage {
             self.words[site as usize] += base;
         }
         self.root.addr += base;
+        // A relocated image is linked for a foreign base address: its
+        // words can no longer be walked from index 0, so the sealed sums
+        // are unverifiable. Drop the header rather than carry a stale one.
+        self.integrity = None;
     }
 }
 
@@ -373,6 +654,82 @@ mod tests {
         let mut img = HismImage::encode(&h);
         img.root.levels = 0;
         assert!(img.decode().is_err());
+    }
+
+    #[test]
+    fn encode_seals_a_verifiable_header() {
+        let coo = gen::random::uniform(120, 90, 500, 11);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let img = HismImage::encode(&h);
+        let header = img.integrity.expect("encode must seal");
+        assert_eq!(header.version, INTEGRITY_VERSION);
+        assert_eq!(img.verify_integrity(), Ok(true));
+        // The sidecar word form round-trips.
+        assert_eq!(
+            IntegrityHeader::from_words(&header.to_words()),
+            Some(header)
+        );
+        assert_eq!(IntegrityHeader::from_words(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn headerless_images_still_load() {
+        let coo = gen::random::uniform(50, 50, 200, 7);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let mut img = HismImage::encode(&h);
+        img.integrity = None; // a legacy image
+        assert_eq!(img.verify_integrity(), Ok(false));
+        assert_eq!(build::to_coo(&img.decode().unwrap()), build::to_coo(&h));
+    }
+
+    #[test]
+    fn sealed_sums_survive_blockarray_permutation() {
+        // The STM permutes blockarrays in place; a permuted-but-intact
+        // image must still verify (sums are order-independent per class).
+        let coo = Coo::from_triplets(5, 5, vec![(0, 0, 1.0), (1, 2, 2.0), (4, 4, 3.0)]).unwrap();
+        let h = build::from_coo(&coo, 8).unwrap();
+        let mut img = HismImage::encode(&h);
+        img.words.swap(0, 2);
+        img.words.swap(1, 3);
+        assert_eq!(img.verify_integrity(), Ok(true));
+    }
+
+    #[test]
+    fn a_value_bit_flip_is_caught_at_decode_by_the_checksum() {
+        // A flipped value bit changes no structure — only the checksum
+        // can see it.
+        let coo = gen::random::uniform(50, 50, 200, 7);
+        let h = build::from_coo(&coo, 8).unwrap();
+        let mut img = HismImage::encode(&h);
+        let site = img.value_sites().unwrap()[3] as usize;
+        img.words[site] ^= 1 << 13;
+        match img.decode() {
+            Err(ImageError::Integrity { section, .. }) => assert_eq!(section, "values"),
+            other => panic!("expected integrity error, got {other:?}"),
+        }
+        assert!(matches!(
+            img.verify_integrity(),
+            Err(ImageError::Integrity { .. })
+        ));
+    }
+
+    #[test]
+    fn value_sites_are_exactly_the_leaf_payload_words() {
+        let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let img = HismImage::encode(&h);
+        // Two 1-entry leaves at words 0..2 and 2..4: payloads at 0 and 2.
+        assert_eq!(img.value_sites().unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn relocation_drops_the_unverifiable_header() {
+        let coo = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let h = build::from_coo(&coo, 4).unwrap();
+        let mut img = HismImage::encode(&h);
+        assert!(img.integrity.is_some());
+        img.relocate(1000);
+        assert!(img.integrity.is_none());
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub fn transpose_hism(image: &HismImage, section_size: usize) -> Result<HismImag
     if crate::diverge_requested("transpose_hism") {
         diverge(&mut words, &image.root);
     }
-    Ok(HismImage {
+    let mut out = HismImage {
         words,
         root: RootDesc {
             rows: image.root.cols,
@@ -138,7 +138,12 @@ pub fn transpose_hism(image: &HismImage, section_size: usize) -> Result<HismImag
             ..image.root
         },
         pointer_sites: image.pointer_sites.clone(),
-    })
+        integrity: None,
+    };
+    // Transposition rewrites position words, so the input's sums no
+    // longer apply: seal the output fresh over the transposed words.
+    out.seal_integrity();
+    Ok(out)
 }
 
 /// One blockarray of the in-place transposition (Fig. 6's

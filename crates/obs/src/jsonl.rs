@@ -91,6 +91,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
     let mut phase_cycles: u64 = 0;
     let mut saw_phase = false;
     let mut fault_instants: u64 = 0;
+    let mut sdc_instants: u64 = 0;
 
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -177,6 +178,9 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
                         if lane == "fault" && req == 0 {
                             fault_instants += 1;
                         }
+                        if name == "integrity.sdc.detected" && req == 0 {
+                            sdc_instants += 1;
+                        }
                     }
                     "sample" => {
                         if v.get("value").and_then(Json::as_f64).is_none() {
@@ -245,6 +249,26 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, Vec<String>> {
             if declared != fault_instants {
                 errors.push(format!(
                     "counter mem.oob_events = {declared} but {fault_instants} fault instants recorded"
+                ));
+            }
+        }
+    }
+
+    // Integrity accounting: every silent-data-corruption detection the
+    // pipeline counted must have left a detection instant in the
+    // uncorrelated timeline, and vice versa (lossless traces only —
+    // the ring may drop instants but counters are never dropped).
+    if !lossy {
+        let declared = summary
+            .counters
+            .iter()
+            .find(|(n, _)| n == "integrity.sdc.detected")
+            .map(|(_, v)| *v);
+        if let Some(declared) = declared {
+            if declared != sdc_instants {
+                errors.push(format!(
+                    "counter integrity.sdc.detected = {declared} but {sdc_instants} \
+                     detection instants recorded"
                 ));
             }
         }
@@ -338,6 +362,7 @@ pub fn join_requests(text: &str) -> Result<Vec<RequestTree>, Vec<String>> {
         let mut spans: Vec<(String, String, u64, u64)> = Vec::new();
         let mut lanes: Vec<String> = Vec::new();
         let mut status = None;
+        let mut sdc_detected = false;
         for (tid, lane, name, kind, ts, span, _dur) in events {
             if !lanes.contains(lane) {
                 lanes.push(lane.clone());
@@ -369,6 +394,9 @@ pub fn join_requests(text: &str) -> Result<Vec<RequestTree>, Vec<String>> {
                 "instant" => {
                     if let Some(s) = name.strip_prefix("serve.request.") {
                         status = Some(s.to_string());
+                    }
+                    if name == "integrity.sdc.detected" {
+                        sdc_detected = true;
                     }
                 }
                 _ => {}
@@ -408,9 +436,31 @@ pub fn join_requests(text: &str) -> Result<Vec<RequestTree>, Vec<String>> {
             }
         }
 
+        // A corrupted terminal status and an SDC detection instant must
+        // come in pairs: the server only replies `data_corrupt` (or
+        // transparently `recovered`) after the verify legs convicted
+        // the primary, and a conviction always marks the timeline.
+        let corrupt_status = matches!(status.as_deref(), Some("data_corrupt") | Some("recovered"));
+        if corrupt_status && !sdc_detected {
+            errors.push(format!(
+                "req {req}: terminal status {} without an integrity.sdc.detected instant",
+                status.as_deref().unwrap_or("?")
+            ));
+        }
+        if sdc_detected && !corrupt_status {
+            errors.push(format!(
+                "req {req}: integrity.sdc.detected instant but terminal status {} is not \
+                 data_corrupt/recovered",
+                status.as_deref().unwrap_or("absent")
+            ));
+        }
+
         // Completed requests must span the full serve → resil → kernel
         // path in one joined tree.
-        if matches!(status.as_deref(), Some("ok") | Some("degraded")) {
+        if matches!(
+            status.as_deref(),
+            Some("ok") | Some("degraded") | Some("recovered")
+        ) {
             for required in ["serve", "resil", "stage"] {
                 if !lanes.iter().any(|l| l == required) {
                     errors.push(format!(

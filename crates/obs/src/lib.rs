@@ -17,6 +17,9 @@
 //!   JSONL export; the logic behind the `stmprof` bin;
 //! * [`jsonl`] — re-validation of exported JSONL text (the logic
 //!   behind the `tracecheck` bin);
+//! * [`journal`] — durable-file plumbing shared by every line-oriented
+//!   on-disk artifact: per-record checksum seals, the one torn-tail-
+//!   tolerant reader, and the scrubber behind the `stmscrub` bin;
 //! * [`telemetry`] — the live metrics plane: a lock-striped
 //!   [`telemetry::MetricsRegistry`] (counters, gauges, sliding-window
 //!   histograms) merged deterministically across worker shards, with a
@@ -46,6 +49,7 @@
 pub mod check;
 pub mod event;
 pub mod export;
+pub mod journal;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;

@@ -122,17 +122,16 @@ fn main() {
     // Server-side view of the same tail, scraped from the metrics
     // endpoint: client p99 includes queueing + transport, server p99
     // starts at dequeue — the gap is where the latency lives.
-    let server_p99 = arg_value("--metrics-addr").map(|maddr| {
+    let scraped = arg_value("--metrics-addr").map(|maddr| {
         stm_serve::scrape::fetch(&maddr, cfg.timeout_ms)
-            .map(|text| {
-                let samples = stm_serve::scrape::parse(&text);
-                stm_serve::scrape::value(&samples, "stm_serve_latency_us", "quantile=\"0.99\"")
-                    .unwrap_or(0)
-            })
+            .map(|text| stm_serve::scrape::parse(&text))
             .unwrap_or_else(|e| {
                 eprintln!("stmload: metrics scrape: {e}");
-                0
+                Vec::new()
             })
+    });
+    let server_p99 = scraped.as_ref().map(|samples| {
+        stm_serve::scrape::value(samples, "stm_serve_latency_us", "quantile=\"0.99\"").unwrap_or(0)
     });
     match server_p99 {
         Some(sp99) => println!(
@@ -149,6 +148,19 @@ fn main() {
             p(99),
             report.latency_us.max()
         ),
+    }
+    // Server-side integrity plane, from the same scrape: how many
+    // silent corruptions the verify legs caught and what became of
+    // them.
+    if let Some(samples) = &scraped {
+        let c = |n: &str| stm_serve::scrape::value(samples, n, "").unwrap_or(0);
+        println!(
+            "integrity: sdc_detected={} recovered={} unrecovered={} verify_legs={}",
+            c("stm_integrity_sdc_detected_total"),
+            c("stm_integrity_sdc_recovered_total"),
+            c("stm_integrity_sdc_unrecovered_total"),
+            c("stm_integrity_verify_legs_total"),
+        );
     }
     let secs = report.elapsed.as_secs_f64();
     println!(

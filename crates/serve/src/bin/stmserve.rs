@@ -6,7 +6,7 @@
 //!
 //! Exit codes: 0 = clean drain; 2 = configuration/bind/log error.
 
-use stm_bench::resilient::{BreakerConfig, RetryPolicy};
+use stm_bench::resilient::{BreakerConfig, RetryPolicy, VerifyMode};
 use stm_serve::server::{ServeConfig, Server};
 
 const FLAGS: &[(&str, &str)] = &[
@@ -34,6 +34,10 @@ const FLAGS: &[(&str, &str)] = &[
         "durable results log (resume FETCHes after restart)",
     ),
     ("--trace DIR", "export the server event trace at shutdown"),
+    (
+        "--verify-mode M",
+        "output verification tier, M in {off,checksum,dual,vote} (default off)",
+    ),
     (
         "--backend B",
         "execution backend, B in {sim,scalar,simd,auto} (or STM_BACKEND=B)",
@@ -126,6 +130,12 @@ fn main() {
     }
     if let Some(n) = parsed("--io-timeout-ms") {
         cfg.io_timeout_ms = n;
+    }
+    if let Some(m) = arg_value("--verify-mode") {
+        cfg.verify_mode = VerifyMode::from_name(&m).unwrap_or_else(|| {
+            eprintln!("stmserve: unknown --verify-mode {m:?} (off|checksum|dual|vote)");
+            std::process::exit(2);
+        });
     }
     cfg.results_log = arg_value("--results-log").map(Into::into);
     cfg.trace = arg_value("--trace").map(Into::into);

@@ -99,6 +99,13 @@ fn render(samples: &[Sample], addr: &str, scrape_n: u64, req_per_s: f64) -> Stri
         val(samples, "stm_serve_breaker_trips_total"),
     ));
     out.push_str(&format!(
+        "  integrity  sdc_detected={} recovered={} unrecovered={} verify_legs={}\n",
+        val(samples, "stm_integrity_sdc_detected_total"),
+        val(samples, "stm_integrity_sdc_recovered_total"),
+        val(samples, "stm_integrity_sdc_unrecovered_total"),
+        val(samples, "stm_integrity_verify_legs_total"),
+    ));
+    out.push_str(&format!(
         "  live       queue_depth={} inflight={}\n",
         val(samples, "stm_serve_queue_depth"),
         val(samples, "stm_serve_inflight"),

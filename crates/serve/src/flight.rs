@@ -108,6 +108,11 @@ impl FlightRecorder {
 
     /// Dump the last window to `dir/flight-<now_ms>-<seq>.jsonl`,
     /// atomically (temp file + rename). Returns the final path.
+    ///
+    /// Every line carries a [`stm_obs::journal`] checksum seal — the
+    /// `crc` field is ignored by the JSONL loaders but lets `stmscrub`
+    /// verify a dump at rest, the same way it verifies checkpoints and
+    /// results logs.
     pub fn dump(&self, dir: &Path, reason: &str, now_ms: u64) -> std::io::Result<PathBuf> {
         let data = self.snapshot(reason, now_ms);
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -116,7 +121,10 @@ impl FlightRecorder {
         let tmp = dir.join(format!(".flight-{now_ms}-{seq}.tmp"));
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(data.to_jsonl().as_bytes())?;
+            for line in data.to_jsonl().lines() {
+                f.write_all(stm_obs::journal::seal(line).as_bytes())?;
+                f.write_all(b"\n")?;
+            }
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
@@ -172,6 +180,13 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(stm_obs::jsonl::validate_jsonl(&text).is_ok());
         assert!(text.contains("flight.reason.unit"));
+        // Every dumped line is checksum-sealed and scrubs clean.
+        let scrub = stm_obs::journal::scrub_text(&text);
+        assert!(scrub.is_clean());
+        assert_eq!(scrub.sealed, scrub.lines);
+        // A flipped bit at rest is detected by the scrubber.
+        let rotten = text.replacen("flight.execute", "flight.exequte", 1);
+        assert!(!stm_obs::journal::scrub_text(&rotten).is_clean());
         // No temp files left behind.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()

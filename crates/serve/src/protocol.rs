@@ -24,7 +24,7 @@
 //! | op | body |
 //! |---|---|
 //! | `SUBMIT`    | `matrix_id u64, rows u32, cols u32, nnz u32, nnz × (row u32, col u32, value f32-bits u32)` |
-//! | `TRANSPOSE` | `matrix_id u64, fault u8 ∈ {0,1} [, class u8, seed u64]` |
+//! | `TRANSPOSE` | `matrix_id u64, fault u8 ∈ {0,1} [, class u8, seed u64]` — `class` is the `FaultClass::ALL` index, or `ALL.len()` for the mid-run engine bit-flip |
 //! | `SPMV`      | same as `TRANSPOSE` |
 //! | `FETCH`     | `target_request_id u64` |
 //! | `STATS`     | empty |
@@ -157,6 +157,10 @@ pub enum Status {
     ShuttingDown = 9,
     /// `FETCH` named a request id with no recorded result.
     NotFound = 10,
+    /// Integrity verification proved the result wrong and no independent
+    /// re-execution could recover a trustworthy majority — the server
+    /// refuses to serve a digest it cannot vouch for.
+    DataCorrupt = 11,
 }
 
 impl Status {
@@ -174,6 +178,7 @@ impl Status {
             8 => Some(Status::TooLarge),
             9 => Some(Status::ShuttingDown),
             10 => Some(Status::NotFound),
+            11 => Some(Status::DataCorrupt),
             _ => None,
         }
     }
@@ -192,6 +197,7 @@ impl Status {
             Status::TooLarge => "too_large",
             Status::ShuttingDown => "shutting_down",
             Status::NotFound => "not_found",
+            Status::DataCorrupt => "data_corrupt",
         }
     }
 }
@@ -429,10 +435,12 @@ fn encode_fault(out: &mut Vec<u8>, fault: &Option<FaultRequest>) {
         None => out.push(0),
         Some(f) => {
             out.push(1);
+            // Pre-run image classes use their `ALL` index; the mid-run
+            // engine flip (outside `ALL` by design) takes the next slot.
             let idx = FaultClass::ALL
                 .iter()
                 .position(|c| *c == f.class)
-                .expect("class in ALL") as u8;
+                .unwrap_or(FaultClass::ALL.len()) as u8;
             out.push(idx);
             out.extend_from_slice(&f.seed.to_le_bytes());
         }
@@ -444,9 +452,11 @@ fn decode_fault(c: &mut Cur<'_>) -> Result<Option<FaultRequest>, String> {
         0 => Ok(None),
         1 => {
             let idx = c.u8()? as usize;
-            let class = *FaultClass::ALL
-                .get(idx)
-                .ok_or_else(|| format!("fault class index {idx} out of range"))?;
+            let class = match FaultClass::ALL.get(idx) {
+                Some(class) => *class,
+                None if idx == FaultClass::ALL.len() => FaultClass::MidRunBitFlip,
+                None => return Err(format!("fault class index {idx} out of range")),
+            };
             Ok(Some(FaultRequest {
                 class,
                 seed: c.u64()?,
@@ -645,6 +655,19 @@ mod tests {
                 }),
             },
         });
+        // The mid-run engine flip sits outside `FaultClass::ALL` and
+        // rides the wire on the slot after the last image class.
+        round_trip(Request {
+            request_id: 8,
+            client_id: 1,
+            body: RequestBody::Transpose {
+                matrix_id: 2,
+                fault: Some(FaultRequest {
+                    class: FaultClass::MidRunBitFlip,
+                    seed: 0x5dc,
+                }),
+            },
+        });
         round_trip(Request {
             request_id: 2,
             client_id: 2,
@@ -794,10 +817,10 @@ mod tests {
             assert_eq!(Op::from_name(op.name()), Some(op));
             assert_eq!(Op::from_u8(op as u8), Some(op));
         }
-        for s in 0..=10 {
+        for s in 0..=11 {
             let status = Status::from_u8(s).unwrap();
             assert_eq!(status as u8, s);
         }
-        assert_eq!(Status::from_u8(11), None);
+        assert_eq!(Status::from_u8(12), None);
     }
 }

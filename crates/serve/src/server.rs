@@ -118,6 +118,12 @@ pub struct ServeConfig {
     /// Test hook (`--flight-every`): also dump the flight ring after
     /// every N completed requests.
     pub flight_every: Option<u64>,
+    /// Output-integrity verification tier for every execution request
+    /// (`--verify-mode`). Under `dual`/`vote` a silent wrong answer is
+    /// caught by cross-backend re-execution *before* the reply: the
+    /// majority digest is served transparently, and only an
+    /// unrecoverable disagreement surfaces as `DATA_CORRUPT`.
+    pub verify_mode: stm_bench::resilient::VerifyMode,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +146,7 @@ impl Default for ServeConfig {
             flight_dir: None,
             flight_window_ms: 10_000,
             flight_every: None,
+            verify_mode: stm_bench::resilient::VerifyMode::Off,
         }
     }
 }
@@ -376,6 +383,10 @@ const COUNTER_FAMILIES: &[&str] = &[
     "serve.requests.shed",
     "serve.frames.bad",
     "serve.breaker.trips",
+    "integrity.sdc.detected",
+    "integrity.sdc.recovered",
+    "integrity.sdc.unrecovered",
+    "integrity.verify.legs",
 ];
 const GAUGE_FAMILIES: &[&str] = &["serve.queue.depth", "serve.inflight"];
 const WINDOW_FAMILIES: &[&str] = &["serve.latency.us", "serve.kernel.cycles"];
@@ -424,9 +435,17 @@ impl Server {
             None => None,
         };
 
+        // Under `dual`/`vote` the cross-backend legs replace the
+        // single-backend oracle recompute: running both would double
+        // the verification cost, and the oracle would intercept every
+        // injected SDC as a typed mismatch before the legs ever voted.
+        let verify_oracle = !matches!(
+            cfg.verify_mode,
+            stm_bench::resilient::VerifyMode::Dual | stm_bench::resilient::VerifyMode::Vote
+        );
         let mut run = RunConfig {
             jobs: Some(1),
-            verify: true,
+            verify: verify_oracle,
             backend: cfg.backend,
             ..RunConfig::default()
         };
@@ -978,9 +997,28 @@ fn execute_job(sh: &Arc<Shared>, widx: usize, job: Job) {
         kernel,
         decision,
         job.fault.as_ref(),
+        sh.cfg.verify_mode,
         &req_rec,
     );
     let wall_us = wall.elapsed().as_micros() as u64;
+
+    // Every SDC detection — recovered or not — is a flight-recorder
+    // event: the quarantined digest and the forensic window around it
+    // are exactly what a post-mortem needs.
+    if outcome.corrupted {
+        sh.metrics.add(shard, "integrity.sdc.detected", 1);
+        sh.flight_note(shard, "flight.sdc.detected", job.request_id);
+        if outcome.report.is_some() {
+            sh.metrics.add(shard, "integrity.sdc.recovered", 1);
+        } else {
+            sh.metrics.add(shard, "integrity.sdc.unrecovered", 1);
+        }
+        sh.flight_dump("sdc-detected");
+    }
+    if outcome.verify_legs > 0 {
+        sh.metrics
+            .add(shard, "integrity.verify.legs", outcome.verify_legs);
+    }
 
     if registry::fallback_for(kernel).is_some() {
         let mut breakers = sh.breakers.lock().unwrap();
@@ -1001,8 +1039,13 @@ fn execute_job(sh: &Arc<Shared>, widx: usize, job: Job) {
         }
     }
 
+    // A corrupted-but-recovered request is served `OK` — the client
+    // gets the majority digest, transparently. Only an unrecoverable
+    // disagreement (no majority, no fallback) refuses with
+    // `DATA_CORRUPT`.
     let status = match (&outcome.report, &outcome.failure) {
         (Some(_), _) => Status::Ok,
+        (None, _) if outcome.corrupted => Status::DataCorrupt,
         (None, Some(f)) => match f.error {
             stm_core::kernels::registry::KernelError::DeadlineExceeded(_) => {
                 Status::DeadlineExceeded
@@ -1019,7 +1062,13 @@ fn execute_job(sh: &Arc<Shared>, widx: usize, job: Job) {
     // timelines coexist with the server's sequence-stamped events.
     if let Some(root) = root {
         let end_ts = req_rec.max_ts();
-        let status_name = if outcome.degraded {
+        let status_name = if status == Status::DataCorrupt {
+            "serve.request.data_corrupt"
+        } else if outcome.corrupted {
+            // Recovered in-flight: the reply is OK, but the detection
+            // must stay visible on the request timeline.
+            "serve.request.recovered"
+        } else if outcome.degraded {
             "serve.request.degraded"
         } else if status == Status::Ok {
             "serve.request.ok"
@@ -1045,6 +1094,7 @@ fn execute_job(sh: &Arc<Shared>, widx: usize, job: Job) {
         matrix_id: job.matrix_id,
         status,
         degraded: outcome.degraded,
+        corrupted: outcome.corrupted,
         digest,
     };
 

@@ -1,16 +1,17 @@
 //! The durable results log: what lets a `kill -9`'d server come back
 //! and re-serve `FETCH`es for every request it had completed.
 //!
-//! ## Schema: `stm-serve-results/v1`
+//! ## Schema: `stm-serve-results/v2`
 //!
 //! JSON lines with byte-deterministic layout, one completed request per
-//! line, appended and flushed at commit time (never rewritten):
+//! line, appended and flushed at commit time (never rewritten), every
+//! line sealed with a per-record checksum ([`stm_obs::journal::seal`]):
 //!
 //! ```text
-//! {"schema":"stm-serve-results/v1"}
+//! {"schema":"stm-serve-results/v2","crc":"0x…"}
 //! {"id":"0x0000000000000007","client":"0x0000000000000001","op":"transpose",
 //!  "matrix":"0x0000000000000002","status":"ok","degraded":false,
-//!  "digest":"0x89abcdef01234567"}
+//!  "corrupted":false,"digest":"0x89abcdef01234567","crc":"0x…"}
 //! ```
 //!
 //! All 64-bit values serialize as fixed-width hex strings — the shared
@@ -19,18 +20,25 @@
 //!
 //! Because each line is flushed before the response is sent, a `SIGKILL`
 //! can lose at most the line being written — and only by tearing it.
-//! [`ResultsLog::open`] therefore tolerates exactly one torn **final** line (skipped
-//! with a warning, then truncated away so appends stay well-formed);
-//! garbage anywhere else is corruption and refuses to load, mirroring
-//! `stm_bench::resilient::checkpoint::load`.
+//! [`ResultsLog::open`] therefore tolerates exactly one torn **final**
+//! line (skipped with a warning, then truncated away so appends stay
+//! well-formed); garbage anywhere else — including a line whose seal
+//! fails — is corruption and refuses to load. Reading and torn-tail
+//! handling go through the shared [`stm_obs::journal`] reader. `v1`
+//! files (no seals, no `corrupted` field) still load as legacy.
 
 use crate::protocol::{Op, Status};
 use std::io::Write;
 use std::path::Path;
+use stm_obs::journal;
 use stm_obs::json::Json;
 
 /// Schema tag of the header line.
-pub const SCHEMA: &str = "stm-serve-results/v1";
+pub const SCHEMA: &str = "stm-serve-results/v2";
+
+/// The previous schema, still accepted on load: no record seals, no
+/// `corrupted` field.
+pub const SCHEMA_V1: &str = "stm-serve-results/v1";
 
 /// One completed execution request, as recorded durably.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,10 +51,14 @@ pub struct ResultRecord {
     pub op: Op,
     /// The matrix the request ran over.
     pub matrix_id: u64,
-    /// Terminal status (`Ok`, `KernelFailed` or `DeadlineExceeded`).
+    /// Terminal status (`Ok`, `KernelFailed`, `DeadlineExceeded` or
+    /// `DataCorrupt`).
     pub status: Status,
     /// The result came from the registry fallback.
     pub degraded: bool,
+    /// Integrity verification convicted the primary's output; the
+    /// digest, when present, is the recovered majority result.
+    pub corrupted: bool,
     /// Canonical result digest (0 when the request failed).
     pub digest: u64,
 }
@@ -56,13 +68,14 @@ impl ResultRecord {
     /// log file is built from.
     pub fn canonical_line(&self) -> String {
         format!(
-            "{{\"id\":\"0x{:016x}\",\"client\":\"0x{:016x}\",\"op\":\"{}\",\"matrix\":\"0x{:016x}\",\"status\":\"{}\",\"degraded\":{},\"digest\":\"0x{:016x}\"}}",
+            "{{\"id\":\"0x{:016x}\",\"client\":\"0x{:016x}\",\"op\":\"{}\",\"matrix\":\"0x{:016x}\",\"status\":\"{}\",\"degraded\":{},\"corrupted\":{},\"digest\":\"0x{:016x}\"}}",
             self.request_id,
             self.client_id,
             self.op.name(),
             self.matrix_id,
             self.status.name(),
             self.degraded,
+            self.corrupted,
             self.digest,
         )
     }
@@ -94,14 +107,19 @@ impl ResultRecord {
                 .get("degraded")
                 .and_then(Json::as_bool)
                 .ok_or("missing bool field \"degraded\"")?,
+            // v2 field: absent in v1 logs, defaulting to "not detected".
+            corrupted: json
+                .get("corrupted")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
             digest: hex("digest")?,
         })
     }
 }
 
 fn status_from_name(name: &str) -> Option<Status> {
-    (0..=10)
-        .map(|v| Status::from_u8(v).unwrap())
+    (0..=u8::MAX)
+        .map_while(Status::from_u8)
         .find(|s| s.name() == name)
 }
 
@@ -142,15 +160,15 @@ impl ResultsLog {
         file.set_len(keep_len as u64)?;
         let mut log = ResultsLog { file };
         if fresh {
-            log.write_line(&format!("{{\"schema\":\"{SCHEMA}\"}}"))?;
+            log.write_line(&journal::seal(&format!("{{\"schema\":\"{SCHEMA}\"}}")))?;
         }
         Ok((log, records))
     }
 
-    /// Appends one record and flushes it to the OS — after this returns,
-    /// a `SIGKILL` cannot lose the record.
+    /// Appends one record (sealed) and flushes it to the OS — after this
+    /// returns, a `SIGKILL` cannot lose the record.
     pub fn append(&mut self, rec: &ResultRecord) -> std::io::Result<()> {
-        self.write_line(&rec.canonical_line())
+        self.write_line(&journal::seal(&rec.canonical_line()))
     }
 
     fn write_line(&mut self, line: &str) -> std::io::Result<()> {
@@ -160,49 +178,33 @@ impl ResultsLog {
     }
 }
 
-/// Parses the log text; returns the records and the byte length of the
-/// well-formed prefix (everything up to and including the last complete
-/// line).
+/// Parses the log text through the shared journal reader; returns the
+/// records and the byte length of the well-formed prefix (everything up
+/// to and including the last complete line).
 fn parse_log(text: &str, path: &Path) -> Result<(Vec<ResultRecord>, usize), String> {
     if text.is_empty() {
         return Ok((Vec::new(), 0));
     }
-    let complete = text.ends_with('\n');
-    let mut records = Vec::new();
-    let mut lines = text.lines().peekable();
-    let header = lines.next().ok_or("empty results log")?;
-    let mut keep_len = header.len() + 1;
-    if !complete && lines.peek().is_none() {
-        return Err("results log header is itself torn".to_string());
-    }
-    let header = Json::parse(header).map_err(|e| format!("bad header: {e}"))?;
-    let schema = header.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != SCHEMA {
-        return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
-    }
-    let mut i = 0usize;
-    while let Some(line) = lines.next() {
-        let torn_tail = lines.peek().is_none() && !complete;
-        let parsed = Json::parse(line)
-            .map_err(|e| format!("record {i}: {e}"))
-            .and_then(|json| ResultRecord::parse(&json).map_err(|e| format!("record {i}: {e}")));
-        match parsed {
-            Ok(rec) => {
-                keep_len += line.len() + 1;
-                records.push(rec);
+    let read = journal::read_journal(text, |index, body| {
+        let json = Json::parse(body).map_err(|e| e.to_string())?;
+        if index == 0 {
+            let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+            if schema != SCHEMA && schema != SCHEMA_V1 {
+                return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
             }
-            Err(e) if torn_tail => {
-                eprintln!(
-                    "warning: results log {path:?}: skipping torn final line \
-                     (truncated mid-append record): {e}"
-                );
-                break;
-            }
-            Err(e) => return Err(e),
+            return Ok(None);
         }
-        i += 1;
+        ResultRecord::parse(&json)
+            .map(Some)
+            .map_err(|e| format!("record {}: {e}", index - 1))
+    })?;
+    if let Some(torn) = &read.torn {
+        eprintln!(
+            "warning: results log {path:?}: skipping torn final line \
+             (truncated mid-append record): {torn}"
+        );
     }
-    Ok((records, keep_len))
+    Ok((read.records, read.keep_len as usize))
 }
 
 #[cfg(test)]
@@ -218,6 +220,7 @@ mod tests {
                 matrix_id: 2,
                 status: Status::Ok,
                 degraded: true,
+                corrupted: false,
                 digest: 0x89ab_cdef_0123_4567,
             },
             ResultRecord {
@@ -227,9 +230,49 @@ mod tests {
                 matrix_id: 3,
                 status: Status::KernelFailed,
                 degraded: false,
+                corrupted: false,
                 digest: 0,
             },
         ]
+    }
+
+    #[test]
+    fn v1_lines_load_as_legacy_and_corrupt_seals_refuse() {
+        let dir = std::env::temp_dir().join("stm-serve-log-v1");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.log");
+        // An unsealed v1 log: no crc fields, no corrupted field.
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\":\"{SCHEMA_V1}\"}}\n\
+                 {{\"id\":\"0x0000000000000007\",\"client\":\"0x0000000000000001\",\
+                 \"op\":\"transpose\",\"matrix\":\"0x0000000000000002\",\"status\":\"ok\",\
+                 \"degraded\":false,\"digest\":\"0x89abcdef01234567\"}}\n"
+            ),
+        )
+        .unwrap();
+        let (_, loaded) = ResultsLog::open(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(!loaded[0].corrupted);
+        assert_eq!(loaded[0].digest, 0x89ab_cdef_0123_4567);
+
+        // A sealed v2 log with one flipped content bit refuses to load.
+        let path2 = dir.join("sealed.log");
+        {
+            let (mut log, _) = ResultsLog::open(&path2).unwrap();
+            for r in &sample() {
+                log.append(r).unwrap();
+            }
+        }
+        let text = std::fs::read_to_string(&path2).unwrap();
+        let rotten = text.replacen("\"degraded\":true", "\"degraded\":false", 1);
+        assert_ne!(rotten, text);
+        std::fs::write(&path2, rotten).unwrap();
+        let err = ResultsLog::open(&path2).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,6 +4,23 @@
 use crate::mem::OobPolicy;
 use crate::scalar::cache::CacheConfig;
 
+/// A single armed soft error: once the engine's cycle counter reaches
+/// `after_cycle`, XOR `1 << bit` into simulated-memory word `word` — once,
+/// at the next watchdog point, *silently*. The flip bypasses the memory
+/// guard and fault accounting and charges no cycles, so it is invisible
+/// to every typed detection path: exactly the silent-data-corruption
+/// event the cross-backend integrity plane exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MidRunFlip {
+    /// Cycle threshold: the flip fires at the first watchdog point at or
+    /// past this cycle count.
+    pub after_cycle: u64,
+    /// Target word address in simulated memory.
+    pub word: u32,
+    /// Bit index to flip (taken modulo 32).
+    pub bit: u32,
+}
+
 /// Configuration of the simulated vector processor.
 ///
 /// Defaults reproduce the paper's evaluation machine (Section IV-A).
@@ -82,6 +99,9 @@ pub struct VpConfig {
     /// are cycle-identical to unbudgeted runs (the check never advances
     /// the clock).
     pub cycle_budget: Option<u64>,
+    /// An armed mid-run memory bit flip (fault injection). `None` (the
+    /// default) runs clean. See [`MidRunFlip`].
+    pub mid_run_flip: Option<MidRunFlip>,
 }
 
 impl Default for VpConfig {
@@ -106,6 +126,7 @@ impl Default for VpConfig {
             scalar_out_of_order: false,
             oob: OobPolicy::Trap,
             cycle_budget: None,
+            mid_run_flip: None,
         }
     }
 }

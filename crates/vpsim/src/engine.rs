@@ -7,7 +7,7 @@
 //! vector chaining. The engine's final cycle count is the time the last
 //! element of the last instruction completes.
 
-use crate::config::VpConfig;
+use crate::config::{MidRunFlip, VpConfig};
 use crate::mem::Memory;
 use crate::stats::{EngineStats, StallBreakdown, StallCauses};
 use crate::timing::{TimingKind, TimingModel};
@@ -223,6 +223,9 @@ pub struct Engine {
     /// Stall accounts of the ALU and STM ports.
     fu_acct: [PortAcct; 2],
     trace: Option<Trace>,
+    /// The armed-but-not-yet-fired mid-run bit flip, if any (disarmed
+    /// once it fires).
+    armed_flip: Option<MidRunFlip>,
     /// Structured observability sink (no-op unless a live recorder is
     /// installed via [`Engine::set_recorder`]).
     obs: Recorder,
@@ -242,6 +245,7 @@ impl Engine {
     pub fn with_timing(cfg: VpConfig, mem: Memory, timing: TimingKind) -> Self {
         cfg.validate().expect("invalid machine configuration");
         let ports = cfg.mem_ports;
+        let armed_flip = cfg.mid_run_flip;
         Engine {
             cfg,
             mem,
@@ -255,6 +259,7 @@ impl Engine {
             mem_acct: vec![PortAcct::default(); ports],
             fu_acct: [PortAcct::default(); 2],
             trace: None,
+            armed_flip,
             obs: Recorder::disabled(),
             timing: timing.model(),
         }
@@ -386,6 +391,26 @@ impl Engine {
         }
     }
 
+    /// Fires the armed mid-run bit flip once the clock has passed its
+    /// threshold: a direct XOR into memory with no guard, no fault
+    /// record, and no cycle charge — a modelled soft error is silent by
+    /// construction. A no-op when nothing is armed (the common case).
+    fn maybe_flip(&mut self) {
+        if let Some(f) = self.armed_flip {
+            if self.cycles() >= f.after_cycle {
+                self.armed_flip = None;
+                self.mem.corrupt(f.word, 1 << (f.bit & 31));
+            }
+        }
+    }
+
+    /// The combined watchdog run at every timeline advance: fire any due
+    /// mid-run fault, then enforce the cycle budget.
+    fn watchdog(&mut self) {
+        self.maybe_flip();
+        self.check_deadline();
+    }
+
     /// Charges scalar loop-control overhead on the issue timeline (it can
     /// overlap in-flight vector work, like scalar code on a decoupled VP).
     pub fn loop_overhead(&mut self) {
@@ -393,7 +418,7 @@ impl Engine {
         self.note_stall(self.clock, self.clock + c, StallKind::Scalar);
         self.clock += c;
         self.stats.overhead_cycles += c;
-        self.check_deadline();
+        self.watchdog();
     }
 
     /// Charges an arbitrary number of scalar cycles on the issue timeline.
@@ -402,7 +427,7 @@ impl Engine {
         self.note_stall(self.clock, self.clock + c, StallKind::Scalar);
         self.clock += c;
         self.stats.overhead_cycles += c;
-        self.check_deadline();
+        self.watchdog();
     }
 
     /// Serializes with a scalar-core phase of `cycles` length: everything
@@ -421,7 +446,7 @@ impl Engine {
             self.obs
                 .complete(Lane::Scalar, Category::Scalar, "serial", start, c, 0);
         }
-        self.check_deadline();
+        self.watchdog();
     }
 
     /// Blocks instruction issue until cycle `t` (used by the STM's
@@ -429,13 +454,13 @@ impl Engine {
     pub fn stall_until(&mut self, t: u64) {
         self.note_stall(self.clock, t, StallKind::Stm);
         self.clock = self.clock.max(t);
-        self.check_deadline();
+        self.watchdog();
     }
 
     /// Issues an instruction on `fu`: waits for the issue slot and for a
     /// unit port to be free; returns the start cycle and the port taken.
     fn issue(&mut self, fu: Fu) -> (u64, usize) {
-        self.check_deadline();
+        self.watchdog();
         let (port, unit_free) = match fu {
             Fu::Mem => {
                 let (port, &busy) = self

@@ -40,7 +40,7 @@ pub mod stream;
 pub mod timing;
 pub mod trace;
 
-pub use config::VpConfig;
+pub use config::{MidRunFlip, VpConfig};
 pub use engine::{DeadlineExceeded, Engine, Fu, VReg};
 pub use mem::{Allocator, MemFault, Memory, OobPolicy, POISON_WORD};
 pub use stats::{EngineStats, StallBreakdown, StallCauses};

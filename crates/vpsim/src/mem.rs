@@ -172,6 +172,21 @@ impl Memory {
         }
     }
 
+    /// Silently XORs `mask` into the word at `addr`, bypassing the guard
+    /// and all fault accounting — the soft-error back door of the fault
+    /// injector ([`crate::MidRunFlip`]). Returns false (and does nothing)
+    /// when the address was never materialized: there is no stored charge
+    /// to corrupt.
+    pub fn corrupt(&mut self, addr: u32, mask: u32) -> bool {
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w ^= mask;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Reads a word as `f32` (bit cast).
     pub fn read_f32(&self, addr: u32) -> f32 {
         f32::from_bits(self.read(addr))

@@ -68,6 +68,7 @@ fn main() {
         words,
         root: image.root,
         pointer_sites: vec![],
+        integrity: None,
     };
     let decoded = out.decode().expect("valid output image");
     println!("\ntransposed entries (row, col, value):");

@@ -39,21 +39,37 @@ fn every_fault_class_on_every_kernel_fails_typed_then_recovers() {
                     injected += 1;
                 }
             }
-            // The corrupted run must fail in run or verify — with a typed
-            // error, not a panic (this test is not wrapped in
-            // catch_unwind, so any panic fails it outright).
             let mut run_ctx = ctx.clone();
-            let failed = match kernel.run(&mut run_ctx) {
-                Err(e) => {
-                    assert!(
-                        !matches!(e, KernelError::Panicked(_)),
-                        "{name}/{class}: {e}"
-                    );
-                    true
-                }
-                Ok(report) => kernel.verify(&coo, &report.output).is_err(),
-            };
-            assert!(failed, "{name}/{class}: fault survived run + verify");
+            if class == FaultClass::ValueCorruption {
+                // The SDC class: guaranteed type-silent. The run must
+                // SUCCEED — no typed error may fire, because structure,
+                // checksums, and every validation invariant are intact —
+                // yet the bit-exact output digest must differ from the
+                // clean baseline: only digest comparison can see it.
+                let report = kernel.run(&mut run_ctx).unwrap_or_else(|e| {
+                    panic!("{name}/{class}: a type-silent fault raised a typed error: {e}")
+                });
+                assert_ne!(
+                    report.output_digest, baseline,
+                    "{name}/{class}: corrupted value survived with the baseline digest"
+                );
+            } else {
+                // Every structural class must fail in run or verify —
+                // with a typed error, not a panic (this test is not
+                // wrapped in catch_unwind, so any panic fails it
+                // outright).
+                let failed = match kernel.run(&mut run_ctx) {
+                    Err(e) => {
+                        assert!(
+                            !matches!(e, KernelError::Panicked(_)),
+                            "{name}/{class}: {e}"
+                        );
+                        true
+                    }
+                    Ok(report) => kernel.verify(&coo, &report.output).is_err(),
+                };
+                assert!(failed, "{name}/{class}: fault survived run + verify");
+            }
             // A fresh kernel on the same input still reproduces the
             // baseline bit-for-bit.
             assert_eq!(

@@ -1,0 +1,155 @@
+//! End-to-end tests of the integrity plane: silent mid-run bit flips
+//! are invisible to the unprotected pipeline, the `vote` verify tier
+//! catches every flip that manifests in the output and recovers the
+//! clean answer from the majority, and the whole campaign stays
+//! deterministic across worker counts.
+
+use hism_stm::dsab::{experiment_sets, quick_catalogue, SuiteEntry};
+use stm_bench::resilient::{self, EntryStatus, SdcSpec, VerifyMode};
+use stm_bench::{RunConfig, SoakConfig};
+
+fn suite() -> Vec<SuiteEntry> {
+    experiment_sets(&quick_catalogue(), 6).by_locality
+}
+
+/// A soak config for SDC campaigns: oracle verification off (the flip
+/// must stay *silent*), no chaos, integrity knobs as given.
+fn sdc_cfg(jobs: usize, sdc: Option<SdcSpec>, mode: VerifyMode) -> SoakConfig {
+    let run = RunConfig {
+        jobs: Some(jobs),
+        verify: false,
+        ..RunConfig::default()
+    };
+    SoakConfig {
+        run,
+        sdc,
+        verify_mode: mode,
+        ..SoakConfig::default()
+    }
+}
+
+const SDC: SdcSpec = SdcSpec {
+    rate_pct: 100,
+    seed: 5,
+};
+
+/// Ground truth + the catch-rate claim in one pass over the quick
+/// catalogue:
+///
+/// 1. without verification the flips are *silent* — every entry still
+///    reports `Ok`, yet at least one served digest is wrong;
+/// 2. under `vote`, every slot whose silent digest diverged from clean
+///    is convicted and recovered to the clean digest (100% catch rate
+///    on manifesting flips), and no clean slot is falsely convicted.
+#[test]
+fn vote_catches_every_manifesting_midrun_sdc_over_the_quick_catalogue() {
+    let set = suite();
+    let clean = resilient::run_soak(&sdc_cfg(1, None, VerifyMode::Off), &set).unwrap();
+    let silent = resilient::run_soak(&sdc_cfg(1, Some(SDC), VerifyMode::Off), &set).unwrap();
+    let voted = resilient::run_soak(&sdc_cfg(1, Some(SDC), VerifyMode::Vote), &set).unwrap();
+
+    let mut manifested = 0usize;
+    for ((c, s), v) in clean
+        .entries
+        .iter()
+        .zip(&silent.entries)
+        .zip(&voted.entries)
+    {
+        // Unprotected, the flip is silent: the pipeline sees nothing.
+        assert_eq!(s.status, EntryStatus::Ok, "{}: flip was not silent", s.name);
+
+        for ((cs, ss), vs) in c.slots.iter().zip(&s.slots).zip(&v.slots) {
+            assert_ne!(cs.digest, 0, "{}: clean run served no digest", c.name);
+            let verify = vs
+                .verify
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: vote left no verify record", v.name));
+            if ss.digest != cs.digest {
+                // The flip manifested. Vote must convict and recover.
+                manifested += 1;
+                assert!(
+                    verify.corrupted,
+                    "{}/{}: manifesting SDC escaped the vote",
+                    v.name, vs.kernel
+                );
+                assert!(
+                    !verify.recovered.is_empty(),
+                    "{}/{}: conviction without majority recovery",
+                    v.name,
+                    vs.kernel
+                );
+                assert_eq!(
+                    vs.digest, cs.digest,
+                    "{}/{}: recovery served a non-clean digest",
+                    v.name, vs.kernel
+                );
+            } else {
+                // Harmless flip (or none landed in this slot): no
+                // false conviction, clean digest served.
+                assert!(
+                    !verify.corrupted,
+                    "{}/{}: clean slot falsely convicted",
+                    v.name, vs.kernel
+                );
+                assert_eq!(vs.digest, cs.digest);
+            }
+        }
+    }
+    assert!(
+        manifested > 0,
+        "no injected flip manifested — the campaign tested nothing"
+    );
+
+    // The detections surface in the integrity counters.
+    let counter = |name: &str| voted.trace.counter(name);
+    assert_eq!(counter("integrity.sdc.detected"), manifested as u64);
+    assert_eq!(counter("integrity.sdc.recovered"), manifested as u64);
+    assert_eq!(counter("integrity.sdc.unrecovered"), 0);
+    assert_eq!(counter("resil.sdc.injected"), set.len() as u64);
+}
+
+/// On a clean run every verify tier serves the same digests and
+/// convicts nothing — verification observes, it must not perturb.
+#[test]
+fn verify_tiers_serve_identical_results_on_a_clean_run() {
+    let set = suite();
+    let baseline = resilient::run_soak(&sdc_cfg(1, None, VerifyMode::Off), &set).unwrap();
+    for mode in [VerifyMode::Checksum, VerifyMode::Dual, VerifyMode::Vote] {
+        let run = resilient::run_soak(&sdc_cfg(1, None, mode), &set).unwrap();
+        for (b, r) in baseline.entries.iter().zip(&run.entries) {
+            assert_eq!(r.status, EntryStatus::Ok, "{}: {mode:?}", r.name);
+            for (bs, rs) in b.slots.iter().zip(&r.slots) {
+                assert_eq!(bs.digest, rs.digest, "{}: {mode:?}", r.name);
+                assert!(
+                    !rs.verify.as_ref().is_some_and(|v| v.corrupted),
+                    "{}: {mode:?} falsely convicted a clean slot",
+                    r.name
+                );
+            }
+        }
+        assert_eq!(run.trace.counter("integrity.sdc.detected"), 0);
+    }
+}
+
+/// The SDC campaign under `vote` is deterministic across worker counts:
+/// same records, same digest, same integrity counters.
+#[test]
+fn sdc_campaign_is_deterministic_across_worker_counts() {
+    let set = suite();
+    let solo = resilient::run_soak(&sdc_cfg(1, Some(SDC), VerifyMode::Vote), &set).unwrap();
+    let pooled = resilient::run_soak(&sdc_cfg(4, Some(SDC), VerifyMode::Vote), &set).unwrap();
+    assert_eq!(solo.digest, pooled.digest);
+    assert_eq!(solo.entries, pooled.entries);
+    let integrity = |r: &stm_bench::SoakReport| {
+        let mut c: Vec<(String, u64)> = r
+            .trace
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("integrity.") || k.starts_with("resil.sdc"))
+            .cloned()
+            .collect();
+        c.sort();
+        c
+    };
+    assert_eq!(integrity(&solo), integrity(&pooled));
+}

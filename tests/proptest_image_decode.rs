@@ -21,6 +21,7 @@ fn variant_tag(e: &ImageError) -> &'static str {
         ImageError::OutOfBounds { .. } => "out_of_bounds",
         ImageError::BadPosition { .. } => "bad_position",
         ImageError::Runaway { .. } => "runaway",
+        ImageError::Integrity { .. } => "integrity",
     }
 }
 
@@ -85,6 +86,10 @@ fn word_corruptions_decode_to_typed_errors_and_cover_every_variant() {
         }
         for _ in 0..24 {
             let mut t = img.clone();
+            // The structural variants are only reachable on a headerless
+            // image: on a sealed one the checksum check fires first and
+            // everything surfaces as `Integrity`. Probe both.
+            t.integrity = None;
             let site = r.gen_range(0..t.words.len());
             // Mix single-bit flips with full-word garbage: bit flips probe
             // near-valid values (positions, short lengths), garbage probes
@@ -98,6 +103,11 @@ fn word_corruptions_decode_to_typed_errors_and_cover_every_variant() {
             if let Err(e) = decode_no_panic(&t, &what) {
                 *seen.entry(variant_tag(&e)).or_insert(0) += 1;
             }
+            let mut sealed = t.clone();
+            sealed.integrity = img.integrity;
+            if let Err(e) = decode_no_panic(&sealed, &format!("sealed {what}")) {
+                *seen.entry(variant_tag(&e)).or_insert(0) += 1;
+            }
         }
     }
     // ZeroLevels and BadSectionSize live in the root descriptor, not the
@@ -105,6 +115,10 @@ fn word_corruptions_decode_to_typed_errors_and_cover_every_variant() {
     for (levels, s) in [(0u32, 8u32), (1, 0), (1, 1), (1, 257), (1, u32::MAX)] {
         let mut r = case_rng(0xD3, u64::from(levels) ^ u64::from(s));
         let mut t = arb_image(&mut r, "descriptor");
+        // Headerless: a corrupted root descriptor changes the walk shape,
+        // so on a sealed image the checksum fires before the descriptor
+        // checks — here the structural variants are the point.
+        t.integrity = None;
         t.root.levels = levels;
         t.root.s = s;
         let what = format!("root descriptor levels={levels} s={s}");
@@ -121,12 +135,75 @@ fn word_corruptions_decode_to_typed_errors_and_cover_every_variant() {
         "out_of_bounds",
         "bad_position",
         "runaway",
+        "integrity",
     ] {
         assert!(
             seen.get(tag).copied().unwrap_or(0) > 0,
             "ImageError variant {tag} never reached; coverage: {seen:?}"
         );
     }
+}
+
+/// The detection guarantee behind the integrity plane: a sealed image has
+/// no word-sized blind spots. Every single-bit corruption of a word that
+/// carries matrix content is rejected — at decode or at re-verify — and a
+/// flip that *is* accepted provably changed nothing (a dead word outside
+/// every checksummed section).
+#[test]
+fn sealed_images_have_no_single_bit_blind_spots() {
+    for case in 0..12u64 {
+        let mut r = case_rng(0xD5, case);
+        let img = arb_image(&mut r, "blind-spot");
+        let clean = img
+            .decode()
+            .map(|h| build_coo(&h))
+            .expect("sealed image must decode");
+        let n = img.words.len();
+        if n == 0 {
+            continue;
+        }
+        // Exhaustive over words; exhaustive over bits for small images,
+        // seeded-sampled bits for larger ones.
+        for site in 0..n {
+            let bits: Vec<u32> = if n <= 24 {
+                (0..32).collect()
+            } else {
+                (0..4).map(|_| r.gen_range(0..32u64) as u32).collect()
+            };
+            for bit in bits {
+                let mut t = img.clone();
+                t.words[site] ^= 1u32 << bit;
+                let what = format!("bit {bit} of word {site} (case {case})");
+                let verdict = decode_no_panic(&t, &what);
+                let reverify = t.verify_integrity();
+                match (verdict, &reverify) {
+                    (Err(_), _) | (_, Err(_)) => {} // detected
+                    (Ok(()), Ok(_)) => {
+                        // Accepted: the flip must have been content-free.
+                        let got = build_coo(&t.decode().unwrap());
+                        assert_eq!(
+                            got, clean,
+                            "{what}: accepted by decode + re-verify yet changed the matrix"
+                        );
+                    }
+                }
+            }
+        }
+        // And the value words specifically — the classic SDC target — are
+        // always *live*: every flip there must be detected.
+        for &site in img.value_sites().unwrap().iter() {
+            let mut t = img.clone();
+            t.words[site as usize] ^= 1 << (r.next_u64() % 32);
+            assert!(
+                t.decode().is_err() && t.verify_integrity().is_err(),
+                "value word {site} flip survived decode + re-verify (case {case})"
+            );
+        }
+    }
+}
+
+fn build_coo(h: &hism_stm::hism::HismMatrix) -> hism_stm::sparse::Coo {
+    build::to_coo(h)
 }
 
 #[test]

@@ -228,6 +228,60 @@ fn a_host_backend_server_serves_the_simulator_digest_and_degrades_onto_it() {
 }
 
 #[test]
+fn vote_mode_never_serves_a_silent_wrong_answer_under_midrun_flips() {
+    let (server, addr) = start(ServeConfig {
+        verify_mode: stm_bench::resilient::VerifyMode::Vote,
+        ..ServeConfig::default()
+    });
+    let mut c = client(&addr, 4);
+    submit(&mut c, 0x5DC_A11CE, 0);
+
+    let clean = c.transpose(1, 0, None).expect("clean transpose");
+    assert_eq!(clean.status, Status::Ok);
+    let clean_digest = match clean.body {
+        ResponseBody::Digest(d) => d,
+        other => panic!("expected digest, got {other:?}"),
+    };
+
+    // A stream of silent mid-run engine flips. The integrity contract:
+    // every reply is either the clean digest (harmless flip, or a
+    // detection transparently recovered from the majority / fallback)
+    // or a typed DATA_CORRUPT refusal — never a wrong digest.
+    for i in 0..8u64 {
+        let fault = FaultRequest {
+            class: FaultClass::MidRunBitFlip,
+            seed: 0x5DC ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        };
+        let resp = c
+            .transpose(100 + i, 0, Some(fault))
+            .expect("faulted transpose");
+        match resp.status {
+            Status::Ok => assert_eq!(
+                resp.body,
+                ResponseBody::Digest(clean_digest),
+                "flip {i}: a wrong digest was served as OK"
+            ),
+            Status::DataCorrupt => {}
+            other => panic!("flip {i}: unexpected status {other:?}"),
+        }
+    }
+
+    // Detections are counted coherently on the metrics plane.
+    let text = server.metrics_text();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.parse().ok())
+            .unwrap_or(0)
+    };
+    let detected = counter("stm_integrity_sdc_detected_total");
+    let recovered = counter("stm_integrity_sdc_recovered_total");
+    let unrecovered = counter("stm_integrity_sdc_unrecovered_total");
+    assert_eq!(detected, recovered + unrecovered);
+    assert!(detected > 0, "no injected flip ever manifested");
+    shutdown_and_join(server, &addr);
+}
+
+#[test]
 fn spmv_under_an_impossible_deadline_is_a_typed_deadline_error() {
     // SpMV has no registered fallback, so a blown cycle budget cannot be
     // rescued — it must surface as DEADLINE_EXCEEDED, not a hang or a

@@ -61,6 +61,7 @@ fn telemetry_off_and_on_are_bit_identical_through_execute_slot() {
             kernel,
             Decision::Run,
             None,
+            stm_bench::resilient::VerifyMode::Off,
             &Recorder::disabled(),
         );
         let rec = Recorder::enabled(4096).with_ctx(SpanCtx::request(42));
@@ -72,6 +73,7 @@ fn telemetry_off_and_on_are_bit_identical_through_execute_slot() {
             kernel,
             Decision::Run,
             None,
+            stm_bench::resilient::VerifyMode::Off,
             &rec,
         );
         let off_r = off.report.as_ref().expect("off report");
